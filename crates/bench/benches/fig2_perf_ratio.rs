@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 2: FUP vs re-running DHP/Apriori on the
+//! updated database, per minimum support, on `T10.I4.D100.d1` (scaled).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fup_core::Fup;
+use fup_datagen::corpus;
+use fup_mining::{Apriori, Dhp, MinSupport};
+use fup_tidb::source::ChainSource;
+
+const SCALE: u64 = 20; // D = 5000, d = 50
+
+fn fig2(c: &mut Criterion) {
+    let data = fup_bench::harness::workload(corpus::t10_i4_d100_d1(), SCALE);
+    let mut group = c.benchmark_group("fig2_perf_ratio");
+    group.sample_size(10);
+    for &bp in &corpus::FIG2_SUPPORTS_BP {
+        let minsup = MinSupport::basis_points(bp);
+        let baseline = Apriori::new().run(&data.db, minsup).large;
+        group.bench_with_input(BenchmarkId::new("fup", bp), &bp, |b, _| {
+            b.iter(|| {
+                Fup::new()
+                    .update(&data.db, &baseline, &data.increment, minsup)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dhp_rerun", bp), &bp, |b, _| {
+            b.iter(|| {
+                let whole = ChainSource::new(&data.db, &data.increment);
+                Dhp::new().run(&whole, minsup)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("apriori_rerun", bp), &bp, |b, _| {
+            b.iter(|| {
+                let whole = ChainSource::new(&data.db, &data.increment);
+                Apriori::new().run(&whole, minsup)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

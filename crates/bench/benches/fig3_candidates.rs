@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 3: the counting passes driven by each
+//! algorithm's candidate pool. Wall time here is dominated by candidate
+//! volume, so the timings mirror the candidate-reduction figure; the
+//! harness binary (`experiments fig3`) prints the exact counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fup_core::Fup;
+use fup_datagen::corpus;
+use fup_mining::{Apriori, MinSupport};
+use fup_tidb::source::ChainSource;
+
+const SCALE: u64 = 20; // D = 5000
+
+fn fig3(c: &mut Criterion) {
+    let data = fup_bench::harness::workload(corpus::t10_i4_d100_d1(), SCALE);
+    let mut group = c.benchmark_group("fig3_candidates");
+    group.sample_size(10);
+    for &bp in &[200u64, 75] {
+        let minsup = MinSupport::basis_points(bp);
+        let baseline = Apriori::new().run(&data.db, minsup).large;
+        group.bench_with_input(
+            BenchmarkId::new("fup_candidate_pool", bp),
+            &bp,
+            |b, _| {
+                b.iter(|| {
+                    let out = Fup::new()
+                        .update(&data.db, &baseline, &data.increment, minsup)
+                        .unwrap();
+                    out.stats.total_candidates_checked()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apriori_candidate_pool", bp),
+            &bp,
+            |b, _| {
+                b.iter(|| {
+                    let whole = ChainSource::new(&data.db, &data.increment);
+                    Apriori::new()
+                        .run(&whole, minsup)
+                        .stats
+                        .total_candidates_checked()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 4: FUP vs DHP re-run as the increment grows
+//! from a fraction of `D` to several times `D`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fup_core::Fup;
+use fup_datagen::{corpus, generate_split};
+use fup_mining::{Apriori, Dhp, MinSupport};
+use fup_tidb::source::ChainSource;
+
+const SCALE: u64 = 50; // D = 2000; increments 300..7000
+
+fn fig4(c: &mut Criterion) {
+    let minsup = MinSupport::basis_points(200);
+    let mut group = c.benchmark_group("fig4_increment_sweep");
+    group.sample_size(10);
+    for &m in &[15u64, 125, 350] {
+        let params = corpus::scaled(corpus::t10_i4_d100_dm(m), SCALE);
+        let data = generate_split(&params);
+        let baseline = Apriori::new().run(&data.db, minsup).large;
+        let d = data.d_increment();
+        group.bench_with_input(BenchmarkId::new("fup", d), &d, |b, _| {
+            b.iter(|| {
+                Fup::new()
+                    .update(&data.db, &baseline, &data.increment, minsup)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dhp_rerun", d), &d, |b, _| {
+            b.iter(|| {
+                let whole = ChainSource::new(&data.db, &data.increment);
+                Dhp::new().run(&whole, minsup)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for §4.6: the scale-up workload `T10.I4.D1000.d10`,
+//! run at two database sizes so the growth of FUP's advantage with scale
+//! is visible in one report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fup_core::Fup;
+use fup_datagen::{corpus, generate_split};
+use fup_mining::{Apriori, Dhp, MinSupport};
+use fup_tidb::source::ChainSource;
+
+fn scaleup(c: &mut Criterion) {
+    let minsup = MinSupport::basis_points(200);
+    let mut group = c.benchmark_group("sec4_6_scaleup");
+    group.sample_size(10);
+    // 1/200 and 1/50 of the paper's 1M: D = 5K and 20K.
+    for &scale in &[200u64, 50] {
+        let params = corpus::scaled(corpus::t10_i4_d1000_d10(), scale);
+        let data = generate_split(&params);
+        let d = data.d_original();
+        let baseline = Apriori::new().run(&data.db, minsup).large;
+        group.bench_with_input(BenchmarkId::new("fup", d), &d, |b, _| {
+            b.iter(|| {
+                Fup::new()
+                    .update(&data.db, &baseline, &data.increment, minsup)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dhp_rerun", d), &d, |b, _| {
+            b.iter(|| {
+                let whole = ChainSource::new(&data.db, &data.increment);
+                Dhp::new().run(&whole, minsup)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaleup);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! `experiments` — regenerates every table and figure of the paper's §4.
+//!
+//! ```text
+//! experiments [ids...] [--scale N] [--seed S]
+//!
+//!   ids       any of: table1 fig2 fig3 sec4-4a fig4 sec4-5 sec4-6 ablation
+//!             scanvol fup2perf all
+//!             (default: all)
+//!   --scale N run workloads at 1/N of the paper's sizes (default 10;
+//!             use --scale 1 for the full published configuration)
+//!   --seed S  generator seed (default 1996)
+//! ```
+//!
+//! Build with `--release`; the timed ratios are meaningless in debug.
+
+use fup_bench::{ablation, fig2, fig3, fig4, fup2perf, scanvol, sec4_4, sec4_5, sec4_6, table1};
+use fup_datagen::GenParams;
+
+struct Options {
+    ids: Vec<String>,
+    scale: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut ids = Vec::new();
+    let mut scale = 10u64;
+    let mut seed = 1996u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                if scale == 0 {
+                    return Err("scale must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [ids...] [--scale N] [--seed S]".into());
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = [
+            "table1", "fig2", "fig3", "sec4-4a", "fig4", "sec4-5", "sec4-6", "ablation",
+            "scanvol", "fup2perf",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    Ok(Options { ids, scale, seed })
+}
+
+fn banner(title: &str, shape: &str) {
+    println!("\n=== {title} ===");
+    if !shape.is_empty() {
+        println!("    {shape}");
+    }
+    println!();
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "FUP experiment harness — scale 1/{} of paper sizes, seed {}",
+        opts.scale, opts.seed
+    );
+    if cfg!(debug_assertions) {
+        eprintln!("WARNING: debug build; timing ratios will be distorted. Use --release.");
+    }
+
+    for id in &opts.ids {
+        match id.as_str() {
+            "table1" => {
+                banner("Table 1: synthetic workload parameters (paper values)", "");
+                println!("{}", table1::run(&GenParams::default()));
+            }
+            "fig2" => {
+                banner(
+                    "Figure 2: performance ratio vs minimum support (T10.I4.D100.d1)",
+                    fig2::PAPER_SHAPE,
+                );
+                let rows = fig2::run(opts.scale, opts.seed);
+                println!("{}", fig2::render(&rows));
+            }
+            "fig3" => {
+                banner(
+                    "Figure 3: candidate-set reduction (T10.I4.D100.d1)",
+                    fig3::PAPER_SHAPE,
+                );
+                let rows = fig3::run(opts.scale, opts.seed);
+                println!("{}", fig3::render(&rows));
+            }
+            "sec4-4a" => {
+                banner(
+                    "Sec 4.4: speed-up vs increment size (T10.I4.D100.dm, m=1K/5K/10K)",
+                    sec4_4::PAPER_SHAPE,
+                );
+                let rows = sec4_4::run(opts.scale, opts.seed);
+                println!("{}", sec4_4::render(&rows));
+            }
+            "fig4" => {
+                banner(
+                    "Figure 4: speed-up vs increment size (T10.I4.D100.dm, m=15K..350K)",
+                    fig4::PAPER_SHAPE,
+                );
+                let rows = fig4::run(opts.scale, opts.seed);
+                let d_original = 100_000 / opts.scale;
+                println!("{}", fig4::render_with_d(&rows, d_original));
+            }
+            "sec4-5" => {
+                banner("Sec 4.5: overhead of FUP", sec4_5::PAPER_SHAPE);
+                let rows = sec4_5::run(opts.scale, opts.seed);
+                println!("{}", sec4_5::render(&rows));
+            }
+            "sec4-6" => {
+                banner(
+                    "Sec 4.6: scale-up to 1M transactions (T10.I4.D1000.d10)",
+                    sec4_6::PAPER_SHAPE,
+                );
+                let rows = sec4_6::run(opts.scale, opts.seed);
+                println!("{}", sec4_6::render(&rows));
+            }
+            "ablation" => {
+                banner(
+                    "Ablation: contribution of each FUP optimisation (T10.I4.D100.d10, s=1%)",
+                    "",
+                );
+                let rows = ablation::run(opts.scale, opts.seed);
+                println!("{}", ablation::render(&rows));
+            }
+            "scanvol" => {
+                banner(
+                    "Scan volume: transactions read from DB+db (extension)",
+                    scanvol::PAPER_SHAPE,
+                );
+                let rows = scanvol::run(opts.scale, opts.seed);
+                println!("{}", scanvol::render(&rows));
+            }
+            "fup2perf" => {
+                banner(
+                    "FUP2: maintenance under deletion churn (extension)",
+                    fup2perf::PAPER_SHAPE,
+                );
+                let rows = fup2perf::run(opts.scale, opts.seed);
+                println!("{}", fup2perf::render(&rows));
+            }
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

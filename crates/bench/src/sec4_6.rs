@@ -1,0 +1,62 @@
+//! §4.6 — performance in the scaled-up database `T10.I4.D1000.d10`
+//! (1 million transactions).
+//!
+//! Paper's shape: the DHP/FUP ratio ranges from 3 to 16 — larger than on
+//! the 100K database, i.e. FUP's advantage *grows* with database size.
+
+use crate::harness::{compare, mine_baseline, Comparison};
+use crate::table::{fmt_duration, Table};
+use fup_datagen::{corpus, generate_split};
+use fup_mining::MinSupport;
+
+/// One measured support level.
+pub type Row = Comparison;
+
+/// Supports examined (basis points): the small-support end where the
+/// paper's 16× shows up, plus a mid value.
+pub const SUPPORTS_BP: [u64; 3] = [400, 200, 100];
+
+/// Runs the scale-up experiment at `1/scale` of the paper's 1M size.
+pub fn run(scale: u64, seed: u64) -> Vec<Row> {
+    let params = corpus::scaled(corpus::t10_i4_d1000_d10().with_seed(seed), scale);
+    let data = generate_split(&params);
+    SUPPORTS_BP
+        .iter()
+        .map(|&bp| {
+            let minsup = MinSupport::basis_points(bp);
+            let baseline = mine_baseline(&data.db, minsup);
+            compare(&data.db, &data.increment, &baseline, minsup)
+        })
+        .collect()
+}
+
+/// Renders the scale-up table.
+pub fn render(rows: &[Row]) -> Table {
+    let mut t = Table::new(["minsup", "t_FUP", "t_DHP", "DHP/FUP", "Apriori/FUP"]);
+    for r in rows {
+        t.push([
+            format!("{:.2}%", r.minsup_bp as f64 / 100.0),
+            fmt_duration(r.t_fup),
+            fmt_duration(r.t_dhp),
+            format!("{:.2}", r.speedup_vs_dhp()),
+            format!("{:.2}", r.speedup_vs_apriori()),
+        ]);
+    }
+    t
+}
+
+/// The paper's qualitative expectation.
+pub const PAPER_SHAPE: &str =
+    "paper: on 1M transactions the DHP/FUP ratio ranges 3-16, larger than at 100K";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaleup_rows_cover_supports() {
+        let rows = run(2000, 17); // D = 500
+        assert_eq!(rows.len(), SUPPORTS_BP.len());
+        assert_eq!(render(&rows).len(), rows.len());
+    }
+}

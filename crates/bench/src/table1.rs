@@ -1,0 +1,71 @@
+//! Table 1 — the synthetic-workload parameter table.
+
+use crate::table::Table;
+use fup_datagen::GenParams;
+
+/// Renders the paper's Table 1 for a parameter set (defaults reproduce the
+/// published values).
+pub fn run(params: &GenParams) -> Table {
+    let mut t = Table::new(["parameter", "meaning", "value"]);
+    t.push([
+        "D".to_string(),
+        "Number of transactions in database DB".to_string(),
+        params.num_transactions.to_string(),
+    ]);
+    t.push([
+        "d".to_string(),
+        "Number of transactions in the increment".to_string(),
+        params.increment_size.to_string(),
+    ]);
+    t.push([
+        "|T|".to_string(),
+        "Mean size of the transactions".to_string(),
+        format!("{}", params.avg_transaction_len),
+    ]);
+    t.push([
+        "|I|".to_string(),
+        "Mean size of the maximal potentially large itemsets".to_string(),
+        format!("{}", params.avg_pattern_len),
+    ]);
+    t.push([
+        "|L|".to_string(),
+        "Number of potentially large itemsets".to_string(),
+        params.num_patterns.to_string(),
+    ]);
+    t.push([
+        "N".to_string(),
+        "Number of items".to_string(),
+        params.num_items.to_string(),
+    ]);
+    t.push([
+        "S_c".to_string(),
+        "Clustering size".to_string(),
+        params.clustering_size.to_string(),
+    ]);
+    t.push([
+        "P_s".to_string(),
+        "Pool size".to_string(),
+        params.pool_size.to_string(),
+    ]);
+    t.push([
+        "M_f".to_string(),
+        "Multiplying factor".to_string(),
+        params.multiplying_factor.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_all_paper_parameters() {
+        let t = run(&GenParams::default());
+        assert_eq!(t.len(), 9);
+        let s = t.to_string();
+        for needle in ["100000", "2000", "1000", "S_c", "P_s", "M_f"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! FUP configuration knobs — each corresponds to an optimisation the paper
+//! describes, so ablation benches can switch them off individually.
+
+/// Configuration for [`Fup`](crate::Fup) and [`Fup2`](crate::Fup2).
+#[derive(Debug, Clone)]
+pub struct FupConfig {
+    /// Apply the `Reduce-db` / `Reduce-DB` transaction trimming and the
+    /// P-set item removal of §3.4. Disabling re-scans the original
+    /// sources every iteration.
+    pub reduce_db: bool,
+    /// Integrate DHP's direct hashing over the increment to thin the
+    /// size-2 candidate set before it is ever counted (§3.4, last
+    /// paragraph).
+    pub dhp_hash: bool,
+    /// Bucket count for the pair hash table when `dhp_hash` is on.
+    pub hash_buckets: usize,
+    /// Stop after this iteration. `None` runs until no itemsets remain.
+    pub max_k: Option<usize>,
+}
+
+impl Default for FupConfig {
+    fn default() -> Self {
+        FupConfig {
+            reduce_db: true,
+            dhp_hash: true,
+            hash_buckets: 1 << 20,
+            max_k: None,
+        }
+    }
+}
+
+impl FupConfig {
+    /// The paper's full configuration (all optimisations on).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A bare configuration with every optional optimisation off — the
+    /// ablation baseline (lemma-based pruning alone, which is FUP's core
+    /// and cannot be disabled).
+    pub fn bare() -> Self {
+        FupConfig {
+            reduce_db: false,
+            dhp_hash: false,
+            hash_buckets: 1,
+            max_k: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_all_paper_optimisations() {
+        let c = FupConfig::default();
+        assert!(c.reduce_db);
+        assert!(c.dhp_hash);
+        assert!(c.hash_buckets > 0);
+        assert_eq!(c.max_k, None);
+    }
+
+    #[test]
+    fn bare_disables_optional_parts() {
+        let c = FupConfig::bare();
+        assert!(!c.reduce_db);
+        assert!(!c.dhp_hash);
+    }
+}

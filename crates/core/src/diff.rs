@@ -1,0 +1,153 @@
+//! Diffing itemsets and rules across updates.
+//!
+//! The motivation of the paper is that "database updates may introduce new
+//! association rules and invalidate some existing ones" (§1). The
+//! maintenance layer surfaces exactly that: which rules an update created,
+//! which it killed, and the same for large itemsets.
+
+use fup_mining::{Itemset, LargeItemsets, Rule, RuleSet};
+
+/// The itemset-level difference between two mining results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ItemsetDiff {
+    /// Itemsets large after the update but not before ("emerged winners").
+    pub emerged: Vec<Itemset>,
+    /// Itemsets large before but not after ("losers").
+    pub expired: Vec<Itemset>,
+    /// Number of itemsets large in both.
+    pub retained: usize,
+}
+
+impl ItemsetDiff {
+    /// Computes `after − before` / `before − after` by itemset identity.
+    pub fn between(before: &LargeItemsets, after: &LargeItemsets) -> Self {
+        let mut emerged = Vec::new();
+        let mut expired = Vec::new();
+        let mut retained = 0usize;
+        for (x, _) in after.iter() {
+            if before.contains(x) {
+                retained += 1;
+            } else {
+                emerged.push(x.clone());
+            }
+        }
+        for (x, _) in before.iter() {
+            if !after.contains(x) {
+                expired.push(x.clone());
+            }
+        }
+        emerged.sort();
+        expired.sort();
+        ItemsetDiff {
+            emerged,
+            expired,
+            retained,
+        }
+    }
+
+    /// `true` when nothing changed.
+    pub fn is_unchanged(&self) -> bool {
+        self.emerged.is_empty() && self.expired.is_empty()
+    }
+}
+
+/// The rule-level difference between two rule sets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleDiff {
+    /// Rules strong after the update but not before.
+    pub added: Vec<Rule>,
+    /// Rules strong before but not after ("invalidated").
+    pub removed: Vec<Rule>,
+    /// Number of rules strong in both (identity only; confidences may have
+    /// drifted).
+    pub retained: usize,
+}
+
+impl RuleDiff {
+    /// Computes the diff between two rule sets by rule identity
+    /// (antecedent + consequent).
+    pub fn between(before: &RuleSet, after: &RuleSet) -> Self {
+        let added = after.minus(before);
+        let removed = before.minus(after);
+        let retained = after.len() - added.len();
+        RuleDiff {
+            added,
+            removed,
+            retained,
+        }
+    }
+
+    /// `true` when no rule appeared or disappeared.
+    pub fn is_unchanged(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    fn rule(a: &[u32], c: &[u32]) -> Rule {
+        Rule {
+            antecedent: s(a),
+            consequent: s(c),
+            union_count: 10,
+            antecedent_count: 10,
+        }
+    }
+
+    #[test]
+    fn itemset_diff_classifies_changes() {
+        let mut before = LargeItemsets::new(10);
+        before.insert(s(&[1]), 5);
+        before.insert(s(&[2]), 5);
+        let mut after = LargeItemsets::new(12);
+        after.insert(s(&[1]), 6); // retained (support change ignored)
+        after.insert(s(&[3]), 6); // emerged
+        let d = ItemsetDiff::between(&before, &after);
+        assert_eq!(d.emerged, vec![s(&[3])]);
+        assert_eq!(d.expired, vec![s(&[2])]);
+        assert_eq!(d.retained, 1);
+        assert!(!d.is_unchanged());
+    }
+
+    #[test]
+    fn itemset_diff_unchanged() {
+        let mut a = LargeItemsets::new(10);
+        a.insert(s(&[1]), 5);
+        let d = ItemsetDiff::between(&a, &a);
+        assert!(d.is_unchanged());
+        assert_eq!(d.retained, 1);
+    }
+
+    #[test]
+    fn rule_diff_classifies_changes() {
+        let before = RuleSet::from_rules(vec![rule(&[1], &[2]), rule(&[2], &[3])]);
+        let after = RuleSet::from_rules(vec![rule(&[1], &[2]), rule(&[4], &[5])]);
+        let d = RuleDiff::between(&before, &after);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].antecedent, s(&[4]));
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.removed[0].antecedent, s(&[2]));
+        assert_eq!(d.retained, 1);
+    }
+
+    #[test]
+    fn rule_diff_unchanged() {
+        let set = RuleSet::from_rules(vec![rule(&[1], &[2])]);
+        let d = RuleDiff::between(&set, &set);
+        assert!(d.is_unchanged());
+        assert_eq!(d.retained, 1);
+    }
+
+    #[test]
+    fn empty_sets_diff() {
+        let d = RuleDiff::between(&RuleSet::default(), &RuleSet::default());
+        assert!(d.is_unchanged());
+        assert_eq!(d.retained, 0);
+    }
+}

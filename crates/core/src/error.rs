@@ -1,0 +1,76 @@
+//! Error type for incremental maintenance.
+
+use std::fmt;
+
+/// Errors produced by FUP/FUP2 and the maintenance layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The supplied `LargeItemsets` baseline was mined over a database of a
+    /// different size than the `DB` being updated — its support counts
+    /// cannot be reused.
+    StaleBaseline {
+        /// `D` recorded in the baseline.
+        baseline: u64,
+        /// Number of transactions in the database handed to FUP.
+        database: u64,
+    },
+    /// An update referenced transactions that do not exist (wraps the
+    /// substrate error).
+    Store(fup_tidb::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::StaleBaseline { baseline, database } => write!(
+                f,
+                "baseline was mined over {baseline} transactions but the database holds {database}; \
+                 re-mine or replay the missing updates"
+            ),
+            Error::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fup_tidb::Error> for Error {
+    fn from(e: fup_tidb::Error) -> Self {
+        Error::Store(e)
+    }
+}
+
+/// Result alias for maintenance operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = Error::StaleBaseline {
+            baseline: 100,
+            database: 120,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("100"));
+        assert!(msg.contains("120"));
+        assert!(msg.contains("re-mine"));
+    }
+
+    #[test]
+    fn store_errors_convert_and_chain() {
+        let inner = fup_tidb::Error::UnknownTransaction(fup_tidb::Tid(7));
+        let e: Error = inner.clone().into();
+        assert_eq!(e, Error::Store(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

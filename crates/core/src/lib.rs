@@ -1,0 +1,70 @@
+//! # fup-core — incremental maintenance of discovered association rules
+//!
+//! Implementation of **FUP** (Fast UPdate), the algorithm of
+//! Cheung, Han, Ng & Wong, *"Maintenance of Discovered Association Rules in
+//! Large Databases: An Incremental Updating Technique"* (ICDE 1996), plus
+//! the FUP2 extension for deletions the paper's §5 announces.
+//!
+//! Given a database `DB`, its large itemsets `L` *with support counts*, and
+//! an increment `db` of new transactions, [`fup::Fup`] computes the large
+//! itemsets `L'` of `DB ∪ db` while scanning the small increment for the
+//! old itemsets and only a heavily-pruned candidate pool against `DB`:
+//!
+//! * old large itemsets are confirmed or filtered out ("losers") with a
+//!   scan of `db` alone (Lemmas 1/4),
+//! * losers propagate upward without any scan (Lemma 3),
+//! * a new itemset can only emerge if it is large *inside the increment*,
+//!   so candidates are pruned by their `db` support before the expensive
+//!   `DB` scan (Lemmas 2/5),
+//! * the scanned data shrinks every iteration via the `Reduce-db` /
+//!   `Reduce-DB` trimming and the P-set optimisation (§3.4),
+//! * DHP-style pair hashing over the increment further thins the size-2
+//!   candidates (§3.4, last paragraph).
+//!
+//! The high-level entry point is [`maintain::RuleMaintainer`], which owns a
+//! [`SegmentedDb`](fup_tidb::SegmentedDb), keeps itemsets and rules current
+//! across arbitrary insert/delete batches, and reports which rules each
+//! update created or invalidated.
+//!
+//! ```
+//! use fup_core::maintain::RuleMaintainer;
+//! use fup_mining::{MinConfidence, MinSupport};
+//! use fup_tidb::{Transaction, UpdateBatch};
+//!
+//! let history = vec![
+//!     Transaction::from_items([1u32, 2, 3]),
+//!     Transaction::from_items([1u32, 2]),
+//!     Transaction::from_items([2u32, 3]),
+//! ];
+//! let mut m = RuleMaintainer::bootstrap(
+//!     history,
+//!     MinSupport::percent(50),
+//!     MinConfidence::percent(80),
+//! );
+//! let report = m
+//!     .apply_update(UpdateBatch::insert_only(vec![
+//!         Transaction::from_items([1u32, 3]),
+//!     ]))
+//!     .unwrap();
+//! assert_eq!(report.num_transactions, 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod diff;
+pub mod error;
+pub mod fup;
+pub mod fup2;
+pub mod maintain;
+pub mod policy;
+pub mod reduce;
+
+pub use config::FupConfig;
+pub use diff::{ItemsetDiff, RuleDiff};
+pub use error::{Error, Result};
+pub use fup::{Fup, FupOutcome, FupPassDetail};
+pub use fup2::Fup2;
+pub use maintain::{MaintenanceReport, RuleMaintainer};
+pub use policy::UpdatePolicy;

@@ -1,0 +1,410 @@
+//! High-level rule maintenance: the API a downstream application uses.
+//!
+//! [`RuleMaintainer`] owns the transaction store, the current large
+//! itemsets, and the current strong rules. Each
+//! [`apply_update`](RuleMaintainer::apply_update) stages the batch on the
+//! store, runs FUP (pure insertions) or FUP2 (with deletions) against the
+//! staged views, commits, regenerates rules, and reports exactly what the
+//! update changed.
+
+use crate::config::FupConfig;
+use crate::diff::{ItemsetDiff, RuleDiff};
+use crate::error::Result;
+use crate::fup::{Fup, FupOutcome};
+use crate::fup2::Fup2;
+use crate::policy::UpdatePolicy;
+use fup_mining::rules::generate_rules;
+use fup_mining::{Apriori, LargeItemsets, MinConfidence, MinSupport, MiningStats, RuleSet};
+use fup_tidb::{SegmentedDb, Tid, Transaction, UpdateBatch};
+
+/// What one maintenance round changed.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Which algorithm ran ("fup" for pure insertions, "fup2" otherwise).
+    pub algorithm: &'static str,
+    /// Itemsets that emerged / expired.
+    pub itemsets: ItemsetDiff,
+    /// Rules that appeared / disappeared.
+    pub rules: RuleDiff,
+    /// Tids assigned to the inserted transactions.
+    pub inserted_tids: Vec<Tid>,
+    /// Database size after the update.
+    pub num_transactions: u64,
+    /// Per-pass mining statistics of the incremental run.
+    pub stats: MiningStats,
+}
+
+/// Keeps discovered association rules current across database updates.
+#[derive(Debug)]
+pub struct RuleMaintainer {
+    store: SegmentedDb,
+    large: LargeItemsets,
+    rules: RuleSet,
+    minsup: MinSupport,
+    minconf: MinConfidence,
+    config: FupConfig,
+    policy: UpdatePolicy,
+}
+
+impl RuleMaintainer {
+    /// Builds the initial state: loads `history` into the store, mines it
+    /// from scratch with Apriori, and derives the initial rules.
+    pub fn bootstrap(
+        history: Vec<Transaction>,
+        minsup: MinSupport,
+        minconf: MinConfidence,
+    ) -> Self {
+        Self::bootstrap_with_config(history, minsup, minconf, FupConfig::default())
+    }
+
+    /// [`bootstrap`](Self::bootstrap) with an explicit FUP configuration.
+    pub fn bootstrap_with_config(
+        history: Vec<Transaction>,
+        minsup: MinSupport,
+        minconf: MinConfidence,
+        config: FupConfig,
+    ) -> Self {
+        let store = SegmentedDb::from_transactions(history);
+        let large = Apriori::new().run(&store, minsup).large;
+        let rules = generate_rules(&large, minconf);
+        RuleMaintainer {
+            store,
+            large,
+            rules,
+            minsup,
+            minconf,
+            config,
+            policy: UpdatePolicy::default(),
+        }
+    }
+
+    /// Sets the incremental-vs-remine policy (see [`UpdatePolicy`]).
+    pub fn set_policy(&mut self, policy: UpdatePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active update policy.
+    pub fn policy(&self) -> UpdatePolicy {
+        self.policy
+    }
+
+    /// The current strong rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The current large itemsets with support counts.
+    pub fn large_itemsets(&self) -> &LargeItemsets {
+        &self.large
+    }
+
+    /// The underlying store (read access).
+    pub fn store(&self) -> &SegmentedDb {
+        &self.store
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The configured minimum support.
+    pub fn minsup(&self) -> MinSupport {
+        self.minsup
+    }
+
+    /// The configured minimum confidence.
+    pub fn minconf(&self) -> MinConfidence {
+        self.minconf
+    }
+
+    /// Applies an insert/delete batch incrementally, keeping itemsets and
+    /// rules current, and reports what changed.
+    ///
+    /// Pure insertions run the paper's FUP; batches with deletions run
+    /// FUP2. On error (e.g. unknown tid in `deletes`) the store is left
+    /// unchanged.
+    pub fn apply_update(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
+        let batch_size = batch.inserts.len() as u64 + batch.deletes.len() as u64;
+        if self.policy.should_remine(batch_size, self.store.len() as u64) {
+            return self.apply_by_remine(batch);
+        }
+        let staged = self.store.stage(batch)?;
+        let pure_insert = staged.num_deleted() == 0;
+        let outcome: FupOutcome = if pure_insert {
+            // While staged with no deletions, the store is exactly the old
+            // `DB`.
+            match Fup::with_config(self.config.clone()).update(
+                &self.store,
+                &self.large,
+                staged.inserted(),
+                self.minsup,
+            ) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.store.abort(staged);
+                    return Err(e);
+                }
+            }
+        } else {
+            match Fup2::with_config(self.config.clone()).update(
+                &self.store,
+                &self.large,
+                staged.deleted(),
+                staged.inserted(),
+                self.minsup,
+            ) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.store.abort(staged);
+                    return Err(e);
+                }
+            }
+        };
+        let algorithm = if pure_insert { "fup" } else { "fup2" };
+        let (_seg, inserted_tids) = self.store.commit(staged);
+
+        let new_rules = generate_rules(&outcome.large, self.minconf);
+        let report = MaintenanceReport {
+            algorithm,
+            itemsets: ItemsetDiff::between(&self.large, &outcome.large),
+            rules: RuleDiff::between(&self.rules, &new_rules),
+            inserted_tids,
+            num_transactions: self.store.len() as u64,
+            stats: outcome.stats,
+        };
+        self.large = outcome.large;
+        self.rules = new_rules;
+        Ok(report)
+    }
+
+    /// Applies a batch by committing it and re-mining from scratch — the
+    /// path [`UpdatePolicy`] routes to for very large batches.
+    fn apply_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
+        let staged = self.store.stage(batch)?;
+        let (_seg, inserted_tids) = self.store.commit(staged);
+        let outcome = Apriori::new().run(&self.store, self.minsup);
+        let new_rules = generate_rules(&outcome.large, self.minconf);
+        let report = MaintenanceReport {
+            algorithm: "apriori-remine",
+            itemsets: ItemsetDiff::between(&self.large, &outcome.large),
+            rules: RuleDiff::between(&self.rules, &new_rules),
+            inserted_tids,
+            num_transactions: self.store.len() as u64,
+            stats: outcome.stats,
+        };
+        self.large = outcome.large;
+        self.rules = new_rules;
+        Ok(report)
+    }
+
+    /// Re-mines from scratch (Apriori) and replaces the maintained state —
+    /// an escape hatch for threshold changes, plus the reference the
+    /// consistency check uses.
+    pub fn remine(&mut self) -> &LargeItemsets {
+        self.large = Apriori::new().run(&self.store, self.minsup).large;
+        self.rules = generate_rules(&self.large, self.minconf);
+        &self.large
+    }
+
+    /// Verifies that the incrementally-maintained itemsets equal a full
+    /// re-mine. Intended for tests and audits; scans the whole store.
+    pub fn verify_consistency(&self) -> std::result::Result<(), Vec<String>> {
+        let fresh = Apriori::new().run(&self.store, self.minsup).large;
+        if self.large.same_itemsets(&fresh) {
+            Ok(())
+        } else {
+            Err(self.large.diff(&fresh))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_mining::Itemset;
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    fn maintainer() -> RuleMaintainer {
+        RuleMaintainer::bootstrap(
+            vec![
+                tx(&[1, 2, 3]),
+                tx(&[1, 2]),
+                tx(&[2, 3]),
+                tx(&[1, 3]),
+                tx(&[4, 5]),
+            ],
+            MinSupport::percent(40),
+            MinConfidence::percent(60),
+        )
+    }
+
+    #[test]
+    fn bootstrap_mines_and_derives_rules() {
+        let m = maintainer();
+        assert_eq!(m.len(), 5);
+        assert!(m.large_itemsets().contains(&s(&[1, 2])));
+        assert!(!m.rules().is_empty());
+        assert_eq!(m.minsup(), MinSupport::percent(40));
+        assert_eq!(m.minconf(), MinConfidence::percent(60));
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn insert_update_maintains_consistency_and_reports() {
+        let mut m = maintainer();
+        let report = m
+            .apply_update(UpdateBatch::insert_only(vec![
+                tx(&[4, 5]),
+                tx(&[4, 5]),
+                tx(&[4, 5, 1]),
+            ]))
+            .unwrap();
+        assert_eq!(report.algorithm, "fup");
+        assert_eq!(report.num_transactions, 8);
+        assert_eq!(report.inserted_tids.len(), 3);
+        // {4,5} was at 1/5; now 4/8 = 50 % ≥ 40 % → emerged.
+        assert!(report.itemsets.emerged.contains(&s(&[4, 5])));
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn delete_update_routes_to_fup2() {
+        let mut m = maintainer();
+        let tid0 = m.store().iter().next().unwrap().0;
+        let report = m
+            .apply_update(UpdateBatch {
+                inserts: vec![tx(&[4, 5])],
+                deletes: vec![tid0],
+            })
+            .unwrap();
+        assert_eq!(report.algorithm, "fup2");
+        assert_eq!(report.num_transactions, 5);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn failed_update_leaves_state_intact() {
+        let mut m = maintainer();
+        let before_rules = m.rules().len();
+        let err = m.apply_update(UpdateBatch {
+            inserts: vec![tx(&[9])],
+            deletes: vec![Tid(12345)],
+        });
+        assert!(err.is_err());
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.rules().len(), before_rules);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn successive_updates_stay_consistent() {
+        let mut m = maintainer();
+        for round in 0..5u32 {
+            let batch = UpdateBatch::insert_only(vec![
+                tx(&[1, 2, round + 6]),
+                tx(&[2, 3]),
+                tx(&[round + 6, round + 7]),
+            ]);
+            m.apply_update(batch).unwrap();
+            m.verify_consistency()
+                .unwrap_or_else(|d| panic!("round {round}: {d:?}"));
+        }
+        assert_eq!(m.len(), 20);
+    }
+
+    #[test]
+    fn rule_diff_reports_appearing_rules() {
+        let mut m = RuleMaintainer::bootstrap(
+            vec![tx(&[1, 2]), tx(&[1, 3]), tx(&[2, 3]), tx(&[1])],
+            MinSupport::percent(50),
+            MinConfidence::percent(80),
+        );
+        // Flood with {1,2} so the rule 2 ⇒ 1 becomes strong.
+        let report = m
+            .apply_update(UpdateBatch::insert_only(vec![
+                tx(&[1, 2]),
+                tx(&[1, 2]),
+                tx(&[1, 2]),
+                tx(&[1, 2]),
+            ]))
+            .unwrap();
+        assert!(
+            report
+                .rules
+                .added
+                .iter()
+                .any(|r| r.antecedent == s(&[2]) && r.consequent == s(&[1])),
+            "added: {:?}",
+            report.rules.added
+        );
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn remine_resets_state() {
+        let mut m = maintainer();
+        m.apply_update(UpdateBatch::insert_only(vec![tx(&[7, 8]), tx(&[7, 8])]))
+            .unwrap();
+        let before = m.large_itemsets().clone();
+        m.remine();
+        assert!(m.large_itemsets().same_itemsets(&before));
+    }
+
+    #[test]
+    fn remine_policy_routes_large_batches() {
+        let mut m = maintainer();
+        m.set_policy(UpdatePolicy::RemineOverRatio(2.0));
+        assert_eq!(m.policy(), UpdatePolicy::RemineOverRatio(2.0));
+        // Small batch (1 ≤ 2 × 5): incremental.
+        let r = m
+            .apply_update(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap();
+        assert_eq!(r.algorithm, "fup");
+        // Huge batch (13 > 2 × 6): re-mine.
+        let big: Vec<Transaction> = (0..13).map(|_| tx(&[1, 2, 9])).collect();
+        let r = m.apply_update(UpdateBatch::insert_only(big)).unwrap();
+        assert_eq!(r.algorithm, "apriori-remine");
+        assert_eq!(r.inserted_tids.len(), 13);
+        m.verify_consistency().unwrap();
+        // Results are identical regardless of path: diff reports consistent
+        // emergence of the flooded itemset.
+        assert!(m.large_itemsets().contains(&s(&[1, 2, 9])));
+    }
+
+    #[test]
+    fn remine_policy_handles_deletions() {
+        let mut m = maintainer();
+        m.set_policy(UpdatePolicy::AlwaysRemine);
+        let tid0 = m.store().iter().next().unwrap().0;
+        let r = m
+            .apply_update(UpdateBatch::delete_only(vec![tid0]))
+            .unwrap();
+        assert_eq!(r.algorithm, "apriori-remine");
+        assert_eq!(r.num_transactions, 4);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn empty_store_bootstrap() {
+        let m = RuleMaintainer::bootstrap(
+            Vec::new(),
+            MinSupport::percent(50),
+            MinConfidence::percent(50),
+        );
+        assert!(m.is_empty());
+        assert!(m.rules().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Update policies: when to maintain incrementally and when to re-mine.
+//!
+//! Figure 4 of the paper shows FUP's speed-up over re-mining declining as
+//! the increment grows, levelling off (still above 1×) only when the
+//! increment reaches ~3.5× the original database. §4.5 adds that FUP's
+//! overhead *decreases* with increment size. In practice a deployment may
+//! still prefer a periodic full re-mine — e.g. to compact the baseline
+//! after massive churn — so the maintainer accepts a policy.
+
+/// Decides, per update batch, whether to run the incremental algorithm
+/// (FUP/FUP2) or a full re-mine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdatePolicy {
+    /// Always maintain incrementally (the paper's recommendation — FUP
+    /// stays ahead of re-mining even for increments several times the
+    /// database size).
+    AlwaysIncremental,
+    /// Re-mine from scratch when `(d⁺ + d⁻) / |DB|` exceeds the ratio.
+    RemineOverRatio(f64),
+    /// Always re-mine (the "possible approach" the paper's §1 argues
+    /// against; useful as an experimental control).
+    AlwaysRemine,
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> Self {
+        UpdatePolicy::AlwaysIncremental
+    }
+}
+
+impl UpdatePolicy {
+    /// `true` if this batch should be handled by a full re-mine.
+    pub fn should_remine(&self, batch_size: u64, database_size: u64) -> bool {
+        match *self {
+            UpdatePolicy::AlwaysIncremental => false,
+            UpdatePolicy::AlwaysRemine => true,
+            UpdatePolicy::RemineOverRatio(ratio) => {
+                debug_assert!(ratio >= 0.0, "ratio must be non-negative");
+                batch_size as f64 > ratio * database_size as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_incremental_never_remines() {
+        let p = UpdatePolicy::AlwaysIncremental;
+        assert!(!p.should_remine(1_000_000, 1));
+        assert_eq!(p, UpdatePolicy::default());
+    }
+
+    #[test]
+    fn always_remine_always_does() {
+        assert!(UpdatePolicy::AlwaysRemine.should_remine(1, 1_000_000));
+    }
+
+    #[test]
+    fn ratio_threshold_is_strict() {
+        let p = UpdatePolicy::RemineOverRatio(3.5);
+        assert!(!p.should_remine(3_500, 1_000)); // exactly at ratio: keep FUP
+        assert!(p.should_remine(3_501, 1_000));
+        assert!(!p.should_remine(100, 1_000));
+    }
+
+    #[test]
+    fn empty_database_with_ratio() {
+        let p = UpdatePolicy::RemineOverRatio(1.0);
+        // Any non-empty batch on an empty store exceeds 1.0 × 0.
+        assert!(p.should_remine(1, 0));
+        assert!(!p.should_remine(0, 0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Named workload presets for every experiment in the paper's §4.
+
+use crate::params::GenParams;
+
+/// `T10.I4.D100.d1` — the workload of Figures 2 and 3 (§4.2, §4.3).
+pub fn t10_i4_d100_d1() -> GenParams {
+    GenParams::notation(10, 4, 100, 1)
+}
+
+/// `T10.I4.D100.dm` — the increment-size sweeps of §4.4 and Figure 4,
+/// parameterised by the increment size in thousands.
+pub fn t10_i4_d100_dm(m_thousands: u64) -> GenParams {
+    GenParams::notation(10, 4, 100, m_thousands)
+}
+
+/// `T10.I4.D1000.d10` — the 1M-transaction scale-up workload of §4.6.
+pub fn t10_i4_d1000_d10() -> GenParams {
+    GenParams::notation(10, 4, 1000, 10)
+}
+
+/// The increment sizes (in thousands) of Figure 4's sweep.
+pub const FIG4_INCREMENTS_K: [u64; 7] = [15, 25, 75, 125, 175, 250, 350];
+
+/// The minimum supports (in basis points) used by Figures 2 and 3:
+/// 6 %, 4 %, 2 %, 1 %, 0.75 %.
+pub const FIG2_SUPPORTS_BP: [u64; 5] = [600, 400, 200, 100, 75];
+
+/// A laptop-scale variant of a paper workload, shrinking `D` (and the
+/// pattern/item universe proportionally is *not* needed — only size) so
+/// unit tests and examples run in milliseconds. Shapes are preserved
+/// because all parameters except `D`/`d` stay at the paper's values.
+pub fn scaled(params: GenParams, factor: u64) -> GenParams {
+    assert!(factor > 0, "scale factor must be positive");
+    GenParams {
+        num_transactions: (params.num_transactions / factor).max(1),
+        increment_size: (params.increment_size / factor).max(1),
+        ..params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_names() {
+        assert_eq!(t10_i4_d100_d1().name(), "T10.I4.D100.d1");
+        assert_eq!(t10_i4_d100_dm(10).name(), "T10.I4.D100.d10");
+        assert_eq!(t10_i4_d1000_d10().name(), "T10.I4.D1000.d10");
+    }
+
+    #[test]
+    fn fig_constants_match_paper() {
+        assert_eq!(FIG4_INCREMENTS_K.len(), 7);
+        assert_eq!(FIG2_SUPPORTS_BP, [600, 400, 200, 100, 75]);
+    }
+
+    #[test]
+    fn scaled_divides_sizes_only() {
+        let p = scaled(t10_i4_d100_d1(), 100);
+        assert_eq!(p.num_transactions, 1_000);
+        assert_eq!(p.increment_size, 10);
+        assert_eq!(p.num_items, 1_000);
+        assert_eq!(p.num_patterns, 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = scaled(t10_i4_d100_d1(), 0);
+    }
+}

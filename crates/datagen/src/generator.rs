@@ -1,0 +1,222 @@
+//! Transaction synthesis.
+
+use crate::params::GenParams;
+use crate::pool::{PatternPool, PatternSet};
+use crate::rng::Pcg32;
+use fup_tidb::{ItemId, Transaction, TransactionDb};
+
+/// Streaming generator of synthetic transactions for one parameter set.
+///
+/// Assembly follows AS94: each transaction targets a Poisson-distributed
+/// size; patterns are drawn (from the rotating pool), *corrupted* by
+/// dropping items while a uniform draw stays below the pattern's corruption
+/// level, and unioned into the transaction. A pattern that would overflow
+/// the target size is added anyway in half of the cases, otherwise the
+/// transaction is closed.
+pub struct QuestGenerator {
+    params: GenParams,
+    patterns: PatternSet,
+    rng: Pcg32,
+}
+
+impl QuestGenerator {
+    /// Creates a generator; the pattern set is derived deterministically
+    /// from `params.seed`.
+    pub fn new(params: GenParams) -> Self {
+        params.validate();
+        let mut rng = Pcg32::new(params.seed, 0x1234_5678_9abc_def0);
+        let patterns = PatternSet::generate(&params, &mut rng);
+        QuestGenerator {
+            params,
+            patterns,
+            rng,
+        }
+    }
+
+    /// The parameters this generator was built with.
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
+    /// The underlying pattern set (exposed for analysis/tests).
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Generates exactly `n` transactions.
+    pub fn generate(&mut self, n: u64) -> Vec<Transaction> {
+        let QuestGenerator {
+            params,
+            patterns,
+            rng,
+        } = self;
+        let mut pool = PatternPool::new(patterns, params, rng);
+        let mut out = Vec::with_capacity(n as usize);
+        let mut scratch: Vec<ItemId> = Vec::new();
+        for _ in 0..n {
+            out.push(one_transaction(params, rng, &mut pool, &mut scratch));
+        }
+        out
+    }
+
+    /// Generates `n` transactions directly into a [`TransactionDb`].
+    pub fn generate_db(&mut self, n: u64) -> TransactionDb {
+        TransactionDb::from_transactions(self.generate(n))
+    }
+}
+
+/// Pushes every item of `kept` not already present into `scratch`.
+fn merge_new(scratch: &mut Vec<ItemId>, kept: &[ItemId]) {
+    for &i in kept {
+        if !scratch.contains(&i) {
+            scratch.push(i);
+        }
+    }
+}
+
+fn one_transaction(
+    params: &GenParams,
+    rng: &mut Pcg32,
+    pool: &mut PatternPool<'_>,
+    scratch: &mut Vec<ItemId>,
+) -> Transaction {
+    let target =
+        (rng.poisson(params.avg_transaction_len).max(1) as usize).min(params.num_items as usize);
+    scratch.clear();
+    // Cap attempts so pathological corruption cannot loop forever.
+    let max_attempts = 4 * target + 16;
+    for _ in 0..max_attempts {
+        if scratch.len() >= target {
+            break;
+        }
+        let pattern = pool.draw(rng);
+        // Corrupt: drop items while uniform < corruption level.
+        let mut kept: Vec<ItemId> = Vec::with_capacity(pattern.items.len());
+        for &item in &pattern.items {
+            if !rng.chance(pattern.corruption) {
+                kept.push(item);
+            }
+        }
+        if kept.is_empty() {
+            continue;
+        }
+        let new_items = kept.iter().filter(|i| !scratch.contains(i)).count();
+        if scratch.len() + new_items > target {
+            // Overflow: keep it anyway half the time, else close.
+            if rng.chance(0.5) {
+                merge_new(scratch, &kept);
+            }
+            break;
+        }
+        merge_new(scratch, &kept);
+    }
+    if scratch.is_empty() {
+        // Ensure non-empty output: fall back to one random item.
+        scratch.push(ItemId(rng.below(params.num_items)));
+    }
+    Transaction::from_items(scratch.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> GenParams {
+        GenParams {
+            num_transactions: 1_000,
+            increment_size: 100,
+            num_patterns: 200,
+            num_items: 100,
+            pool_size: 20,
+            ..GenParams::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let mut g = QuestGenerator::new(small_params());
+        let txs = g.generate(500);
+        assert_eq!(txs.len(), 500);
+        assert!(txs.iter().all(|t| !t.is_empty()));
+        assert!(txs
+            .iter()
+            .all(|t| t.items().iter().all(|i| i.raw() < 100)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = QuestGenerator::new(small_params()).generate(200);
+        let b = QuestGenerator::new(small_params()).generate(200);
+        assert_eq!(a, b);
+        let c = QuestGenerator::new(small_params().with_seed(99)).generate(200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_transaction_length_tracks_parameter() {
+        let params = GenParams {
+            num_items: 1000,
+            num_patterns: 2000,
+            pool_size: 50,
+            ..GenParams::default()
+        };
+        let mut g = QuestGenerator::new(params);
+        let txs = g.generate(3_000);
+        let mean: f64 =
+            txs.iter().map(|t| t.len() as f64).sum::<f64>() / txs.len() as f64;
+        // Target |T| = 10; pattern-overflow closing biases slightly low.
+        assert!(
+            (6.0..=12.0).contains(&mean),
+            "mean transaction length {mean}"
+        );
+    }
+
+    #[test]
+    fn workload_contains_frequent_patterns() {
+        // The generator's whole point: some itemsets occur far more often
+        // than independence would allow. Check the heaviest pattern's top-2
+        // items co-occur noticeably.
+        let params = GenParams {
+            num_items: 1000,
+            num_patterns: 50,
+            pool_size: 10,
+            corruption_mean: 0.2,
+            ..GenParams::default()
+        };
+        let mut g = QuestGenerator::new(params);
+        let txs = g.generate(2_000);
+        let heavy = g
+            .patterns()
+            .patterns()
+            .iter()
+            .filter(|p| p.items.len() >= 2)
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+            .unwrap()
+            .clone();
+        let pair = [heavy.items[0], heavy.items[1]];
+        let co = txs
+            .iter()
+            .filter(|t| t.contains_itemset(&pair))
+            .count() as f64
+            / txs.len() as f64;
+        // Independent 2 items out of 1000 in 10-item transactions would
+        // co-occur with probability ~1e-4; the pattern should beat that by
+        // orders of magnitude.
+        assert!(co > 0.005, "co-occurrence too low: {co}");
+    }
+
+    #[test]
+    fn generate_db_wraps_transactions() {
+        let mut g = QuestGenerator::new(small_params());
+        let db = g.generate_db(50);
+        assert_eq!(db.len(), 50);
+    }
+
+    #[test]
+    fn successive_batches_differ() {
+        let mut g = QuestGenerator::new(small_params());
+        let a = g.generate(100);
+        let b = g.generate(100);
+        assert_ne!(a, b, "stream should advance between batches");
+    }
+}

@@ -1,0 +1,191 @@
+//! Generator parameters and the paper's `Tx.Iy.Dm.dn` naming scheme.
+
+use std::fmt;
+
+/// Parameters of the synthetic workload generator — Table 1 of the paper
+/// plus the secondary parameters of §4.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// `D`: number of transactions in the original database.
+    pub num_transactions: u64,
+    /// `d`: number of transactions in the increment.
+    pub increment_size: u64,
+    /// `|T|`: mean transaction size (paper: 10).
+    pub avg_transaction_len: f64,
+    /// `|I|`: mean size of the maximal potentially large itemsets
+    /// (paper: 4).
+    pub avg_pattern_len: f64,
+    /// `|L|`: number of potentially large itemsets (paper: 2000).
+    pub num_patterns: u32,
+    /// `N`: number of items (paper: 1000).
+    pub num_items: u32,
+    /// `S_c`: clustering size — patterns are generated in clusters of this
+    /// many; correlation chains reset at cluster boundaries (paper: 5).
+    pub clustering_size: u32,
+    /// `P_s`: pool size — transactions draw patterns from a rotating pool
+    /// of this many (paper: 50).
+    pub pool_size: u32,
+    /// `M_f`: multiplying factor scaling per-pattern usage quotas in the
+    /// pool (paper: 2000).
+    pub multiplying_factor: u32,
+    /// Mean of the exponentially-distributed correlation level between
+    /// consecutive patterns in a cluster (AS94 uses 0.5).
+    pub correlation_mean: f64,
+    /// Mean/std-dev of the normally-distributed per-pattern corruption
+    /// level (AS94 uses 0.5 / 0.1).
+    pub corruption_mean: f64,
+    /// Standard deviation of the corruption level.
+    pub corruption_sdev: f64,
+    /// Seed for the deterministic PRNG.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    /// The paper's fixed setting: `|L| = 2000`, `N = 1000`, `S_c = 5`,
+    /// `P_s = 50`, `M_f = 2000`, with `T10.I4.D100.d1` sizes.
+    fn default() -> Self {
+        GenParams {
+            num_transactions: 100_000,
+            increment_size: 1_000,
+            avg_transaction_len: 10.0,
+            avg_pattern_len: 4.0,
+            num_patterns: 2_000,
+            num_items: 1_000,
+            clustering_size: 5,
+            pool_size: 50,
+            multiplying_factor: 2_000,
+            correlation_mean: 0.5,
+            corruption_mean: 0.5,
+            corruption_sdev: 0.1,
+            seed: 0x5eed_f00d,
+        }
+    }
+}
+
+impl GenParams {
+    /// Builds the paper's `Tx.Iy.Dm.dn` parameter set: `|T| = x`,
+    /// `|I| = y`, `D = m` thousand, `d = n` thousand (all other parameters
+    /// at the paper's defaults).
+    pub fn notation(t: u32, i: u32, d_thousands: u64, inc_thousands: u64) -> Self {
+        GenParams {
+            avg_transaction_len: f64::from(t),
+            avg_pattern_len: f64::from(i),
+            num_transactions: d_thousands * 1_000,
+            increment_size: inc_thousands * 1_000,
+            ..GenParams::default()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different increment size (in transactions).
+    pub fn with_increment(mut self, d: u64) -> Self {
+        self.increment_size = d;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (zero items/patterns, means ≤ 0,
+    /// pool larger than pattern count).
+    pub fn validate(&self) {
+        assert!(self.num_items > 0, "need at least one item");
+        assert!(self.num_patterns > 0, "need at least one pattern");
+        assert!(self.avg_transaction_len > 0.0, "|T| must be positive");
+        assert!(self.avg_pattern_len > 0.0, "|I| must be positive");
+        assert!(self.clustering_size > 0, "S_c must be positive");
+        assert!(self.pool_size > 0, "P_s must be positive");
+        assert!(
+            self.pool_size <= self.num_patterns,
+            "pool cannot exceed the pattern count"
+        );
+        assert!(self.multiplying_factor > 0, "M_f must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.corruption_mean),
+            "corruption mean in [0,1]"
+        );
+    }
+
+    /// The `Tx.Iy.Dm.dn` name of this configuration.
+    pub fn name(&self) -> String {
+        format!(
+            "T{}.I{}.D{}.d{}",
+            self.avg_transaction_len as u64,
+            self.avg_pattern_len as u64,
+            self.num_transactions / 1_000,
+            self.increment_size / 1_000
+        )
+    }
+}
+
+impl fmt::Display for GenParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (|L|={}, N={}, S_c={}, P_s={}, M_f={}, seed={:#x})",
+            self.name(),
+            self.num_patterns,
+            self.num_items,
+            self.clustering_size,
+            self.pool_size,
+            self.multiplying_factor,
+            self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_table1() {
+        let p = GenParams::default();
+        assert_eq!(p.num_patterns, 2000);
+        assert_eq!(p.num_items, 1000);
+        assert_eq!(p.clustering_size, 5);
+        assert_eq!(p.pool_size, 50);
+        assert_eq!(p.multiplying_factor, 2000);
+        p.validate();
+    }
+
+    #[test]
+    fn notation_builds_paper_configs() {
+        let p = GenParams::notation(10, 4, 100, 1);
+        assert_eq!(p.name(), "T10.I4.D100.d1");
+        assert_eq!(p.num_transactions, 100_000);
+        assert_eq!(p.increment_size, 1_000);
+        let p = GenParams::notation(10, 4, 1000, 10);
+        assert_eq!(p.name(), "T10.I4.D1000.d10");
+    }
+
+    #[test]
+    fn with_helpers() {
+        let p = GenParams::default().with_seed(9).with_increment(5_000);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.increment_size, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool cannot exceed")]
+    fn oversized_pool_rejected() {
+        let p = GenParams {
+            pool_size: 5000,
+            ..GenParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    fn display_mentions_secondary_parameters() {
+        let text = GenParams::default().to_string();
+        assert!(text.contains("T10.I4.D100.d1"));
+        assert!(text.contains("S_c=5"));
+    }
+}

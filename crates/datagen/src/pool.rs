@@ -1,0 +1,285 @@
+//! Potentially large itemsets ("patterns") and the rotating pattern pool.
+
+use crate::params::GenParams;
+use crate::rng::Pcg32;
+use fup_tidb::ItemId;
+
+/// One potentially large itemset.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// The items, sorted ascending.
+    pub items: Vec<ItemId>,
+    /// Relative sampling weight (exponentially distributed, normalised).
+    pub weight: f64,
+    /// Corruption level: when a pattern is placed into a transaction,
+    /// items are dropped while a uniform draw stays below this level.
+    pub corruption: f64,
+}
+
+/// The full set of `|L|` patterns.
+#[derive(Debug, Clone)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+    /// Cumulative weights for O(log n) weighted sampling.
+    cumulative: Vec<f64>,
+}
+
+impl PatternSet {
+    /// Generates the pattern set per AS94 §"synthetic data", with the
+    /// DHP-style clustering of `S_c` consecutive patterns: inside a
+    /// cluster each pattern inherits an exponentially-distributed fraction
+    /// of the previous pattern's items; chains reset at cluster
+    /// boundaries.
+    pub fn generate(params: &GenParams, rng: &mut Pcg32) -> Self {
+        params.validate();
+        let n = params.num_patterns as usize;
+        let mut patterns = Vec::with_capacity(n);
+        let mut prev_items: Vec<ItemId> = Vec::new();
+
+        for idx in 0..n {
+            // Pattern size: Poisson around |I|, at least 1.
+            let size = (rng.poisson(params.avg_pattern_len).max(1) as usize)
+                .min(params.num_items as usize);
+
+            let cluster_start = (idx as u32).is_multiple_of(params.clustering_size);
+            let mut items: Vec<ItemId> = Vec::with_capacity(size);
+            if !cluster_start && !prev_items.is_empty() {
+                // Correlated part: an exponentially-distributed fraction of
+                // items comes from the previous pattern.
+                let frac = rng.exponential(params.correlation_mean).min(1.0);
+                let take = ((size as f64) * frac).round() as usize;
+                let take = take.min(prev_items.len()).min(size);
+                // Sample `take` distinct positions from the previous pattern
+                // (partial Fisher–Yates on a copy).
+                let mut source = prev_items.clone();
+                for i in 0..take {
+                    let j = i + rng.below((source.len() - i) as u32) as usize;
+                    source.swap(i, j);
+                }
+                items.extend_from_slice(&source[..take]);
+            }
+            // Fill the remainder with random items, avoiding duplicates.
+            while items.len() < size {
+                let candidate = ItemId(rng.below(params.num_items));
+                if !items.contains(&candidate) {
+                    items.push(candidate);
+                }
+            }
+            items.sort_unstable();
+
+            let weight = rng.exponential(1.0);
+            let corruption = rng
+                .normal(params.corruption_mean, params.corruption_sdev)
+                .clamp(0.0, 1.0);
+            prev_items.clone_from(&items);
+            patterns.push(Pattern {
+                items,
+                weight,
+                corruption,
+            });
+        }
+
+        // Normalise weights and build the cumulative table.
+        let total: f64 = patterns.iter().map(|p| p.weight).sum();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in &mut patterns {
+            p.weight /= total;
+            acc += p.weight;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        PatternSet {
+            patterns,
+            cumulative,
+        }
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` if the set has no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Samples a pattern index proportionally to weight.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.next_f64();
+        self.cumulative.partition_point(|&c| c < u).min(self.patterns.len() - 1)
+    }
+}
+
+/// The rotating pool of `P_s` patterns transactions draw from.
+///
+/// Each slot holds a weighted-sampled pattern with a usage quota of
+/// `⌈weight × M_f⌉`; once exhausted, the slot is refilled with a fresh
+/// sample. This reproduces the locality the DHP-modified generator
+/// introduces over plain AS94 sampling.
+#[derive(Debug)]
+pub struct PatternPool<'a> {
+    set: &'a PatternSet,
+    slots: Vec<(usize, u32)>, // (pattern index, remaining quota)
+    multiplying_factor: u32,
+}
+
+impl<'a> PatternPool<'a> {
+    /// Builds a pool of `pool_size` slots.
+    pub fn new(set: &'a PatternSet, params: &GenParams, rng: &mut Pcg32) -> Self {
+        let mut pool = PatternPool {
+            set,
+            slots: Vec::with_capacity(params.pool_size as usize),
+            multiplying_factor: params.multiplying_factor,
+        };
+        for _ in 0..params.pool_size {
+            let slot = pool.fresh_slot(rng);
+            pool.slots.push(slot);
+        }
+        pool
+    }
+
+    fn fresh_slot(&self, rng: &mut Pcg32) -> (usize, u32) {
+        let idx = self.set.sample(rng);
+        let quota = (self.set.patterns()[idx].weight * f64::from(self.multiplying_factor))
+            .ceil()
+            .max(1.0) as u32;
+        (idx, quota)
+    }
+
+    /// Draws a pattern from a uniformly random pool slot, decrementing its
+    /// quota and refilling the slot when exhausted.
+    pub fn draw(&mut self, rng: &mut Pcg32) -> &'a Pattern {
+        let s = rng.below(self.slots.len() as u32) as usize;
+        let (idx, quota) = self.slots[s];
+        if quota <= 1 {
+            self.slots[s] = self.fresh_slot(rng);
+        } else {
+            self.slots[s].1 = quota - 1;
+        }
+        &self.set.patterns()[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> GenParams {
+        GenParams {
+            num_patterns: 100,
+            num_items: 50,
+            pool_size: 10,
+            ..GenParams::default()
+        }
+    }
+
+    #[test]
+    fn patterns_are_sorted_unique_and_sized() {
+        let params = small_params();
+        let mut rng = Pcg32::seed_from(1);
+        let set = PatternSet::generate(&params, &mut rng);
+        assert_eq!(set.len(), 100);
+        for p in set.patterns() {
+            assert!(!p.items.is_empty());
+            assert!(p.items.windows(2).all(|w| w[0] < w[1]), "sorted+unique");
+            assert!(p.items.iter().all(|i| i.raw() < 50));
+            assert!((0.0..=1.0).contains(&p.corruption));
+        }
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let params = small_params();
+        let mut rng = Pcg32::seed_from(2);
+        let set = PatternSet::generate(&params, &mut rng);
+        let total: f64 = set.patterns().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total weight {total}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = small_params();
+        let a = PatternSet::generate(&params, &mut Pcg32::seed_from(3));
+        let b = PatternSet::generate(&params, &mut Pcg32::seed_from(3));
+        for (pa, pb) in a.patterns().iter().zip(b.patterns()) {
+            assert_eq!(pa.items, pb.items);
+            assert_eq!(pa.weight, pb.weight);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let params = small_params();
+        let mut rng = Pcg32::seed_from(4);
+        let set = PatternSet::generate(&params, &mut rng);
+        let mut counts = vec![0u32; set.len()];
+        for _ in 0..50_000 {
+            counts[set.sample(&mut rng)] += 1;
+        }
+        // The heaviest pattern should be sampled notably more often than
+        // the lightest.
+        let (hi, _) = set
+            .patterns()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
+            .unwrap();
+        let (lo, _) = set
+            .patterns()
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
+            .unwrap();
+        assert!(counts[hi] > counts[lo], "weighted sampling inverted");
+    }
+
+    #[test]
+    fn correlation_within_clusters() {
+        // With clustering, consecutive patterns inside a cluster share
+        // items more often than patterns across independent positions.
+        let params = GenParams {
+            num_patterns: 500,
+            num_items: 1000,
+            clustering_size: 5,
+            ..GenParams::default()
+        };
+        let set = PatternSet::generate(&params, &mut Pcg32::seed_from(5));
+        let overlap = |a: &Pattern, b: &Pattern| {
+            a.items.iter().filter(|i| b.items.contains(i)).count()
+        };
+        let mut intra = 0usize;
+        let mut pairs = 0usize;
+        for (i, w) in set.patterns().windows(2).enumerate() {
+            if !(i as u32 + 1).is_multiple_of(params.clustering_size) {
+                intra += overlap(&w[0], &w[1]);
+                pairs += 1;
+            }
+        }
+        // Random 4-item sets over 1000 items almost never overlap; with
+        // correlation the average intra-cluster overlap is substantial.
+        let avg = intra as f64 / pairs as f64;
+        assert!(avg > 0.5, "intra-cluster overlap too low: {avg}");
+    }
+
+    #[test]
+    fn pool_draw_and_rotation() {
+        let params = small_params();
+        let mut rng = Pcg32::seed_from(6);
+        let set = PatternSet::generate(&params, &mut rng);
+        let mut pool = PatternPool::new(&set, &params, &mut rng);
+        for _ in 0..10_000 {
+            let p = pool.draw(&mut rng);
+            assert!(!p.items.is_empty());
+        }
+    }
+}

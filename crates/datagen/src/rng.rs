@@ -1,0 +1,196 @@
+//! Self-contained deterministic PRNG and distribution samplers.
+//!
+//! The experiments must be reproducible bit-for-bit across machines and
+//! dependency upgrades, so the generator carries its own PCG32
+//! implementation (O'Neill 2014) instead of depending on `rand`'s
+//! version-dependent streams.
+
+/// PCG32 (XSH-RR variant): 64-bit state, 32-bit output.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Seeds the generator; `seed` selects the state, `stream` the
+    /// increment sequence (two generators with different streams are
+    /// independent even with equal seeds).
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Seeds with the default stream.
+    pub fn seed_from(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Next 32 uniformly random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's rejection method
+    /// (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "bound must be positive");
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u32();
+            let m = u64::from(r) * u64::from(bound);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 32 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        f64::from(self.next_u32()) / (u32::MAX as f64 + 1.0)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // 1 − U ∈ (0, 1] avoids ln(0).
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Poisson variate with mean `lambda` (Knuth's product method; fine
+    /// for the small means — |T| = 10, |I| = 4 — the workloads use).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        debug_assert!(lambda > 0.0 && lambda < 60.0, "Knuth method range");
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Normal variate via Box–Muller (one value per call; the pair's
+    /// second half is discarded for simplicity).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg32::seed_from(42);
+        let mut b = Pcg32::seed_from(42);
+        let va: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_eq!(va, vb);
+        let mut c = Pcg32::seed_from(43);
+        let vc: Vec<u32> = (0..16).map(|_| c.next_u32()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Pcg32::new(1, 1);
+        let mut b = Pcg32::new(1, 2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u32()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u32()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seed_from(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_zero_panics() {
+        Pcg32::seed_from(1).below(0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg32::seed_from(9);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = Pcg32::seed_from(11);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.poisson(10.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Pcg32::seed_from(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(2.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "exponential mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = Pcg32::seed_from(17);
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| rng.normal(0.5, 0.1)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "normal mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "normal sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn chance_probability_is_close() {
+        let mut rng = Pcg32::seed_from(19);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2300..2700).contains(&hits), "hits {hits}");
+    }
+}

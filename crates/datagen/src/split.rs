@@ -1,0 +1,131 @@
+//! Database + increment generation by the paper's split method.
+//!
+//! §4.1: "A database of size `(D + d)` is first generated and then the
+//! first `D` transactions are stored in the database `DB` and the
+//! remaining `d` transactions is stored in the increment `db`. Since all
+//! the transactions are generated from the same statistical pattern, it
+//! models very well real life updates."
+
+use crate::generator::QuestGenerator;
+use crate::params::GenParams;
+use fup_tidb::{Transaction, TransactionDb};
+
+/// The result of one generation run: the original database and the
+/// increment, drawn from the same statistical stream.
+#[derive(Debug)]
+pub struct DbAndIncrement {
+    /// The original database `DB` (`D` transactions).
+    pub db: TransactionDb,
+    /// The increment `db` (`d` transactions).
+    pub increment: TransactionDb,
+}
+
+impl DbAndIncrement {
+    /// `D`: size of the original database.
+    pub fn d_original(&self) -> u64 {
+        self.db.len() as u64
+    }
+
+    /// `d`: size of the increment.
+    pub fn d_increment(&self) -> u64 {
+        self.increment.len() as u64
+    }
+}
+
+/// Generates `D + d` transactions and splits them per the paper.
+pub fn generate_split(params: &GenParams) -> DbAndIncrement {
+    let d_orig = params.num_transactions;
+    let d_inc = params.increment_size;
+    let mut generator = QuestGenerator::new(params.clone());
+    let mut all: Vec<Transaction> = generator.generate(d_orig + d_inc);
+    let inc: Vec<Transaction> = all.split_off(d_orig as usize);
+    DbAndIncrement {
+        db: TransactionDb::from_transactions(all),
+        increment: TransactionDb::from_transactions(inc),
+    }
+}
+
+/// Generates a database plus a *sequence* of increments of the given
+/// sizes, all from one statistical stream — used by multi-update
+/// maintenance scenarios and examples.
+pub fn generate_multi_split(params: &GenParams, increment_sizes: &[u64]) -> (TransactionDb, Vec<TransactionDb>) {
+    let total_inc: u64 = increment_sizes.iter().sum();
+    let mut generator = QuestGenerator::new(params.clone());
+    let mut all = generator.generate(params.num_transactions + total_inc);
+    let mut increments = Vec::with_capacity(increment_sizes.len());
+    // Split from the back so indices stay valid.
+    let mut cut = all.len();
+    for &size in increment_sizes.iter().rev() {
+        cut -= size as usize;
+        increments.push(all.split_off(cut));
+    }
+    increments.reverse();
+    (
+        TransactionDb::from_transactions(all),
+        increments
+            .into_iter()
+            .map(TransactionDb::from_transactions)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> GenParams {
+        GenParams {
+            num_transactions: 800,
+            increment_size: 200,
+            num_patterns: 100,
+            num_items: 100,
+            pool_size: 20,
+            ..GenParams::default()
+        }
+    }
+
+    #[test]
+    fn split_sizes_match_parameters() {
+        let data = generate_split(&small_params());
+        assert_eq!(data.d_original(), 800);
+        assert_eq!(data.d_increment(), 200);
+    }
+
+    #[test]
+    fn split_is_prefix_suffix_of_one_stream() {
+        let params = small_params();
+        let data = generate_split(&params);
+        // Regenerate the full stream and compare.
+        let mut g = QuestGenerator::new(params);
+        let full = g.generate(1_000);
+        assert_eq!(data.db.raw(), &full[..800]);
+        assert_eq!(data.increment.raw(), &full[800..]);
+    }
+
+    #[test]
+    fn multi_split_partitions_the_stream() {
+        let params = small_params();
+        let (db, incs) = generate_multi_split(&params, &[50, 100, 50]);
+        assert_eq!(db.len(), 800);
+        assert_eq!(incs.len(), 3);
+        assert_eq!(incs[0].len(), 50);
+        assert_eq!(incs[1].len(), 100);
+        assert_eq!(incs[2].len(), 50);
+        // Concatenation reproduces the single stream.
+        let mut g = QuestGenerator::new(params);
+        let full = g.generate(1_000);
+        let mut reassembled: Vec<_> = db.raw().to_vec();
+        for inc in &incs {
+            reassembled.extend(inc.raw().iter().cloned());
+        }
+        assert_eq!(reassembled, full);
+    }
+
+    #[test]
+    fn multi_split_with_no_increments() {
+        let params = small_params();
+        let (db, incs) = generate_multi_split(&params, &[]);
+        assert_eq!(db.len(), 800);
+        assert!(incs.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the workload generator: structural invariants and
+//! determinism under arbitrary (valid) parameters.
+
+use fup_datagen::{generate_split, GenParams, QuestGenerator};
+use fup_tidb::stats::DbStats;
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = GenParams> {
+    (
+        50u64..400,           // D
+        1u64..100,            // d
+        2.0f64..12.0,         // |T|
+        1.0f64..5.0,          // |I|
+        10u32..120,           // |L|
+        20u32..300,           // N
+        1u32..8,              // S_c
+        2u32..10,             // P_s (≤ |L| guaranteed below)
+        any::<u64>(),         // seed
+    )
+        .prop_map(
+            |(d_big, d_inc, t, i, patterns, items, sc, ps, seed)| GenParams {
+                num_transactions: d_big,
+                increment_size: d_inc,
+                avg_transaction_len: t,
+                avg_pattern_len: i,
+                num_patterns: patterns,
+                num_items: items,
+                clustering_size: sc,
+                pool_size: ps.min(patterns),
+                seed,
+                ..GenParams::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_transactions_are_well_formed(params in arb_params()) {
+        let mut g = QuestGenerator::new(params.clone());
+        let txs = g.generate(120);
+        prop_assert_eq!(txs.len(), 120);
+        for t in &txs {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.items().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(t.items().iter().all(|i| i.raw() < params.num_items));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed(params in arb_params()) {
+        let a = QuestGenerator::new(params.clone()).generate(60);
+        let b = QuestGenerator::new(params.clone()).generate(60);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_partitions_one_stream(params in arb_params()) {
+        let data = generate_split(&params);
+        prop_assert_eq!(data.d_original(), params.num_transactions);
+        prop_assert_eq!(data.d_increment(), params.increment_size);
+        let full = QuestGenerator::new(params.clone())
+            .generate(params.num_transactions + params.increment_size);
+        prop_assert_eq!(data.db.raw(), &full[..params.num_transactions as usize]);
+        prop_assert_eq!(data.increment.raw(), &full[params.num_transactions as usize..]);
+    }
+
+    #[test]
+    fn mean_length_is_bounded_by_parameter(params in arb_params()) {
+        // The assembly loop closes transactions at the Poisson target, so
+        // the realised mean cannot exceed ~|T| + one pattern's width, and
+        // must be at least 1.
+        let mut g = QuestGenerator::new(params.clone());
+        let db = g.generate_db(300);
+        let stats = DbStats::collect(&db);
+        prop_assert!(stats.mean_len() >= 1.0);
+        prop_assert!(
+            stats.mean_len() <= params.avg_transaction_len + params.avg_pattern_len + 3.0,
+            "mean {} vs |T| {}",
+            stats.mean_len(),
+            params.avg_transaction_len
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! The Apriori algorithm (Agrawal & Srikant, VLDB 1994) — the paper's first
+//! baseline: "re-run the association rule mining algorithm on the whole
+//! updated database".
+//!
+//! Level-wise search: pass 1 counts individual items; pass `k` counts the
+//! candidates produced by `apriori-gen` on `L_{k−1}` via the hash tree. One
+//! full database scan per pass.
+
+use crate::counting::{count_candidates, ItemCounts};
+use crate::gen::apriori_gen;
+use crate::itemset::Itemset;
+use crate::large::LargeItemsets;
+use crate::miner::{Miner, MiningOutcome};
+use crate::stats::{MiningStats, PassStats};
+use crate::support::MinSupport;
+use fup_tidb::TransactionSource;
+use std::time::Instant;
+
+/// Configuration for [`Apriori`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct AprioriConfig {
+    /// Stop after this pass even if larger itemsets might exist.
+    /// `None` (default) runs until a pass finds nothing.
+    pub max_k: Option<usize>,
+}
+
+
+/// The Apriori miner.
+#[derive(Debug, Clone, Default)]
+pub struct Apriori {
+    config: AprioriConfig,
+}
+
+impl Apriori {
+    /// Creates a miner with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a miner with an explicit configuration.
+    pub fn with_config(config: AprioriConfig) -> Self {
+        Apriori { config }
+    }
+
+    /// Runs Apriori over `source`.
+    pub fn run(&self, source: &dyn TransactionSource, minsup: MinSupport) -> MiningOutcome {
+        let start = Instant::now();
+        let n = source.num_transactions();
+        let mut large = LargeItemsets::new(n);
+        let mut stats = MiningStats::new("apriori");
+
+        // Pass 1: count items.
+        let item_counts = ItemCounts::count(source);
+        let mut distinct_items = 0u64;
+        let mut level: Vec<Itemset> = Vec::new();
+        for (item, count) in item_counts.iter_nonzero() {
+            distinct_items += 1;
+            if minsup.is_large(count, n) {
+                let x = Itemset::single(item);
+                large.insert(x.clone(), count);
+                level.push(x);
+            }
+        }
+        stats.passes.push(PassStats {
+            k: 1,
+            candidates_generated: distinct_items,
+            candidates_checked: distinct_items,
+            large_found: level.len() as u64,
+        });
+
+        // Pass k ≥ 2.
+        let mut k = 2;
+        while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
+            let candidates = apriori_gen(&level);
+            let generated = candidates.len() as u64;
+            let counted = count_candidates(source, candidates);
+            level.clear();
+            for (x, count) in counted {
+                if minsup.is_large(count, n) {
+                    large.insert(x.clone(), count);
+                    level.push(x);
+                }
+            }
+            stats.passes.push(PassStats {
+                k,
+                candidates_generated: generated,
+                candidates_checked: generated,
+                large_found: level.len() as u64,
+            });
+            k += 1;
+        }
+
+        stats.elapsed = start.elapsed();
+        MiningOutcome { large, stats }
+    }
+}
+
+impl Miner for Apriori {
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+
+    fn mine(&self, source: &dyn TransactionSource, minsup: MinSupport) -> MiningOutcome {
+        self.run(source, minsup)
+    }
+}
+
+/// Exhaustive reference miner for tests: enumerates every subset of every
+/// transaction. Exponential; only usable on tiny databases, but obviously
+/// correct — the anchor of all equivalence property tests.
+pub fn mine_naive(source: &dyn TransactionSource, minsup: MinSupport) -> LargeItemsets {
+    use std::collections::HashMap;
+    let n = source.num_transactions();
+    let mut counts: HashMap<Itemset, u64> = HashMap::new();
+    source.for_each(&mut |t| {
+        assert!(t.len() <= 20, "mine_naive is for tiny transactions only");
+        // Every non-empty subset of t.
+        for mask in 1u32..(1u32 << t.len()) {
+            let subset: Vec<_> = t
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            *counts.entry(Itemset::from_sorted_vec(subset)).or_insert(0) += 1;
+        }
+    });
+    let mut large = LargeItemsets::new(n);
+    for (x, c) in counts {
+        if minsup.is_large(c, n) {
+            large.insert(x, c);
+        }
+    }
+    large
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_tidb::{Transaction, TransactionDb};
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::from_transactions(
+            rows.iter()
+                .map(|r| Transaction::from_items(r.iter().copied())),
+        )
+    }
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn textbook_example() {
+        // AS94-style toy database, minsup 50% (count ≥ 2 of 4).
+        let d = db(&[&[1, 3, 4], &[2, 3, 5], &[1, 2, 3, 5], &[2, 5]]);
+        let out = Apriori::new().run(&d, MinSupport::percent(50));
+        let l = &out.large;
+        assert_eq!(l.support(&s(&[1])), Some(2));
+        assert_eq!(l.support(&s(&[2])), Some(3));
+        assert_eq!(l.support(&s(&[3])), Some(3));
+        assert_eq!(l.support(&s(&[5])), Some(3));
+        assert_eq!(l.support(&s(&[4])), None);
+        assert_eq!(l.support(&s(&[1, 3])), Some(2));
+        assert_eq!(l.support(&s(&[2, 3])), Some(2));
+        assert_eq!(l.support(&s(&[2, 5])), Some(3));
+        assert_eq!(l.support(&s(&[3, 5])), Some(2));
+        assert_eq!(l.support(&s(&[1, 2])), None);
+        assert_eq!(l.support(&s(&[2, 3, 5])), Some(2));
+        assert_eq!(l.len_at(3), 1);
+        assert_eq!(l.max_size(), 3);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let d = db(&[
+            &[1, 2, 3],
+            &[1, 2],
+            &[2, 3, 4],
+            &[1, 3, 4],
+            &[2, 4],
+            &[1, 2, 3, 4],
+            &[3],
+        ]);
+        for pct in [10, 25, 40, 60, 100] {
+            let minsup = MinSupport::percent(pct);
+            let fast = Apriori::new().run(&d, minsup).large;
+            let naive = mine_naive(&d, minsup);
+            assert!(
+                fast.same_itemsets(&naive),
+                "minsup {pct}%: {:?}",
+                fast.diff(&naive)
+            );
+        }
+    }
+
+    #[test]
+    fn one_scan_per_pass() {
+        let d = db(&[&[1, 2], &[1, 2], &[1, 2]]);
+        let out = Apriori::new().run(&d, MinSupport::percent(100));
+        // L1={1,2}, L2={12}, pass 3 generates no candidates (skipped scan).
+        assert_eq!(out.stats.num_passes(), 3);
+        // Pass 1 + pass 2 scan; pass 3 has empty C3 so no scan.
+        assert_eq!(d.metrics().full_scans(), 2);
+    }
+
+    #[test]
+    fn empty_database() {
+        let d = db(&[]);
+        let out = Apriori::new().run(&d, MinSupport::percent(10));
+        assert!(out.large.is_empty());
+        assert_eq!(out.stats.num_passes(), 1);
+    }
+
+    #[test]
+    fn max_k_truncates_search() {
+        let d = db(&[&[1, 2, 3], &[1, 2, 3]]);
+        let out = Apriori::with_config(AprioriConfig { max_k: Some(2) })
+            .run(&d, MinSupport::percent(100));
+        assert_eq!(out.large.max_size(), 2);
+        assert_eq!(out.large.len_at(2), 3);
+    }
+
+    #[test]
+    fn zero_minsup_includes_everything_seen() {
+        let d = db(&[&[1], &[2]]);
+        let out = Apriori::new().run(&d, MinSupport::ratio(0, 1));
+        // Both 1-itemsets large; {1,2} has support 0 and is still "large"
+        // under a zero threshold — but it is never generated because
+        // apriori-gen only joins, and counting finds support 0 which
+        // satisfies s=0. It IS included.
+        assert!(out.large.contains(&s(&[1])));
+        assert!(out.large.contains(&s(&[2])));
+        assert_eq!(out.large.support(&s(&[1, 2])), Some(0));
+    }
+
+    #[test]
+    fn stats_track_candidates() {
+        let d = db(&[&[1, 2], &[1, 2], &[3, 4]]);
+        let out = Apriori::new().run(&d, MinSupport::percent(60));
+        let p1 = &out.stats.passes[0];
+        assert_eq!(p1.k, 1);
+        assert_eq!(p1.candidates_generated, 4);
+        assert_eq!(p1.large_found, 2); // items 1, 2
+        let p2 = &out.stats.passes[1];
+        assert_eq!(p2.candidates_generated, 1); // {1,2}
+        assert_eq!(p2.large_found, 1);
+    }
+}

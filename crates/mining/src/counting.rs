@@ -1,0 +1,130 @@
+//! Support-counting passes over a [`TransactionSource`].
+
+use crate::hashtree::HashTree;
+use crate::itemset::Itemset;
+use fup_tidb::{ItemId, TransactionSource};
+
+/// Per-item support counts from one full pass (the "first iteration" of
+/// every miner). Items are dense, so counts live in a flat vector.
+#[derive(Debug, Default, Clone)]
+pub struct ItemCounts {
+    counts: Vec<u64>,
+}
+
+impl ItemCounts {
+    /// Counts every item over one full pass of `source`.
+    pub fn count<S: TransactionSource + ?Sized>(source: &S) -> Self {
+        let mut counts: Vec<u64> = Vec::new();
+        source.for_each(&mut |t| {
+            for &item in t {
+                let i = item.index();
+                if i >= counts.len() {
+                    counts.resize(i + 1, 0);
+                }
+                counts[i] += 1;
+            }
+        });
+        ItemCounts { counts }
+    }
+
+    /// The support count of `item` (0 if never seen).
+    #[inline]
+    pub fn get(&self, item: ItemId) -> u64 {
+        self.counts.get(item.index()).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(item, count)` for every item with a non-zero count.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (ItemId(i as u32), c))
+    }
+
+    /// Number of item slots tracked (max item id + 1).
+    pub fn capacity(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Counts the support of `candidates` (all of one size `k`) over one full
+/// pass of `source`, returning `(candidate, count)` pairs in input order.
+///
+/// This is the scan step shared by every pass ≥ 2 of Apriori/DHP and by
+/// FUP's checks of `C_k` against `DB`.
+pub fn count_candidates<S: TransactionSource + ?Sized>(
+    source: &S,
+    candidates: Vec<Itemset>,
+) -> Vec<(Itemset, u64)> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let mut tree = HashTree::build(candidates);
+    tree.count_source(source);
+    tree.into_results()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_tidb::{Transaction, TransactionDb};
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::from_transactions(
+            rows.iter()
+                .map(|r| Transaction::from_items(r.iter().copied())),
+        )
+    }
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn item_counts_count_occurrences() {
+        let d = db(&[&[1, 2], &[2, 3], &[2]]);
+        let counts = ItemCounts::count(&d);
+        assert_eq!(counts.get(ItemId(1)), 1);
+        assert_eq!(counts.get(ItemId(2)), 3);
+        assert_eq!(counts.get(ItemId(3)), 1);
+        assert_eq!(counts.get(ItemId(4)), 0);
+        assert_eq!(counts.get(ItemId(1000)), 0);
+    }
+
+    #[test]
+    fn item_counts_nonzero_iteration() {
+        let d = db(&[&[0, 5]]);
+        let counts = ItemCounts::count(&d);
+        let nz: Vec<_> = counts.iter_nonzero().collect();
+        assert_eq!(nz, vec![(ItemId(0), 1), (ItemId(5), 1)]);
+        assert_eq!(counts.capacity(), 6);
+    }
+
+    #[test]
+    fn item_counts_empty_source() {
+        let d = db(&[]);
+        let counts = ItemCounts::count(&d);
+        assert_eq!(counts.capacity(), 0);
+        assert_eq!(counts.iter_nonzero().count(), 0);
+    }
+
+    #[test]
+    fn count_candidates_counts_each_pass_once() {
+        let d = db(&[&[1, 2, 3], &[1, 3], &[2, 3]]);
+        let results = count_candidates(&d, vec![s(&[1, 3]), s(&[2, 3]), s(&[1, 2])]);
+        assert_eq!(
+            results,
+            vec![(s(&[1, 3]), 2), (s(&[2, 3]), 2), (s(&[1, 2]), 1)]
+        );
+        assert_eq!(d.metrics().full_scans(), 1);
+    }
+
+    #[test]
+    fn count_candidates_empty_is_free() {
+        let d = db(&[&[1]]);
+        assert!(count_candidates(&d, Vec::new()).is_empty());
+        // No scan was charged for an empty candidate pool.
+        assert_eq!(d.metrics().full_scans(), 0);
+    }
+}

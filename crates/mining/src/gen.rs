@@ -1,0 +1,185 @@
+//! Candidate generation: the `apriori-gen` function of Agrawal & Srikant,
+//! used verbatim by Apriori, DHP, and FUP ("the set of candidate sets, C₂,
+//! is generated … by applying the apriori-gen function on L'₁", §3.2).
+
+use crate::itemset::Itemset;
+use std::collections::HashSet;
+
+/// Generates size-(k+1) candidates from the size-k large itemsets `prev`.
+///
+/// Two phases, per the original definition:
+///
+/// 1. **Join** — pairs of itemsets in `prev` sharing their first `k−1`
+///    items are merged (`{a..y} ⋈ {a..z} → {a..y,z}` for `y < z`).
+/// 2. **Prune** — a joined candidate is kept only if *every* k-subset is in
+///    `prev` (any large itemset has only large subsets).
+///
+/// `prev` may be in any order; the output is sorted and duplicate-free.
+pub fn apriori_gen(prev: &[Itemset]) -> Vec<Itemset> {
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let k = prev[0].k();
+    debug_assert!(prev.iter().all(|x| x.k() == k), "mixed sizes in apriori_gen");
+
+    let mut sorted: Vec<&Itemset> = prev.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let members: HashSet<&Itemset> = sorted.iter().copied().collect();
+
+    let mut out = Vec::new();
+    // Scan runs of itemsets sharing the (k−1)-prefix; all pairs inside a
+    // run join.
+    let mut run_start = 0;
+    while run_start < sorted.len() {
+        let prefix = &sorted[run_start].items()[..k - 1];
+        let mut run_end = run_start + 1;
+        while run_end < sorted.len() && &sorted[run_end].items()[..k - 1] == prefix {
+            run_end += 1;
+        }
+        for i in run_start..run_end {
+            for j in (i + 1)..run_end {
+                let last = *sorted[j].items().last().expect("non-empty itemset");
+                let candidate = sorted[i].extended_with(last);
+                if subsets_all_large(&candidate, &members) {
+                    out.push(candidate);
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    out
+}
+
+/// Prune check: every k-subset of the (k+1)-candidate must be large.
+///
+/// The two subsets formed by dropping one of the last two items are the
+/// join parents and always large; they are re-checked here for simplicity
+/// (cost is negligible next to the hash lookups for the other subsets).
+fn subsets_all_large(candidate: &Itemset, members: &HashSet<&Itemset>) -> bool {
+    candidate
+        .proper_subsets()
+        .all(|sub| members.contains(&sub))
+}
+
+/// Reference implementation used by tests and property checks: all
+/// (k+1)-item unions of members whose every k-subset is a member.
+pub fn apriori_gen_naive(prev: &[Itemset]) -> Vec<Itemset> {
+    if prev.is_empty() {
+        return Vec::new();
+    }
+    let members: HashSet<&Itemset> = prev.iter().collect();
+    let mut out: HashSet<Itemset> = HashSet::new();
+    for a in prev {
+        for b in prev {
+            let u = a.union(b);
+            if u.k() == a.k() + 1 && u.proper_subsets().all(|s| members.contains(&s)) {
+                out.insert(u);
+            }
+        }
+    }
+    let mut v: Vec<Itemset> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn paper_example_2_candidate_generation() {
+        // Example 2: apriori-gen on L'₁ = {I1, I2, I4} yields
+        // C₂ = {I1I2, I1I4, I2I4}.
+        let l1 = vec![s(&[1]), s(&[2]), s(&[4])];
+        let c2 = apriori_gen(&l1);
+        assert_eq!(c2, vec![s(&[1, 2]), s(&[1, 4]), s(&[2, 4])]);
+    }
+
+    #[test]
+    fn join_requires_shared_prefix() {
+        // {1,2} and {1,3} join to {1,2,3}; pruned unless {2,3} is large.
+        let l2 = vec![s(&[1, 2]), s(&[1, 3])];
+        assert!(apriori_gen(&l2).is_empty());
+        let l2 = vec![s(&[1, 2]), s(&[1, 3]), s(&[2, 3])];
+        assert_eq!(apriori_gen(&l2), vec![s(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn classic_as94_example() {
+        // From the Apriori paper: L₃ = {124, 125... } variant:
+        // L3 = {{1,2,3},{1,2,4},{1,3,4},{1,3,5},{2,3,4}}
+        // join → {1,2,3,4} (from 123+124), {1,3,4,5} (from 134+135)
+        // prune → {1,3,4,5} dropped because {1,4,5} ∉ L3.
+        let l3 = vec![
+            s(&[1, 2, 3]),
+            s(&[1, 2, 4]),
+            s(&[1, 3, 4]),
+            s(&[1, 3, 5]),
+            s(&[2, 3, 4]),
+        ];
+        assert_eq!(apriori_gen(&l3), vec![s(&[1, 2, 3, 4])]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(apriori_gen(&[]).is_empty());
+        assert!(apriori_gen(&[s(&[1, 2])]).is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let l1 = vec![s(&[4]), s(&[1]), s(&[2])];
+        let c2 = apriori_gen(&l1);
+        assert_eq!(c2, vec![s(&[1, 2]), s(&[1, 4]), s(&[2, 4])]);
+    }
+
+    #[test]
+    fn duplicate_input_itemsets_ignored() {
+        let l1 = vec![s(&[1]), s(&[1]), s(&[2])];
+        assert_eq!(apriori_gen(&l1), vec![s(&[1, 2])]);
+    }
+
+    #[test]
+    fn matches_naive_on_dense_level() {
+        // All 2-subsets of {0..5} are large → C3 = all 3-subsets.
+        let mut l2 = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                l2.push(s(&[a, b]));
+            }
+        }
+        let fast = apriori_gen(&l2);
+        let naive = apriori_gen_naive(&l2);
+        assert_eq!(fast, naive);
+        assert_eq!(fast.len(), 20); // C(6,3)
+    }
+
+    #[test]
+    fn matches_naive_on_sparse_level() {
+        let l2 = vec![
+            s(&[1, 2]),
+            s(&[2, 3]),
+            s(&[1, 3]),
+            s(&[3, 4]),
+            s(&[2, 4]),
+            s(&[5, 6]),
+        ];
+        assert_eq!(apriori_gen(&l2), apriori_gen_naive(&l2));
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let mut l1: Vec<Itemset> = (0..10u32).map(|i| s(&[i])).collect();
+        l1.reverse();
+        let c2 = apriori_gen(&l1);
+        assert_eq!(c2.len(), 45);
+        for w in c2.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! The candidate hash tree of Agrawal & Srikant, implementing the paper's
+//! `Subset(C, T)` primitive.
+//!
+//! All three miners (Apriori, DHP, FUP) spend their time answering the same
+//! question per transaction: *which candidate k-itemsets are contained in
+//! `T`?* The hash tree stores candidates in leaves reached by hashing
+//! successive transaction items, so a pass touches only candidates whose
+//! leading items actually occur in `T`.
+//!
+//! Structure: interior nodes at depth `d` hash on the `(d+1)`-th consumed
+//! item; leaves hold candidate indices and overflow into interior nodes once
+//! they exceed a split threshold (unless depth already equals `k`). Because
+//! different consumed prefixes can hash to the same leaf, leaves re-verify
+//! containment against the full transaction; a per-candidate `last_seen`
+//! transaction sequence number prevents double counting.
+
+use crate::itemset::Itemset;
+use fup_tidb::transaction::contains_sorted;
+use fup_tidb::{ItemId, TransactionSource};
+
+/// Children per interior node.
+const FANOUT: usize = 32;
+/// A leaf splits when it exceeds this many candidates (and depth < k).
+const SPLIT_THRESHOLD: usize = 8;
+/// Sentinel for an absent child.
+const NO_CHILD: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Node {
+    /// Candidate indices stored at this leaf.
+    Leaf(Vec<u32>),
+    /// Child node ids, `NO_CHILD` where absent.
+    Interior(Box<[u32; FANOUT]>),
+}
+
+/// A hash tree over a set of k-itemset candidates, accumulating support
+/// counts as transactions are added.
+#[derive(Debug)]
+pub struct HashTree {
+    k: usize,
+    itemsets: Vec<Itemset>,
+    counts: Vec<u64>,
+    last_seen: Vec<u64>,
+    seq: u64,
+    nodes: Vec<Node>,
+}
+
+#[inline]
+fn bucket(item: ItemId) -> usize {
+    (item.raw() as usize) % FANOUT
+}
+
+impl HashTree {
+    /// Builds a hash tree over `candidates`, which must all have the same
+    /// size `k ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if candidates have mixed sizes or an empty itemset appears.
+    pub fn build(candidates: Vec<Itemset>) -> Self {
+        let k = candidates.first().map(Itemset::k).unwrap_or(1);
+        assert!(k >= 1, "candidates must be non-empty itemsets");
+        for c in &candidates {
+            assert_eq!(c.k(), k, "all candidates must share one size");
+        }
+        let n = candidates.len();
+        let mut tree = HashTree {
+            k,
+            itemsets: candidates,
+            counts: vec![0; n],
+            last_seen: vec![0; n],
+            seq: 0,
+            nodes: vec![Node::Leaf(Vec::new())],
+        };
+        for idx in 0..n as u32 {
+            tree.insert(idx);
+        }
+        tree
+    }
+
+    fn insert(&mut self, idx: u32) {
+        let mut node = 0u32;
+        let mut depth = 0usize;
+        loop {
+            match &mut self.nodes[node as usize] {
+                Node::Interior(children) => {
+                    let item = self.itemsets[idx as usize].items()[depth];
+                    let b = bucket(item);
+                    if children[b] == NO_CHILD {
+                        let new_id = self.nodes.len() as u32;
+                        // Re-borrow after push: take the bucket decision now.
+                        match &mut self.nodes[node as usize] {
+                            Node::Interior(ch) => ch[b] = new_id,
+                            Node::Leaf(_) => unreachable!(),
+                        }
+                        self.nodes.push(Node::Leaf(Vec::new()));
+                        node = new_id;
+                    } else {
+                        node = children[b];
+                    }
+                    depth += 1;
+                }
+                Node::Leaf(ids) => {
+                    ids.push(idx);
+                    if ids.len() > SPLIT_THRESHOLD && depth < self.k {
+                        self.split(node, depth);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Converts the leaf `node` (at `depth` items consumed) into an
+    /// interior node, redistributing its candidates one level down.
+    fn split(&mut self, node: u32, depth: usize) {
+        let ids = match std::mem::replace(
+            &mut self.nodes[node as usize],
+            Node::Interior(Box::new([NO_CHILD; FANOUT])),
+        ) {
+            Node::Leaf(ids) => ids,
+            Node::Interior(_) => unreachable!("split target must be a leaf"),
+        };
+        for idx in ids {
+            let item = self.itemsets[idx as usize].items()[depth];
+            let b = bucket(item);
+            let child = match &self.nodes[node as usize] {
+                Node::Interior(ch) => ch[b],
+                Node::Leaf(_) => unreachable!(),
+            };
+            let child = if child == NO_CHILD {
+                let new_id = self.nodes.len() as u32;
+                match &mut self.nodes[node as usize] {
+                    Node::Interior(ch) => ch[b] = new_id,
+                    Node::Leaf(_) => unreachable!(),
+                }
+                self.nodes.push(Node::Leaf(Vec::new()));
+                new_id
+            } else {
+                child
+            };
+            match &mut self.nodes[child as usize] {
+                Node::Leaf(v) => v.push(idx),
+                // Children of a fresh split are always leaves.
+                Node::Interior(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// Number of candidates in the tree.
+    pub fn len(&self) -> usize {
+        self.itemsets.len()
+    }
+
+    /// `true` if the tree holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.itemsets.is_empty()
+    }
+
+    /// The candidate size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Counts every candidate contained in the (sorted) transaction.
+    pub fn add_transaction(&mut self, t: &[ItemId]) {
+        if t.len() < self.k || self.itemsets.is_empty() {
+            return;
+        }
+        self.seq += 1;
+        walk(
+            &self.nodes,
+            &self.itemsets,
+            &mut self.counts,
+            &mut self.last_seen,
+            self.seq,
+            0,
+            t,
+            0,
+            0,
+            self.k,
+        );
+    }
+
+    /// Runs one full pass over `source`, adding every transaction.
+    pub fn count_source<S: TransactionSource + ?Sized>(&mut self, source: &S) {
+        source.for_each(&mut |t| self.add_transaction(t));
+    }
+
+    /// Like [`HashTree::add_transaction`], but additionally reports, via
+    /// `on_match(candidate_index)`, each candidate contained in `t`.
+    /// FUP's `Reduce-db` uses the per-item match counts this enables.
+    pub fn add_transaction_with(&mut self, t: &[ItemId], on_match: &mut dyn FnMut(usize)) {
+        if t.len() < self.k || self.itemsets.is_empty() {
+            return;
+        }
+        self.seq += 1;
+        walk_with(
+            &self.nodes,
+            &self.itemsets,
+            &mut self.counts,
+            &mut self.last_seen,
+            self.seq,
+            0,
+            t,
+            0,
+            0,
+            self.k,
+            on_match,
+        );
+    }
+
+    /// The candidates, in build order (indices match [`HashTree::counts`]).
+    pub fn itemsets(&self) -> &[Itemset] {
+        &self.itemsets
+    }
+
+    /// Current support counts, parallel to [`HashTree::itemsets`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Consumes the tree, yielding `(candidate, count)` pairs.
+    pub fn into_results(self) -> Vec<(Itemset, u64)> {
+        self.itemsets.into_iter().zip(self.counts).collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    nodes: &[Node],
+    itemsets: &[Itemset],
+    counts: &mut [u64],
+    last_seen: &mut [u64],
+    seq: u64,
+    node: u32,
+    t: &[ItemId],
+    start: usize,
+    depth: usize,
+    k: usize,
+) {
+    match &nodes[node as usize] {
+        Node::Leaf(ids) => {
+            for &idx in ids {
+                let i = idx as usize;
+                if last_seen[i] != seq && contains_sorted(t, itemsets[i].items()) {
+                    last_seen[i] = seq;
+                    counts[i] += 1;
+                }
+            }
+        }
+        Node::Interior(children) => {
+            // Need (k - depth) more items; stop early when too few remain.
+            let remaining = k - depth;
+            if t.len() < start + remaining {
+                return;
+            }
+            let last = t.len() - remaining;
+            for i in start..=last {
+                let child = children[bucket(t[i])];
+                if child != NO_CHILD {
+                    walk(
+                        nodes, itemsets, counts, last_seen, seq, child, t,
+                        i + 1,
+                        depth + 1,
+                        k,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_with(
+    nodes: &[Node],
+    itemsets: &[Itemset],
+    counts: &mut [u64],
+    last_seen: &mut [u64],
+    seq: u64,
+    node: u32,
+    t: &[ItemId],
+    start: usize,
+    depth: usize,
+    k: usize,
+    on_match: &mut dyn FnMut(usize),
+) {
+    match &nodes[node as usize] {
+        Node::Leaf(ids) => {
+            for &idx in ids {
+                let i = idx as usize;
+                if last_seen[i] != seq && contains_sorted(t, itemsets[i].items()) {
+                    last_seen[i] = seq;
+                    counts[i] += 1;
+                    on_match(i);
+                }
+            }
+        }
+        Node::Interior(children) => {
+            let remaining = k - depth;
+            if t.len() < start + remaining {
+                return;
+            }
+            let last = t.len() - remaining;
+            for i in start..=last {
+                let child = children[bucket(t[i])];
+                if child != NO_CHILD {
+                    walk_with(
+                        nodes, itemsets, counts, last_seen, seq, child, t,
+                        i + 1,
+                        depth + 1,
+                        k,
+                        on_match,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_tidb::{Transaction, TransactionDb};
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    fn tx(items: &[u32]) -> Vec<ItemId> {
+        Transaction::from_items(items.iter().copied())
+            .items()
+            .to_vec()
+    }
+
+    /// Reference implementation: count by direct containment.
+    fn naive_counts(candidates: &[Itemset], transactions: &[Vec<ItemId>]) -> Vec<u64> {
+        candidates
+            .iter()
+            .map(|c| {
+                transactions
+                    .iter()
+                    .filter(|t| contains_sorted(t, c.items()))
+                    .count() as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_simple_pairs() {
+        let cands = vec![s(&[1, 2]), s(&[1, 3]), s(&[2, 3])];
+        let mut tree = HashTree::build(cands.clone());
+        let txns = vec![tx(&[1, 2, 3]), tx(&[1, 2]), tx(&[3])];
+        for t in &txns {
+            tree.add_transaction(t);
+        }
+        assert_eq!(tree.counts(), naive_counts(&cands, &txns).as_slice());
+        assert_eq!(tree.counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn no_double_count_on_hash_collisions() {
+        // Items 1 and 33 collide mod 32; candidate {1,33} must count once
+        // per containing transaction even though two paths reach its leaf.
+        let cands = vec![s(&[1, 33])];
+        let mut tree = HashTree::build(cands);
+        tree.add_transaction(&tx(&[1, 33, 65]));
+        assert_eq!(tree.counts(), &[1]);
+    }
+
+    #[test]
+    fn transactions_shorter_than_k_are_skipped() {
+        let mut tree = HashTree::build(vec![s(&[1, 2, 3])]);
+        tree.add_transaction(&tx(&[1, 2]));
+        assert_eq!(tree.counts(), &[0]);
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        let mut tree = HashTree::build(Vec::new());
+        assert!(tree.is_empty());
+        tree.add_transaction(&tx(&[1, 2, 3]));
+        assert!(tree.counts().is_empty());
+    }
+
+    #[test]
+    fn splitting_leaves_preserves_counts() {
+        // More than SPLIT_THRESHOLD candidates sharing a first item force
+        // splits at depth 1 and 2.
+        let cands: Vec<Itemset> = (2..30).map(|i| s(&[1, i])).collect();
+        let mut tree = HashTree::build(cands.clone());
+        let txns: Vec<Vec<ItemId>> = (0..50)
+            .map(|j| tx(&[1, 2 + (j % 28), 40 + j]))
+            .collect();
+        for t in &txns {
+            tree.add_transaction(t);
+        }
+        assert_eq!(tree.counts(), naive_counts(&cands, &txns).as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_mixed_workload() {
+        // 3-itemsets over a small alphabet, transactions of varying length.
+        let mut cands = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    cands.push(s(&[a, b, c]));
+                }
+            }
+        }
+        let mut tree = HashTree::build(cands.clone());
+        let txns: Vec<Vec<ItemId>> = vec![
+            tx(&[0, 1, 2, 3, 4, 5]),
+            tx(&[0, 2, 4]),
+            tx(&[1, 3, 5]),
+            tx(&[0, 1]),
+            tx(&[]),
+            tx(&[2, 3, 4, 5]),
+        ];
+        for t in &txns {
+            tree.add_transaction(t);
+        }
+        assert_eq!(tree.counts(), naive_counts(&cands, &txns).as_slice());
+    }
+
+    #[test]
+    fn k1_trees_work() {
+        let cands = vec![s(&[1]), s(&[2]), s(&[40])];
+        let mut tree = HashTree::build(cands);
+        assert_eq!(tree.k(), 1);
+        tree.add_transaction(&tx(&[1, 40]));
+        tree.add_transaction(&tx(&[2]));
+        assert_eq!(tree.counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn count_source_runs_full_pass() {
+        let db = TransactionDb::from_transactions(vec![
+            Transaction::from_items([1u32, 2]),
+            Transaction::from_items([1u32, 2, 3]),
+        ]);
+        let mut tree = HashTree::build(vec![s(&[1, 2])]);
+        tree.count_source(&db);
+        assert_eq!(tree.counts(), &[2]);
+        assert_eq!(db.metrics().full_scans(), 1);
+    }
+
+    #[test]
+    fn add_transaction_with_reports_matches() {
+        let mut tree = HashTree::build(vec![s(&[1, 2]), s(&[2, 3])]);
+        let mut matched = Vec::new();
+        tree.add_transaction_with(&tx(&[1, 2, 3]), &mut |i| matched.push(i));
+        matched.sort_unstable();
+        assert_eq!(matched, vec![0, 1]);
+    }
+
+    #[test]
+    fn into_results_pairs_candidates_with_counts() {
+        let mut tree = HashTree::build(vec![s(&[7, 9])]);
+        tree.add_transaction(&tx(&[7, 8, 9]));
+        let results = tree.into_results();
+        assert_eq!(results, vec![(s(&[7, 9]), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one size")]
+    fn mixed_sizes_rejected() {
+        let _ = HashTree::build(vec![s(&[1]), s(&[1, 2])]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Immutable sorted itemsets.
+
+use fup_tidb::ItemId;
+use std::fmt;
+use std::ops::Deref;
+
+/// An itemset `X ⊆ I`: an immutable, sorted, duplicate-free set of items.
+///
+/// The sorted order underpins `apriori-gen` (itemsets sharing a (k−1)-item
+/// prefix are joined), hash-tree descent, and linear-merge containment.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Itemset {
+    items: Box<[ItemId]>,
+}
+
+impl Itemset {
+    /// Builds an itemset from arbitrary items; sorts and deduplicates.
+    pub fn from_items<I, T>(items: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<ItemId>,
+    {
+        let mut v: Vec<ItemId> = items.into_iter().map(Into::into).collect();
+        v.sort_unstable();
+        v.dedup();
+        Itemset { items: v.into_boxed_slice() }
+    }
+
+    /// Builds a 1-itemset.
+    pub fn single(item: ItemId) -> Self {
+        Itemset { items: Box::new([item]) }
+    }
+
+    /// Builds an itemset from a vector that is already sorted and
+    /// duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted_vec(v: Vec<ItemId>) -> Self {
+        debug_assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
+        Itemset { items: v.into_boxed_slice() }
+    }
+
+    /// The size `k` of this k-itemset.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` for the empty itemset.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// `true` if `self ⊆ other` (both sorted; linear merge).
+    pub fn is_subset_of(&self, other: &Itemset) -> bool {
+        fup_tidb::transaction::contains_sorted(other.items(), self.items())
+    }
+
+    /// `true` if this itemset contains `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// The (k−1)-subset obtained by dropping the item at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn without_index(&self, i: usize) -> Itemset {
+        let mut v = Vec::with_capacity(self.items.len() - 1);
+        v.extend_from_slice(&self.items[..i]);
+        v.extend_from_slice(&self.items[i + 1..]);
+        Itemset { items: v.into_boxed_slice() }
+    }
+
+    /// Iterates all (k−1)-subsets.
+    pub fn proper_subsets(&self) -> impl Iterator<Item = Itemset> + '_ {
+        (0..self.items.len()).map(move |i| self.without_index(i))
+    }
+
+    /// The set difference `self \ other` (both sorted).
+    pub fn difference(&self, other: &Itemset) -> Itemset {
+        let kept: Vec<ItemId> = self
+            .items
+            .iter()
+            .copied()
+            .filter(|i| !other.contains(*i))
+            .collect();
+        Itemset { items: kept.into_boxed_slice() }
+    }
+
+    /// The union `self ∪ other` (both sorted; linear merge).
+    pub fn union(&self, other: &Itemset) -> Itemset {
+        let mut v = Vec::with_capacity(self.items.len() + other.items.len());
+        let (a, b) = (self.items(), other.items());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    v.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    v.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    v.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        v.extend_from_slice(&a[i..]);
+        v.extend_from_slice(&b[j..]);
+        Itemset { items: v.into_boxed_slice() }
+    }
+
+    /// Extends a k-itemset with an item strictly greater than its last item,
+    /// producing a (k+1)-itemset. Used by the `apriori-gen` join.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `item` is not strictly greater than the
+    /// current maximum.
+    pub fn extended_with(&self, item: ItemId) -> Itemset {
+        debug_assert!(
+            self.items.last().is_none_or(|&last| last < item),
+            "extension item must exceed current maximum"
+        );
+        let mut v = Vec::with_capacity(self.items.len() + 1);
+        v.extend_from_slice(&self.items);
+        v.push(item);
+        Itemset { items: v.into_boxed_slice() }
+    }
+}
+
+impl Deref for Itemset {
+    type Target = [ItemId];
+    #[inline]
+    fn deref(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+impl fmt::Debug for Itemset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{{{}}}",
+            self.items
+                .iter()
+                .map(|i| i.raw().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
+
+impl FromIterator<ItemId> for Itemset {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        Itemset::from_items(iter)
+    }
+}
+
+impl FromIterator<u32> for Itemset {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Itemset::from_items(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let x = s(&[3, 1, 2, 3]);
+        assert_eq!(x.items(), &[ItemId(1), ItemId(2), ItemId(3)]);
+        assert_eq!(x.k(), 3);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert_eq!(Itemset::single(ItemId(5)).k(), 1);
+        assert!(s(&[]).is_empty());
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(s(&[1, 3]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(!s(&[1, 4]).is_subset_of(&s(&[1, 2, 3])));
+        assert!(s(&[]).is_subset_of(&s(&[1])));
+        assert!(!s(&[1, 2, 3]).is_subset_of(&s(&[1, 2])));
+    }
+
+    #[test]
+    fn without_index_drops_one_item() {
+        let x = s(&[1, 2, 3]);
+        assert_eq!(x.without_index(0), s(&[2, 3]));
+        assert_eq!(x.without_index(1), s(&[1, 3]));
+        assert_eq!(x.without_index(2), s(&[1, 2]));
+    }
+
+    #[test]
+    fn proper_subsets_enumerates_all() {
+        let x = s(&[1, 2, 3]);
+        let subs: Vec<Itemset> = x.proper_subsets().collect();
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&s(&[1, 2])));
+        assert!(subs.contains(&s(&[1, 3])));
+        assert!(subs.contains(&s(&[2, 3])));
+    }
+
+    #[test]
+    fn union_merges() {
+        assert_eq!(s(&[1, 3]).union(&s(&[2, 3, 4])), s(&[1, 2, 3, 4]));
+        assert_eq!(s(&[]).union(&s(&[1])), s(&[1]));
+        assert_eq!(s(&[1]).union(&s(&[])), s(&[1]));
+    }
+
+    #[test]
+    fn difference_removes() {
+        assert_eq!(s(&[1, 2, 3]).difference(&s(&[2])), s(&[1, 3]));
+        assert_eq!(s(&[1, 2]).difference(&s(&[3])), s(&[1, 2]));
+        assert_eq!(s(&[1]).difference(&s(&[1])), s(&[]));
+    }
+
+    #[test]
+    fn extended_with_appends() {
+        assert_eq!(s(&[1, 2]).extended_with(ItemId(5)), s(&[1, 2, 5]));
+        assert_eq!(s(&[]).extended_with(ItemId(1)), s(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed current maximum")]
+    #[cfg(debug_assertions)]
+    fn extended_with_rejects_non_increasing() {
+        let _ = s(&[1, 5]).extended_with(ItemId(3));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![s(&[2]), s(&[1, 2]), s(&[1])];
+        v.sort();
+        assert_eq!(v, vec![s(&[1]), s(&[1, 2]), s(&[2])]);
+    }
+
+    #[test]
+    fn contains_item() {
+        let x = s(&[1, 5, 9]);
+        assert!(x.contains(ItemId(5)));
+        assert!(!x.contains(ItemId(6)));
+    }
+}

@@ -1,0 +1,267 @@
+//! The set of large itemsets `L` with their support counts.
+
+use crate::itemset::Itemset;
+use std::collections::HashMap;
+
+/// All large itemsets of a database, organised by size, together with their
+/// support counts and the database size they were mined from.
+///
+/// This is the paper's `L = ∪ₖ Lₖ`. Keeping the support *counts* (not just
+/// membership) is the precondition for FUP: "Assume that for each `X ∈ L`,
+/// its support count `X.support`, which is the number of transactions in
+/// `DB` containing `X`, is available" (§2.2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LargeItemsets {
+    /// `by_size[k-1]` maps each large k-itemset to its support count.
+    by_size: Vec<HashMap<Itemset, u64>>,
+    /// Number of transactions in the database these counts refer to
+    /// (the paper's `D`).
+    num_transactions: u64,
+}
+
+impl LargeItemsets {
+    /// Creates an empty set for a database of `num_transactions`.
+    pub fn new(num_transactions: u64) -> Self {
+        LargeItemsets {
+            by_size: Vec::new(),
+            num_transactions,
+        }
+    }
+
+    /// The database size `D` the supports were counted over.
+    pub fn num_transactions(&self) -> u64 {
+        self.num_transactions
+    }
+
+    /// Inserts (or overwrites) an itemset with its support count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the itemset is empty.
+    pub fn insert(&mut self, itemset: Itemset, support: u64) {
+        let k = itemset.k();
+        assert!(k > 0, "the empty itemset is not a valid large itemset");
+        if self.by_size.len() < k {
+            self.by_size.resize_with(k, HashMap::new);
+        }
+        self.by_size[k - 1].insert(itemset, support);
+    }
+
+    /// The support count of `x`, if `x` is large.
+    pub fn support(&self, x: &Itemset) -> Option<u64> {
+        self.by_size.get(x.k().checked_sub(1)?)?.get(x).copied()
+    }
+
+    /// `true` if `x` is recorded as large.
+    pub fn contains(&self, x: &Itemset) -> bool {
+        self.support(x).is_some()
+    }
+
+    /// Support of `x` as a fraction of the database size.
+    pub fn support_fraction(&self, x: &Itemset) -> Option<f64> {
+        if self.num_transactions == 0 {
+            return None;
+        }
+        Some(self.support(x)? as f64 / self.num_transactions as f64)
+    }
+
+    /// The largest `k` with a non-empty `Lₖ`, or 0 when empty.
+    pub fn max_size(&self) -> usize {
+        self.by_size
+            .iter()
+            .rposition(|m| !m.is_empty())
+            .map(|i| i + 1)
+            .unwrap_or(0)
+    }
+
+    /// Number of large k-itemsets.
+    pub fn len_at(&self, k: usize) -> usize {
+        k.checked_sub(1)
+            .and_then(|i| self.by_size.get(i))
+            .map(HashMap::len)
+            .unwrap_or(0)
+    }
+
+    /// Total number of large itemsets across all sizes.
+    pub fn len(&self) -> usize {
+        self.by_size.iter().map(HashMap::len).sum()
+    }
+
+    /// `true` if no itemset is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.by_size.iter().all(HashMap::is_empty)
+    }
+
+    /// Iterates the large k-itemsets with their support counts.
+    pub fn level(&self, k: usize) -> impl Iterator<Item = (&Itemset, u64)> + '_ {
+        k.checked_sub(1)
+            .and_then(|i| self.by_size.get(i))
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(x, &c)| (x, c)))
+    }
+
+    /// Iterates every large itemset with its support count, smallest sizes
+    /// first (order within a size is unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (&Itemset, u64)> + '_ {
+        self.by_size
+            .iter()
+            .flat_map(|m| m.iter().map(|(x, &c)| (x, c)))
+    }
+
+    /// Collects the large k-itemsets, sorted, for deterministic output.
+    pub fn level_sorted(&self, k: usize) -> Vec<(Itemset, u64)> {
+        let mut v: Vec<(Itemset, u64)> = self.level(k).map(|(x, c)| (x.clone(), c)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Normalised comparison: identical itemsets with identical supports,
+    /// ignoring trailing empty levels and the recorded database size.
+    /// The workhorse of the equivalence tests between FUP and re-mining.
+    pub fn same_itemsets(&self, other: &LargeItemsets) -> bool {
+        let max = self.max_size().max(other.max_size());
+        for k in 1..=max {
+            if self.len_at(k) != other.len_at(k) {
+                return false;
+            }
+            for (x, c) in self.level(k) {
+                if other.support(x) != Some(c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Detailed difference report for diagnostics in tests and the harness:
+    /// itemsets present in `self` but not `other` (or with different
+    /// support), and vice versa.
+    pub fn diff(&self, other: &LargeItemsets) -> Vec<String> {
+        let mut out = Vec::new();
+        for (x, c) in self.iter() {
+            match other.support(x) {
+                None => out.push(format!("only in left: {x:?} (support {c})")),
+                Some(oc) if oc != c => {
+                    out.push(format!("support mismatch for {x:?}: left {c}, right {oc}"))
+                }
+                _ => {}
+            }
+        }
+        for (x, c) in other.iter() {
+            if self.support(x).is_none() {
+                out.push(format!("only in right: {x:?} (support {c})"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut l = LargeItemsets::new(1000);
+        l.insert(s(&[1]), 32);
+        l.insert(s(&[2]), 31);
+        l.insert(s(&[1, 2]), 50);
+        assert_eq!(l.support(&s(&[1])), Some(32));
+        assert_eq!(l.support(&s(&[1, 2])), Some(50));
+        assert_eq!(l.support(&s(&[3])), None);
+        assert!(l.contains(&s(&[2])));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.len_at(1), 2);
+        assert_eq!(l.len_at(2), 1);
+        assert_eq!(l.len_at(3), 0);
+        assert_eq!(l.max_size(), 2);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let l = LargeItemsets::new(0);
+        assert!(l.is_empty());
+        assert_eq!(l.max_size(), 0);
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.support_fraction(&s(&[1])), None);
+    }
+
+    #[test]
+    fn support_fraction() {
+        let mut l = LargeItemsets::new(1000);
+        l.insert(s(&[1]), 32);
+        assert!((l.support_fraction(&s(&[1])).unwrap() - 0.032).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty itemset")]
+    fn empty_itemset_rejected() {
+        let mut l = LargeItemsets::new(10);
+        l.insert(Itemset::from_items(Vec::<u32>::new()), 1);
+    }
+
+    #[test]
+    fn level_sorted_is_deterministic() {
+        let mut l = LargeItemsets::new(10);
+        l.insert(s(&[3]), 5);
+        l.insert(s(&[1]), 6);
+        l.insert(s(&[2]), 7);
+        let lvl = l.level_sorted(1);
+        assert_eq!(
+            lvl.iter().map(|(x, _)| x.clone()).collect::<Vec<_>>(),
+            vec![s(&[1]), s(&[2]), s(&[3])]
+        );
+    }
+
+    #[test]
+    fn same_itemsets_ignores_db_size_but_not_supports() {
+        let mut a = LargeItemsets::new(100);
+        let mut b = LargeItemsets::new(200);
+        a.insert(s(&[1]), 10);
+        b.insert(s(&[1]), 10);
+        assert!(a.same_itemsets(&b));
+        b.insert(s(&[2]), 5);
+        assert!(!a.same_itemsets(&b));
+        let mut c = LargeItemsets::new(100);
+        c.insert(s(&[1]), 11);
+        assert!(!a.same_itemsets(&c));
+    }
+
+    #[test]
+    fn diff_reports_all_discrepancies() {
+        let mut a = LargeItemsets::new(100);
+        let mut b = LargeItemsets::new(100);
+        a.insert(s(&[1]), 10);
+        a.insert(s(&[2]), 20);
+        b.insert(s(&[2]), 21);
+        b.insert(s(&[3]), 30);
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().any(|m| m.contains("only in left")));
+        assert!(d.iter().any(|m| m.contains("mismatch")));
+        assert!(d.iter().any(|m| m.contains("only in right")));
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn max_size_skips_trailing_empty_levels() {
+        let mut l = LargeItemsets::new(10);
+        l.insert(s(&[1, 2, 3]), 4);
+        assert_eq!(l.max_size(), 3);
+        assert_eq!(l.len_at(1), 0);
+        assert_eq!(l.len_at(2), 0);
+    }
+
+    #[test]
+    fn iter_visits_small_sizes_first() {
+        let mut l = LargeItemsets::new(10);
+        l.insert(s(&[1, 2]), 4);
+        l.insert(s(&[1]), 8);
+        let sizes: Vec<usize> = l.iter().map(|(x, _)| x.k()).collect();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+}

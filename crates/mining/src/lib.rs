@@ -1,0 +1,45 @@
+//! # fup-mining — association-rule mining foundation
+//!
+//! Everything the FUP paper *builds on*: the classic two-step decomposition
+//! of association-rule mining (find all large itemsets, then derive rules),
+//! the Apriori and DHP algorithms it benchmarks against, and the shared
+//! machinery all three algorithms (including FUP in `fup-core`) use:
+//!
+//! * [`Itemset`] — an immutable, sorted set of items,
+//! * [`MinSupport`] — exact rational support thresholds (`s × (D + d)`
+//!   comparisons never go through floating point),
+//! * [`HashTree`] — the Agrawal–Srikant candidate hash tree implementing
+//!   `Subset(C, T)`,
+//! * [`apriori_gen`](gen::apriori_gen) — candidate generation (join +
+//!   subset-prune),
+//! * [`counting`] — support-counting passes over any
+//!   [`TransactionSource`](fup_tidb::TransactionSource),
+//! * [`apriori`] / [`dhp`] — the two baseline miners of the paper's §4,
+//! * [`rules`] — `ap-genrules` rule derivation with confidence thresholds,
+//! * [`stats`] — per-pass candidate/large counts and scan accounting, the
+//!   raw material of the paper's Figures 2–4.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apriori;
+pub mod counting;
+pub mod dhp;
+pub mod gen;
+pub mod hashtree;
+pub mod itemset;
+pub mod large;
+pub mod miner;
+pub mod rules;
+pub mod stats;
+pub mod support;
+
+pub use apriori::Apriori;
+pub use dhp::Dhp;
+pub use hashtree::HashTree;
+pub use itemset::Itemset;
+pub use large::LargeItemsets;
+pub use miner::{Miner, MiningOutcome};
+pub use rules::{MinConfidence, Rule, RuleSet};
+pub use stats::{MiningStats, PassStats};
+pub use support::MinSupport;

@@ -1,0 +1,44 @@
+//! The [`Miner`] abstraction: anything that finds all large itemsets of a
+//! transaction source from scratch. The experiment harness drives Apriori
+//! and DHP through this trait to produce the paper's baselines.
+
+use crate::large::LargeItemsets;
+use crate::stats::MiningStats;
+use crate::support::MinSupport;
+use fup_tidb::TransactionSource;
+
+/// The result of a mining run: the large itemsets with supports, plus
+/// per-pass statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningOutcome {
+    /// All large itemsets with their support counts.
+    pub large: LargeItemsets,
+    /// Per-pass candidate/large counts and elapsed time.
+    pub stats: MiningStats,
+}
+
+/// A from-scratch large-itemset miner (Apriori, DHP).
+///
+/// FUP itself is *not* a `Miner` — it is an incremental maintainer that
+/// additionally consumes the previous result; see `fup-core`.
+pub trait Miner {
+    /// Short stable name for reports ("apriori", "dhp").
+    fn name(&self) -> &'static str;
+
+    /// Finds all large itemsets of `source` at threshold `minsup`.
+    fn mine(&self, source: &dyn TransactionSource, minsup: MinSupport) -> MiningOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use crate::dhp::Dhp;
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let miners: Vec<Box<dyn Miner>> = vec![Box::new(Apriori::new()), Box::new(Dhp::new())];
+        let names: Vec<_> = miners.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["apriori", "dhp"]);
+    }
+}

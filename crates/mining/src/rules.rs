@@ -1,0 +1,436 @@
+//! Association-rule derivation — step 2 of the classic decomposition.
+//!
+//! "Since it is easy to generate association rules if the large itemsets
+//! are available, major efforts … have been focused on finding efficient
+//! algorithms to compute the large itemsets" (§1). This module supplies
+//! that easy-but-necessary second step: given `L` with support counts and a
+//! minimum confidence, derive every strong rule `X ⇒ Y` with
+//! `X, Y ⊆ I, X ∩ Y = ∅`, using the `ap-genrules` recursion of Agrawal &
+//! Srikant (consequents grow level-wise; a failed consequent prunes all of
+//! its supersets because confidence is antitone in the consequent).
+
+use crate::gen::apriori_gen;
+use crate::itemset::Itemset;
+use crate::large::LargeItemsets;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An exact minimum-confidence threshold `c = num / den`.
+///
+/// A rule `X ⇒ Y` meets the threshold iff
+/// `support(X ∪ Y) ≥ c × support(X)`, compared exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MinConfidence {
+    num: u64,
+    den: u64,
+}
+
+impl MinConfidence {
+    /// Creates a threshold from a rational `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the fraction exceeds 1.
+    pub fn ratio(num: u64, den: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        assert!(num <= den, "confidence fraction must be ≤ 1");
+        MinConfidence { num, den }
+    }
+
+    /// Creates a threshold from a percentage.
+    pub fn percent(p: u64) -> Self {
+        Self::ratio(p, 100)
+    }
+
+    /// `true` iff `union_count / antecedent_count ≥ c`, exactly.
+    #[inline]
+    pub fn is_met(&self, union_count: u64, antecedent_count: u64) -> bool {
+        u128::from(union_count) * u128::from(self.den)
+            >= u128::from(antecedent_count) * u128::from(self.num)
+    }
+
+    /// The threshold as a float, for reporting only.
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+/// A strong association rule `antecedent ⇒ consequent`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rule {
+    /// The rule body `X`.
+    pub antecedent: Itemset,
+    /// The rule head `Y` (disjoint from `X`).
+    pub consequent: Itemset,
+    /// Support count of `X ∪ Y` in the database.
+    pub union_count: u64,
+    /// Support count of `X` in the database.
+    pub antecedent_count: u64,
+}
+
+impl Rule {
+    /// Confidence `support(X ∪ Y) / support(X)` as a float.
+    pub fn confidence(&self) -> f64 {
+        if self.antecedent_count == 0 {
+            return 0.0;
+        }
+        self.union_count as f64 / self.antecedent_count as f64
+    }
+
+    /// Support of the rule (`support(X ∪ Y)`) as a fraction of `n`
+    /// transactions.
+    pub fn support_fraction(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.union_count as f64 / n as f64
+    }
+
+    /// The rule's identity — antecedent and consequent, ignoring counts.
+    /// Used to diff rule sets across database updates.
+    pub fn key(&self) -> (Itemset, Itemset) {
+        (self.antecedent.clone(), self.consequent.clone())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} => {:?} (conf {:.3}, count {})",
+            self.antecedent,
+            self.consequent,
+            self.confidence(),
+            self.union_count
+        )
+    }
+}
+
+/// A set of strong rules, sorted for deterministic iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Builds a rule set, sorting and deduplicating by rule identity.
+    pub fn from_rules(mut rules: Vec<Rule>) -> Self {
+        rules.sort();
+        rules.dedup_by(|a, b| a.key() == b.key());
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rule is present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, sorted.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Looks up a rule by its antecedent/consequent identity.
+    pub fn get(&self, antecedent: &Itemset, consequent: &Itemset) -> Option<&Rule> {
+        self.rules
+            .iter()
+            .find(|r| &r.antecedent == antecedent && &r.consequent == consequent)
+    }
+
+    /// `true` if a rule with this identity is present.
+    pub fn contains(&self, antecedent: &Itemset, consequent: &Itemset) -> bool {
+        self.get(antecedent, consequent).is_some()
+    }
+
+    /// Rules in `self` whose identity does not occur in `other`.
+    pub fn minus(&self, other: &RuleSet) -> Vec<Rule> {
+        let keys: std::collections::HashSet<(Itemset, Itemset)> =
+            other.rules.iter().map(Rule::key).collect();
+        self.rules
+            .iter()
+            .filter(|r| !keys.contains(&r.key()))
+            .cloned()
+            .collect()
+    }
+}
+
+impl IntoIterator for RuleSet {
+    type Item = Rule;
+    type IntoIter = std::vec::IntoIter<Rule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.into_iter()
+    }
+}
+
+/// Derives all strong rules from `large` at confidence `minconf`, using the
+/// `ap-genrules` level-wise consequent search.
+///
+/// For every large itemset `l` with `|l| ≥ 2`, candidate consequents start
+/// at size 1; a consequent `h` yields the rule `(l − h) ⇒ h` with confidence
+/// `support(l) / support(l − h)`. Consequents that fail are not extended
+/// (confidence can only drop as the consequent grows).
+pub fn generate_rules(large: &LargeItemsets, minconf: MinConfidence) -> RuleSet {
+    let mut out = Vec::new();
+    // Support lookup across *all* levels; antecedents l − h are large by the
+    // subset-closure property, so lookups always succeed for valid input.
+    let support: HashMap<&Itemset, u64> = large.iter().collect();
+
+    for k in 2..=large.max_size() {
+        for (l, l_count) in large.level(k) {
+            // Level 1 consequents.
+            let mut consequents: Vec<Itemset> = Vec::new();
+            for h in l.items().iter().copied().map(Itemset::single) {
+                if try_rule(l, l_count, &h, &support, minconf, &mut out) {
+                    consequents.push(h);
+                }
+            }
+            // Grow consequents while rules keep holding and room remains
+            // for a non-empty antecedent.
+            let mut m = 1;
+            while m + 1 < l.k() && consequents.len() > 1 {
+                let next = apriori_gen(&consequents);
+                consequents.clear();
+                for h in next {
+                    if try_rule(l, l_count, &h, &support, minconf, &mut out) {
+                        consequents.push(h);
+                    }
+                }
+                m += 1;
+            }
+        }
+    }
+    RuleSet::from_rules(out)
+}
+
+/// Checks `l − h ⇒ h`; records it and returns `true` when confident.
+fn try_rule(
+    l: &Itemset,
+    l_count: u64,
+    h: &Itemset,
+    support: &HashMap<&Itemset, u64>,
+    minconf: MinConfidence,
+    out: &mut Vec<Rule>,
+) -> bool {
+    let antecedent = l.difference(h);
+    debug_assert!(!antecedent.is_empty(), "consequent must be proper subset");
+    let Some(&a_count) = support.get(&antecedent) else {
+        // l − h not large ⇒ inconsistent input; skip defensively.
+        return false;
+    };
+    if minconf.is_met(l_count, a_count) {
+        out.push(Rule {
+            antecedent,
+            consequent: h.clone(),
+            union_count: l_count,
+            antecedent_count: a_count,
+        });
+        true
+    } else {
+        false
+    }
+}
+
+/// Reference implementation for tests: tries every non-empty proper subset
+/// of every large itemset as a consequent. Exponential in `k`.
+pub fn generate_rules_naive(large: &LargeItemsets, minconf: MinConfidence) -> RuleSet {
+    let mut out = Vec::new();
+    let support: HashMap<&Itemset, u64> = large.iter().collect();
+    for k in 2..=large.max_size() {
+        for (l, l_count) in large.level(k) {
+            let items = l.items();
+            for mask in 1u32..((1u32 << items.len()) - 1) {
+                let consequent: Itemset = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &x)| x)
+                    .collect();
+                let antecedent = l.difference(&consequent);
+                if let Some(&a_count) = support.get(&antecedent) {
+                    if minconf.is_met(l_count, a_count) {
+                        out.push(Rule {
+                            antecedent,
+                            consequent,
+                            union_count: l_count,
+                            antecedent_count: a_count,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    RuleSet::from_rules(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::Apriori;
+    use crate::support::MinSupport;
+    use fup_tidb::{Transaction, TransactionDb};
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    fn toy_large() -> LargeItemsets {
+        // From a 4-transaction database (AS94 example):
+        let mut l = LargeItemsets::new(4);
+        l.insert(s(&[1]), 2);
+        l.insert(s(&[2]), 3);
+        l.insert(s(&[3]), 3);
+        l.insert(s(&[5]), 3);
+        l.insert(s(&[1, 3]), 2);
+        l.insert(s(&[2, 3]), 2);
+        l.insert(s(&[2, 5]), 3);
+        l.insert(s(&[3, 5]), 2);
+        l.insert(s(&[2, 3, 5]), 2);
+        l
+    }
+
+    #[test]
+    fn confidence_is_exact() {
+        let c = MinConfidence::percent(66);
+        assert!(c.is_met(2, 3)); // 2/3 ≈ 0.667 ≥ 0.66
+        assert!(!c.is_met(1, 2)); // 0.5 < 0.66
+        let c = MinConfidence::ratio(2, 3);
+        assert!(c.is_met(2, 3)); // exactly 2/3
+        assert!(!c.is_met(665, 1000));
+    }
+
+    #[test]
+    fn generates_expected_rules_at_100pct() {
+        let rules = generate_rules(&toy_large(), MinConfidence::percent(100));
+        // 1 ⇒ 3 has confidence 2/2 = 1.0; 2 ⇒ 5 has 3/3 = 1.0; 5 ⇒ 2 too.
+        assert!(rules.contains(&s(&[1]), &s(&[3])));
+        assert!(rules.contains(&s(&[2]), &s(&[5])));
+        assert!(rules.contains(&s(&[5]), &s(&[2])));
+        // 3 ⇒ 1 has confidence 2/3 — excluded.
+        assert!(!rules.contains(&s(&[3]), &s(&[1])));
+        // {3,5} ⇒ 2 has confidence 2/2 = 1.0.
+        assert!(rules.contains(&s(&[3, 5]), &s(&[2])));
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let large = toy_large();
+        for pct in [30, 50, 66, 80, 100] {
+            let c = MinConfidence::percent(pct);
+            let fast = generate_rules(&large, c);
+            let naive = generate_rules_naive(&large, c);
+            assert_eq!(
+                fast.rules(),
+                naive.rules(),
+                "confidence {pct}%: fast {} vs naive {}",
+                fast.len(),
+                naive.len()
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_mined_database() {
+        let db = TransactionDb::from_transactions(
+            [
+                vec![1u32, 2, 3, 4],
+                vec![1, 2, 3],
+                vec![1, 2],
+                vec![2, 3, 4],
+                vec![1, 3, 4],
+                vec![2, 4],
+                vec![1, 2, 4],
+            ]
+            .into_iter()
+            .map(Transaction::from_items),
+        );
+        let large = Apriori::new().run(&db, MinSupport::percent(25)).large;
+        for pct in [40, 60, 75, 90] {
+            let c = MinConfidence::percent(pct);
+            assert_eq!(
+                generate_rules(&large, c).rules(),
+                generate_rules_naive(&large, c).rules(),
+                "confidence {pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_accessors() {
+        let r = Rule {
+            antecedent: s(&[1]),
+            consequent: s(&[2]),
+            union_count: 3,
+            antecedent_count: 4,
+        };
+        assert!((r.confidence() - 0.75).abs() < 1e-12);
+        assert!((r.support_fraction(10) - 0.3).abs() < 1e-12);
+        assert_eq!(r.key(), (s(&[1]), s(&[2])));
+        assert!(r.to_string().contains("=>"));
+    }
+
+    #[test]
+    fn zero_counts_are_safe() {
+        let r = Rule {
+            antecedent: s(&[1]),
+            consequent: s(&[2]),
+            union_count: 0,
+            antecedent_count: 0,
+        };
+        assert_eq!(r.confidence(), 0.0);
+        assert_eq!(r.support_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn ruleset_minus_diffs_by_identity() {
+        let a = RuleSet::from_rules(vec![
+            Rule {
+                antecedent: s(&[1]),
+                consequent: s(&[2]),
+                union_count: 5,
+                antecedent_count: 6,
+            },
+            Rule {
+                antecedent: s(&[3]),
+                consequent: s(&[4]),
+                union_count: 5,
+                antecedent_count: 5,
+            },
+        ]);
+        let b = RuleSet::from_rules(vec![Rule {
+            antecedent: s(&[1]),
+            consequent: s(&[2]),
+            union_count: 9, // different counts, same identity
+            antecedent_count: 9,
+        }]);
+        let gained = a.minus(&b);
+        assert_eq!(gained.len(), 1);
+        assert_eq!(gained[0].antecedent, s(&[3]));
+        assert!(b.minus(&a).is_empty());
+    }
+
+    #[test]
+    fn empty_large_set_yields_no_rules() {
+        let rules = generate_rules(&LargeItemsets::new(10), MinConfidence::percent(50));
+        assert!(rules.is_empty());
+        assert_eq!(rules.len(), 0);
+    }
+
+    #[test]
+    fn only_singleton_itemsets_yield_no_rules() {
+        let mut l = LargeItemsets::new(10);
+        l.insert(s(&[1]), 5);
+        l.insert(s(&[2]), 5);
+        assert!(generate_rules(&l, MinConfidence::percent(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "≤ 1")]
+    fn confidence_above_one_rejected() {
+        let _ = MinConfidence::ratio(3, 2);
+    }
+}

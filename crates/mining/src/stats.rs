@@ -1,0 +1,102 @@
+//! Per-pass mining statistics.
+//!
+//! The paper's headline comparisons are *counts*, not just times: Figure 3
+//! plots the ratio of candidate-set counts between FUP and DHP/Apriori.
+//! Every miner therefore records, per pass, how many candidates it
+//! generated and how many it actually counted against the (large) database.
+
+use std::time::Duration;
+
+/// Statistics for one pass (iteration) of a miner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Itemset size handled by this pass.
+    pub k: usize,
+    /// Candidates generated before any pruning (`|C_k|` as produced by
+    /// `apriori-gen`, or the number of distinct items for pass 1).
+    pub candidates_generated: u64,
+    /// Candidates whose support was counted against the *original/full*
+    /// database — the expensive scan the paper's Figure 3 counts. For FUP
+    /// this is `|C_k|` after the increment-support pruning of Lemmas 2/5.
+    pub candidates_checked: u64,
+    /// Large itemsets produced by this pass (`|L_k|` or `|L'_k|`).
+    pub large_found: u64,
+}
+
+/// Aggregate statistics for one mining / maintenance run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MiningStats {
+    /// Algorithm name ("apriori", "dhp", "fup", "fup2").
+    pub algorithm: &'static str,
+    /// One entry per pass, in pass order.
+    pub passes: Vec<PassStats>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl MiningStats {
+    /// Creates empty stats for `algorithm`.
+    pub fn new(algorithm: &'static str) -> Self {
+        MiningStats {
+            algorithm,
+            passes: Vec::new(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Number of passes run.
+    pub fn num_passes(&self) -> usize {
+        self.passes.len()
+    }
+
+    /// Sum of candidates generated across passes.
+    pub fn total_candidates_generated(&self) -> u64 {
+        self.passes.iter().map(|p| p.candidates_generated).sum()
+    }
+
+    /// Sum of candidates counted against the original/full database across
+    /// passes — the Figure 3 quantity.
+    pub fn total_candidates_checked(&self) -> u64 {
+        self.passes.iter().map(|p| p.candidates_checked).sum()
+    }
+
+    /// Sum of large itemsets found across passes.
+    pub fn total_large(&self) -> u64 {
+        self.passes.iter().map(|p| p.large_found).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_passes() {
+        let mut s = MiningStats::new("apriori");
+        s.passes.push(PassStats {
+            k: 1,
+            candidates_generated: 1000,
+            candidates_checked: 1000,
+            large_found: 400,
+        });
+        s.passes.push(PassStats {
+            k: 2,
+            candidates_generated: 500,
+            candidates_checked: 120,
+            large_found: 60,
+        });
+        assert_eq!(s.num_passes(), 2);
+        assert_eq!(s.total_candidates_generated(), 1500);
+        assert_eq!(s.total_candidates_checked(), 1120);
+        assert_eq!(s.total_large(), 460);
+        assert_eq!(s.algorithm, "apriori");
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = MiningStats::new("fup");
+        assert_eq!(s.num_passes(), 0);
+        assert_eq!(s.total_candidates_checked(), 0);
+        assert_eq!(s.elapsed, Duration::ZERO);
+    }
+}

@@ -1,0 +1,170 @@
+//! Exact minimum-support thresholds.
+//!
+//! The paper compares support *counts* against `s × (D + d)` where `s` is a
+//! percentage (e.g. 0.75 %). Doing this in floating point invites
+//! off-by-one disagreements between algorithms near the threshold — fatal
+//! for the equivalence property `FUP(DB, db) == Apriori(DB ∪ db)`.
+//! [`MinSupport`] therefore stores `s` as an exact rational and compares
+//! with integer cross-multiplication.
+
+use std::fmt;
+
+/// An exact minimum-support threshold `s = num / den`.
+///
+/// An itemset `X` is *large* in a database of `n` transactions iff
+/// `X.support ≥ s × n`, evaluated exactly as
+/// `X.support × den ≥ n × num` in 128-bit arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MinSupport {
+    num: u64,
+    den: u64,
+}
+
+impl MinSupport {
+    /// Creates a threshold from a rational `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the fraction exceeds 1.
+    pub fn ratio(num: u64, den: u64) -> Self {
+        assert!(den > 0, "denominator must be positive");
+        assert!(num <= den, "support fraction must be ≤ 1");
+        MinSupport { num, den }
+    }
+
+    /// Creates a threshold from a percentage, e.g. `percent(3)` for the
+    /// paper's `s = 3 %`.
+    pub fn percent(p: u64) -> Self {
+        Self::ratio(p, 100)
+    }
+
+    /// Creates a threshold from basis points (1/100 of a percent), the
+    /// finest granularity the paper uses (`0.75 % = 75 bp`).
+    pub fn basis_points(bp: u64) -> Self {
+        Self::ratio(bp, 10_000)
+    }
+
+    /// The numerator of the exact fraction.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// The denominator of the exact fraction.
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// `true` iff an itemset with support count `count` is large in a
+    /// database of `n` transactions: `count ≥ s × n`.
+    #[inline]
+    pub fn is_large(&self, count: u64, n: u64) -> bool {
+        u128::from(count) * u128::from(self.den) >= u128::from(n) * u128::from(self.num)
+    }
+
+    /// The smallest support count that is large in a database of `n`
+    /// transactions: `⌈s × n⌉` (with the `≥` convention of the paper, an
+    /// exact multiple also qualifies).
+    pub fn required_count(&self, n: u64) -> u64 {
+        let prod = u128::from(n) * u128::from(self.num);
+        let den = u128::from(self.den);
+        prod.div_ceil(den) as u64
+    }
+
+    /// The threshold as a float, for reporting only.
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl fmt::Display for MinSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}%", self.as_f64() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1_thresholds() {
+        // Example 1: D = 1000, d = 100, s = 3 %.
+        let s = MinSupport::percent(3);
+        // I1.support_UD = 36 > 1100 × 3 % = 33 → large.
+        assert!(s.is_large(36, 1100));
+        // I2.support_UD = 32 < 33 → loser.
+        assert!(!s.is_large(32, 1100));
+        // Lemma-2 pruning threshold in db: s × d = 3.
+        assert_eq!(s.required_count(100), 3);
+        assert!(!s.is_large(2, 100)); // I4.support_d = 2 → pruned
+        assert!(s.is_large(6, 100)); // I3.support_d = 6 → kept
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let s = MinSupport::percent(3);
+        // Exactly s × n qualifies (the paper's `≥`).
+        assert!(s.is_large(33, 1100));
+        assert!(!s.is_large(32, 1100));
+        assert_eq!(s.required_count(1100), 33);
+    }
+
+    #[test]
+    fn ceil_behaviour_for_non_integral_products() {
+        let s = MinSupport::basis_points(75); // 0.75 %
+        // 0.75 % of 101_000 = 757.5 → required 758.
+        assert_eq!(s.required_count(101_000), 758);
+        assert!(s.is_large(758, 101_000));
+        assert!(!s.is_large(757, 101_000));
+    }
+
+    #[test]
+    fn zero_support_threshold() {
+        let s = MinSupport::ratio(0, 1);
+        assert!(s.is_large(0, 1_000_000));
+        assert_eq!(s.required_count(123), 0);
+    }
+
+    #[test]
+    fn full_support_threshold() {
+        let s = MinSupport::ratio(1, 1);
+        assert!(s.is_large(10, 10));
+        assert!(!s.is_large(9, 10));
+    }
+
+    #[test]
+    fn no_overflow_at_scale() {
+        // A billion transactions at 6 % must not overflow.
+        let s = MinSupport::percent(6);
+        let n = 1_000_000_000u64;
+        assert_eq!(s.required_count(n), 60_000_000);
+        assert!(s.is_large(60_000_000, n));
+        assert!(!s.is_large(59_999_999, n));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        let _ = MinSupport::ratio(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "≤ 1")]
+    fn fraction_above_one_rejected() {
+        let _ = MinSupport::ratio(2, 1);
+    }
+
+    #[test]
+    fn display_formats_percent() {
+        assert_eq!(MinSupport::percent(3).to_string(), "3.0000%");
+        assert_eq!(MinSupport::basis_points(75).to_string(), "0.7500%");
+    }
+
+    #[test]
+    fn accessors() {
+        let s = MinSupport::ratio(3, 200);
+        assert_eq!(s.num(), 3);
+        assert_eq!(s.den(), 200);
+        assert!((s.as_f64() - 0.015).abs() < 1e-12);
+    }
+}

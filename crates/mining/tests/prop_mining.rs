@@ -1,0 +1,168 @@
+//! Property tests for the mining foundation: every fast path agrees with
+//! its obviously-correct reference implementation on random inputs.
+
+use fup_mining::apriori::mine_naive;
+use fup_mining::gen::{apriori_gen, apriori_gen_naive};
+use fup_mining::rules::{generate_rules, generate_rules_naive, MinConfidence};
+use fup_mining::{Apriori, Dhp, HashTree, Itemset, MinSupport};
+use fup_tidb::transaction::contains_sorted;
+use fup_tidb::{ItemId, Transaction, TransactionDb};
+use proptest::prelude::*;
+
+fn arb_transaction(max_item: u32, max_len: usize) -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0..max_item, 1..max_len).prop_map(Transaction::from_items)
+}
+
+fn arb_db() -> impl Strategy<Value = Vec<Transaction>> {
+    proptest::collection::vec(arb_transaction(14, 7), 1..40)
+}
+
+fn arb_itemset(max_item: u32, k: usize) -> impl Strategy<Value = Itemset> {
+    proptest::collection::hash_set(0..max_item, k).prop_map(Itemset::from_items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hashtree_matches_naive_containment(
+        candidates in proptest::collection::hash_set(arb_itemset(40, 3), 1..60),
+        transactions in proptest::collection::vec(arb_transaction(40, 10), 0..40),
+    ) {
+        let candidates: Vec<Itemset> = candidates.into_iter().collect();
+        let mut tree = HashTree::build(candidates.clone());
+        for t in &transactions {
+            tree.add_transaction(t.items());
+        }
+        for (c, &count) in candidates.iter().zip(tree.counts()) {
+            let truth = transactions
+                .iter()
+                .filter(|t| contains_sorted(t.items(), c.items()))
+                .count() as u64;
+            prop_assert_eq!(count, truth, "candidate {:?}", c);
+        }
+    }
+
+    #[test]
+    fn apriori_gen_matches_naive(
+        level in proptest::collection::hash_set(arb_itemset(10, 2), 0..25),
+    ) {
+        let level: Vec<Itemset> = level.into_iter().collect();
+        prop_assert_eq!(apriori_gen(&level), apriori_gen_naive(&level));
+    }
+
+    #[test]
+    fn apriori_gen_candidates_have_large_subsets(
+        level in proptest::collection::hash_set(arb_itemset(12, 3), 0..25),
+    ) {
+        let level: Vec<Itemset> = level.into_iter().collect();
+        let members: std::collections::HashSet<&Itemset> = level.iter().collect();
+        for c in apriori_gen(&level) {
+            prop_assert_eq!(c.k(), 4);
+            for sub in c.proper_subsets() {
+                prop_assert!(members.contains(&sub), "{:?} missing subset {:?}", c, sub);
+            }
+        }
+    }
+
+    #[test]
+    fn apriori_and_dhp_match_naive(
+        rows in arb_db(),
+        pct in 1u64..=100,
+    ) {
+        let db = TransactionDb::from_transactions(rows);
+        let minsup = MinSupport::percent(pct);
+        let truth = mine_naive(&db, minsup);
+        let apriori = Apriori::new().run(&db, minsup).large;
+        prop_assert!(apriori.same_itemsets(&truth), "apriori: {:?}", apriori.diff(&truth));
+        let dhp = Dhp::new().run(&db, minsup).large;
+        prop_assert!(dhp.same_itemsets(&truth), "dhp: {:?}", dhp.diff(&truth));
+    }
+
+    #[test]
+    fn rules_match_naive_and_respect_confidence(
+        rows in arb_db(),
+        sup_pct in 5u64..=60,
+        conf_pct in 10u64..=100,
+    ) {
+        let db = TransactionDb::from_transactions(rows);
+        let large = Apriori::new().run(&db, MinSupport::percent(sup_pct)).large;
+        let minconf = MinConfidence::percent(conf_pct);
+        let fast = generate_rules(&large, minconf);
+        let naive = generate_rules_naive(&large, minconf);
+        prop_assert_eq!(fast.rules(), naive.rules());
+        for r in fast.rules() {
+            // Confidence threshold honoured exactly.
+            prop_assert!(minconf.is_met(r.union_count, r.antecedent_count));
+            // Antecedent and consequent are disjoint and non-empty.
+            prop_assert!(!r.antecedent.is_empty());
+            prop_assert!(!r.consequent.is_empty());
+            for item in r.consequent.items() {
+                prop_assert!(!r.antecedent.contains(*item));
+            }
+            // Support counts come from the large-itemset table.
+            let union = r.antecedent.union(&r.consequent);
+            prop_assert_eq!(large.support(&union), Some(r.union_count));
+            prop_assert_eq!(large.support(&r.antecedent), Some(r.antecedent_count));
+        }
+    }
+
+    #[test]
+    fn subset_closure_holds_for_mined_itemsets(
+        rows in arb_db(),
+        pct in 5u64..=80,
+    ) {
+        // Every subset of a large itemset is large with ≥ its support —
+        // the foundation of Lemma 3.
+        let db = TransactionDb::from_transactions(rows);
+        let large = Apriori::new().run(&db, MinSupport::percent(pct)).large;
+        for (x, sup) in large.iter() {
+            if x.k() < 2 {
+                continue;
+            }
+            for sub in x.proper_subsets() {
+                let sub_sup = large.support(&sub);
+                prop_assert!(sub_sup.is_some(), "{:?} lacks subset {:?}", x, sub);
+                prop_assert!(sub_sup.unwrap() >= sup);
+            }
+        }
+    }
+
+    #[test]
+    fn minsup_monotonicity(
+        rows in arb_db(),
+        lo in 1u64..=50,
+        delta in 1u64..=50,
+    ) {
+        // Raising the threshold can only shrink the result set.
+        let db = TransactionDb::from_transactions(rows);
+        let low = Apriori::new().run(&db, MinSupport::percent(lo)).large;
+        let high = Apriori::new().run(&db, MinSupport::percent(lo + delta)).large;
+        for (x, sup) in high.iter() {
+            prop_assert_eq!(low.support(x), Some(sup));
+        }
+        prop_assert!(high.len() <= low.len());
+    }
+}
+
+/// `contains_sorted` agrees with a set-based reference.
+#[test]
+fn contains_sorted_reference() {
+    use std::collections::BTreeSet;
+    let mut rng = 1u64;
+    let mut next = || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (rng >> 33) as u32
+    };
+    for _ in 0..500 {
+        let hay: BTreeSet<u32> = (0..(next() % 12)).map(|_| next() % 20).collect();
+        let needle: BTreeSet<u32> = (0..(next() % 6)).map(|_| next() % 20).collect();
+        let hay_v: Vec<ItemId> = hay.iter().map(|&i| ItemId(i)).collect();
+        let needle_v: Vec<ItemId> = needle.iter().map(|&i| ItemId(i)).collect();
+        assert_eq!(
+            contains_sorted(&hay_v, &needle_v),
+            needle.is_subset(&hay),
+            "hay {hay:?} needle {needle:?}"
+        );
+    }
+}

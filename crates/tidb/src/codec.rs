@@ -1,0 +1,244 @@
+//! Binary transaction codec.
+//!
+//! Transactions are stored as a LEB128 varint length followed by
+//! delta-encoded varint item ids (items are sorted, so gaps are small and
+//! varints stay short). This is the on-"disk" format of
+//! [`PagedStore`](crate::page::PagedStore) and also the basis for the byte
+//! accounting of in-memory scans.
+
+use crate::error::{Error, Result};
+use crate::item::ItemId;
+use crate::transaction::Transaction;
+
+/// Maximum bytes a `u32` varint can occupy.
+pub const MAX_VARINT_LEN: usize = 5;
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf[*pos..]`, advancing `*pos`.
+#[inline]
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let mut value: u32 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(Error::Corrupt {
+                reason: "truncated varint".into(),
+                offset: Some(*pos),
+            });
+        };
+        *pos += 1;
+        let payload = u32::from(byte & 0x7f);
+        if shift >= 32 || (shift == 28 && payload > 0xf) {
+            return Err(Error::Corrupt {
+                reason: "varint overflows u32".into(),
+                offset: Some(*pos - 1),
+            });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Appends the encoding of `items` (a sorted item slice) to `buf`.
+///
+/// Layout: `varint(len)` then `len` delta varints (`first`, `gap`, `gap`, …).
+pub fn encode_transaction(buf: &mut Vec<u8>, items: &[ItemId]) {
+    write_varint(buf, items.len() as u32);
+    let mut prev = 0u32;
+    for (i, item) in items.iter().enumerate() {
+        let raw = item.raw();
+        if i == 0 {
+            write_varint(buf, raw);
+        } else {
+            write_varint(buf, raw - prev);
+        }
+        prev = raw;
+    }
+}
+
+/// Decodes one transaction from `buf[*pos..]`, advancing `*pos`.
+/// Items are pushed into `out`, which is cleared first (a reusable
+/// "workhorse" buffer keeps scan decoding allocation-free).
+pub fn decode_transaction(buf: &[u8], pos: &mut usize, out: &mut Vec<ItemId>) -> Result<()> {
+    out.clear();
+    let len = read_varint(buf, pos)? as usize;
+    out.reserve(len);
+    let mut prev = 0u32;
+    for i in 0..len {
+        let v = read_varint(buf, pos)?;
+        let raw = if i == 0 {
+            v
+        } else {
+            prev.checked_add(v).ok_or_else(|| Error::Corrupt {
+                reason: "item delta overflows u32".into(),
+                offset: Some(*pos),
+            })?
+        };
+        if i > 0 && v == 0 {
+            return Err(Error::Corrupt {
+                reason: "zero delta: duplicate item".into(),
+                offset: Some(*pos),
+            });
+        }
+        out.push(ItemId(raw));
+        prev = raw;
+    }
+    Ok(())
+}
+
+/// Number of bytes [`encode_transaction`] would produce for `items`.
+pub fn encoded_len(items: &[ItemId]) -> usize {
+    let mut n = varint_len(items.len() as u32);
+    let mut prev = 0u32;
+    for (i, item) in items.iter().enumerate() {
+        let raw = item.raw();
+        n += if i == 0 {
+            varint_len(raw)
+        } else {
+            varint_len(raw - prev)
+        };
+        prev = raw;
+    }
+    n
+}
+
+/// Number of bytes a varint encoding of `v` occupies.
+#[inline]
+pub fn varint_len(v: u32) -> usize {
+    match v {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+/// Convenience: encodes a [`Transaction`] into a fresh buffer.
+pub fn encode_to_vec(t: &Transaction) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(encoded_len(t.items()));
+    encode_transaction(&mut buf, t.items());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(items: &[u32]) {
+        let t = Transaction::from_items(items.iter().copied());
+        let buf = encode_to_vec(&t);
+        assert_eq!(buf.len(), encoded_len(t.items()), "encoded_len mismatch");
+        let mut pos = 0;
+        let mut out = Vec::new();
+        decode_transaction(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(out.as_slice(), t.items());
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[127, 128, 16384, 2_000_000]);
+        roundtrip(&[u32::MAX - 1, u32::MAX]);
+        roundtrip(&(0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for (v, len) in [
+            (0u32, 1),
+            (127, 1),
+            (128, 2),
+            (16383, 2),
+            (16384, 3),
+            (u32::MAX, 5),
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), len, "value {v}");
+            assert_eq!(varint_len(v), len, "value {v}");
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let buf = [0x80u8]; // continuation bit set, nothing follows
+        let mut pos = 0;
+        let err = read_varint(&buf, &mut pos).unwrap_err();
+        assert!(matches!(err, Error::Corrupt { .. }));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        // Six continuation bytes overflow a u32.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn truncated_transaction_errors() {
+        let t = Transaction::from_items([10u32, 20, 30]);
+        let buf = encode_to_vec(&t);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        assert!(decode_transaction(&buf[..buf.len() - 1], &mut pos, &mut out).is_err());
+    }
+
+    #[test]
+    fn zero_delta_rejected() {
+        // len=2, first=5, delta=0 → duplicate item
+        let buf = vec![2, 5, 0];
+        let mut out = Vec::new();
+        let mut pos = 0;
+        let err = decode_transaction(&buf, &mut pos, &mut out).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // 10 consecutive large items: deltas of 1 keep it ~1 byte each.
+        let items: Vec<u32> = (1_000_000..1_000_010).collect();
+        let t = Transaction::from_items(items);
+        let buf = encode_to_vec(&t);
+        // 1 (len) + 3 (first, 1_000_000 < 2^21) + 9 (deltas) = 13
+        assert_eq!(buf.len(), 13);
+    }
+
+    #[test]
+    fn decode_reuses_buffer() {
+        let t1 = Transaction::from_items([1u32, 2, 3, 4, 5]);
+        let t2 = Transaction::from_items([9u32]);
+        let mut buf = Vec::new();
+        encode_transaction(&mut buf, t1.items());
+        encode_transaction(&mut buf, t2.items());
+        let mut out = Vec::new();
+        let mut pos = 0;
+        decode_transaction(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(out.len(), 5);
+        decode_transaction(&buf, &mut pos, &mut out).unwrap();
+        assert_eq!(out.as_slice(), &[ItemId(9)]);
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,136 @@
+//! Mapping between application item names and compact [`ItemId`]s.
+
+use crate::error::{Error, Result};
+use crate::item::ItemId;
+use std::collections::HashMap;
+
+/// A bidirectional dictionary of item names.
+///
+/// Algorithms operate on dense [`ItemId`]s; applications usually have SKUs,
+/// product names, page URLs, etc. The dictionary interns names on first
+/// sight ([`ItemDictionary::intern`]) and resolves them back for display.
+#[derive(Debug, Default, Clone)]
+pub struct ItemDictionary {
+    names: Vec<String>,
+    by_name: HashMap<String, ItemId>,
+}
+
+impl ItemDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct items interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if no item has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns `name`, returning its id. Idempotent: the same name always
+    /// maps to the same id.
+    pub fn intern(&mut self, name: &str) -> Result<ItemId> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(id);
+        }
+        let raw = u32::try_from(self.names.len()).map_err(|_| Error::DictionaryFull)?;
+        if raw == u32::MAX {
+            return Err(Error::DictionaryFull);
+        }
+        let id = ItemId(raw);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up an existing name without interning.
+    pub fn get(&self, name: &str) -> Option<ItemId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    pub fn name(&self, id: ItemId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Renders a sorted itemset as `{a, b, c}` using interned names,
+    /// falling back to the raw id for unknown items.
+    pub fn render_itemset(&self, items: &[ItemId]) -> String {
+        let mut out = String::from("{");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match self.name(*item) {
+                Some(n) => out.push_str(n),
+                None => out.push_str(&item.raw().to_string()),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ItemId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = ItemDictionary::new();
+        let a = d.intern("beer").unwrap();
+        let b = d.intern("diapers").unwrap();
+        let a2 = d.intern("beer").unwrap();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn resolve_both_directions() {
+        let mut d = ItemDictionary::new();
+        let a = d.intern("milk").unwrap();
+        assert_eq!(d.get("milk"), Some(a));
+        assert_eq!(d.get("nope"), None);
+        assert_eq!(d.name(a), Some("milk"));
+        assert_eq!(d.name(ItemId(99)), None);
+    }
+
+    #[test]
+    fn render_itemset_formats_names_and_unknowns() {
+        let mut d = ItemDictionary::new();
+        let a = d.intern("bread").unwrap();
+        let b = d.intern("butter").unwrap();
+        assert_eq!(d.render_itemset(&[a, b]), "{bread, butter}");
+        assert_eq!(d.render_itemset(&[ItemId(42)]), "{42}");
+        assert_eq!(d.render_itemset(&[]), "{}");
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = ItemDictionary::new();
+        d.intern("x").unwrap();
+        d.intern("y").unwrap();
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(ItemId(0), "x"), (ItemId(1), "y")]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = ItemDictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the substrate.
+
+use std::fmt;
+
+/// Errors produced by the transaction database substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A varint or page structure could not be decoded.
+    Corrupt {
+        /// Human-readable description of what failed to decode.
+        reason: String,
+        /// Byte offset at which decoding failed, when known.
+        offset: Option<usize>,
+    },
+    /// A transaction id referenced a transaction that does not exist
+    /// (or was already deleted).
+    UnknownTransaction(crate::segment::Tid),
+    /// A segment id referenced a segment that does not exist.
+    UnknownSegment(crate::segment::SegmentId),
+    /// An encoded transaction exceeds the page payload capacity and can
+    /// never be stored.
+    TransactionTooLarge {
+        /// Encoded size of the offending transaction in bytes.
+        encoded_len: usize,
+        /// Maximum payload a page can hold.
+        page_capacity: usize,
+    },
+    /// The dictionary is full (more than `u32::MAX` distinct items).
+    DictionaryFull,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Corrupt { reason, offset } => match offset {
+                Some(o) => write!(f, "corrupt encoding at byte {o}: {reason}"),
+                None => write!(f, "corrupt encoding: {reason}"),
+            },
+            Error::UnknownTransaction(tid) => write!(f, "unknown transaction id {tid:?}"),
+            Error::UnknownSegment(sid) => write!(f, "unknown segment id {sid:?}"),
+            Error::TransactionTooLarge {
+                encoded_len,
+                page_capacity,
+            } => write!(
+                f,
+                "transaction encodes to {encoded_len} bytes, exceeding page capacity {page_capacity}"
+            ),
+            Error::DictionaryFull => write!(f, "item dictionary is full"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for substrate operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::{SegmentId, Tid};
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::Corrupt {
+            reason: "truncated varint".into(),
+            offset: Some(12),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        assert!(e.to_string().contains("truncated varint"));
+
+        let e = Error::UnknownTransaction(Tid(9));
+        assert!(e.to_string().contains('9'));
+
+        let e = Error::UnknownSegment(SegmentId(3));
+        assert!(e.to_string().contains('3'));
+
+        let e = Error::TransactionTooLarge {
+            encoded_len: 9000,
+            page_capacity: 4088,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4088"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::DictionaryFull);
+    }
+}

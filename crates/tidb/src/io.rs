@@ -1,0 +1,186 @@
+//! Plain-text transaction I/O.
+//!
+//! Two interchange formats are supported:
+//!
+//! * **numeric** — one transaction per line, whitespace-separated item
+//!   ids (the format of the classic IBM/FIMI basket datasets);
+//! * **named** — one transaction per line, comma-separated item names,
+//!   interned through an [`ItemDictionary`].
+//!
+//! Readers are resilient to blank lines and `#` comments, and report the
+//! line number of any malformed token.
+
+use crate::dictionary::ItemDictionary;
+use crate::error::{Error, Result};
+use crate::item::ItemId;
+use crate::transaction::Transaction;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads numeric, whitespace-separated transactions (FIMI format).
+///
+/// Blank lines and lines starting with `#` are skipped. Duplicate items
+/// within a line are deduplicated (transactions are sets).
+pub fn read_numeric<R: Read>(reader: R) -> Result<Vec<Transaction>> {
+    let mut out = Vec::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line.map_err(|e| Error::Corrupt {
+            reason: format!("I/O error: {e}"),
+            offset: None,
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut items: Vec<ItemId> = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let raw: u32 = token.parse().map_err(|_| Error::Corrupt {
+                reason: format!("line {}: bad item id {token:?}", lineno + 1),
+                offset: None,
+            })?;
+            items.push(ItemId(raw));
+        }
+        out.push(Transaction::from_items(items));
+    }
+    Ok(out)
+}
+
+/// Writes transactions in the numeric format read by [`read_numeric`].
+pub fn write_numeric<W: Write>(mut writer: W, transactions: &[Transaction]) -> Result<()> {
+    for t in transactions {
+        let line: Vec<String> = t.items().iter().map(|i| i.raw().to_string()).collect();
+        writeln!(writer, "{}", line.join(" ")).map_err(|e| Error::Corrupt {
+            reason: format!("I/O error: {e}"),
+            offset: None,
+        })?;
+    }
+    Ok(())
+}
+
+/// Reads named, comma-separated transactions, interning names into `dict`.
+///
+/// Names are trimmed; empty fields are skipped. Blank lines and `#`
+/// comments are ignored.
+pub fn read_named<R: Read>(reader: R, dict: &mut ItemDictionary) -> Result<Vec<Transaction>> {
+    let mut out = Vec::new();
+    for line in BufReader::new(reader).lines() {
+        let line = line.map_err(|e| Error::Corrupt {
+            reason: format!("I/O error: {e}"),
+            offset: None,
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut items: Vec<ItemId> = Vec::new();
+        for name in trimmed.split(',') {
+            let name = name.trim();
+            if name.is_empty() {
+                continue;
+            }
+            items.push(dict.intern(name)?);
+        }
+        out.push(Transaction::from_items(items));
+    }
+    Ok(out)
+}
+
+/// Writes transactions in the named format read by [`read_named`],
+/// resolving ids through `dict` (unknown ids render as raw numbers).
+pub fn write_named<W: Write>(
+    mut writer: W,
+    transactions: &[Transaction],
+    dict: &ItemDictionary,
+) -> Result<()> {
+    for t in transactions {
+        let line: Vec<String> = t
+            .items()
+            .iter()
+            .map(|i| {
+                dict.name(*i)
+                    .map(str::to_owned)
+                    .unwrap_or_else(|| i.raw().to_string())
+            })
+            .collect();
+        writeln!(writer, "{}", line.join(",")).map_err(|e| Error::Corrupt {
+            reason: format!("I/O error: {e}"),
+            offset: None,
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_roundtrip() {
+        // Note: empty transactions are not representable in the text
+        // format (an empty line reads as a skip).
+        let txs = vec![
+            Transaction::from_items([3u32, 1, 2]),
+            Transaction::from_items([7u32]),
+        ];
+        let mut buf = Vec::new();
+        write_numeric(&mut buf, &txs).unwrap();
+        let back = read_numeric(&buf[..]).unwrap();
+        assert_eq!(back, txs);
+    }
+
+    #[test]
+    fn numeric_skips_comments_and_blanks() {
+        let input = "# basket data\n1 2 3\n\n  \n4 5\n";
+        let txs = read_numeric(input.as_bytes()).unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].len(), 3);
+        assert_eq!(txs[1].len(), 2);
+    }
+
+    #[test]
+    fn numeric_dedupes_within_line() {
+        let txs = read_numeric("5 5 5 1".as_bytes()).unwrap();
+        assert_eq!(txs[0].items(), &[ItemId(1), ItemId(5)]);
+    }
+
+    #[test]
+    fn numeric_reports_bad_tokens_with_line() {
+        let err = read_numeric("1 2\n3 x 4\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("\"x\""), "{msg}");
+    }
+
+    #[test]
+    fn named_roundtrip_with_dictionary() {
+        let mut dict = ItemDictionary::new();
+        let input = "# groceries\nbread, butter\nmilk,bread\n";
+        let txs = read_named(input.as_bytes(), &mut dict).unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(dict.len(), 3);
+        assert!(txs[1].contains(dict.get("milk").unwrap()));
+
+        let mut buf = Vec::new();
+        write_named(&mut buf, &txs, &dict).unwrap();
+        let rendered = String::from_utf8(buf).unwrap();
+        assert!(rendered.contains("bread,butter"));
+        let mut dict2 = ItemDictionary::new();
+        let back = read_named(rendered.as_bytes(), &mut dict2).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn named_skips_empty_fields() {
+        let mut dict = ItemDictionary::new();
+        let txs = read_named("a,,b,\n".as_bytes(), &mut dict).unwrap();
+        assert_eq!(txs[0].len(), 2);
+    }
+
+    #[test]
+    fn write_named_falls_back_to_raw_ids() {
+        let dict = ItemDictionary::new();
+        let txs = vec![Transaction::from_items([9u32])];
+        let mut buf = Vec::new();
+        write_named(&mut buf, &txs, &dict).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().trim(), "9");
+    }
+}

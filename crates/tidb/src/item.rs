@@ -1,0 +1,87 @@
+//! Compact item identifiers.
+
+use std::fmt;
+
+/// A compact identifier for an item (a "literal" in the paper's terminology,
+/// `I = {i1, i2, ..., im}`).
+///
+/// Items are dense small integers so that itemsets can be stored as sorted
+/// `u32` slices and candidate hash trees can index on them cheaply. Mapping
+/// to and from application-level names is the job of
+/// [`ItemDictionary`](crate::ItemDictionary).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The smallest possible item id.
+    pub const MIN: ItemId = ItemId(0);
+    /// The largest possible item id.
+    pub const MAX: ItemId = ItemId(u32::MAX);
+
+    /// Returns the raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, for indexing into per-item tables.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ItemId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        ItemId(v)
+    }
+}
+
+impl From<ItemId> for u32 {
+    #[inline]
+    fn from(v: ItemId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(ItemId(1) < ItemId(2));
+        assert!(ItemId::MIN < ItemId::MAX);
+        let mut v = vec![ItemId(5), ItemId(1), ItemId(3)];
+        v.sort();
+        assert_eq!(v, vec![ItemId(1), ItemId(3), ItemId(5)]);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id: ItemId = 42u32.into();
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        let raw: u32 = id.into();
+        assert_eq!(raw, 42);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", ItemId(7)), "I7");
+        assert_eq!(format!("{}", ItemId(7)), "7");
+    }
+}

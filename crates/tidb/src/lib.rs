@@ -1,0 +1,69 @@
+//! # fup-tidb — transaction database substrate
+//!
+//! The FUP paper's algorithms (Apriori, DHP, FUP, FUP2) are *scan* algorithms
+//! over a transaction database: every iteration reads either the increment
+//! `db` or the original database `DB` end-to-end and counts candidate
+//! itemsets inside each transaction. Their relative performance is governed
+//! by (a) how many candidate sets each pass carries and (b) how much data
+//! each pass scans. This crate provides the substrate that makes both
+//! quantities observable:
+//!
+//! * [`ItemId`] / [`ItemDictionary`] — compact item identifiers with an
+//!   optional string dictionary,
+//! * [`Transaction`] — a sorted, duplicate-free set of items,
+//! * [`TransactionDb`] — an in-memory transaction store,
+//! * [`SegmentedDb`] — a store partitioned into a base database plus
+//!   increments and decrements, modelling the paper's `DB`, `db⁺` and `db⁻`,
+//! * [`codec`] / [`page`] — a varint binary codec and a 4 KiB-paged storage
+//!   simulation so scans can be charged in bytes and pages, standing in for
+//!   the paper's on-disk RS/6000 databases,
+//! * [`ScanMetrics`] — per-source counters (full scans, transactions, items,
+//!   bytes) used by the experiment harness.
+//!
+//! The paper ran against on-disk data; we substitute an in-memory paged
+//! store with explicit scan accounting (see DESIGN.md §2 "Substitutions").
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fup_tidb::{Transaction, TransactionDb, TransactionSource};
+//!
+//! let mut db = TransactionDb::new();
+//! db.push(Transaction::from_items([1, 2, 3]));
+//! db.push(Transaction::from_items([2, 3]));
+//! assert_eq!(db.len(), 2);
+//!
+//! let mut with_2 = 0u64;
+//! db.for_each(&mut |t: &[fup_tidb::ItemId]| {
+//!     if t.binary_search(&fup_tidb::ItemId(2)).is_ok() {
+//!         with_2 += 1;
+//!     }
+//! });
+//! assert_eq!(with_2, 2);
+//! assert_eq!(db.metrics().full_scans(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod database;
+pub mod dictionary;
+pub mod error;
+pub mod io;
+pub mod item;
+pub mod page;
+pub mod scan;
+pub mod segment;
+pub mod source;
+pub mod stats;
+pub mod transaction;
+
+pub use database::TransactionDb;
+pub use dictionary::ItemDictionary;
+pub use error::{Error, Result};
+pub use item::ItemId;
+pub use scan::ScanMetrics;
+pub use segment::{SegmentId, SegmentedDb, Tid, UpdateBatch};
+pub use source::TransactionSource;
+pub use transaction::Transaction;

@@ -1,0 +1,204 @@
+//! Scan accounting.
+//!
+//! The paper's cost model is dominated by database passes: each iteration of
+//! Apriori/DHP scans the *whole updated database* `DB ∪ db`, while FUP scans
+//! the small increment `db` for the old large itemsets and only then the
+//! original `DB` for the (heavily pruned) candidates. [`ScanMetrics`]
+//! captures that asymmetry so the experiment harness can report scan volume
+//! alongside wall-clock time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters charged by every scan of a transaction source.
+///
+/// All counters are relaxed atomics: exactness across threads is not needed
+/// (the harness runs scans serially), but `&self` bumping keeps the scan API
+/// ergonomic.
+#[derive(Debug, Default)]
+pub struct ScanMetrics {
+    full_scans: AtomicU64,
+    transactions_read: AtomicU64,
+    items_read: AtomicU64,
+    bytes_read: AtomicU64,
+    pages_read: AtomicU64,
+}
+
+impl ScanMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the start of one full pass over the source.
+    #[inline]
+    pub fn record_full_scan(&self) {
+        self.full_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transaction of `items` items read.
+    #[inline]
+    pub fn record_transaction(&self, items: usize) {
+        self.transactions_read.fetch_add(1, Ordering::Relaxed);
+        self.items_read.fetch_add(items as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes read from storage.
+    #[inline]
+    pub fn record_bytes(&self, n: u64) {
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one storage page read.
+    #[inline]
+    pub fn record_page(&self) {
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of complete passes started.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.load(Ordering::Relaxed)
+    }
+
+    /// Total transactions delivered across all passes.
+    pub fn transactions_read(&self) -> u64 {
+        self.transactions_read.load(Ordering::Relaxed)
+    }
+
+    /// Total items delivered across all passes.
+    pub fn items_read(&self) -> u64 {
+        self.items_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes charged (paged sources only; in-memory sources charge an
+    /// estimate based on the codec's encoded size).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total pages charged (paged sources only).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.full_scans.store(0, Ordering::Relaxed);
+        self.transactions_read.store(0, Ordering::Relaxed);
+        self.items_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of all counters.
+    pub fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            full_scans: self.full_scans(),
+            transactions_read: self.transactions_read(),
+            items_read: self.items_read(),
+            bytes_read: self.bytes_read(),
+            pages_read: self.pages_read(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ScanMetrics`], supporting deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Complete passes started.
+    pub full_scans: u64,
+    /// Transactions delivered.
+    pub transactions_read: u64,
+    /// Items delivered.
+    pub items_read: u64,
+    /// Bytes charged.
+    pub bytes_read: u64,
+    /// Pages charged.
+    pub pages_read: u64,
+}
+
+impl ScanSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &ScanSnapshot) -> ScanSnapshot {
+        ScanSnapshot {
+            full_scans: self.full_scans.saturating_sub(earlier.full_scans),
+            transactions_read: self
+                .transactions_read
+                .saturating_sub(earlier.transactions_read),
+            items_read: self.items_read.saturating_sub(earlier.items_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &ScanSnapshot) -> ScanSnapshot {
+        ScanSnapshot {
+            full_scans: self.full_scans + other.full_scans,
+            transactions_read: self.transactions_read + other.transactions_read,
+            items_read: self.items_read + other.items_read,
+            bytes_read: self.bytes_read + other.bytes_read,
+            pages_read: self.pages_read + other.pages_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ScanMetrics::new();
+        m.record_full_scan();
+        m.record_transaction(3);
+        m.record_transaction(5);
+        m.record_bytes(100);
+        m.record_page();
+        assert_eq!(m.full_scans(), 1);
+        assert_eq!(m.transactions_read(), 2);
+        assert_eq!(m.items_read(), 8);
+        assert_eq!(m.bytes_read(), 100);
+        assert_eq!(m.pages_read(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ScanMetrics::new();
+        m.record_full_scan();
+        m.record_transaction(2);
+        m.reset();
+        assert_eq!(m.snapshot(), ScanSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let m = ScanMetrics::new();
+        m.record_full_scan();
+        m.record_transaction(4);
+        let a = m.snapshot();
+        m.record_full_scan();
+        m.record_transaction(6);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.full_scans, 1);
+        assert_eq!(d.transactions_read, 1);
+        assert_eq!(d.items_read, 6);
+        // since() saturates rather than underflowing.
+        let z = a.since(&b);
+        assert_eq!(z.full_scans, 0);
+    }
+
+    #[test]
+    fn snapshot_plus_adds() {
+        let a = ScanSnapshot {
+            full_scans: 1,
+            transactions_read: 2,
+            items_read: 3,
+            bytes_read: 4,
+            pages_read: 5,
+        };
+        let s = a.plus(&a);
+        assert_eq!(s.full_scans, 2);
+        assert_eq!(s.pages_read, 10);
+    }
+}

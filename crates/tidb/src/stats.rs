@@ -1,0 +1,143 @@
+//! Descriptive statistics over a transaction source.
+//!
+//! Used by the generator's validation tests and the experiment harness to
+//! sanity-check workloads against Table 1's parameters (mean transaction
+//! size, item-frequency skew) before measuring anything on them.
+
+use crate::item::ItemId;
+use crate::source::TransactionSource;
+
+/// Summary statistics of one full pass over a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbStats {
+    /// Number of transactions.
+    pub transactions: u64,
+    /// Total item occurrences.
+    pub item_occurrences: u64,
+    /// Smallest transaction length.
+    pub min_len: usize,
+    /// Largest transaction length.
+    pub max_len: usize,
+    /// Number of distinct items seen.
+    pub distinct_items: u64,
+    /// Occurrence count of the most frequent item.
+    pub top_item_count: u64,
+    /// The most frequent item (ties broken by smaller id).
+    pub top_item: Option<ItemId>,
+    /// Histogram of transaction lengths (index = length, capped at 63;
+    /// longer transactions land in the last bucket).
+    pub len_histogram: Vec<u64>,
+}
+
+impl DbStats {
+    /// Computes statistics with one scan of `source`.
+    pub fn collect<S: TransactionSource + ?Sized>(source: &S) -> Self {
+        let mut stats = DbStats {
+            transactions: 0,
+            item_occurrences: 0,
+            min_len: usize::MAX,
+            max_len: 0,
+            distinct_items: 0,
+            top_item_count: 0,
+            top_item: None,
+            len_histogram: vec![0; 64],
+        };
+        let mut item_counts: Vec<u64> = Vec::new();
+        source.for_each(&mut |t| {
+            stats.transactions += 1;
+            stats.item_occurrences += t.len() as u64;
+            stats.min_len = stats.min_len.min(t.len());
+            stats.max_len = stats.max_len.max(t.len());
+            stats.len_histogram[t.len().min(63)] += 1;
+            for &item in t {
+                let i = item.index();
+                if i >= item_counts.len() {
+                    item_counts.resize(i + 1, 0);
+                }
+                item_counts[i] += 1;
+            }
+        });
+        if stats.transactions == 0 {
+            stats.min_len = 0;
+        }
+        for (i, &c) in item_counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            stats.distinct_items += 1;
+            if c > stats.top_item_count {
+                stats.top_item_count = c;
+                stats.top_item = Some(ItemId(i as u32));
+            }
+        }
+        stats
+    }
+
+    /// Mean transaction length (`|T|` of Table 1).
+    pub fn mean_len(&self) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        self.item_occurrences as f64 / self.transactions as f64
+    }
+
+    /// Support fraction of the most frequent item.
+    pub fn top_item_support(&self) -> f64 {
+        if self.transactions == 0 {
+            return 0.0;
+        }
+        self.top_item_count as f64 / self.transactions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TransactionDb;
+    use crate::transaction::Transaction;
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::from_transactions(
+            rows.iter()
+                .map(|r| Transaction::from_items(r.iter().copied())),
+        )
+    }
+
+    #[test]
+    fn collects_basic_statistics() {
+        let d = db(&[&[1, 2, 3], &[2], &[2, 3]]);
+        let s = DbStats::collect(&d);
+        assert_eq!(s.transactions, 3);
+        assert_eq!(s.item_occurrences, 6);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 3);
+        assert_eq!(s.distinct_items, 3);
+        assert_eq!(s.top_item, Some(ItemId(2)));
+        assert_eq!(s.top_item_count, 3);
+        assert!((s.mean_len() - 2.0).abs() < 1e-12);
+        assert!((s.top_item_support() - 1.0).abs() < 1e-12);
+        assert_eq!(s.len_histogram[1], 1);
+        assert_eq!(s.len_histogram[2], 1);
+        assert_eq!(s.len_histogram[3], 1);
+    }
+
+    #[test]
+    fn empty_source() {
+        let d = db(&[]);
+        let s = DbStats::collect(&d);
+        assert_eq!(s.transactions, 0);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.mean_len(), 0.0);
+        assert_eq!(s.top_item, None);
+        assert_eq!(s.top_item_support(), 0.0);
+    }
+
+    #[test]
+    fn long_transactions_land_in_last_bucket() {
+        let items: Vec<u32> = (0..100).collect();
+        let d = db(&[&items]);
+        let s = DbStats::collect(&d);
+        assert_eq!(s.len_histogram[63], 1);
+        assert_eq!(s.max_len, 100);
+    }
+}

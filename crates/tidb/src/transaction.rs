@@ -1,0 +1,240 @@
+//! Transactions: sorted, duplicate-free sets of items.
+
+use crate::item::ItemId;
+use std::fmt;
+use std::ops::Deref;
+
+/// A transaction `T ⊆ I`: a sorted, duplicate-free set of items.
+///
+/// The sorted representation is load-bearing for every algorithm in this
+/// workspace: `apriori-gen` joins itemsets on their (k−1)-prefix, the hash
+/// tree's `Subset(C, T)` walks items in increasing order, and containment
+/// checks ([`Transaction::contains_itemset`]) are linear merges.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Transaction {
+    items: Box<[ItemId]>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction.
+    pub fn empty() -> Self {
+        Transaction { items: Box::new([]) }
+    }
+
+    /// Builds a transaction from arbitrary items; sorts and deduplicates.
+    pub fn from_items<I, T>(items: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<ItemId>,
+    {
+        let mut v: Vec<ItemId> = items.into_iter().map(Into::into).collect();
+        v.sort_unstable();
+        v.dedup();
+        Transaction { items: v.into_boxed_slice() }
+    }
+
+    /// Builds a transaction from a vector that is already sorted and
+    /// duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the invariant does not hold.
+    pub fn from_sorted_vec(v: Vec<ItemId>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
+        Transaction { items: v.into_boxed_slice() }
+    }
+
+    /// Number of items in the transaction.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the transaction holds no items.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// `true` if the transaction contains the single item.
+    #[inline]
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// `true` if the transaction contains every item of `itemset`
+    /// (which must be sorted ascending). This is the paper's
+    /// "`T` contains `X` iff `X ⊆ T`".
+    pub fn contains_itemset(&self, itemset: &[ItemId]) -> bool {
+        contains_sorted(&self.items, itemset)
+    }
+
+    /// Returns a new transaction with every item in `remove` (sorted
+    /// ascending) dropped. Used by the `Reduce-db`/`Reduce-DB` trimming and
+    /// the P-set optimisation of FUP §3.4.
+    pub fn without_items(&self, remove: &[ItemId]) -> Transaction {
+        if remove.is_empty() {
+            return self.clone();
+        }
+        let kept: Vec<ItemId> = self
+            .items
+            .iter()
+            .copied()
+            .filter(|i| remove.binary_search(i).is_err())
+            .collect();
+        Transaction { items: kept.into_boxed_slice() }
+    }
+
+    /// Returns a new transaction keeping only the items for which `keep`
+    /// returns `true`.
+    pub fn retain(&self, mut keep: impl FnMut(ItemId) -> bool) -> Transaction {
+        let kept: Vec<ItemId> = self.items.iter().copied().filter(|&i| keep(i)).collect();
+        Transaction { items: kept.into_boxed_slice() }
+    }
+}
+
+/// `true` if `needle` (sorted) is a subset of `haystack` (sorted).
+///
+/// Linear merge; `O(|haystack| + |needle|)`.
+pub fn contains_sorted(haystack: &[ItemId], needle: &[ItemId]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut hi = 0;
+    'outer: for &n in needle {
+        while hi < haystack.len() {
+            let h = haystack[hi];
+            hi += 1;
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl Deref for Transaction {
+    type Target = [ItemId];
+    #[inline]
+    fn deref(&self) -> &[ItemId] {
+        &self.items
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{:?}", self.items.iter().map(|i| i.0).collect::<Vec<_>>())
+    }
+}
+
+impl FromIterator<ItemId> for Transaction {
+    fn from_iter<I: IntoIterator<Item = ItemId>>(iter: I) -> Self {
+        Transaction::from_items(iter)
+    }
+}
+
+impl FromIterator<u32> for Transaction {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Transaction::from_items(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn from_items_sorts_and_dedups() {
+        let tx = t(&[5, 1, 3, 1, 5]);
+        assert_eq!(tx.items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert_eq!(tx.len(), 3);
+        assert!(!tx.is_empty());
+    }
+
+    #[test]
+    fn empty_transaction() {
+        let tx = Transaction::empty();
+        assert!(tx.is_empty());
+        assert_eq!(tx.len(), 0);
+        assert!(tx.contains_itemset(&[]));
+        assert!(!tx.contains_itemset(&[ItemId(1)]));
+    }
+
+    #[test]
+    fn contains_single_item() {
+        let tx = t(&[2, 4, 6]);
+        assert!(tx.contains(ItemId(4)));
+        assert!(!tx.contains(ItemId(5)));
+    }
+
+    #[test]
+    fn contains_itemset_subset_semantics() {
+        let tx = t(&[1, 2, 3, 5, 8]);
+        assert!(tx.contains_itemset(&[ItemId(1)]));
+        assert!(tx.contains_itemset(&[ItemId(2), ItemId(5)]));
+        assert!(tx.contains_itemset(&[ItemId(1), ItemId(2), ItemId(3), ItemId(5), ItemId(8)]));
+        assert!(!tx.contains_itemset(&[ItemId(2), ItemId(4)]));
+        assert!(!tx.contains_itemset(&[ItemId(9)]));
+        // Needle longer than haystack.
+        let small = t(&[1]);
+        assert!(!small.contains_itemset(&[ItemId(1), ItemId(2)]));
+    }
+
+    #[test]
+    fn without_items_removes_sorted_set() {
+        let tx = t(&[1, 2, 3, 4, 5]);
+        let reduced = tx.without_items(&[ItemId(2), ItemId(4)]);
+        assert_eq!(reduced.items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        // Empty removal set clones.
+        let same = tx.without_items(&[]);
+        assert_eq!(same, tx);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let tx = t(&[1, 2, 3, 4]);
+        let even = tx.retain(|i| i.raw() % 2 == 0);
+        assert_eq!(even.items(), &[ItemId(2), ItemId(4)]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let tx = t(&[1, 2, 3]);
+        assert_eq!(tx.first(), Some(&ItemId(1)));
+        assert_eq!(tx[2], ItemId(3));
+    }
+
+    #[test]
+    fn from_sorted_vec_accepts_valid_input() {
+        let tx = Transaction::from_sorted_vec(vec![ItemId(1), ItemId(9)]);
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn from_sorted_vec_rejects_unsorted_in_debug() {
+        let _ = Transaction::from_sorted_vec(vec![ItemId(2), ItemId(1)]);
+    }
+
+    #[test]
+    fn contains_sorted_edge_cases() {
+        assert!(contains_sorted(&[], &[]));
+        assert!(contains_sorted(&[ItemId(1)], &[]));
+        assert!(!contains_sorted(&[], &[ItemId(1)]));
+    }
+}

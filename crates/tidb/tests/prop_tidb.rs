@@ -1,0 +1,132 @@
+//! Property tests for the substrate: codec roundtrips, paging fidelity,
+//! segmented-store invariants, and text I/O.
+
+use fup_tidb::page::PagedStore;
+use fup_tidb::{codec, io, SegmentedDb, Transaction, TransactionSource, UpdateBatch};
+use proptest::prelude::*;
+
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0u32..5_000_000, 0..60).prop_map(Transaction::from_items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrips_any_transaction(t in arb_transaction()) {
+        let buf = codec::encode_to_vec(&t);
+        prop_assert_eq!(buf.len(), codec::encoded_len(t.items()));
+        let mut pos = 0;
+        let mut out = Vec::new();
+        codec::decode_transaction(&buf, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(out.as_slice(), t.items());
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(t in arb_transaction()) {
+        prop_assume!(!t.is_empty());
+        let buf = codec::encode_to_vec(&t);
+        let mut out = Vec::new();
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            prop_assert!(
+                codec::decode_transaction(&buf[..cut], &mut pos, &mut out).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn paged_store_roundtrips(
+        txs in proptest::collection::vec(arb_transaction(), 0..80),
+        page_size in 64usize..1024,
+    ) {
+        let mut store = PagedStore::with_page_size(page_size);
+        let mut stored = Vec::new();
+        for t in &txs {
+            // Oversized transactions are rejected, not corrupted.
+            if store.append(t).is_ok() {
+                stored.push(t.clone());
+            }
+        }
+        prop_assert_eq!(store.num_transactions(), stored.len() as u64);
+        let back = store.to_transactions().unwrap();
+        prop_assert_eq!(back, stored);
+    }
+
+    #[test]
+    fn segmented_store_stage_commit_abort(
+        initial in proptest::collection::vec(arb_transaction(), 1..30),
+        inserts in proptest::collection::vec(arb_transaction(), 0..10),
+        delete_picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+        abort in any::<bool>(),
+    ) {
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(initial.clone());
+        let mut deletes: Vec<_> = delete_picks
+            .iter()
+            .map(|ix| tids[ix.index(tids.len())])
+            .collect();
+        deletes.sort();
+        deletes.dedup();
+        let n_del = deletes.len();
+        let n_ins = inserts.len();
+
+        let staged = db
+            .stage(UpdateBatch { inserts, deletes: deletes.clone() })
+            .unwrap();
+        // While staged, live = initial − deleted.
+        prop_assert_eq!(db.len(), initial.len() - n_del);
+        for tid in &deletes {
+            prop_assert!(!db.contains(*tid));
+        }
+        if abort {
+            db.abort(staged);
+            prop_assert_eq!(db.len(), initial.len());
+            for tid in &deletes {
+                prop_assert!(db.contains(*tid));
+            }
+        } else {
+            let (_seg, new_tids) = db.commit(staged);
+            prop_assert_eq!(new_tids.len(), n_ins);
+            prop_assert_eq!(db.len(), initial.len() - n_del + n_ins);
+            for tid in new_tids {
+                prop_assert!(db.contains(tid));
+            }
+        }
+        // Scan delivers exactly the live set.
+        let mut scanned = 0u64;
+        db.for_each(&mut |_| scanned += 1);
+        prop_assert_eq!(scanned, db.len() as u64);
+    }
+
+    #[test]
+    fn numeric_io_roundtrips(
+        txs in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 1..20).prop_map(Transaction::from_items),
+            0..40,
+        ),
+    ) {
+        let mut buf = Vec::new();
+        io::write_numeric(&mut buf, &txs).unwrap();
+        let back = io::read_numeric(&buf[..]).unwrap();
+        prop_assert_eq!(back, txs);
+    }
+
+    #[test]
+    fn scan_metrics_count_exactly(
+        txs in proptest::collection::vec(arb_transaction(), 0..30),
+        passes in 1usize..4,
+    ) {
+        let db = fup_tidb::TransactionDb::from_transactions(txs.clone());
+        for _ in 0..passes {
+            db.for_each(&mut |_| {});
+        }
+        let m = db.metrics();
+        prop_assert_eq!(m.full_scans(), passes as u64);
+        prop_assert_eq!(m.transactions_read(), (passes * txs.len()) as u64);
+        let items: u64 = txs.iter().map(|t| t.len() as u64).sum();
+        prop_assert_eq!(m.items_read(), passes as u64 * items);
+    }
+}

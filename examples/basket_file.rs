@@ -1,0 +1,90 @@
+//! Working with external basket files: load a FIMI-style numeric dataset,
+//! mine it, save an updated snapshot, and keep rules current as more
+//! lines arrive — the plumbing a downstream user needs around the
+//! algorithms.
+//!
+//! The example is self-contained: it writes a small dataset to a temp
+//! directory first, then treats it as "the input file".
+//!
+//! ```sh
+//! cargo run --release --example basket_file
+//! ```
+
+use fup::datagen::{GenParams, QuestGenerator};
+use fup::tidb::io;
+use fup::{MinConfidence, MinSupport, RuleMaintainer, TransactionSource, UpdateBatch};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("fup-basket-example");
+    std::fs::create_dir_all(&dir)?;
+    let history_path = dir.join("history.dat");
+    let feed_path = dir.join("feed.dat");
+
+    // --- Pretend an upstream system exported two basket files. ---
+    let mut generator = QuestGenerator::new(GenParams {
+        num_items: 200,
+        num_patterns: 80,
+        pool_size: 20,
+        seed: 0xf11e,
+        ..GenParams::default()
+    });
+    io::write_numeric(
+        BufWriter::new(File::create(&history_path)?),
+        &generator.generate(2_000),
+    )?;
+    io::write_numeric(
+        BufWriter::new(File::create(&feed_path)?),
+        &generator.generate(400),
+    )?;
+
+    // --- Load, mine, maintain. ---
+    let history = io::read_numeric(File::open(&history_path)?)?;
+    println!("loaded {} transactions from {}", history.len(), history_path.display());
+
+    let mut maintainer = RuleMaintainer::bootstrap(
+        history,
+        MinSupport::percent(2),
+        MinConfidence::percent(70),
+    );
+    println!(
+        "mined {} large itemsets, {} rules",
+        maintainer.large_itemsets().len(),
+        maintainer.rules().len()
+    );
+
+    let feed = io::read_numeric(File::open(&feed_path)?)?;
+    println!("applying {} new transactions from {}", feed.len(), feed_path.display());
+    let report = maintainer.apply_update(UpdateBatch::insert_only(feed))?;
+    println!(
+        "ran {}: rules +{} -{} (retained {})",
+        report.algorithm,
+        report.rules.added.len(),
+        report.rules.removed.len(),
+        report.rules.retained
+    );
+
+    // --- Export the merged database for the next pipeline stage. ---
+    let snapshot_path = dir.join("snapshot.dat");
+    let all: Vec<_> = maintainer.store().iter().map(|(_, t)| t.clone()).collect();
+    io::write_numeric(BufWriter::new(File::create(&snapshot_path)?), &all)?;
+    println!(
+        "wrote {} transactions to {}",
+        maintainer.len(),
+        snapshot_path.display()
+    );
+
+    // Sanity: the snapshot re-reads to the same store size.
+    let back = io::read_numeric(File::open(&snapshot_path)?)?;
+    assert_eq!(back.len(), maintainer.len());
+    let m = maintainer.store().metrics();
+    println!(
+        "scan accounting: {} full scans, {} transactions read",
+        m.full_scans(),
+        m.transactions_read()
+    );
+    maintainer.verify_consistency().expect("consistent");
+    println!("consistency verified");
+    Ok(())
+}

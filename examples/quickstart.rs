@@ -1,0 +1,77 @@
+//! Quickstart: bootstrap a rule set from history, then keep it current as
+//! new transactions arrive — without ever re-mining from scratch.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fup::{ItemDictionary, MinConfidence, MinSupport, RuleMaintainer, Transaction, UpdateBatch};
+
+fn main() {
+    // Name the items like a point-of-sale feed would.
+    let mut dict = ItemDictionary::new();
+    let bread = dict.intern("bread").unwrap();
+    let butter = dict.intern("butter").unwrap();
+    let milk = dict.intern("milk").unwrap();
+    let beer = dict.intern("beer").unwrap();
+    let chips = dict.intern("chips").unwrap();
+
+    // Historical baskets.
+    let history = vec![
+        Transaction::from_items([bread, butter]),
+        Transaction::from_items([bread, butter, milk]),
+        Transaction::from_items([bread, milk]),
+        Transaction::from_items([butter, milk]),
+        Transaction::from_items([beer, chips]),
+        Transaction::from_items([bread, butter]),
+    ];
+
+    // Mine once (Apriori), derive rules once.
+    let mut maintainer = RuleMaintainer::bootstrap(
+        history,
+        MinSupport::percent(30),
+        MinConfidence::percent(75),
+    );
+    println!("bootstrap: {} transactions, {} rules", maintainer.len(), maintainer.rules().len());
+    for rule in maintainer.rules().rules() {
+        println!(
+            "  {} => {}  (conf {:.2})",
+            dict.render_itemset(rule.antecedent.items()),
+            dict.render_itemset(rule.consequent.items()),
+            rule.confidence()
+        );
+    }
+
+    // The evening batch arrives: beer+chips shoppers flood in.
+    let batch = UpdateBatch::insert_only(vec![
+        Transaction::from_items([beer, chips]),
+        Transaction::from_items([beer, chips, bread]),
+        Transaction::from_items([beer, chips]),
+    ]);
+    let report = maintainer.apply_update(batch).expect("valid update");
+
+    println!(
+        "\nafter update ({} transactions, ran {}):",
+        report.num_transactions, report.algorithm
+    );
+    for rule in &report.rules.added {
+        println!(
+            "  NEW     {} => {}  (conf {:.2})",
+            dict.render_itemset(rule.antecedent.items()),
+            dict.render_itemset(rule.consequent.items()),
+            rule.confidence()
+        );
+    }
+    for rule in &report.rules.removed {
+        println!(
+            "  EXPIRED {} => {}",
+            dict.render_itemset(rule.antecedent.items()),
+            dict.render_itemset(rule.consequent.items()),
+        );
+    }
+    println!("  retained {} rules", report.rules.retained);
+
+    // The maintained state is provably identical to a full re-mine.
+    maintainer.verify_consistency().expect("FUP == re-mine");
+    println!("\nconsistency verified: incremental result == from-scratch mine");
+}

@@ -1,0 +1,101 @@
+//! Deletions and corrections — the FUP2 extension (§5: "We have also
+//! investigated the cases of deletion and modification of a transaction
+//! database").
+//!
+//! A data warehouse discovers that a batch of transactions was fraudulent
+//! and must be purged, and another batch was mis-scanned and must be
+//! corrected (modification = delete + insert). FUP2 maintains the rules
+//! through both without re-mining.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_deletions
+//! ```
+
+use fup::datagen::{GenParams, QuestGenerator};
+use fup::{MinConfidence, MinSupport, RuleMaintainer, Tid, Transaction, UpdateBatch};
+
+fn main() {
+    let mut generator = QuestGenerator::new(GenParams {
+        num_items: 300,
+        num_patterns: 100,
+        pool_size: 25,
+        seed: 0xde1e7e,
+        ..GenParams::default()
+    });
+    let legit = generator.generate(5_000);
+
+    // A fraud ring injects a fake co-purchase pattern, inflating a rule.
+    let fake: Vec<Transaction> = (0..400)
+        .map(|_| Transaction::from_items([900u32, 901, 902]))
+        .collect();
+    let mut history = legit;
+    history.extend(fake);
+
+    let mut maintainer = RuleMaintainer::bootstrap(
+        history,
+        MinSupport::percent(2),
+        MinConfidence::percent(80),
+    );
+    let fraud_rule = (
+        fup::Itemset::from_items([900u32, 901]),
+        fup::Itemset::from_items([902u32]),
+    );
+    println!(
+        "bootstrap: {} transactions, {} rules; fraud rule present: {}",
+        maintainer.len(),
+        maintainer.rules().len(),
+        maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1)
+    );
+    assert!(maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1));
+
+    // Identify the fraudulent tids (in a real system: an audit query).
+    let fraudulent: Vec<Tid> = maintainer
+        .store()
+        .iter()
+        .filter(|(_, t)| t.contains_itemset(&[fup::ItemId(900), fup::ItemId(901)]))
+        .map(|(tid, _)| tid)
+        .collect();
+    println!("purging {} fraudulent transactions via FUP2...", fraudulent.len());
+
+    let report = maintainer
+        .apply_update(UpdateBatch::delete_only(fraudulent))
+        .expect("valid deletion");
+    println!(
+        "  ran {}: rules +{} -{} | fraud rule now present: {}",
+        report.algorithm,
+        report.rules.added.len(),
+        report.rules.removed.len(),
+        maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1)
+    );
+    assert_eq!(report.algorithm, "fup2");
+    assert!(!maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1));
+
+    // A correction: 200 mis-scanned baskets are replaced with fixed ones
+    // (modification = delete + insert in one batch).
+    let miskeyed: Vec<Tid> = maintainer.store().iter().take(200).map(|(tid, _)| tid).collect();
+    let corrected: Vec<Transaction> = maintainer
+        .store()
+        .iter()
+        .take(200)
+        .map(|(_, t)| {
+            // The scanner dropped item 0 from these baskets; restore it.
+            Transaction::from_items(t.items().iter().map(|i| i.raw()).chain([0u32]))
+        })
+        .collect();
+    let report = maintainer
+        .apply_update(UpdateBatch {
+            inserts: corrected,
+            deletes: miskeyed,
+        })
+        .expect("valid correction");
+    println!(
+        "correction round ({}): {} transactions, itemsets +{} -{}",
+        report.algorithm,
+        report.num_transactions,
+        report.itemsets.emerged.len(),
+        report.itemsets.expired.len()
+    );
+
+    maintainer.verify_consistency().expect("FUP2 == re-mine");
+    println!("consistency verified: maintained state == from-scratch mine");
+}

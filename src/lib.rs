@@ -1,0 +1,91 @@
+//! # fup — incremental maintenance of discovered association rules
+//!
+//! A complete Rust implementation of **FUP** (Cheung, Han, Ng & Wong,
+//! *"Maintenance of Discovered Association Rules in Large Databases: An
+//! Incremental Updating Technique"*, ICDE 1996), together with everything
+//! it stands on: a transaction-database substrate, the Apriori and DHP
+//! miners it is evaluated against, the IBM Quest-style synthetic workload
+//! generator of its §4, and the FUP2 extension for deletions.
+//!
+//! This crate is a facade: it re-exports the public API of the four
+//! underlying crates so an application can depend on `fup` alone.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fup::{MinConfidence, MinSupport, RuleMaintainer, Transaction, UpdateBatch};
+//!
+//! // 1. Bootstrap from historical transactions (mined once, from scratch).
+//! let history = vec![
+//!     Transaction::from_items([1u32, 2, 3]),
+//!     Transaction::from_items([1u32, 2]),
+//!     Transaction::from_items([2u32, 3]),
+//!     Transaction::from_items([1u32, 3]),
+//! ];
+//! let mut maintainer = RuleMaintainer::bootstrap(
+//!     history,
+//!     MinSupport::percent(50),
+//!     MinConfidence::percent(70),
+//! );
+//!
+//! // 2. New transactions arrive: maintain (don't re-mine) the rules.
+//! let report = maintainer
+//!     .apply_update(UpdateBatch::insert_only(vec![
+//!         Transaction::from_items([1u32, 2, 3]),
+//!         Transaction::from_items([2u32, 3]),
+//!     ]))
+//!     .unwrap();
+//!
+//! // 3. The report says exactly which rules the update created/killed.
+//! println!(
+//!     "+{} rules, -{} rules, {} retained",
+//!     report.rules.added.len(),
+//!     report.rules.removed.len(),
+//!     report.rules.retained
+//! );
+//! assert_eq!(report.num_transactions, 6);
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
+//! * [`mining`] — itemsets, Apriori, DHP, rule generation ([`fup_mining`])
+//! * [`core`] — FUP, FUP2, the [`RuleMaintainer`] ([`fup_core`])
+//! * [`datagen`] — the paper's synthetic workloads ([`fup_datagen`])
+
+#![warn(missing_docs)]
+
+pub use fup_core as core;
+pub use fup_datagen as datagen;
+pub use fup_mining as mining;
+pub use fup_tidb as tidb;
+
+// The working vocabulary, flattened.
+pub use fup_core::{
+    Fup, Fup2, FupConfig, FupOutcome, ItemsetDiff, MaintenanceReport, RuleDiff, RuleMaintainer,
+    UpdatePolicy,
+};
+pub use fup_datagen::{GenParams, QuestGenerator};
+pub use fup_mining::{
+    Apriori, Dhp, Itemset, LargeItemsets, MinConfidence, MinSupport, Miner, Rule, RuleSet,
+};
+pub use fup_tidb::{
+    ItemDictionary, ItemId, SegmentedDb, Tid, Transaction, TransactionDb, TransactionSource,
+    UpdateBatch,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let t = Transaction::from_items([1u32, 2]);
+        let x = Itemset::from_items([1u32]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(x.k(), 1);
+        let _ = MinSupport::percent(1);
+        let _ = MinConfidence::percent(50);
+        let _ = FupConfig::default();
+    }
+}

@@ -1,0 +1,141 @@
+//! The paper's two worked examples (§3.1 Example 1 and §3.2 Example 2),
+//! reproduced end-to-end through the public API. Numbers below are the
+//! paper's own.
+
+use fup::{Fup, Itemset, LargeItemsets, MinSupport, Transaction, TransactionDb};
+use std::ops::Range;
+
+fn s(items: &[u32]) -> Itemset {
+    Itemset::from_items(items.iter().copied())
+}
+
+/// Builds a `total`-transaction database in which each listed itemset
+/// occupies a block of transaction indices (blocks may overlap when a
+/// test wants co-occurrence); every transaction carries a unique filler
+/// item so nothing else is ever frequent.
+fn synthesise(total: u32, blocks: &[(&[u32], Range<u32>)], filler_base: u32) -> TransactionDb {
+    let mut db = TransactionDb::new();
+    for i in 0..total {
+        let mut items: Vec<u32> = vec![filler_base + i];
+        for (set, range) in blocks {
+            if range.contains(&i) {
+                items.extend_from_slice(set);
+            }
+        }
+        db.push(Transaction::from_items(items));
+    }
+    db
+}
+
+#[test]
+fn example_1_size_one_maintenance() {
+    // D = 1000, d = 100, s = 3 %. L1 = {I1 (32), I2 (31)}; I3 at 28.
+    // In db: I1 ×4, I2 ×1, I3 ×6, I4 ×2 (disjoint blocks).
+    let db = synthesise(
+        1000,
+        &[(&[1], 0..32), (&[2], 32..63), (&[3], 63..91)],
+        10_000,
+    );
+    let increment = synthesise(
+        100,
+        &[(&[1], 0..4), (&[2], 4..5), (&[3], 5..11), (&[4], 11..13)],
+        20_000,
+    );
+    let minsup = MinSupport::percent(3);
+
+    // The paper's given baseline.
+    let mut baseline = LargeItemsets::new(1000);
+    baseline.insert(s(&[1]), 32);
+    baseline.insert(s(&[2]), 31);
+
+    let out = Fup::new()
+        .update(&db, &baseline, &increment, minsup)
+        .unwrap();
+
+    // I1.support_UD = 36 > 33 → stays large.
+    assert_eq!(out.large.support(&s(&[1])), Some(36));
+    // I2.support_UD = 32 < 33 → loser.
+    assert_eq!(out.large.support(&s(&[2])), None);
+    // I3: 6 ≥ 3 in db → candidate; 28 + 6 = 34 > 33 → new winner.
+    assert_eq!(out.large.support(&s(&[3])), Some(34));
+    // I4: 2 < 3 in db → pruned by Lemma 2, never checked against DB.
+    assert_eq!(out.large.support(&s(&[4])), None);
+
+    let d1 = &out.detail[0];
+    assert_eq!(d1.winners_from_old, 1, "only I1 survives from L1");
+    assert_eq!(d1.winners_from_new, 1, "only I3 emerges");
+}
+
+#[test]
+fn example_2_size_two_maintenance() {
+    // D = 1000, d = 100, s = 3 %.
+    // L1 = {I1, I2, I3}, L2 = {I1I2 (50), I2I3 (31)}; I1I4 at 29 keeps
+    // I4 just below the size-1 threshold (29 < 30).
+    let db = synthesise(
+        1000,
+        &[(&[1, 2], 0..50), (&[2, 3], 50..81), (&[1, 4], 81..110)],
+        10_000,
+    );
+    // Increment: I1I2 ×3, I1I4 ×5, I2I4 ×2, I4 alone ×1.
+    let increment = synthesise(
+        100,
+        &[
+            (&[1, 2], 0..3),
+            (&[1, 4], 3..8),
+            (&[2, 4], 8..10),
+            (&[4], 10..11),
+        ],
+        20_000,
+    );
+    let minsup = MinSupport::percent(3);
+
+    let baseline = fup::Apriori::new().run(&db, minsup).large;
+    // Premises of the example.
+    assert_eq!(baseline.support(&s(&[1])), Some(79));
+    assert_eq!(baseline.support(&s(&[2])), Some(81));
+    assert_eq!(baseline.support(&s(&[3])), Some(31));
+    assert!(!baseline.contains(&s(&[4])), "premise: I4 ∉ L1 (29 < 30)");
+    assert_eq!(baseline.support(&s(&[1, 2])), Some(50));
+    assert_eq!(baseline.support(&s(&[2, 3])), Some(31));
+    assert_eq!(baseline.len_at(2), 2, "L2 = {{I1I2, I2I3}} exactly");
+
+    let out = Fup::new()
+        .update(&db, &baseline, &increment, minsup)
+        .unwrap();
+
+    // Iteration 1: L'1 = {I1, I2, I4}; I3 loses (31 < 33).
+    assert!(out.large.contains(&s(&[1])));
+    assert!(out.large.contains(&s(&[2])));
+    assert!(!out.large.contains(&s(&[3])), "I3 must lose");
+    assert!(out.large.contains(&s(&[4])), "I4 must emerge");
+
+    // Iteration 2, exactly as the paper walks it:
+    //  - I2I3 ∈ L2 filtered by Lemma 3 (subset I3 is a loser);
+    //  - I1I2: support_d = 3 → 53 > 33 → stays large;
+    //  - C2 = apriori-gen(L'1) − L2 = {I1I4, I2I4};
+    //  - I2I4.support_d = 2 < 3 → pruned (Lemma 5);
+    //  - I1I4: support_D = 29, support_d = 5 → 34 > 33 → new winner.
+    assert_eq!(out.large.support(&s(&[1, 2])), Some(53));
+    assert!(!out.large.contains(&s(&[2, 3])), "Lemma 3 filters I2I3");
+    assert_eq!(out.large.support(&s(&[1, 4])), Some(34));
+    assert!(!out.large.contains(&s(&[2, 4])), "Lemma 5 prunes I2I4");
+    assert_eq!(out.large.len_at(2), 2, "L'2 = {{I1I2, I1I4}} exactly");
+
+    let d2 = out.detail.iter().find(|d| d.k == 2).unwrap();
+    assert_eq!(d2.lemma3_losers, 1, "I2I3 dropped without scanning");
+    assert_eq!(d2.winners_from_old, 1, "I1I2 confirmed");
+    assert_eq!(d2.winners_from_new, 1, "I1I4 discovered");
+    assert!(
+        d2.candidates_checked < d2.candidates_generated,
+        "I2I4 pruned before the DB scan"
+    );
+
+    // Cross-check with a full re-mine.
+    let whole = fup::tidb::source::ChainSource::new(&db, &increment);
+    let fresh = fup::Apriori::new().run(&whole, minsup).large;
+    assert!(
+        out.large.same_itemsets(&fresh),
+        "{:?}",
+        out.large.diff(&fresh)
+    );
+}
