@@ -18,18 +18,14 @@ fn fig3(c: &mut Criterion) {
     for &bp in &[200u64, 75] {
         let minsup = MinSupport::basis_points(bp);
         let baseline = Apriori::new().run(&data.db, minsup).large;
-        group.bench_with_input(
-            BenchmarkId::new("fup_candidate_pool", bp),
-            &bp,
-            |b, _| {
-                b.iter(|| {
-                    let out = Fup::new()
-                        .update(&data.db, &baseline, &data.increment, minsup)
-                        .unwrap();
-                    out.stats.total_candidates_checked()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("fup_candidate_pool", bp), &bp, |b, _| {
+            b.iter(|| {
+                let out = Fup::new()
+                    .update(&data.db, &baseline, &data.increment, minsup)
+                    .unwrap();
+                out.stats.total_candidates_checked()
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("apriori_candidate_pool", bp),
             &bp,

@@ -18,7 +18,9 @@ fn random_transactions(n: usize, items: u32, len: usize, rng: &mut Pcg32) -> Vec
 fn random_itemsets(n: usize, items: u32, k: usize, rng: &mut Pcg32) -> Vec<Itemset> {
     let mut out = std::collections::HashSet::new();
     while out.len() < n {
-        out.insert(Itemset::from_items((0..k * 2).map(|_| rng.below(items)).take(k)));
+        out.insert(Itemset::from_items(
+            (0..k * 2).map(|_| rng.below(items)).take(k),
+        ));
     }
     out.into_iter().filter(|s| s.k() == k).collect()
 }
@@ -102,5 +104,10 @@ fn transaction_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, subset_counting, candidate_generation, transaction_codec);
+criterion_group!(
+    benches,
+    subset_counting,
+    candidate_generation,
+    transaction_codec
+);
 criterion_main!(benches);

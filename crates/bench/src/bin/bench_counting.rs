@@ -1,0 +1,224 @@
+//! `bench_counting` — smoke benchmark of the parallel support-counting
+//! engine, emitting a machine-readable `BENCH_counting.json` for the
+//! perf trajectory (CI runs this briefly on every push).
+//!
+//! Generates a `T10.I4` Quest corpus (default 100 000 transactions, the
+//! paper's `D100`), derives the size-2 candidate pool `C₂ =
+//! apriori-gen(L₁)` at the given support, and times the same candidate
+//! counting pass on the serial engine (`threads = 1`) versus the parallel
+//! engine. Counts are asserted identical before any number is reported.
+//!
+//! ```text
+//! bench_counting [--out PATH] [--transactions N] [--threads T]
+//!                [--reps R] [--minsup-bp B] [--seed S]
+//! ```
+
+use fup_datagen::{corpus, QuestGenerator};
+use fup_mining::counting::ItemCounts;
+use fup_mining::engine::{self, EngineConfig};
+use fup_mining::gen::apriori_gen;
+use fup_mining::{HashTree, Itemset, MinSupport};
+use fup_tidb::{TransactionDb, TransactionSource};
+use std::time::{Duration, Instant};
+
+struct Options {
+    out: String,
+    transactions: u64,
+    threads: usize,
+    reps: usize,
+    minsup_bp: u64,
+    seed: u64,
+    /// Exit non-zero unless `speedup >= min_speedup` (0.0 disables; CI
+    /// multi-core runners assert the ISSUE's ≥2× target with this).
+    min_speedup: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_counting.json".to_string(),
+        transactions: 100_000,
+        threads: 4,
+        reps: 3,
+        minsup_bp: 100, // 1 %
+        seed: 1996,
+        min_speedup: 0.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--transactions" => {
+                opts.transactions = value("--transactions")?
+                    .parse()
+                    .map_err(|e| format!("--transactions: {e}"))?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--reps" => {
+                opts.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--minsup-bp" => {
+                opts.minsup_bp = value("--minsup-bp")?
+                    .parse()
+                    .map_err(|e| format!("--minsup-bp: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--min-speedup" => {
+                opts.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Best-of-`reps` wall time for one candidate counting pass. The tree is
+/// built (serially) outside the timed region: the benchmark compares the
+/// *counting pass* the engine parallelises, not the shared build cost.
+fn time_counting(
+    db: &TransactionDb,
+    candidates: &[Itemset],
+    config: &EngineConfig,
+    reps: usize,
+) -> (Duration, Vec<u64>) {
+    let mut best = Duration::MAX;
+    let mut counts = Vec::new();
+    for _ in 0..reps {
+        let mut tree = HashTree::build(candidates.to_vec());
+        let start = Instant::now();
+        engine::count_source_into(&mut tree, db, config);
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        counts = tree.counts().to_vec();
+    }
+    (best, counts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_counting: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // The paper's T10.I4 shape at the requested size.
+    let params = corpus::t10_i4_d100_d1()
+        .with_seed(opts.seed)
+        .with_increment(1);
+    let params = fup_datagen::GenParams {
+        num_transactions: opts.transactions,
+        ..params
+    };
+    eprintln!(
+        "generating {} corpus ({} transactions)...",
+        params.name(),
+        opts.transactions
+    );
+    let db = QuestGenerator::new(params).generate_db(opts.transactions);
+    let total_items = db.total_items();
+
+    // C₂ from L₁, like pass 2 of every miner.
+    let minsup = MinSupport::basis_points(opts.minsup_bp);
+    let item_counts = ItemCounts::count_with(&db, &EngineConfig::serial());
+    let level: Vec<Itemset> = item_counts
+        .iter_nonzero()
+        .filter(|&(_, c)| minsup.is_large(c, db.num_transactions()))
+        .map(|(item, _)| Itemset::single(item))
+        .collect();
+    let candidates = apriori_gen(&level);
+    eprintln!(
+        "|L1| = {}, |C2| = {} at minsup {minsup}",
+        level.len(),
+        candidates.len()
+    );
+    if candidates.is_empty() {
+        eprintln!("candidate pool is empty; lower --minsup-bp");
+        std::process::exit(2);
+    }
+
+    let (serial_time, serial_counts) =
+        time_counting(&db, &candidates, &EngineConfig::serial(), opts.reps);
+    let parallel_cfg = EngineConfig::with_threads(opts.threads);
+    let (parallel_time, parallel_counts) =
+        time_counting(&db, &candidates, &parallel_cfg, opts.reps);
+    assert_eq!(
+        serial_counts, parallel_counts,
+        "parallel counts diverged from serial"
+    );
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    let tps = |d: Duration| opts.transactions as f64 / d.as_secs_f64().max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"counting\",\n",
+            "  \"corpus\": \"T10.I4\",\n",
+            "  \"transactions\": {},\n",
+            "  \"total_items\": {},\n",
+            "  \"minsup_bp\": {},\n",
+            "  \"l1\": {},\n",
+            "  \"candidates\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"serial_ms\": {:.3},\n",
+            "  \"serial_tps\": {:.0},\n",
+            "  \"parallel_threads\": {},\n",
+            "  \"parallel_ms\": {:.3},\n",
+            "  \"parallel_tps\": {:.0},\n",
+            "  \"speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        opts.transactions,
+        total_items,
+        opts.minsup_bp,
+        level.len(),
+        candidates.len(),
+        opts.reps,
+        serial_time.as_secs_f64() * 1e3,
+        tps(serial_time),
+        opts.threads,
+        parallel_time.as_secs_f64() * 1e3,
+        tps(parallel_time),
+        speedup,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("bench_counting: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!(
+        "serial {:.1} ms vs {} threads {:.1} ms -> {speedup:.2}x ({})",
+        serial_time.as_secs_f64() * 1e3,
+        opts.threads,
+        parallel_time.as_secs_f64() * 1e3,
+        opts.out
+    );
+    if opts.min_speedup > 0.0 && speedup < opts.min_speedup {
+        eprintln!(
+            "bench_counting: speedup {speedup:.2}x below required {:.2}x",
+            opts.min_speedup
+        );
+        std::process::exit(1);
+    }
+}

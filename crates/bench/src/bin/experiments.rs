@@ -48,12 +48,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = [
-            "table1", "fig2", "fig3", "sec4-4a", "fig4", "sec4-5", "sec4-6", "ablation",
-            "scanvol", "fup2perf",
+            "table1", "fig2", "fig3", "sec4-4a", "fig4", "sec4-5", "sec4-6", "ablation", "scanvol",
+            "fup2perf",
         ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     Ok(Options { ids, scale, seed })
 }

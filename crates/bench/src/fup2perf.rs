@@ -86,7 +86,13 @@ pub fn run(scale: u64, seed: u64) -> Vec<Row> {
 
             let (out, t_fup2) = timed(|| {
                 Fup2::new()
-                    .update(&store, &baseline, staged.deleted(), staged.inserted(), minsup)
+                    .update(
+                        &store,
+                        &baseline,
+                        staged.deleted(),
+                        staged.inserted(),
+                        minsup,
+                    )
                     .expect("baseline matches")
             });
             let whole = ChainSource::new(&store, staged.inserted());

@@ -84,8 +84,7 @@ pub fn compare(
     });
     let whole = ChainSource::new(db, increment);
     let (dhp_out, t_dhp): (MiningOutcome, _) = timed(|| Dhp::new().run(&whole, minsup));
-    let (apriori_out, t_apriori): (MiningOutcome, _) =
-        timed(|| Apriori::new().run(&whole, minsup));
+    let (apriori_out, t_apriori): (MiningOutcome, _) = timed(|| Apriori::new().run(&whole, minsup));
 
     debug_assert!(
         fup_out.large.same_itemsets(&dhp_out.large)

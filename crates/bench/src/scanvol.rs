@@ -106,7 +106,8 @@ pub fn render(rows: &[Row]) -> Table {
 }
 
 /// Qualitative expectation.
-pub const PAPER_SHAPE: &str = "extension: FUP reads a fraction of the transactions the re-runs read \
+pub const PAPER_SHAPE: &str =
+    "extension: FUP reads a fraction of the transactions the re-runs read \
      (DB only while pruned candidates remain; db is small)";
 
 #[cfg(test)]

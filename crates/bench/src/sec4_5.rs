@@ -52,8 +52,7 @@ pub fn run(scale: u64, seed: u64) -> Vec<Row> {
         .map(|&m| {
             let params = corpus::scaled(corpus::t10_i4_d100_dm(m).with_seed(seed), scale);
             let data = generate_split(&params);
-            let (baseline_out, t_mine_original) =
-                timed(|| Dhp::new().run(&data.db, minsup));
+            let (baseline_out, t_mine_original) = timed(|| Dhp::new().run(&data.db, minsup));
             // FUP reuses Apriori-compatible support counts; DHP's are the
             // same numbers (both are exact).
             let (fup_out, t_fup) = timed(|| {
@@ -96,7 +95,8 @@ pub fn render(rows: &[Row]) -> Table {
 }
 
 /// The paper's qualitative expectation.
-pub const PAPER_SHAPE: &str = "paper: overhead 10-15% for small increments, dropping to 5-10% once \
+pub const PAPER_SHAPE: &str =
+    "paper: overhead 10-15% for small increments, dropping to 5-10% once \
      the increment exceeds the original database";
 
 #[cfg(test)]

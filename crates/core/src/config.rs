@@ -1,5 +1,9 @@
 //! FUP configuration knobs — each corresponds to an optimisation the paper
-//! describes, so ablation benches can switch them off individually.
+//! describes, so ablation benches can switch them off individually — plus
+//! the counting-engine settings (worker threads, chunk size) every scan
+//! routes through.
+
+pub use fup_mining::engine::EngineConfig;
 
 /// Configuration for [`Fup`](crate::Fup) and [`Fup2`](crate::Fup2).
 #[derive(Debug, Clone)]
@@ -16,6 +20,10 @@ pub struct FupConfig {
     pub hash_buckets: usize,
     /// Stop after this iteration. `None` runs until no itemsets remain.
     pub max_k: Option<usize>,
+    /// Counting-engine settings for every scan: `threads` defaults to the
+    /// machine's available parallelism; `threads = 1` reproduces the
+    /// historical serial scans (and their `ScanMetrics` charges) exactly.
+    pub engine: EngineConfig,
 }
 
 impl Default for FupConfig {
@@ -25,6 +33,7 @@ impl Default for FupConfig {
             dhp_hash: true,
             hash_buckets: 1 << 20,
             max_k: None,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -37,14 +46,22 @@ impl FupConfig {
 
     /// A bare configuration with every optional optimisation off — the
     /// ablation baseline (lemma-based pruning alone, which is FUP's core
-    /// and cannot be disabled).
+    /// and cannot be disabled). The counting engine stays at its default;
+    /// parallelism is orthogonal to the paper's optimisations.
     pub fn bare() -> Self {
         FupConfig {
             reduce_db: false,
             dhp_hash: false,
             hash_buckets: 1,
             max_k: None,
+            engine: EngineConfig::default(),
         }
+    }
+
+    /// This configuration with an explicit engine thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine.threads = threads;
+        self
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::reduce;
+use fup_mining::engine::{self, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen;
 use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
@@ -124,39 +125,20 @@ impl Fup {
 
         // ------------------------- Iteration 1 -------------------------
         // One scan of the increment: per-item counts, plus (optionally)
-        // DHP pair-bucket counts for the iteration-2 filter.
-        let mut inc_item_counts: Vec<u64> = Vec::new();
-        // Bucket count adapts to the increment: ~one bucket per expected
-        // pair occurrence gives strong filtering without allocating a huge
+        // DHP pair-bucket counts for the iteration-2 filter. Bucket count
+        // adapts to the increment: ~one bucket per expected pair
+        // occurrence gives strong filtering without allocating a huge
         // table for a small `db`. `config.hash_buckets` caps it.
-        let mut pair_buckets: Vec<u64> = if self.config.dhp_hash {
+        let nbuckets = if self.config.dhp_hash {
             let estimated_pairs = (d_inc.saturating_mul(64)).next_power_of_two();
-            let buckets = estimated_pairs
-                .clamp(1024, self.config.hash_buckets.max(1024) as u64);
-            vec![0; buckets as usize]
+            estimated_pairs.clamp(1024, self.config.hash_buckets.max(1024) as u64) as usize
         } else {
-            Vec::new()
+            0
         };
-        let nbuckets = pair_buckets.len();
-        increment.for_each(&mut |t| {
-            for &item in t {
-                let i = item.index();
-                if i >= inc_item_counts.len() {
-                    inc_item_counts.resize(i + 1, 0);
-                }
-                inc_item_counts[i] += 1;
-            }
-            if nbuckets > 0 {
-                for i in 0..t.len() {
-                    for j in (i + 1)..t.len() {
-                        pair_buckets[pair_bucket(t[i], t[j], nbuckets)] += 1;
-                    }
-                }
-            }
-        });
-        let inc_count = |item: ItemId| -> u64 {
-            inc_item_counts.get(item.index()).copied().unwrap_or(0)
-        };
+        let (inc_item_counts, pair_buckets) =
+            engine::count_items_and_pairs(increment, nbuckets, &self.config.engine);
+        let inc_count =
+            |item: ItemId| -> u64 { inc_item_counts.get(item.index()).copied().unwrap_or(0) };
 
         // Winners and losers among the old L₁ (Lemma 1).
         let mut losers_prev: HashSet<Itemset> = HashSet::new();
@@ -211,16 +193,21 @@ impl Fup {
             for (idx, (item, _)) in c1.iter().enumerate() {
                 index_of[item.index()] = idx as u32;
             }
-            let mut c1_db_counts: Vec<u64> = vec![0; c1.len()];
-            db.for_each(&mut |t| {
-                for &item in t {
-                    if let Some(&idx) = index_of.get(item.index()) {
-                        if idx != u32::MAX {
-                            c1_db_counts[idx as usize] += 1;
+            let tables = engine::scan_fold(
+                db,
+                &self.config.engine,
+                || vec![0u64; c1.len()],
+                |counts: &mut Vec<u64>, _chunk, t| {
+                    for &item in t {
+                        if let Some(&idx) = index_of.get(item.index()) {
+                            if idx != u32::MAX {
+                                counts[idx as usize] += 1;
+                            }
                         }
                     }
-                }
-            });
+                },
+            );
+            let c1_db_counts = engine::merge_dense(tables);
             for ((item, sup_d), sup_db) in c1.iter().zip(&c1_db_counts) {
                 let sup_ud = sup_db + sup_d;
                 if minsup.is_large(sup_ud, n) {
@@ -313,35 +300,50 @@ impl Fup {
 
             // One scan of the increment counts W and C together.
             let w_len = w.len();
-            let mut combined: Vec<Itemset> =
-                Vec::with_capacity(w_len + candidates.len());
+            let mut combined: Vec<Itemset> = Vec::with_capacity(w_len + candidates.len());
             combined.extend(w.iter().map(|(x, _)| x.clone()));
             combined.extend(candidates.iter().cloned());
             let mut tree = HashTree::build(combined);
 
-            let mut next_inc: Option<TransactionDb> = if self.config.reduce_db {
-                Some(TransactionDb::new())
-            } else {
-                None
-            };
+            // One engine pass over the increment: every worker counts into
+            // its own scratch; `Reduce-db` keeps trimmed transactions per
+            // chunk so the working copy is deterministic.
+            let reduce_inc = self.config.reduce_db;
             {
-                let mut per_txn = |t: &[ItemId]| match &mut next_inc {
-                    Some(out) => {
-                        let mut matched: Vec<usize> = Vec::new();
-                        tree.add_transaction_with(t, &mut |i| matched.push(i));
-                        if let Some(reduced) = reduce::reduce_db_transaction(
-                            t,
-                            matched.iter().map(|&i| &tree.itemsets()[i]),
-                            k,
-                        ) {
-                            out.push(reduced);
-                        }
-                    }
-                    None => tree.add_transaction(t),
+                let src: &dyn TransactionSource = match &inc_working {
+                    Some(wdb) => wdb,
+                    None => increment,
                 };
-                match &inc_working {
-                    Some(wdb) => wdb.for_each(&mut per_txn),
-                    None => increment.for_each(&mut per_txn),
+                let view = tree.view();
+                let folds = engine::scan_fold(
+                    src,
+                    &self.config.engine,
+                    || (tree.new_scratch(), ChunkedCollector::new()),
+                    |(scratch, kept), chunk, t| {
+                        if reduce_inc {
+                            let mut matched: Vec<usize> = Vec::new();
+                            view.count_with(t, scratch, &mut |i| matched.push(i));
+                            if let Some(reduced) = reduce::reduce_db_transaction(
+                                t,
+                                matched.iter().map(|&i| &view.itemsets()[i]),
+                                k,
+                            ) {
+                                kept.push(chunk, reduced);
+                            }
+                        } else {
+                            view.count(t, scratch);
+                        }
+                    },
+                );
+                let mut collectors = Vec::with_capacity(folds.len());
+                for (scratch, kept) in folds {
+                    tree.absorb(scratch);
+                    collectors.push(kept);
+                }
+                if reduce_inc {
+                    inc_working = Some(TransactionDb::from_transactions(ChunkedCollector::merge(
+                        collectors,
+                    )));
                 }
             }
             let inc_counts = tree.counts().to_vec();
@@ -382,22 +384,35 @@ impl Fup {
                 };
                 let cand_sets: Vec<Itemset> = pruned.iter().map(|(x, _)| x.clone()).collect();
                 let mut ctree = HashTree::build(cand_sets);
-                let mut next_db: Option<TransactionDb> =
-                    keep_items.as_ref().map(|_| TransactionDb::new());
                 {
-                    let mut per_txn = |t: &[ItemId]| {
-                        ctree.add_transaction(t);
-                        if let (Some(out), Some(keep)) = (&mut next_db, &keep_items) {
-                            if let Some(reduced) =
-                                reduce::reduce_full_transaction(t, keep, k)
-                            {
-                                out.push(reduced);
-                            }
-                        }
+                    let src: &dyn TransactionSource = match &db_working {
+                        Some(wdb) => wdb,
+                        None => db,
                     };
-                    match &db_working {
-                        Some(wdb) => wdb.for_each(&mut per_txn),
-                        None => db.for_each(&mut per_txn),
+                    let view = ctree.view();
+                    let keep_ref = keep_items.as_ref();
+                    let folds = engine::scan_fold(
+                        src,
+                        &self.config.engine,
+                        || (ctree.new_scratch(), ChunkedCollector::new()),
+                        |(scratch, kept), chunk, t| {
+                            view.count(t, scratch);
+                            if let Some(keep) = keep_ref {
+                                if let Some(reduced) = reduce::reduce_full_transaction(t, keep, k) {
+                                    kept.push(chunk, reduced);
+                                }
+                            }
+                        },
+                    );
+                    let mut collectors = Vec::with_capacity(folds.len());
+                    for (scratch, kept) in folds {
+                        ctree.absorb(scratch);
+                        collectors.push(kept);
+                    }
+                    if keep_items.is_some() {
+                        db_working = Some(TransactionDb::from_transactions(
+                            ChunkedCollector::merge(collectors),
+                        ));
                     }
                 }
                 for ((x, sup_d), sup_db) in pruned.into_iter().zip(ctree.counts()) {
@@ -406,9 +421,6 @@ impl Fup {
                         result.insert(x, sup_ud);
                         winners_new_k += 1;
                     }
-                }
-                if let Some(next) = next_db {
-                    db_working = Some(next);
                 }
             }
 
@@ -430,9 +442,6 @@ impl Fup {
             });
 
             losers_prev = losers_k;
-            if let Some(next) = next_inc {
-                inc_working = Some(next);
-            }
             k += 1;
         }
 
@@ -443,14 +452,6 @@ impl Fup {
             detail,
         })
     }
-}
-
-/// Deterministic pair-bucket hash, identical to the DHP baseline's.
-#[inline]
-fn pair_bucket(x: ItemId, y: ItemId, buckets: usize) -> usize {
-    let key = (u64::from(x.raw()) << 32) | u64::from(y.raw());
-    let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    (mixed >> 32) as usize % buckets
 }
 
 /// Convenience: mines the baseline with Apriori, then maintains it with
@@ -594,8 +595,7 @@ mod tests {
         let original = db(&[&[1, 2, 3], &[2, 3], &[1, 3], &[3, 4]]);
         let increment = db(&[&[1, 2], &[1, 2, 3], &[4]]);
         let minsup = MinSupport::percent(40);
-        let out =
-            mine_then_update(&original, &increment, minsup, FupConfig::full()).unwrap();
+        let out = mine_then_update(&original, &increment, minsup, FupConfig::full()).unwrap();
         let whole = ChainSource::new(&original, &increment);
         let naive = mine_naive(&whole, minsup);
         assert!(
@@ -634,7 +634,13 @@ mod tests {
         let err = Fup::new()
             .update(&original, &wrong, &increment, MinSupport::percent(10))
             .unwrap_err();
-        assert!(matches!(err, Error::StaleBaseline { baseline: 99, database: 2 }));
+        assert!(matches!(
+            err,
+            Error::StaleBaseline {
+                baseline: 99,
+                database: 2
+            }
+        ));
     }
 
     #[test]
@@ -674,12 +680,7 @@ mod tests {
         ]);
         let increment = db(&[&[1, 2, 3, 4], &[1, 2, 3, 4], &[5, 6]]);
         let minsup = MinSupport::ratio(4, 9); // 4 of 9
-        let out = assert_fup_matches_remine(
-            &original,
-            &increment,
-            minsup,
-            FupConfig::full(),
-        );
+        let out = assert_fup_matches_remine(&original, &increment, minsup, FupConfig::full());
         assert_eq!(out.large.support(&s(&[1, 2, 3, 4])), Some(4));
     }
 
@@ -691,8 +692,7 @@ mod tests {
         let original = db(&[&[1, 2], &[1, 2], &[3], &[3]]);
         let increment = db(&[&[3], &[3], &[3], &[3]]);
         let minsup = MinSupport::percent(50);
-        let out =
-            assert_fup_matches_remine(&original, &increment, minsup, FupConfig::full());
+        let out = assert_fup_matches_remine(&original, &increment, minsup, FupConfig::full());
         assert!(!out.large.contains(&s(&[1, 2])));
         let d2 = out.detail.iter().find(|d| d.k == 2).unwrap();
         assert_eq!(d2.lemma3_losers, 1);
@@ -712,12 +712,8 @@ mod tests {
         let increment = db(&[&[1, 2, 3], &[3, 4, 5], &[1, 2, 3, 4, 5], &[2, 3]]);
         for pct in [20, 35, 50] {
             let minsup = MinSupport::percent(pct);
-            let full =
-                mine_then_update(&original, &increment, minsup, FupConfig::full())
-                    .unwrap();
-            let bare =
-                mine_then_update(&original, &increment, minsup, FupConfig::bare())
-                    .unwrap();
+            let full = mine_then_update(&original, &increment, minsup, FupConfig::full()).unwrap();
+            let bare = mine_then_update(&original, &increment, minsup, FupConfig::bare()).unwrap();
             assert!(
                 full.large.same_itemsets(&bare.large),
                 "minsup {pct}%: {:?}",
@@ -774,14 +770,8 @@ mod tests {
         for d in &out.detail {
             assert!(d.candidates_after_hash <= d.candidates_generated, "{d:?}");
             assert!(d.candidates_checked <= d.candidates_after_hash, "{d:?}");
-            assert!(
-                d.winners_from_new <= d.candidates_checked,
-                "{d:?}"
-            );
-            assert!(
-                d.winners_from_old + d.lemma3_losers <= d.old_large,
-                "{d:?}"
-            );
+            assert!(d.winners_from_new <= d.candidates_checked, "{d:?}");
+            assert!(d.winners_from_old + d.lemma3_losers <= d.old_large, "{d:?}");
         }
         // Stats mirror detail.
         assert_eq!(out.stats.num_passes(), out.detail.len());

@@ -26,6 +26,7 @@ use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::fup::{FupOutcome, FupPassDetail};
 use crate::reduce;
+use fup_mining::engine::{self, count_items_and_pairs, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen;
 use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
@@ -121,8 +122,9 @@ impl Fup2 {
         } else {
             0
         };
-        let (plus_counts, pair_buckets) = count_items_and_pairs(inserted, nbuckets_plus);
-        let (minus_counts, _) = count_items_and_pairs(deleted, 0);
+        let (plus_counts, pair_buckets) =
+            count_items_and_pairs(inserted, nbuckets_plus, &self.config.engine);
+        let (minus_counts, _) = count_items_and_pairs(deleted, 0, &self.config.engine);
         let at = |v: &Vec<u64>, item: ItemId| v.get(item.index()).copied().unwrap_or(0);
 
         let mut losers_prev: HashSet<Itemset> = HashSet::new();
@@ -143,17 +145,24 @@ impl Fup2 {
         // in one dense pass over DB⁻ and decided afterwards. The
         // `survives` bound still prunes the *reporting*, and for the
         // insert-only case FUP's stronger Lemma-2 check applies.
-        let mut rem_counts: Vec<u64> = Vec::new();
-        remainder.for_each(&mut |t| {
-            for &item in t {
-                let i = item.index();
-                if i >= rem_counts.len() {
-                    rem_counts.resize(i + 1, 0);
+        let rem_counts = engine::merge_dense(engine::scan_fold(
+            remainder,
+            &self.config.engine,
+            Vec::new,
+            |counts: &mut Vec<u64>, _chunk, t| {
+                for &item in t {
+                    let i = item.index();
+                    if i >= counts.len() {
+                        counts.resize(i + 1, 0);
+                    }
+                    counts[i] += 1;
                 }
-                rem_counts[i] += 1;
-            }
-        });
-        let max_len = rem_counts.len().max(plus_counts.len()).max(minus_counts.len());
+            },
+        ));
+        let max_len = rem_counts
+            .len()
+            .max(plus_counts.len())
+            .max(minus_counts.len());
         let mut winners_from_new1 = 0u64;
         let mut generated1 = 0u64;
         let mut checked1 = 0u64;
@@ -265,33 +274,50 @@ impl Fup2 {
             combined.extend(w.iter().map(|(x, _)| x.clone()));
             combined.extend(candidates.iter().cloned());
             let mut tree = HashTree::build(combined);
-            let mut next_plus: Option<TransactionDb> = if self.config.reduce_db {
-                Some(TransactionDb::new())
-            } else {
-                None
-            };
+            // Engine pass over db⁺ with optional `Reduce-db` trimming
+            // (chunk-ordered, so the working copy is deterministic).
+            let reduce_plus = self.config.reduce_db;
             {
-                let mut per_txn = |t: &[ItemId]| match &mut next_plus {
-                    Some(out) => {
-                        let mut matched: Vec<usize> = Vec::new();
-                        tree.add_transaction_with(t, &mut |i| matched.push(i));
-                        if let Some(reduced) = reduce::reduce_db_transaction(
-                            t,
-                            matched.iter().map(|&i| &tree.itemsets()[i]),
-                            k,
-                        ) {
-                            out.push(reduced);
-                        }
-                    }
-                    None => tree.add_transaction(t),
+                let src: &dyn TransactionSource = match &plus_working {
+                    Some(wdb) => wdb,
+                    None => inserted,
                 };
-                match &plus_working {
-                    Some(wdb) => wdb.for_each(&mut per_txn),
-                    None => inserted.for_each(&mut per_txn),
+                let view = tree.view();
+                let folds = engine::scan_fold(
+                    src,
+                    &self.config.engine,
+                    || (tree.new_scratch(), ChunkedCollector::new()),
+                    |(scratch, kept), chunk, t| {
+                        if reduce_plus {
+                            let mut matched: Vec<usize> = Vec::new();
+                            view.count_with(t, scratch, &mut |i| matched.push(i));
+                            if let Some(reduced) = reduce::reduce_db_transaction(
+                                t,
+                                matched.iter().map(|&i| &view.itemsets()[i]),
+                                k,
+                            ) {
+                                kept.push(chunk, reduced);
+                            }
+                        } else {
+                            view.count(t, scratch);
+                        }
+                    },
+                );
+                let mut collectors = Vec::with_capacity(folds.len());
+                for (scratch, kept) in folds {
+                    tree.absorb(scratch);
+                    collectors.push(kept);
+                }
+                if reduce_plus {
+                    plus_working = Some(TransactionDb::from_transactions(ChunkedCollector::merge(
+                        collectors,
+                    )));
                 }
             }
             let plus_counts_k = tree.counts().to_vec();
-            tree.count_source(deleted);
+            // The delete side is never trimmed (see module docs); counting
+            // it on top of the db⁺ counts gives the combined totals.
+            engine::count_source_into(&mut tree, deleted, &self.config.engine);
             let total_counts_k = tree.counts().to_vec();
             let minus_of = |i: usize| total_counts_k[i] - plus_counts_k[i];
 
@@ -338,20 +364,35 @@ impl Fup2 {
                 };
                 let cand_sets: Vec<Itemset> = pruned.iter().map(|(x, _)| x.clone()).collect();
                 let mut ctree = HashTree::build(cand_sets);
-                let mut next_rem: Option<TransactionDb> =
-                    keep_items.as_ref().map(|_| TransactionDb::new());
                 {
-                    let mut per_txn = |t: &[ItemId]| {
-                        ctree.add_transaction(t);
-                        if let (Some(out), Some(keep)) = (&mut next_rem, &keep_items) {
-                            if let Some(reduced) = reduce::reduce_full_transaction(t, keep, k) {
-                                out.push(reduced);
-                            }
-                        }
+                    let src: &dyn TransactionSource = match &rem_working {
+                        Some(wdb) => wdb,
+                        None => remainder,
                     };
-                    match &rem_working {
-                        Some(wdb) => wdb.for_each(&mut per_txn),
-                        None => remainder.for_each(&mut per_txn),
+                    let view = ctree.view();
+                    let keep_ref = keep_items.as_ref();
+                    let folds = engine::scan_fold(
+                        src,
+                        &self.config.engine,
+                        || (ctree.new_scratch(), ChunkedCollector::new()),
+                        |(scratch, kept), chunk, t| {
+                            view.count(t, scratch);
+                            if let Some(keep) = keep_ref {
+                                if let Some(reduced) = reduce::reduce_full_transaction(t, keep, k) {
+                                    kept.push(chunk, reduced);
+                                }
+                            }
+                        },
+                    );
+                    let mut collectors = Vec::with_capacity(folds.len());
+                    for (scratch, kept) in folds {
+                        ctree.absorb(scratch);
+                        collectors.push(kept);
+                    }
+                    if keep_items.is_some() {
+                        rem_working = Some(TransactionDb::from_transactions(
+                            ChunkedCollector::merge(collectors),
+                        ));
                     }
                 }
                 for ((x, sup_plus), sup_rem) in pruned.into_iter().zip(ctree.counts()) {
@@ -360,9 +401,6 @@ impl Fup2 {
                         result.insert(x, sup_new);
                         winners_new_k += 1;
                     }
-                }
-                if let Some(next) = next_rem {
-                    rem_working = Some(next);
                 }
             }
 
@@ -384,9 +422,6 @@ impl Fup2 {
             });
 
             losers_prev = losers_k;
-            if let Some(next) = next_plus {
-                plus_working = Some(next);
-            }
             k += 1;
         }
 
@@ -397,39 +432,6 @@ impl Fup2 {
             detail,
         })
     }
-}
-
-/// One scan: dense per-item counts, plus optional pair-bucket counts.
-fn count_items_and_pairs(
-    source: &dyn TransactionSource,
-    nbuckets: usize,
-) -> (Vec<u64>, Vec<u64>) {
-    let mut counts: Vec<u64> = Vec::new();
-    let mut buckets = vec![0u64; nbuckets];
-    source.for_each(&mut |t| {
-        for &item in t {
-            let i = item.index();
-            if i >= counts.len() {
-                counts.resize(i + 1, 0);
-            }
-            counts[i] += 1;
-        }
-        if nbuckets > 0 {
-            for i in 0..t.len() {
-                for j in (i + 1)..t.len() {
-                    buckets[pair_bucket(t[i], t[j], nbuckets)] += 1;
-                }
-            }
-        }
-    });
-    (counts, buckets)
-}
-
-#[inline]
-fn pair_bucket(x: ItemId, y: ItemId, buckets: usize) -> usize {
-    let key = (u64::from(x.raw()) << 32) | u64::from(y.raw());
-    let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    (mixed >> 32) as usize % buckets
 }
 
 #[cfg(test)]
@@ -465,7 +467,13 @@ mod tests {
         };
         let staged = store.stage(batch).unwrap();
         let out = Fup2::with_config(config)
-            .update(&store, &baseline, staged.deleted(), staged.inserted(), minsup)
+            .update(
+                &store,
+                &baseline,
+                staged.deleted(),
+                staged.inserted(),
+                minsup,
+            )
             .unwrap();
         // Re-mine the committed database for the ground truth.
         let updated = ChainSource::new(&store, staged.inserted());
@@ -564,7 +572,13 @@ mod tests {
         let baseline = Apriori::new().run(&store, minsup).large;
         let staged = store.stage(UpdateBatch::delete_only(tids)).unwrap();
         let out = Fup2::new()
-            .update(&store, &baseline, staged.deleted(), staged.inserted(), minsup)
+            .update(
+                &store,
+                &baseline,
+                staged.deleted(),
+                staged.inserted(),
+                minsup,
+            )
             .unwrap();
         assert!(out.large.is_empty());
         assert_eq!(out.large.num_transactions(), 0);
@@ -578,7 +592,13 @@ mod tests {
         let baseline = Apriori::new().run(&store, minsup).large;
         let staged = store.stage(UpdateBatch::default()).unwrap();
         let out = Fup2::new()
-            .update(&store, &baseline, staged.deleted(), staged.inserted(), minsup)
+            .update(
+                &store,
+                &baseline,
+                staged.deleted(),
+                staged.inserted(),
+                minsup,
+            )
             .unwrap();
         assert!(out.large.same_itemsets(&baseline));
         assert_eq!(out.stats.num_passes(), 0);
@@ -592,7 +612,13 @@ mod tests {
         let err = Fup2::new()
             .update(&store, &wrong, &empty, &empty, MinSupport::percent(10))
             .unwrap_err();
-        assert!(matches!(err, Error::StaleBaseline { baseline: 7, database: 1 }));
+        assert!(matches!(
+            err,
+            Error::StaleBaseline {
+                baseline: 7,
+                database: 1
+            }
+        ));
     }
 
     #[test]
@@ -617,13 +643,7 @@ mod tests {
         // Threshold boundary: 3 of 10 at 30%; delete 3 → 3 of 7 (42.9%) vs
         // required ⌈2.1⌉ = 3 — stays large; items at 2 of 10 → 2 of 7 vs 3
         // — still small.
-        let mut initial = vec![
-            tx(&[1]),
-            tx(&[1]),
-            tx(&[1]),
-            tx(&[2]),
-            tx(&[2]),
-        ];
+        let mut initial = vec![tx(&[1]), tx(&[1]), tx(&[1]), tx(&[2]), tx(&[2])];
         for _ in 0..5 {
             initial.push(tx(&[99]));
         }

@@ -131,7 +131,10 @@ impl RuleMaintainer {
     /// unchanged.
     pub fn apply_update(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
         let batch_size = batch.inserts.len() as u64 + batch.deletes.len() as u64;
-        if self.policy.should_remine(batch_size, self.store.len() as u64) {
+        if self
+            .policy
+            .should_remine(batch_size, self.store.len() as u64)
+        {
             return self.apply_by_remine(batch);
         }
         let staged = self.store.stage(batch)?;

@@ -9,23 +9,18 @@
 
 /// Decides, per update batch, whether to run the incremental algorithm
 /// (FUP/FUP2) or a full re-mine.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum UpdatePolicy {
     /// Always maintain incrementally (the paper's recommendation — FUP
     /// stays ahead of re-mining even for increments several times the
     /// database size).
+    #[default]
     AlwaysIncremental,
     /// Re-mine from scratch when `(d⁺ + d⁻) / |DB|` exceeds the ratio.
     RemineOverRatio(f64),
     /// Always re-mine (the "possible approach" the paper's §1 argues
     /// against; useful as an experimental control).
     AlwaysRemine,
-}
-
-impl Default for UpdatePolicy {
-    fn default() -> Self {
-        UpdatePolicy::AlwaysIncremental
-    }
 }
 
 impl UpdatePolicy {

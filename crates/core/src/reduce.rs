@@ -91,8 +91,7 @@ mod tests {
         // k = 2; transaction {1,2,3,4}; matched 2-sets {1,2},{1,3},{2,3}.
         // hits: 1→2, 2→2, 3→2, 4→0 → keep {1,2,3} (len 3 > 2).
         let matched = [s(&[1, 2]), s(&[1, 3]), s(&[2, 3])];
-        let out =
-            reduce_db_transaction(&ids(&[1, 2, 3, 4]), matched.iter(), 2).unwrap();
+        let out = reduce_db_transaction(&ids(&[1, 2, 3, 4]), matched.iter(), 2).unwrap();
         assert_eq!(out.items(), ids(&[1, 2, 3]).as_slice());
     }
 

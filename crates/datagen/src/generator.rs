@@ -138,9 +138,7 @@ mod tests {
         let txs = g.generate(500);
         assert_eq!(txs.len(), 500);
         assert!(txs.iter().all(|t| !t.is_empty()));
-        assert!(txs
-            .iter()
-            .all(|t| t.items().iter().all(|i| i.raw() < 100)));
+        assert!(txs.iter().all(|t| t.items().iter().all(|i| i.raw() < 100)));
     }
 
     #[test]
@@ -162,8 +160,7 @@ mod tests {
         };
         let mut g = QuestGenerator::new(params);
         let txs = g.generate(3_000);
-        let mean: f64 =
-            txs.iter().map(|t| t.len() as f64).sum::<f64>() / txs.len() as f64;
+        let mean: f64 = txs.iter().map(|t| t.len() as f64).sum::<f64>() / txs.len() as f64;
         // Target |T| = 10; pattern-overflow closing biases slightly low.
         assert!(
             (6.0..=12.0).contains(&mean),
@@ -194,11 +191,7 @@ mod tests {
             .unwrap()
             .clone();
         let pair = [heavy.items[0], heavy.items[1]];
-        let co = txs
-            .iter()
-            .filter(|t| t.contains_itemset(&pair))
-            .count() as f64
-            / txs.len() as f64;
+        let co = txs.iter().filter(|t| t.contains_itemset(&pair)).count() as f64 / txs.len() as f64;
         // Independent 2 items out of 1000 in 10-item transactions would
         // co-occur with probability ~1e-4; the pattern should beat that by
         // orders of magnitude.

@@ -116,7 +116,9 @@ impl PatternSet {
     /// Samples a pattern index proportionally to weight.
     pub fn sample(&self, rng: &mut Pcg32) -> usize {
         let u = rng.next_f64();
-        self.cumulative.partition_point(|&c| c < u).min(self.patterns.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.patterns.len() - 1)
     }
 }
 
@@ -254,9 +256,8 @@ mod tests {
             ..GenParams::default()
         };
         let set = PatternSet::generate(&params, &mut Pcg32::seed_from(5));
-        let overlap = |a: &Pattern, b: &Pattern| {
-            a.items.iter().filter(|i| b.items.contains(i)).count()
-        };
+        let overlap =
+            |a: &Pattern, b: &Pattern| a.items.iter().filter(|i| b.items.contains(i)).count();
         let mut intra = 0usize;
         let mut pairs = 0usize;
         for (i, w) in set.patterns().windows(2).enumerate() {

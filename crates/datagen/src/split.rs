@@ -48,7 +48,10 @@ pub fn generate_split(params: &GenParams) -> DbAndIncrement {
 /// Generates a database plus a *sequence* of increments of the given
 /// sizes, all from one statistical stream — used by multi-update
 /// maintenance scenarios and examples.
-pub fn generate_multi_split(params: &GenParams, increment_sizes: &[u64]) -> (TransactionDb, Vec<TransactionDb>) {
+pub fn generate_multi_split(
+    params: &GenParams,
+    increment_sizes: &[u64],
+) -> (TransactionDb, Vec<TransactionDb>) {
     let total_inc: u64 = increment_sizes.iter().sum();
     let mut generator = QuestGenerator::new(params.clone());
     let mut all = generator.generate(params.num_transactions + total_inc);

@@ -7,15 +7,15 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = GenParams> {
     (
-        50u64..400,           // D
-        1u64..100,            // d
-        2.0f64..12.0,         // |T|
-        1.0f64..5.0,          // |I|
-        10u32..120,           // |L|
-        20u32..300,           // N
-        1u32..8,              // S_c
-        2u32..10,             // P_s (≤ |L| guaranteed below)
-        any::<u64>(),         // seed
+        50u64..400,   // D
+        1u64..100,    // d
+        2.0f64..12.0, // |T|
+        1.0f64..5.0,  // |I|
+        10u32..120,   // |L|
+        20u32..300,   // N
+        1u32..8,      // S_c
+        2u32..10,     // P_s (≤ |L| guaranteed below)
+        any::<u64>(), // seed
     )
         .prop_map(
             |(d_big, d_inc, t, i, patterns, items, sc, ps, seed)| GenParams {

@@ -6,7 +6,8 @@
 //! candidates produced by `apriori-gen` on `L_{k−1}` via the hash tree. One
 //! full database scan per pass.
 
-use crate::counting::{count_candidates, ItemCounts};
+use crate::counting::ItemCounts;
+use crate::engine::{self, EngineConfig};
 use crate::gen::apriori_gen;
 use crate::itemset::Itemset;
 use crate::large::LargeItemsets;
@@ -17,14 +18,14 @@ use fup_tidb::TransactionSource;
 use std::time::Instant;
 
 /// Configuration for [`Apriori`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AprioriConfig {
     /// Stop after this pass even if larger itemsets might exist.
     /// `None` (default) runs until a pass finds nothing.
     pub max_k: Option<usize>,
+    /// Counting-engine settings (thread count, chunk size) for every scan.
+    pub engine: EngineConfig,
 }
-
 
 /// The Apriori miner.
 #[derive(Debug, Clone, Default)]
@@ -51,7 +52,7 @@ impl Apriori {
         let mut stats = MiningStats::new("apriori");
 
         // Pass 1: count items.
-        let item_counts = ItemCounts::count(source);
+        let item_counts = ItemCounts::count_with(source, &self.config.engine);
         let mut distinct_items = 0u64;
         let mut level: Vec<Itemset> = Vec::new();
         for (item, count) in item_counts.iter_nonzero() {
@@ -74,7 +75,7 @@ impl Apriori {
         while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
             let candidates = apriori_gen(&level);
             let generated = candidates.len() as u64;
-            let counted = count_candidates(source, candidates);
+            let counted = engine::count_candidates_with(source, candidates, &self.config.engine);
             level.clear();
             for (x, count) in counted {
                 if minsup.is_large(count, n) {
@@ -216,8 +217,11 @@ mod tests {
     #[test]
     fn max_k_truncates_search() {
         let d = db(&[&[1, 2, 3], &[1, 2, 3]]);
-        let out = Apriori::with_config(AprioriConfig { max_k: Some(2) })
-            .run(&d, MinSupport::percent(100));
+        let out = Apriori::with_config(AprioriConfig {
+            max_k: Some(2),
+            ..AprioriConfig::default()
+        })
+        .run(&d, MinSupport::percent(100));
         assert_eq!(out.large.max_size(), 2);
         assert_eq!(out.large.len_at(2), 3);
     }

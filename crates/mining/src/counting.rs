@@ -1,6 +1,10 @@
 //! Support-counting passes over a [`TransactionSource`].
+//!
+//! Both passes route through [`crate::engine`]: pass the engine
+//! configuration to choose the worker count ([`EngineConfig::serial`]
+//! reproduces the historical single-threaded scans exactly).
 
-use crate::hashtree::HashTree;
+use crate::engine::{self, EngineConfig};
 use crate::itemset::Itemset;
 use fup_tidb::{ItemId, TransactionSource};
 
@@ -12,18 +16,20 @@ pub struct ItemCounts {
 }
 
 impl ItemCounts {
-    /// Counts every item over one full pass of `source`.
+    /// Counts every item over one full pass of `source`, using the default
+    /// engine configuration (all available cores).
     pub fn count<S: TransactionSource + ?Sized>(source: &S) -> Self {
-        let mut counts: Vec<u64> = Vec::new();
-        source.for_each(&mut |t| {
-            for &item in t {
-                let i = item.index();
-                if i >= counts.len() {
-                    counts.resize(i + 1, 0);
-                }
-                counts[i] += 1;
-            }
-        });
+        Self::count_with(source, &EngineConfig::default())
+    }
+
+    /// Counts every item over one full pass of `source` with an explicit
+    /// engine configuration.
+    pub fn count_with<S: TransactionSource + ?Sized>(source: &S, config: &EngineConfig) -> Self {
+        engine::count_items_with(source, config)
+    }
+
+    /// Wraps a dense count table (index = item id).
+    pub(crate) fn from_dense(counts: Vec<u64>) -> Self {
         ItemCounts { counts }
     }
 
@@ -49,20 +55,17 @@ impl ItemCounts {
 }
 
 /// Counts the support of `candidates` (all of one size `k`) over one full
-/// pass of `source`, returning `(candidate, count)` pairs in input order.
+/// pass of `source`, returning `(candidate, count)` pairs in input order,
+/// using the default engine configuration (all available cores).
 ///
 /// This is the scan step shared by every pass ≥ 2 of Apriori/DHP and by
-/// FUP's checks of `C_k` against `DB`.
+/// FUP's checks of `C_k` against `DB`. See
+/// [`engine::count_candidates_with`] for an explicit configuration.
 pub fn count_candidates<S: TransactionSource + ?Sized>(
     source: &S,
     candidates: Vec<Itemset>,
 ) -> Vec<(Itemset, u64)> {
-    if candidates.is_empty() {
-        return Vec::new();
-    }
-    let mut tree = HashTree::build(candidates);
-    tree.count_source(source);
-    tree.into_results()
+    engine::count_candidates_with(source, candidates, &EngineConfig::default())
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!    the matched candidates; other items (and transactions left with ≤ k
 //!    items) are dropped from the working copy scanned by later passes.
 
+use crate::engine::{self, ChunkedCollector, EngineConfig};
 use crate::gen::apriori_gen;
 use crate::hashtree::HashTree;
 use crate::itemset::Itemset;
@@ -39,6 +40,8 @@ pub struct DhpConfig {
     pub trim: bool,
     /// Stop after this pass. `None` runs to exhaustion.
     pub max_k: Option<usize>,
+    /// Counting-engine settings (thread count, chunk size) for every scan.
+    pub engine: EngineConfig,
 }
 
 impl Default for DhpConfig {
@@ -47,6 +50,7 @@ impl Default for DhpConfig {
             hash_buckets: 100,
             trim: true,
             max_k: None,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -71,13 +75,7 @@ pub struct Dhp {
 
 /// Deterministic pair-bucket hash (order-sensitive inputs must be given as
 /// `x < y`).
-#[inline]
-fn pair_bucket(x: ItemId, y: ItemId, buckets: usize) -> usize {
-    let key = (u64::from(x.raw()) << 32) | u64::from(y.raw());
-    // Fibonacci hashing; the multiplier is 2^64 / φ.
-    let mixed = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    (mixed >> 32) as usize % buckets
-}
+use engine::pair_bucket;
 
 impl Dhp {
     /// Creates a miner with default configuration.
@@ -98,24 +96,11 @@ impl Dhp {
         let mut large = LargeItemsets::new(n);
         let mut stats = MiningStats::new("dhp");
 
-        // ---- Pass 1: count items AND hash all pairs into buckets. ----
-        let mut item_counts: Vec<u64> = Vec::new();
-        let mut buckets = vec![0u64; self.config.hash_buckets.max(1)];
-        let nbuckets = buckets.len();
-        source.for_each(&mut |t| {
-            for &item in t {
-                let i = item.index();
-                if i >= item_counts.len() {
-                    item_counts.resize(i + 1, 0);
-                }
-                item_counts[i] += 1;
-            }
-            for i in 0..t.len() {
-                for j in (i + 1)..t.len() {
-                    buckets[pair_bucket(t[i], t[j], nbuckets)] += 1;
-                }
-            }
-        });
+        // ---- Pass 1: count items AND hash all pairs into buckets, in
+        // one engine pass (per-worker tables summed afterwards). ----
+        let nbuckets = self.config.hash_buckets.max(1);
+        let (item_counts, buckets) =
+            engine::count_items_and_pairs(source, nbuckets, &self.config.engine);
 
         let mut distinct_items = 0u64;
         let mut level: Vec<Itemset> = Vec::new();
@@ -160,40 +145,50 @@ impl Dhp {
             }
 
             let mut tree = HashTree::build(candidates);
-            let mut next_working = if self.config.trim {
-                Some(TransactionDb::new())
-            } else {
-                None
+            let src: &dyn TransactionSource = match &working {
+                Some(w) => w,
+                None => source,
             };
-            {
-                let mut per_txn = |t: &[ItemId]| {
-                    match &mut next_working {
-                        Some(next) => {
-                            let mut item_hits: HashMap<ItemId, usize> = HashMap::new();
-                            let mut matched: Vec<usize> = Vec::new();
-                            tree.add_transaction_with(t, &mut |idx| matched.push(idx));
-                            for idx in matched {
-                                for &item in tree.itemsets()[idx].items() {
-                                    *item_hits.entry(item).or_insert(0) += 1;
-                                }
-                            }
-                            let kept: Vec<ItemId> = t
-                                .iter()
-                                .copied()
-                                .filter(|i| item_hits.get(i).copied().unwrap_or(0) >= k)
-                                .collect();
-                            if kept.len() > k {
-                                next.push(Transaction::from_sorted_vec(kept));
-                            }
-                        }
-                        None => tree.add_transaction(t),
+            // Count (and optionally trim) through the engine: per-worker
+            // tree scratches merge into the tree, per-chunk kept
+            // transactions concatenate in chunk order so the working copy
+            // is deterministic regardless of scheduling.
+            let trim = self.config.trim;
+            let view = tree.view();
+            let folds = engine::scan_fold(
+                src,
+                &self.config.engine,
+                || (tree.new_scratch(), ChunkedCollector::new()),
+                |(scratch, kept), chunk, t| {
+                    if !trim {
+                        view.count(t, scratch);
+                        return;
                     }
-                };
-                match &working {
-                    Some(w) => w.for_each(&mut per_txn),
-                    None => source.for_each(&mut per_txn),
-                }
+                    let mut item_hits: HashMap<ItemId, usize> = HashMap::new();
+                    let mut matched: Vec<usize> = Vec::new();
+                    view.count_with(t, scratch, &mut |idx| matched.push(idx));
+                    for idx in matched {
+                        for &item in view.itemsets()[idx].items() {
+                            *item_hits.entry(item).or_insert(0) += 1;
+                        }
+                    }
+                    let kept_items: Vec<ItemId> = t
+                        .iter()
+                        .copied()
+                        .filter(|i| item_hits.get(i).copied().unwrap_or(0) >= k)
+                        .collect();
+                    if kept_items.len() > k {
+                        kept.push(chunk, Transaction::from_sorted_vec(kept_items));
+                    }
+                },
+            );
+            let mut collectors = Vec::with_capacity(folds.len());
+            for (scratch, kept) in folds {
+                tree.absorb(scratch);
+                collectors.push(kept);
             }
+            let next_working =
+                trim.then(|| TransactionDb::from_transactions(ChunkedCollector::merge(collectors)));
 
             level.clear();
             let mut found = 0u64;
@@ -341,7 +336,11 @@ mod tests {
         })
         .run(&d, minsup);
         let naive = mine_naive(&d, minsup);
-        assert!(out.large.same_itemsets(&naive), "{:?}", out.large.diff(&naive));
+        assert!(
+            out.large.same_itemsets(&naive),
+            "{:?}",
+            out.large.diff(&naive)
+        );
         let p2 = &out.stats.passes[1];
         assert_eq!(p2.candidates_generated, p2.candidates_checked);
     }

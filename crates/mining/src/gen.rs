@@ -20,7 +20,10 @@ pub fn apriori_gen(prev: &[Itemset]) -> Vec<Itemset> {
         return Vec::new();
     }
     let k = prev[0].k();
-    debug_assert!(prev.iter().all(|x| x.k() == k), "mixed sizes in apriori_gen");
+    debug_assert!(
+        prev.iter().all(|x| x.k() == k),
+        "mixed sizes in apriori_gen"
+    );
 
     let mut sorted: Vec<&Itemset> = prev.iter().collect();
     sorted.sort();
@@ -57,9 +60,7 @@ pub fn apriori_gen(prev: &[Itemset]) -> Vec<Itemset> {
 /// join parents and always large; they are re-checked here for simplicity
 /// (cost is negligible next to the hash lookups for the other subsets).
 fn subsets_all_large(candidate: &Itemset, members: &HashSet<&Itemset>) -> bool {
-    candidate
-        .proper_subsets()
-        .all(|sub| members.contains(&sub))
+    candidate.proper_subsets().all(|sub| members.contains(&sub))
 }
 
 /// Reference implementation used by tests and property checks: all

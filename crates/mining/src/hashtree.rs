@@ -13,15 +13,39 @@
 //! different consumed prefixes can hash to the same leaf, leaves re-verify
 //! containment against the full transaction; a per-candidate `last_seen`
 //! transaction sequence number prevents double counting.
+//!
+//! ## Shared shape, private scratch
+//!
+//! The tree separates its **shape** (nodes, candidate itemsets, first-item
+//! presence bitmap — immutable after [`HashTree::build`]) from its
+//! **counting state** (support counts, `last_seen`, the walk stack). The
+//! shape is exposed as a [`TreeView`], a `Copy + Sync` borrow that any
+//! number of scan workers can share; each worker counts into its own
+//! [`CountScratch`] and the per-worker counts are merged with
+//! [`HashTree::absorb`]. The serial methods ([`HashTree::add_transaction`]
+//! et al.) use a scratch embedded in the tree, so single-threaded callers
+//! see exactly the classic behaviour.
+//!
+//! The walk is iterative (explicit stack in the scratch, no recursion), the
+//! bucket hash is a power-of-two bitmask, and transactions whose feasible
+//! prefix contains no candidate's first item are rejected by a bitmap test
+//! before any tree descent.
 
 use crate::itemset::Itemset;
 use fup_tidb::transaction::contains_sorted;
 use fup_tidb::{ItemId, TransactionSource};
 
-/// Children per interior node.
-const FANOUT: usize = 32;
-/// A leaf splits when it exceeds this many candidates (and depth < k).
-const SPLIT_THRESHOLD: usize = 8;
+/// Default children per interior node. Must be a power of two so bucket
+/// selection is a bitmask; 32 keeps interior nodes at one cache line of
+/// child ids while splitting leaves aggressively enough for the paper's
+/// candidate pool sizes.
+pub const DEFAULT_FANOUT: usize = 32;
+
+/// Default leaf capacity before a split (when depth < k). Small enough
+/// that leaf re-verification stays cheap, large enough that sparse
+/// candidate pools don't burst into single-candidate leaves.
+pub const DEFAULT_SPLIT_THRESHOLD: usize = 8;
+
 /// Sentinel for an absent child.
 const NO_CHILD: u32 = u32::MAX;
 
@@ -29,8 +53,8 @@ const NO_CHILD: u32 = u32::MAX;
 enum Node {
     /// Candidate indices stored at this leaf.
     Leaf(Vec<u32>),
-    /// Child node ids, `NO_CHILD` where absent.
-    Interior(Box<[u32; FANOUT]>),
+    /// Child node ids (`fanout` of them), `NO_CHILD` where absent.
+    Interior(Box<[u32]>),
 }
 
 /// A hash tree over a set of k-itemset candidates, accumulating support
@@ -38,44 +62,102 @@ enum Node {
 #[derive(Debug)]
 pub struct HashTree {
     k: usize,
+    /// `fanout - 1`; bucket selection is `item & mask`.
+    mask: usize,
+    split_threshold: usize,
     itemsets: Vec<Itemset>,
-    counts: Vec<u64>,
-    last_seen: Vec<u64>,
-    seq: u64,
     nodes: Vec<Node>,
+    /// Bitset over the *first* item of every candidate: a transaction can
+    /// only contain some candidate if one of its first `len - k + 1` items
+    /// is set here, so misses skip the walk entirely.
+    first_bits: Vec<u64>,
+    /// Embedded scratch backing the serial `add_transaction` API.
+    scratch: CountScratch,
 }
 
 #[inline]
-fn bucket(item: ItemId) -> usize {
-    (item.raw() as usize) % FANOUT
+fn bit_test(bits: &[u64], item: ItemId) -> bool {
+    let i = item.index();
+    bits.get(i >> 6)
+        .is_some_and(|&word| word & (1u64 << (i & 63)) != 0)
+}
+
+#[inline]
+fn bit_set(bits: &mut Vec<u64>, item: ItemId) {
+    let i = item.index();
+    let word = i >> 6;
+    if word >= bits.len() {
+        bits.resize(word + 1, 0);
+    }
+    bits[word] |= 1u64 << (i & 63);
 }
 
 impl HashTree {
-    /// Builds a hash tree over `candidates`, which must all have the same
-    /// size `k ≥ 1`.
+    /// Builds a hash tree over `candidates` with the default
+    /// [`DEFAULT_FANOUT`] / [`DEFAULT_SPLIT_THRESHOLD`] tuning. All
+    /// candidates must have the same size `k ≥ 1`.
     ///
     /// # Panics
     ///
     /// Panics if candidates have mixed sizes or an empty itemset appears.
     pub fn build(candidates: Vec<Itemset>) -> Self {
+        Self::build_with_params(candidates, DEFAULT_FANOUT, DEFAULT_SPLIT_THRESHOLD)
+    }
+
+    /// Builds a hash tree with explicit tuning:
+    ///
+    /// * `fanout` — children per interior node; must be a power of two
+    ///   (bucket selection is a single bitmask) and at least 2. Larger
+    ///   fanouts shorten descent paths at the cost of sparser nodes.
+    /// * `split_threshold` — leaf capacity before it splits into an
+    ///   interior node (min 1). Smaller thresholds trade memory for fewer
+    ///   containment re-verifications per leaf visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is not a power of two ≥ 2, if candidates have
+    /// mixed sizes, or if an empty itemset appears.
+    pub fn build_with_params(
+        candidates: Vec<Itemset>,
+        fanout: usize,
+        split_threshold: usize,
+    ) -> Self {
+        assert!(
+            fanout.is_power_of_two() && fanout >= 2,
+            "fanout must be a power of two ≥ 2"
+        );
         let k = candidates.first().map(Itemset::k).unwrap_or(1);
         assert!(k >= 1, "candidates must be non-empty itemsets");
         for c in &candidates {
             assert_eq!(c.k(), k, "all candidates must share one size");
         }
         let n = candidates.len();
+        let mut first_bits = Vec::new();
+        for c in &candidates {
+            bit_set(&mut first_bits, c.items()[0]);
+        }
         let mut tree = HashTree {
             k,
+            mask: fanout - 1,
+            split_threshold: split_threshold.max(1),
             itemsets: candidates,
-            counts: vec![0; n],
-            last_seen: vec![0; n],
-            seq: 0,
             nodes: vec![Node::Leaf(Vec::new())],
+            first_bits,
+            scratch: CountScratch::for_len(n),
         };
         for idx in 0..n as u32 {
             tree.insert(idx);
         }
         tree
+    }
+
+    #[inline]
+    fn bucket(&self, item: ItemId) -> usize {
+        (item.raw() as usize) & self.mask
+    }
+
+    fn new_interior(&self) -> Node {
+        Node::Interior(vec![NO_CHILD; self.mask + 1].into_boxed_slice())
     }
 
     fn insert(&mut self, idx: u32) {
@@ -85,7 +167,7 @@ impl HashTree {
             match &mut self.nodes[node as usize] {
                 Node::Interior(children) => {
                     let item = self.itemsets[idx as usize].items()[depth];
-                    let b = bucket(item);
+                    let b = (item.raw() as usize) & self.mask;
                     if children[b] == NO_CHILD {
                         let new_id = self.nodes.len() as u32;
                         // Re-borrow after push: take the bucket decision now.
@@ -102,7 +184,7 @@ impl HashTree {
                 }
                 Node::Leaf(ids) => {
                     ids.push(idx);
-                    if ids.len() > SPLIT_THRESHOLD && depth < self.k {
+                    if ids.len() > self.split_threshold && depth < self.k {
                         self.split(node, depth);
                     }
                     return;
@@ -114,16 +196,14 @@ impl HashTree {
     /// Converts the leaf `node` (at `depth` items consumed) into an
     /// interior node, redistributing its candidates one level down.
     fn split(&mut self, node: u32, depth: usize) {
-        let ids = match std::mem::replace(
-            &mut self.nodes[node as usize],
-            Node::Interior(Box::new([NO_CHILD; FANOUT])),
-        ) {
+        let interior = self.new_interior();
+        let ids = match std::mem::replace(&mut self.nodes[node as usize], interior) {
             Node::Leaf(ids) => ids,
             Node::Interior(_) => unreachable!("split target must be a leaf"),
         };
         for idx in ids {
             let item = self.itemsets[idx as usize].items()[depth];
-            let b = bucket(item);
+            let b = self.bucket(item);
             let child = match &self.nodes[node as usize] {
                 Node::Interior(ch) => ch[b],
                 Node::Leaf(_) => unreachable!(),
@@ -162,52 +242,73 @@ impl HashTree {
         self.k
     }
 
-    /// Counts every candidate contained in the (sorted) transaction.
-    pub fn add_transaction(&mut self, t: &[ItemId]) {
-        if t.len() < self.k || self.itemsets.is_empty() {
-            return;
+    /// The immutable shape of the tree, shareable across scan workers.
+    pub fn view(&self) -> TreeView<'_> {
+        TreeView {
+            k: self.k,
+            mask: self.mask,
+            itemsets: &self.itemsets,
+            nodes: &self.nodes,
+            first_bits: &self.first_bits,
         }
-        self.seq += 1;
-        walk(
-            &self.nodes,
-            &self.itemsets,
-            &mut self.counts,
-            &mut self.last_seen,
-            self.seq,
-            0,
-            t,
-            0,
-            0,
-            self.k,
-        );
     }
 
-    /// Runs one full pass over `source`, adding every transaction.
-    pub fn count_source<S: TransactionSource + ?Sized>(&mut self, source: &S) {
-        source.for_each(&mut |t| self.add_transaction(t));
+    /// Splits the borrow: the immutable shape plus the embedded serial
+    /// scratch, so `&mut self` methods can count through the shared walk
+    /// code (a plain `self.view()` would lock the scratch too).
+    fn view_and_scratch(&mut self) -> (TreeView<'_>, &mut CountScratch) {
+        (
+            TreeView {
+                k: self.k,
+                mask: self.mask,
+                itemsets: &self.itemsets,
+                nodes: &self.nodes,
+                first_bits: &self.first_bits,
+            },
+            &mut self.scratch,
+        )
+    }
+
+    /// A fresh, zeroed counting scratch sized for this tree. One per scan
+    /// worker; merge results back with [`HashTree::absorb`].
+    pub fn new_scratch(&self) -> CountScratch {
+        CountScratch::for_len(self.itemsets.len())
+    }
+
+    /// Adds a worker's scratch counts into the tree's own counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch was sized for a different tree.
+    pub fn absorb(&mut self, scratch: CountScratch) {
+        assert_eq!(
+            scratch.counts.len(),
+            self.scratch.counts.len(),
+            "scratch belongs to a different tree"
+        );
+        for (total, part) in self.scratch.counts.iter_mut().zip(&scratch.counts) {
+            *total += part;
+        }
+    }
+
+    /// Counts every candidate contained in the (sorted) transaction.
+    pub fn add_transaction(&mut self, t: &[ItemId]) {
+        let (view, scratch) = self.view_and_scratch();
+        view.count(t, scratch);
     }
 
     /// Like [`HashTree::add_transaction`], but additionally reports, via
     /// `on_match(candidate_index)`, each candidate contained in `t`.
     /// FUP's `Reduce-db` uses the per-item match counts this enables.
-    pub fn add_transaction_with(&mut self, t: &[ItemId], on_match: &mut dyn FnMut(usize)) {
-        if t.len() < self.k || self.itemsets.is_empty() {
-            return;
-        }
-        self.seq += 1;
-        walk_with(
-            &self.nodes,
-            &self.itemsets,
-            &mut self.counts,
-            &mut self.last_seen,
-            self.seq,
-            0,
-            t,
-            0,
-            0,
-            self.k,
-            on_match,
-        );
+    pub fn add_transaction_with<F: FnMut(usize)>(&mut self, t: &[ItemId], on_match: &mut F) {
+        let (view, scratch) = self.view_and_scratch();
+        view.count_with(t, scratch, on_match);
+    }
+
+    /// Runs one full (serial) pass over `source`, adding every transaction.
+    /// For a multi-threaded pass, see `fup_mining::engine`.
+    pub fn count_source<S: TransactionSource + ?Sized>(&mut self, source: &S) {
+        source.for_each(&mut |t| self.add_transaction(t));
     }
 
     /// The candidates, in build order (indices match [`HashTree::counts`]).
@@ -217,104 +318,144 @@ impl HashTree {
 
     /// Current support counts, parallel to [`HashTree::itemsets`].
     pub fn counts(&self) -> &[u64] {
-        &self.counts
+        &self.scratch.counts
     }
 
     /// Consumes the tree, yielding `(candidate, count)` pairs.
     pub fn into_results(self) -> Vec<(Itemset, u64)> {
-        self.itemsets.into_iter().zip(self.counts).collect()
+        self.itemsets.into_iter().zip(self.scratch.counts).collect()
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk(
-    nodes: &[Node],
-    itemsets: &[Itemset],
-    counts: &mut [u64],
-    last_seen: &mut [u64],
-    seq: u64,
-    node: u32,
-    t: &[ItemId],
-    start: usize,
-    depth: usize,
+/// The immutable shape of a [`HashTree`]: everything a scan worker needs
+/// to count transactions, minus the mutable counting state. `Copy`, and
+/// `Sync` because it only borrows immutable tree data — hand one to each
+/// worker in a `std::thread::scope`.
+#[derive(Clone, Copy)]
+pub struct TreeView<'a> {
     k: usize,
-) {
-    match &nodes[node as usize] {
-        Node::Leaf(ids) => {
-            for &idx in ids {
-                let i = idx as usize;
-                if last_seen[i] != seq && contains_sorted(t, itemsets[i].items()) {
-                    last_seen[i] = seq;
-                    counts[i] += 1;
-                }
-            }
+    mask: usize,
+    itemsets: &'a [Itemset],
+    nodes: &'a [Node],
+    first_bits: &'a [u64],
+}
+
+impl<'a> TreeView<'a> {
+    /// The candidate size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The candidates, in build order.
+    pub fn itemsets(&self) -> &'a [Itemset] {
+        self.itemsets
+    }
+
+    /// Counts every candidate contained in `t` into `scratch`.
+    #[inline]
+    pub fn count(&self, t: &[ItemId], scratch: &mut CountScratch) {
+        self.count_with(t, scratch, &mut |_| {});
+    }
+
+    /// Counts candidates contained in `t` into `scratch`, reporting each
+    /// matched candidate index. Monomorphized over the callback so match
+    /// reporting inlines into the walk.
+    pub fn count_with<F: FnMut(usize)>(
+        &self,
+        t: &[ItemId],
+        scratch: &mut CountScratch,
+        on_match: &mut F,
+    ) {
+        if t.len() < self.k || self.itemsets.is_empty() {
+            return;
         }
-        Node::Interior(children) => {
-            // Need (k - depth) more items; stop early when too few remain.
-            let remaining = k - depth;
-            if t.len() < start + remaining {
-                return;
-            }
-            let last = t.len() - remaining;
-            for i in start..=last {
-                let child = children[bucket(t[i])];
-                if child != NO_CHILD {
-                    walk(
-                        nodes, itemsets, counts, last_seen, seq, child, t,
-                        i + 1,
-                        depth + 1,
-                        k,
-                    );
+        // First-item prune: a candidate X ⊆ t must place its smallest item
+        // within the first `len - k + 1` positions of t, so if none of
+        // those items opens any candidate, the walk cannot match.
+        let limit = t.len() - self.k;
+        if !t[..=limit].iter().any(|&i| bit_test(self.first_bits, i)) {
+            return;
+        }
+        scratch.seq += 1;
+        let seq = scratch.seq;
+        // Iterative depth-first walk; the explicit stack lives in the
+        // scratch so steady-state passes allocate nothing.
+        scratch.stack.clear();
+        scratch.stack.push(WalkFrame {
+            node: 0,
+            start: 0,
+            depth: 0,
+        });
+        while let Some(WalkFrame { node, start, depth }) = scratch.stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Leaf(ids) => {
+                    for &idx in ids {
+                        let i = idx as usize;
+                        if scratch.last_seen[i] != seq
+                            && contains_sorted(t, self.itemsets[i].items())
+                        {
+                            scratch.last_seen[i] = seq;
+                            scratch.counts[i] += 1;
+                            on_match(i);
+                        }
+                    }
+                }
+                Node::Interior(children) => {
+                    // Need (k - depth) more items; stop when too few remain.
+                    let remaining = self.k - depth as usize;
+                    let start = start as usize;
+                    if t.len() < start + remaining {
+                        continue;
+                    }
+                    let last = t.len() - remaining;
+                    for i in start..=last {
+                        let child = children[(t[i].raw() as usize) & self.mask];
+                        if child != NO_CHILD {
+                            scratch.stack.push(WalkFrame {
+                                node: child,
+                                start: (i + 1) as u32,
+                                depth: depth + 1,
+                            });
+                        }
+                    }
                 }
             }
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn walk_with(
-    nodes: &[Node],
-    itemsets: &[Itemset],
-    counts: &mut [u64],
-    last_seen: &mut [u64],
-    seq: u64,
+#[derive(Debug, Clone, Copy)]
+struct WalkFrame {
     node: u32,
-    t: &[ItemId],
-    start: usize,
-    depth: usize,
-    k: usize,
-    on_match: &mut dyn FnMut(usize),
-) {
-    match &nodes[node as usize] {
-        Node::Leaf(ids) => {
-            for &idx in ids {
-                let i = idx as usize;
-                if last_seen[i] != seq && contains_sorted(t, itemsets[i].items()) {
-                    last_seen[i] = seq;
-                    counts[i] += 1;
-                    on_match(i);
-                }
-            }
+    start: u32,
+    depth: u32,
+}
+
+/// Per-worker counting state for one [`HashTree`] (or [`TreeView`]):
+/// support counts, the `last_seen` de-duplication stamps, and the reusable
+/// walk stack. Create with [`HashTree::new_scratch`], count transactions
+/// through [`TreeView::count`], and fold back with [`HashTree::absorb`].
+#[derive(Debug, Default)]
+pub struct CountScratch {
+    counts: Vec<u64>,
+    last_seen: Vec<u64>,
+    seq: u64,
+    stack: Vec<WalkFrame>,
+}
+
+impl CountScratch {
+    fn for_len(n: usize) -> Self {
+        CountScratch {
+            counts: vec![0; n],
+            last_seen: vec![0; n],
+            seq: 0,
+            stack: Vec::new(),
         }
-        Node::Interior(children) => {
-            let remaining = k - depth;
-            if t.len() < start + remaining {
-                return;
-            }
-            let last = t.len() - remaining;
-            for i in start..=last {
-                let child = children[bucket(t[i])];
-                if child != NO_CHILD {
-                    walk_with(
-                        nodes, itemsets, counts, last_seen, seq, child, t,
-                        i + 1,
-                        depth + 1,
-                        k,
-                        on_match,
-                    );
-                }
-            }
-        }
+    }
+
+    /// The accumulated support counts, in candidate build order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
     }
 }
 
@@ -360,8 +501,9 @@ mod tests {
 
     #[test]
     fn no_double_count_on_hash_collisions() {
-        // Items 1 and 33 collide mod 32; candidate {1,33} must count once
-        // per containing transaction even though two paths reach its leaf.
+        // Items 1 and 33 collide under the 32-way mask; candidate {1,33}
+        // must count once per containing transaction even though two paths
+        // reach its leaf.
         let cands = vec![s(&[1, 33])];
         let mut tree = HashTree::build(cands);
         tree.add_transaction(&tx(&[1, 33, 65]));
@@ -385,13 +527,11 @@ mod tests {
 
     #[test]
     fn splitting_leaves_preserves_counts() {
-        // More than SPLIT_THRESHOLD candidates sharing a first item force
-        // splits at depth 1 and 2.
+        // More than the split threshold of candidates sharing a first item
+        // force splits at depth 1 and 2.
         let cands: Vec<Itemset> = (2..30).map(|i| s(&[1, i])).collect();
         let mut tree = HashTree::build(cands.clone());
-        let txns: Vec<Vec<ItemId>> = (0..50)
-            .map(|j| tx(&[1, 2 + (j % 28), 40 + j]))
-            .collect();
+        let txns: Vec<Vec<ItemId>> = (0..50).map(|j| tx(&[1, 2 + (j % 28), 40 + j])).collect();
         for t in &txns {
             tree.add_transaction(t);
         }
@@ -467,5 +607,75 @@ mod tests {
     #[should_panic(expected = "share one size")]
     fn mixed_sizes_rejected() {
         let _ = HashTree::build(vec![s(&[1]), s(&[1, 2])]);
+    }
+
+    #[test]
+    fn view_and_scratch_match_serial_counts() {
+        let cands: Vec<Itemset> = (0..12u32).map(|i| s(&[i % 5, 5 + i])).collect();
+        let txns: Vec<Vec<ItemId>> = (0..40)
+            .map(|j| tx(&[j % 5, 5 + (j % 12), 5 + ((j + 3) % 12), 30 + j]))
+            .collect();
+        let mut serial = HashTree::build(cands.clone());
+        for t in &txns {
+            serial.add_transaction(t);
+        }
+        // Two workers splitting the pass, merged at the end.
+        let mut parallel = HashTree::build(cands);
+        let (mut s1, mut s2) = (parallel.new_scratch(), parallel.new_scratch());
+        let view = parallel.view();
+        for (j, t) in txns.iter().enumerate() {
+            if j % 2 == 0 {
+                view.count(t, &mut s1);
+            } else {
+                view.count(t, &mut s2);
+            }
+        }
+        parallel.absorb(s1);
+        parallel.absorb(s2);
+        assert_eq!(parallel.counts(), serial.counts());
+    }
+
+    #[test]
+    fn first_item_bitmap_prunes_without_changing_counts() {
+        // Candidates all start at 100+; transactions over 0..50 must count
+        // zero (and exercise the bitmap rejection path).
+        let cands = vec![s(&[100, 101]), s(&[100, 120]), s(&[110, 115])];
+        let mut tree = HashTree::build(cands.clone());
+        let mut txns: Vec<Vec<ItemId>> = (0..20).map(|j| tx(&[j, j + 1, j + 2])).collect();
+        txns.push(tx(&[40, 100, 101])); // first item misses, later item hits
+        txns.push(tx(&[100, 110, 115, 120]));
+        for t in &txns {
+            tree.add_transaction(t);
+        }
+        assert_eq!(tree.counts(), naive_counts(&cands, &txns).as_slice());
+    }
+
+    #[test]
+    fn custom_params_agree_with_defaults() {
+        let cands: Vec<Itemset> = (2..40).map(|i| s(&[i % 7, 10 + i])).collect();
+        let txns: Vec<Vec<ItemId>> = (0..60)
+            .map(|j| tx(&[j % 7, 10 + 2 + (j % 38), 10 + ((j * 5) % 38), 60 + j]))
+            .collect();
+        let mut reference = HashTree::build(cands.clone());
+        for t in &txns {
+            reference.add_transaction(t);
+        }
+        for (fanout, threshold) in [(2, 1), (4, 2), (64, 3), (256, 16)] {
+            let mut tuned = HashTree::build_with_params(cands.clone(), fanout, threshold);
+            for t in &txns {
+                tuned.add_transaction(t);
+            }
+            assert_eq!(
+                tuned.counts(),
+                reference.counts(),
+                "fanout {fanout} threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_fanout_rejected() {
+        let _ = HashTree::build_with_params(vec![s(&[1])], 3, 4);
     }
 }

@@ -23,12 +23,16 @@ impl Itemset {
         let mut v: Vec<ItemId> = items.into_iter().map(Into::into).collect();
         v.sort_unstable();
         v.dedup();
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Builds a 1-itemset.
     pub fn single(item: ItemId) -> Self {
-        Itemset { items: Box::new([item]) }
+        Itemset {
+            items: Box::new([item]),
+        }
     }
 
     /// Builds an itemset from a vector that is already sorted and
@@ -42,7 +46,9 @@ impl Itemset {
             v.windows(2).all(|w| w[0] < w[1]),
             "items must be strictly increasing"
         );
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// The size `k` of this k-itemset.
@@ -82,7 +88,9 @@ impl Itemset {
         let mut v = Vec::with_capacity(self.items.len() - 1);
         v.extend_from_slice(&self.items[..i]);
         v.extend_from_slice(&self.items[i + 1..]);
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Iterates all (k−1)-subsets.
@@ -98,7 +106,9 @@ impl Itemset {
             .copied()
             .filter(|i| !other.contains(*i))
             .collect();
-        Itemset { items: kept.into_boxed_slice() }
+        Itemset {
+            items: kept.into_boxed_slice(),
+        }
     }
 
     /// The union `self ∪ other` (both sorted; linear merge).
@@ -125,7 +135,9 @@ impl Itemset {
         }
         v.extend_from_slice(&a[i..]);
         v.extend_from_slice(&b[j..]);
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Extends a k-itemset with an item strictly greater than its last item,
@@ -143,7 +155,9 @@ impl Itemset {
         let mut v = Vec::with_capacity(self.items.len() + 1);
         v.extend_from_slice(&self.items);
         v.push(item);
-        Itemset { items: v.into_boxed_slice() }
+        Itemset {
+            items: v.into_boxed_slice(),
+        }
     }
 }
 

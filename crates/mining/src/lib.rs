@@ -14,6 +14,9 @@
 //!   subset-prune),
 //! * [`counting`] — support-counting passes over any
 //!   [`TransactionSource`](fup_tidb::TransactionSource),
+//! * [`engine`] — the parallel chunked counting engine those passes run
+//!   on ([`EngineConfig`] picks the worker count; `threads = 1` is the
+//!   exact historical serial path),
 //! * [`apriori`] / [`dhp`] — the two baseline miners of the paper's §4,
 //! * [`rules`] — `ap-genrules` rule derivation with confidence thresholds,
 //! * [`stats`] — per-pass candidate/large counts and scan accounting, the
@@ -25,6 +28,7 @@
 pub mod apriori;
 pub mod counting;
 pub mod dhp;
+pub mod engine;
 pub mod gen;
 pub mod hashtree;
 pub mod itemset;
@@ -36,7 +40,8 @@ pub mod support;
 
 pub use apriori::Apriori;
 pub use dhp::Dhp;
-pub use hashtree::HashTree;
+pub use engine::EngineConfig;
+pub use hashtree::{CountScratch, HashTree, TreeView};
 pub use itemset::Itemset;
 pub use large::LargeItemsets;
 pub use miner::{Miner, MiningOutcome};

@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn ceil_behaviour_for_non_integral_products() {
         let s = MinSupport::basis_points(75); // 0.75 %
-        // 0.75 % of 101_000 = 757.5 → required 758.
+                                              // 0.75 % of 101_000 = 757.5 → required 758.
         assert_eq!(s.required_count(101_000), 758);
         assert!(s.is_large(758, 101_000));
         assert!(!s.is_large(757, 101_000));

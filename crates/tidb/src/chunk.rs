@@ -1,0 +1,277 @@
+//! Chunked scan views.
+//!
+//! The miners' hot path is a full pass over a [`TransactionSource`]
+//! counting candidates per transaction. The classic
+//! [`for_each`](crate::TransactionSource::for_each) delivers one
+//! transaction per callback, which pins the whole pass to one thread. The
+//! chunked API instead partitions a pass into [`TxChunk`]s — stable views
+//! of up to `chunk_size` consecutive transactions — that independent
+//! workers can claim and process in parallel (see `fup_mining::engine`).
+//!
+//! A chunk is either a borrowed slice of stored transactions (in-memory
+//! stores hand out views without copying) or a run of transactions decoded
+//! into a caller-provided [`ChunkScratch`] arena (paged/derived stores).
+//! Either way the per-transaction item slices stay valid for as long as
+//! the chunk is borrowed, so counting code never re-decodes or re-locks.
+//!
+//! [`TransactionSource`]: crate::TransactionSource
+
+use crate::item::ItemId;
+use crate::segment::Tid;
+use crate::transaction::Transaction;
+
+/// Reusable buffers a source decodes chunk data into. One scratch per
+/// scanning worker; contents are overwritten by every
+/// [`chunk`](crate::TransactionSource::chunk) call that needs an arena.
+#[derive(Debug, Default)]
+pub struct ChunkScratch {
+    /// Flat item arena: transaction `i` occupies
+    /// `items[offsets[i] as usize..offsets[i + 1] as usize]`.
+    items: Vec<ItemId>,
+    /// `n + 1` boundaries into `items`.
+    offsets: Vec<u32>,
+    /// Per-transaction decode buffer.
+    tmp: Vec<ItemId>,
+}
+
+impl ChunkScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the arena (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.offsets.clear();
+    }
+
+    /// Appends one transaction's items to the arena.
+    pub fn push(&mut self, items: &[ItemId]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.items.extend_from_slice(items);
+        debug_assert!(
+            self.items.len() <= u32::MAX as usize,
+            "chunk arena overflow"
+        );
+        self.offsets.push(self.items.len() as u32);
+    }
+
+    /// Exposes a per-transaction decode buffer (used by paged sources);
+    /// call [`ChunkScratch::push`] with its contents afterwards.
+    pub fn tmp_buffer(&mut self) -> &mut Vec<ItemId> {
+        &mut self.tmp
+    }
+
+    /// Pushes the contents of the internal decode buffer as one
+    /// transaction.
+    pub fn push_tmp(&mut self) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.items.extend_from_slice(&self.tmp);
+        debug_assert!(
+            self.items.len() <= u32::MAX as usize,
+            "chunk arena overflow"
+        );
+        self.offsets.push(self.items.len() as u32);
+    }
+
+    /// Views the arena contents as a chunk.
+    pub fn as_chunk(&self) -> TxChunk<'_> {
+        TxChunk {
+            repr: Repr::Arena {
+                items: &self.items,
+                offsets: &self.offsets,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Repr<'a> {
+    /// Borrowed from a flat in-memory store.
+    Transactions(&'a [Transaction]),
+    /// Borrowed from a tid-keyed store.
+    Pairs(&'a [(Tid, Transaction)]),
+    /// Materialised into a scratch arena (`offsets` holds `n + 1`
+    /// boundaries, or is empty for a zero-transaction chunk).
+    Arena {
+        items: &'a [ItemId],
+        offsets: &'a [u32],
+    },
+}
+
+/// A view of up to `chunk_size` consecutive transactions of one pass.
+///
+/// Every transaction is exposed as its sorted item slice, exactly as
+/// [`for_each`](crate::TransactionSource::for_each) would deliver it. The
+/// slices are stable for the lifetime of the chunk borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct TxChunk<'a> {
+    repr: Repr<'a>,
+}
+
+impl<'a> TxChunk<'a> {
+    /// A chunk borrowing stored transactions directly.
+    pub fn from_transactions(transactions: &'a [Transaction]) -> Self {
+        TxChunk {
+            repr: Repr::Transactions(transactions),
+        }
+    }
+
+    /// A chunk borrowing `(tid, transaction)` pairs directly.
+    pub fn from_pairs(pairs: &'a [(Tid, Transaction)]) -> Self {
+        TxChunk {
+            repr: Repr::Pairs(pairs),
+        }
+    }
+
+    /// Number of transactions in the chunk.
+    pub fn len(&self) -> usize {
+        match self.repr {
+            Repr::Transactions(t) => t.len(),
+            Repr::Pairs(p) => p.len(),
+            Repr::Arena { offsets, .. } => offsets.len().saturating_sub(1),
+        }
+    }
+
+    /// `true` if the chunk holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th transaction's sorted item slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> &'a [ItemId] {
+        match self.repr {
+            Repr::Transactions(t) => t[i].items(),
+            Repr::Pairs(p) => p[i].1.items(),
+            Repr::Arena { items, offsets } => &items[offsets[i] as usize..offsets[i + 1] as usize],
+        }
+    }
+
+    /// Total items across the chunk.
+    pub fn total_items(&self) -> u64 {
+        match self.repr {
+            Repr::Transactions(t) => t.iter().map(|x| x.len() as u64).sum(),
+            Repr::Pairs(p) => p.iter().map(|(_, x)| x.len() as u64).sum(),
+            Repr::Arena { items, .. } => items.len() as u64,
+        }
+    }
+
+    /// Iterates the transactions' item slices in pass order.
+    pub fn iter(&self) -> TxChunkIter<'a> {
+        TxChunkIter {
+            chunk: *self,
+            next: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &TxChunk<'a> {
+    type Item = &'a [ItemId];
+    type IntoIter = TxChunkIter<'a>;
+    fn into_iter(self) -> TxChunkIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a chunk's transactions.
+#[derive(Debug)]
+pub struct TxChunkIter<'a> {
+    chunk: TxChunk<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for TxChunkIter<'a> {
+    type Item = &'a [ItemId];
+
+    fn next(&mut self) -> Option<&'a [ItemId]> {
+        if self.next >= self.chunk.len() {
+            return None;
+        }
+        let out = self.chunk.get(self.next);
+        self.next += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.chunk.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TxChunkIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    #[test]
+    fn transactions_repr_round_trips() {
+        let txs = vec![tx(&[1, 2]), tx(&[3]), tx(&[])];
+        let chunk = TxChunk::from_transactions(&txs);
+        assert_eq!(chunk.len(), 3);
+        assert!(!chunk.is_empty());
+        assert_eq!(chunk.get(0), txs[0].items());
+        assert_eq!(chunk.get(2), &[] as &[ItemId]);
+        assert_eq!(chunk.total_items(), 3);
+        let collected: Vec<_> = chunk.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], txs[1].items());
+    }
+
+    #[test]
+    fn pairs_repr_round_trips() {
+        let pairs = vec![(Tid(0), tx(&[5, 6])), (Tid(9), tx(&[7]))];
+        let chunk = TxChunk::from_pairs(&pairs);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.get(1), pairs[1].1.items());
+        assert_eq!(chunk.total_items(), 3);
+    }
+
+    #[test]
+    fn arena_repr_round_trips() {
+        let mut scratch = ChunkScratch::new();
+        scratch.push(tx(&[1, 2, 3]).items());
+        scratch.push(tx(&[]).items());
+        scratch.push(tx(&[9]).items());
+        let chunk = scratch.as_chunk();
+        assert_eq!(chunk.len(), 3);
+        assert_eq!(chunk.get(0).len(), 3);
+        assert_eq!(chunk.get(1).len(), 0);
+        assert_eq!(chunk.get(2), tx(&[9]).items());
+        assert_eq!(chunk.total_items(), 4);
+    }
+
+    #[test]
+    fn scratch_clear_resets() {
+        let mut scratch = ChunkScratch::new();
+        scratch.push(tx(&[1]).items());
+        scratch.clear();
+        assert!(scratch.as_chunk().is_empty());
+        assert_eq!(scratch.as_chunk().total_items(), 0);
+        // Reuse after clear.
+        scratch.push(tx(&[2, 3]).items());
+        assert_eq!(scratch.as_chunk().len(), 1);
+    }
+
+    #[test]
+    fn empty_chunk_views() {
+        let chunk = TxChunk::from_transactions(&[]);
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.iter().count(), 0);
+        let scratch = ChunkScratch::new();
+        assert!(scratch.as_chunk().is_empty());
+    }
+}

@@ -17,6 +17,10 @@
 //! * [`codec`] / [`page`] — a varint binary codec and a 4 KiB-paged storage
 //!   simulation so scans can be charged in bytes and pages, standing in for
 //!   the paper's on-disk RS/6000 databases,
+//! * [`chunk`] — [`TxChunk`] views for the chunked scan API
+//!   ([`TransactionSource::for_each_chunk`] and the
+//!   [`TransactionSource::chunk`] cursor), which lets `fup_mining`'s
+//!   counting engine scan one pass from many worker threads,
 //! * [`ScanMetrics`] — per-source counters (full scans, transactions, items,
 //!   bytes) used by the experiment harness.
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chunk;
 pub mod codec;
 pub mod database;
 pub mod dictionary;
@@ -59,6 +64,7 @@ pub mod source;
 pub mod stats;
 pub mod transaction;
 
+pub use chunk::{ChunkScratch, TxChunk};
 pub use database::TransactionDb;
 pub use dictionary::ItemDictionary;
 pub use error::{Error, Result};

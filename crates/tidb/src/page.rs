@@ -37,6 +37,10 @@ struct Page {
 #[derive(Debug)]
 pub struct PagedStore {
     pages: Vec<Page>,
+    /// `page_first_txn[p]` = global index of the first transaction stored
+    /// in page `p`; lets chunked scans locate a transaction's page in
+    /// `O(log pages)`.
+    page_first_txn: Vec<u64>,
     page_size: usize,
     num_transactions: u64,
     metrics: ScanMetrics,
@@ -56,9 +60,13 @@ impl PagedStore {
 
     /// Creates an empty store with a custom page size (min 8 bytes).
     pub fn with_page_size(page_size: usize) -> Self {
-        assert!(page_size > PAGE_HEADER + codec::MAX_VARINT_LEN, "page size too small");
+        assert!(
+            page_size > PAGE_HEADER + codec::MAX_VARINT_LEN,
+            "page size too small"
+        );
         PagedStore {
             pages: Vec::new(),
+            page_first_txn: Vec::new(),
             page_size,
             num_transactions: 0,
             metrics: ScanMetrics::new(),
@@ -97,6 +105,7 @@ impl PagedStore {
             let mut data = Vec::with_capacity(self.page_size);
             data.extend_from_slice(&0u16.to_le_bytes());
             self.pages.push(Page { data, count: 0 });
+            self.page_first_txn.push(self.num_transactions);
         }
         let page = self.pages.last_mut().expect("page exists");
         codec::encode_transaction(&mut page.data, t.items());
@@ -165,12 +174,61 @@ impl TransactionSource for PagedStore {
     /// [`PagedStore::append`], so corruption here indicates an internal bug;
     /// use [`PagedStore::to_transactions`] for fallible decoding.
     fn for_each(&self, f: &mut dyn FnMut(&[ItemId])) {
-        self.for_each_fallible(f)
-            .expect("internal page corruption");
+        self.for_each_fallible(f).expect("internal page corruption");
     }
 
     fn metrics(&self) -> &ScanMetrics {
         &self.metrics
+    }
+
+    /// Chunks decode into the scratch arena. Every page touched is charged
+    /// (page + bytes), so a chunk boundary falling mid-page charges that
+    /// page to both adjacent chunks — faithfully modelling two workers each
+    /// reading the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a page is corrupt (see [`PagedStore::for_each`]).
+    fn chunk<'s>(
+        &'s self,
+        chunk_size: usize,
+        index: u64,
+        scratch: &'s mut crate::chunk::ChunkScratch,
+    ) -> crate::chunk::TxChunk<'s> {
+        let (start, end) = crate::source::chunk_bounds(self.num_transactions(), chunk_size, index);
+        scratch.clear();
+        if start == end {
+            return scratch.as_chunk();
+        }
+        // Last page whose first transaction is ≤ start.
+        let mut page_idx = self
+            .page_first_txn
+            .partition_point(|&first| first <= start as u64)
+            .saturating_sub(1);
+        let mut txn = self.page_first_txn[page_idx] as usize;
+        let mut items_total = 0u64;
+        while txn < end {
+            let page = &self.pages[page_idx];
+            self.metrics.record_page();
+            self.metrics.record_bytes(page.data.len() as u64);
+            let mut pos = PAGE_HEADER;
+            for _ in 0..page.count {
+                if txn >= end {
+                    break;
+                }
+                codec::decode_transaction(&page.data, &mut pos, scratch.tmp_buffer())
+                    .expect("internal page corruption");
+                if txn >= start {
+                    items_total += scratch.tmp_buffer().len() as u64;
+                    scratch.push_tmp();
+                }
+                txn += 1;
+            }
+            page_idx += 1;
+        }
+        self.metrics
+            .record_transactions((end - start) as u64, items_total);
+        scratch.as_chunk()
     }
 }
 
@@ -184,9 +242,7 @@ mod tests {
 
     #[test]
     fn append_and_scan_roundtrip() {
-        let txs: Vec<Transaction> = (0..100)
-            .map(|i| tx(&[i, i + 1, i + 2, 500 + i]))
-            .collect();
+        let txs: Vec<Transaction> = (0..100).map(|i| tx(&[i, i + 1, i + 2, 500 + i])).collect();
         let store = PagedStore::from_transactions(&txs).unwrap();
         assert_eq!(store.num_transactions(), 100);
         let back = store.to_transactions().unwrap();

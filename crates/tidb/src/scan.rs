@@ -42,6 +42,17 @@ impl ScanMetrics {
         self.items_read.fetch_add(items as u64, Ordering::Relaxed);
     }
 
+    /// Records a batch of `transactions` totalling `items` items read —
+    /// the per-chunk form of [`ScanMetrics::record_transaction`]. Chunked
+    /// scans charge once per chunk so concurrent workers touch the shared
+    /// counters O(chunks) instead of O(transactions) times.
+    #[inline]
+    pub fn record_transactions(&self, transactions: u64, items: u64) {
+        self.transactions_read
+            .fetch_add(transactions, Ordering::Relaxed);
+        self.items_read.fetch_add(items, Ordering::Relaxed);
+    }
+
     /// Records `n` bytes read from storage.
     #[inline]
     pub fn record_bytes(&self, n: u64) {

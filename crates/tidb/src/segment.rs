@@ -249,6 +249,20 @@ impl TransactionSource for SegmentedDb {
     fn metrics(&self) -> &ScanMetrics {
         &self.metrics
     }
+
+    /// Chunks are zero-copy views of the live `(tid, transaction)` pairs.
+    fn chunk<'s>(
+        &'s self,
+        chunk_size: usize,
+        index: u64,
+        _scratch: &'s mut crate::chunk::ChunkScratch,
+    ) -> crate::chunk::TxChunk<'s> {
+        let (start, end) = crate::source::chunk_bounds(self.num_transactions(), chunk_size, index);
+        let chunk = crate::chunk::TxChunk::from_pairs(&self.live[start..end]);
+        self.metrics
+            .record_transactions(chunk.len() as u64, chunk.total_items());
+        chunk
+    }
 }
 
 #[cfg(test)]

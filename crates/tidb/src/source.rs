@@ -1,5 +1,6 @@
 //! The [`TransactionSource`] abstraction that all miners scan.
 
+use crate::chunk::{ChunkScratch, TxChunk};
 use crate::item::ItemId;
 use crate::scan::ScanMetrics;
 
@@ -10,7 +11,24 @@ use crate::scan::ScanMetrics;
 /// whole), and [`PagedStore`](crate::page::PagedStore) (block-storage
 /// simulation). Algorithms are generic over this trait, so the same FUP code
 /// runs against any of them.
-pub trait TransactionSource {
+///
+/// Two scan shapes are offered:
+///
+/// * [`for_each`](TransactionSource::for_each) — the classic serial pass,
+///   one callback per transaction;
+/// * the chunked pass — [`plan_chunks`](TransactionSource::plan_chunks)
+///   splits a pass into [`TxChunk`]s that
+///   [`chunk`](TransactionSource::chunk) materialises individually, so
+///   independent workers can claim chunks concurrently (the source is
+///   required to be `Sync` for exactly this reason).
+///   [`for_each_chunk`](TransactionSource::for_each_chunk) is the serial
+///   driver over the same machinery.
+///
+/// The chunked contract: for a fixed `chunk_size ≥ 1`, the chunks
+/// `0..plan_chunks(chunk_size)` are disjoint, each holds at most
+/// `chunk_size` transactions, and concatenated in index order they deliver
+/// exactly the transactions of one `for_each` pass in the same order.
+pub trait TransactionSource: Sync {
     /// Number of transactions a full pass will deliver.
     fn num_transactions(&self) -> u64;
 
@@ -25,6 +43,60 @@ pub trait TransactionSource {
     fn is_empty(&self) -> bool {
         self.num_transactions() == 0
     }
+
+    /// Charges the start of one full pass. Chunked drivers call this once
+    /// before materialising any chunk; `for_each` implementations charge
+    /// it internally.
+    fn record_scan_start(&self) {
+        self.metrics().record_full_scan();
+    }
+
+    /// Number of chunks a chunked pass with `chunk_size` will deliver.
+    /// `chunk_size` is clamped to at least 1.
+    fn plan_chunks(&self, chunk_size: usize) -> u64 {
+        self.num_transactions().div_ceil(chunk_size.max(1) as u64)
+    }
+
+    /// Materialises chunk `index` of the `chunk_size` plan, either as a
+    /// borrowed view of stored transactions or decoded into `scratch`.
+    /// Charges the chunk's transactions and items (plus pages/bytes for
+    /// paged sources) to [`Self::metrics`]; the full-scan counter is *not*
+    /// charged here — drivers charge it once via
+    /// [`record_scan_start`](TransactionSource::record_scan_start).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= plan_chunks(chunk_size)`.
+    fn chunk<'s>(
+        &'s self,
+        chunk_size: usize,
+        index: u64,
+        scratch: &'s mut ChunkScratch,
+    ) -> TxChunk<'s>;
+
+    /// One full pass delivered as chunks of at most `chunk_size`
+    /// transactions, charged to [`Self::metrics`] per chunk.
+    fn for_each_chunk(&self, chunk_size: usize, f: &mut dyn FnMut(&TxChunk<'_>)) {
+        self.record_scan_start();
+        let mut scratch = ChunkScratch::new();
+        for index in 0..self.plan_chunks(chunk_size) {
+            let chunk = self.chunk(chunk_size, index, &mut scratch);
+            f(&chunk);
+        }
+    }
+}
+
+/// Resolves the transaction range `[start, end)` covered by chunk `index`
+/// under the default transaction-range plan.
+pub(crate) fn chunk_bounds(num_transactions: u64, chunk_size: usize, index: u64) -> (usize, usize) {
+    let cs = chunk_size.max(1) as u64;
+    let start = index * cs;
+    assert!(
+        start < num_transactions || num_transactions == 0,
+        "chunk index out of range"
+    );
+    let end = (start + cs).min(num_transactions);
+    (start as usize, end as usize)
 }
 
 /// A source adapter that chains two sources, presenting `DB ∪ db` as one
@@ -65,6 +137,34 @@ where
     /// both underlying sources).
     fn metrics(&self) -> &ScanMetrics {
         self.first.metrics()
+    }
+
+    /// A chained pass is one pass over each underlying source.
+    fn record_scan_start(&self) {
+        self.first.record_scan_start();
+        self.second.record_scan_start();
+    }
+
+    /// Chunks never straddle the seam: the chain delivers every chunk of
+    /// `first` followed by every chunk of `second` (the last chunk of
+    /// `first` may therefore be short even mid-pass, which the chunked
+    /// contract allows).
+    fn plan_chunks(&self, chunk_size: usize) -> u64 {
+        self.first.plan_chunks(chunk_size) + self.second.plan_chunks(chunk_size)
+    }
+
+    fn chunk<'s>(
+        &'s self,
+        chunk_size: usize,
+        index: u64,
+        scratch: &'s mut ChunkScratch,
+    ) -> TxChunk<'s> {
+        let first_chunks = self.first.plan_chunks(chunk_size);
+        if index < first_chunks {
+            self.first.chunk(chunk_size, index, scratch)
+        } else {
+            self.second.chunk(chunk_size, index - first_chunks, scratch)
+        }
     }
 }
 

@@ -18,7 +18,9 @@ pub struct Transaction {
 impl Transaction {
     /// Creates an empty transaction.
     pub fn empty() -> Self {
-        Transaction { items: Box::new([]) }
+        Transaction {
+            items: Box::new([]),
+        }
     }
 
     /// Builds a transaction from arbitrary items; sorts and deduplicates.
@@ -30,7 +32,9 @@ impl Transaction {
         let mut v: Vec<ItemId> = items.into_iter().map(Into::into).collect();
         v.sort_unstable();
         v.dedup();
-        Transaction { items: v.into_boxed_slice() }
+        Transaction {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Builds a transaction from a vector that is already sorted and
@@ -40,8 +44,13 @@ impl Transaction {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted_vec(v: Vec<ItemId>) -> Self {
-        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "items must be strictly increasing");
-        Transaction { items: v.into_boxed_slice() }
+        debug_assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "items must be strictly increasing"
+        );
+        Transaction {
+            items: v.into_boxed_slice(),
+        }
     }
 
     /// Number of items in the transaction.
@@ -88,14 +97,18 @@ impl Transaction {
             .copied()
             .filter(|i| remove.binary_search(i).is_err())
             .collect();
-        Transaction { items: kept.into_boxed_slice() }
+        Transaction {
+            items: kept.into_boxed_slice(),
+        }
     }
 
     /// Returns a new transaction keeping only the items for which `keep`
     /// returns `true`.
     pub fn retain(&self, mut keep: impl FnMut(ItemId) -> bool) -> Transaction {
         let kept: Vec<ItemId> = self.items.iter().copied().filter(|&i| keep(i)).collect();
-        Transaction { items: kept.into_boxed_slice() }
+        Transaction {
+            items: kept.into_boxed_slice(),
+        }
     }
 }
 
@@ -133,7 +146,11 @@ impl Deref for Transaction {
 
 impl fmt::Debug for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "T{:?}", self.items.iter().map(|i| i.0).collect::<Vec<_>>())
+        write!(
+            f,
+            "T{:?}",
+            self.items.iter().map(|i| i.0).collect::<Vec<_>>()
+        )
     }
 }
 

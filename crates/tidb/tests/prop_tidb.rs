@@ -115,6 +115,83 @@ proptest! {
     }
 
     #[test]
+    fn chunked_scan_matches_for_each(
+        txs in proptest::collection::vec(
+            proptest::collection::vec(0u32..100_000, 0..20).prop_map(Transaction::from_items),
+            0..60,
+        ),
+        chunk_size in 1usize..16,
+    ) {
+        use fup_tidb::chunk::TxChunk;
+        use fup_tidb::source::ChainSource;
+        use fup_tidb::TransactionDb;
+
+        let collect_serial = |s: &dyn TransactionSource| {
+            let mut out: Vec<Vec<_>> = Vec::new();
+            s.for_each(&mut |t| out.push(t.to_vec()));
+            out
+        };
+        let collect_chunked = |s: &dyn TransactionSource| {
+            let mut out: Vec<Vec<_>> = Vec::new();
+            let mut max_len = 0usize;
+            s.for_each_chunk(chunk_size, &mut |c: &TxChunk<'_>| {
+                max_len = max_len.max(c.len());
+                for t in c.iter() {
+                    out.push(t.to_vec());
+                }
+            });
+            prop_assert!(max_len <= chunk_size, "oversized chunk");
+            Ok(out)
+        };
+
+        // TransactionDb: fresh instances so metrics are comparable.
+        let a = TransactionDb::from_transactions(txs.clone());
+        let b = TransactionDb::from_transactions(txs.clone());
+        let serial = collect_serial(&a);
+        prop_assert_eq!(&collect_chunked(&b)?, &serial);
+        prop_assert_eq!(a.metrics().snapshot(), b.metrics().snapshot());
+
+        // SegmentedDb.
+        let a = SegmentedDb::from_transactions(txs.clone());
+        let b = SegmentedDb::from_transactions(txs.clone());
+        prop_assert_eq!(collect_chunked(&b)?, collect_serial(&a));
+        prop_assert_eq!(a.metrics().snapshot(), b.metrics().snapshot());
+
+        // PagedStore (oversized transactions rejected identically on both).
+        let mut a = PagedStore::with_page_size(128);
+        let mut b = PagedStore::with_page_size(128);
+        for t in &txs {
+            let ra = a.append(t).is_ok();
+            prop_assert_eq!(ra, b.append(t).is_ok());
+        }
+        let serial = collect_serial(&a);
+        prop_assert_eq!(&collect_chunked(&b)?, &serial);
+        // Transaction/item totals match; pages may legitimately differ
+        // (chunk boundaries re-read straddled pages).
+        prop_assert_eq!(
+            a.metrics().snapshot().transactions_read,
+            b.metrics().snapshot().transactions_read
+        );
+        prop_assert_eq!(
+            a.metrics().snapshot().items_read,
+            b.metrics().snapshot().items_read
+        );
+
+        // ChainSource over a split of the same transactions.
+        let mid = txs.len() / 2;
+        let front = TransactionDb::from_transactions(txs[..mid].to_vec());
+        let back = TransactionDb::from_transactions(txs[mid..].to_vec());
+        let chain = ChainSource::new(&front, &back);
+        let chunked = collect_chunked(&chain)?;
+        let front2 = TransactionDb::from_transactions(txs[..mid].to_vec());
+        let back2 = TransactionDb::from_transactions(txs[mid..].to_vec());
+        let chain2 = ChainSource::new(&front2, &back2);
+        prop_assert_eq!(chunked, collect_serial(&chain2));
+        prop_assert_eq!(front.metrics().snapshot(), front2.metrics().snapshot());
+        prop_assert_eq!(back.metrics().snapshot(), back2.metrics().snapshot());
+    }
+
+    #[test]
     fn scan_metrics_count_exactly(
         txs in proptest::collection::vec(arb_transaction(), 0..30),
         passes in 1usize..4,

@@ -41,13 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Load, mine, maintain. ---
     let history = io::read_numeric(File::open(&history_path)?)?;
-    println!("loaded {} transactions from {}", history.len(), history_path.display());
-
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history,
-        MinSupport::percent(2),
-        MinConfidence::percent(70),
+    println!(
+        "loaded {} transactions from {}",
+        history.len(),
+        history_path.display()
     );
+
+    let mut maintainer =
+        RuleMaintainer::bootstrap(history, MinSupport::percent(2), MinConfidence::percent(70));
     println!(
         "mined {} large itemsets, {} rules",
         maintainer.large_itemsets().len(),
@@ -55,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let feed = io::read_numeric(File::open(&feed_path)?)?;
-    println!("applying {} new transactions from {}", feed.len(), feed_path.display());
+    println!(
+        "applying {} new transactions from {}",
+        feed.len(),
+        feed_path.display()
+    );
     let report = maintainer.apply_update(UpdateBatch::insert_only(feed))?;
     println!(
         "ran {}: rules +{} -{} (retained {})",

@@ -27,12 +27,13 @@ fn main() {
     ];
 
     // Mine once (Apriori), derive rules once.
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history,
-        MinSupport::percent(30),
-        MinConfidence::percent(75),
+    let mut maintainer =
+        RuleMaintainer::bootstrap(history, MinSupport::percent(30), MinConfidence::percent(75));
+    println!(
+        "bootstrap: {} transactions, {} rules",
+        maintainer.len(),
+        maintainer.rules().len()
     );
-    println!("bootstrap: {} transactions, {} rules", maintainer.len(), maintainer.rules().len());
     for rule in maintainer.rules().rules() {
         println!(
             "  {} => {}  (conf {:.2})",

@@ -31,11 +31,7 @@ fn main() {
         history_db.len()
     );
     let t0 = Instant::now();
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history_db.into_transactions(),
-        minsup,
-        minconf,
-    );
+    let mut maintainer = RuleMaintainer::bootstrap(history_db.into_transactions(), minsup, minconf);
     println!(
         "  {} large itemsets, {} rules in {:?}\n",
         maintainer.large_itemsets().len(),

@@ -31,11 +31,8 @@ fn main() {
     let mut history = legit;
     history.extend(fake);
 
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history,
-        MinSupport::percent(2),
-        MinConfidence::percent(80),
-    );
+    let mut maintainer =
+        RuleMaintainer::bootstrap(history, MinSupport::percent(2), MinConfidence::percent(80));
     let fraud_rule = (
         fup::Itemset::from_items([900u32, 901]),
         fup::Itemset::from_items([902u32]),
@@ -55,7 +52,10 @@ fn main() {
         .filter(|(_, t)| t.contains_itemset(&[fup::ItemId(900), fup::ItemId(901)]))
         .map(|(tid, _)| tid)
         .collect();
-    println!("purging {} fraudulent transactions via FUP2...", fraudulent.len());
+    println!(
+        "purging {} fraudulent transactions via FUP2...",
+        fraudulent.len()
+    );
 
     let report = maintainer
         .apply_update(UpdateBatch::delete_only(fraudulent))
@@ -72,7 +72,12 @@ fn main() {
 
     // A correction: 200 mis-scanned baskets are replaced with fixed ones
     // (modification = delete + insert in one batch).
-    let miskeyed: Vec<Tid> = maintainer.store().iter().take(200).map(|(tid, _)| tid).collect();
+    let miskeyed: Vec<Tid> = maintainer
+        .store()
+        .iter()
+        .take(200)
+        .map(|(tid, _)| tid)
+        .collect();
     let corrected: Vec<Transaction> = maintainer
         .store()
         .iter()

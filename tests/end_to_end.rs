@@ -3,8 +3,7 @@
 
 use fup::datagen::{generate_multi_split, GenParams};
 use fup::{
-    Apriori, Dhp, MinConfidence, MinSupport, Miner, RuleMaintainer, TransactionSource,
-    UpdateBatch,
+    Apriori, Dhp, MinConfidence, MinSupport, Miner, RuleMaintainer, TransactionSource, UpdateBatch,
 };
 
 fn workload_params() -> GenParams {
@@ -27,7 +26,10 @@ fn maintainer_tracks_remine_over_many_rounds() {
         MinSupport::percent(1),
         MinConfidence::percent(60),
     );
-    assert!(!maintainer.rules().is_empty(), "bootstrap should find rules");
+    assert!(
+        !maintainer.rules().is_empty(),
+        "bootstrap should find rules"
+    );
 
     for (i, inc) in increments.into_iter().enumerate() {
         let report = maintainer
@@ -106,7 +108,12 @@ fn fup_reads_less_data_than_remine() {
     let out = fup::Fup::new()
         .update(&data.db, &baseline, &data.increment, minsup)
         .unwrap();
-    let fup_reads = data.db.metrics().snapshot().since(&before_db).transactions_read
+    let fup_reads = data
+        .db
+        .metrics()
+        .snapshot()
+        .since(&before_db)
+        .transactions_read
         + data
             .increment
             .metrics()
@@ -118,7 +125,12 @@ fn fup_reads_less_data_than_remine() {
     let before_db = data.db.metrics().snapshot();
     let before_inc = data.increment.metrics().snapshot();
     let remined = Apriori::new().run(&whole, minsup);
-    let remine_reads = data.db.metrics().snapshot().since(&before_db).transactions_read
+    let remine_reads = data
+        .db
+        .metrics()
+        .snapshot()
+        .since(&before_db)
+        .transactions_read
         + data
             .increment
             .metrics()
