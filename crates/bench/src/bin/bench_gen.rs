@@ -1,0 +1,212 @@
+//! `bench_gen` — smoke benchmark of candidate generation (`apriori-gen`
+//! join+prune), emitting a machine-readable `BENCH_gen.json` for the perf
+//! trajectory (CI runs this briefly on every push).
+//!
+//! Synthesises a clustered `L₂` (items partitioned into clusters, all
+//! within-cluster pairs minus a deterministic sliver so the prune has
+//! real work to reject) and times `C₃` generation three ways:
+//!
+//! 1. the pre-flat reference (`apriori_gen_reference`: sorted refs +
+//!    `HashSet` prune, one allocation per joined pair),
+//! 2. the flat prefix-indexed implementation, serial
+//!    (`GenConfig::serial()`),
+//! 3. the flat implementation at each requested thread count.
+//!
+//! All outputs are asserted identical (order included) before any number
+//! is reported.
+//!
+//! ```text
+//! bench_gen [--out PATH] [--clusters N] [--cluster-size M]
+//!           [--threads T1,T2,...] [--reps R]
+//!           [--min-speedup X] [--min-flat-speedup Y]
+//! ```
+
+use fup_mining::gen::{self, apriori_gen_reference, clustered_l2, GenConfig};
+use fup_mining::Itemset;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Options {
+    out: String,
+    clusters: u32,
+    cluster_size: u32,
+    drop_mod: u32,
+    threads: Vec<usize>,
+    reps: usize,
+    /// Exit non-zero unless the best parallel speedup over the flat
+    /// serial path reaches this (0.0 disables; the CI bench-smoke job
+    /// asserts the ISSUE's ≥1.5× @ 4 threads target with it).
+    min_speedup: f64,
+    /// Exit non-zero unless the flat serial path beats the pre-flat
+    /// reference by this factor (0.0 disables).
+    min_flat_speedup: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_gen.json".to_string(),
+        clusters: 105,
+        cluster_size: 40,
+        drop_mod: 3,
+        threads: vec![2, 4, 8],
+        reps: 3,
+        min_speedup: 0.0,
+        min_flat_speedup: 0.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--clusters" => {
+                opts.clusters = value("--clusters")?
+                    .parse()
+                    .map_err(|e| format!("--clusters: {e}"))?
+            }
+            "--cluster-size" => {
+                opts.cluster_size = value("--cluster-size")?
+                    .parse()
+                    .map_err(|e| format!("--cluster-size: {e}"))?
+            }
+            "--drop-mod" => {
+                opts.drop_mod = value("--drop-mod")?
+                    .parse()
+                    .map_err(|e| format!("--drop-mod: {e}"))?
+            }
+            "--threads" => opts.threads = fup_bench::cli::parse_thread_list(&value("--threads")?)?,
+            "--reps" => {
+                opts.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--min-speedup" => {
+                opts.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            "--min-flat-speedup" => {
+                opts.min_flat_speedup = value("--min-flat-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-flat-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+fn best_of<F: FnMut() -> Vec<Itemset>>(reps: usize, mut f: F) -> (Duration, Vec<Itemset>) {
+    let mut best = Duration::MAX;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = f();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        out = result;
+    }
+    (best, out)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_gen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let l2 = clustered_l2(opts.clusters, opts.cluster_size, opts.drop_mod.max(2));
+    eprintln!(
+        "|L2| = {} ({} clusters of {} items, 1/{} dropped)",
+        l2.len(),
+        opts.clusters,
+        opts.cluster_size,
+        opts.drop_mod.max(2)
+    );
+
+    let (reference_time, reference_out) = best_of(opts.reps, || apriori_gen_reference(&l2));
+    let (flat_time, flat_out) = best_of(opts.reps, || {
+        gen::apriori_gen_with(&l2, &GenConfig::serial())
+    });
+    assert_eq!(
+        flat_out, reference_out,
+        "flat apriori_gen diverged from the reference"
+    );
+    let flat_speedup = reference_time.as_secs_f64() / flat_time.as_secs_f64().max(1e-9);
+
+    let mut rows = String::new();
+    let mut best_parallel_speedup = 0.0f64;
+    for (i, &threads) in opts.threads.iter().enumerate() {
+        let (t, out) = best_of(opts.reps, || {
+            gen::apriori_gen_with(&l2, &GenConfig::with_threads(threads))
+        });
+        assert_eq!(out, reference_out, "{threads}-thread output diverged");
+        let speedup = flat_time.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        best_parallel_speedup = best_parallel_speedup.max(speedup);
+        let sep = if i + 1 < opts.threads.len() { "," } else { "" };
+        let _ = writeln!(
+            rows,
+            "    {{ \"threads\": {threads}, \"ms\": {:.3}, \"speedup_vs_flat_serial\": {speedup:.3} }}{sep}",
+            t.as_secs_f64() * 1e3,
+        );
+        eprintln!(
+            "flat {threads} threads: {:.1} ms ({speedup:.2}x vs flat serial)",
+            t.as_secs_f64() * 1e3
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"gen\",\n",
+            "  \"l2\": {},\n",
+            "  \"candidates\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"reference_ms\": {:.3},\n",
+            "  \"flat_serial_ms\": {:.3},\n",
+            "  \"flat_serial_speedup\": {:.3},\n",
+            "  \"rows\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        l2.len(),
+        reference_out.len(),
+        opts.reps,
+        reference_time.as_secs_f64() * 1e3,
+        flat_time.as_secs_f64() * 1e3,
+        flat_speedup,
+        rows,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("bench_gen: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!(
+        "reference {:.1} ms vs flat serial {:.1} ms -> {flat_speedup:.2}x ({})",
+        reference_time.as_secs_f64() * 1e3,
+        flat_time.as_secs_f64() * 1e3,
+        opts.out
+    );
+    fup_bench::cli::require_min_speedup(
+        "bench_gen",
+        "flat serial speedup",
+        flat_speedup,
+        opts.min_flat_speedup,
+    );
+    fup_bench::cli::require_min_speedup(
+        "bench_gen",
+        "parallel speedup",
+        best_parallel_speedup,
+        opts.min_speedup,
+    );
+}

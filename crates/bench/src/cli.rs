@@ -1,0 +1,41 @@
+//! Small argument-parsing and reporting helpers shared by the bench
+//! binaries (`bench_counting`, `bench_gen`), so their CLI conventions
+//! cannot drift apart.
+
+/// Parses a comma-separated thread-count list (e.g. `"2,4,8"`).
+/// Rejects empty lists and explicit zeros — every bench row needs a
+/// concrete worker count.
+pub fn parse_thread_list(s: &str) -> Result<Vec<usize>, String> {
+    let threads = s
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|e| format!("--threads: {e}")))
+        .collect::<Result<Vec<usize>, String>>()?;
+    if threads.is_empty() || threads.contains(&0) {
+        return Err("--threads needs explicit counts ≥ 1".into());
+    }
+    Ok(threads)
+}
+
+/// Enforces a `--min-speedup`-style floor: when `required > 0` and
+/// `actual` falls short, prints a named error and exits 1. A zero
+/// `required` disables the check.
+pub fn require_min_speedup(bin: &str, what: &str, actual: f64, required: f64) {
+    if required > 0.0 && actual < required {
+        eprintln!("{bin}: {what} {actual:.2}x below required {required:.2}x");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_lists_and_rejects_bad_input() {
+        assert_eq!(parse_thread_list("2,4,8").unwrap(), vec![2, 4, 8]);
+        assert_eq!(parse_thread_list(" 3 ").unwrap(), vec![3]);
+        assert!(parse_thread_list("").is_err());
+        assert!(parse_thread_list("2,0").is_err());
+        assert!(parse_thread_list("x").is_err());
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablation;
+pub mod cli;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -23,6 +23,8 @@ pub struct FupConfig {
     /// Counting-engine settings for every scan: `threads` defaults to the
     /// machine's available parallelism; `threads = 1` reproduces the
     /// historical serial scans (and their `ScanMetrics` charges) exactly.
+    /// `engine.gen` controls the `apriori-gen` join+prune worker count the
+    /// same way (candidate output is byte-identical at every setting).
     pub engine: EngineConfig,
 }
 

@@ -20,7 +20,7 @@ use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::reduce;
 use fup_mining::engine::{self, pair_bucket, ChunkedCollector};
-use fup_mining::gen::apriori_gen;
+use fup_mining::gen::apriori_gen_with;
 use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
 use std::collections::HashSet;
@@ -258,7 +258,7 @@ impl Fup {
 
             // C_k = apriori-gen(L'_{k−1}) − L_k.
             let prev_new: Vec<Itemset> = result.level(k - 1).map(|(x, _)| x.clone()).collect();
-            let mut candidates: Vec<Itemset> = apriori_gen(&prev_new)
+            let mut candidates: Vec<Itemset> = apriori_gen_with(&prev_new, &self.config.engine.gen)
                 .into_iter()
                 .filter(|x| !old.contains(x))
                 .collect();

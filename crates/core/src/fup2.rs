@@ -27,7 +27,7 @@ use crate::error::{Error, Result};
 use crate::fup::{FupOutcome, FupPassDetail};
 use crate::reduce;
 use fup_mining::engine::{self, count_items_and_pairs, pair_bucket, ChunkedCollector};
-use fup_mining::gen::apriori_gen;
+use fup_mining::gen::apriori_gen_with;
 use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
 use std::collections::HashSet;
@@ -230,7 +230,7 @@ impl Fup2 {
             }
 
             let prev_new: Vec<Itemset> = result.level(k - 1).map(|(x, _)| x.clone()).collect();
-            let mut candidates: Vec<Itemset> = apriori_gen(&prev_new)
+            let mut candidates: Vec<Itemset> = apriori_gen_with(&prev_new, &self.config.engine.gen)
                 .into_iter()
                 .filter(|x| !old.contains(x))
                 .collect();

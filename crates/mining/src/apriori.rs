@@ -8,7 +8,7 @@
 
 use crate::counting::ItemCounts;
 use crate::engine::{self, EngineConfig};
-use crate::gen::apriori_gen;
+use crate::gen::apriori_gen_with;
 use crate::itemset::Itemset;
 use crate::large::LargeItemsets;
 use crate::miner::{Miner, MiningOutcome};
@@ -73,7 +73,7 @@ impl Apriori {
         // Pass k ≥ 2.
         let mut k = 2;
         while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
-            let candidates = apriori_gen(&level);
+            let candidates = apriori_gen_with(&level, &self.config.engine.gen);
             let generated = candidates.len() as u64;
             let counted = engine::count_candidates_with(source, candidates, &self.config.engine);
             level.clear();

@@ -15,7 +15,7 @@
 //!    items) are dropped from the working copy scanned by later passes.
 
 use crate::engine::{self, ChunkedCollector, EngineConfig};
-use crate::gen::apriori_gen;
+use crate::gen::apriori_gen_with;
 use crate::hashtree::HashTree;
 use crate::itemset::Itemset;
 use crate::large::LargeItemsets;
@@ -126,7 +126,7 @@ impl Dhp {
         let mut working: Option<TransactionDb> = None;
         let mut k = 2;
         while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
-            let mut candidates = apriori_gen(&level);
+            let mut candidates = apriori_gen_with(&level, &self.config.engine.gen);
             let generated = candidates.len() as u64;
             if k == 2 {
                 candidates.retain(|c| {

@@ -28,6 +28,7 @@
 //! the output is independent of worker scheduling.
 
 use crate::counting::ItemCounts;
+use crate::gen::GenConfig;
 use crate::hashtree::HashTree;
 use crate::itemset::Itemset;
 use fup_tidb::{ChunkScratch, ItemId, TransactionSource};
@@ -37,7 +38,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// and metric charges, small enough to load-balance skewed sources.
 pub const DEFAULT_CHUNK_SIZE: usize = 1024;
 
-/// Configuration of the counting engine.
+/// Configuration of the counting engine (and of the candidate-generation
+/// phase every miner runs between counting passes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for counting scans. `0` (the default) resolves to
@@ -46,6 +48,9 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Transactions per claimed chunk (min 1).
     pub chunk_size: usize,
+    /// Candidate-generation (`apriori-gen` join+prune) settings. Output
+    /// is byte-identical for every thread count.
+    pub gen: GenConfig,
 }
 
 impl Default for EngineConfig {
@@ -53,23 +58,28 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: 0,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            gen: GenConfig::default(),
         }
     }
 }
 
 impl EngineConfig {
-    /// The exact historical serial behaviour (`threads = 1`).
+    /// The exact historical serial behaviour (`threads = 1`, for the
+    /// counting scans and the candidate generation alike).
     pub fn serial() -> Self {
         EngineConfig {
             threads: 1,
+            gen: GenConfig::serial(),
             ..EngineConfig::default()
         }
     }
 
-    /// A configuration with an explicit thread count.
+    /// A configuration with an explicit thread count, applied to both the
+    /// counting scans and the candidate generation.
     pub fn with_threads(threads: usize) -> Self {
         EngineConfig {
             threads,
+            gen: GenConfig::with_threads(threads),
             ..EngineConfig::default()
         }
     }
@@ -364,6 +374,7 @@ mod tests {
                 let cfg = EngineConfig {
                     threads,
                     chunk_size,
+                    ..EngineConfig::default()
                 };
                 let parallel = count_candidates_with(&db(500), candidates(), &cfg);
                 assert_eq!(parallel, serial, "threads {threads} chunk {chunk_size}");
@@ -398,6 +409,7 @@ mod tests {
             &EngineConfig {
                 threads: 4,
                 chunk_size: 33,
+                ..EngineConfig::default()
             },
         );
         assert_eq!(a.metrics().snapshot(), b.metrics().snapshot());

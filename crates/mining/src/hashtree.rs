@@ -30,10 +30,39 @@
 //! bucket hash is a power-of-two bitmask, and transactions whose feasible
 //! prefix contains no candidate's first item are rejected by a bitmap test
 //! before any tree descent.
+//!
+//! ## SoA leaf arena
+//!
+//! Leaves do not store per-candidate pointers. After the shape is built,
+//! every leaf's candidates are packed into two shared arenas in leaf
+//! order: `leaf_items` holds the item data k-strided (row `e` occupies
+//! `leaf_items[e*k .. (e+1)*k]`) and the parallel `leaf_ids` holds each
+//! row's global candidate index (the count slot). A leaf is just a
+//! `(start, len)` range into those arenas, so re-verifying a leaf walks
+//! one contiguous block of items instead of chasing one `Box` per
+//! candidate, and the next row is software-prefetched while the current
+//! one is compared. During descent, a child node's memory is prefetched
+//! as soon as its bucket is chosen — it is the next node the LIFO walk
+//! visits.
 
 use crate::itemset::Itemset;
 use fup_tidb::transaction::contains_sorted;
 use fup_tidb::{ItemId, TransactionSource};
+
+/// Best-effort read prefetch; a no-op on architectures without one.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    unsafe {
+        core::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
 
 /// Default children per interior node. Must be a power of two so bucket
 /// selection is a bitmask; 32 keeps interior nodes at one cache line of
@@ -49,10 +78,22 @@ pub const DEFAULT_SPLIT_THRESHOLD: usize = 8;
 /// Sentinel for an absent child.
 const NO_CHILD: u32 = u32::MAX;
 
+/// Build-time node: leaves accumulate candidate indices in a growable
+/// vector until the shape is final, then everything is packed into the
+/// SoA arenas of [`Node`].
 #[derive(Debug)]
-enum Node {
+enum BuildNode {
     /// Candidate indices stored at this leaf.
     Leaf(Vec<u32>),
+    /// Child node ids (`fanout` of them), `NO_CHILD` where absent.
+    Interior(Box<[u32]>),
+}
+
+/// Finalised node: a leaf is a range into the shared leaf arenas.
+#[derive(Debug)]
+enum Node {
+    /// `len` candidates at arena rows `start..start+len`.
+    Leaf { start: u32, len: u32 },
     /// Child node ids (`fanout` of them), `NO_CHILD` where absent.
     Interior(Box<[u32]>),
 }
@@ -64,9 +105,14 @@ pub struct HashTree {
     k: usize,
     /// `fanout - 1`; bucket selection is `item & mask`.
     mask: usize,
-    split_threshold: usize,
     itemsets: Vec<Itemset>,
     nodes: Vec<Node>,
+    /// Leaf arena, item data: row `e` is `leaf_items[e*k .. (e+1)*k]`,
+    /// rows grouped contiguously per leaf.
+    leaf_items: Vec<ItemId>,
+    /// Leaf arena, count slots: global candidate index of each row,
+    /// parallel to `leaf_items`.
+    leaf_ids: Vec<u32>,
     /// Bitset over the *first* item of every candidate: a transaction can
     /// only contain some candidate if one of its first `len - k + 1` items
     /// is set here, so misses skip the walk entirely.
@@ -136,94 +182,46 @@ impl HashTree {
         for c in &candidates {
             bit_set(&mut first_bits, c.items()[0]);
         }
-        let mut tree = HashTree {
+        let mut builder = TreeBuilder {
             k,
             mask: fanout - 1,
             split_threshold: split_threshold.max(1),
-            itemsets: candidates,
-            nodes: vec![Node::Leaf(Vec::new())],
-            first_bits,
-            scratch: CountScratch::for_len(n),
+            itemsets: &candidates,
+            nodes: vec![BuildNode::Leaf(Vec::new())],
         };
         for idx in 0..n as u32 {
-            tree.insert(idx);
+            builder.insert(idx);
         }
-        tree
-    }
-
-    #[inline]
-    fn bucket(&self, item: ItemId) -> usize {
-        (item.raw() as usize) & self.mask
-    }
-
-    fn new_interior(&self) -> Node {
-        Node::Interior(vec![NO_CHILD; self.mask + 1].into_boxed_slice())
-    }
-
-    fn insert(&mut self, idx: u32) {
-        let mut node = 0u32;
-        let mut depth = 0usize;
-        loop {
-            match &mut self.nodes[node as usize] {
-                Node::Interior(children) => {
-                    let item = self.itemsets[idx as usize].items()[depth];
-                    let b = (item.raw() as usize) & self.mask;
-                    if children[b] == NO_CHILD {
-                        let new_id = self.nodes.len() as u32;
-                        // Re-borrow after push: take the bucket decision now.
-                        match &mut self.nodes[node as usize] {
-                            Node::Interior(ch) => ch[b] = new_id,
-                            Node::Leaf(_) => unreachable!(),
-                        }
-                        self.nodes.push(Node::Leaf(Vec::new()));
-                        node = new_id;
-                    } else {
-                        node = children[b];
+        // Pack every leaf into the shared SoA arenas: item rows k-strided
+        // and grouped per leaf, count slots (global candidate indices)
+        // parallel to them. Node ids are preserved, so child links stay
+        // valid as-is.
+        let mut nodes = Vec::with_capacity(builder.nodes.len());
+        let mut leaf_ids: Vec<u32> = Vec::new();
+        let mut leaf_items: Vec<ItemId> = Vec::new();
+        for bn in builder.nodes {
+            match bn {
+                BuildNode::Leaf(ids) => {
+                    let start = leaf_ids.len() as u32;
+                    for &idx in &ids {
+                        leaf_items.extend_from_slice(candidates[idx as usize].items());
                     }
-                    depth += 1;
+                    let len = ids.len() as u32;
+                    leaf_ids.extend(ids);
+                    nodes.push(Node::Leaf { start, len });
                 }
-                Node::Leaf(ids) => {
-                    ids.push(idx);
-                    if ids.len() > self.split_threshold && depth < self.k {
-                        self.split(node, depth);
-                    }
-                    return;
-                }
+                BuildNode::Interior(ch) => nodes.push(Node::Interior(ch)),
             }
         }
-    }
-
-    /// Converts the leaf `node` (at `depth` items consumed) into an
-    /// interior node, redistributing its candidates one level down.
-    fn split(&mut self, node: u32, depth: usize) {
-        let interior = self.new_interior();
-        let ids = match std::mem::replace(&mut self.nodes[node as usize], interior) {
-            Node::Leaf(ids) => ids,
-            Node::Interior(_) => unreachable!("split target must be a leaf"),
-        };
-        for idx in ids {
-            let item = self.itemsets[idx as usize].items()[depth];
-            let b = self.bucket(item);
-            let child = match &self.nodes[node as usize] {
-                Node::Interior(ch) => ch[b],
-                Node::Leaf(_) => unreachable!(),
-            };
-            let child = if child == NO_CHILD {
-                let new_id = self.nodes.len() as u32;
-                match &mut self.nodes[node as usize] {
-                    Node::Interior(ch) => ch[b] = new_id,
-                    Node::Leaf(_) => unreachable!(),
-                }
-                self.nodes.push(Node::Leaf(Vec::new()));
-                new_id
-            } else {
-                child
-            };
-            match &mut self.nodes[child as usize] {
-                Node::Leaf(v) => v.push(idx),
-                // Children of a fresh split are always leaves.
-                Node::Interior(_) => unreachable!(),
-            }
+        HashTree {
+            k,
+            mask: fanout - 1,
+            itemsets: candidates,
+            nodes,
+            leaf_items,
+            leaf_ids,
+            first_bits,
+            scratch: CountScratch::for_len(n),
         }
     }
 
@@ -249,6 +247,8 @@ impl HashTree {
             mask: self.mask,
             itemsets: &self.itemsets,
             nodes: &self.nodes,
+            leaf_items: &self.leaf_items,
+            leaf_ids: &self.leaf_ids,
             first_bits: &self.first_bits,
         }
     }
@@ -263,6 +263,8 @@ impl HashTree {
                 mask: self.mask,
                 itemsets: &self.itemsets,
                 nodes: &self.nodes,
+                leaf_items: &self.leaf_items,
+                leaf_ids: &self.leaf_ids,
                 first_bits: &self.first_bits,
             },
             &mut self.scratch,
@@ -327,6 +329,86 @@ impl HashTree {
     }
 }
 
+/// Builds the tree shape: leaves grow as `Vec<u32>` of candidate indices
+/// and split into interior nodes past the threshold; the finished shape
+/// is packed into [`HashTree`]'s SoA arenas by `build_with_params`.
+struct TreeBuilder<'a> {
+    k: usize,
+    mask: usize,
+    split_threshold: usize,
+    itemsets: &'a [Itemset],
+    nodes: Vec<BuildNode>,
+}
+
+impl TreeBuilder<'_> {
+    fn insert(&mut self, idx: u32) {
+        let mut node = 0u32;
+        let mut depth = 0usize;
+        loop {
+            match &mut self.nodes[node as usize] {
+                BuildNode::Interior(children) => {
+                    let item = self.itemsets[idx as usize].items()[depth];
+                    let b = (item.raw() as usize) & self.mask;
+                    if children[b] == NO_CHILD {
+                        let new_id = self.nodes.len() as u32;
+                        // Re-borrow after push: take the bucket decision now.
+                        match &mut self.nodes[node as usize] {
+                            BuildNode::Interior(ch) => ch[b] = new_id,
+                            BuildNode::Leaf(_) => unreachable!(),
+                        }
+                        self.nodes.push(BuildNode::Leaf(Vec::new()));
+                        node = new_id;
+                    } else {
+                        node = children[b];
+                    }
+                    depth += 1;
+                }
+                BuildNode::Leaf(ids) => {
+                    ids.push(idx);
+                    if ids.len() > self.split_threshold && depth < self.k {
+                        self.split(node, depth);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Converts the leaf `node` (at `depth` items consumed) into an
+    /// interior node, redistributing its candidates one level down.
+    fn split(&mut self, node: u32, depth: usize) {
+        let interior = BuildNode::Interior(vec![NO_CHILD; self.mask + 1].into_boxed_slice());
+        let ids = match std::mem::replace(&mut self.nodes[node as usize], interior) {
+            BuildNode::Leaf(ids) => ids,
+            BuildNode::Interior(_) => unreachable!("split target must be a leaf"),
+        };
+        for idx in ids {
+            let item = self.itemsets[idx as usize].items()[depth];
+            let b = (item.raw() as usize) & self.mask;
+            let child = match &self.nodes[node as usize] {
+                BuildNode::Interior(ch) => ch[b],
+                BuildNode::Leaf(_) => unreachable!(),
+            };
+            let child = if child == NO_CHILD {
+                let new_id = self.nodes.len() as u32;
+                match &mut self.nodes[node as usize] {
+                    BuildNode::Interior(ch) => ch[b] = new_id,
+                    BuildNode::Leaf(_) => unreachable!(),
+                }
+                self.nodes.push(BuildNode::Leaf(Vec::new()));
+                new_id
+            } else {
+                child
+            };
+            match &mut self.nodes[child as usize] {
+                BuildNode::Leaf(v) => v.push(idx),
+                // Children of a fresh split are always leaves.
+                BuildNode::Interior(_) => unreachable!(),
+            }
+        }
+    }
+}
+
 /// The immutable shape of a [`HashTree`]: everything a scan worker needs
 /// to count transactions, minus the mutable counting state. `Copy`, and
 /// `Sync` because it only borrows immutable tree data — hand one to each
@@ -337,6 +419,8 @@ pub struct TreeView<'a> {
     mask: usize,
     itemsets: &'a [Itemset],
     nodes: &'a [Node],
+    leaf_items: &'a [ItemId],
+    leaf_ids: &'a [u32],
     first_bits: &'a [u64],
 }
 
@@ -386,13 +470,23 @@ impl<'a> TreeView<'a> {
             start: 0,
             depth: 0,
         });
+        let k = self.k;
         while let Some(WalkFrame { node, start, depth }) = scratch.stack.pop() {
             match &self.nodes[node as usize] {
-                Node::Leaf(ids) => {
-                    for &idx in ids {
+                Node::Leaf { start, len } => {
+                    let first = *start as usize;
+                    let n = *len as usize;
+                    let ids = &self.leaf_ids[first..first + n];
+                    let rows = &self.leaf_items[first * k..(first + n) * k];
+                    for (e, &idx) in ids.iter().enumerate() {
+                        // Pull the next row into cache while this one is
+                        // re-verified against the transaction.
+                        if e + 1 < n {
+                            prefetch_read(rows[(e + 1) * k..].as_ptr());
+                        }
                         let i = idx as usize;
                         if scratch.last_seen[i] != seq
-                            && contains_sorted(t, self.itemsets[i].items())
+                            && contains_sorted(t, &rows[e * k..(e + 1) * k])
                         {
                             scratch.last_seen[i] = seq;
                             scratch.counts[i] += 1;
@@ -402,7 +496,7 @@ impl<'a> TreeView<'a> {
                 }
                 Node::Interior(children) => {
                     // Need (k - depth) more items; stop when too few remain.
-                    let remaining = self.k - depth as usize;
+                    let remaining = k - depth as usize;
                     let start = start as usize;
                     if t.len() < start + remaining {
                         continue;
@@ -411,6 +505,9 @@ impl<'a> TreeView<'a> {
                     for i in start..=last {
                         let child = children[(t[i].raw() as usize) & self.mask];
                         if child != NO_CHILD {
+                            // The LIFO stack visits this bucket next (or
+                            // soon); start pulling its node in now.
+                            prefetch_read(&self.nodes[child as usize] as *const Node);
                             scratch.stack.push(WalkFrame {
                                 node: child,
                                 start: (i + 1) as u32,
@@ -677,5 +774,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_fanout_rejected() {
         let _ = HashTree::build_with_params(vec![s(&[1])], 3, 4);
+    }
+
+    #[test]
+    fn soa_leaf_arena_is_consistent() {
+        // Every candidate lands in exactly one leaf; its arena row must
+        // hold exactly its items, k-strided, across splitty shapes.
+        let cands: Vec<Itemset> = (0..60u32)
+            .map(|i| s(&[i % 6, 6 + (i % 9), 20 + i]))
+            .collect();
+        for (fanout, threshold) in [(2, 1), (32, 8), (256, 4)] {
+            let tree = HashTree::build_with_params(cands.clone(), fanout, threshold);
+            assert_eq!(tree.leaf_ids.len(), cands.len());
+            assert_eq!(tree.leaf_items.len(), cands.len() * tree.k());
+            let mut seen = vec![0usize; cands.len()];
+            for (e, &idx) in tree.leaf_ids.iter().enumerate() {
+                seen[idx as usize] += 1;
+                let row = &tree.leaf_items[e * tree.k()..(e + 1) * tree.k()];
+                assert_eq!(row, cands[idx as usize].items(), "arena row {e}");
+            }
+            assert!(seen.iter().all(|&c| c == 1), "candidate not in one leaf");
+        }
     }
 }

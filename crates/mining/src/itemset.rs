@@ -1,4 +1,6 @@
-//! Immutable sorted itemsets.
+//! Immutable sorted itemsets, and the flat [`ItemsetTable`] arena that
+//! stores a whole level `L_k` contiguously for cache-friendly candidate
+//! generation.
 
 use fup_tidb::ItemId;
 use std::fmt;
@@ -161,6 +163,212 @@ impl Itemset {
     }
 }
 
+/// A level of same-size itemsets stored flat: one contiguous k-strided
+/// `Vec<ItemId>` of rows in lexicographic order, plus a run index over
+/// shared (k−1)-prefixes.
+///
+/// This is the structure-of-arrays representation of an `L_k`: row `i`
+/// occupies `items[i*k .. (i+1)*k]`, rows are strictly increasing (sorted,
+/// duplicate-free), and `run_starts` marks every maximal run of rows that
+/// share their first `k−1` items. The `apriori-gen` join enumerates pairs
+/// inside one run without touching any other memory, membership tests are
+/// a binary search over the flat rows (no hashing, no owned-itemset
+/// allocation), and the whole level lives in one allocation instead of one
+/// `Box` per itemset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemsetTable {
+    /// Row width; 0 only for the empty table.
+    k: usize,
+    /// Row-major item data, `k * len()` entries.
+    items: Vec<ItemId>,
+    /// Row index of each (k−1)-prefix run start, terminated by `len()`.
+    run_starts: Vec<u32>,
+}
+
+impl ItemsetTable {
+    /// Builds a table from itemsets of one size `k ≥ 1`, sorting and
+    /// deduplicating only when needed: input that is already strictly
+    /// increasing (the usual case — every miner feeds the previous pass's
+    /// sorted output straight back in) is detected with one linear scan
+    /// and copied without the sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the itemsets have mixed sizes.
+    pub fn from_itemsets(sets: &[Itemset]) -> Self {
+        let Some(first) = sets.first() else {
+            return ItemsetTable::empty();
+        };
+        let k = first.k();
+        debug_assert!(
+            sets.iter().all(|x| x.k() == k),
+            "mixed sizes in ItemsetTable"
+        );
+        if sets.windows(2).all(|w| w[0].items() < w[1].items()) {
+            return Self::from_sorted_itemsets(sets);
+        }
+        let mut refs: Vec<&Itemset> = sets.iter().collect();
+        refs.sort();
+        refs.dedup();
+        let mut items = Vec::with_capacity(refs.len() * k);
+        for s in &refs {
+            items.extend_from_slice(s.items());
+        }
+        Self::from_flat(k, items)
+    }
+
+    /// Builds a table from itemsets that are already strictly increasing
+    /// (sorted, duplicate-free) — the fast path, skipping the sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the sorted-unique invariant does not hold
+    /// or the itemsets have mixed sizes.
+    pub fn from_sorted_itemsets(sets: &[Itemset]) -> Self {
+        let Some(first) = sets.first() else {
+            return ItemsetTable::empty();
+        };
+        let k = first.k();
+        debug_assert!(
+            sets.iter().all(|x| x.k() == k),
+            "mixed sizes in ItemsetTable"
+        );
+        debug_assert!(
+            sets.windows(2).all(|w| w[0].items() < w[1].items()),
+            "itemsets must be strictly increasing"
+        );
+        let mut items = Vec::with_capacity(sets.len() * k);
+        for s in sets {
+            items.extend_from_slice(s.items());
+        }
+        Self::from_flat(k, items)
+    }
+
+    /// An empty table (no rows, width 0).
+    pub fn empty() -> Self {
+        ItemsetTable {
+            k: 0,
+            items: Vec::new(),
+            run_starts: vec![0],
+        }
+    }
+
+    /// Builds the run index over sorted row-major data.
+    fn from_flat(k: usize, items: Vec<ItemId>) -> Self {
+        debug_assert!(k >= 1);
+        debug_assert_eq!(items.len() % k, 0);
+        let n = items.len() / k;
+        let mut run_starts = Vec::new();
+        let mut row = 0;
+        while row < n {
+            run_starts.push(row as u32);
+            let prefix = &items[row * k..(row + 1) * k - 1];
+            let mut end = row + 1;
+            while end < n && &items[end * k..(end + 1) * k - 1] == prefix {
+                end += 1;
+            }
+            row = end;
+        }
+        run_starts.push(n as u32);
+        ItemsetTable {
+            k,
+            items,
+            run_starts,
+        }
+    }
+
+    /// The row width `k` (0 only when the table is empty).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len().checked_div(self.k).unwrap_or(0)
+    }
+
+    /// `true` when the table holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Row `i` as an item slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[ItemId] {
+        &self.items[i * self.k..(i + 1) * self.k]
+    }
+
+    /// Number of (k−1)-prefix runs.
+    #[inline]
+    pub fn num_runs(&self) -> usize {
+        self.run_starts.len() - 1
+    }
+
+    /// Half-open row range `[start, end)` of run `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= num_runs()`.
+    #[inline]
+    pub fn run_bounds(&self, r: usize) -> (usize, usize) {
+        (self.run_starts[r] as usize, self.run_starts[r + 1] as usize)
+    }
+
+    /// `true` if `needle` (sorted, length `k`) is a row of this table —
+    /// a binary search over the flat rows.
+    pub fn contains(&self, needle: &[ItemId]) -> bool {
+        debug_assert_eq!(needle.len(), self.k);
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.row(mid).cmp(needle) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The half-open row range of the run whose shared (k−1)-prefix is
+    /// exactly `prefix`, or the empty range `(0, 0)` when no row has it —
+    /// a binary search over the run index (runs have distinct, ascending
+    /// prefixes).
+    pub fn prefix_run(&self, prefix: &[ItemId]) -> (usize, usize) {
+        debug_assert_eq!(prefix.len() + 1, self.k.max(1));
+        let (mut lo, mut hi) = (0usize, self.num_runs());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let first = self.run_starts[mid] as usize;
+            match self.row(first)[..self.k - 1].cmp(prefix) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return self.run_bounds(mid),
+            }
+        }
+        (0, 0)
+    }
+
+    /// Iterates the rows in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[ItemId]> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Materialises every row as an owned [`Itemset`], in table order.
+    pub fn to_itemsets(&self) -> Vec<Itemset> {
+        self.rows()
+            .map(|r| Itemset::from_sorted_vec(r.to_vec()))
+            .collect()
+    }
+}
+
 impl Deref for Itemset {
     type Target = [ItemId];
     #[inline]
@@ -281,5 +489,64 @@ mod tests {
         let x = s(&[1, 5, 9]);
         assert!(x.contains(ItemId(5)));
         assert!(!x.contains(ItemId(6)));
+    }
+
+    #[test]
+    fn table_from_sorted_and_unsorted_agree() {
+        let sorted = vec![s(&[1, 2]), s(&[1, 3]), s(&[2, 3]), s(&[2, 5])];
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        shuffled.push(s(&[1, 3])); // duplicate
+        let a = ItemsetTable::from_itemsets(&sorted);
+        let b = ItemsetTable::from_itemsets(&shuffled);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.k(), 2);
+        assert_eq!(a.to_itemsets(), sorted);
+    }
+
+    #[test]
+    fn table_run_index_groups_shared_prefixes() {
+        let sets = vec![
+            s(&[1, 2, 4]),
+            s(&[1, 2, 7]),
+            s(&[1, 3, 4]),
+            s(&[2, 3, 4]),
+            s(&[2, 3, 9]),
+        ];
+        let t = ItemsetTable::from_itemsets(&sets);
+        assert_eq!(t.num_runs(), 3);
+        assert_eq!(t.run_bounds(0), (0, 2)); // prefix {1,2}
+        assert_eq!(t.run_bounds(1), (2, 3)); // prefix {1,3}
+        assert_eq!(t.run_bounds(2), (3, 5)); // prefix {2,3}
+    }
+
+    #[test]
+    fn table_k1_is_one_run() {
+        let sets: Vec<Itemset> = (0..5u32).map(|i| s(&[i])).collect();
+        let t = ItemsetTable::from_itemsets(&sets);
+        assert_eq!(t.num_runs(), 1);
+        assert_eq!(t.run_bounds(0), (0, 5));
+    }
+
+    #[test]
+    fn table_contains_is_exact() {
+        let sets = vec![s(&[1, 2]), s(&[1, 9]), s(&[4, 5]), s(&[7, 8])];
+        let t = ItemsetTable::from_itemsets(&sets);
+        for x in &sets {
+            assert!(t.contains(x.items()), "{x:?}");
+        }
+        assert!(!t.contains(&[ItemId(1), ItemId(3)]));
+        assert!(!t.contains(&[ItemId(0), ItemId(1)]));
+        assert!(!t.contains(&[ItemId(7), ItemId(9)]));
+    }
+
+    #[test]
+    fn table_empty() {
+        let t = ItemsetTable::from_itemsets(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.num_runs(), 0);
+        assert!(t.to_itemsets().is_empty());
     }
 }

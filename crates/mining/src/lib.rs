@@ -5,13 +5,15 @@
 //! the Apriori and DHP algorithms it benchmarks against, and the shared
 //! machinery all three algorithms (including FUP in `fup-core`) use:
 //!
-//! * [`Itemset`] — an immutable, sorted set of items,
+//! * [`Itemset`] — an immutable, sorted set of items, and
+//!   [`ItemsetTable`] — a whole level stored flat (k-strided arena with a
+//!   prefix run index),
 //! * [`MinSupport`] — exact rational support thresholds (`s × (D + d)`
 //!   comparisons never go through floating point),
 //! * [`HashTree`] — the Agrawal–Srikant candidate hash tree implementing
-//!   `Subset(C, T)`,
+//!   `Subset(C, T)`, with SoA leaf arenas,
 //! * [`apriori_gen`](gen::apriori_gen) — candidate generation (join +
-//!   subset-prune),
+//!   subset-prune) over the flat table, parallelised per [`GenConfig`],
 //! * [`counting`] — support-counting passes over any
 //!   [`TransactionSource`](fup_tidb::TransactionSource),
 //! * [`engine`] — the parallel chunked counting engine those passes run
@@ -41,8 +43,9 @@ pub mod support;
 pub use apriori::Apriori;
 pub use dhp::Dhp;
 pub use engine::EngineConfig;
+pub use gen::GenConfig;
 pub use hashtree::{CountScratch, HashTree, TreeView};
-pub use itemset::Itemset;
+pub use itemset::{Itemset, ItemsetTable};
 pub use large::LargeItemsets;
 pub use miner::{Miner, MiningOutcome};
 pub use rules::{MinConfidence, Rule, RuleSet};

@@ -53,7 +53,11 @@ proptest! {
 
         for &threads in &THREAD_COUNTS {
             for &chunk_size in &CHUNK_SIZES {
-                let cfg = EngineConfig { threads, chunk_size };
+                let cfg = EngineConfig {
+                    threads,
+                    chunk_size,
+                    ..EngineConfig::default()
+                };
                 let db = TransactionDb::from_transactions(transactions.clone());
                 let counted =
                     engine::count_candidates_with(&db, candidates.clone(), &cfg);
@@ -78,6 +82,37 @@ proptest! {
     }
 
     #[test]
+    fn soa_hashtree_counts_equal_direct_containment(
+        candidates in proptest::collection::hash_set(arb_itemset(30, 2), 1..50),
+        transactions in proptest::collection::vec(arb_transaction(30, 9), 0..80),
+    ) {
+        // The SoA leaf arena must count bit-identically to direct
+        // containment over the owned itemsets, across every chunk size
+        // (chunking changes which worker walks which leaf ranges).
+        let candidates: Vec<Itemset> = candidates.into_iter().collect();
+        let truth: Vec<u64> = candidates
+            .iter()
+            .map(|c| {
+                transactions
+                    .iter()
+                    .filter(|t| contains_sorted(t.items(), c.items()))
+                    .count() as u64
+            })
+            .collect();
+        for &chunk_size in &CHUNK_SIZES {
+            let cfg = EngineConfig {
+                threads: 2,
+                chunk_size,
+                ..EngineConfig::default()
+            };
+            let db = TransactionDb::from_transactions(transactions.clone());
+            let counted = engine::count_candidates_with(&db, candidates.clone(), &cfg);
+            let counts: Vec<u64> = counted.into_iter().map(|(_, c)| c).collect();
+            prop_assert_eq!(&counts, &truth, "chunk_size {}", chunk_size);
+        }
+    }
+
+    #[test]
     fn engine_item_counts_equal_serial(
         transactions in proptest::collection::vec(arb_transaction(60, 10), 0..150),
     ) {
@@ -85,7 +120,11 @@ proptest! {
         let serial = engine::count_items_with(&db, &EngineConfig::serial());
         for &threads in &THREAD_COUNTS {
             for &chunk_size in &CHUNK_SIZES {
-                let cfg = EngineConfig { threads, chunk_size };
+                let cfg = EngineConfig {
+                    threads,
+                    chunk_size,
+                    ..EngineConfig::default()
+                };
                 let parallel = engine::count_items_with(&db, &cfg);
                 prop_assert_eq!(parallel.capacity(), serial.capacity());
                 for (item, count) in serial.iter_nonzero() {
