@@ -1,0 +1,405 @@
+//! `bench_vertical` — backend comparison benchmark, emitting a
+//! machine-readable `BENCH_vertical.json` for the perf trajectory (CI
+//! runs this briefly on every push).
+//!
+//! Generates a `T10.I4` Quest corpus and, at each requested support
+//! level, walks the Apriori level structure pass by pass (`C₂`, `C₃`, …),
+//! timing the same candidate counting three ways:
+//!
+//! 1. **hash tree** — build + one full counting scan (the per-pass cost
+//!    the classic backend pays every level),
+//! 2. **vertical** — tid-list intersections over the [`VerticalIndex`];
+//!    the one-time index build is timed separately and charged to the
+//!    first candidate pass (exactly where a fixed-vertical miner pays
+//!    it),
+//! 3. **auto** — whichever of the two [`CountingBackend::Auto`] resolves
+//!    for the pass's profile, charged like the fixed backend it picks.
+//!
+//! Counts are asserted identical across backends before any number is
+//! reported. `--min-speedup` gates the *deep passes* (k ≥ 3): each must
+//! beat the hash tree by the given factor. `--max-auto-loss` gates the
+//! adaptive policy: on every pass, auto must stay within the given
+//! fraction of the better fixed backend.
+//!
+//! ```text
+//! bench_vertical [--out PATH] [--transactions N] [--minsup-bp B1,B2,..]
+//!                [--threads T] [--reps R] [--seed S]
+//!                [--min-speedup X] [--max-auto-loss F]
+//! ```
+
+use fup_datagen::{corpus, QuestGenerator};
+use fup_mining::counting::ItemCounts;
+use fup_mining::engine::{self, EngineConfig};
+use fup_mining::gen::apriori_gen_flat;
+use fup_mining::vertical::{self, CountingBackend, PassProfile, ResolvedBackend, VerticalIndex};
+use fup_mining::{ItemsetTable, MinSupport};
+use fup_tidb::{ItemId, TransactionDb, TransactionSource};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Options {
+    out: String,
+    transactions: u64,
+    minsup_bp: Vec<u64>,
+    threads: usize,
+    reps: usize,
+    seed: u64,
+    /// Exit non-zero unless every deep pass (k ≥ 3) beats the hash tree
+    /// by this factor (0.0 disables; the ISSUE's acceptance target is 2.0
+    /// single-thread).
+    min_speedup: f64,
+    /// Exit non-zero if auto loses more than this fraction to the better
+    /// fixed backend on any pass (negative disables; the acceptance
+    /// target is 0.10).
+    max_auto_loss: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_vertical.json".to_string(),
+        transactions: 100_000,
+        minsup_bp: vec![100, 200],
+        threads: 1,
+        reps: 2,
+        seed: 1996,
+        min_speedup: 0.0,
+        max_auto_loss: -1.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--transactions" => {
+                opts.transactions = value("--transactions")?
+                    .parse()
+                    .map_err(|e| format!("--transactions: {e}"))?
+            }
+            "--minsup-bp" => {
+                opts.minsup_bp = value("--minsup-bp")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--minsup-bp: {e}")))
+                    .collect::<Result<Vec<u64>, String>>()?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--reps" => {
+                opts.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--min-speedup" => {
+                opts.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            "--max-auto-loss" => {
+                opts.max_auto_loss = value("--max-auto-loss")?
+                    .parse()
+                    .map_err(|e| format!("--max-auto-loss: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.reps == 0 || opts.threads == 0 {
+        return Err("--reps and --threads must be at least 1".into());
+    }
+    if opts.minsup_bp.is_empty() {
+        return Err("--minsup-bp needs at least one level".into());
+    }
+    Ok(opts)
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        if elapsed < best {
+            best = elapsed;
+        }
+        out = Some(value);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+struct PassRow {
+    minsup_bp: u64,
+    k: usize,
+    candidates: usize,
+    large: usize,
+    hash_ms: f64,
+    vertical_ms: f64,
+    build_ms: f64,
+    speedup: f64,
+    auto_backend: &'static str,
+    auto_ms: f64,
+    auto_loss: f64,
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_vertical: {e}");
+            std::process::exit(2);
+        }
+    };
+    let params = corpus::t10_i4_d100_d1()
+        .with_seed(opts.seed)
+        .with_increment(1);
+    let params = fup_datagen::GenParams {
+        num_transactions: opts.transactions,
+        ..params
+    };
+    eprintln!(
+        "generating {} corpus ({} transactions)...",
+        params.name(),
+        opts.transactions
+    );
+    let db: TransactionDb = QuestGenerator::new(params).generate_db(opts.transactions);
+    let n = db.num_transactions();
+    let cfg = EngineConfig::with_threads(opts.threads);
+
+    let item_counts = ItemCounts::count_with(&db, &cfg);
+    let mut rows: Vec<PassRow> = Vec::new();
+    let mut index_bytes = (0usize, 0usize);
+
+    for &bp in &opts.minsup_bp {
+        let minsup = MinSupport::basis_points(bp);
+        let mut level_items: Vec<ItemId> = Vec::new();
+        let mut freq_occurrences = 0u64;
+        for (item, count) in item_counts.iter_nonzero() {
+            if minsup.is_large(count, n) {
+                level_items.push(item);
+                freq_occurrences += count;
+            }
+        }
+        let residue = freq_occurrences as f64 / n.max(1) as f64;
+        let keep = vertical::item_bitmap(level_items.iter().copied());
+        let mut level = ItemsetTable::from_flat_rows(1, level_items);
+        eprintln!(
+            "minsup {minsup}: |L1| = {}, residue {residue:.2}",
+            level.len()
+        );
+
+        // One index per support level (the L₁ filter depends on it),
+        // built when the first pass needs it — its cost lands on that
+        // pass's vertical (and auto) totals, as in a real miner run.
+        let mut index: Option<VerticalIndex> = None;
+        // Remembered so auto is charged the build at whichever pass it
+        // first engages, even if that is deeper than the pass the bench
+        // built the index on.
+        let mut level_build = Duration::ZERO;
+        // Auto engagement is sticky in the miners (the index is already
+        // paid for); the bench models the same policy.
+        let mut auto_engaged = false;
+        let mut k = 2;
+        while !level.is_empty() {
+            let candidates = apriori_gen_flat(&level, &cfg.gen);
+            if candidates.is_empty() {
+                break;
+            }
+            let (hash_time, hash_counts) = best_of(opts.reps, || {
+                engine::count_table_with(&db, &candidates, &cfg)
+            });
+
+            let mut build_time = Duration::ZERO;
+            if index.is_none() {
+                let (bt, idx) = best_of(opts.reps, || VerticalIndex::build(&db, Some(&keep), &cfg));
+                build_time = bt;
+                level_build = bt;
+                index_bytes = idx.arena_bytes();
+                index = Some(idx);
+            }
+            let idx = index.as_ref().expect("index built above");
+            let (vertical_time, vertical_counts) =
+                best_of(opts.reps, || idx.count_rows(&candidates, &cfg));
+            assert_eq!(
+                hash_counts, vertical_counts,
+                "backends diverged at {bp}bp k={k}"
+            );
+
+            // Auto pays whichever backend it resolves, including the
+            // index build on the pass that first engages vertical.
+            let auto = if auto_engaged {
+                ResolvedBackend::Vertical
+            } else {
+                CountingBackend::Auto.resolve(&PassProfile {
+                    k,
+                    candidates: candidates.len(),
+                    transactions: n,
+                    residue,
+                })
+            };
+            let (auto_backend, auto_choice, auto_time) = match auto {
+                ResolvedBackend::HashTree => ("hashtree", hash_time, hash_time),
+                ResolvedBackend::Vertical => {
+                    // A real Auto run pays the index build at its
+                    // engagement pass, wherever that falls.
+                    let charged = if auto_engaged {
+                        vertical_time
+                    } else {
+                        vertical_time + level_build
+                    };
+                    auto_engaged = true;
+                    ("vertical", vertical_time, charged)
+                }
+            };
+            // The loss gate grades the per-pass *choice* build-free: the
+            // index build is a one-time charge whose pass it lands on
+            // depends on the engagement schedule, not on whether the
+            // choice was right (the reported ms columns keep the charge).
+            let better = hash_time.min(vertical_time);
+            let auto_loss =
+                (auto_choice.as_secs_f64() - better.as_secs_f64()) / better.as_secs_f64().max(1e-9);
+            let speedup = hash_time.as_secs_f64() / vertical_time.as_secs_f64().max(1e-9);
+
+            let mut next_rows: Vec<ItemId> = Vec::new();
+            let mut large = 0usize;
+            for (i, &count) in hash_counts.iter().enumerate() {
+                if minsup.is_large(count, n) {
+                    next_rows.extend_from_slice(candidates.row(i));
+                    large += 1;
+                }
+            }
+            eprintln!(
+                "  k={k}: |C|={} hash {:.1} ms, vertical {:.1} ms (+build {:.1}) -> {speedup:.2}x, auto={auto_backend}",
+                candidates.len(),
+                ms(hash_time),
+                ms(vertical_time),
+                ms(build_time),
+            );
+            rows.push(PassRow {
+                minsup_bp: bp,
+                k,
+                candidates: candidates.len(),
+                large,
+                hash_ms: ms(hash_time),
+                vertical_ms: ms(vertical_time),
+                build_ms: ms(build_time),
+                speedup,
+                auto_backend,
+                auto_ms: ms(auto_time),
+                auto_loss: auto_loss.max(0.0),
+            });
+            level = ItemsetTable::from_flat_rows(k, next_rows);
+            k += 1;
+        }
+    }
+
+    // Cross-check: full miner runs agree across all backends at the first
+    // support level (the bench must not certify a broken backend).
+    {
+        let minsup = MinSupport::basis_points(opts.minsup_bp[0]);
+        let reference = fup_mining::Apriori::with_config(fup_mining::apriori::AprioriConfig {
+            engine: cfg.clone().with_backend(CountingBackend::HashTree),
+            ..Default::default()
+        })
+        .run(&db, minsup)
+        .large;
+        for backend in [CountingBackend::Vertical, CountingBackend::Auto] {
+            let out = fup_mining::Apriori::with_config(fup_mining::apriori::AprioriConfig {
+                engine: cfg.clone().with_backend(backend),
+                ..Default::default()
+            })
+            .run(&db, minsup)
+            .large;
+            assert!(
+                out.same_itemsets(&reference),
+                "{backend:?} miner diverged: {:?}",
+                out.diff(&reference)
+            );
+        }
+        eprintln!("miner cross-check: all backends bit-identical");
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"vertical\",\n",
+            "  \"corpus\": \"T10.I4\",\n",
+            "  \"transactions\": {},\n",
+            "  \"threads\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"index_sparse_bytes\": {},\n",
+            "  \"index_dense_bytes\": {},\n",
+            "  \"rows\": [\n"
+        ),
+        opts.transactions, opts.threads, opts.reps, index_bytes.0, index_bytes.1,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"minsup_bp\": {}, \"k\": {}, \"candidates\": {}, \"large\": {}, \"hash_ms\": {:.3}, \"vertical_ms\": {:.3}, \"build_ms\": {:.3}, \"speedup\": {:.3}, \"auto\": \"{}\", \"auto_ms\": {:.3}, \"auto_loss\": {:.4} }}{sep}",
+            r.minsup_bp,
+            r.k,
+            r.candidates,
+            r.large,
+            r.hash_ms,
+            r.vertical_ms,
+            r.build_ms,
+            r.speedup,
+            r.auto_backend,
+            r.auto_ms,
+            r.auto_loss,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("bench_vertical: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    print!("{json}");
+
+    // Gates.
+    let deep_worst = rows
+        .iter()
+        .filter(|r| r.k >= 3)
+        .map(|r| r.speedup)
+        .fold(f64::INFINITY, f64::min);
+    if deep_worst.is_finite() {
+        fup_bench::cli::require_min_speedup(
+            "bench_vertical",
+            "worst deep-pass (k >= 3) vertical speedup",
+            deep_worst,
+            opts.min_speedup,
+        );
+    } else if opts.min_speedup > 0.0 {
+        eprintln!(
+            "bench_vertical: no deep passes produced candidates; cannot assert --min-speedup"
+        );
+        std::process::exit(1);
+    }
+    if opts.max_auto_loss >= 0.0 {
+        let worst = rows.iter().map(|r| r.auto_loss).fold(0.0, f64::max);
+        if worst > opts.max_auto_loss {
+            eprintln!(
+                "bench_vertical: auto lost {:.1}% to the better fixed backend (allowed {:.1}%)",
+                worst * 100.0,
+                opts.max_auto_loss * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -46,26 +46,46 @@ fn both(db: &TransactionDb, inc: &TransactionDb, f: impl FnOnce()) -> (u64, u64)
 }
 
 /// Runs the scan-volume comparison at `1/scale` of `T10.I4.D100.d1`.
+///
+/// The counting backend is pinned to the hash tree: this experiment
+/// reports the scan volumes of the *paper's* algorithms, and the vertical
+/// index deliberately changes when sources are scanned.
 pub fn run(scale: u64, seed: u64) -> Vec<Row> {
+    use fup_mining::apriori::AprioriConfig;
+    use fup_mining::dhp::DhpConfig;
+    use fup_mining::{CountingBackend, EngineConfig};
+    let engine = EngineConfig::default().with_backend(CountingBackend::HashTree);
+    let fup_config = fup_core::FupConfig {
+        engine: engine.clone(),
+        ..fup_core::FupConfig::full()
+    };
+    let apriori = Apriori::with_config(AprioriConfig {
+        engine: engine.clone(),
+        ..AprioriConfig::default()
+    });
+    let dhp = Dhp::with_config(DhpConfig {
+        engine: engine.clone(),
+        ..DhpConfig::default()
+    });
     let data = workload(corpus::t10_i4_d100_d1().with_seed(seed), scale);
     corpus::FIG2_SUPPORTS_BP
         .iter()
         .map(|&bp| {
             let minsup = MinSupport::basis_points(bp);
-            let baseline = Apriori::new().run(&data.db, minsup).large;
+            let baseline = apriori.run(&data.db, minsup).large;
 
             let (fup_transactions, fup_items) = both(&data.db, &data.increment, || {
-                Fup::new()
+                Fup::with_config(fup_config.clone())
                     .update(&data.db, &baseline, &data.increment, minsup)
                     .expect("baseline matches");
             });
             let (dhp_transactions, _) = both(&data.db, &data.increment, || {
                 let whole = ChainSource::new(&data.db, &data.increment);
-                Dhp::new().run(&whole, minsup);
+                dhp.run(&whole, minsup);
             });
             let (apriori_transactions, apriori_items) = both(&data.db, &data.increment, || {
                 let whole = ChainSource::new(&data.db, &data.increment);
-                Apriori::new().run(&whole, minsup);
+                apriori.run(&whole, minsup);
             });
             Row {
                 minsup_bp: bp,

@@ -25,6 +25,13 @@ pub struct FupConfig {
     /// historical serial scans (and their `ScanMetrics` charges) exactly.
     /// `engine.gen` controls the `apriori-gen` join+prune worker count the
     /// same way (candidate output is byte-identical at every setting).
+    /// `engine.backend` picks the support-counting strategy
+    /// ([`CountingBackend`](fup_mining::CountingBackend)): under
+    /// `Vertical` (or `Auto` past its thresholds) FUP builds the old-DB
+    /// tid-lists once, extends them with the increment's delta scan, and
+    /// answers every later pass by split intersections — results are
+    /// bit-identical to the hash-tree scans, only the scan schedule
+    /// changes.
     pub engine: EngineConfig,
 }
 

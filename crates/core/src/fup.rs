@@ -21,7 +21,10 @@ use crate::error::{Error, Result};
 use crate::reduce;
 use fup_mining::engine::{self, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
-use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
+use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
+use fup_mining::{
+    HashTree, Itemset, ItemsetTable, LargeItemsets, MinSupport, MiningStats, PassStats,
+};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -236,6 +239,19 @@ impl Fup {
         });
 
         // --------------------- Iterations k ≥ 2 ------------------------
+        // Backend selection input: the increment's raw average transaction
+        // length stands in for the frequent-item residue the miners feed
+        // `Auto` (the frequent set of DB ∪ db is not known here without
+        // extra work) — an overestimate on filler-heavy data, so `Auto`
+        // may engage slightly earlier than the calibrated thresholds
+        // intend; the index itself *is* filtered to old L₁ ∪ new L₁ (see
+        // `vindex::build_update_index`).
+        let residue = inc_item_counts.iter().sum::<u64>() as f64 / d_inc as f64;
+        // Lazily-built vertical index covering DB ∪ db: the old-DB
+        // tid-lists are materialised once and the increment's delta scan
+        // only *extends* them, after which one intersection per itemset
+        // yields (support in DB, support in db) split at tid |DB|.
+        let mut vindex: Option<VerticalIndex> = None;
         let mut inc_working: Option<TransactionDb> = None;
         let mut k = 2;
         while (old.len_at(k) > 0 || result.len_at(k - 1) > 0)
@@ -298,6 +314,87 @@ impl Fup {
                 continue;
             }
 
+            // Vertical path (sticky once engaged): every W and C support
+            // comes from tid-list intersections split at |DB| — no scan
+            // of either source beyond the one-time index build. Decisions
+            // mirror the hash-tree path exactly (Lemma 4 on W, Lemma 5
+            // gating candidates), so the result is bit-identical.
+            // Only `C` can force scans of the big original database (W is
+            // counted over the small increment either way), so backend
+            // selection weighs the candidate pool alone: FUP's own
+            // pruning usually keeps it tiny, and then the classic path is
+            // already near-optimal.
+            let use_vertical = vindex.is_some()
+                || self.config.engine.backend.resolve(&PassProfile {
+                    k,
+                    candidates: candidates.len(),
+                    transactions: n,
+                    residue,
+                }) == ResolvedBackend::Vertical;
+            if use_vertical {
+                let idx = vindex.get_or_insert_with(|| {
+                    crate::vindex::build_update_index(
+                        old,
+                        &result,
+                        db,
+                        increment,
+                        &self.config.engine,
+                    )
+                });
+                // Trimmed working copies are never consulted again.
+                inc_working = None;
+                db_working = None;
+                let w_table = crate::vindex::sorted_w_table(&mut w, k);
+                let w_splits = idx.count_rows_split(&w_table, d_orig, &self.config.engine);
+                let mut winners_old_k = 0u64;
+                for ((x, sup_d_orig), (_, sup_d)) in w.iter().zip(&w_splits) {
+                    let sup_ud = sup_d_orig + sup_d;
+                    if minsup.is_large(sup_ud, n) {
+                        result.insert(x.clone(), sup_ud);
+                        winners_old_k += 1;
+                    } else {
+                        losers_k.insert(x.clone());
+                    }
+                }
+                let c_table = ItemsetTable::from_sorted_itemsets(&candidates);
+                let c_splits = idx.count_rows_split(&c_table, d_orig, &self.config.engine);
+                let mut checked = 0u64;
+                let mut winners_new_k = 0u64;
+                for (x, (sup_db, sup_d)) in candidates.into_iter().zip(c_splits) {
+                    // Lemma 5: candidates light in the increment cannot
+                    // win; keeping the gate keeps the `checked` statistic
+                    // (and the result) identical to the scanning path.
+                    if !minsup.is_large(sup_d, d_inc) {
+                        continue;
+                    }
+                    checked += 1;
+                    let sup_ud = sup_db + sup_d;
+                    if minsup.is_large(sup_ud, n) {
+                        result.insert(x, sup_ud);
+                        winners_new_k += 1;
+                    }
+                }
+                stats.passes.push(PassStats {
+                    k,
+                    candidates_generated: generated,
+                    candidates_checked: checked,
+                    large_found: winners_old_k + winners_new_k,
+                });
+                detail.push(FupPassDetail {
+                    k,
+                    old_large: old.len_at(k) as u64,
+                    lemma3_losers: lemma3,
+                    winners_from_old: winners_old_k,
+                    candidates_generated: generated,
+                    candidates_after_hash: after_hash,
+                    candidates_checked: checked,
+                    winners_from_new: winners_new_k,
+                });
+                losers_prev = losers_k;
+                k += 1;
+                continue;
+            }
+
             // One scan of the increment counts W and C together.
             let w_len = w.len();
             let mut combined: Vec<Itemset> = Vec::with_capacity(w_len + candidates.len());
@@ -325,7 +422,7 @@ impl Fup {
                             view.count_with(t, scratch, &mut |i| matched.push(i));
                             if let Some(reduced) = reduce::reduce_db_transaction(
                                 t,
-                                matched.iter().map(|&i| &view.itemsets()[i]),
+                                matched.iter().map(|&i| view.candidate(i)),
                                 k,
                             ) {
                                 kept.push(chunk, reduced);
@@ -697,6 +794,32 @@ mod tests {
         let d2 = out.detail.iter().find(|d| d.k == 2).unwrap();
         assert_eq!(d2.lemma3_losers, 1);
         assert_eq!(d2.winners_from_old, 0);
+    }
+
+    #[test]
+    fn vertical_backend_matches_remine_and_hash_tree() {
+        use fup_mining::{CountingBackend, EngineConfig};
+        let original = db(&[
+            &[1, 2, 3, 4],
+            &[1, 2, 3],
+            &[2, 3, 4],
+            &[1, 3, 4],
+            &[2, 4],
+            &[1, 2, 4, 5],
+            &[5, 6],
+        ]);
+        let increment = db(&[&[1, 2, 3, 4], &[4, 5, 6], &[1, 5], &[2, 3, 6]]);
+        for pct in [15, 30, 50] {
+            let minsup = MinSupport::percent(pct);
+            let vertical_cfg = FupConfig {
+                engine: EngineConfig::default().with_backend(CountingBackend::Vertical),
+                ..FupConfig::full()
+            };
+            let out = assert_fup_matches_remine(&original, &increment, minsup, vertical_cfg);
+            // And the per-pass statistics agree with the hash-tree path.
+            let hash = mine_then_update(&original, &increment, minsup, FupConfig::full()).unwrap();
+            assert_eq!(out.detail, hash.detail, "minsup {pct}%");
+        }
     }
 
     #[test]

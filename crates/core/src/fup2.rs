@@ -28,7 +28,10 @@ use crate::fup::{FupOutcome, FupPassDetail};
 use crate::reduce;
 use fup_mining::engine::{self, count_items_and_pairs, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
-use fup_mining::{HashTree, Itemset, LargeItemsets, MinSupport, MiningStats, PassStats};
+use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
+use fup_mining::{
+    HashTree, Itemset, ItemsetTable, LargeItemsets, MinSupport, MiningStats, PassStats,
+};
 use fup_tidb::{ItemId, TransactionDb, TransactionSource};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -207,6 +210,22 @@ impl Fup2 {
         });
 
         // --------------------- Iterations k ≥ 2 ------------------------
+        // Backend selection input: raw average transaction length of
+        // whichever delta side has data stands in for the frequent-item
+        // residue (an overestimate on filler-heavy data, as in `Fup`; the
+        // index itself is filtered to old L₁ ∪ new L₁).
+        let residue = if d_plus > 0 {
+            plus_counts.iter().sum::<u64>() as f64 / d_plus as f64
+        } else {
+            minus_counts.iter().sum::<u64>() as f64 / d_minus.max(1) as f64
+        };
+        // Lazily-built vertical index covering DB⁻ ∪ db⁺ (the updated
+        // database): the remainder's tid-lists are materialised once and
+        // the insert side's delta scan only extends them; one
+        // intersection split at tid |DB⁻| yields (support in DB⁻,
+        // support in db⁺). The delete side is never indexed — it is
+        // counted whole, as the trimming rules already require.
+        let mut vindex: Option<VerticalIndex> = None;
         let nbuckets = pair_buckets.len();
         let mut plus_working: Option<TransactionDb> = None;
         let mut rem_working: Option<TransactionDb> = None;
@@ -267,6 +286,106 @@ impl Fup2 {
                 continue;
             }
 
+            // Vertical path (sticky once engaged): (DB⁻, db⁺) supports
+            // come from one split intersection per itemset; only the
+            // small delete side still runs a counting pass. Decisions
+            // mirror the scanning path exactly.
+            // As in FUP: only `C` can force scans of the remaining
+            // database, so backend selection weighs the candidate pool
+            // alone.
+            let use_vertical = vindex.is_some()
+                || self.config.engine.backend.resolve(&PassProfile {
+                    k,
+                    candidates: candidates.len(),
+                    transactions: n,
+                    residue,
+                }) == ResolvedBackend::Vertical;
+            if use_vertical {
+                let idx = vindex.get_or_insert_with(|| {
+                    crate::vindex::build_update_index(
+                        old,
+                        &result,
+                        remainder,
+                        inserted,
+                        &self.config.engine,
+                    )
+                });
+                // Trimmed working copies are never consulted again.
+                plus_working = None;
+                rem_working = None;
+                let w_table = crate::vindex::sorted_w_table(&mut w, k);
+                let w_len = w.len();
+                // db⁻ supports for W ∪ C (in W-then-C order) via one pass
+                // over the (small, never trimmed) delete side.
+                let minus_k: Vec<u64> = if d_minus > 0 {
+                    let mut combined: Vec<Itemset> = Vec::with_capacity(w_len + candidates.len());
+                    combined.extend(w.iter().map(|(x, _)| x.clone()));
+                    combined.extend(candidates.iter().cloned());
+                    let mut tree = HashTree::build(combined);
+                    engine::count_source_into(&mut tree, deleted, &self.config.engine);
+                    tree.into_counts()
+                } else {
+                    vec![0; w_len + candidates.len()]
+                };
+                let w_splits = idx.count_rows_split(&w_table, d_rem, &self.config.engine);
+                let mut winners_old_k = 0u64;
+                for (i, ((x, sup_d), &(_, sup_plus))) in w.iter().zip(&w_splits).enumerate() {
+                    let sup_new = sup_d + sup_plus - minus_k[i];
+                    if minsup.is_large(sup_new, n) {
+                        result.insert(x.clone(), sup_new);
+                        winners_old_k += 1;
+                    } else {
+                        losers_k.insert(x.clone());
+                    }
+                }
+                let c_table = ItemsetTable::from_sorted_itemsets(&candidates);
+                let c_splits = idx.count_rows_split(&c_table, d_rem, &self.config.engine);
+                let mut checked = 0u64;
+                let mut winners_new_k = 0u64;
+                for (i, (x, (sup_rem, sup_plus))) in
+                    candidates.into_iter().zip(c_splits).enumerate()
+                {
+                    let sup_minus = minus_k[w_len + i];
+                    // The FUP2 bound (or FUP's stronger Lemma 5 without
+                    // deletions) gates winners exactly as the scanning
+                    // path does, keeping `checked` and the result
+                    // identical.
+                    let keep = if d_minus == 0 {
+                        minsup.is_large(sup_plus, d_plus)
+                    } else {
+                        survives(sup_minus, sup_plus)
+                    };
+                    if !keep {
+                        continue;
+                    }
+                    checked += 1;
+                    let sup_new = sup_rem + sup_plus;
+                    if minsup.is_large(sup_new, n) {
+                        result.insert(x, sup_new);
+                        winners_new_k += 1;
+                    }
+                }
+                stats.passes.push(PassStats {
+                    k,
+                    candidates_generated: generated,
+                    candidates_checked: checked,
+                    large_found: winners_old_k + winners_new_k,
+                });
+                detail.push(FupPassDetail {
+                    k,
+                    old_large: old.len_at(k) as u64,
+                    lemma3_losers: lemma3,
+                    winners_from_old: winners_old_k,
+                    candidates_generated: generated,
+                    candidates_after_hash: after_hash,
+                    candidates_checked: checked,
+                    winners_from_new: winners_new_k,
+                });
+                losers_prev = losers_k;
+                k += 1;
+                continue;
+            }
+
             // Count W ∪ C over db⁺ (trimming allowed) and db⁻ (never
             // trimmed — see module docs).
             let w_len = w.len();
@@ -293,7 +412,7 @@ impl Fup2 {
                             view.count_with(t, scratch, &mut |i| matched.push(i));
                             if let Some(reduced) = reduce::reduce_db_transaction(
                                 t,
-                                matched.iter().map(|&i| &view.itemsets()[i]),
+                                matched.iter().map(|&i| view.candidate(i)),
                                 k,
                             ) {
                                 kept.push(chunk, reduced);
@@ -561,6 +680,55 @@ mod tests {
             vec![tx(&[1, 2]), tx(&[1, 2, 3])],
             MinSupport::percent(40),
             FupConfig::bare(),
+        );
+    }
+
+    #[test]
+    fn vertical_backend_matches_remine_on_mixed_updates() {
+        use fup_mining::{CountingBackend, EngineConfig};
+        let vertical_cfg = || FupConfig {
+            engine: EngineConfig::default().with_backend(CountingBackend::Vertical),
+            ..FupConfig::full()
+        };
+        for pct in [25, 40, 60] {
+            // Mixed insert + delete.
+            check_fup2(
+                vec![
+                    tx(&[1, 2, 3]),
+                    tx(&[1, 2]),
+                    tx(&[2, 3, 4]),
+                    tx(&[1, 3, 4]),
+                    tx(&[2, 4]),
+                    tx(&[5, 6]),
+                ],
+                &[1, 4],
+                vec![tx(&[5, 6]), tx(&[5, 6, 1]), tx(&[1, 2, 3, 4])],
+                MinSupport::percent(pct),
+                vertical_cfg(),
+            );
+        }
+        // Delete-only (db⁺ empty: the index covers DB⁻ alone).
+        check_fup2(
+            vec![
+                tx(&[4, 5]),
+                tx(&[4, 5]),
+                tx(&[1, 2]),
+                tx(&[1, 2]),
+                tx(&[1, 3]),
+                tx(&[2, 3]),
+            ],
+            &[4, 5],
+            vec![],
+            MinSupport::percent(40),
+            vertical_cfg(),
+        );
+        // Insert-only (FUP's stronger Lemma-5 gate applies).
+        check_fup2(
+            vec![tx(&[1, 2, 3]), tx(&[1, 2]), tx(&[2, 3]), tx(&[3, 4])],
+            &[],
+            vec![tx(&[1, 2, 3]), tx(&[1, 4])],
+            MinSupport::percent(40),
+            vertical_cfg(),
         );
     }
 

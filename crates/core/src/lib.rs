@@ -60,6 +60,7 @@ pub mod fup2;
 pub mod maintain;
 pub mod policy;
 pub mod reduce;
+mod vindex;
 
 pub use config::FupConfig;
 pub use diff::{ItemsetDiff, RuleDiff};

@@ -23,17 +23,19 @@ use std::collections::{HashMap, HashSet};
 
 /// Applies the `Reduce-db` rule to one transaction.
 ///
-/// `matched` are the candidate/winner k-itemsets found in `t` during this
-/// scan; `k` is the current iteration. Returns the trimmed transaction, or
-/// `None` when it can no longer contain a (k+1)-itemset.
+/// `matched` are the (sorted) item slices of the candidate/winner
+/// k-itemsets found in `t` during this scan — the hash tree hands these
+/// out straight from its flat candidate arena; `k` is the current
+/// iteration. Returns the trimmed transaction, or `None` when it can no
+/// longer contain a (k+1)-itemset.
 pub fn reduce_db_transaction<'a>(
     t: &[ItemId],
-    matched: impl Iterator<Item = &'a Itemset>,
+    matched: impl Iterator<Item = &'a [ItemId]>,
     k: usize,
 ) -> Option<Transaction> {
     let mut hits: HashMap<ItemId, usize> = HashMap::new();
     for set in matched {
-        for &item in set.items() {
+        for &item in set {
             *hits.entry(item).or_insert(0) += 1;
         }
     }
@@ -91,7 +93,8 @@ mod tests {
         // k = 2; transaction {1,2,3,4}; matched 2-sets {1,2},{1,3},{2,3}.
         // hits: 1→2, 2→2, 3→2, 4→0 → keep {1,2,3} (len 3 > 2).
         let matched = [s(&[1, 2]), s(&[1, 3]), s(&[2, 3])];
-        let out = reduce_db_transaction(&ids(&[1, 2, 3, 4]), matched.iter(), 2).unwrap();
+        let out = reduce_db_transaction(&ids(&[1, 2, 3, 4]), matched.iter().map(|x| x.items()), 2)
+            .unwrap();
         assert_eq!(out.items(), ids(&[1, 2, 3]).as_slice());
     }
 
@@ -99,13 +102,15 @@ mod tests {
     fn reduce_db_drops_short_transactions() {
         // k = 2; only items 1 and 2 survive → len 2 ≤ k → dropped.
         let matched = [s(&[1, 2])];
-        assert!(reduce_db_transaction(&ids(&[1, 2, 9]), matched.iter(), 2).is_none());
+        assert!(
+            reduce_db_transaction(&ids(&[1, 2, 9]), matched.iter().map(|x| x.items()), 2).is_none()
+        );
     }
 
     #[test]
     fn reduce_db_no_matches_drops_everything() {
-        let matched: [Itemset; 0] = [];
-        assert!(reduce_db_transaction(&ids(&[1, 2, 3]), matched.iter(), 1).is_none());
+        let matched: [&[ItemId]; 0] = [];
+        assert!(reduce_db_transaction(&ids(&[1, 2, 3]), matched.into_iter(), 1).is_none());
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Shared plumbing of the FUP/FUP2 vertical counting paths — the bits
+//! that are identical between the two updaters (index construction and
+//! `W` table building), kept in one place so they cannot drift.
+
+use fup_mining::vertical::item_bitmap;
+use fup_mining::{EngineConfig, Itemset, ItemsetTable, LargeItemsets, VerticalIndex};
+use fup_tidb::TransactionSource;
+
+/// Builds the vertical index an updater counts against: the `base`
+/// source's tid-lists materialised once and extended by the `delta`
+/// source's scan (FUP: `DB` then the increment; FUP2: `DB⁻` then `db⁺`).
+///
+/// Every `W` item is in the old `L₁` and every candidate item is in the
+/// updated `L₁` (both complete after iteration 1), so the index is
+/// filtered to their union and skips everything else.
+pub(crate) fn build_update_index(
+    old: &LargeItemsets,
+    result: &LargeItemsets,
+    base: &dyn TransactionSource,
+    delta: &dyn TransactionSource,
+    engine: &EngineConfig,
+) -> VerticalIndex {
+    let keep = item_bitmap(
+        old.level(1)
+            .chain(result.level(1))
+            .map(|(x, _)| x.items()[0]),
+    );
+    let mut idx = VerticalIndex::build(base, Some(&keep), engine);
+    idx.extend(delta, engine);
+    idx
+}
+
+/// Sorts `W` lexicographically (tables need sorted rows; `W` comes out
+/// of a hash map) and returns its flat level table. The caller keeps
+/// iterating `w` in the new order, so indices into parallel count
+/// vectors stay aligned.
+pub(crate) fn sorted_w_table(w: &mut [(Itemset, u64)], k: usize) -> ItemsetTable {
+    w.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut rows = Vec::with_capacity(w.len() * k);
+    for (x, _) in w.iter() {
+        rows.extend_from_slice(x.items());
+    }
+    ItemsetTable::from_flat_rows(k, rows)
+}

@@ -7,7 +7,7 @@
 //! * every optimisation configuration produces identical results.
 
 use fup_core::{Fup, Fup2, FupConfig};
-use fup_mining::{Apriori, Dhp, MinSupport};
+use fup_mining::{Apriori, CountingBackend, Dhp, MinSupport};
 use fup_tidb::source::ChainSource;
 use fup_tidb::{SegmentedDb, Transaction, TransactionDb, UpdateBatch};
 use proptest::prelude::*;
@@ -26,6 +26,17 @@ fn arb_minsup() -> impl Strategy<Value = MinSupport> {
     (1u64..=100).prop_map(MinSupport::percent)
 }
 
+/// All three counting backends (the updaters must be exact under each).
+fn arb_backend() -> impl Strategy<Value = CountingBackend> {
+    (0usize..3).prop_map(|i| {
+        [
+            CountingBackend::HashTree,
+            CountingBackend::Vertical,
+            CountingBackend::Auto,
+        ][i]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -36,10 +47,12 @@ proptest! {
         minsup in arb_minsup(),
         reduce_db in any::<bool>(),
         dhp_hash in any::<bool>(),
+        backend in arb_backend(),
     ) {
         let db = TransactionDb::from_transactions(original);
         let inc = TransactionDb::from_transactions(increment);
-        let config = FupConfig { reduce_db, dhp_hash, ..FupConfig::default() };
+        let mut config = FupConfig { reduce_db, dhp_hash, ..FupConfig::default() };
+        config.engine.backend = backend;
 
         let baseline = Apriori::new().run(&db, minsup).large;
         let out = Fup::with_config(config)
@@ -68,6 +81,7 @@ proptest! {
         delete_seed in proptest::collection::vec(any::<prop::sample::Index>(), 0..10),
         minsup in arb_minsup(),
         reduce_db in any::<bool>(),
+        backend in arb_backend(),
     ) {
         let mut store = SegmentedDb::new();
         let tids = store.append_all(original);
@@ -84,7 +98,8 @@ proptest! {
         let staged = store
             .stage(UpdateBatch { inserts, deletes })
             .unwrap();
-        let config = FupConfig { reduce_db, ..FupConfig::default() };
+        let mut config = FupConfig { reduce_db, ..FupConfig::default() };
+        config.engine.backend = backend;
         let out = Fup2::with_config(config)
             .update(&store, &baseline, staged.deleted(), staged.inserted(), minsup)
             .unwrap();

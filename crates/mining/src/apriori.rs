@@ -8,13 +8,14 @@
 
 use crate::counting::ItemCounts;
 use crate::engine::{self, EngineConfig};
-use crate::gen::apriori_gen_with;
-use crate::itemset::Itemset;
+use crate::gen::apriori_gen_flat;
+use crate::itemset::{Itemset, ItemsetTable};
 use crate::large::LargeItemsets;
 use crate::miner::{Miner, MiningOutcome};
 use crate::stats::{MiningStats, PassStats};
 use crate::support::MinSupport;
-use fup_tidb::TransactionSource;
+use crate::vertical::{self, PassProfile, ResolvedBackend, VerticalIndex};
+use fup_tidb::{ItemId, TransactionSource};
 use std::time::Instant;
 
 /// Configuration for [`Apriori`].
@@ -51,43 +52,71 @@ impl Apriori {
         let mut large = LargeItemsets::new(n);
         let mut stats = MiningStats::new("apriori");
 
-        // Pass 1: count items.
+        // Pass 1: count items. The large items become the flat level
+        // table L₁ (one run); their occurrence total gives the average
+        // frequent-item residue backend selection weighs.
         let item_counts = ItemCounts::count_with(source, &self.config.engine);
         let mut distinct_items = 0u64;
-        let mut level: Vec<Itemset> = Vec::new();
+        let mut level_rows: Vec<ItemId> = Vec::new();
+        let mut freq_occurrences = 0u64;
         for (item, count) in item_counts.iter_nonzero() {
             distinct_items += 1;
             if minsup.is_large(count, n) {
-                let x = Itemset::single(item);
-                large.insert(x.clone(), count);
-                level.push(x);
+                large.insert(Itemset::single(item), count);
+                level_rows.push(item);
+                freq_occurrences += count;
             }
         }
         stats.passes.push(PassStats {
             k: 1,
             candidates_generated: distinct_items,
             candidates_checked: distinct_items,
-            large_found: level.len() as u64,
+            large_found: level_rows.len() as u64,
         });
+        let residue = freq_occurrences as f64 / n.max(1) as f64;
+        let keep = vertical::item_bitmap(level_rows.iter().copied());
+        let mut level = ItemsetTable::from_flat_rows(1, level_rows);
 
-        // Pass k ≥ 2.
+        // Pass k ≥ 2: generate flat, count through the configured
+        // backend, filter into the next flat level. The vertical index is
+        // built lazily at the first pass the backend resolves vertical
+        // and reused (sticky) from then on.
+        let mut index: Option<VerticalIndex> = None;
         let mut k = 2;
         while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
-            let candidates = apriori_gen_with(&level, &self.config.engine.gen);
+            let candidates = apriori_gen_flat(&level, &self.config.engine.gen);
             let generated = candidates.len() as u64;
-            let counted = engine::count_candidates_with(source, candidates, &self.config.engine);
-            level.clear();
-            for (x, count) in counted {
+            let use_vertical = !candidates.is_empty()
+                && (index.is_some()
+                    || self.config.engine.backend.resolve(&PassProfile {
+                        k,
+                        candidates: candidates.len(),
+                        transactions: n,
+                        residue,
+                    }) == ResolvedBackend::Vertical);
+            let counts: Vec<u64> = if use_vertical {
+                let idx = index.get_or_insert_with(|| {
+                    VerticalIndex::build(source, Some(&keep), &self.config.engine)
+                });
+                idx.count_rows(&candidates, &self.config.engine)
+            } else {
+                engine::count_table_with(source, &candidates, &self.config.engine)
+            };
+            let mut next_rows: Vec<ItemId> = Vec::new();
+            let mut found = 0u64;
+            for (i, &count) in counts.iter().enumerate() {
                 if minsup.is_large(count, n) {
-                    large.insert(x.clone(), count);
-                    level.push(x);
+                    large.insert(candidates.row_itemset(i), count);
+                    next_rows.extend_from_slice(candidates.row(i));
+                    found += 1;
                 }
             }
+            level = ItemsetTable::from_flat_rows(k, next_rows);
             stats.passes.push(PassStats {
                 k,
                 candidates_generated: generated,
                 candidates_checked: generated,
-                large_found: level.len() as u64,
+                large_found: found,
             });
             k += 1;
         }
@@ -193,6 +222,41 @@ mod tests {
                 "minsup {pct}%: {:?}",
                 fast.diff(&naive)
             );
+        }
+    }
+
+    #[test]
+    fn every_backend_mines_identical_itemsets() {
+        use crate::vertical::CountingBackend;
+        let d = db(&[
+            &[1, 2, 3, 4],
+            &[1, 2, 3],
+            &[2, 3, 4],
+            &[1, 3, 4],
+            &[1, 2, 4],
+            &[2, 4, 5],
+            &[1, 5],
+            &[3],
+        ]);
+        for pct in [15, 30, 50] {
+            let minsup = MinSupport::percent(pct);
+            let reference = Apriori::new().run(&d, minsup).large;
+            for backend in [
+                CountingBackend::HashTree,
+                CountingBackend::Vertical,
+                CountingBackend::Auto,
+            ] {
+                let config = AprioriConfig {
+                    engine: EngineConfig::default().with_backend(backend),
+                    ..AprioriConfig::default()
+                };
+                let out = Apriori::with_config(config).run(&d, minsup).large;
+                assert!(
+                    out.same_itemsets(&reference),
+                    "{backend:?} at {pct}%: {:?}",
+                    out.diff(&reference)
+                );
+            }
         }
     }
 

@@ -15,13 +15,14 @@
 //!    items) are dropped from the working copy scanned by later passes.
 
 use crate::engine::{self, ChunkedCollector, EngineConfig};
-use crate::gen::apriori_gen_with;
+use crate::gen::apriori_gen_flat;
 use crate::hashtree::HashTree;
-use crate::itemset::Itemset;
+use crate::itemset::{Itemset, ItemsetTable};
 use crate::large::LargeItemsets;
 use crate::miner::{Miner, MiningOutcome};
 use crate::stats::{MiningStats, PassStats};
 use crate::support::MinSupport;
+use crate::vertical::{self, PassProfile, ResolvedBackend, VerticalIndex};
 use fup_tidb::{ItemId, Transaction, TransactionDb, TransactionSource};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -103,35 +104,40 @@ impl Dhp {
             engine::count_items_and_pairs(source, nbuckets, &self.config.engine);
 
         let mut distinct_items = 0u64;
-        let mut level: Vec<Itemset> = Vec::new();
+        let mut level_rows: Vec<ItemId> = Vec::new();
+        let mut freq_occurrences = 0u64;
         for (i, &count) in item_counts.iter().enumerate() {
             if count == 0 {
                 continue;
             }
             distinct_items += 1;
             if minsup.is_large(count, n) {
-                let x = Itemset::single(ItemId(i as u32));
-                large.insert(x.clone(), count);
-                level.push(x);
+                let item = ItemId(i as u32);
+                large.insert(Itemset::single(item), count);
+                level_rows.push(item);
+                freq_occurrences += count;
             }
         }
         stats.passes.push(PassStats {
             k: 1,
             candidates_generated: distinct_items,
             candidates_checked: distinct_items,
-            large_found: level.len() as u64,
+            large_found: level_rows.len() as u64,
         });
+        let residue = freq_occurrences as f64 / n.max(1) as f64;
+        let keep = vertical::item_bitmap(level_rows.iter().copied());
+        let mut level = ItemsetTable::from_flat_rows(1, level_rows);
 
         // ---- Pass 2: C₂ = apriori-gen(L₁) filtered by bucket counts. ----
         let mut working: Option<TransactionDb> = None;
+        let mut index: Option<VerticalIndex> = None;
         let mut k = 2;
         while !level.is_empty() && self.config.max_k.is_none_or(|m| k <= m) {
-            let mut candidates = apriori_gen_with(&level, &self.config.engine.gen);
+            let mut candidates = apriori_gen_flat(&level, &self.config.engine.gen);
             let generated = candidates.len() as u64;
             if k == 2 {
-                candidates.retain(|c| {
-                    buckets[pair_bucket(c.items()[0], c.items()[1], nbuckets)] >= threshold
-                });
+                candidates
+                    .retain_rows(|row| buckets[pair_bucket(row[0], row[1], nbuckets)] >= threshold);
             }
             let checked = candidates.len() as u64;
             if candidates.is_empty() {
@@ -144,70 +150,92 @@ impl Dhp {
                 break;
             }
 
-            let mut tree = HashTree::build(candidates);
-            let src: &dyn TransactionSource = match &working {
-                Some(w) => w,
-                None => source,
-            };
-            // Count (and optionally trim) through the engine: per-worker
-            // tree scratches merge into the tree, per-chunk kept
-            // transactions concatenate in chunk order so the working copy
-            // is deterministic regardless of scheduling.
-            let trim = self.config.trim;
-            let view = tree.view();
-            let folds = engine::scan_fold(
-                src,
-                &self.config.engine,
-                || (tree.new_scratch(), ChunkedCollector::new()),
-                |(scratch, kept), chunk, t| {
-                    if !trim {
-                        view.count(t, scratch);
-                        return;
-                    }
-                    let mut item_hits: HashMap<ItemId, usize> = HashMap::new();
-                    let mut matched: Vec<usize> = Vec::new();
-                    view.count_with(t, scratch, &mut |idx| matched.push(idx));
-                    for idx in matched {
-                        for &item in view.itemsets()[idx].items() {
-                            *item_hits.entry(item).or_insert(0) += 1;
+            // Backend choice (sticky once vertical). The vertical index
+            // is built over the *original* source — it holds exact
+            // supports, so trimming has nothing left to save and the
+            // working copy is simply not consulted from then on.
+            let use_vertical = index.is_some()
+                || self.config.engine.backend.resolve(&PassProfile {
+                    k,
+                    candidates: candidates.len(),
+                    transactions: n,
+                    residue,
+                }) == ResolvedBackend::Vertical;
+            let counts: Vec<u64> = if use_vertical {
+                let idx = index.get_or_insert_with(|| {
+                    VerticalIndex::build(source, Some(&keep), &self.config.engine)
+                });
+                // The trimmed working copy is never consulted again.
+                working = None;
+                idx.count_rows(&candidates, &self.config.engine)
+            } else {
+                let mut tree = HashTree::build_from_rows(candidates.k(), candidates.flat_items());
+                let src: &dyn TransactionSource = match &working {
+                    Some(w) => w,
+                    None => source,
+                };
+                // Count (and optionally trim) through the engine:
+                // per-worker tree scratches merge into the tree, per-chunk
+                // kept transactions concatenate in chunk order so the
+                // working copy is deterministic regardless of scheduling.
+                let trim = self.config.trim;
+                let view = tree.view();
+                let folds = engine::scan_fold(
+                    src,
+                    &self.config.engine,
+                    || (tree.new_scratch(), ChunkedCollector::new()),
+                    |(scratch, kept), chunk, t| {
+                        if !trim {
+                            view.count(t, scratch);
+                            return;
                         }
-                    }
-                    let kept_items: Vec<ItemId> = t
-                        .iter()
-                        .copied()
-                        .filter(|i| item_hits.get(i).copied().unwrap_or(0) >= k)
-                        .collect();
-                    if kept_items.len() > k {
-                        kept.push(chunk, Transaction::from_sorted_vec(kept_items));
-                    }
-                },
-            );
-            let mut collectors = Vec::with_capacity(folds.len());
-            for (scratch, kept) in folds {
-                tree.absorb(scratch);
-                collectors.push(kept);
-            }
-            let next_working =
-                trim.then(|| TransactionDb::from_transactions(ChunkedCollector::merge(collectors)));
+                        let mut item_hits: HashMap<ItemId, usize> = HashMap::new();
+                        let mut matched: Vec<usize> = Vec::new();
+                        view.count_with(t, scratch, &mut |idx| matched.push(idx));
+                        for idx in matched {
+                            for &item in view.candidate(idx) {
+                                *item_hits.entry(item).or_insert(0) += 1;
+                            }
+                        }
+                        let kept_items: Vec<ItemId> = t
+                            .iter()
+                            .copied()
+                            .filter(|i| item_hits.get(i).copied().unwrap_or(0) >= k)
+                            .collect();
+                        if kept_items.len() > k {
+                            kept.push(chunk, Transaction::from_sorted_vec(kept_items));
+                        }
+                    },
+                );
+                let mut collectors = Vec::with_capacity(folds.len());
+                for (scratch, kept) in folds {
+                    tree.absorb(scratch);
+                    collectors.push(kept);
+                }
+                if trim {
+                    working = Some(TransactionDb::from_transactions(ChunkedCollector::merge(
+                        collectors,
+                    )));
+                }
+                tree.into_counts()
+            };
 
-            level.clear();
+            let mut next_rows: Vec<ItemId> = Vec::new();
             let mut found = 0u64;
-            for (x, count) in tree.into_results() {
+            for (i, &count) in counts.iter().enumerate() {
                 if minsup.is_large(count, n) {
-                    large.insert(x.clone(), count);
-                    level.push(x);
+                    large.insert(candidates.row_itemset(i), count);
+                    next_rows.extend_from_slice(candidates.row(i));
                     found += 1;
                 }
             }
+            level = ItemsetTable::from_flat_rows(k, next_rows);
             stats.passes.push(PassStats {
                 k,
                 candidates_generated: generated,
                 candidates_checked: checked,
                 large_found: found,
             });
-            if self.config.trim {
-                working = next_working;
-            }
             k += 1;
         }
 
@@ -364,6 +392,40 @@ mod tests {
         let out = Dhp::new().run(&d, MinSupport::percent(100));
         assert_eq!(out.large.support(&s(&[1, 2, 3, 4, 5])), Some(4));
         assert_eq!(out.large.max_size(), 5);
+    }
+
+    #[test]
+    fn every_backend_mines_identical_itemsets() {
+        use crate::vertical::CountingBackend;
+        let d = db(&[
+            &[1, 2, 3, 4, 5],
+            &[1, 2, 3, 4],
+            &[1, 2, 3],
+            &[2, 3, 4, 5],
+            &[1, 3, 4, 5],
+            &[1, 2, 4, 5],
+            &[6, 7],
+        ]);
+        for pct in [25, 50] {
+            let minsup = MinSupport::percent(pct);
+            let reference = Dhp::new().run(&d, minsup).large;
+            for backend in [CountingBackend::Vertical, CountingBackend::Auto] {
+                for trim in [true, false] {
+                    let out = Dhp::with_config(DhpConfig {
+                        trim,
+                        engine: EngineConfig::default().with_backend(backend),
+                        ..DhpConfig::default()
+                    })
+                    .run(&d, minsup)
+                    .large;
+                    assert!(
+                        out.same_itemsets(&reference),
+                        "{backend:?} trim {trim} at {pct}%: {:?}",
+                        out.diff(&reference)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

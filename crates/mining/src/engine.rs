@@ -30,7 +30,8 @@
 use crate::counting::ItemCounts;
 use crate::gen::GenConfig;
 use crate::hashtree::HashTree;
-use crate::itemset::Itemset;
+use crate::itemset::{Itemset, ItemsetTable};
+use crate::vertical::CountingBackend;
 use fup_tidb::{ChunkScratch, ItemId, TransactionSource};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -51,6 +52,12 @@ pub struct EngineConfig {
     /// Candidate-generation (`apriori-gen` join+prune) settings. Output
     /// is byte-identical for every thread count.
     pub gen: GenConfig,
+    /// Support-counting strategy for the miners' passes: the candidate
+    /// hash tree, the vertical tid-list index, or (the default) an
+    /// adaptive per-pass choice. Every backend produces bit-identical
+    /// large itemsets; only scan accounting differs (see
+    /// [`crate::vertical`]).
+    pub backend: CountingBackend,
 }
 
 impl Default for EngineConfig {
@@ -59,19 +66,30 @@ impl Default for EngineConfig {
             threads: 0,
             chunk_size: DEFAULT_CHUNK_SIZE,
             gen: GenConfig::default(),
+            backend: CountingBackend::default(),
         }
     }
 }
 
 impl EngineConfig {
-    /// The exact historical serial behaviour (`threads = 1`, for the
-    /// counting scans and the candidate generation alike).
+    /// The exact historical serial behaviour: `threads = 1` for the
+    /// counting scans and the candidate generation alike, and the hash
+    /// tree pinned as the counting backend (the vertical index changes
+    /// *when* sources are scanned, which this configuration promises not
+    /// to).
     pub fn serial() -> Self {
         EngineConfig {
             threads: 1,
             gen: GenConfig::serial(),
+            backend: CountingBackend::HashTree,
             ..EngineConfig::default()
         }
+    }
+
+    /// This configuration with an explicit counting backend.
+    pub fn with_backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// A configuration with an explicit thread count, applied to both the
@@ -204,6 +222,23 @@ where
     let mut tree = HashTree::build(candidates);
     count_source_into(&mut tree, source, config);
     tree.into_results()
+}
+
+/// Counts the support of every row of `table` over one full pass of
+/// `source` through a hash tree built straight from the table's row
+/// arena (one flat copy — the tree needs owned storage — and no
+/// per-candidate allocation), returning counts in row order — the flat
+/// counterpart of [`count_candidates_with`] the miners' level loops use.
+pub fn count_table_with<S>(source: &S, table: &ItemsetTable, config: &EngineConfig) -> Vec<u64>
+where
+    S: TransactionSource + ?Sized,
+{
+    if table.is_empty() {
+        return Vec::new();
+    }
+    let mut tree = HashTree::build_from_rows(table.k(), table.flat_items());
+    count_source_into(&mut tree, source, config);
+    tree.into_counts()
 }
 
 /// Counts every item over one full pass of `source` — the engine-backed

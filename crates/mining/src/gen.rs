@@ -109,14 +109,35 @@ pub fn apriori_gen_with(prev: &[Itemset], config: &GenConfig) -> Vec<Itemset> {
     apriori_gen_table(&ItemsetTable::from_itemsets(prev), config)
 }
 
+/// Like [`apriori_gen_with`], but returning the flat table form — the
+/// entry point for callers holding owned itemsets that want to stay flat
+/// downstream.
+pub fn apriori_gen_with_flat(prev: &[Itemset], config: &GenConfig) -> ItemsetTable {
+    if prev.is_empty() {
+        return ItemsetTable::empty();
+    }
+    apriori_gen_flat(&ItemsetTable::from_itemsets(prev), config)
+}
+
 /// Generates size-(k+1) candidates from an already-built flat level table
-/// — the allocation-light core both [`apriori_gen`] and
-/// [`apriori_gen_with`] run on.
+/// as owned [`Itemset`]s — a thin wrapper over [`apriori_gen_flat`] kept
+/// for callers that need boxed candidates (FUP's mixed `W ∪ C` pools).
 pub fn apriori_gen_table(table: &ItemsetTable, config: &GenConfig) -> Vec<Itemset> {
+    apriori_gen_flat(table, config).to_itemsets()
+}
+
+/// Generates size-(k+1) candidates from the size-k level `table`,
+/// emitting them straight into a flat [`ItemsetTable`] — no per-candidate
+/// allocation anywhere in the join, the prune, or the output. This is the
+/// core every other `apriori-gen` entry point wraps, and the form the
+/// miners' level loop consumes (both counting backends build from the
+/// table without re-boxing).
+pub fn apriori_gen_flat(table: &ItemsetTable, config: &GenConfig) -> ItemsetTable {
     if table.is_empty() {
-        return Vec::new();
+        return ItemsetTable::empty();
     }
     let runs = table.num_runs();
+    let out_k = table.k() + 1;
     let threads = config.resolved_threads();
     if threads <= 1 || join_pairs(table) < PARALLEL_MIN_PAIRS {
         let mut out = Vec::new();
@@ -132,7 +153,7 @@ pub fn apriori_gen_table(table: &ItemsetTable, config: &GenConfig) -> Vec<Itemse
                 &mut out,
             );
         }
-        return out;
+        return ItemsetTable::from_flat_rows(out_k, out);
     }
 
     // Parallel path: the join is chopped into batches of left-row
@@ -144,14 +165,14 @@ pub fn apriori_gen_table(table: &ItemsetTable, config: &GenConfig) -> Vec<Itemse
     let batches = plan_batches(table);
     let workers = threads.min(batches.len());
     let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(usize, Vec<Itemset>)>> = Vec::with_capacity(workers);
+    let mut per_worker: Vec<Vec<(usize, Vec<ItemId>)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let cursor = &cursor;
             let batches = &batches;
             handles.push(scope.spawn(move || {
-                let mut done: Vec<(usize, Vec<Itemset>)> = Vec::new();
+                let mut done: Vec<(usize, Vec<ItemId>)> = Vec::new();
                 let mut scratch = GenScratch::default();
                 loop {
                     let batch = cursor.fetch_add(1, Ordering::Relaxed);
@@ -180,13 +201,13 @@ pub fn apriori_gen_table(table: &ItemsetTable, config: &GenConfig) -> Vec<Itemse
             per_worker.push(handle.join().expect("gen worker panicked"));
         }
     });
-    let mut done: Vec<(usize, Vec<Itemset>)> = per_worker.into_iter().flatten().collect();
+    let mut done: Vec<(usize, Vec<ItemId>)> = per_worker.into_iter().flatten().collect();
     done.sort_unstable_by_key(|(batch, _)| *batch);
     let mut out = Vec::with_capacity(done.iter().map(|(_, b)| b.len()).sum());
     for (_, batch) in done {
         out.extend(batch);
     }
-    out
+    ItemsetTable::from_flat_rows(out_k, out)
 }
 
 /// Total number of join pairs across all runs — the work estimate gating
@@ -274,7 +295,7 @@ fn generate_range(
     i_lo: usize,
     i_hi: usize,
     scratch: &mut GenScratch,
-    out: &mut Vec<Itemset>,
+    out: &mut Vec<ItemId>,
 ) {
     let k = table.k();
     let (_, end) = table.run_bounds(run);
@@ -307,10 +328,10 @@ fn generate_range(
                 }
             }
             if ok {
-                let mut v = Vec::with_capacity(k + 1);
-                v.extend_from_slice(a);
-                v.push(z);
-                out.push(Itemset::from_sorted_vec(v));
+                // Survivor: append the flat (k+1)-row — the join parent's
+                // items plus the joined item, already in sorted order.
+                out.extend_from_slice(a);
+                out.push(z);
             }
         }
     }
@@ -570,6 +591,22 @@ mod tests {
             apriori_gen_table(&table, &GenConfig::serial()),
             apriori_gen(&l2)
         );
+    }
+
+    #[test]
+    fn flat_output_matches_boxed_output() {
+        // The flat table form must hold exactly the boxed candidates, row
+        // for row, at every thread count (including the split giant run).
+        for l in [
+            clustered_l2(12, 10, 7),
+            (0..80u32).map(|i| s(&[i])).collect(),
+        ] {
+            let boxed = apriori_gen_with(&l, &GenConfig::serial());
+            for threads in [1, 2, 8] {
+                let flat = apriori_gen_with_flat(&l, &GenConfig::with_threads(threads));
+                assert_eq!(flat.to_itemsets(), boxed, "threads {threads}");
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //! as soon as its bucket is chosen — it is the next node the LIFO walk
 //! visits.
 
-use crate::itemset::Itemset;
+use crate::itemset::{Itemset, ItemsetTable};
 use fup_tidb::transaction::contains_sorted;
 use fup_tidb::{ItemId, TransactionSource};
 
@@ -100,12 +100,21 @@ enum Node {
 
 /// A hash tree over a set of k-itemset candidates, accumulating support
 /// counts as transactions are added.
+///
+/// Candidates are stored flat — one k-strided item arena in build order,
+/// no per-candidate allocation. [`HashTree::build_from_table`] moves an
+/// [`ItemsetTable`]'s arena straight in, so a level generated flat is
+/// counted flat end to end; [`HashTree::build`] flattens owned
+/// [`Itemset`]s for callers that need arbitrary candidate order (FUP's
+/// `W ∪ C` pools).
 #[derive(Debug)]
 pub struct HashTree {
     k: usize,
     /// `fanout - 1`; bucket selection is `item & mask`.
     mask: usize,
-    itemsets: Vec<Itemset>,
+    /// Candidate arena: candidate `i` is `cand_items[i*k .. (i+1)*k]`,
+    /// in build order (counts and results are parallel to it).
+    cand_items: Vec<ItemId>,
     nodes: Vec<Node>,
     /// Leaf arena, item data: row `e` is `leaf_items[e*k .. (e+1)*k]`,
     /// rows grouped contiguously per leaf.
@@ -150,6 +159,27 @@ impl HashTree {
         Self::build_with_params(candidates, DEFAULT_FANOUT, DEFAULT_SPLIT_THRESHOLD)
     }
 
+    /// Builds a hash tree straight from a flat level table with the
+    /// default tuning, moving the table's item arena in — no per-candidate
+    /// `Itemset` is ever materialised. Candidate order is the table's row
+    /// order.
+    pub fn build_from_table(table: ItemsetTable) -> Self {
+        let (k, items) = table.into_flat();
+        Self::build_flat(k.max(1), items, DEFAULT_FANOUT, DEFAULT_SPLIT_THRESHOLD)
+    }
+
+    /// Like [`HashTree::build_from_table`] for callers that keep their
+    /// table: copies the row arena once (the tree needs owned storage)
+    /// without touching the table's run index.
+    pub fn build_from_rows(k: usize, rows: &[ItemId]) -> Self {
+        Self::build_flat(
+            k.max(1),
+            rows.to_vec(),
+            DEFAULT_FANOUT,
+            DEFAULT_SPLIT_THRESHOLD,
+        )
+    }
+
     /// Builds a hash tree with explicit tuning:
     ///
     /// * `fanout` — children per interior node; must be a power of two
@@ -168,25 +198,39 @@ impl HashTree {
         fanout: usize,
         split_threshold: usize,
     ) -> Self {
+        let k = candidates.first().map(Itemset::k).unwrap_or(1);
+        assert!(k >= 1, "candidates must be non-empty itemsets");
+        let mut items = Vec::with_capacity(candidates.len() * k);
+        for c in &candidates {
+            assert_eq!(c.k(), k, "all candidates must share one size");
+            items.extend_from_slice(c.items());
+        }
+        Self::build_flat(k, items, fanout, split_threshold)
+    }
+
+    /// The shared build core over a flat candidate arena (`n * k` items,
+    /// candidate `i` at rows `i*k..(i+1)*k`, any order).
+    fn build_flat(
+        k: usize,
+        cand_items: Vec<ItemId>,
+        fanout: usize,
+        split_threshold: usize,
+    ) -> Self {
         assert!(
             fanout.is_power_of_two() && fanout >= 2,
             "fanout must be a power of two ≥ 2"
         );
-        let k = candidates.first().map(Itemset::k).unwrap_or(1);
-        assert!(k >= 1, "candidates must be non-empty itemsets");
-        for c in &candidates {
-            assert_eq!(c.k(), k, "all candidates must share one size");
-        }
-        let n = candidates.len();
+        debug_assert!(k >= 1 && cand_items.len().is_multiple_of(k));
+        let n = cand_items.len() / k;
         let mut first_bits = Vec::new();
-        for c in &candidates {
-            bit_set(&mut first_bits, c.items()[0]);
+        for i in 0..n {
+            bit_set(&mut first_bits, cand_items[i * k]);
         }
         let mut builder = TreeBuilder {
             k,
             mask: fanout - 1,
             split_threshold: split_threshold.max(1),
-            itemsets: &candidates,
+            items: &cand_items,
             nodes: vec![BuildNode::Leaf(Vec::new())],
         };
         for idx in 0..n as u32 {
@@ -204,7 +248,8 @@ impl HashTree {
                 BuildNode::Leaf(ids) => {
                     let start = leaf_ids.len() as u32;
                     for &idx in &ids {
-                        leaf_items.extend_from_slice(candidates[idx as usize].items());
+                        let row = idx as usize * k;
+                        leaf_items.extend_from_slice(&cand_items[row..row + k]);
                     }
                     let len = ids.len() as u32;
                     leaf_ids.extend(ids);
@@ -216,7 +261,7 @@ impl HashTree {
         HashTree {
             k,
             mask: fanout - 1,
-            itemsets: candidates,
+            cand_items,
             nodes,
             leaf_items,
             leaf_ids,
@@ -227,12 +272,12 @@ impl HashTree {
 
     /// Number of candidates in the tree.
     pub fn len(&self) -> usize {
-        self.itemsets.len()
+        self.cand_items.len() / self.k.max(1)
     }
 
     /// `true` if the tree holds no candidates.
     pub fn is_empty(&self) -> bool {
-        self.itemsets.is_empty()
+        self.cand_items.is_empty()
     }
 
     /// The candidate size `k`.
@@ -245,7 +290,7 @@ impl HashTree {
         TreeView {
             k: self.k,
             mask: self.mask,
-            itemsets: &self.itemsets,
+            cand_items: &self.cand_items,
             nodes: &self.nodes,
             leaf_items: &self.leaf_items,
             leaf_ids: &self.leaf_ids,
@@ -261,7 +306,7 @@ impl HashTree {
             TreeView {
                 k: self.k,
                 mask: self.mask,
-                itemsets: &self.itemsets,
+                cand_items: &self.cand_items,
                 nodes: &self.nodes,
                 leaf_items: &self.leaf_items,
                 leaf_ids: &self.leaf_ids,
@@ -274,7 +319,7 @@ impl HashTree {
     /// A fresh, zeroed counting scratch sized for this tree. One per scan
     /// worker; merge results back with [`HashTree::absorb`].
     pub fn new_scratch(&self) -> CountScratch {
-        CountScratch::for_len(self.itemsets.len())
+        CountScratch::for_len(self.len())
     }
 
     /// Adds a worker's scratch counts into the tree's own counts.
@@ -313,19 +358,37 @@ impl HashTree {
         source.for_each(&mut |t| self.add_transaction(t));
     }
 
-    /// The candidates, in build order (indices match [`HashTree::counts`]).
-    pub fn itemsets(&self) -> &[Itemset] {
-        &self.itemsets
+    /// Candidate `i`'s sorted item slice, in build order (indices match
+    /// [`HashTree::counts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn candidate(&self, i: usize) -> &[ItemId] {
+        &self.cand_items[i * self.k..(i + 1) * self.k]
     }
 
-    /// Current support counts, parallel to [`HashTree::itemsets`].
+    /// Current support counts, parallel to the build-order candidates.
     pub fn counts(&self) -> &[u64] {
         &self.scratch.counts
     }
 
+    /// Consumes the tree, yielding the support counts in build order —
+    /// the allocation-free form of [`HashTree::into_results`] for callers
+    /// that still hold the candidate rows.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.scratch.counts
+    }
+
     /// Consumes the tree, yielding `(candidate, count)` pairs.
     pub fn into_results(self) -> Vec<(Itemset, u64)> {
-        self.itemsets.into_iter().zip(self.scratch.counts).collect()
+        let k = self.k;
+        self.cand_items
+            .chunks_exact(k)
+            .map(|row| Itemset::from_sorted_vec(row.to_vec()))
+            .zip(self.scratch.counts)
+            .collect()
     }
 }
 
@@ -336,18 +399,24 @@ struct TreeBuilder<'a> {
     k: usize,
     mask: usize,
     split_threshold: usize,
-    itemsets: &'a [Itemset],
+    /// Flat candidate arena (k-strided rows, build order).
+    items: &'a [ItemId],
     nodes: Vec<BuildNode>,
 }
 
 impl TreeBuilder<'_> {
+    #[inline]
+    fn item_at(&self, idx: u32, depth: usize) -> ItemId {
+        self.items[idx as usize * self.k + depth]
+    }
+
     fn insert(&mut self, idx: u32) {
         let mut node = 0u32;
         let mut depth = 0usize;
         loop {
             match &mut self.nodes[node as usize] {
                 BuildNode::Interior(children) => {
-                    let item = self.itemsets[idx as usize].items()[depth];
+                    let item = self.items[idx as usize * self.k + depth];
                     let b = (item.raw() as usize) & self.mask;
                     if children[b] == NO_CHILD {
                         let new_id = self.nodes.len() as u32;
@@ -383,7 +452,7 @@ impl TreeBuilder<'_> {
             BuildNode::Interior(_) => unreachable!("split target must be a leaf"),
         };
         for idx in ids {
-            let item = self.itemsets[idx as usize].items()[depth];
+            let item = self.item_at(idx, depth);
             let b = (item.raw() as usize) & self.mask;
             let child = match &self.nodes[node as usize] {
                 BuildNode::Interior(ch) => ch[b],
@@ -417,7 +486,8 @@ impl TreeBuilder<'_> {
 pub struct TreeView<'a> {
     k: usize,
     mask: usize,
-    itemsets: &'a [Itemset],
+    /// Flat candidate arena (k-strided rows, build order).
+    cand_items: &'a [ItemId],
     nodes: &'a [Node],
     leaf_items: &'a [ItemId],
     leaf_ids: &'a [u32],
@@ -430,9 +500,14 @@ impl<'a> TreeView<'a> {
         self.k
     }
 
-    /// The candidates, in build order.
-    pub fn itemsets(&self) -> &'a [Itemset] {
-        self.itemsets
+    /// Candidate `i`'s sorted item slice, in build order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn candidate(&self, i: usize) -> &'a [ItemId] {
+        &self.cand_items[i * self.k..(i + 1) * self.k]
     }
 
     /// Counts every candidate contained in `t` into `scratch`.
@@ -450,7 +525,7 @@ impl<'a> TreeView<'a> {
         scratch: &mut CountScratch,
         on_match: &mut F,
     ) {
-        if t.len() < self.k || self.itemsets.is_empty() {
+        if t.len() < self.k || self.cand_items.is_empty() {
             return;
         }
         // First-item prune: a candidate X ⊆ t must place its smallest item

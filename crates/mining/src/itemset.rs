@@ -253,6 +253,77 @@ impl ItemsetTable {
         }
     }
 
+    /// Builds a table directly from row-major item data whose rows are
+    /// already strictly increasing (lexicographically sorted and
+    /// duplicate-free) — the allocation-free counterpart of
+    /// [`ItemsetTable::from_sorted_itemsets`] used by the flat candidate
+    /// pipeline (`apriori_gen` output, miner level filtering).
+    ///
+    /// An empty `items` yields the empty table regardless of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len()` is not a multiple of `k`, or in debug
+    /// builds if the rows are not strictly increasing (within each row
+    /// and from row to row).
+    pub fn from_flat_rows(k: usize, items: Vec<ItemId>) -> Self {
+        if items.is_empty() {
+            return ItemsetTable::empty();
+        }
+        assert!(k >= 1, "rows must have width at least 1");
+        assert_eq!(items.len() % k, 0, "row data must be k-strided");
+        debug_assert!(
+            items
+                .chunks_exact(k)
+                .all(|r| r.windows(2).all(|w| w[0] < w[1])),
+            "row items must be strictly increasing"
+        );
+        debug_assert!(
+            items
+                .chunks_exact(k)
+                .zip(items.chunks_exact(k).skip(1))
+                .all(|(a, b)| a < b),
+            "rows must be strictly increasing"
+        );
+        Self::from_flat(k, items)
+    }
+
+    /// Keeps only the rows for which `keep` returns `true`, compacting
+    /// the item data in place and rebuilding the run index. Row order is
+    /// preserved — the table stays sorted.
+    pub fn retain_rows(&mut self, mut keep: impl FnMut(&[ItemId]) -> bool) {
+        let k = self.k;
+        if k == 0 {
+            return;
+        }
+        let n = self.len();
+        let mut write = 0usize;
+        for row in 0..n {
+            let start = row * k;
+            if keep(&self.items[start..start + k]) {
+                if write != start {
+                    self.items.copy_within(start..start + k, write);
+                }
+                write += k;
+            }
+        }
+        self.items.truncate(write);
+        if self.items.is_empty() {
+            *self = ItemsetTable::empty();
+            return;
+        }
+        *self = Self::from_flat(k, std::mem::take(&mut self.items));
+    }
+
+    /// Row `i` materialised as an owned [`Itemset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn row_itemset(&self, i: usize) -> Itemset {
+        Itemset::from_sorted_vec(self.row(i).to_vec())
+    }
+
     /// Builds the run index over sorted row-major data.
     fn from_flat(k: usize, items: Vec<ItemId>) -> Self {
         debug_assert!(k >= 1);
@@ -303,6 +374,12 @@ impl ItemsetTable {
     #[inline]
     pub fn row(&self, i: usize) -> &[ItemId] {
         &self.items[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The whole row-major item arena (`k * len()` entries).
+    #[inline]
+    pub fn flat_items(&self) -> &[ItemId] {
+        &self.items
     }
 
     /// Number of (k−1)-prefix runs.
@@ -366,6 +443,13 @@ impl ItemsetTable {
         self.rows()
             .map(|r| Itemset::from_sorted_vec(r.to_vec()))
             .collect()
+    }
+
+    /// Consumes the table, yielding `(k, row-major item data)` — the raw
+    /// material [`HashTree::build_from_table`](crate::HashTree) packs
+    /// without re-boxing any candidate.
+    pub fn into_flat(self) -> (usize, Vec<ItemId>) {
+        (self.k, self.items)
     }
 }
 
@@ -548,5 +632,46 @@ mod tests {
         assert_eq!(t.len(), 0);
         assert_eq!(t.num_runs(), 0);
         assert!(t.to_itemsets().is_empty());
+    }
+
+    #[test]
+    fn from_flat_rows_matches_itemset_construction() {
+        let sets = vec![s(&[1, 2]), s(&[1, 3]), s(&[2, 3]), s(&[2, 5])];
+        let flat: Vec<ItemId> = sets.iter().flat_map(|x| x.items().to_vec()).collect();
+        assert_eq!(
+            ItemsetTable::from_flat_rows(2, flat),
+            ItemsetTable::from_sorted_itemsets(&sets)
+        );
+        assert!(ItemsetTable::from_flat_rows(3, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn retain_rows_compacts_and_reindexes() {
+        let sets = vec![
+            s(&[1, 2, 4]),
+            s(&[1, 2, 7]),
+            s(&[1, 3, 4]),
+            s(&[2, 3, 4]),
+            s(&[2, 3, 9]),
+        ];
+        let mut t = ItemsetTable::from_itemsets(&sets);
+        t.retain_rows(|row| row[2] == ItemId(4));
+        let kept = vec![s(&[1, 2, 4]), s(&[1, 3, 4]), s(&[2, 3, 4])];
+        assert_eq!(t, ItemsetTable::from_sorted_itemsets(&kept));
+        assert_eq!(t.num_runs(), 3);
+        // Dropping everything yields the canonical empty table.
+        t.retain_rows(|_| false);
+        assert!(t.is_empty());
+        assert_eq!(t, ItemsetTable::empty());
+    }
+
+    #[test]
+    fn row_itemset_and_into_flat_round_trip() {
+        let sets = vec![s(&[3, 5]), s(&[4, 9])];
+        let t = ItemsetTable::from_itemsets(&sets);
+        assert_eq!(t.row_itemset(1), s(&[4, 9]));
+        let (k, items) = t.clone().into_flat();
+        assert_eq!(k, 2);
+        assert_eq!(ItemsetTable::from_flat_rows(k, items), t);
     }
 }

@@ -19,10 +19,37 @@
 //! * [`engine`] — the parallel chunked counting engine those passes run
 //!   on ([`EngineConfig`] picks the worker count; `threads = 1` is the
 //!   exact historical serial path),
+//! * [`vertical`] — the vertical tid-list counting backend: one scan
+//!   materialises per-item tid-lists ([`VerticalIndex`], dense bitset or
+//!   sorted run per item by density), after which every pass is pure
+//!   list intersection with per-run prefix reuse,
 //! * [`apriori`] / [`dhp`] — the two baseline miners of the paper's §4,
 //! * [`rules`] — `ap-genrules` rule derivation with confidence thresholds,
 //! * [`stats`] — per-pass candidate/large counts and scan accounting, the
 //!   raw material of the paper's Figures 2–4.
+//!
+//! ## Counting backends
+//!
+//! Every miner (Apriori, DHP here; FUP and FUP2 in `fup-core`) counts its
+//! passes through the [`CountingBackend`] named in
+//! [`EngineConfig::backend`]:
+//!
+//! * [`CountingBackend::HashTree`] — the classic one-scan-per-pass
+//!   subset counting; paper-faithful scan accounting.
+//! * [`CountingBackend::Vertical`] — tid-list intersections from the
+//!   first candidate pass on; one scan per source total.
+//! * [`CountingBackend::Auto`] (default) — per-pass choice: it flips to
+//!   the vertical index once a pass would count at least
+//!   [`vertical::AUTO_MIN_CANDIDATES`] candidates over at least
+//!   [`vertical::AUTO_MIN_TRANSACTIONS`] transactions with an average
+//!   frequent-item residue of [`vertical::AUTO_MIN_RESIDUE`] or more —
+//!   thresholds measured with `bench_vertical` on the T10.I4 workload —
+//!   and stays vertical for the rest of the run (the index is already
+//!   paid for, and deep passes are where intersections win most).
+//!
+//! All backends produce bit-identical [`LargeItemsets`]; only the scan
+//! schedule differs. `EngineConfig::serial()` pins `HashTree` to keep
+//! its exact-historical-behaviour contract.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,6 +66,7 @@ pub mod miner;
 pub mod rules;
 pub mod stats;
 pub mod support;
+pub mod vertical;
 
 pub use apriori::Apriori;
 pub use dhp::Dhp;
@@ -51,3 +79,4 @@ pub use miner::{Miner, MiningOutcome};
 pub use rules::{MinConfidence, Rule, RuleSet};
 pub use stats::{MiningStats, PassStats};
 pub use support::MinSupport;
+pub use vertical::{CountingBackend, PassProfile, ResolvedBackend, VerticalIndex};

@@ -1,0 +1,154 @@
+//! Property tests for the vertical tid-list backend: for random databases
+//! and candidate pools, the vertical index produces exactly the hash
+//! tree's (and naive containment's) support counts — across thread counts
+//! {1, 2, 8}, both list representations (all-sparse and all-dense forced
+//! by density cutoff), and arbitrary split boundaries — and every miner
+//! produces bit-identical large itemsets under every [`CountingBackend`].
+
+use fup_mining::apriori::AprioriConfig;
+use fup_mining::dhp::DhpConfig;
+use fup_mining::engine::EngineConfig;
+use fup_mining::vertical::{CountingBackend, VerticalIndex, DENSE_FACTOR};
+use fup_mining::{Apriori, Dhp, Itemset, ItemsetTable, MinSupport};
+use fup_tidb::transaction::contains_sorted;
+use fup_tidb::{Transaction, TransactionDb};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const DENSITY_CUTOFFS: [u32; 3] = [0, DENSE_FACTOR, u32::MAX];
+
+fn arb_transaction(max_item: u32, max_len: usize) -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0..max_item, 0..max_len).prop_map(Transaction::from_items)
+}
+
+fn arb_itemset(max_item: u32, k: usize) -> impl Strategy<Value = Itemset> {
+    proptest::collection::hash_set(0..max_item, k).prop_map(Itemset::from_items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn vertical_counts_equal_naive_across_threads_and_densities(
+        candidates in proptest::collection::hash_set(arb_itemset(30, 3), 1..40),
+        transactions in proptest::collection::vec(arb_transaction(30, 10), 0..150),
+    ) {
+        let candidates: Vec<Itemset> = candidates.into_iter().collect();
+        let table = ItemsetTable::from_itemsets(&candidates);
+        let naive: Vec<u64> = table
+            .rows()
+            .map(|row| {
+                transactions
+                    .iter()
+                    .filter(|t| contains_sorted(t.items(), row))
+                    .count() as u64
+            })
+            .collect();
+        let db = TransactionDb::from_transactions(transactions.clone());
+        for &dense_factor in &DENSITY_CUTOFFS {
+            for &threads in &THREAD_COUNTS {
+                let cfg = EngineConfig::with_threads(threads);
+                let idx = VerticalIndex::build_with_density(&db, None, &cfg, dense_factor);
+                let counts = idx.count_rows(&table, &cfg);
+                prop_assert_eq!(
+                    &counts,
+                    &naive,
+                    "threads {} dense_factor {}",
+                    threads,
+                    dense_factor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_counts_partition_the_support(
+        candidates in proptest::collection::hash_set(arb_itemset(25, 2), 1..30),
+        transactions in proptest::collection::vec(arb_transaction(25, 8), 1..120),
+        boundary_sel in 0u64..1000,
+    ) {
+        let candidates: Vec<Itemset> = candidates.into_iter().collect();
+        let table = ItemsetTable::from_itemsets(&candidates);
+        let n = transactions.len() as u64;
+        let boundary = boundary_sel % (n + 1);
+        // Ground truth by position: tids below the boundary are exactly
+        // the first `boundary` transactions of the pass.
+        let head = TransactionDb::from_transactions(
+            transactions[..boundary as usize].to_vec(),
+        );
+        let db = TransactionDb::from_transactions(transactions.clone());
+        let cfg = EngineConfig::serial();
+        for &dense_factor in &DENSITY_CUTOFFS {
+            let idx = VerticalIndex::build_with_density(&db, None, &cfg, dense_factor);
+            let head_idx =
+                VerticalIndex::build_with_density(&head, None, &cfg, dense_factor);
+            let split = idx.count_rows_split(&table, boundary, &cfg);
+            let total = idx.count_rows(&table, &cfg);
+            let below = head_idx.count_rows(&table, &cfg);
+            for (i, &(b, a)) in split.iter().enumerate() {
+                prop_assert_eq!(b + a, total[i], "row {} dense_factor {}", i, dense_factor);
+                prop_assert_eq!(b, below[i], "row {} dense_factor {}", i, dense_factor);
+            }
+        }
+    }
+
+    #[test]
+    fn miners_identical_under_every_backend(
+        transactions in proptest::collection::vec(arb_transaction(20, 8), 1..100),
+        minsup_pct in 5u64..60,
+    ) {
+        let db = TransactionDb::from_transactions(transactions);
+        let minsup = MinSupport::percent(minsup_pct);
+        let reference = Apriori::with_config(AprioriConfig {
+            engine: EngineConfig::serial(),
+            ..AprioriConfig::default()
+        })
+        .run(&db, minsup)
+        .large;
+        for backend in [
+            CountingBackend::HashTree,
+            CountingBackend::Vertical,
+            CountingBackend::Auto,
+        ] {
+            for &threads in &THREAD_COUNTS {
+                let engine = EngineConfig::with_threads(threads).with_backend(backend);
+                let apriori = Apriori::with_config(AprioriConfig {
+                    engine: engine.clone(),
+                    ..AprioriConfig::default()
+                })
+                .run(&db, minsup)
+                .large;
+                prop_assert!(
+                    apriori.same_itemsets(&reference),
+                    "apriori {:?} threads {}: {:?}",
+                    backend,
+                    threads,
+                    apriori.diff(&reference)
+                );
+                let dhp = Dhp::with_config(DhpConfig {
+                    engine,
+                    ..DhpConfig::default()
+                })
+                .run(&db, minsup)
+                .large;
+                prop_assert!(
+                    dhp.same_itemsets(&reference),
+                    "dhp {:?} threads {}: {:?}",
+                    backend,
+                    threads,
+                    dhp.diff(&reference)
+                );
+            }
+        }
+    }
+}
+
+/// The facade re-exports stay wired.
+#[test]
+fn backend_types_are_reexported() {
+    let _ = fup_mining::CountingBackend::default();
+    assert_eq!(
+        fup_mining::CountingBackend::default(),
+        CountingBackend::Auto
+    );
+}

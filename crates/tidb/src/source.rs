@@ -57,6 +57,22 @@ pub trait TransactionSource: Sync {
         self.num_transactions().div_ceil(chunk_size.max(1) as u64)
     }
 
+    /// The pass-order position (0-based tid) of the **first** transaction
+    /// of chunk `index` under the `chunk_size` plan, so chunked workers
+    /// can recover every transaction's global position without
+    /// coordination: transaction `i` of the chunk sits at
+    /// `chunk_tid_offset(chunk_size, index) + i`.
+    ///
+    /// The default plan packs chunks back to back, so the offset is
+    /// simply `index * chunk_size`. Sources whose chunks may run short
+    /// mid-pass (e.g. [`ChainSource`], whose chunks never straddle the
+    /// seam) must override this to keep the offsets consistent with the
+    /// transactions [`chunk`](TransactionSource::chunk) actually
+    /// delivers.
+    fn chunk_tid_offset(&self, chunk_size: usize, index: u64) -> u64 {
+        index * chunk_size.max(1) as u64
+    }
+
     /// Materialises chunk `index` of the `chunk_size` plan, either as a
     /// borrowed view of stored transactions or decoded into `scratch`.
     /// Charges the chunk's transactions and items (plus pages/bytes for
@@ -166,6 +182,22 @@ where
             self.second.chunk(chunk_size, index - first_chunks, scratch)
         }
     }
+
+    /// Chunks after the seam start at `|first|` plus the second source's
+    /// own offset — the last chunk of `first` may run short, so the
+    /// default back-to-back arithmetic would drift for every chunk of
+    /// `second`.
+    fn chunk_tid_offset(&self, chunk_size: usize, index: u64) -> u64 {
+        let first_chunks = self.first.plan_chunks(chunk_size);
+        if index < first_chunks {
+            self.first.chunk_tid_offset(chunk_size, index)
+        } else {
+            self.first.num_transactions()
+                + self
+                    .second
+                    .chunk_tid_offset(chunk_size, index - first_chunks)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +236,54 @@ mod tests {
         assert!(a.is_empty());
         let chain = ChainSource::new(&a, &b);
         assert!(chain.is_empty());
+    }
+
+    /// Walks every chunk of `source`, asserting that `chunk_tid_offset`
+    /// plus the in-chunk position reproduces exactly the pass order of
+    /// `for_each`.
+    fn assert_tid_offsets_consistent(source: &dyn TransactionSource, chunk_size: usize) {
+        let mut pass_order = Vec::new();
+        source.for_each(&mut |t| pass_order.push(t.to_vec()));
+        let mut scratch = ChunkScratch::new();
+        for index in 0..source.plan_chunks(chunk_size) {
+            let offset = source.chunk_tid_offset(chunk_size, index);
+            let chunk = source.chunk(chunk_size, index, &mut scratch);
+            for (i, t) in chunk.iter().enumerate() {
+                let tid = offset as usize + i;
+                assert_eq!(
+                    t,
+                    &pass_order[tid][..],
+                    "chunk {index} pos {i} (chunk_size {chunk_size})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_tid_offsets_match_pass_order() {
+        let a = db(&[&[1, 2], &[3], &[4, 5], &[6], &[7]]);
+        for chunk_size in [1, 2, 3, 7] {
+            assert_tid_offsets_consistent(&a, chunk_size);
+        }
+    }
+
+    #[test]
+    fn chained_tid_offsets_skip_the_short_seam_chunk() {
+        // 5 transactions then 4: with chunk_size 2 the first source's last
+        // chunk is short (1 transaction), so the second source's chunks do
+        // NOT sit at index * chunk_size — the override must account for it.
+        let a = db(&[&[1], &[2], &[3], &[4], &[5]]);
+        let b = db(&[&[6], &[7], &[8], &[9]]);
+        let chain = ChainSource::new(&a, &b);
+        assert_eq!(chain.chunk_tid_offset(2, 3), 5); // first chunk of `b`
+        for chunk_size in [1, 2, 3, 4, 10] {
+            assert_tid_offsets_consistent(&chain, chunk_size);
+        }
+        // Nested chains compound the seam handling.
+        let c = db(&[&[10]]);
+        let nested = ChainSource::new(&chain, &c);
+        for chunk_size in [2, 3] {
+            assert_tid_offsets_consistent(&nested, chunk_size);
+        }
     }
 }

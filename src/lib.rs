@@ -67,8 +67,8 @@ pub use fup_core::{
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
-    Apriori, Dhp, EngineConfig, GenConfig, Itemset, ItemsetTable, LargeItemsets, MinConfidence,
-    MinSupport, Miner, Rule, RuleSet,
+    Apriori, CountingBackend, Dhp, EngineConfig, GenConfig, Itemset, ItemsetTable, LargeItemsets,
+    MinConfidence, MinSupport, Miner, Rule, RuleSet, VerticalIndex,
 };
 pub use fup_tidb::{
     ItemDictionary, ItemId, SegmentedDb, Tid, Transaction, TransactionDb, TransactionSource,
