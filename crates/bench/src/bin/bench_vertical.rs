@@ -21,10 +21,19 @@
 //! adaptive policy: on every pass, auto must stay within the given
 //! fraction of the better fixed backend.
 //!
+//! A second scenario measures **index reuse** — the maintenance-session
+//! pattern where one persistent [`VerticalIndex`] is `extend`ed with each
+//! of N successive increments, against rebuilding the index from scratch
+//! every round. Per-item supports and candidate counts are asserted
+//! identical between the two indexes; `--min-reuse-speedup` gates the
+//! cumulative ratio (CI asserts 1.0: reuse must never be slower).
+//!
 //! ```text
 //! bench_vertical [--out PATH] [--transactions N] [--minsup-bp B1,B2,..]
 //!                [--threads T] [--reps R] [--seed S]
 //!                [--min-speedup X] [--max-auto-loss F]
+//!                [--reuse-rounds N] [--reuse-increment D]
+//!                [--min-reuse-speedup X]
 //! ```
 
 use fup_datagen::{corpus, QuestGenerator};
@@ -52,6 +61,15 @@ struct Options {
     /// fixed backend on any pass (negative disables; the acceptance
     /// target is 0.10).
     max_auto_loss: f64,
+    /// Rounds of the index-reuse scenario (successive increments applied
+    /// to one persistent index vs a per-round rebuild).
+    reuse_rounds: usize,
+    /// Increment size per reuse round (0 = transactions / 50).
+    reuse_increment: u64,
+    /// Exit non-zero unless the persistent extend path beats the
+    /// per-round rebuild by this factor over the whole scenario (0.0
+    /// disables; CI asserts 1.0 — reuse must never be slower).
+    min_reuse_speedup: f64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +82,9 @@ fn parse_args() -> Result<Options, String> {
         seed: 1996,
         min_speedup: 0.0,
         max_auto_loss: -1.0,
+        reuse_rounds: 6,
+        reuse_increment: 0,
+        min_reuse_speedup: 0.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,6 +129,21 @@ fn parse_args() -> Result<Options, String> {
                 opts.max_auto_loss = value("--max-auto-loss")?
                     .parse()
                     .map_err(|e| format!("--max-auto-loss: {e}"))?
+            }
+            "--reuse-rounds" => {
+                opts.reuse_rounds = value("--reuse-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--reuse-rounds: {e}"))?
+            }
+            "--reuse-increment" => {
+                opts.reuse_increment = value("--reuse-increment")?
+                    .parse()
+                    .map_err(|e| format!("--reuse-increment: {e}"))?
+            }
+            "--min-reuse-speedup" => {
+                opts.min_reuse_speedup = value("--min-reuse-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-reuse-speedup: {e}"))?
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -174,6 +210,7 @@ fn main() {
         params.name(),
         opts.transactions
     );
+    let reuse_params = params.clone().with_seed(opts.seed ^ 0x5eed);
     let db: TransactionDb = QuestGenerator::new(params).generate_db(opts.transactions);
     let n = db.num_transactions();
     let cfg = EngineConfig::with_threads(opts.threads);
@@ -331,6 +368,92 @@ fn main() {
         eprintln!("miner cross-check: all backends bit-identical");
     }
 
+    // ---- index-reuse scenario: persistent extend vs per-round rebuild --
+    // Models the maintenance session: one index built over the base
+    // corpus, then N successive increments either *extend* it in place
+    // (one delta scan each — what `Maintainer` does across commits) or
+    // force a from-scratch rebuild over the grown corpus (what every
+    // round paid before the index persisted).
+    let inc_size = if opts.reuse_increment > 0 {
+        opts.reuse_increment
+    } else {
+        (opts.transactions / 50).max(1)
+    };
+    let reuse_minsup = MinSupport::basis_points(opts.minsup_bp[0]);
+    let mut keep_items: Vec<ItemId> = Vec::new();
+    for (item, count) in item_counts.iter_nonzero() {
+        if reuse_minsup.is_large(count, n) {
+            keep_items.push(item);
+        }
+    }
+    let reuse_keep = vertical::item_bitmap(keep_items.iter().copied());
+    let mut reuse_gen = QuestGenerator::new(reuse_params);
+    let increments: Vec<TransactionDb> = (0..opts.reuse_rounds)
+        .map(|_| reuse_gen.generate_db(inc_size))
+        .collect();
+    eprintln!(
+        "index reuse: {} rounds x {} increment transactions over the {}-transaction base",
+        opts.reuse_rounds, inc_size, n
+    );
+
+    let (base_build, mut persistent) = best_of(opts.reps, || {
+        VerticalIndex::build(&db, Some(&reuse_keep), &cfg)
+    });
+    let mut acc = TransactionDb::new();
+    acc.extend(db.raw().iter().cloned());
+    let mut extend_total = Duration::ZERO;
+    let mut rebuild_total = Duration::ZERO;
+    let mut reuse_rows: Vec<(usize, f64, f64)> = Vec::new();
+    let mut rebuilt = None;
+    for (round, inc) in increments.iter().enumerate() {
+        // The extend is stateful, so it is timed once (no best-of) — a
+        // conservative handicap against the best-of-reps rebuild.
+        let start = Instant::now();
+        persistent.extend(inc, &cfg);
+        let extend_time = start.elapsed();
+        extend_total += extend_time;
+
+        acc.extend(inc.raw().iter().cloned());
+        let (rebuild_time, fresh) = best_of(opts.reps, || {
+            VerticalIndex::build(&acc, Some(&reuse_keep), &cfg)
+        });
+        rebuild_total += rebuild_time;
+
+        // The extended index must be indistinguishable from the rebuild.
+        assert_eq!(persistent.num_transactions(), fresh.num_transactions());
+        for &item in &keep_items {
+            assert_eq!(
+                persistent.support(item),
+                fresh.support(item),
+                "reuse round {round}: support of {item:?} diverged"
+            );
+        }
+        eprintln!(
+            "  round {}: extend {:.1} ms vs rebuild {:.1} ms",
+            round + 1,
+            ms(extend_time),
+            ms(rebuild_time)
+        );
+        reuse_rows.push((round + 1, ms(extend_time), ms(rebuild_time)));
+        rebuilt = Some(fresh);
+    }
+    // Deeper equivalence: candidate counts agree on a C₂ sample.
+    if let Some(fresh) = &rebuilt {
+        let sample: Vec<ItemId> = keep_items.iter().copied().take(100).collect();
+        let c2 = apriori_gen_flat(&ItemsetTable::from_flat_rows(1, sample), &cfg.gen);
+        assert_eq!(
+            persistent.count_rows(&c2, &cfg),
+            fresh.count_rows(&c2, &cfg),
+            "persistent and rebuilt indexes disagree on C2 counts"
+        );
+    }
+    let reuse_speedup = rebuild_total.as_secs_f64() / extend_total.as_secs_f64().max(1e-9);
+    eprintln!(
+        "index reuse: extend total {:.1} ms vs rebuild total {:.1} ms -> {reuse_speedup:.2}x",
+        ms(extend_total),
+        ms(rebuild_total)
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -365,7 +488,32 @@ fn main() {
             r.auto_loss,
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = write!(
+        json,
+        concat!(
+            "  \"reuse\": {{\n",
+            "    \"rounds\": {}, \"increment\": {}, \"minsup_bp\": {},\n",
+            "    \"base_build_ms\": {:.3}, \"extend_total_ms\": {:.3}, ",
+            "\"rebuild_total_ms\": {:.3}, \"speedup\": {:.3},\n",
+            "    \"rows\": [\n"
+        ),
+        opts.reuse_rounds,
+        inc_size,
+        opts.minsup_bp[0],
+        ms(base_build),
+        ms(extend_total),
+        ms(rebuild_total),
+        reuse_speedup,
+    );
+    for (i, (round, extend_ms, rebuild_ms)) in reuse_rows.iter().enumerate() {
+        let sep = if i + 1 < reuse_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"round\": {round}, \"extend_ms\": {extend_ms:.3}, \"rebuild_ms\": {rebuild_ms:.3} }}{sep}"
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("bench_vertical: writing {}: {e}", opts.out);
         std::process::exit(1);
@@ -401,5 +549,16 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+    if !reuse_rows.is_empty() {
+        fup_bench::cli::require_min_speedup(
+            "bench_vertical",
+            "persistent index reuse (extend vs per-round rebuild)",
+            reuse_speedup,
+            opts.min_reuse_speedup,
+        );
+    } else if opts.min_reuse_speedup > 0.0 {
+        eprintln!("bench_vertical: no reuse rounds ran; cannot assert --min-reuse-speedup");
+        std::process::exit(1);
     }
 }

@@ -1,9 +1,78 @@
-//! Error type for incremental maintenance.
+//! Error types for incremental maintenance.
 
 use std::fmt;
 
+/// A configuration the [`MaintainerBuilder`](crate::MaintainerBuilder)
+/// (or [`Maintainer::set_policy`](crate::Maintainer::set_policy)) refuses
+/// to accept — each variant is a combination that would previously
+/// surface as a runtime panic, a silent misconfiguration, or a
+/// consistency violation several rounds later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildError {
+    /// No minimum support threshold was supplied.
+    MissingMinSupport,
+    /// No minimum confidence threshold was supplied.
+    MissingMinConfidence,
+    /// An explicit worker-thread count of zero was requested. (Omit the
+    /// call to let the engine resolve the machine's parallelism instead.)
+    ZeroThreads,
+    /// A chunk size of zero was requested; scans need at least one
+    /// transaction per chunk.
+    ZeroChunkSize,
+    /// DHP pair hashing was enabled with zero hash buckets.
+    ZeroHashBuckets,
+    /// `max_k` was capped at zero, which would mine nothing at all.
+    ZeroMaxK,
+    /// A [`RemineOverRatio`](crate::UpdatePolicy::RemineOverRatio) policy
+    /// carried a negative or NaN ratio.
+    InvalidRemineRatio(f64),
+    /// A policy that can route updates to a full re-mine was combined
+    /// with a `max_k` cap: the Apriori re-mine ignores the cap, so the
+    /// maintained state would silently gain levels the incremental rounds
+    /// never track.
+    RemineIgnoresMaxK,
+    /// The updater was pinned to plain FUP (insertions only) while the
+    /// session accepts deletions. Pin [`Updater::Fup2`](crate::Updater)
+    /// (or leave [`Updater::Auto`](crate::Updater)), or declare the
+    /// workload insert-only with `deletions(false)`.
+    DeletionsWithoutFup2,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingMinSupport => write!(f, "no minimum support configured"),
+            BuildError::MissingMinConfidence => write!(f, "no minimum confidence configured"),
+            BuildError::ZeroThreads => write!(
+                f,
+                "explicit thread count of zero; omit threads() to use the machine's parallelism"
+            ),
+            BuildError::ZeroChunkSize => write!(f, "chunk size must be at least 1"),
+            BuildError::ZeroHashBuckets => {
+                write!(f, "DHP pair hashing enabled with zero hash buckets")
+            }
+            BuildError::ZeroMaxK => write!(f, "max_k of 0 would mine nothing"),
+            BuildError::InvalidRemineRatio(r) => {
+                write!(f, "re-mine ratio {r} is not a non-negative number")
+            }
+            BuildError::RemineIgnoresMaxK => write!(
+                f,
+                "a re-mining policy cannot be combined with a max_k cap: the full re-mine \
+                 ignores the cap and the maintained state would diverge"
+            ),
+            BuildError::DeletionsWithoutFup2 => write!(
+                f,
+                "updater pinned to FUP (insertions only) but the session accepts deletions; \
+                 use Updater::Auto/Fup2 or declare deletions(false)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// Errors produced by FUP/FUP2 and the maintenance layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// The supplied `LargeItemsets` baseline was mined over a database of a
     /// different size than the `DB` being updated — its support counts
@@ -17,6 +86,19 @@ pub enum Error {
     /// An update referenced transactions that do not exist (wraps the
     /// substrate error).
     Store(fup_tidb::Error),
+    /// A configuration rejected by the builder or by
+    /// [`set_policy`](crate::Maintainer::set_policy).
+    Config(BuildError),
+    /// A batch with deletions was staged on a session built with
+    /// `deletions(false)` (an insert-only workload declaration).
+    DeletionsDisabled,
+    /// The maintained itemsets disagree with a from-scratch re-mine —
+    /// returned by [`verify_consistency`](crate::Maintainer::verify_consistency)
+    /// with one human-readable line per divergence.
+    Inconsistent {
+        /// One line per itemset whose membership or support diverged.
+        differences: Vec<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -28,6 +110,18 @@ impl fmt::Display for Error {
                  re-mine or replay the missing updates"
             ),
             Error::Store(e) => write!(f, "store error: {e}"),
+            Error::Config(e) => write!(f, "configuration error: {e}"),
+            Error::DeletionsDisabled => write!(
+                f,
+                "this session was built for an insert-only workload (deletions(false)); \
+                 rebuild the maintainer to accept deletions"
+            ),
+            Error::Inconsistent { differences } => write!(
+                f,
+                "maintained state diverges from a full re-mine in {} place(s): {}",
+                differences.len(),
+                differences.join("; ")
+            ),
         }
     }
 }
@@ -36,6 +130,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Store(e) => Some(e),
+            Error::Config(e) => Some(e),
             _ => None,
         }
     }
@@ -44,6 +139,12 @@ impl std::error::Error for Error {
 impl From<fup_tidb::Error> for Error {
     fn from(e: fup_tidb::Error) -> Self {
         Error::Store(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        Error::Config(e)
     }
 }
 
@@ -72,5 +173,34 @@ mod tests {
         let e: Error = inner.clone().into();
         assert_eq!(e, Error::Store(inner));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn build_errors_convert_and_chain() {
+        let e: Error = BuildError::ZeroThreads.into();
+        assert_eq!(e, Error::Config(BuildError::ZeroThreads));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn inconsistency_lists_differences() {
+        let e = Error::Inconsistent {
+            differences: vec!["missing {1,2}".into(), "support of {3} drifted".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 place(s)"));
+        assert!(msg.contains("missing {1,2}"));
+    }
+
+    #[test]
+    fn build_error_messages_name_the_fix() {
+        assert!(BuildError::DeletionsWithoutFup2
+            .to_string()
+            .contains("Updater::Auto"));
+        assert!(BuildError::InvalidRemineRatio(-1.0)
+            .to_string()
+            .contains("-1"));
+        assert!(BuildError::RemineIgnoresMaxK.to_string().contains("max_k"));
     }
 }

@@ -19,6 +19,7 @@
 use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::reduce;
+use crate::vindex::IndexSlot;
 use fup_mining::engine::{self, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
 use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
@@ -99,6 +100,24 @@ impl Fup {
         old: &LargeItemsets,
         increment: &dyn TransactionSource,
         minsup: MinSupport,
+    ) -> Result<FupOutcome> {
+        self.update_with_index(db, old, increment, minsup, &mut IndexSlot::new())
+    }
+
+    /// [`update`](Self::update) with a persistent [`IndexSlot`]: when the
+    /// vertical backend engages, the slot's held index is reused (extended
+    /// with the increment's delta scan — no scan of `db`) if it covers
+    /// `db`, and the round's index is stashed back on success so the next
+    /// round can extend it again. See the [`crate::vindex`] module docs
+    /// for the reuse contract; [`Fup::update`] passes a throwaway slot and
+    /// reproduces the historical build-per-round behaviour exactly.
+    pub fn update_with_index(
+        &self,
+        db: &dyn TransactionSource,
+        old: &LargeItemsets,
+        increment: &dyn TransactionSource,
+        minsup: MinSupport,
+        slot: &mut IndexSlot,
     ) -> Result<FupOutcome> {
         let start = Instant::now();
         let d_orig = db.num_transactions();
@@ -332,15 +351,10 @@ impl Fup {
                     residue,
                 }) == ResolvedBackend::Vertical;
             if use_vertical {
-                let idx = vindex.get_or_insert_with(|| {
-                    crate::vindex::build_update_index(
-                        old,
-                        &result,
-                        db,
-                        increment,
-                        &self.config.engine,
-                    )
-                });
+                if vindex.is_none() {
+                    vindex = Some(slot.acquire(old, &result, db, increment, &self.config.engine));
+                }
+                let idx = vindex.as_ref().expect("acquired above");
                 // Trimmed working copies are never consulted again.
                 inc_working = None;
                 db_working = None;
@@ -542,6 +556,11 @@ impl Fup {
             k += 1;
         }
 
+        if let Some(idx) = vindex {
+            // The index now covers DB ∪ db — exactly the database after
+            // this update commits; the next round can extend it.
+            slot.stash(idx);
+        }
         stats.elapsed = start.elapsed();
         Ok(FupOutcome {
             large: result,

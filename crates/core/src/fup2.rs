@@ -26,6 +26,7 @@ use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::fup::{FupOutcome, FupPassDetail};
 use crate::reduce;
+use crate::vindex::IndexSlot;
 use fup_mining::engine::{self, count_items_and_pairs, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
 use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
@@ -69,6 +70,32 @@ impl Fup2 {
         deleted: &dyn TransactionSource,
         inserted: &dyn TransactionSource,
         minsup: MinSupport,
+    ) -> Result<FupOutcome> {
+        self.update_with_index(
+            remainder,
+            old,
+            deleted,
+            inserted,
+            minsup,
+            &mut IndexSlot::new(),
+        )
+    }
+
+    /// [`update`](Self::update) with a persistent [`IndexSlot`]: an index
+    /// held from a previous round is reused (extended with `inserted`'s
+    /// delta scan) when it covers `remainder` — which is only the case for
+    /// insert-only updates, since deletions shrink and reorder the
+    /// remainder; any mismatch rebuilds. The round's index is stashed back
+    /// on success. [`Fup2::update`] passes a throwaway slot and reproduces
+    /// the historical build-per-round behaviour exactly.
+    pub fn update_with_index(
+        &self,
+        remainder: &dyn TransactionSource,
+        old: &LargeItemsets,
+        deleted: &dyn TransactionSource,
+        inserted: &dyn TransactionSource,
+        minsup: MinSupport,
+        slot: &mut IndexSlot,
     ) -> Result<FupOutcome> {
         let start = Instant::now();
         let d_rem = remainder.num_transactions();
@@ -301,15 +328,11 @@ impl Fup2 {
                     residue,
                 }) == ResolvedBackend::Vertical;
             if use_vertical {
-                let idx = vindex.get_or_insert_with(|| {
-                    crate::vindex::build_update_index(
-                        old,
-                        &result,
-                        remainder,
-                        inserted,
-                        &self.config.engine,
-                    )
-                });
+                if vindex.is_none() {
+                    vindex =
+                        Some(slot.acquire(old, &result, remainder, inserted, &self.config.engine));
+                }
+                let idx = vindex.as_ref().expect("acquired above");
                 // Trimmed working copies are never consulted again.
                 plus_working = None;
                 rem_working = None;
@@ -544,6 +567,11 @@ impl Fup2 {
             k += 1;
         }
 
+        if let Some(idx) = vindex {
+            // The index now covers DB⁻ ∪ db⁺ — exactly the database after
+            // this update commits; the next round can extend it.
+            slot.stash(idx);
+        }
         stats.elapsed = start.elapsed();
         Ok(FupOutcome {
             large: result,

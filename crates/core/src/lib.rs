@@ -21,13 +21,19 @@
 //! * DHP-style pair hashing over the increment further thins the size-2
 //!   candidates (§3.4, last paragraph).
 //!
-//! The high-level entry point is [`maintain::RuleMaintainer`], which owns a
-//! [`SegmentedDb`](fup_tidb::SegmentedDb), keeps itemsets and rules current
-//! across arbitrary insert/delete batches, and reports which rules each
-//! update created or invalidated.
+//! The high-level entry point is the session-oriented
+//! [`session::Maintainer`]: built once through a validating
+//! [`builder`](session::Maintainer::builder), it accumulates update
+//! batches with [`stage`](session::Maintainer::stage), applies everything
+//! staged as one FUP/FUP2 round with
+//! [`commit`](session::Maintainer::commit), serves reads through cheap
+//! version-stamped [`session::RuleSnapshot`]s, and keeps a persistent
+//! [`VerticalIndex`](fup_mining::VerticalIndex) alive across rounds (see
+//! [`vindex`]). The pre-session [`maintain::RuleMaintainer`] remains as a
+//! deprecated shim.
 //!
 //! ```
-//! use fup_core::maintain::RuleMaintainer;
+//! use fup_core::Maintainer;
 //! use fup_mining::{MinConfidence, MinSupport};
 //! use fup_tidb::{Transaction, UpdateBatch};
 //!
@@ -36,17 +42,18 @@
 //!     Transaction::from_items([1u32, 2]),
 //!     Transaction::from_items([2u32, 3]),
 //! ];
-//! let mut m = RuleMaintainer::bootstrap(
-//!     history,
-//!     MinSupport::percent(50),
-//!     MinConfidence::percent(80),
-//! );
-//! let report = m
-//!     .apply_update(UpdateBatch::insert_only(vec![
-//!         Transaction::from_items([1u32, 3]),
-//!     ]))
+//! let mut m = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(80))
+//!     .build(history)
 //!     .unwrap();
+//! m.stage(UpdateBatch::insert_only(vec![
+//!     Transaction::from_items([1u32, 3]),
+//! ]))
+//! .unwrap();
+//! let report = m.commit().unwrap();
 //! assert_eq!(report.num_transactions, 4);
+//! assert_eq!(m.snapshot().version(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -60,12 +67,19 @@ pub mod fup2;
 pub mod maintain;
 pub mod policy;
 pub mod reduce;
-mod vindex;
+pub mod session;
+pub mod vindex;
 
 pub use config::FupConfig;
 pub use diff::{ItemsetDiff, RuleDiff};
-pub use error::{Error, Result};
+pub use error::{BuildError, Error, Result};
 pub use fup::{Fup, FupOutcome, FupPassDetail};
 pub use fup2::Fup2;
-pub use maintain::{MaintenanceReport, RuleMaintainer};
 pub use policy::UpdatePolicy;
+pub use session::{
+    IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, Updater,
+};
+pub use vindex::IndexSlot;
+
+#[allow(deprecated)]
+pub use maintain::RuleMaintainer;

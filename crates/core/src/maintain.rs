@@ -1,51 +1,52 @@
-//! High-level rule maintenance: the API a downstream application uses.
+//! The legacy batch-style maintenance entry point, kept as a thin
+//! deprecated shim over the session API.
 //!
-//! [`RuleMaintainer`] owns the transaction store, the current large
-//! itemsets, and the current strong rules. Each
-//! [`apply_update`](RuleMaintainer::apply_update) stages the batch on the
-//! store, runs FUP (pure insertions) or FUP2 (with deletions) against the
-//! staged views, commits, regenerates rules, and reports exactly what the
-//! update changed.
+//! [`RuleMaintainer`] predates [`crate::Maintainer`]: it
+//! bootstraps and applies each update in one blocking call, with no
+//! staging, no snapshots, and stringly/silent error reporting in its
+//! administrative methods. It now delegates everything to an inner
+//! [`Maintainer`] session — behaviour (and results)
+//! are bit-identical — and exists only so downstream code migrates at its
+//! own pace. New code should use
+//! [`Maintainer::builder`](crate::Maintainer::builder).
+
+pub use crate::session::MaintenanceReport;
 
 use crate::config::FupConfig;
-use crate::diff::{ItemsetDiff, RuleDiff};
 use crate::error::Result;
-use crate::fup::{Fup, FupOutcome};
-use crate::fup2::Fup2;
 use crate::policy::UpdatePolicy;
-use fup_mining::rules::generate_rules;
-use fup_mining::{Apriori, LargeItemsets, MinConfidence, MinSupport, MiningStats, RuleSet};
-use fup_tidb::{SegmentedDb, Tid, Transaction, UpdateBatch};
-
-/// What one maintenance round changed.
-#[derive(Debug, Clone)]
-pub struct MaintenanceReport {
-    /// Which algorithm ran ("fup" for pure insertions, "fup2" otherwise).
-    pub algorithm: &'static str,
-    /// Itemsets that emerged / expired.
-    pub itemsets: ItemsetDiff,
-    /// Rules that appeared / disappeared.
-    pub rules: RuleDiff,
-    /// Tids assigned to the inserted transactions.
-    pub inserted_tids: Vec<Tid>,
-    /// Database size after the update.
-    pub num_transactions: u64,
-    /// Per-pass mining statistics of the incremental run.
-    pub stats: MiningStats,
-}
+use crate::session::Maintainer;
+use fup_mining::{LargeItemsets, MinConfidence, MinSupport, RuleSet};
+use fup_tidb::{SegmentedDb, Transaction, UpdateBatch};
 
 /// Keeps discovered association rules current across database updates.
+///
+/// Deprecated: this is the pre-session API. It still works (as a shim
+/// over [`Maintainer`]), but new code should build a
+/// session instead:
+///
+/// ```
+/// use fup_core::Maintainer;
+/// use fup_mining::{MinConfidence, MinSupport};
+///
+/// let m = Maintainer::builder()
+///     .min_support(MinSupport::percent(50))
+///     .min_confidence(MinConfidence::percent(70))
+///     .build(Vec::new())
+///     .unwrap();
+/// assert!(m.is_empty());
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Maintainer::builder()` — the session API with staged commits, \
+            snapshot reads, and typed configuration errors"
+)]
 #[derive(Debug)]
 pub struct RuleMaintainer {
-    store: SegmentedDb,
-    large: LargeItemsets,
-    rules: RuleSet,
-    minsup: MinSupport,
-    minconf: MinConfidence,
-    config: FupConfig,
-    policy: UpdatePolicy,
+    inner: Maintainer,
 }
 
+#[allow(deprecated)]
 impl RuleMaintainer {
     /// Builds the initial state: loads `history` into the store, mines it
     /// from scratch with Apriori, and derives the initial rules.
@@ -58,69 +59,76 @@ impl RuleMaintainer {
     }
 
     /// [`bootstrap`](Self::bootstrap) with an explicit FUP configuration.
+    /// Unlike [`MaintainerBuilder::build`](crate::MaintainerBuilder::build),
+    /// the configuration is accepted unvalidated — the historical
+    /// behaviour this shim preserves.
     pub fn bootstrap_with_config(
         history: Vec<Transaction>,
         minsup: MinSupport,
         minconf: MinConfidence,
         config: FupConfig,
     ) -> Self {
-        let store = SegmentedDb::from_transactions(history);
-        let large = Apriori::new().run(&store, minsup).large;
-        let rules = generate_rules(&large, minconf);
         RuleMaintainer {
-            store,
-            large,
-            rules,
-            minsup,
-            minconf,
-            config,
-            policy: UpdatePolicy::default(),
+            inner: Maintainer::bootstrap_unchecked(history, minsup, minconf, config),
         }
     }
 
     /// Sets the incremental-vs-remine policy (see [`UpdatePolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on policies the session's configuration cannot honor (this
+    /// method historically accepted them silently; the replacement
+    /// returns them as typed errors instead).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Maintainer::set_policy`, which returns a typed `BuildError` \
+                for policies the configured session cannot honor"
+    )]
     pub fn set_policy(&mut self, policy: UpdatePolicy) {
-        self.policy = policy;
+        if let Err(e) = self.inner.set_policy(policy) {
+            panic!("invalid update policy: {e}");
+        }
     }
 
     /// The active update policy.
     pub fn policy(&self) -> UpdatePolicy {
-        self.policy
+        self.inner.policy()
     }
 
     /// The current strong rules.
     pub fn rules(&self) -> &RuleSet {
-        &self.rules
+        self.inner.rules()
     }
 
     /// The current large itemsets with support counts.
     pub fn large_itemsets(&self) -> &LargeItemsets {
-        &self.large
+        self.inner.large_itemsets()
     }
 
     /// The underlying store (read access).
     pub fn store(&self) -> &SegmentedDb {
-        &self.store
+        self.inner.store()
     }
 
     /// Number of live transactions.
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.inner.len()
     }
 
     /// `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.inner.is_empty()
     }
 
     /// The configured minimum support.
     pub fn minsup(&self) -> MinSupport {
-        self.minsup
+        self.inner.minsup()
     }
 
     /// The configured minimum confidence.
     pub fn minconf(&self) -> MinConfidence {
-        self.minconf
+        self.inner.minconf()
     }
 
     /// Applies an insert/delete batch incrementally, keeping itemsets and
@@ -130,107 +138,37 @@ impl RuleMaintainer {
     /// FUP2. On error (e.g. unknown tid in `deletes`) the store is left
     /// unchanged.
     pub fn apply_update(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
-        let batch_size = batch.inserts.len() as u64 + batch.deletes.len() as u64;
-        if self
-            .policy
-            .should_remine(batch_size, self.store.len() as u64)
-        {
-            return self.apply_by_remine(batch);
-        }
-        let staged = self.store.stage(batch)?;
-        let pure_insert = staged.num_deleted() == 0;
-        let outcome: FupOutcome = if pure_insert {
-            // While staged with no deletions, the store is exactly the old
-            // `DB`.
-            match Fup::with_config(self.config.clone()).update(
-                &self.store,
-                &self.large,
-                staged.inserted(),
-                self.minsup,
-            ) {
-                Ok(o) => o,
-                Err(e) => {
-                    self.store.abort(staged);
-                    return Err(e);
-                }
-            }
-        } else {
-            match Fup2::with_config(self.config.clone()).update(
-                &self.store,
-                &self.large,
-                staged.deleted(),
-                staged.inserted(),
-                self.minsup,
-            ) {
-                Ok(o) => o,
-                Err(e) => {
-                    self.store.abort(staged);
-                    return Err(e);
-                }
-            }
-        };
-        let algorithm = if pure_insert { "fup" } else { "fup2" };
-        let (_seg, inserted_tids) = self.store.commit(staged);
-
-        let new_rules = generate_rules(&outcome.large, self.minconf);
-        let report = MaintenanceReport {
-            algorithm,
-            itemsets: ItemsetDiff::between(&self.large, &outcome.large),
-            rules: RuleDiff::between(&self.rules, &new_rules),
-            inserted_tids,
-            num_transactions: self.store.len() as u64,
-            stats: outcome.stats,
-        };
-        self.large = outcome.large;
-        self.rules = new_rules;
-        Ok(report)
-    }
-
-    /// Applies a batch by committing it and re-mining from scratch — the
-    /// path [`UpdatePolicy`] routes to for very large batches.
-    fn apply_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
-        let staged = self.store.stage(batch)?;
-        let (_seg, inserted_tids) = self.store.commit(staged);
-        let outcome = Apriori::new().run(&self.store, self.minsup);
-        let new_rules = generate_rules(&outcome.large, self.minconf);
-        let report = MaintenanceReport {
-            algorithm: "apriori-remine",
-            itemsets: ItemsetDiff::between(&self.large, &outcome.large),
-            rules: RuleDiff::between(&self.rules, &new_rules),
-            inserted_tids,
-            num_transactions: self.store.len() as u64,
-            stats: outcome.stats,
-        };
-        self.large = outcome.large;
-        self.rules = new_rules;
-        Ok(report)
+        self.inner.apply(batch)
     }
 
     /// Re-mines from scratch (Apriori) and replaces the maintained state —
     /// an escape hatch for threshold changes, plus the reference the
     /// consistency check uses.
     pub fn remine(&mut self) -> &LargeItemsets {
-        self.large = Apriori::new().run(&self.store, self.minsup).large;
-        self.rules = generate_rules(&self.large, self.minconf);
-        &self.large
+        self.inner.remine()
     }
 
     /// Verifies that the incrementally-maintained itemsets equal a full
     /// re-mine. Intended for tests and audits; scans the whole store.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Maintainer::verify_consistency`, which returns the typed \
+                `Error::Inconsistent` instead of a raw `Vec<String>`"
+    )]
     pub fn verify_consistency(&self) -> std::result::Result<(), Vec<String>> {
-        let fresh = Apriori::new().run(&self.store, self.minsup).large;
-        if self.large.same_itemsets(&fresh) {
-            Ok(())
-        } else {
-            Err(self.large.diff(&fresh))
-        }
+        self.inner.verify_consistency().map_err(|e| match e {
+            crate::error::Error::Inconsistent { differences } => differences,
+            other => vec![other.to_string()],
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use fup_mining::Itemset;
+    use fup_tidb::Tid;
 
     fn tx(items: &[u32]) -> Transaction {
         Transaction::from_items(items.iter().copied())
@@ -398,6 +336,13 @@ mod tests {
         assert_eq!(r.algorithm, "apriori-remine");
         assert_eq!(r.num_transactions, 4);
         m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid update policy")]
+    fn set_policy_panics_on_invalid_ratio() {
+        let mut m = maintainer();
+        m.set_policy(UpdatePolicy::RemineOverRatio(-1.0));
     }
 
     #[test]

@@ -1,0 +1,1261 @@
+//! The session-oriented maintenance API: a [`Maintainer`] built once via
+//! [`Maintainer::builder`], fed by **staged** update batches
+//! ([`stage`](Maintainer::stage) accumulates, [`commit`](Maintainer::commit)
+//! applies them as one FUP/FUP2 round), and read through cheap, versioned
+//! [`RuleSnapshot`]s that stay valid and self-consistent while later
+//! commits proceed.
+//!
+//! This is the shape the paper argues for: rule maintenance as an
+//! *ongoing service* over a growing database, not a batch re-mine. The
+//! session decouples **arrival** (transactions stream in, `stage`) from
+//! **application** (one incremental round, `commit`) and **serving**
+//! (snapshot reads, untouched by either), and it keeps the expensive
+//! per-round state — the vertical tid-list index — alive across rounds:
+//! insert-only commits *extend* the held [`VerticalIndex`](fup_mining::VerticalIndex)
+//! with the staged delta instead of rebuilding it on first use
+//! (see [`crate::vindex`]).
+//!
+//! ```
+//! use fup_core::Maintainer;
+//! use fup_mining::{MinConfidence, MinSupport};
+//! use fup_tidb::{Transaction, UpdateBatch};
+//!
+//! let history = vec![
+//!     Transaction::from_items([1u32, 2, 3]),
+//!     Transaction::from_items([1u32, 2]),
+//!     Transaction::from_items([2u32, 3]),
+//! ];
+//! let mut m = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(80))
+//!     .build(history)
+//!     .unwrap();
+//!
+//! // Reads go through version-stamped snapshots...
+//! let before = m.snapshot();
+//!
+//! // ...while updates accumulate and apply in one round.
+//! m.stage(UpdateBatch::insert_only(vec![Transaction::from_items([1u32, 3])]))
+//!     .unwrap();
+//! let report = m.commit().unwrap();
+//! assert_eq!(report.num_transactions, 4);
+//!
+//! // The pre-commit snapshot is still valid, at its own version.
+//! assert_eq!(before.version() + 1, m.snapshot().version());
+//! ```
+
+use crate::config::FupConfig;
+use crate::diff::{ItemsetDiff, RuleDiff};
+use crate::error::{BuildError, Error, Result};
+use crate::fup::Fup;
+use crate::fup2::Fup2;
+use crate::policy::UpdatePolicy;
+use crate::vindex::IndexSlot;
+use fup_mining::apriori::AprioriConfig;
+use fup_mining::rules::generate_rules;
+use fup_mining::{
+    Apriori, CountingBackend, EngineConfig, Itemset, LargeItemsets, MinConfidence, MinSupport,
+    MiningStats, Rule, RuleSet,
+};
+use fup_tidb::{ItemId, SegmentedDb, StagedUpdate, Tid, Transaction, UpdateBatch};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which incremental updater a session runs at commit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Updater {
+    /// Pick per batch: the paper's FUP for pure insertions, FUP2 once a
+    /// batch carries deletions.
+    #[default]
+    Auto,
+    /// Always the paper's base FUP — insertions only. Building a session
+    /// with this pin requires declaring the workload insert-only
+    /// ([`MaintainerBuilder::deletions`]`(false)`), otherwise the builder
+    /// rejects the combination as [`BuildError::DeletionsWithoutFup2`].
+    Fup,
+    /// Always FUP2 (it subsumes the insert-only case).
+    Fup2,
+}
+
+/// What one maintenance round changed.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Which algorithm ran ("fup" for pure insertions, "fup2" with
+    /// deletions, "apriori-remine" when the policy routed to a re-mine).
+    pub algorithm: &'static str,
+    /// The state version this commit produced (snapshots taken after it
+    /// carry the same stamp).
+    pub version: u64,
+    /// Itemsets that emerged / expired.
+    pub itemsets: ItemsetDiff,
+    /// Rules that appeared / disappeared.
+    pub rules: RuleDiff,
+    /// Tids assigned to the inserted transactions.
+    pub inserted_tids: Vec<Tid>,
+    /// Database size after the update.
+    pub num_transactions: u64,
+    /// Per-pass mining statistics of the incremental run.
+    pub stats: MiningStats,
+}
+
+/// Counters describing the session's persistent vertical index (see
+/// [`Maintainer::index_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// From-scratch index builds performed so far.
+    pub builds: u64,
+    /// Rounds that *extended* the held index with a delta scan instead of
+    /// rebuilding it.
+    pub extends: u64,
+    /// `true` while an index is held and ready for the next round.
+    pub resident: bool,
+}
+
+/// The immutable state one commit produced — shared by the maintainer and
+/// every [`RuleSnapshot`] stamped with its version.
+#[derive(Debug)]
+struct SnapshotState {
+    version: u64,
+    num_transactions: u64,
+    minsup: MinSupport,
+    minconf: MinConfidence,
+    large: LargeItemsets,
+    rules: RuleSet,
+    /// Rule indices mentioning each item (antecedent or consequent side).
+    rules_by_item: HashMap<ItemId, Vec<u32>>,
+    /// Rule indices sorted by confidence, highest first (ties broken by
+    /// rule identity for determinism).
+    rules_by_confidence: Vec<u32>,
+}
+
+impl SnapshotState {
+    fn new(
+        version: u64,
+        num_transactions: u64,
+        minsup: MinSupport,
+        minconf: MinConfidence,
+        large: LargeItemsets,
+        rules: RuleSet,
+    ) -> Self {
+        let mut rules_by_item: HashMap<ItemId, Vec<u32>> = HashMap::new();
+        for (i, r) in rules.rules().iter().enumerate() {
+            for &item in r.antecedent.items().iter().chain(r.consequent.items()) {
+                rules_by_item.entry(item).or_default().push(i as u32);
+            }
+        }
+        let mut rules_by_confidence: Vec<u32> = (0..rules.len() as u32).collect();
+        rules_by_confidence.sort_by(|&a, &b| {
+            let (ra, rb) = (&rules.rules()[a as usize], &rules.rules()[b as usize]);
+            rb.confidence()
+                .total_cmp(&ra.confidence())
+                .then_with(|| ra.cmp(rb))
+        });
+        SnapshotState {
+            version,
+            num_transactions,
+            minsup,
+            minconf,
+            large,
+            rules,
+            rules_by_item,
+            rules_by_confidence,
+        }
+    }
+}
+
+/// A cheap, consistent view of the maintained rules and itemsets at one
+/// state version.
+///
+/// Snapshots are `Arc`-backed: taking one is a pointer clone, and a
+/// snapshot stays valid — and internally consistent — no matter how many
+/// commits the session performs afterwards. Serving-side lookups go
+/// through the query methods instead of walking the raw [`RuleSet`].
+#[derive(Debug, Clone)]
+pub struct RuleSnapshot {
+    inner: Arc<SnapshotState>,
+}
+
+impl RuleSnapshot {
+    /// The state version this snapshot was taken at (0 after bootstrap,
+    /// +1 per commit).
+    pub fn version(&self) -> u64 {
+        self.inner.version
+    }
+
+    /// Number of live transactions at this version.
+    pub fn num_transactions(&self) -> u64 {
+        self.inner.num_transactions
+    }
+
+    /// The minimum support the itemsets were maintained at.
+    pub fn min_support(&self) -> MinSupport {
+        self.inner.minsup
+    }
+
+    /// The minimum confidence the rules were derived at.
+    pub fn min_confidence(&self) -> MinConfidence {
+        self.inner.minconf
+    }
+
+    /// The strong rules at this version, sorted.
+    pub fn rules(&self) -> &RuleSet {
+        &self.inner.rules
+    }
+
+    /// The large itemsets (with support counts) at this version.
+    pub fn large_itemsets(&self) -> &LargeItemsets {
+        &self.inner.large
+    }
+
+    /// The exact support count of `itemset` at this version, if it is
+    /// large.
+    pub fn support_of(&self, itemset: &Itemset) -> Option<u64> {
+        self.inner.large.support(itemset)
+    }
+
+    /// All rules whose antecedent is exactly `antecedent`, sorted.
+    pub fn rules_with_antecedent(&self, antecedent: &Itemset) -> Vec<&Rule> {
+        let Some(&first) = antecedent.items().first() else {
+            return Vec::new();
+        };
+        // Every such rule mentions the antecedent's first item, so the
+        // per-item postings bound the scan.
+        self.rules_for_indices(self.inner.rules_by_item.get(&first))
+            .filter(|r| &r.antecedent == antecedent)
+            .collect()
+    }
+
+    /// All rules mentioning `item` on either side, sorted.
+    pub fn rules_about(&self, item: ItemId) -> Vec<&Rule> {
+        self.rules_for_indices(self.inner.rules_by_item.get(&item))
+            .collect()
+    }
+
+    /// The `k` highest-confidence rules (ties broken by rule identity).
+    pub fn top_k_by_confidence(&self, k: usize) -> Vec<&Rule> {
+        self.inner
+            .rules_by_confidence
+            .iter()
+            .take(k)
+            .map(|&i| &self.inner.rules.rules()[i as usize])
+            .collect()
+    }
+
+    fn rules_for_indices<'s>(
+        &'s self,
+        indices: Option<&'s Vec<u32>>,
+    ) -> impl Iterator<Item = &'s Rule> + 's {
+        indices
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.inner.rules.rules()[i as usize])
+    }
+}
+
+/// Fluent, validating builder for a [`Maintainer`] session — the one
+/// place the previously scattered knobs ([`MinSupport`],
+/// [`MinConfidence`], [`FupConfig`], [`EngineConfig`],
+/// [`GenConfig`](fup_mining::GenConfig), [`UpdatePolicy`],
+/// [`CountingBackend`]) come together. Later calls win over earlier ones;
+/// [`build`](MaintainerBuilder::build) rejects bad combinations with a
+/// typed [`BuildError`] instead of panicking at runtime.
+#[derive(Debug, Clone, Default)]
+pub struct MaintainerBuilder {
+    minsup: Option<MinSupport>,
+    minconf: Option<MinConfidence>,
+    config: FupConfig,
+    threads: Option<usize>,
+    gen_threads: Option<usize>,
+    chunk_size: Option<usize>,
+    backend: Option<CountingBackend>,
+    policy: UpdatePolicy,
+    updater: Updater,
+    deletions: bool,
+}
+
+impl MaintainerBuilder {
+    fn new() -> Self {
+        MaintainerBuilder {
+            deletions: true,
+            ..Self::default()
+        }
+    }
+
+    /// The minimum support threshold (required).
+    pub fn min_support(mut self, minsup: MinSupport) -> Self {
+        self.minsup = Some(minsup);
+        self
+    }
+
+    /// The minimum confidence threshold (required).
+    pub fn min_confidence(mut self, minconf: MinConfidence) -> Self {
+        self.minconf = Some(minconf);
+        self
+    }
+
+    /// Replaces the whole FUP configuration (optimisation toggles and
+    /// engine settings), discarding any earlier fine-grained calls;
+    /// fine-grained calls made *after* this one override individual
+    /// fields.
+    pub fn fup_config(mut self, config: FupConfig) -> Self {
+        self.config = config;
+        self.clear_engine_overrides();
+        self
+    }
+
+    /// Replaces the counting-engine configuration wholesale, discarding
+    /// any earlier fine-grained engine calls; fine-grained calls made
+    /// *after* this one override individual fields.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.config.engine = engine;
+        self.clear_engine_overrides();
+        self
+    }
+
+    /// Drops pending fine-grained engine overrides so that a wholesale
+    /// [`engine`](Self::engine) / [`fup_config`](Self::fup_config) call
+    /// wins over everything before it — the "later calls win" contract.
+    fn clear_engine_overrides(&mut self) {
+        self.threads = None;
+        self.gen_threads = None;
+        self.chunk_size = None;
+        self.backend = None;
+    }
+
+    /// Worker threads for counting scans *and* candidate generation.
+    /// Explicitly passing `0` is a [`BuildError::ZeroThreads`]; omit the
+    /// call to use the machine's available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Worker threads for candidate generation alone (overrides the
+    /// [`threads`](Self::threads) value for that phase).
+    pub fn gen_threads(mut self, threads: usize) -> Self {
+        self.gen_threads = Some(threads);
+        self
+    }
+
+    /// Transactions per claimed scan chunk (must be ≥ 1).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// The support-counting backend for every scan of the session.
+    pub fn backend(mut self, backend: CountingBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Toggles the `Reduce-db`/`Reduce-DB` trimming of §3.4.
+    pub fn reduce_db(mut self, on: bool) -> Self {
+        self.config.reduce_db = on;
+        self
+    }
+
+    /// Toggles DHP-style pair hashing over the increment (§3.4).
+    pub fn dhp_hash(mut self, on: bool) -> Self {
+        self.config.dhp_hash = on;
+        self
+    }
+
+    /// Bucket count for the DHP pair hash (must be ≥ 1 while
+    /// [`dhp_hash`](Self::dhp_hash) is on).
+    pub fn hash_buckets(mut self, buckets: usize) -> Self {
+        self.config.hash_buckets = buckets;
+        self
+    }
+
+    /// Caps mining at iteration `k` (must be ≥ 1). Incompatible with
+    /// re-mining policies, which ignore the cap.
+    pub fn max_k(mut self, k: usize) -> Self {
+        self.config.max_k = Some(k);
+        self
+    }
+
+    /// The incremental-vs-remine policy (validated like
+    /// [`Maintainer::set_policy`]).
+    pub fn policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Pins the incremental updater (default: [`Updater::Auto`]).
+    pub fn updater(mut self, updater: Updater) -> Self {
+        self.updater = updater;
+        self
+    }
+
+    /// Declares whether the workload contains deletions (default `true`).
+    /// With `false`, staging a batch that deletes anything fails with
+    /// [`Error::DeletionsDisabled`] — and pinning [`Updater::Fup`]
+    /// becomes legal.
+    pub fn deletions(mut self, deletions: bool) -> Self {
+        self.deletions = deletions;
+        self
+    }
+
+    /// Validates the configuration, then bootstraps the session: loads
+    /// `history` into the store, mines it from scratch with Apriori (on
+    /// the configured engine), and derives the initial rules as state
+    /// version 0.
+    pub fn build(self, history: Vec<Transaction>) -> std::result::Result<Maintainer, BuildError> {
+        let minsup = self.minsup.ok_or(BuildError::MissingMinSupport)?;
+        let minconf = self.minconf.ok_or(BuildError::MissingMinConfidence)?;
+        let mut config = self.config;
+        if let Some(t) = self.threads {
+            if t == 0 {
+                return Err(BuildError::ZeroThreads);
+            }
+            config.engine.threads = t;
+            config.engine.gen.threads = t;
+        }
+        if let Some(t) = self.gen_threads {
+            if t == 0 {
+                return Err(BuildError::ZeroThreads);
+            }
+            config.engine.gen.threads = t;
+        }
+        if let Some(c) = self.chunk_size {
+            if c == 0 {
+                return Err(BuildError::ZeroChunkSize);
+            }
+            config.engine.chunk_size = c;
+        }
+        if let Some(b) = self.backend {
+            config.engine.backend = b;
+        }
+        if config.dhp_hash && config.hash_buckets == 0 {
+            return Err(BuildError::ZeroHashBuckets);
+        }
+        if config.max_k == Some(0) {
+            return Err(BuildError::ZeroMaxK);
+        }
+        validate_policy(self.policy, &config)?;
+        if self.updater == Updater::Fup && self.deletions {
+            return Err(BuildError::DeletionsWithoutFup2);
+        }
+        let mut m = Maintainer::bootstrap_unchecked(history, minsup, minconf, config);
+        m.policy = self.policy;
+        m.updater = self.updater;
+        m.deletions = self.deletions;
+        Ok(m)
+    }
+}
+
+/// Checks that the configured updater can actually honor `policy` — the
+/// validation [`RuleMaintainer::set_policy`](crate::RuleMaintainer::set_policy)
+/// historically skipped.
+fn validate_policy(
+    policy: UpdatePolicy,
+    config: &FupConfig,
+) -> std::result::Result<(), BuildError> {
+    let remine_capable = match policy {
+        UpdatePolicy::AlwaysIncremental => false,
+        UpdatePolicy::AlwaysRemine => true,
+        UpdatePolicy::RemineOverRatio(r) => {
+            if r.is_nan() || r < 0.0 {
+                return Err(BuildError::InvalidRemineRatio(r));
+            }
+            true
+        }
+    };
+    if remine_capable && config.max_k.is_some() {
+        return Err(BuildError::RemineIgnoresMaxK);
+    }
+    Ok(())
+}
+
+/// A rule-maintenance session: owns the transaction store, the current
+/// mined state, and a persistent vertical index, and keeps discovered
+/// association rules current across staged insert/delete batches.
+///
+/// Construction goes through [`Maintainer::builder`]. Updates **arrive**
+/// via [`stage`](Maintainer::stage) (accumulated on the store's staging
+/// area, invisible to scans and reads), are **applied** by
+/// [`commit`](Maintainer::commit) (one FUP/FUP2 round over everything
+/// staged), and are **served** via [`snapshot`](Maintainer::snapshot)
+/// (version-stamped, `Arc`-backed reads that later commits never
+/// invalidate).
+#[derive(Debug)]
+pub struct Maintainer {
+    store: SegmentedDb,
+    state: Arc<SnapshotState>,
+    minsup: MinSupport,
+    minconf: MinConfidence,
+    config: FupConfig,
+    policy: UpdatePolicy,
+    updater: Updater,
+    deletions: bool,
+    index: IndexSlot,
+}
+
+impl Maintainer {
+    /// Starts configuring a session.
+    pub fn builder() -> MaintainerBuilder {
+        MaintainerBuilder::new()
+    }
+
+    /// Bootstrap without builder validation — the escape hatch the
+    /// deprecated [`RuleMaintainer`](crate::RuleMaintainer) shim uses to
+    /// preserve its historical constructor semantics.
+    pub(crate) fn bootstrap_unchecked(
+        history: Vec<Transaction>,
+        minsup: MinSupport,
+        minconf: MinConfidence,
+        config: FupConfig,
+    ) -> Self {
+        let store = SegmentedDb::from_transactions(history);
+        let large = Apriori::with_config(AprioriConfig {
+            engine: config.engine.clone(),
+            ..Default::default()
+        })
+        .run(&store, minsup)
+        .large;
+        let rules = generate_rules(&large, minconf);
+        let mut index = IndexSlot::new();
+        if config.engine.backend == CountingBackend::Vertical && !store.is_empty() {
+            // A pinned-vertical session will want the index on every
+            // commit; seeding it here (filtered to L₁, like any update
+            // index) lets even the *first* commit extend instead of build.
+            index.seed(
+                &store,
+                large.level(1).map(|(x, _)| x.items()[0]),
+                &config.engine,
+            );
+        }
+        let state = Arc::new(SnapshotState::new(
+            0,
+            store.len() as u64,
+            minsup,
+            minconf,
+            large,
+            rules,
+        ));
+        Maintainer {
+            store,
+            state,
+            minsup,
+            minconf,
+            config,
+            policy: UpdatePolicy::default(),
+            updater: Updater::default(),
+            deletions: true,
+            index,
+        }
+    }
+
+    // ------------------------------------------------------ staging --
+
+    /// Queues a batch for the next commit. The batch is validated at
+    /// arrival (unknown or doubly-deleted tids fail here, with nothing
+    /// queued) but the mined state, the store's live set, and every
+    /// existing snapshot are untouched until [`commit`](Self::commit).
+    pub fn stage(&mut self, batch: UpdateBatch) -> Result<()> {
+        if !self.deletions && !batch.deletes.is_empty() {
+            return Err(Error::DeletionsDisabled);
+        }
+        self.store.enqueue(batch)?;
+        Ok(())
+    }
+
+    /// The batches staged so far, concatenated in arrival order.
+    pub fn staged(&self) -> &UpdateBatch {
+        self.store.pending()
+    }
+
+    /// `true` if anything is staged.
+    pub fn has_staged(&self) -> bool {
+        self.store.has_pending()
+    }
+
+    /// Drops everything staged without applying it, returning the
+    /// discarded batch.
+    pub fn discard(&mut self) -> UpdateBatch {
+        self.store.discard_pending()
+    }
+
+    /// Applies everything staged as **one** maintenance round: pure
+    /// insertions run the paper's FUP, batches with deletions run FUP2,
+    /// and the [`UpdatePolicy`] may route oversized batches to a full
+    /// re-mine. Returns what the round changed; on error the store and
+    /// the mined state are left unchanged (the staged work is consumed
+    /// either way).
+    ///
+    /// Committing with nothing staged is a no-op round: it bumps the
+    /// version and reports no changes.
+    pub fn commit(&mut self) -> Result<MaintenanceReport> {
+        let batch = self.store.take_pending();
+        self.commit_batch(batch)
+    }
+
+    /// [`stage`](Self::stage) + [`commit`](Self::commit) in one call —
+    /// note this also applies anything staged earlier.
+    pub fn apply(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
+        self.stage(batch)?;
+        self.commit()
+    }
+
+    fn commit_batch(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
+        let _ = self.index.take_touched();
+        let batch_size = batch.inserts.len() as u64 + batch.deletes.len() as u64;
+        if self
+            .policy
+            .should_remine(batch_size, self.store.len() as u64)
+        {
+            return self.commit_by_remine(batch);
+        }
+        let staged = self.store.stage(batch)?;
+        let pure_insert = staged.num_deleted() == 0;
+        let use_fup = match self.updater {
+            Updater::Auto => pure_insert,
+            Updater::Fup => true,
+            Updater::Fup2 => false,
+        };
+        let outcome = if use_fup {
+            debug_assert!(pure_insert, "deletions are rejected at stage time");
+            Fup::with_config(self.config.clone()).update_with_index(
+                &self.store,
+                &self.state.large,
+                staged.inserted(),
+                self.minsup,
+                &mut self.index,
+            )
+        } else {
+            Fup2::with_config(self.config.clone()).update_with_index(
+                &self.store,
+                &self.state.large,
+                staged.deleted(),
+                staged.inserted(),
+                self.minsup,
+                &mut self.index,
+            )
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            Err(e) => {
+                if staged.num_deleted() > 0 {
+                    // Abort re-appends the deleted rows at the end of the
+                    // live set, so its scan order no longer matches any
+                    // held index.
+                    self.index.clear();
+                }
+                self.store.abort(staged);
+                return Err(e);
+            }
+        };
+        let algorithm = if use_fup { "fup" } else { "fup2" };
+        Ok(self.finish_commit(staged, outcome.large, algorithm, outcome.stats))
+    }
+
+    /// Applies a batch by committing it and re-mining from scratch — the
+    /// path [`UpdatePolicy`] routes to for very large batches.
+    fn commit_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
+        let staged = self.store.stage(batch)?;
+        let pure_insert = staged.num_deleted() == 0;
+        self.align_index(&staged, pure_insert);
+        let (_seg, inserted_tids) = self.store.commit(staged);
+        let outcome = Apriori::with_config(AprioriConfig {
+            engine: self.config.engine.clone(),
+            ..Default::default()
+        })
+        .run(&self.store, self.minsup);
+        Ok(self.publish(
+            outcome.large,
+            "apriori-remine",
+            outcome.stats,
+            inserted_tids,
+        ))
+    }
+
+    /// Commits `staged` and publishes the round's mined state.
+    fn finish_commit(
+        &mut self,
+        staged: StagedUpdate,
+        new_large: LargeItemsets,
+        algorithm: &'static str,
+        stats: MiningStats,
+    ) -> MaintenanceReport {
+        let pure_insert = staged.num_deleted() == 0;
+        self.align_index(&staged, pure_insert);
+        let (_seg, inserted_tids) = self.store.commit(staged);
+        self.publish(new_large, algorithm, stats, inserted_tids)
+    }
+
+    /// Keeps the persistent index consistent with the store the round is
+    /// about to commit: if the round's counting never touched the slot,
+    /// an insert-only round extends the held index with the insert side
+    /// (one cheap delta scan), and a round with deletions — whose
+    /// `swap_remove` staging reordered the live set — drops it.
+    fn align_index(&mut self, staged: &StagedUpdate, pure_insert: bool) {
+        if !self.index.take_touched() {
+            if pure_insert {
+                self.index
+                    .extend_with(staged.inserted(), &self.config.engine);
+            } else {
+                self.index.clear();
+            }
+        }
+    }
+
+    fn publish(
+        &mut self,
+        new_large: LargeItemsets,
+        algorithm: &'static str,
+        stats: MiningStats,
+        inserted_tids: Vec<Tid>,
+    ) -> MaintenanceReport {
+        let new_rules = generate_rules(&new_large, self.minconf);
+        let version = self.state.version + 1;
+        let report = MaintenanceReport {
+            algorithm,
+            version,
+            itemsets: ItemsetDiff::between(&self.state.large, &new_large),
+            rules: RuleDiff::between(&self.state.rules, &new_rules),
+            inserted_tids,
+            num_transactions: self.store.len() as u64,
+            stats,
+        };
+        self.state = Arc::new(SnapshotState::new(
+            version,
+            self.store.len() as u64,
+            self.minsup,
+            self.minconf,
+            new_large,
+            new_rules,
+        ));
+        report
+    }
+
+    // ------------------------------------------------------ reading --
+
+    /// Takes a version-stamped snapshot of the current rules and
+    /// itemsets — an `Arc` clone, valid (and internally consistent)
+    /// forever, no matter how many commits follow.
+    pub fn snapshot(&self) -> RuleSnapshot {
+        RuleSnapshot {
+            inner: Arc::clone(&self.state),
+        }
+    }
+
+    /// The current state version (0 after bootstrap, +1 per commit).
+    pub fn version(&self) -> u64 {
+        self.state.version
+    }
+
+    /// The current strong rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.state.rules
+    }
+
+    /// The current large itemsets with support counts.
+    pub fn large_itemsets(&self) -> &LargeItemsets {
+        &self.state.large
+    }
+
+    /// The underlying store (read access).
+    pub fn store(&self) -> &SegmentedDb {
+        &self.store
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The configured minimum support.
+    pub fn minsup(&self) -> MinSupport {
+        self.minsup
+    }
+
+    /// The configured minimum confidence.
+    pub fn minconf(&self) -> MinConfidence {
+        self.minconf
+    }
+
+    /// The session's FUP configuration.
+    pub fn config(&self) -> &FupConfig {
+        &self.config
+    }
+
+    /// The configured incremental updater.
+    pub fn updater(&self) -> Updater {
+        self.updater
+    }
+
+    /// The active update policy.
+    pub fn policy(&self) -> UpdatePolicy {
+        self.policy
+    }
+
+    /// Counters for the persistent vertical index: how often it was built
+    /// from scratch vs extended in place across the session's rounds.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            builds: self.index.builds(),
+            extends: self.index.extends(),
+            resident: self.index.has_index(),
+        }
+    }
+
+    // ---------------------------------------------- administration --
+
+    /// Sets the incremental-vs-remine policy, rejecting policies the
+    /// session's configuration cannot honor (negative ratios; re-mining
+    /// policies combined with a `max_k` cap the re-mine would ignore).
+    pub fn set_policy(&mut self, policy: UpdatePolicy) -> std::result::Result<(), BuildError> {
+        validate_policy(policy, &self.config)?;
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Re-mines from scratch (Apriori) and replaces the maintained state —
+    /// an escape hatch for threshold changes. Bumps the state version.
+    pub fn remine(&mut self) -> &LargeItemsets {
+        let outcome = Apriori::with_config(AprioriConfig {
+            engine: self.config.engine.clone(),
+            ..Default::default()
+        })
+        .run(&self.store, self.minsup);
+        self.publish(outcome.large, "apriori-remine", outcome.stats, Vec::new());
+        &self.state.large
+    }
+
+    /// Verifies that the incrementally-maintained itemsets equal a full
+    /// re-mine, returning [`Error::Inconsistent`] with one line per
+    /// divergence otherwise. Intended for tests and audits; scans the
+    /// whole store.
+    pub fn verify_consistency(&self) -> Result<()> {
+        let fresh = Apriori::with_config(AprioriConfig {
+            engine: self.config.engine.clone(),
+            ..Default::default()
+        })
+        .run(&self.store, self.minsup)
+        .large;
+        if self.state.large.same_itemsets(&fresh) {
+            Ok(())
+        } else {
+            Err(Error::Inconsistent {
+                differences: self.state.large.diff(&fresh),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_mining::GenConfig;
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    fn s(items: &[u32]) -> Itemset {
+        Itemset::from_items(items.iter().copied())
+    }
+
+    fn history() -> Vec<Transaction> {
+        vec![
+            tx(&[1, 2, 3]),
+            tx(&[1, 2]),
+            tx(&[2, 3]),
+            tx(&[1, 3]),
+            tx(&[4, 5]),
+        ]
+    }
+
+    fn session() -> Maintainer {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .build(history())
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_thresholds() {
+        let e = Maintainer::builder().build(history()).unwrap_err();
+        assert_eq!(e, BuildError::MissingMinSupport);
+        let e = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .build(history())
+            .unwrap_err();
+        assert_eq!(e, BuildError::MissingMinConfidence);
+    }
+
+    #[test]
+    fn builder_rejects_bad_combinations() {
+        let base = || {
+            Maintainer::builder()
+                .min_support(MinSupport::percent(40))
+                .min_confidence(MinConfidence::percent(60))
+        };
+        assert_eq!(
+            base().threads(0).build(history()).unwrap_err(),
+            BuildError::ZeroThreads
+        );
+        assert_eq!(
+            base().gen_threads(0).build(history()).unwrap_err(),
+            BuildError::ZeroThreads
+        );
+        assert_eq!(
+            base().chunk_size(0).build(history()).unwrap_err(),
+            BuildError::ZeroChunkSize
+        );
+        assert_eq!(
+            base()
+                .dhp_hash(true)
+                .hash_buckets(0)
+                .build(history())
+                .unwrap_err(),
+            BuildError::ZeroHashBuckets
+        );
+        assert_eq!(
+            base().max_k(0).build(history()).unwrap_err(),
+            BuildError::ZeroMaxK
+        );
+        assert_eq!(
+            base()
+                .policy(UpdatePolicy::RemineOverRatio(-2.0))
+                .build(history())
+                .unwrap_err(),
+            BuildError::InvalidRemineRatio(-2.0)
+        );
+        assert_eq!(
+            base()
+                .max_k(3)
+                .policy(UpdatePolicy::AlwaysRemine)
+                .build(history())
+                .unwrap_err(),
+            BuildError::RemineIgnoresMaxK
+        );
+        assert_eq!(
+            base().updater(Updater::Fup).build(history()).unwrap_err(),
+            BuildError::DeletionsWithoutFup2
+        );
+        // The same pin is fine once the workload is declared insert-only.
+        let m = base()
+            .updater(Updater::Fup)
+            .deletions(false)
+            .build(history())
+            .unwrap();
+        assert_eq!(m.updater(), Updater::Fup);
+    }
+
+    #[test]
+    fn builder_threads_flow_into_engine_and_gen() {
+        let m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .threads(3)
+            .chunk_size(128)
+            .backend(CountingBackend::HashTree)
+            .reduce_db(false)
+            .build(history())
+            .unwrap();
+        assert_eq!(m.config().engine.threads, 3);
+        assert_eq!(m.config().engine.gen, GenConfig { threads: 3 });
+        assert_eq!(m.config().engine.chunk_size, 128);
+        assert_eq!(m.config().engine.backend, CountingBackend::HashTree);
+        assert!(!m.config().reduce_db);
+    }
+
+    #[test]
+    fn builder_later_calls_win_over_earlier_ones() {
+        // A wholesale engine() after fine-grained calls discards them...
+        let m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .threads(2)
+            .backend(CountingBackend::Vertical)
+            .engine(EngineConfig::with_threads(8))
+            .build(history())
+            .unwrap();
+        assert_eq!(m.config().engine.threads, 8);
+        assert_eq!(m.config().engine.backend, CountingBackend::default());
+        // ...and fine-grained calls after it override individual fields.
+        let m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .engine(EngineConfig::with_threads(8))
+            .threads(2)
+            .build(history())
+            .unwrap();
+        assert_eq!(m.config().engine.threads, 2);
+    }
+
+    #[test]
+    fn stage_commit_and_discard_decouple_arrival_from_application() {
+        let mut m = session();
+        let v0 = m.version();
+        m.stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[4, 5])]))
+            .unwrap();
+        m.stage(UpdateBatch::insert_only(vec![tx(&[4, 5, 1])]))
+            .unwrap();
+        // Nothing applied yet: reads and the store are untouched.
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.version(), v0);
+        assert!(m.has_staged());
+        assert_eq!(m.staged().inserts.len(), 3);
+
+        let report = m.commit().unwrap();
+        assert_eq!(report.algorithm, "fup");
+        assert_eq!(report.version, v0 + 1);
+        assert_eq!(report.num_transactions, 8);
+        assert_eq!(report.inserted_tids.len(), 3);
+        assert!(report.itemsets.emerged.contains(&s(&[4, 5])));
+        assert!(!m.has_staged());
+        m.verify_consistency().unwrap();
+
+        // Discard drops staged work without touching anything.
+        m.stage(UpdateBatch::insert_only(vec![tx(&[9, 9])]))
+            .unwrap();
+        let dropped = m.discard();
+        assert_eq!(dropped.inserts.len(), 1);
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.version(), v0 + 1);
+    }
+
+    #[test]
+    fn snapshots_are_versioned_and_survive_commits() {
+        let mut m = session();
+        let snap0 = m.snapshot();
+        assert_eq!(snap0.version(), 0);
+        assert_eq!(snap0.num_transactions(), 5);
+        let rules_before = snap0.rules().clone();
+
+        m.apply(UpdateBatch::insert_only(vec![
+            tx(&[4, 5]),
+            tx(&[4, 5]),
+            tx(&[4, 5, 1]),
+        ]))
+        .unwrap();
+
+        // The old snapshot still reads its own consistent state...
+        assert_eq!(snap0.version(), 0);
+        assert_eq!(snap0.num_transactions(), 5);
+        assert_eq!(snap0.rules(), &rules_before);
+        assert_eq!(snap0.support_of(&s(&[1, 2])), Some(2));
+        assert_eq!(snap0.support_of(&s(&[4, 5])), None); // 1/5 < 40 %
+                                                         // ...while a fresh snapshot sees the new version.
+        let snap1 = m.snapshot();
+        assert_eq!(snap1.version(), 1);
+        assert_eq!(snap1.num_transactions(), 8);
+        assert_eq!(snap1.support_of(&s(&[4, 5])), Some(4));
+        assert_eq!(snap1.min_support(), MinSupport::percent(40));
+        assert_eq!(snap1.min_confidence(), MinConfidence::percent(60));
+    }
+
+    #[test]
+    fn snapshot_query_layer_matches_raw_ruleset() {
+        let mut m = session();
+        m.apply(UpdateBatch::insert_only(vec![
+            tx(&[4, 5]),
+            tx(&[4, 5]),
+            tx(&[4, 5]),
+        ]))
+        .unwrap();
+        let snap = m.snapshot();
+
+        for rule in snap.rules().rules() {
+            let about = snap.rules_about(rule.antecedent.items()[0]);
+            assert!(about.contains(&rule), "{rule}");
+            let with = snap.rules_with_antecedent(&rule.antecedent);
+            assert!(with.iter().all(|r| r.antecedent == rule.antecedent));
+            assert!(with.contains(&rule));
+        }
+        // rules_about covers consequent mentions too.
+        for rule in snap.rules().rules() {
+            let about = snap.rules_about(rule.consequent.items()[0]);
+            assert!(about.contains(&rule));
+        }
+        // top-k is sorted by confidence and bounded by the rule count.
+        let top = snap.top_k_by_confidence(3);
+        assert!(top.len() <= 3);
+        for w in top.windows(2) {
+            assert!(w[0].confidence() >= w[1].confidence());
+        }
+        let all = snap.top_k_by_confidence(usize::MAX);
+        assert_eq!(all.len(), snap.rules().len());
+        // Unknown lookups are empty, not panics.
+        assert!(snap.rules_about(ItemId(999)).is_empty());
+        assert!(snap.rules_with_antecedent(&s(&[77, 78])).is_empty());
+        assert!(snap.rules_with_antecedent(&s(&[])).is_empty());
+        assert_eq!(snap.support_of(&s(&[77])), None);
+    }
+
+    #[test]
+    fn deletions_route_to_fup2_and_empty_commit_is_noop_round() {
+        let mut m = session();
+        let tid0 = m.store().iter().next().unwrap().0;
+        let report = m
+            .apply(UpdateBatch {
+                inserts: vec![tx(&[4, 5])],
+                deletes: vec![tid0],
+            })
+            .unwrap();
+        assert_eq!(report.algorithm, "fup2");
+        assert_eq!(report.num_transactions, 5);
+        m.verify_consistency().unwrap();
+
+        let v = m.version();
+        let report = m.commit().unwrap();
+        assert_eq!(report.version, v + 1);
+        assert!(report.itemsets.is_unchanged());
+        assert!(report.rules.is_unchanged());
+    }
+
+    #[test]
+    fn deletions_disabled_sessions_reject_delete_batches() {
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .deletions(false)
+            .build(history())
+            .unwrap();
+        let tid0 = m.store().iter().next().unwrap().0;
+        let err = m.stage(UpdateBatch::delete_only(vec![tid0])).unwrap_err();
+        assert_eq!(err, Error::DeletionsDisabled);
+        assert!(!m.has_staged());
+        // Inserts still flow.
+        m.apply(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap();
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn failed_commit_leaves_state_and_version_intact() {
+        let mut m = session();
+        let v = m.version();
+        let rules_before = m.rules().len();
+        // Arrival-time validation: unknown tid fails at stage.
+        let err = m
+            .stage(UpdateBatch::delete_only(vec![Tid(12345)]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Store(_)));
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.version(), v);
+        assert_eq!(m.rules().len(), rules_before);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn set_policy_validates_and_routes() {
+        let mut m = session();
+        assert_eq!(
+            m.set_policy(UpdatePolicy::RemineOverRatio(-1.0))
+                .unwrap_err(),
+            BuildError::InvalidRemineRatio(-1.0)
+        );
+        assert_eq!(m.policy(), UpdatePolicy::AlwaysIncremental);
+        m.set_policy(UpdatePolicy::RemineOverRatio(2.0)).unwrap();
+        assert_eq!(m.policy(), UpdatePolicy::RemineOverRatio(2.0));
+        // Small batch: incremental; huge batch: re-mine.
+        let r = m
+            .apply(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap();
+        assert_eq!(r.algorithm, "fup");
+        let big: Vec<Transaction> = (0..13).map(|_| tx(&[1, 2, 9])).collect();
+        let r = m.apply(UpdateBatch::insert_only(big)).unwrap();
+        assert_eq!(r.algorithm, "apriori-remine");
+        m.verify_consistency().unwrap();
+        assert!(m.large_itemsets().contains(&s(&[1, 2, 9])));
+        // A max_k session cannot take a re-mining policy.
+        let mut capped = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .max_k(2)
+            .build(history())
+            .unwrap();
+        assert_eq!(
+            capped.set_policy(UpdatePolicy::AlwaysRemine).unwrap_err(),
+            BuildError::RemineIgnoresMaxK
+        );
+    }
+
+    #[test]
+    fn pinned_fup2_handles_insert_only_batches() {
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .updater(Updater::Fup2)
+            .build(history())
+            .unwrap();
+        let r = m
+            .apply(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap();
+        assert_eq!(r.algorithm, "fup2");
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn persistent_index_extends_on_insert_only_commits() {
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .backend(CountingBackend::Vertical)
+            .build(history())
+            .unwrap();
+        // Pinned-vertical sessions seed the index at bootstrap.
+        let stats = m.index_stats();
+        assert_eq!((stats.builds, stats.extends), (1, 0));
+        assert!(stats.resident);
+
+        for round in 0..3 {
+            m.apply(UpdateBatch::insert_only(vec![tx(&[1, 2]), tx(&[2, 3])]))
+                .unwrap();
+            m.verify_consistency().unwrap();
+            let stats = m.index_stats();
+            assert_eq!(
+                (stats.builds, stats.extends),
+                (1, round + 1),
+                "round {round} should extend, not rebuild"
+            );
+        }
+
+        // A deletion reorders the live set: the index is rebuilt, not
+        // poisoned.
+        let tid0 = m.store().iter().next().unwrap().0;
+        m.apply(UpdateBatch::delete_only(vec![tid0])).unwrap();
+        m.verify_consistency().unwrap();
+        assert_eq!(m.index_stats().builds, 2);
+        // And insert-only rounds extend again afterwards.
+        let extends = m.index_stats().extends;
+        m.apply(UpdateBatch::insert_only(vec![tx(&[2, 3])]))
+            .unwrap();
+        m.verify_consistency().unwrap();
+        assert_eq!(m.index_stats().extends, extends + 1);
+    }
+
+    #[test]
+    fn remine_bumps_version_and_resets_state() {
+        let mut m = session();
+        m.apply(UpdateBatch::insert_only(vec![tx(&[7, 8]), tx(&[7, 8])]))
+            .unwrap();
+        let before = m.large_itemsets().clone();
+        let v = m.version();
+        m.remine();
+        assert!(m.large_itemsets().same_itemsets(&before));
+        assert_eq!(m.version(), v + 1);
+    }
+
+    #[test]
+    fn empty_bootstrap() {
+        let m = Maintainer::builder()
+            .min_support(MinSupport::percent(50))
+            .min_confidence(MinConfidence::percent(50))
+            .build(Vec::new())
+            .unwrap();
+        assert!(m.is_empty());
+        assert!(m.rules().is_empty());
+        assert_eq!(m.snapshot().version(), 0);
+    }
+}

@@ -1,33 +1,157 @@
-//! Shared plumbing of the FUP/FUP2 vertical counting paths — the bits
-//! that are identical between the two updaters (index construction and
-//! `W` table building), kept in one place so they cannot drift.
+//! Vertical-index plumbing for the maintenance layer: the shared bits of
+//! the FUP/FUP2 vertical counting paths (index construction and `W` table
+//! building), plus [`IndexSlot`] — the holder that lets a
+//! [`Maintainer`](crate::Maintainer) keep one [`VerticalIndex`] alive
+//! *across* maintenance rounds instead of rebuilding it on first use every
+//! round.
+//!
+//! ## The persistent-index contract
+//!
+//! A [`VerticalIndex`] identifies transactions positionally (tid = scan
+//! order), so an index stored in a slot is only reusable for a later
+//! update if the update's base source replays **exactly** the transactions
+//! the index covers, in the same order, and the index's build filter still
+//! covers every item the round needs. The slot's acquire step checks both
+//! (size match + [`VerticalIndex::covers`]); when they hold it *extends*
+//! the held index with the round's delta (one scan of the small delta, no
+//! scan of the base), and otherwise it rebuilds from scratch. The
+//! [`Maintainer`](crate::Maintainer) upholds the order half of the
+//! contract by clearing the slot whenever the store mutates in a way the
+//! slot did not track (deletions reorder the live set).
 
 use fup_mining::vertical::item_bitmap;
 use fup_mining::{EngineConfig, Itemset, ItemsetTable, LargeItemsets, VerticalIndex};
 use fup_tidb::TransactionSource;
 
-/// Builds the vertical index an updater counts against: the `base`
-/// source's tid-lists materialised once and extended by the `delta`
-/// source's scan (FUP: `DB` then the increment; FUP2: `DB⁻` then `db⁺`).
+/// Holds a [`VerticalIndex`] between FUP/FUP2 rounds so insert-only
+/// updates extend it (one delta scan) instead of rebuilding it (a full
+/// base scan). Rebuilds still happen — and are counted — when a round's
+/// base does not match what the index covers (deletions) or when a newly
+/// frequent item falls outside the build filter (dictionary growth).
 ///
-/// Every `W` item is in the old `L₁` and every candidate item is in the
-/// updated `L₁` (both complete after iteration 1), so the index is
-/// filtered to their union and skips everything else.
-pub(crate) fn build_update_index(
-    old: &LargeItemsets,
-    result: &LargeItemsets,
-    base: &dyn TransactionSource,
-    delta: &dyn TransactionSource,
-    engine: &EngineConfig,
-) -> VerticalIndex {
-    let keep = item_bitmap(
-        old.level(1)
-            .chain(result.level(1))
-            .map(|(x, _)| x.items()[0]),
-    );
-    let mut idx = VerticalIndex::build(base, Some(&keep), engine);
-    idx.extend(delta, engine);
-    idx
+/// The default slot is empty; the first round that engages the vertical
+/// backend builds into it.
+#[derive(Debug, Default)]
+pub struct IndexSlot {
+    index: Option<VerticalIndex>,
+    builds: u64,
+    extends: u64,
+    touched: bool,
+}
+
+impl IndexSlot {
+    /// An empty slot (no index held yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the slot currently holds an index.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Number of from-scratch index builds this slot has performed.
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Number of times the held index was extended with a delta instead
+    /// of being rebuilt.
+    pub fn extends(&self) -> u64 {
+        self.extends
+    }
+
+    /// Drops the held index (the next round that wants one rebuilds).
+    /// Called by the maintainer whenever the store mutates in a way the
+    /// slot did not track.
+    pub fn clear(&mut self) {
+        self.index = None;
+    }
+
+    /// Seeds the slot with a freshly built index over `base`, filtered to
+    /// `keep_items` (see [`item_bitmap`]). Used at bootstrap when the
+    /// backend is pinned vertical, so even the *first* commit extends.
+    pub fn seed<S>(
+        &mut self,
+        base: &S,
+        keep_items: impl IntoIterator<Item = fup_tidb::ItemId>,
+        engine: &EngineConfig,
+    ) where
+        S: TransactionSource + ?Sized,
+    {
+        let keep = item_bitmap(keep_items);
+        self.builds += 1;
+        self.index = Some(VerticalIndex::build(base, Some(&keep), engine));
+    }
+
+    /// Extends the held index (if any) with `delta` at the current tid
+    /// offset — the maintainer's way of keeping the slot aligned with an
+    /// insert-only commit whose counting ran on the hash-tree path.
+    pub fn extend_with<S>(&mut self, delta: &S, engine: &EngineConfig)
+    where
+        S: TransactionSource + ?Sized,
+    {
+        if let Some(idx) = &mut self.index {
+            idx.extend(delta, engine);
+            self.extends += 1;
+            self.touched = true;
+        }
+    }
+
+    /// Takes an index an updater can count this round against: the `base`
+    /// source's tid-lists extended by the `delta` source's scan (FUP: `DB`
+    /// then the increment; FUP2: `DB⁻` then `db⁺`).
+    ///
+    /// Every `W` item is in the old `L₁` and every candidate item is in
+    /// the updated `L₁` (both complete after iteration 1), so the index is
+    /// filtered to their union and skips everything else. If the slot
+    /// holds an index that already covers `base` (same transaction count —
+    /// the caller guarantees same order — and a covering item filter),
+    /// only `delta` is scanned; otherwise the index is rebuilt.
+    ///
+    /// The updater must [`stash`](IndexSlot::stash) the index back after a
+    /// successful run so the next round can reuse it.
+    pub(crate) fn acquire(
+        &mut self,
+        old: &LargeItemsets,
+        result: &LargeItemsets,
+        base: &dyn TransactionSource,
+        delta: &dyn TransactionSource,
+        engine: &EngineConfig,
+    ) -> VerticalIndex {
+        let keep = item_bitmap(
+            old.level(1)
+                .chain(result.level(1))
+                .map(|(x, _)| x.items()[0]),
+        );
+        if let Some(mut idx) = self.index.take() {
+            if idx.num_transactions() == base.num_transactions() && idx.covers(&keep) {
+                idx.extend(delta, engine);
+                self.extends += 1;
+                return idx;
+            }
+        }
+        self.builds += 1;
+        let mut idx = VerticalIndex::build(base, Some(&keep), engine);
+        idx.extend(delta, engine);
+        idx
+    }
+
+    /// Returns an index to the slot after a successful update round. The
+    /// index now covers the round's `base ∪ delta` — exactly the store
+    /// after the round commits.
+    pub(crate) fn stash(&mut self, idx: VerticalIndex) {
+        self.index = Some(idx);
+        self.touched = true;
+    }
+
+    /// Clears and returns the per-round "slot participated" flag — set by
+    /// [`stash`](IndexSlot::stash) / [`extend_with`](IndexSlot::extend_with),
+    /// read by the maintainer after each commit to decide whether the held
+    /// index still matches the store.
+    pub(crate) fn take_touched(&mut self) -> bool {
+        std::mem::take(&mut self.touched)
+    }
 }
 
 /// Sorts `W` lexicographically (tables need sorted rows; `W` comes out
@@ -41,4 +165,97 @@ pub(crate) fn sorted_w_table(w: &mut [(Itemset, u64)], k: usize) -> ItemsetTable
         rows.extend_from_slice(x.items());
     }
     ItemsetTable::from_flat_rows(k, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_mining::MinSupport;
+    use fup_tidb::{Transaction, TransactionDb};
+
+    fn db(rows: &[&[u32]]) -> TransactionDb {
+        TransactionDb::from_transactions(
+            rows.iter()
+                .map(|r| Transaction::from_items(r.iter().copied())),
+        )
+    }
+
+    fn mine(d: &TransactionDb) -> LargeItemsets {
+        fup_mining::Apriori::new()
+            .run(d, MinSupport::percent(30))
+            .large
+    }
+
+    #[test]
+    fn acquire_reuses_matching_index_and_rebuilds_on_mismatch() {
+        let base = db(&[&[1, 2], &[1, 2], &[2, 3], &[1, 3]]);
+        let inc1 = db(&[&[1, 2], &[2, 3]]);
+        let old = mine(&base);
+        let cfg = EngineConfig::serial();
+
+        let mut slot = IndexSlot::new();
+        assert!(!slot.has_index());
+        let idx = slot.acquire(&old, &LargeItemsets::new(6), &base, &inc1, &cfg);
+        assert_eq!((slot.builds(), slot.extends()), (1, 0));
+        assert_eq!(idx.num_transactions(), 6);
+        slot.stash(idx);
+        assert!(slot.take_touched());
+        assert!(!slot.take_touched());
+
+        // Next round: base is now base ∪ inc1 (6 transactions) — the held
+        // index matches, so only the new delta is scanned.
+        let merged = db(&[&[1, 2], &[1, 2], &[2, 3], &[1, 3], &[1, 2], &[2, 3]]);
+        let old2 = mine(&merged);
+        let inc2 = db(&[&[1, 3]]);
+        let idx = slot.acquire(&old2, &LargeItemsets::new(7), &merged, &inc2, &cfg);
+        assert_eq!((slot.builds(), slot.extends()), (1, 1));
+        slot.stash(idx);
+
+        // A cleared slot rebuilds.
+        slot.clear();
+        assert!(!slot.has_index());
+        let _ = slot.acquire(&old2, &LargeItemsets::new(7), &merged, &inc2, &cfg);
+        assert_eq!(slot.builds(), 2);
+    }
+
+    #[test]
+    fn acquire_rebuilds_on_dictionary_growth() {
+        let base = db(&[&[1, 2], &[1, 2], &[1, 2]]);
+        let empty = db(&[]);
+        let old = mine(&base);
+        let cfg = EngineConfig::serial();
+        let mut slot = IndexSlot::new();
+        let idx = slot.acquire(&old, &LargeItemsets::new(3), &base, &empty, &cfg);
+        slot.stash(idx);
+
+        // Item 9 becomes large: it is outside the held index's filter, so
+        // reuse is unsound and the slot must rebuild.
+        let mut result = LargeItemsets::new(3);
+        result.insert(Itemset::from_items([9u32]), 3);
+        let idx = slot.acquire(&old, &result, &base, &empty, &cfg);
+        assert_eq!((slot.builds(), slot.extends()), (2, 0));
+        assert_eq!(idx.support(fup_tidb::ItemId(9)), 0); // filtered but covered
+        assert!(idx.covers(&item_bitmap([fup_tidb::ItemId(9)])));
+    }
+
+    #[test]
+    fn extend_with_keeps_slot_aligned() {
+        let base = db(&[&[1, 2], &[1, 2]]);
+        let old = mine(&base);
+        let cfg = EngineConfig::serial();
+        let mut slot = IndexSlot::new();
+        let empty = db(&[]);
+        let idx = slot.acquire(&old, &LargeItemsets::new(2), &base, &empty, &cfg);
+        slot.stash(idx);
+        let _ = slot.take_touched();
+
+        let delta = db(&[&[1, 2], &[2]]);
+        slot.extend_with(&delta, &cfg);
+        assert_eq!(slot.extends(), 1);
+        assert!(slot.take_touched());
+        // Empty slots ignore the call.
+        let mut empty_slot = IndexSlot::new();
+        empty_slot.extend_with(&delta, &cfg);
+        assert_eq!(empty_slot.extends(), 0);
+    }
 }

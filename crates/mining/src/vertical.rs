@@ -376,6 +376,22 @@ impl VerticalIndex {
         (self.sparse.len() * 4, self.dense.len() * 8)
     }
 
+    /// `true` if every item whose bit is set in `needed` (see
+    /// [`item_bitmap`]) was indexed — i.e. the index's build filter covers
+    /// the set. An unfiltered index covers everything. A persistent index
+    /// kept across maintenance rounds is reusable only while this holds;
+    /// a newly-frequent item outside the original filter ("dictionary
+    /// growth") forces a rebuild.
+    pub fn covers(&self, needed: &[u64]) -> bool {
+        match &self.keep {
+            None => true,
+            Some(keep) => needed
+                .iter()
+                .enumerate()
+                .all(|(w, &bits)| keep.get(w).copied().unwrap_or(0) & bits == bits),
+        }
+    }
+
     #[inline]
     fn entry(&self, item: usize) -> TidListRef {
         self.entries.get(item).copied().unwrap_or(TidListRef::Empty)
@@ -1037,6 +1053,20 @@ mod tests {
         for i in 0..table.len() {
             assert_eq!(split[i], (in_a[i].0, in_b[i].0), "row {i}");
         }
+    }
+
+    #[test]
+    fn covers_tracks_the_build_filter() {
+        let d = db(&[&[1, 2, 3], &[1, 2], &[2, 3]]);
+        let keep = item_bitmap([ItemId(1), ItemId(2)]);
+        let idx = VerticalIndex::build(&d, Some(&keep), &EngineConfig::serial());
+        assert!(idx.covers(&item_bitmap([ItemId(1)])));
+        assert!(idx.covers(&item_bitmap([ItemId(1), ItemId(2)])));
+        assert!(!idx.covers(&item_bitmap([ItemId(3)])));
+        assert!(!idx.covers(&item_bitmap([ItemId(2), ItemId(70)])));
+        // Unfiltered indexes cover everything.
+        let unfiltered = VerticalIndex::build(&d, None, &EngineConfig::serial());
+        assert!(unfiltered.covers(&item_bitmap([ItemId(3), ItemId(999)])));
     }
 
     #[test]

@@ -70,6 +70,6 @@ pub use dictionary::ItemDictionary;
 pub use error::{Error, Result};
 pub use item::ItemId;
 pub use scan::ScanMetrics;
-pub use segment::{SegmentId, SegmentedDb, Tid, UpdateBatch};
+pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
 pub use source::TransactionSource;
 pub use transaction::Transaction;

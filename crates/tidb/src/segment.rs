@@ -14,6 +14,17 @@
 //! 2. [`SegmentedDb::commit`] appends the insertions (making the store
 //!    `(DB \ db⁻) ∪ db⁺`), or [`SegmentedDb::abort`] restores the deleted
 //!    transactions.
+//!
+//! On top of the two-phase protocol sits a **staging area**
+//! ([`SegmentedDb::enqueue`] / [`pending`](SegmentedDb::pending) /
+//! [`take_pending`](SegmentedDb::take_pending) /
+//! [`discard_pending`](SegmentedDb::discard_pending)): update batches can
+//! accumulate — validated eagerly, so a bad tid fails at arrival time —
+//! without touching the live set at all. Scans are completely unaffected
+//! by pending batches, which is what lets a maintenance session keep
+//! serving reads (and, structurally, keep scanning on other threads)
+//! while updates stream in; application happens later, in one
+//! `stage`+`commit` round over the accumulated batch.
 
 use crate::database::TransactionDb;
 use crate::error::{Error, Result};
@@ -125,6 +136,11 @@ pub struct SegmentedDb {
     next_tid: u64,
     next_segment: u32,
     metrics: ScanMetrics,
+    /// Accumulated-but-unapplied batches (see [`SegmentedDb::enqueue`]).
+    pending: UpdateBatch,
+    /// Tids already claimed by a pending delete, for arrival-time
+    /// validation of later batches.
+    pending_deletes: std::collections::HashSet<Tid>,
 }
 
 impl SegmentedDb {
@@ -177,6 +193,56 @@ impl SegmentedDb {
     /// For tests and administrative tasks; miners must use `for_each`.
     pub fn iter(&self) -> impl Iterator<Item = (Tid, &Transaction)> + '_ {
         self.live.iter().map(|(tid, t)| (*tid, t))
+    }
+
+    /// Queues a batch into the staging area **without touching the live
+    /// set**: scans keep seeing exactly the current transactions, and the
+    /// batch waits until [`take_pending`](Self::take_pending) hands the
+    /// accumulated work to a `stage`+`commit` round.
+    ///
+    /// Deletes are validated at arrival: every tid must be live and not
+    /// already claimed by an earlier pending delete (including earlier in
+    /// the same batch). On [`Error::UnknownTransaction`] nothing is
+    /// queued.
+    pub fn enqueue(&mut self, batch: UpdateBatch) -> Result<()> {
+        {
+            let mut seen = std::collections::HashSet::new();
+            for &tid in &batch.deletes {
+                if !self.by_tid.contains_key(&tid)
+                    || self.pending_deletes.contains(&tid)
+                    || !seen.insert(tid)
+                {
+                    return Err(Error::UnknownTransaction(tid));
+                }
+            }
+        }
+        self.pending_deletes.extend(batch.deletes.iter().copied());
+        self.pending.inserts.extend(batch.inserts);
+        self.pending.deletes.extend(batch.deletes);
+        Ok(())
+    }
+
+    /// The accumulated staging area (empty batch when nothing is pending).
+    pub fn pending(&self) -> &UpdateBatch {
+        &self.pending
+    }
+
+    /// `true` if at least one insert or delete is queued.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Drains the staging area, returning the accumulated batch (batches
+    /// concatenate in arrival order) for a `stage`+`commit` round.
+    pub fn take_pending(&mut self) -> UpdateBatch {
+        self.pending_deletes.clear();
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Drops everything queued in the staging area, returning the
+    /// discarded batch. The live set was never touched.
+    pub fn discard_pending(&mut self) -> UpdateBatch {
+        self.take_pending()
     }
 
     /// Stages an update: removes `batch.deletes` from the live set and
@@ -388,6 +454,79 @@ mod tests {
         let s2 = db.stage(UpdateBatch::insert_only(vec![tx(&[2])])).unwrap();
         let (seg2, _) = db.commit(s2);
         assert!(seg2 > seg1);
+    }
+
+    #[test]
+    fn enqueue_accumulates_without_touching_live() {
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1]), tx(&[2]), tx(&[3])]);
+        assert!(!db.has_pending());
+        db.enqueue(UpdateBatch::insert_only(vec![tx(&[4])]))
+            .unwrap();
+        db.enqueue(UpdateBatch {
+            inserts: vec![tx(&[5])],
+            deletes: vec![tids[0]],
+        })
+        .unwrap();
+        // Live set untouched: scans still see all three originals.
+        assert_eq!(db.len(), 3);
+        assert!(db.contains(tids[0]));
+        assert!(db.has_pending());
+        assert_eq!(db.pending().inserts.len(), 2);
+        assert_eq!(db.pending().deletes, vec![tids[0]]);
+        // Draining hands back the batches concatenated in arrival order.
+        let batch = db.take_pending();
+        assert_eq!(batch.inserts.len(), 2);
+        assert_eq!(batch.inserts[0].items(), &[ItemId(4)]);
+        assert!(!db.has_pending());
+        // The drained batch stages and commits like any other.
+        let staged = db.stage(batch).unwrap();
+        db.commit(staged);
+        assert_eq!(db.len(), 4);
+    }
+
+    #[test]
+    fn enqueue_validates_deletes_at_arrival() {
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1]), tx(&[2])]);
+        // Unknown tid fails and queues nothing.
+        let err = db
+            .enqueue(UpdateBatch {
+                inserts: vec![tx(&[9])],
+                deletes: vec![Tid(999)],
+            })
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(999)));
+        assert!(!db.has_pending());
+        // A delete already pending cannot be queued again...
+        db.enqueue(UpdateBatch::delete_only(vec![tids[0]])).unwrap();
+        let err = db
+            .enqueue(UpdateBatch::delete_only(vec![tids[0]]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(tids[0]));
+        // ...nor duplicated within one batch.
+        let err = db
+            .enqueue(UpdateBatch::delete_only(vec![tids[1], tids[1]]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(tids[1]));
+        assert_eq!(db.pending().deletes, vec![tids[0]]);
+    }
+
+    #[test]
+    fn discard_pending_drops_the_queue() {
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1])]);
+        db.enqueue(UpdateBatch {
+            inserts: vec![tx(&[2])],
+            deletes: vec![tids[0]],
+        })
+        .unwrap();
+        let dropped = db.discard_pending();
+        assert_eq!(dropped.inserts.len(), 1);
+        assert!(!db.has_pending());
+        assert_eq!(db.len(), 1);
+        // The discarded delete's tid is free to be queued again.
+        db.enqueue(UpdateBatch::delete_only(vec![tids[0]])).unwrap();
     }
 
     #[test]

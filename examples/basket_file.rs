@@ -12,7 +12,7 @@
 
 use fup::datagen::{GenParams, QuestGenerator};
 use fup::tidb::io;
-use fup::{MinConfidence, MinSupport, RuleMaintainer, TransactionSource, UpdateBatch};
+use fup::{Maintainer, MinConfidence, MinSupport, TransactionSource, UpdateBatch};
 use std::fs::File;
 use std::io::BufWriter;
 
@@ -47,8 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         history_path.display()
     );
 
-    let mut maintainer =
-        RuleMaintainer::bootstrap(history, MinSupport::percent(2), MinConfidence::percent(70));
+    // This pipeline only ever appends, so the session declares itself
+    // insert-only — staging a deletion would fail with a typed error.
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(2))
+        .min_confidence(MinConfidence::percent(70))
+        .deletions(false)
+        .build(history)?;
     println!(
         "mined {} large itemsets, {} rules",
         maintainer.large_itemsets().len(),
@@ -57,14 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let feed = io::read_numeric(File::open(&feed_path)?)?;
     println!(
-        "applying {} new transactions from {}",
+        "staging {} new transactions from {}",
         feed.len(),
         feed_path.display()
     );
-    let report = maintainer.apply_update(UpdateBatch::insert_only(feed))?;
+    maintainer.stage(UpdateBatch::insert_only(feed))?;
+    let report = maintainer.commit()?;
     println!(
-        "ran {}: rules +{} -{} (retained {})",
+        "ran {} (v{}): rules +{} -{} (retained {})",
         report.algorithm,
+        report.version,
         report.rules.added.len(),
         report.rules.removed.len(),
         report.rules.retained
@@ -89,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.full_scans(),
         m.transactions_read()
     );
-    maintainer.verify_consistency().expect("consistent");
+    maintainer.verify_consistency()?;
     println!("consistency verified");
     Ok(())
 }

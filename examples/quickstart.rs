@@ -1,11 +1,13 @@
-//! Quickstart: bootstrap a rule set from history, then keep it current as
-//! new transactions arrive — without ever re-mining from scratch.
+//! Quickstart: build a maintenance session from history, then keep it
+//! current as new transactions arrive — staged on arrival, committed as
+//! one incremental round, served through snapshots — without ever
+//! re-mining from scratch.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use fup::{ItemDictionary, MinConfidence, MinSupport, RuleMaintainer, Transaction, UpdateBatch};
+use fup::{ItemDictionary, Maintainer, MinConfidence, MinSupport, Transaction, UpdateBatch};
 
 fn main() {
     // Name the items like a point-of-sale feed would.
@@ -26,15 +28,21 @@ fn main() {
         Transaction::from_items([bread, butter]),
     ];
 
-    // Mine once (Apriori), derive rules once.
-    let mut maintainer =
-        RuleMaintainer::bootstrap(history, MinSupport::percent(30), MinConfidence::percent(75));
+    // One validating builder instead of scattered config structs: the
+    // session mines once (Apriori) and derives rules once.
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(30))
+        .min_confidence(MinConfidence::percent(75))
+        .build(history)
+        .expect("valid session configuration");
+    let bootstrap = maintainer.snapshot();
     println!(
-        "bootstrap: {} transactions, {} rules",
-        maintainer.len(),
-        maintainer.rules().len()
+        "bootstrap (v{}): {} transactions, {} rules",
+        bootstrap.version(),
+        bootstrap.num_transactions(),
+        bootstrap.rules().len()
     );
-    for rule in maintainer.rules().rules() {
+    for rule in bootstrap.top_k_by_confidence(10) {
         println!(
             "  {} => {}  (conf {:.2})",
             dict.render_itemset(rule.antecedent.items()),
@@ -43,17 +51,25 @@ fn main() {
         );
     }
 
-    // The evening batch arrives: beer+chips shoppers flood in.
-    let batch = UpdateBatch::insert_only(vec![
-        Transaction::from_items([beer, chips]),
-        Transaction::from_items([beer, chips, bread]),
-        Transaction::from_items([beer, chips]),
-    ]);
-    let report = maintainer.apply_update(batch).expect("valid update");
+    // The evening batches arrive: beer+chips shoppers flood in. Staging
+    // accumulates them without touching the mined state...
+    maintainer
+        .stage(UpdateBatch::insert_only(vec![
+            Transaction::from_items([beer, chips]),
+            Transaction::from_items([beer, chips, bread]),
+        ]))
+        .expect("valid batch");
+    maintainer
+        .stage(UpdateBatch::insert_only(vec![Transaction::from_items([
+            beer, chips,
+        ])]))
+        .expect("valid batch");
+    // ...and one commit applies everything staged as a single FUP round.
+    let report = maintainer.commit().expect("valid update");
 
     println!(
-        "\nafter update ({} transactions, ran {}):",
-        report.num_transactions, report.algorithm
+        "\nafter commit (v{}, {} transactions, ran {}):",
+        report.version, report.num_transactions, report.algorithm
     );
     for rule in &report.rules.added {
         println!(
@@ -71,6 +87,19 @@ fn main() {
         );
     }
     println!("  retained {} rules", report.rules.retained);
+
+    // The bootstrap snapshot still reads its own consistent version, and
+    // the new one answers serving-side queries directly.
+    assert_eq!(bootstrap.version() + 1, maintainer.version());
+    let now = maintainer.snapshot();
+    println!("\nrules about beer at v{}:", now.version());
+    for rule in now.rules_about(beer) {
+        println!(
+            "  {} => {}",
+            dict.render_itemset(rule.antecedent.items()),
+            dict.render_itemset(rule.consequent.items()),
+        );
+    }
 
     // The maintained state is provably identical to a full re-mine.
     maintainer.verify_consistency().expect("FUP == re-mine");

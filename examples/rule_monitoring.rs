@@ -2,14 +2,19 @@
 //! "may not only invalidate some existing strong association rules but
 //! also turn some weak rules into strong ones". This example makes that
 //! visible: the transaction stream drifts mid-way (a different seasonal
-//! pattern mix), and a watchlist of rules is tracked across updates.
+//! pattern mix), and a watchlist of rules is tracked across commits.
+//!
+//! The watchlist itself is a [`RuleSnapshot`](fup::RuleSnapshot): taken
+//! once at bootstrap, it stays valid and internally consistent across
+//! every later commit — the serving side never blocks on, or races with,
+//! the update side.
 //!
 //! ```sh
 //! cargo run --release --example rule_monitoring
 //! ```
 
 use fup::datagen::{GenParams, QuestGenerator};
-use fup::{MinConfidence, MinSupport, Rule, RuleMaintainer, UpdateBatch};
+use fup::{Maintainer, MinConfidence, MinSupport, Rule, UpdateBatch};
 
 fn season(seed: u64) -> QuestGenerator {
     QuestGenerator::new(GenParams {
@@ -31,20 +36,25 @@ fn render(rule: &Rule) -> String {
 fn main() {
     // Winter assortment bootstraps the rule base.
     let mut winter = season(0xc0ffee);
-    let mut maintainer = RuleMaintainer::bootstrap(
-        winter.generate(4_000),
-        MinSupport::percent(2),
-        MinConfidence::percent(70),
-    );
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(2))
+        .min_confidence(MinConfidence::percent(70))
+        .build(winter.generate(4_000))
+        .expect("valid session configuration");
+    let bootstrap = maintainer.snapshot();
     println!(
-        "bootstrap: {} rules from 4000 winter transactions",
-        maintainer.rules().len()
+        "bootstrap (v{}): {} rules from 4000 winter transactions",
+        bootstrap.version(),
+        bootstrap.rules().len()
     );
 
-    // Watch the five highest-confidence winter rules.
-    let mut watchlist: Vec<Rule> = maintainer.rules().rules().to_vec();
-    watchlist.sort_by(|a, b| b.confidence().total_cmp(&a.confidence()));
-    watchlist.truncate(5);
+    // Watch the five highest-confidence winter rules — straight off the
+    // snapshot's query layer.
+    let watchlist: Vec<Rule> = bootstrap
+        .top_k_by_confidence(5)
+        .into_iter()
+        .cloned()
+        .collect();
     println!("watchlist:");
     for r in &watchlist {
         println!("  {} (conf {:.2})", render(r), r.confidence());
@@ -59,31 +69,49 @@ fn main() {
         } else {
             summer.generate(1_000)
         };
-        let report = maintainer
-            .apply_update(UpdateBatch::insert_only(batch))
-            .expect("valid update");
+        maintainer
+            .stage(UpdateBatch::insert_only(batch))
+            .expect("valid batch");
+        let report = maintainer.commit().expect("valid update");
 
         let phase = if round <= 4 { "winter" } else { "SUMMER" };
         println!(
-            "\nround {round} ({phase}): {} txns, itemsets +{} -{} | rules +{} -{}",
+            "\nround {round} ({phase}, v{}): {} txns, itemsets +{} -{} | rules +{} -{}",
+            report.version,
             report.num_transactions,
             report.itemsets.emerged.len(),
             report.itemsets.expired.len(),
             report.rules.added.len(),
             report.rules.removed.len(),
         );
+        let live = maintainer.snapshot();
         for w in &watchlist {
-            match maintainer.rules().get(&w.antecedent, &w.consequent) {
-                Some(live) => println!(
-                    "  watch {}: HOLDING (conf {:.2})",
+            // The live snapshot answers the lookup; the bootstrap
+            // snapshot still holds the original confidences for contrast.
+            let was = bootstrap
+                .rules()
+                .get(&w.antecedent, &w.consequent)
+                .expect("watchlist came from this snapshot")
+                .confidence();
+            match live.rules().get(&w.antecedent, &w.consequent) {
+                Some(now) => println!(
+                    "  watch {}: HOLDING (conf {:.2}, was {:.2})",
                     render(w),
-                    live.confidence()
+                    now.confidence(),
+                    was
                 ),
-                None => println!("  watch {}: *** INVALIDATED ***", render(w)),
+                None => println!(
+                    "  watch {}: *** INVALIDATED *** (was {:.2})",
+                    render(w),
+                    was
+                ),
             }
         }
     }
 
     maintainer.verify_consistency().expect("FUP == re-mine");
-    println!("\nconsistency verified after 8 incremental rounds");
+    println!(
+        "\nconsistency verified after 8 incremental rounds; bootstrap snapshot still at v{}",
+        bootstrap.version()
+    );
 }

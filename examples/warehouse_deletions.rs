@@ -4,15 +4,16 @@
 //!
 //! A data warehouse discovers that a batch of transactions was fraudulent
 //! and must be purged, and another batch was mis-scanned and must be
-//! corrected (modification = delete + insert). FUP2 maintains the rules
-//! through both without re-mining.
+//! corrected (modification = delete + insert). Both fixes are *staged*
+//! first — audit workflows gather evidence incrementally — and FUP2
+//! maintains the rules through each commit without re-mining.
 //!
 //! ```sh
 //! cargo run --release --example warehouse_deletions
 //! ```
 
 use fup::datagen::{GenParams, QuestGenerator};
-use fup::{MinConfidence, MinSupport, RuleMaintainer, Tid, Transaction, UpdateBatch};
+use fup::{Maintainer, MinConfidence, MinSupport, Tid, Transaction, UpdateBatch};
 
 fn main() {
     let mut generator = QuestGenerator::new(GenParams {
@@ -31,8 +32,11 @@ fn main() {
     let mut history = legit;
     history.extend(fake);
 
-    let mut maintainer =
-        RuleMaintainer::bootstrap(history, MinSupport::percent(2), MinConfidence::percent(80));
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(2))
+        .min_confidence(MinConfidence::percent(80))
+        .build(history)
+        .expect("valid session configuration");
     let fraud_rule = (
         fup::Itemset::from_items([900u32, 901]),
         fup::Itemset::from_items([902u32]),
@@ -45,7 +49,9 @@ fn main() {
     );
     assert!(maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1));
 
-    // Identify the fraudulent tids (in a real system: an audit query).
+    // Identify the fraudulent tids (in a real system: an audit query) and
+    // stage the purge. Staging validates the tids at arrival but leaves
+    // the mined state untouched until the audit signs off.
     let fraudulent: Vec<Tid> = maintainer
         .store()
         .iter()
@@ -53,16 +59,19 @@ fn main() {
         .map(|(tid, _)| tid)
         .collect();
     println!(
-        "purging {} fraudulent transactions via FUP2...",
+        "staging purge of {} fraudulent transactions...",
         fraudulent.len()
     );
+    maintainer
+        .stage(UpdateBatch::delete_only(fraudulent))
+        .expect("all tids are live");
+    assert!(maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1)); // not applied yet
 
-    let report = maintainer
-        .apply_update(UpdateBatch::delete_only(fraudulent))
-        .expect("valid deletion");
+    let report = maintainer.commit().expect("valid deletion");
     println!(
-        "  ran {}: rules +{} -{} | fraud rule now present: {}",
+        "  ran {} (v{}): rules +{} -{} | fraud rule now present: {}",
         report.algorithm,
+        report.version,
         report.rules.added.len(),
         report.rules.removed.len(),
         maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1)
@@ -71,7 +80,7 @@ fn main() {
     assert!(!maintainer.rules().contains(&fraud_rule.0, &fraud_rule.1));
 
     // A correction: 200 mis-scanned baskets are replaced with fixed ones
-    // (modification = delete + insert in one batch).
+    // (modification = delete + insert in one staged batch).
     let miskeyed: Vec<Tid> = maintainer
         .store()
         .iter()
@@ -87,15 +96,17 @@ fn main() {
             Transaction::from_items(t.items().iter().map(|i| i.raw()).chain([0u32]))
         })
         .collect();
-    let report = maintainer
-        .apply_update(UpdateBatch {
+    maintainer
+        .stage(UpdateBatch {
             inserts: corrected,
             deletes: miskeyed,
         })
         .expect("valid correction");
+    let report = maintainer.commit().expect("valid correction");
     println!(
-        "correction round ({}): {} transactions, itemsets +{} -{}",
+        "correction round ({}, v{}): {} transactions, itemsets +{} -{}",
         report.algorithm,
+        report.version,
         report.num_transactions,
         report.itemsets.emerged.len(),
         report.itemsets.expired.len()

@@ -12,8 +12,13 @@
 //!
 //! ## Quickstart
 //!
+//! Rule maintenance is a *session*: build a [`Maintainer`] once, stage
+//! update batches as they arrive, commit them as one incremental round,
+//! and serve lookups from version-stamped snapshots that later commits
+//! never invalidate.
+//!
 //! ```
-//! use fup::{MinConfidence, MinSupport, RuleMaintainer, Transaction, UpdateBatch};
+//! use fup::{Maintainer, MinConfidence, MinSupport, Transaction, UpdateBatch};
 //!
 //! // 1. Bootstrap from historical transactions (mined once, from scratch).
 //! let history = vec![
@@ -22,35 +27,51 @@
 //!     Transaction::from_items([2u32, 3]),
 //!     Transaction::from_items([1u32, 3]),
 //! ];
-//! let mut maintainer = RuleMaintainer::bootstrap(
-//!     history,
-//!     MinSupport::percent(50),
-//!     MinConfidence::percent(70),
-//! );
+//! let mut maintainer = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .build(history)
+//!     .expect("valid configuration");
 //!
-//! // 2. New transactions arrive: maintain (don't re-mine) the rules.
-//! let report = maintainer
-//!     .apply_update(UpdateBatch::insert_only(vec![
+//! // 2. Serve reads from a snapshot — an Arc-backed, version-stamped view
+//! //    that stays valid and consistent while updates proceed.
+//! let snapshot = maintainer.snapshot();
+//! assert_eq!(snapshot.version(), 0);
+//!
+//! // 3. New transactions arrive: stage them (arrival), then commit them
+//! //    as one FUP round (application) — never re-mine from scratch.
+//! maintainer
+//!     .stage(UpdateBatch::insert_only(vec![
 //!         Transaction::from_items([1u32, 2, 3]),
 //!         Transaction::from_items([2u32, 3]),
 //!     ]))
 //!     .unwrap();
+//! let report = maintainer.commit().unwrap();
 //!
-//! // 3. The report says exactly which rules the update created/killed.
+//! // 4. The report says exactly which rules the update created/killed...
 //! println!(
-//!     "+{} rules, -{} rules, {} retained",
+//!     "v{}: +{} rules, -{} rules, {} retained",
+//!     report.version,
 //!     report.rules.added.len(),
 //!     report.rules.removed.len(),
 //!     report.rules.retained
 //! );
 //! assert_eq!(report.num_transactions, 6);
+//!
+//! // ...the old snapshot still reads its own version, and a fresh one
+//! // answers serving-side queries without walking the raw rule set.
+//! assert_eq!(snapshot.version(), 0);
+//! let now = maintainer.snapshot();
+//! assert_eq!(now.version(), 1);
+//! let top = now.top_k_by_confidence(3);
+//! assert!(top.len() <= 3);
 //! ```
 //!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
 //! * [`mining`] — itemsets, Apriori, DHP, rule generation ([`fup_mining`])
-//! * [`core`] — FUP, FUP2, the [`RuleMaintainer`] ([`fup_core`])
+//! * [`core`] — FUP, FUP2, the [`Maintainer`] session ([`fup_core`])
 //! * [`datagen`] — the paper's synthetic workloads ([`fup_datagen`])
 
 #![warn(missing_docs)]
@@ -61,9 +82,11 @@ pub use fup_mining as mining;
 pub use fup_tidb as tidb;
 
 // The working vocabulary, flattened.
+#[allow(deprecated)]
+pub use fup_core::RuleMaintainer;
 pub use fup_core::{
-    Fup, Fup2, FupConfig, FupOutcome, ItemsetDiff, MaintenanceReport, RuleDiff, RuleMaintainer,
-    UpdatePolicy,
+    BuildError, Fup, Fup2, FupConfig, FupOutcome, IndexStats, ItemsetDiff, Maintainer,
+    MaintainerBuilder, MaintenanceReport, RuleDiff, RuleSnapshot, UpdatePolicy, Updater,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
@@ -88,5 +111,6 @@ mod tests {
         let _ = MinSupport::percent(1);
         let _ = MinConfidence::percent(50);
         let _ = FupConfig::default();
+        let _ = Maintainer::builder();
     }
 }

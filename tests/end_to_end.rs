@@ -1,9 +1,11 @@
 //! End-to-end integration across all crates: generator → substrate →
-//! mining → incremental maintenance → rules.
+//! mining → incremental maintenance → rules, through the session API
+//! (builder, staged commits, snapshot reads, persistent vertical index).
 
 use fup::datagen::{generate_multi_split, GenParams};
 use fup::{
-    Apriori, Dhp, MinConfidence, MinSupport, Miner, RuleMaintainer, TransactionSource, UpdateBatch,
+    Apriori, CountingBackend, Dhp, Maintainer, MinConfidence, MinSupport, Miner, Transaction,
+    TransactionSource, UpdateBatch,
 };
 
 fn workload_params() -> GenParams {
@@ -21,11 +23,11 @@ fn workload_params() -> GenParams {
 #[test]
 fn maintainer_tracks_remine_over_many_rounds() {
     let (history, increments) = generate_multi_split(&workload_params(), &[300; 6]);
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history.into_transactions(),
-        MinSupport::percent(1),
-        MinConfidence::percent(60),
-    );
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .build(history.into_transactions())
+        .unwrap();
     assert!(
         !maintainer.rules().is_empty(),
         "bootstrap should find rules"
@@ -33,24 +35,26 @@ fn maintainer_tracks_remine_over_many_rounds() {
 
     for (i, inc) in increments.into_iter().enumerate() {
         let report = maintainer
-            .apply_update(UpdateBatch::insert_only(inc.into_transactions()))
+            .apply(UpdateBatch::insert_only(inc.into_transactions()))
             .unwrap();
         assert_eq!(report.algorithm, "fup");
+        assert_eq!(report.version, i as u64 + 1);
         maintainer
             .verify_consistency()
-            .unwrap_or_else(|d| panic!("round {i} diverged: {d:?}"));
+            .unwrap_or_else(|d| panic!("round {i} diverged: {d}"));
     }
     assert_eq!(maintainer.len(), 3_000 + 6 * 300);
+    assert_eq!(maintainer.version(), 6);
 }
 
 #[test]
 fn mixed_insert_delete_rounds_stay_consistent() {
     let (history, increments) = generate_multi_split(&workload_params(), &[400, 400, 400]);
-    let mut maintainer = RuleMaintainer::bootstrap(
-        history.into_transactions(),
-        MinSupport::percent(1),
-        MinConfidence::percent(70),
-    );
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(70))
+        .build(history.into_transactions())
+        .unwrap();
     for inc in increments {
         // Delete a slice of the oldest transactions while inserting.
         let victims: Vec<_> = maintainer
@@ -60,7 +64,7 @@ fn mixed_insert_delete_rounds_stay_consistent() {
             .map(|(tid, _)| tid)
             .collect();
         let report = maintainer
-            .apply_update(UpdateBatch {
+            .apply(UpdateBatch {
                 inserts: inc.into_transactions(),
                 deletes: victims,
             })
@@ -69,6 +73,168 @@ fn mixed_insert_delete_rounds_stay_consistent() {
         maintainer.verify_consistency().expect("FUP2 == re-mine");
     }
     assert_eq!(maintainer.len(), 3_000 + 3 * 400 - 3 * 150);
+}
+
+#[test]
+fn staged_batches_commit_as_one_round_with_stable_snapshots() {
+    let (history, increments) = generate_multi_split(&workload_params(), &[200, 200, 200]);
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .build(history.into_transactions())
+        .unwrap();
+    let bootstrap = maintainer.snapshot();
+    assert_eq!(bootstrap.version(), 0);
+
+    // stage → stage → stage → one commit: arrival is decoupled from
+    // application, and reads in between see the old state.
+    for inc in increments {
+        maintainer
+            .stage(UpdateBatch::insert_only(inc.into_transactions()))
+            .unwrap();
+        assert_eq!(maintainer.len(), 3_000, "staging must not touch the store");
+        assert_eq!(maintainer.version(), 0);
+    }
+    assert_eq!(maintainer.staged().inserts.len(), 600);
+    let report = maintainer.commit().unwrap();
+    assert_eq!(report.algorithm, "fup");
+    assert_eq!(report.version, 1);
+    assert_eq!(report.num_transactions, 3_600);
+    assert_eq!(report.inserted_tids.len(), 600);
+    maintainer.verify_consistency().expect("FUP == re-mine");
+
+    // The pre-commit snapshot is still valid, version-stamped, and
+    // internally consistent; the post-commit snapshot sees the new state.
+    assert_eq!(bootstrap.version(), 0);
+    assert_eq!(bootstrap.num_transactions(), 3_000);
+    let now = maintainer.snapshot();
+    assert_eq!(now.version(), 1);
+    assert_eq!(now.num_transactions(), 3_600);
+    for rule in bootstrap.top_k_by_confidence(5) {
+        // Old-snapshot supports answer from the old state even though the
+        // maintainer has moved on.
+        assert_eq!(
+            bootstrap.support_of(&rule.antecedent),
+            bootstrap.large_itemsets().support(&rule.antecedent)
+        );
+    }
+}
+
+#[test]
+fn persistent_index_is_extended_not_rebuilt_on_insert_only_commits() {
+    // Acceptance: with the vertical backend pinned, insert-only commits
+    // extend the session's persistent index with the staged delta — the
+    // old database is NOT rescanned (scan-count asserted) and the index
+    // is not rebuilt (build/extend counters asserted). Increments only
+    // use items that are already large, so the index's item filter stays
+    // valid (no dictionary growth).
+    let (history, increments) = generate_multi_split(&workload_params(), &[250; 4]);
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .backend(CountingBackend::Vertical)
+        .build(history.into_transactions())
+        .unwrap();
+    // The pinned-vertical session seeds its index at bootstrap.
+    let stats = maintainer.index_stats();
+    assert_eq!((stats.builds, stats.extends), (1, 0));
+    assert!(stats.resident);
+
+    for (i, inc) in increments.into_iter().enumerate() {
+        // Restrict the increment to items already large, so no new item
+        // can cross the threshold and invalidate the index filter.
+        let keep: std::collections::HashSet<fup::ItemId> = maintainer
+            .large_itemsets()
+            .level(1)
+            .map(|(x, _)| x.items()[0])
+            .collect();
+        let filtered: Vec<Transaction> = inc
+            .into_transactions()
+            .into_iter()
+            .map(|t| {
+                Transaction::from_items(
+                    t.items()
+                        .iter()
+                        .copied()
+                        .filter(|it| keep.contains(it))
+                        .map(|it| it.raw()),
+                )
+            })
+            .filter(|t: &Transaction| !t.is_empty())
+            .collect();
+        assert!(!filtered.is_empty());
+
+        let db_reads_before = maintainer.store().metrics().snapshot().transactions_read;
+        maintainer
+            .stage(UpdateBatch::insert_only(filtered))
+            .unwrap();
+        let report = maintainer.commit().unwrap();
+        assert_eq!(report.algorithm, "fup");
+
+        // The old database was never rescanned: every support came from
+        // the persistent index (extended by the increment's delta scan)
+        // and the increment-side passes.
+        let db_reads_after = maintainer.store().metrics().snapshot().transactions_read;
+        assert_eq!(
+            db_reads_before, db_reads_after,
+            "round {i}: insert-only commit rescanned the old database"
+        );
+        let stats = maintainer.index_stats();
+        assert_eq!(
+            (stats.builds, stats.extends),
+            (1, i as u64 + 1),
+            "round {i}: the index must be extended, never rebuilt"
+        );
+        maintainer
+            .verify_consistency()
+            .expect("vertical == re-mine");
+    }
+
+    // A deletion invalidates the index (the live set reorders): the next
+    // acquisition rebuilds, and correctness is unaffected.
+    let victim = maintainer.store().iter().next().unwrap().0;
+    maintainer
+        .apply(UpdateBatch::delete_only(vec![victim]))
+        .unwrap();
+    assert_eq!(maintainer.index_stats().builds, 2);
+    maintainer.verify_consistency().expect("rebuild == re-mine");
+}
+
+// The deprecated RuleMaintainer is a thin wrapper over the session — same
+// results, same reports. (The shim is exercised deliberately; hence the
+// explicit allow.)
+#[test]
+#[allow(deprecated)]
+fn legacy_shim_still_works_and_matches_the_session_api() {
+    use fup::RuleMaintainer;
+    let (history, increments) = generate_multi_split(&workload_params(), &[300, 300]);
+    let history = history.into_transactions();
+    let mut legacy = RuleMaintainer::bootstrap(
+        history.clone(),
+        MinSupport::percent(1),
+        MinConfidence::percent(60),
+    );
+    let mut session = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .build(history)
+        .unwrap();
+    for inc in increments {
+        let batch = UpdateBatch::insert_only(inc.into_transactions());
+        let a = legacy.apply_update(batch.clone()).unwrap();
+        let b = session.apply(batch).unwrap();
+        assert_eq!(a.algorithm, b.algorithm);
+        assert_eq!(a.num_transactions, b.num_transactions);
+        assert_eq!(a.inserted_tids, b.inserted_tids);
+        assert_eq!(a.itemsets, b.itemsets);
+        assert_eq!(a.rules.added, b.rules.added);
+        assert_eq!(a.rules.removed, b.rules.removed);
+    }
+    assert!(legacy
+        .large_itemsets()
+        .same_itemsets(session.large_itemsets()));
+    assert_eq!(legacy.rules(), session.rules());
+    legacy.verify_consistency().unwrap();
 }
 
 #[test]
