@@ -1,0 +1,338 @@
+//! `bench_service` — concurrent-ingestion throughput of the
+//! [`MaintainerService`], emitting a machine-readable
+//! `BENCH_service.json` (CI runs this briefly on every push and gates
+//! the multi-producer row).
+//!
+//! Scenario: a `T10.I4` Quest history is mined once into a session, the
+//! session is wrapped in a [`MaintainerService`] with a pending-ops
+//! commit trigger, and `--batches` update batches of `--batch-size`
+//! transactions are staged by P producer threads (one row per entry in
+//! `--producers`). The clock runs from the first `stage` to the final
+//! `flush` completing, so every row pays for its own commit rounds —
+//! staging throughput that outruns the committer is *not* rewarded. The
+//! timed run is correctness-checked twice before any number is reported:
+//! the final rule set must be bit-identical to staging the same batches
+//! serially in one session (supports compared itemset by itemset), and
+//! the maintained state must equal a from-scratch re-mine.
+//!
+//! `--min-concurrent-throughput` exits non-zero unless the *highest*
+//! producer-count row sustains the given end-to-end transactions/second
+//! — the CI gate for the concurrent staging path.
+//!
+//! On a single-CPU container the multi-producer rows measure lock-stripe
+//! overhead only (producers time-slice one core); the committed JSON
+//! notes the caveat, and the CI artifact from the 4-vCPU runners is the
+//! multi-core record.
+//!
+//! ```text
+//! bench_service [--out PATH] [--transactions N] [--batches B]
+//!               [--batch-size S] [--producers P1,P2,..]
+//!               [--pending-trigger OPS] [--minsup-bp B] [--seed S]
+//!               [--min-concurrent-throughput TPS]
+//! ```
+
+use fup_core::service::{CommitPolicy, MaintainerService};
+use fup_core::Maintainer;
+use fup_datagen::{corpus, GenParams, QuestGenerator};
+use fup_mining::{MinConfidence, MinSupport};
+use fup_tidb::{Transaction, UpdateBatch};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Options {
+    out: String,
+    transactions: u64,
+    batches: usize,
+    batch_size: u64,
+    producers: Vec<usize>,
+    pending_trigger: u64,
+    minsup_bp: u64,
+    seed: u64,
+    /// Exit non-zero unless the highest producer-count row reaches this
+    /// many staged-and-committed transactions per second (0 disables).
+    min_concurrent_throughput: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        out: "BENCH_service.json".to_string(),
+        transactions: 20_000,
+        batches: 120,
+        batch_size: 250,
+        producers: vec![1, 4, 8],
+        pending_trigger: 6_000,
+        minsup_bp: 100,
+        seed: 1996,
+        min_concurrent_throughput: 0.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = value("--out")?,
+            "--transactions" => {
+                opts.transactions = value("--transactions")?
+                    .parse()
+                    .map_err(|e| format!("--transactions: {e}"))?
+            }
+            "--batches" => {
+                opts.batches = value("--batches")?
+                    .parse()
+                    .map_err(|e| format!("--batches: {e}"))?
+            }
+            "--batch-size" => {
+                opts.batch_size = value("--batch-size")?
+                    .parse()
+                    .map_err(|e| format!("--batch-size: {e}"))?
+            }
+            "--producers" => {
+                opts.producers = value("--producers")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--producers: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            "--pending-trigger" => {
+                opts.pending_trigger = value("--pending-trigger")?
+                    .parse()
+                    .map_err(|e| format!("--pending-trigger: {e}"))?
+            }
+            "--minsup-bp" => {
+                opts.minsup_bp = value("--minsup-bp")?
+                    .parse()
+                    .map_err(|e| format!("--minsup-bp: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--min-concurrent-throughput" => {
+                opts.min_concurrent_throughput = value("--min-concurrent-throughput")?
+                    .parse()
+                    .map_err(|e| format!("--min-concurrent-throughput: {e}"))?
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.batches == 0 || opts.batch_size == 0 {
+        return Err("--batches and --batch-size must be at least 1".into());
+    }
+    if opts.producers.is_empty() || opts.producers.contains(&0) {
+        return Err("--producers needs at least one non-zero entry".into());
+    }
+    if opts.pending_trigger == 0 {
+        return Err("--pending-trigger must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+struct Row {
+    producers: usize,
+    wall_ms: f64,
+    throughput_tps: f64,
+    rounds: u64,
+    commit_ms_total: f64,
+    commit_ms_last: f64,
+    index_builds: u64,
+    index_extends: u64,
+}
+
+fn bootstrap(history: Vec<Transaction>, minsup: MinSupport) -> Maintainer {
+    Maintainer::builder()
+        .min_support(minsup)
+        .min_confidence(MinConfidence::percent(60))
+        .build(history)
+        .expect("valid session configuration")
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench_service: {e}");
+            std::process::exit(2);
+        }
+    };
+    let params = corpus::t10_i4_d100_d1()
+        .with_seed(opts.seed)
+        .with_increment(1);
+    let params = GenParams {
+        num_transactions: opts.transactions,
+        ..params
+    };
+    eprintln!(
+        "generating {} corpus ({} history + {} x {} batch transactions)...",
+        params.name(),
+        opts.transactions,
+        opts.batches,
+        opts.batch_size
+    );
+    let mut generator = QuestGenerator::new(params);
+    let history = generator.generate_db(opts.transactions).into_transactions();
+    let batches: Vec<Vec<Transaction>> = (0..opts.batches)
+        .map(|_| generator.generate_db(opts.batch_size).into_transactions())
+        .collect();
+    let staged_txns: u64 = opts.batches as u64 * opts.batch_size;
+    let minsup = MinSupport::basis_points(opts.minsup_bp);
+
+    // Serial reference for the bit-identity check: one session, every
+    // batch staged in order, one commit.
+    eprintln!(
+        "serial reference (bootstrap + stage x{} + commit)...",
+        opts.batches
+    );
+    let mut serial = bootstrap(history.clone(), minsup);
+    for batch in &batches {
+        serial
+            .stage(UpdateBatch::insert_only(batch.clone()))
+            .expect("valid batch");
+    }
+    serial.commit().expect("serial commit");
+
+    let policy = CommitPolicy::manual()
+        .every_ops(opts.pending_trigger)
+        .with_poll_interval(Duration::from_millis(1));
+    let mut rows: Vec<Row> = Vec::new();
+    for &producers in &opts.producers {
+        let service = MaintainerService::launch(bootstrap(history.clone(), minsup), policy.clone())
+            .expect("valid policy");
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for worker in 0..producers {
+                let (service, batches) = (&service, &batches);
+                scope.spawn(move || {
+                    for batch in batches.iter().skip(worker).step_by(producers) {
+                        service
+                            .stage(UpdateBatch::insert_only(batch.clone()))
+                            .expect("valid batch");
+                    }
+                });
+            }
+        });
+        service.flush().expect("flush");
+        let wall = start.elapsed();
+        let (maintainer, metrics) = service.shutdown();
+
+        // Certify before reporting: concurrent == serial, bit for bit.
+        assert_eq!(metrics.staged_inserts, staged_txns);
+        assert_eq!(metrics.committed_inserts, staged_txns);
+        assert_eq!(metrics.dropped_rounds, 0, "no round may fail");
+        assert!(
+            maintainer
+                .large_itemsets()
+                .same_itemsets(serial.large_itemsets()),
+            "{producers} producers diverged from serial staging: {:?}",
+            maintainer.large_itemsets().diff(serial.large_itemsets())
+        );
+        for (itemset, support) in serial.large_itemsets().iter() {
+            assert_eq!(
+                maintainer.large_itemsets().support(itemset),
+                Some(support),
+                "{producers} producers: support of {itemset:?} diverged"
+            );
+        }
+        assert_eq!(
+            maintainer.rules(),
+            serial.rules(),
+            "{producers} producers: rule sets diverged"
+        );
+        if producers == opts.producers[0] {
+            // The (expensive) re-mine check once per run suffices: every
+            // other row is already pinned to the serial state above.
+            maintainer
+                .verify_consistency()
+                .expect("maintained state == re-mine");
+        }
+
+        let throughput = staged_txns as f64 / wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "{producers} producer(s): {staged_txns} txns in {:.1} ms -> {:.0} txn/s \
+             ({} rounds, {:.1} ms committing, index {}b/{}e)",
+            wall.as_secs_f64() * 1e3,
+            throughput,
+            metrics.committed_rounds,
+            metrics.total_commit_micros as f64 / 1e3,
+            metrics.index_builds,
+            metrics.index_extends,
+        );
+        rows.push(Row {
+            producers,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            throughput_tps: throughput,
+            rounds: metrics.committed_rounds,
+            commit_ms_total: metrics.total_commit_micros as f64 / 1e3,
+            commit_ms_last: metrics.last_commit_micros as f64 / 1e3,
+            index_builds: metrics.index_builds,
+            index_extends: metrics.index_extends,
+        });
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service\",\n",
+            "  \"corpus\": \"T10.I4\",\n",
+            "  \"transactions\": {},\n",
+            "  \"batches\": {},\n",
+            "  \"batch_size\": {},\n",
+            "  \"staged_txns\": {},\n",
+            "  \"pending_trigger\": {},\n",
+            "  \"minsup_bp\": {},\n",
+            "  \"note\": \"end-to-end stage->commit throughput; on a 1-CPU container \
+             multi-producer rows measure lock-stripe overhead only (CI artifact = multi-core record)\",\n",
+            "  \"rows\": [\n"
+        ),
+        opts.transactions,
+        opts.batches,
+        opts.batch_size,
+        staged_txns,
+        opts.pending_trigger,
+        opts.minsup_bp,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"producers\": {}, \"wall_ms\": {:.3}, \"throughput_tps\": {:.0}, \
+             \"rounds\": {}, \"commit_ms_total\": {:.3}, \"commit_ms_last\": {:.3}, \
+             \"index_builds\": {}, \"index_extends\": {} }}{sep}",
+            r.producers,
+            r.wall_ms,
+            r.throughput_tps,
+            r.rounds,
+            r.commit_ms_total,
+            r.commit_ms_last,
+            r.index_builds,
+            r.index_extends,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("bench_service: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    print!("{json}");
+
+    if opts.min_concurrent_throughput > 0.0 {
+        let gated = rows
+            .iter()
+            .max_by_key(|r| r.producers)
+            .expect("at least one row");
+        if gated.throughput_tps < opts.min_concurrent_throughput {
+            eprintln!(
+                "bench_service: {} producers sustained {:.0} txn/s < required {:.0} txn/s",
+                gated.producers, gated.throughput_tps, opts.min_concurrent_throughput
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_service: gate ok ({:.0} txn/s >= {:.0} txn/s at {} producers)",
+            gated.throughput_tps, opts.min_concurrent_throughput, gated.producers
+        );
+    }
+}

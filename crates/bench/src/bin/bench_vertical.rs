@@ -28,6 +28,11 @@
 //! identical between the two indexes; `--min-reuse-speedup` gates the
 //! cumulative ratio (CI asserts 1.0: reuse must never be slower).
 //!
+//! A third micro-row (`dense_pair` in the JSON) times the pure
+//! dense∩dense kernel — every pair of the 40 most frequent items, with
+//! all tid-lists forced into the bitset representation — recording the
+//! word throughput of the 4-word-unrolled AND+popcount loop.
+//!
 //! ```text
 //! bench_vertical [--out PATH] [--transactions N] [--minsup-bp B1,B2,..]
 //!                [--threads T] [--reps R] [--seed S]
@@ -454,6 +459,46 @@ fn main() {
         ms(rebuild_total)
     );
 
+    // ---- dense∩dense micro-row: the unrolled AND+popcount kernel ------
+    // Every pair of the most frequent items, with every tid-list forced
+    // into the dense (bitset) representation, so each candidate count is
+    // exactly one dense∩dense intersection over the whole corpus — the
+    // kernel the 4-word unroll targets.
+    let dense_pair = {
+        let minsup = MinSupport::basis_points(opts.minsup_bp[0]);
+        let mut freq: Vec<(u64, ItemId)> = item_counts
+            .iter_nonzero()
+            .filter(|&(_, c)| minsup.is_large(c, n))
+            .map(|(item, c)| (c, item))
+            .collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let mut items: Vec<ItemId> = freq.iter().take(40).map(|&(_, it)| it).collect();
+        items.sort_unstable();
+        let keep = vertical::item_bitmap(items.iter().copied());
+        let level1 = ItemsetTable::from_flat_rows(1, items);
+        let pairs = apriori_gen_flat(&level1, &cfg.gen);
+        let all_dense = VerticalIndex::build_with_density(&db, Some(&keep), &cfg, u32::MAX);
+        let (dense_time, dense_counts) = best_of(opts.reps, || all_dense.count_rows(&pairs, &cfg));
+        // The representation must not change the counts.
+        let default_idx = VerticalIndex::build(&db, Some(&keep), &cfg);
+        assert_eq!(
+            dense_counts,
+            default_idx.count_rows(&pairs, &cfg),
+            "forced-dense counts diverged from the default representation"
+        );
+        // Each pair ANDs two bitsets of ceil(n/64) words.
+        let words = pairs.len() as f64 * n.div_ceil(64) as f64;
+        let mwords_per_sec = words / dense_time.as_secs_f64().max(1e-9) / 1e6;
+        eprintln!(
+            "dense pair kernel: {} pairs x {} words in {:.2} ms -> {:.0} Mwords/s",
+            pairs.len(),
+            n.div_ceil(64),
+            ms(dense_time),
+            mwords_per_sec,
+        );
+        (pairs.len(), ms(dense_time), mwords_per_sec)
+    };
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -513,7 +558,12 @@ fn main() {
             "      {{ \"round\": {round}, \"extend_ms\": {extend_ms:.3}, \"rebuild_ms\": {rebuild_ms:.3} }}{sep}"
         );
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"dense_pair\": {{ \"pairs\": {}, \"ms\": {:.3}, \"mwords_per_sec\": {:.1} }}\n}}",
+        dense_pair.0, dense_pair.1, dense_pair.2
+    );
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("bench_vertical: writing {}: {e}", opts.out);
         std::process::exit(1);

@@ -67,6 +67,7 @@ pub mod fup2;
 pub mod maintain;
 pub mod policy;
 pub mod reduce;
+pub mod service;
 pub mod session;
 pub mod vindex;
 
@@ -76,8 +77,10 @@ pub use error::{BuildError, Error, Result};
 pub use fup::{Fup, FupOutcome, FupPassDetail};
 pub use fup2::Fup2;
 pub use policy::UpdatePolicy;
+pub use service::{CommitPolicy, MaintainerService, ServiceError, ServiceMetrics};
 pub use session::{
-    IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, Updater,
+    IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, StageHandle,
+    Updater,
 };
 pub use vindex::IndexSlot;
 

@@ -9,6 +9,15 @@
 //! are bit-identical — and exists only so downstream code migrates at its
 //! own pace. New code should use
 //! [`Maintainer::builder`](crate::Maintainer::builder).
+//!
+//! **Removal timeline:** deprecated since 0.2.0; the shim will be
+//! deleted in **0.4.0** (two minor releases after deprecation). Until
+//! then it receives no new functionality — in particular, none of the
+//! concurrent-service surface
+//! ([`MaintainerService`](crate::service::MaintainerService), staged
+//! handles, snapshot cells) is mirrored here. CI pins the set of files
+//! allowed to mention `RuleMaintainer`, so remaining in-tree usage is
+//! audited until the deletion lands.
 
 pub use crate::session::MaintenanceReport;
 
@@ -39,7 +48,8 @@ use fup_tidb::{SegmentedDb, Transaction, UpdateBatch};
 #[deprecated(
     since = "0.2.0",
     note = "use `Maintainer::builder()` — the session API with staged commits, \
-            snapshot reads, and typed configuration errors"
+            snapshot reads, and typed configuration errors; this shim will be \
+            removed in 0.4.0"
 )]
 #[derive(Debug)]
 pub struct RuleMaintainer {

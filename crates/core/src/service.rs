@@ -1,0 +1,1059 @@
+//! The concurrent ingestion service: a thread-safe layer over the
+//! [`Maintainer`] session for deployments where updates arrive from many
+//! threads and reads must never wait.
+//!
+//! A [`MaintainerService`] splits the session's three roles across
+//! threads:
+//!
+//! * **Producers** call [`stage`](MaintainerService::stage) from any
+//!   number of threads (`&self`). Batches land in the store's sharded,
+//!   lock-striped staging area ([`fup_tidb::StagingArea`]) with the same
+//!   arrival-time validation as [`Maintainer::stage`]; producers touch
+//!   neither the live set nor the mined state, so they run concurrently
+//!   with each other, with readers, and with a commit round mid-scan.
+//! * **The committer** is one owned background thread that owns the
+//!   [`Maintainer`]. Driven by a validating [`CommitPolicy`] — a pending
+//!   ops trigger, an increment-ratio trigger mirroring FUP2's re-mine
+//!   economics, and explicit [`flush`](MaintainerService::flush) — it
+//!   drains all shards in global arrival order and applies them as
+//!   **one** deterministic FUP/FUP2 round.
+//! * **Readers** call [`snapshot`](MaintainerService::snapshot), served
+//!   from an epoch-pinned snapshot cell: a read is a couple of atomic
+//!   operations and an `Arc` clone, never a lock — commits swap the cell
+//!   only after the round completes, so queries stay wait-free while a
+//!   round is scanning.
+//!
+//! The service reports its own counters ([`ServiceMetrics`]): batches
+//! staged/committed/dropped, commit latency, and the persistent index's
+//! build/extend totals.
+//!
+//! ```
+//! use fup_core::service::{CommitPolicy, MaintainerService};
+//! use fup_core::Maintainer;
+//! use fup_mining::{MinConfidence, MinSupport};
+//! use fup_tidb::{Transaction, UpdateBatch};
+//!
+//! let maintainer = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .build(vec![
+//!         Transaction::from_items([1u32, 2, 3]),
+//!         Transaction::from_items([1u32, 2]),
+//!         Transaction::from_items([2u32, 3]),
+//!     ])
+//!     .unwrap();
+//! let service = MaintainerService::launch(maintainer, CommitPolicy::manual()).unwrap();
+//!
+//! // Producers stage concurrently (here: two scoped threads)...
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         scope.spawn(|| {
+//!             service
+//!                 .stage(UpdateBatch::insert_only(vec![
+//!                     Transaction::from_items([1u32, 3]),
+//!                 ]))
+//!                 .unwrap();
+//!         });
+//!     }
+//! });
+//! // ...readers never block...
+//! assert_eq!(service.snapshot().version(), 0);
+//! // ...and a flush forces one round over everything staged.
+//! let report = service.flush().unwrap();
+//! assert_eq!(report.num_transactions, 5);
+//! assert_eq!(service.snapshot().version(), 1);
+//! let (maintainer, metrics) = service.shutdown();
+//! assert_eq!(metrics.staged_inserts, 2);
+//! assert_eq!(maintainer.len(), 5);
+//! ```
+
+use crate::error::Error;
+use crate::session::{Maintainer, MaintenanceReport, RuleSnapshot, SnapshotState, StageHandle};
+use fup_tidb::UpdateBatch;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Errors of the service layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A [`CommitPolicy`] pending-ops trigger of zero would commit
+    /// forever; use [`CommitPolicy::manual`] to disable auto-commits.
+    ZeroPendingTrigger,
+    /// A [`CommitPolicy`] increment-ratio trigger was not a positive,
+    /// finite number.
+    InvalidIncrementRatio(f64),
+    /// A [`CommitPolicy`] poll interval of zero would busy-spin the
+    /// committer thread.
+    ZeroPollInterval,
+    /// A batch failed arrival-time validation and was not staged (wraps
+    /// the session error, e.g. an unknown tid or
+    /// [`Error::DeletionsDisabled`]).
+    Stage(Error),
+    /// The round covering a [`flush`](MaintainerService::flush) failed;
+    /// the staged work it drained was dropped (see
+    /// [`ServiceMetrics::dropped_ops`]).
+    Commit(Error),
+    /// The service is shutting down (or already shut down).
+    ShutDown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ZeroPendingTrigger => write!(
+                f,
+                "pending-ops commit trigger of zero; use CommitPolicy::manual() to disable \
+                 auto-commits"
+            ),
+            ServiceError::InvalidIncrementRatio(r) => {
+                write!(f, "increment-ratio trigger {r} is not a positive number")
+            }
+            ServiceError::ZeroPollInterval => {
+                write!(f, "a zero poll interval would busy-spin the committer")
+            }
+            ServiceError::Stage(e) => write!(f, "batch rejected at arrival: {e}"),
+            ServiceError::Commit(e) => write!(f, "commit round failed: {e}"),
+            ServiceError::ShutDown => write!(f, "the maintainer service is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Stage(e) | ServiceError::Commit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// When the background committer turns staged batches into a maintenance
+/// round. Triggers combine with OR; [`flush`](MaintainerService::flush)
+/// always forces a round regardless of policy.
+///
+/// The increment-ratio trigger mirrors the economics of the paper's §4.5
+/// and Figure 4: FUP's advantage over re-mining is largest for increments
+/// small relative to `DB`, so committing once the staged volume reaches a
+/// fraction of the live database keeps every round in the regime the
+/// incremental algorithms are built for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitPolicy {
+    /// Commit once staged inserts + deletes reach this count
+    /// (`None` disables the trigger).
+    pub max_pending_ops: Option<u64>,
+    /// Commit once `staged / |DB|` reaches this ratio (`None` disables).
+    pub max_increment_ratio: Option<f64>,
+    /// How often the committer re-checks triggers when idle (it is also
+    /// woken eagerly by producers whose batch crosses a trigger).
+    pub poll_interval: Duration,
+}
+
+impl Default for CommitPolicy {
+    /// Commit every 8 192 staged ops, or at a staged volume of 10 % of
+    /// the live database, polling every 20 ms.
+    fn default() -> Self {
+        CommitPolicy {
+            max_pending_ops: Some(8_192),
+            max_increment_ratio: Some(0.10),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl CommitPolicy {
+    /// No automatic triggers: rounds happen only on
+    /// [`flush`](MaintainerService::flush) (and at shutdown).
+    pub fn manual() -> Self {
+        CommitPolicy {
+            max_pending_ops: None,
+            max_increment_ratio: None,
+            ..Self::default()
+        }
+    }
+
+    /// This policy with the pending-ops trigger set to `n`.
+    pub fn every_ops(mut self, n: u64) -> Self {
+        self.max_pending_ops = Some(n);
+        self
+    }
+
+    /// This policy with the increment-ratio trigger set to `ratio`.
+    pub fn at_increment_ratio(mut self, ratio: f64) -> Self {
+        self.max_increment_ratio = Some(ratio);
+        self
+    }
+
+    /// This policy with an explicit idle poll interval.
+    pub fn with_poll_interval(mut self, interval: Duration) -> Self {
+        self.poll_interval = interval;
+        self
+    }
+
+    /// Rejects configurations the committer cannot run.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.max_pending_ops == Some(0) {
+            return Err(ServiceError::ZeroPendingTrigger);
+        }
+        if let Some(r) = self.max_increment_ratio {
+            if !r.is_finite() || r <= 0.0 {
+                return Err(ServiceError::InvalidIncrementRatio(r));
+            }
+        }
+        if self.poll_interval.is_zero() {
+            return Err(ServiceError::ZeroPollInterval);
+        }
+        Ok(())
+    }
+
+    /// `true` if `pending` staged ops over a `live`-transaction database
+    /// cross any configured trigger.
+    fn triggered(&self, pending: u64, live: u64) -> bool {
+        if pending == 0 {
+            return false;
+        }
+        if self.max_pending_ops.is_some_and(|n| pending >= n) {
+            return true;
+        }
+        self.max_increment_ratio
+            .is_some_and(|r| pending as f64 >= r * live as f64)
+    }
+}
+
+/// A point-in-time copy of the service's counters (see
+/// [`MaintainerService::metrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceMetrics {
+    /// Batches accepted by [`stage`](MaintainerService::stage).
+    pub staged_batches: u64,
+    /// Transactions staged for insertion.
+    pub staged_inserts: u64,
+    /// Deletions staged.
+    pub staged_deletes: u64,
+    /// Batches rejected at arrival-time validation (nothing was queued).
+    pub rejected_batches: u64,
+    /// Maintenance rounds committed (including empty flush rounds).
+    pub committed_rounds: u64,
+    /// Transactions inserted by committed rounds.
+    pub committed_inserts: u64,
+    /// Deletions applied by committed rounds.
+    pub committed_deletes: u64,
+    /// Rounds that failed after draining (their staged work was dropped).
+    pub dropped_rounds: u64,
+    /// Staged ops consumed by failed rounds.
+    pub dropped_ops: u64,
+    /// Wall-clock microseconds of the most recent committed round.
+    pub last_commit_micros: u64,
+    /// Cumulative wall-clock microseconds across committed rounds.
+    pub total_commit_micros: u64,
+    /// From-scratch vertical index builds in the underlying session.
+    pub index_builds: u64,
+    /// In-place vertical index extends in the underlying session.
+    pub index_extends: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsAtomics {
+    staged_batches: AtomicU64,
+    staged_inserts: AtomicU64,
+    staged_deletes: AtomicU64,
+    rejected_batches: AtomicU64,
+    committed_rounds: AtomicU64,
+    committed_inserts: AtomicU64,
+    committed_deletes: AtomicU64,
+    dropped_rounds: AtomicU64,
+    dropped_ops: AtomicU64,
+    last_commit_micros: AtomicU64,
+    total_commit_micros: AtomicU64,
+    index_builds: AtomicU64,
+    index_extends: AtomicU64,
+}
+
+impl MetricsAtomics {
+    fn snapshot(&self) -> ServiceMetrics {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceMetrics {
+            staged_batches: load(&self.staged_batches),
+            staged_inserts: load(&self.staged_inserts),
+            staged_deletes: load(&self.staged_deletes),
+            rejected_batches: load(&self.rejected_batches),
+            committed_rounds: load(&self.committed_rounds),
+            committed_inserts: load(&self.committed_inserts),
+            committed_deletes: load(&self.committed_deletes),
+            dropped_rounds: load(&self.dropped_rounds),
+            dropped_ops: load(&self.dropped_ops),
+            last_commit_micros: load(&self.last_commit_micros),
+            total_commit_micros: load(&self.total_commit_micros),
+            index_builds: load(&self.index_builds),
+            index_extends: load(&self.index_extends),
+        }
+    }
+}
+
+/// An epoch-pinned pointer cell holding the current `Arc<SnapshotState>`.
+///
+/// Readers never lock: a load is epoch-read → pin (one `fetch_add`) →
+/// epoch re-check → pointer load → `Arc` clone → unpin. The single
+/// writer (the committer) swaps the pointer, advances the epoch, and
+/// spins until the *retired* epoch's pin count drains before dropping
+/// the old `Arc` — an RCU-style grace period that costs the writer, not
+/// the readers.
+///
+/// ## Safety argument
+///
+/// The hazard is a reader cloning from an `Arc` the writer has already
+/// dropped. All cell operations use `SeqCst`, so a total order exists.
+/// A reader only dereferences the pointer after (a) pinning parity
+/// `e & 1` and (b) re-loading the epoch and observing it still equal to
+/// `e`. Consider the writer's store #`e + 1` (the one advancing the
+/// epoch from `e`): it retires parity `e & 1` and waits for that pin
+/// count to reach zero *after* swapping in the new pointer. The reader's
+/// pin precedes its revalidating epoch load, which observed a value
+/// (`e`) older than store #`e + 1`'s increment — so the pin is ordered
+/// before the wait-loop's loads and the writer blocks until the reader
+/// unpins. The pointer the reader loaded is either the pre-swap value
+/// (freed by store #`e + 1`, which waits) or the post-swap value (freed
+/// by store #`e + 2`, which cannot *start* until store #`e + 1`
+/// completes its wait). Either way the free is ordered after the
+/// reader's unpin, which follows the clone. A reader whose revalidation
+/// fails unpins and retries without ever dereferencing.
+struct SnapshotCell {
+    ptr: AtomicPtr<SnapshotState>,
+    epoch: AtomicUsize,
+    pins: [AtomicUsize; 2],
+    /// Serialises writers (defence in depth — the committer is the only
+    /// writer by construction).
+    writer: Mutex<()>,
+}
+
+impl SnapshotCell {
+    fn new(state: Arc<SnapshotState>) -> Self {
+        SnapshotCell {
+            ptr: AtomicPtr::new(Arc::into_raw(state).cast_mut()),
+            epoch: AtomicUsize::new(0),
+            pins: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            writer: Mutex::new(()),
+        }
+    }
+
+    fn load(&self) -> Arc<SnapshotState> {
+        loop {
+            let e = self.epoch.load(Ordering::SeqCst);
+            let slot = &self.pins[e & 1];
+            slot.fetch_add(1, Ordering::SeqCst);
+            if self.epoch.load(Ordering::SeqCst) == e {
+                let ptr = self.ptr.load(Ordering::SeqCst);
+                // SAFETY: the epoch-validated pin above guarantees the
+                // writer's grace period waits for this reader before the
+                // Arc behind `ptr` can be dropped (see the type docs).
+                let borrowed = unsafe { Arc::from_raw(ptr) };
+                let out = Arc::clone(&borrowed);
+                std::mem::forget(borrowed);
+                slot.fetch_sub(1, Ordering::SeqCst);
+                return out;
+            }
+            // A store completed between the epoch read and the pin; the
+            // pin may be on a retired parity no writer waits for, so it
+            // must not be used. Retry against the new epoch.
+            slot.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn store(&self, state: Arc<SnapshotState>) {
+        let _writer = self.writer.lock().expect("snapshot cell writer poisoned");
+        let old = self
+            .ptr
+            .swap(Arc::into_raw(state).cast_mut(), Ordering::SeqCst);
+        let retired = self.epoch.fetch_add(1, Ordering::SeqCst) & 1;
+        // Grace period: readers pinned on the retired parity may still be
+        // cloning the old Arc; their critical section is a few atomic ops
+        // long, so spin-yield until it drains.
+        while self.pins[retired].load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: `old` came from `Arc::into_raw` (in `new` or an earlier
+        // `store`), the swap removed the cell's reference, and the grace
+        // period above ordered every borrowing reader's unpin before this
+        // point.
+        unsafe { drop(Arc::from_raw(old)) };
+    }
+}
+
+impl Drop for SnapshotCell {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer holds the cell's own
+        // reference from `new`/`store`.
+        unsafe { drop(Arc::from_raw(self.ptr.load(Ordering::SeqCst))) };
+    }
+}
+
+/// Committer-side control state, guarded by one mutex.
+#[derive(Debug, Default)]
+struct Ctl {
+    stop: bool,
+    /// Flush tickets issued to waiters.
+    flush_requested: u64,
+    /// Highest flush ticket covered by a completed round.
+    flush_completed: u64,
+    /// Tickets with a waiter currently blocked in `flush`.
+    waiting: std::collections::BTreeSet<u64>,
+    /// Per-round outcomes, as `(highest ticket covered, result)` in round
+    /// order — a waiter for ticket `t` takes the *first* entry covering
+    /// `t`, so a later round's failure (or success) is never
+    /// misattributed to an earlier flush. Pruned to what blocked waiters
+    /// can still need (empty whenever nobody waits).
+    outcomes: Vec<(u64, Result<MaintenanceReport, Error>)>,
+    /// Failed rounds so far. A flush compares this against its value at
+    /// ticket issuance: work the flush means to cover may have been
+    /// drained — and dropped — by a round that *started* before the
+    /// ticket existed, whose failure its covering round would otherwise
+    /// mask (rounds are serial, so that failure is recorded before any
+    /// covering round runs).
+    rounds_failed: u64,
+    /// The most recent failed round's error, for the comparison above.
+    last_round_error: Option<Error>,
+}
+
+impl Ctl {
+    /// Drops outcome entries no blocked waiter can take: everything
+    /// before the first entry covering the smallest waiting ticket.
+    fn prune_outcomes(&mut self) {
+        match self.waiting.iter().next().copied() {
+            None => self.outcomes.clear(),
+            Some(min) => {
+                let first_needed = self
+                    .outcomes
+                    .iter()
+                    .position(|&(covered, _)| covered >= min)
+                    .unwrap_or(self.outcomes.len());
+                self.outcomes.drain(..first_needed);
+            }
+        }
+    }
+}
+
+struct Shared {
+    handle: StageHandle,
+    policy: CommitPolicy,
+    cell: SnapshotCell,
+    metrics: MetricsAtomics,
+    /// `|DB|` after the last committed round, for the ratio trigger.
+    live_len: AtomicU64,
+    stopping: AtomicBool,
+    /// Producers currently inside `stage` — the shutdown drain waits for
+    /// this to reach zero so no accepted batch can miss the final round.
+    in_flight: AtomicU64,
+    ctl: Mutex<Ctl>,
+    /// Wakes the committer (producer crossed a trigger, flush, stop).
+    work_cv: Condvar,
+    /// Wakes flush waiters (a round completed, or stop).
+    done_cv: Condvar,
+}
+
+/// RAII decrement of `Shared::in_flight`, covering every exit path of
+/// [`MaintainerService::stage`].
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl Shared {
+    fn triggered(&self) -> bool {
+        let (i, d) = self.handle.pending_ops();
+        self.policy
+            .triggered(i + d, self.live_len.load(Ordering::Relaxed))
+    }
+}
+
+/// A running maintenance service: the session's staging, committing, and
+/// serving split across threads. See the [module docs](self) for the
+/// model and an example.
+///
+/// All methods take `&self`; share the service across producer and
+/// reader threads by reference (e.g. [`std::thread::scope`]) or wrap it
+/// in an [`Arc`]. Dropping the service without
+/// [`shutdown`](Self::shutdown) stops the committer after a final drain
+/// of everything staged.
+pub struct MaintainerService {
+    shared: Arc<Shared>,
+    committer: Option<JoinHandle<Maintainer>>,
+}
+
+impl fmt::Debug for MaintainerService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaintainerService")
+            .field("policy", &self.shared.policy)
+            .field("metrics", &self.shared.metrics.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MaintainerService {
+    /// Validates `policy` and launches the committer thread around
+    /// `maintainer`. The session's current state becomes snapshot version
+    /// 0 of the cell; [`shutdown`](Self::shutdown) hands the session
+    /// back.
+    pub fn launch(
+        maintainer: Maintainer,
+        policy: CommitPolicy,
+    ) -> Result<MaintainerService, ServiceError> {
+        policy.validate()?;
+        let shared = Arc::new(Shared {
+            handle: maintainer.stage_handle(),
+            policy,
+            cell: SnapshotCell::new(maintainer.state_arc()),
+            metrics: MetricsAtomics::default(),
+            live_len: AtomicU64::new(maintainer.len() as u64),
+            stopping: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            ctl: Mutex::new(Ctl::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let committer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fup-committer".into())
+                .spawn(move || committer_loop(maintainer, &shared))
+                .expect("spawning the committer thread")
+        };
+        Ok(MaintainerService {
+            shared,
+            committer: Some(committer),
+        })
+    }
+
+    /// Queues a batch for the next maintenance round. Thread-safe and
+    /// non-blocking (producers contend only on a staging shard stripe);
+    /// validation failures reject the batch atomically at arrival.
+    pub fn stage(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        // Register in-flight *before* checking the stop flag (both
+        // SeqCst): a producer that observed `stopping == false` is
+        // visible to the shutdown drain's in-flight wait, so a batch this
+        // method accepts is always covered by a round — it can never
+        // slip in behind the committer's final drain.
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let guard = InFlightGuard(&self.shared.in_flight);
+        if self.shared.stopping.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShutDown);
+        }
+        let inserts = batch.inserts.len() as u64;
+        let deletes = batch.deletes.len() as u64;
+        if let Err(e) = self.shared.handle.stage(batch) {
+            self.shared
+                .metrics
+                .rejected_batches
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Stage(e));
+        }
+        let m = &self.shared.metrics;
+        m.staged_batches.fetch_add(1, Ordering::Relaxed);
+        m.staged_inserts.fetch_add(inserts, Ordering::Relaxed);
+        m.staged_deletes.fetch_add(deletes, Ordering::Relaxed);
+        drop(guard);
+        if self.shared.triggered() {
+            // Eager wakeup; the committer also polls, so a lost race here
+            // only costs one poll interval.
+            let _ctl = self.shared.ctl.lock().expect("service control poisoned");
+            self.shared.work_cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// A wait-free, version-stamped view of the current rules — never
+    /// blocked by staging or by a commit round in progress, and valid
+    /// forever once taken.
+    pub fn snapshot(&self) -> RuleSnapshot {
+        RuleSnapshot::from_state(self.shared.cell.load())
+    }
+
+    /// Forces a maintenance round over everything staged so far and
+    /// blocks until it completes, returning the round's report (an empty
+    /// round bumps the version and reports no changes). Concurrent
+    /// flushes may be covered by one round.
+    pub fn flush(&self) -> Result<MaintenanceReport, ServiceError> {
+        let mut ctl = self.shared.ctl.lock().expect("service control poisoned");
+        if ctl.stop {
+            return Err(ServiceError::ShutDown);
+        }
+        ctl.flush_requested += 1;
+        let ticket = ctl.flush_requested;
+        ctl.waiting.insert(ticket);
+        let failed_at_issue = ctl.rounds_failed;
+        self.shared.work_cv.notify_one();
+        loop {
+            // Take the outcome of the *first* round that covered this
+            // ticket — never a later round's, whose failure (or success)
+            // would say nothing about the work this flush staged. A
+            // covering round that succeeded still fails the flush when
+            // any round failed since the ticket was issued: such a round
+            // may have drained — and dropped — work staged before this
+            // call, and rounds are serial, so its failure is recorded by
+            // the time the covering outcome exists.
+            if let Some((_, outcome)) = ctl.outcomes.iter().find(|&&(covered, _)| covered >= ticket)
+            {
+                let result = match outcome {
+                    Ok(_) if ctl.rounds_failed > failed_at_issue => Err(ServiceError::Commit(
+                        ctl.last_round_error
+                            .clone()
+                            .expect("a counted failure recorded its error"),
+                    )),
+                    Ok(report) => Ok(report.clone()),
+                    Err(e) => Err(ServiceError::Commit(e.clone())),
+                };
+                ctl.waiting.remove(&ticket);
+                ctl.prune_outcomes();
+                return result;
+            }
+            if ctl.stop {
+                ctl.waiting.remove(&ticket);
+                ctl.prune_outcomes();
+                return Err(ServiceError::ShutDown);
+            }
+            ctl = self
+                .shared
+                .done_cv
+                .wait(ctl)
+                .expect("service control poisoned");
+        }
+    }
+
+    /// `(inserts, deletes)` staged and not yet drained by a round.
+    pub fn pending_ops(&self) -> (u64, u64) {
+        self.shared.handle.pending_ops()
+    }
+
+    /// A copy of the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The active commit policy.
+    pub fn policy(&self) -> &CommitPolicy {
+        &self.shared.policy
+    }
+
+    /// Stops the committer — after one final round draining anything
+    /// still staged — and hands back the session plus the final
+    /// counters. New [`stage`](Self::stage)/[`flush`](Self::flush) calls
+    /// fail with [`ServiceError::ShutDown`] once shutdown begins.
+    pub fn shutdown(mut self) -> (Maintainer, ServiceMetrics) {
+        let maintainer = self.stop_committer().expect("committer thread panicked");
+        let metrics = self.shared.metrics.snapshot();
+        (maintainer, metrics)
+    }
+
+    fn stop_committer(&mut self) -> std::thread::Result<Maintainer> {
+        // SeqCst to pair with `stage`'s in-flight handshake: the
+        // no-batch-misses-the-final-drain argument needs this store in
+        // the same total order as the producers' flag loads.
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        {
+            let mut ctl = self.shared.ctl.lock().expect("service control poisoned");
+            ctl.stop = true;
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        self.committer
+            .take()
+            .expect("committer joined twice")
+            .join()
+    }
+}
+
+impl Drop for MaintainerService {
+    fn drop(&mut self) {
+        if self.committer.is_some() {
+            // Shutdown without handing the session back; a committer
+            // panic already unwound, so don't double-panic here.
+            let _ = self.stop_committer();
+        }
+    }
+}
+
+/// The committer thread: wait for a trigger / flush / stop, run one
+/// round, publish, repeat. Returns the session at shutdown.
+fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
+    loop {
+        let stop = {
+            let mut ctl = shared.ctl.lock().expect("service control poisoned");
+            loop {
+                if ctl.stop {
+                    break true;
+                }
+                if ctl.flush_requested > ctl.flush_completed || shared.triggered() {
+                    break false;
+                }
+                let (guard, _timeout) = shared
+                    .work_cv
+                    .wait_timeout(ctl, shared.policy.poll_interval)
+                    .expect("service control poisoned");
+                ctl = guard;
+            }
+        };
+        if stop {
+            // Producers that passed the stop check are still landing
+            // batches (they registered in `in_flight` first); wait them
+            // out so the final round provably drains everything `stage`
+            // ever accepted.
+            while shared.in_flight.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
+        let (flush_pending, flush_ticket) = {
+            let ctl = shared.ctl.lock().expect("service control poisoned");
+            (
+                ctl.flush_requested > ctl.flush_completed,
+                ctl.flush_requested,
+            )
+        };
+        // On stop, drain whatever is left; otherwise run for a flush (even
+        // an empty one — the waiter gets a fresh report) or a trigger.
+        let (pend_i, pend_d) = shared.handle.pending_ops();
+        if flush_pending || (stop && pend_i + pend_d > 0) || (!stop && shared.triggered()) {
+            run_round(&mut maintainer, shared, flush_ticket, pend_i + pend_d);
+        }
+        if stop {
+            // Unblock any flush waiter that raced shutdown (its staged
+            // work was drained above, but no round was dedicated to its
+            // ticket — it reports ShutDown).
+            let mut ctl = shared.ctl.lock().expect("service control poisoned");
+            ctl.flush_completed = ctl.flush_requested.max(ctl.flush_completed);
+            shared.done_cv.notify_all();
+            return maintainer;
+        }
+    }
+}
+
+/// One maintenance round: drain + FUP/FUP2 (inside
+/// [`Maintainer::commit`]), publish the snapshot, update counters, wake
+/// flush waiters up to `flush_ticket`.
+fn run_round(maintainer: &mut Maintainer, shared: &Shared, flush_ticket: u64, pending_hint: u64) {
+    let before_len = maintainer.len() as u64;
+    let start = Instant::now();
+    let outcome = maintainer.commit();
+    let micros = start.elapsed().as_micros() as u64;
+    let m = &shared.metrics;
+    let result = match outcome {
+        Ok(report) => {
+            shared.cell.store(maintainer.state_arc());
+            shared
+                .live_len
+                .store(maintainer.len() as u64, Ordering::Relaxed);
+            let inserted = report.inserted_tids.len() as u64;
+            let deleted = (before_len + inserted).saturating_sub(report.num_transactions);
+            m.committed_rounds.fetch_add(1, Ordering::Relaxed);
+            m.committed_inserts.fetch_add(inserted, Ordering::Relaxed);
+            m.committed_deletes.fetch_add(deleted, Ordering::Relaxed);
+            m.last_commit_micros.store(micros, Ordering::Relaxed);
+            m.total_commit_micros.fetch_add(micros, Ordering::Relaxed);
+            let index = maintainer.index_stats();
+            m.index_builds.store(index.builds, Ordering::Relaxed);
+            m.index_extends.store(index.extends, Ordering::Relaxed);
+            Ok(report)
+        }
+        Err(e) => {
+            // The drained batch is consumed either way; account it as
+            // dropped (`pending_hint` was read just before the drain, so
+            // it can undercount by batches that raced in).
+            m.dropped_rounds.fetch_add(1, Ordering::Relaxed);
+            m.dropped_ops.fetch_add(pending_hint, Ordering::Relaxed);
+            Err(e)
+        }
+    };
+    let mut ctl = shared.ctl.lock().expect("service control poisoned");
+    if let Err(e) = &result {
+        ctl.rounds_failed += 1;
+        ctl.last_round_error = Some(e.clone());
+    }
+    ctl.outcomes.push((flush_ticket, result));
+    ctl.flush_completed = flush_ticket.max(ctl.flush_completed);
+    ctl.prune_outcomes();
+    shared.done_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_mining::{MinConfidence, MinSupport};
+    use fup_tidb::{Tid, Transaction};
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    fn session() -> Maintainer {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .build(vec![
+                tx(&[1, 2, 3]),
+                tx(&[1, 2]),
+                tx(&[2, 3]),
+                tx(&[1, 3]),
+                tx(&[4, 5]),
+            ])
+            .unwrap()
+    }
+
+    #[test]
+    fn policy_validation_rejects_degenerate_triggers() {
+        assert_eq!(
+            CommitPolicy::default().every_ops(0).validate().unwrap_err(),
+            ServiceError::ZeroPendingTrigger
+        );
+        for bad in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+            let err = CommitPolicy::default()
+                .at_increment_ratio(bad)
+                .validate()
+                .unwrap_err();
+            assert!(
+                matches!(err, ServiceError::InvalidIncrementRatio(_)),
+                "{bad}: {err:?}"
+            );
+        }
+        assert_eq!(
+            CommitPolicy::default()
+                .with_poll_interval(Duration::ZERO)
+                .validate()
+                .unwrap_err(),
+            ServiceError::ZeroPollInterval
+        );
+        CommitPolicy::manual().validate().unwrap();
+        CommitPolicy::default().validate().unwrap();
+        // launch() refuses invalid policies before spawning anything.
+        let err =
+            MaintainerService::launch(session(), CommitPolicy::default().every_ops(0)).unwrap_err();
+        assert_eq!(err, ServiceError::ZeroPendingTrigger);
+    }
+
+    #[test]
+    fn trigger_arithmetic() {
+        let p = CommitPolicy::manual();
+        assert!(!p.triggered(u64::MAX, 0));
+        let p = CommitPolicy::manual().every_ops(10);
+        assert!(!p.triggered(9, 100));
+        assert!(p.triggered(10, 100));
+        assert!(!p.triggered(0, 0));
+        let p = CommitPolicy::manual().at_increment_ratio(0.5);
+        assert!(!p.triggered(49, 100));
+        assert!(p.triggered(50, 100));
+        assert!(p.triggered(1, 0), "any pending on an empty store triggers");
+    }
+
+    #[test]
+    fn manual_service_flushes_and_hands_session_back() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        assert_eq!(service.snapshot().version(), 0);
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[4, 5])]))
+            .unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5, 1])]))
+            .unwrap();
+        assert_eq!(service.pending_ops(), (3, 0));
+        // Nothing committed yet: the snapshot is still version 0.
+        assert_eq!(service.snapshot().version(), 0);
+
+        let report = service.flush().unwrap();
+        assert_eq!(report.algorithm, "fup");
+        assert_eq!(report.num_transactions, 8);
+        assert_eq!(service.snapshot().version(), 1);
+        assert_eq!(service.pending_ops(), (0, 0));
+
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(maintainer.len(), 8);
+        maintainer.verify_consistency().unwrap();
+        assert_eq!(metrics.staged_batches, 2);
+        assert_eq!(metrics.staged_inserts, 3);
+        assert_eq!(metrics.committed_rounds, 1);
+        assert_eq!(metrics.committed_inserts, 3);
+        assert_eq!(metrics.dropped_rounds, 0);
+        assert!(metrics.last_commit_micros > 0);
+    }
+
+    #[test]
+    fn pending_trigger_commits_in_background() {
+        let service = MaintainerService::launch(
+            session(),
+            CommitPolicy::manual()
+                .every_ops(4)
+                .with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        for _ in 0..4 {
+            service
+                .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+                .unwrap();
+        }
+        // The committer picks the work up on its own; wait for it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while service.metrics().committed_rounds == 0 {
+            assert!(Instant::now() < deadline, "trigger never fired");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(service.snapshot().version(), 1);
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(metrics.committed_inserts, 4);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_staged_work() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[7, 8]), tx(&[7, 8])]))
+            .unwrap();
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(maintainer.len(), 7, "shutdown must drain staged batches");
+        assert_eq!(metrics.committed_rounds, 1);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn rejected_batches_do_not_poison_the_round() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        let err = service
+            .stage(UpdateBatch::delete_only(vec![Tid(999)]))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Stage(Error::Store(_))));
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap();
+        let report = service.flush().unwrap();
+        assert_eq!(report.num_transactions, 6);
+        let (_m, metrics) = service.shutdown();
+        assert_eq!(metrics.rejected_batches, 1);
+        assert_eq!(metrics.staged_batches, 1);
+    }
+
+    #[test]
+    fn deletes_route_through_the_service() {
+        let m = session();
+        let victim = m.store().iter().next().unwrap().0;
+        let service = MaintainerService::launch(m, CommitPolicy::manual()).unwrap();
+        service
+            .stage(UpdateBatch {
+                inserts: vec![tx(&[4, 5])],
+                deletes: vec![victim],
+            })
+            .unwrap();
+        // The same tid cannot be claimed twice while staged.
+        let err = service
+            .stage(UpdateBatch::delete_only(vec![victim]))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Stage(Error::Store(_))));
+        let report = service.flush().unwrap();
+        assert_eq!(report.algorithm, "fup2");
+        assert_eq!(report.num_transactions, 5);
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(metrics.committed_deletes, 1);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn stage_and_flush_fail_after_shutdown_begins() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        service.shared.stopping.store(true, Ordering::Relaxed);
+        let err = service
+            .stage(UpdateBatch::insert_only(vec![tx(&[1])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ShutDown);
+        service.shared.ctl.lock().unwrap().stop = true;
+        assert_eq!(service.flush().unwrap_err(), ServiceError::ShutDown);
+    }
+
+    #[test]
+    fn snapshot_cell_survives_concurrent_readers_and_stores() {
+        // Stress the epoch protocol directly: 6 reader threads hammer
+        // load() while the writer publishes new states as fast as it can.
+        let m = session();
+        let cell = SnapshotCell::new(m.state_arc());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let (cell, stop) = (&cell, &stop);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = RuleSnapshot::from_state(cell.load());
+                        // Versions move forward and states stay readable.
+                        assert!(s.version() >= last);
+                        assert!(s.num_transactions() >= 5);
+                        last = s.version();
+                    }
+                });
+            }
+            let mut writer = session();
+            for _ in 0..200 {
+                writer
+                    .apply(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+                    .unwrap();
+                cell.store(writer.state_arc());
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(RuleSnapshot::from_state(cell.load()).version(), 200);
+    }
+
+    #[test]
+    fn flush_outcomes_attribute_by_first_covering_round() {
+        // A waiter must take the first round covering its ticket, so a
+        // later round's failure is never misattributed to it (and a
+        // later success never masks its own round's failure).
+        let mut ctl = Ctl::default();
+        let report = |v: u64| {
+            let mut m = session();
+            let mut r = m
+                .apply(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+                .unwrap();
+            r.version = v;
+            r
+        };
+        ctl.waiting.extend([2u64, 3]);
+        ctl.outcomes.push((1, Ok(report(1)))); // covers ticket 1 only
+        ctl.outcomes.push((2, Err(Error::DeletionsDisabled))); // covers 2
+        ctl.outcomes.push((3, Ok(report(3)))); // covers 3
+                                               // Ticket 2 takes the failing round 2, not the later success.
+        let (covered, outcome) = ctl
+            .outcomes
+            .iter()
+            .find(|&&(c, _)| c >= 2)
+            .expect("covered");
+        assert_eq!(*covered, 2);
+        assert!(outcome.is_err());
+        // Ticket 3 takes round 3's success.
+        let (_, outcome) = ctl
+            .outcomes
+            .iter()
+            .find(|&&(c, _)| c >= 3)
+            .expect("covered");
+        assert_eq!(outcome.as_ref().unwrap().version, 3);
+        // Pruning keeps everything the smallest waiting ticket may need…
+        ctl.prune_outcomes();
+        assert_eq!(ctl.outcomes.len(), 2);
+        assert_eq!(ctl.outcomes[0].0, 2);
+        // …and clears the history once nobody waits.
+        ctl.waiting.clear();
+        ctl.prune_outcomes();
+        assert!(ctl.outcomes.is_empty());
+    }
+
+    #[test]
+    fn service_error_display_names_the_problem() {
+        assert!(ServiceError::ZeroPendingTrigger
+            .to_string()
+            .contains("manual"));
+        assert!(ServiceError::InvalidIncrementRatio(-2.0)
+            .to_string()
+            .contains("-2"));
+        assert!(ServiceError::ShutDown.to_string().contains("shut down"));
+        let e = ServiceError::Stage(Error::DeletionsDisabled);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -15,6 +15,19 @@
 //! with the staged delta instead of rebuilding it on first use
 //! (see [`crate::vindex`]).
 //!
+//! The session itself is single-writer: `stage`/`commit` take `&mut
+//! self`. For multi-threaded ingestion there are two escalation steps:
+//!
+//! * [`Maintainer::stage_handle`] returns a [`StageHandle`] — a cloneable
+//!   `&self` staging endpoint any number of producer threads can feed
+//!   (batches land in the store's sharded staging area and join the next
+//!   `commit` in global arrival order);
+//! * [`crate::service::MaintainerService`] goes further and owns the
+//!   commit side too: a background committer drains the staged batches
+//!   into rounds under a [`CommitPolicy`](crate::service::CommitPolicy),
+//!   and snapshot reads become wait-free through its epoch-pinned
+//!   snapshot cell.
+//!
 //! ```
 //! use fup_core::Maintainer;
 //! use fup_mining::{MinConfidence, MinSupport};
@@ -114,7 +127,7 @@ pub struct IndexStats {
 /// The immutable state one commit produced — shared by the maintainer and
 /// every [`RuleSnapshot`] stamped with its version.
 #[derive(Debug)]
-struct SnapshotState {
+pub(crate) struct SnapshotState {
     version: u64,
     num_transactions: u64,
     minsup: MinSupport,
@@ -176,6 +189,11 @@ pub struct RuleSnapshot {
 }
 
 impl RuleSnapshot {
+    /// Wraps a shared state — used by the service layer's snapshot cell.
+    pub(crate) fn from_state(inner: Arc<SnapshotState>) -> Self {
+        RuleSnapshot { inner }
+    }
+
     /// The state version this snapshot was taken at (0 after bootstrap,
     /// +1 per commit).
     pub fn version(&self) -> u64 {
@@ -249,6 +267,40 @@ impl RuleSnapshot {
             .into_iter()
             .flatten()
             .map(|&i| &self.inner.rules.rules()[i as usize])
+    }
+}
+
+/// A thread-safe producer handle for staging update batches into a
+/// session (or a [`MaintainerService`](crate::service::MaintainerService))
+/// from any thread — obtained via [`Maintainer::stage_handle`].
+///
+/// Staging through a handle performs the same arrival-time validation as
+/// [`Maintainer::stage`] (deletes must reference live, unclaimed tids;
+/// insert-only sessions reject deletions) but takes `&self` and never
+/// touches the session: producers run concurrently with each other, with
+/// snapshot readers, and with a commit round in flight. Batches join the
+/// next commit in global arrival order.
+#[derive(Debug, Clone)]
+pub struct StageHandle {
+    staging: Arc<fup_tidb::StagingArea>,
+    deletions: bool,
+}
+
+impl StageHandle {
+    /// Queues a batch for the session's next commit. Validation failures
+    /// ([`Error::DeletionsDisabled`], unknown/doubly-deleted tids) leave
+    /// nothing queued.
+    pub fn stage(&self, batch: UpdateBatch) -> Result<()> {
+        if !self.deletions && !batch.deletes.is_empty() {
+            return Err(Error::DeletionsDisabled);
+        }
+        self.staging.stage(batch)?;
+        Ok(())
+    }
+
+    /// `(inserts, deletes)` currently staged and awaiting a commit.
+    pub fn pending_ops(&self) -> (u64, u64) {
+        self.staging.pending_ops()
     }
 }
 
@@ -508,18 +560,24 @@ impl Maintainer {
         config: FupConfig,
     ) -> Self {
         let store = SegmentedDb::from_transactions(history);
-        let large = Apriori::with_config(AprioriConfig {
+        let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: config.engine.clone(),
             ..Default::default()
         })
-        .run(&store, minsup)
-        .large;
+        .run_with_index(&store, minsup);
+        let large = outcome.large;
         let rules = generate_rules(&large, minconf);
         let mut index = IndexSlot::new();
-        if config.engine.backend == CountingBackend::Vertical && !store.is_empty() {
-            // A pinned-vertical session will want the index on every
-            // commit; seeding it here (filtered to L₁, like any update
-            // index) lets even the *first* commit extend instead of build.
+        if let Some(idx) = built {
+            // The bootstrap mine engaged vertical counting (pinned, or
+            // Auto past its thresholds) and already paid for an index
+            // covering the store, filtered to L₁ — adopt it so even the
+            // *first* commit extends instead of building.
+            index.adopt(idx);
+        } else if config.engine.backend == CountingBackend::Vertical && !store.is_empty() {
+            // A pinned-vertical session wants the index on every commit
+            // even when the bootstrap found no pass-2 candidates to
+            // count through it; seed from a fresh scan.
             index.seed(
                 &store,
                 large.level(1).map(|(x, _)| x.items()[0]),
@@ -561,8 +619,23 @@ impl Maintainer {
         Ok(())
     }
 
-    /// The batches staged so far, concatenated in arrival order.
-    pub fn staged(&self) -> &UpdateBatch {
+    /// A shareable, thread-safe staging handle: any number of producer
+    /// threads can [`StageHandle::stage`] batches through it — with the
+    /// same arrival-time validation as [`stage`](Self::stage) — while
+    /// this session is borrowed (even mutably, mid-commit) elsewhere.
+    /// Everything staged through handles joins the next
+    /// [`commit`](Self::commit), in global arrival order. This is the
+    /// producer side of [`crate::service::MaintainerService`].
+    pub fn stage_handle(&self) -> StageHandle {
+        StageHandle {
+            staging: self.store.staging(),
+            deletions: self.deletions,
+        }
+    }
+
+    /// A copy of the batches staged so far, concatenated in arrival
+    /// order.
+    pub fn staged(&self) -> UpdateBatch {
         self.store.pending()
     }
 
@@ -607,7 +680,7 @@ impl Maintainer {
         {
             return self.commit_by_remine(batch);
         }
-        let staged = self.store.stage(batch)?;
+        let staged = self.stage_drained(batch)?;
         let pure_insert = staged.num_deleted() == 0;
         let use_fup = match self.updater {
             Updater::Auto => pure_insert,
@@ -652,16 +725,37 @@ impl Maintainer {
 
     /// Applies a batch by committing it and re-mining from scratch — the
     /// path [`UpdatePolicy`] routes to for very large batches.
+    /// Two-phase-stages a batch drained from the staging area. The
+    /// drained batch owns the staging claims for its deletes, so on a
+    /// validation failure — which consumes the batch — those claims are
+    /// released here (their tids become claimable again).
+    fn stage_drained(&mut self, batch: UpdateBatch) -> Result<StagedUpdate> {
+        let claimed: Vec<Tid> = batch.deletes.clone();
+        match self.store.stage(batch) {
+            Ok(staged) => Ok(staged),
+            Err(e) => {
+                self.store.staging().release_deletes(claimed);
+                Err(e.into())
+            }
+        }
+    }
+
     fn commit_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
-        let staged = self.store.stage(batch)?;
+        let staged = self.stage_drained(batch)?;
         let pure_insert = staged.num_deleted() == 0;
         self.align_index(&staged, pure_insert);
         let (_seg, inserted_tids) = self.store.commit(staged);
-        let outcome = Apriori::with_config(AprioriConfig {
+        let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: self.config.engine.clone(),
             ..Default::default()
         })
-        .run(&self.store, self.minsup);
+        .run_with_index(&self.store, self.minsup);
+        if let Some(idx) = built {
+            // The re-mine engaged vertical counting: its index covers
+            // exactly the just-committed store, so keep it for the next
+            // incremental round instead of whatever the slot held.
+            self.index.adopt(idx);
+        }
         Ok(self.publish(
             outcome.large,
             "apriori-remine",
@@ -738,6 +832,12 @@ impl Maintainer {
         RuleSnapshot {
             inner: Arc::clone(&self.state),
         }
+    }
+
+    /// The current shared state — the service layer publishes this into
+    /// its wait-free snapshot cell after each commit.
+    pub(crate) fn state_arc(&self) -> Arc<SnapshotState> {
+        Arc::clone(&self.state)
     }
 
     /// The current state version (0 after bootstrap, +1 per commit).
@@ -819,11 +919,14 @@ impl Maintainer {
     /// Re-mines from scratch (Apriori) and replaces the maintained state —
     /// an escape hatch for threshold changes. Bumps the state version.
     pub fn remine(&mut self) -> &LargeItemsets {
-        let outcome = Apriori::with_config(AprioriConfig {
+        let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: self.config.engine.clone(),
             ..Default::default()
         })
-        .run(&self.store, self.minsup);
+        .run_with_index(&self.store, self.minsup);
+        if let Some(idx) = built {
+            self.index.adopt(idx);
+        }
         self.publish(outcome.large, "apriori-remine", outcome.stats, Vec::new());
         &self.state.large
     }

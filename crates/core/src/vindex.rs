@@ -84,6 +84,15 @@ impl IndexSlot {
         self.index = Some(VerticalIndex::build(base, Some(&keep), engine));
     }
 
+    /// Adopts an index built elsewhere — typically the one a bootstrap or
+    /// re-mine [`Apriori::run_with_index`](fup_mining::Apriori::run_with_index)
+    /// already paid for — counting it as a build. The caller guarantees
+    /// the index covers the store's live set in scan order.
+    pub fn adopt(&mut self, idx: VerticalIndex) {
+        self.builds += 1;
+        self.index = Some(idx);
+    }
+
     /// Extends the held index (if any) with `delta` at the current tid
     /// offset — the maintainer's way of keeping the slot aligned with an
     /// insert-only commit whose counting ran on the hash-tree path.

@@ -47,6 +47,23 @@ impl Apriori {
 
     /// Runs Apriori over `source`.
     pub fn run(&self, source: &dyn TransactionSource, minsup: MinSupport) -> MiningOutcome {
+        self.run_with_index(source, minsup).0
+    }
+
+    /// Runs Apriori over `source`, additionally returning the
+    /// [`VerticalIndex`] the run built — `Some` whenever the configured
+    /// backend engaged vertical counting on any pass (always under
+    /// [`CountingBackend::Vertical`](crate::CountingBackend) with
+    /// candidates present, threshold-dependent under `Auto`).
+    ///
+    /// The index covers exactly `source` and is filtered to the mined
+    /// `L₁`, so a maintenance session can seed its persistent index slot
+    /// from the bootstrap mine instead of paying a second full scan.
+    pub fn run_with_index(
+        &self,
+        source: &dyn TransactionSource,
+        minsup: MinSupport,
+    ) -> (MiningOutcome, Option<VerticalIndex>) {
         let start = Instant::now();
         let n = source.num_transactions();
         let mut large = LargeItemsets::new(n);
@@ -122,7 +139,7 @@ impl Apriori {
         }
 
         stats.elapsed = start.elapsed();
-        MiningOutcome { large, stats }
+        (MiningOutcome { large, stats }, index)
     }
 }
 

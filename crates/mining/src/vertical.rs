@@ -827,25 +827,47 @@ fn count_sparse_dense(run: &[u32], words: &[u64], boundary: u64) -> (u64, u64) {
     (below, above)
 }
 
-/// `|bitset ∩ bitset|` split at `boundary`: word-parallel `AND` +
-/// popcount, masking the boundary word.
+/// `AND`+popcount over two equal-length word runs, unrolled over 4-word
+/// blocks with independent accumulators — the first step of the SIMD
+/// roadmap: four popcounts per iteration with no loop-carried dependency,
+/// which autovectorises (and pipelines on scalar popcnt) far better than
+/// the word-at-a-time loop.
+#[inline]
+fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0u64; 4];
+    let mut blocks_a = a.chunks_exact(4);
+    let mut blocks_b = b.chunks_exact(4);
+    for (ba, bb) in blocks_a.by_ref().zip(blocks_b.by_ref()) {
+        acc[0] += u64::from((ba[0] & bb[0]).count_ones());
+        acc[1] += u64::from((ba[1] & bb[1]).count_ones());
+        acc[2] += u64::from((ba[2] & bb[2]).count_ones());
+        acc[3] += u64::from((ba[3] & bb[3]).count_ones());
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&x, &y) in blocks_a.remainder().iter().zip(blocks_b.remainder()) {
+        total += u64::from((x & y).count_ones());
+    }
+    total
+}
+
+/// `|bitset ∩ bitset|` split at `boundary`: the whole-word prefix and
+/// suffix run through the unrolled [`and_popcount`] kernel; only the
+/// single word straddling the boundary is masked bit-wise.
 fn count_dense_dense(a: &[u64], b: &[u64], boundary: u64) -> (u64, u64) {
     debug_assert_eq!(a.len(), b.len());
-    let bw = (boundary / 64) as usize;
+    let bw = ((boundary / 64) as usize).min(a.len());
     let rem = (boundary % 64) as u32;
-    let mut below = 0u64;
-    let mut above = 0u64;
-    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
-        let and = x & y;
-        if w < bw {
-            below += u64::from(and.count_ones());
-        } else if w == bw && rem > 0 {
-            let mask = (1u64 << rem) - 1;
-            below += u64::from((and & mask).count_ones());
-            above += u64::from((and & !mask).count_ones());
-        } else {
-            above += u64::from(and.count_ones());
-        }
+    let mut below = and_popcount(&a[..bw], &b[..bw]);
+    let mut above;
+    if rem > 0 && bw < a.len() {
+        let and = a[bw] & b[bw];
+        let mask = (1u64 << rem) - 1;
+        below += u64::from((and & mask).count_ones());
+        above = u64::from((and & !mask).count_ones());
+        above += and_popcount(&a[bw + 1..], &b[bw + 1..]);
+    } else {
+        above = and_popcount(&a[bw..], &b[bw..]);
     }
     (below, above)
 }
@@ -1140,6 +1162,46 @@ mod tests {
             CountingBackend::Vertical.resolve(&tiny),
             ResolvedBackend::Vertical
         );
+    }
+
+    #[test]
+    fn unrolled_dense_kernel_matches_scalar_reference() {
+        // Exercise every remainder length around the 4-word block size,
+        // and boundaries landing inside, between, and past the blocks.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for words in 0..10usize {
+            let a: Vec<u64> = (0..words).map(|_| next()).collect();
+            let b: Vec<u64> = (0..words).map(|_| next()).collect();
+            let reference = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| u64::from((x & y).count_ones()))
+                .sum::<u64>();
+            assert_eq!(and_popcount(&a, &b), reference, "{words} words");
+            for boundary in [0u64, 1, 63, 64, 65, 128, 256, 64 * words as u64] {
+                let (below, above) = count_dense_dense(&a, &b, boundary);
+                let mut expect = (0u64, 0u64);
+                for (w, (&x, &y)) in a.iter().zip(&b).enumerate() {
+                    let mut and = x & y;
+                    while and != 0 {
+                        let bit = 64 * w as u64 + u64::from(and.trailing_zeros());
+                        if bit < boundary {
+                            expect.0 += 1;
+                        } else {
+                            expect.1 += 1;
+                        }
+                        and &= and - 1;
+                    }
+                }
+                assert_eq!((below, above), expect, "{words} words, boundary {boundary}");
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod page;
 pub mod scan;
 pub mod segment;
 pub mod source;
+pub mod staging;
 pub mod stats;
 pub mod transaction;
 
@@ -72,4 +73,5 @@ pub use item::ItemId;
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
 pub use source::TransactionSource;
+pub use staging::StagingArea;
 pub use transaction::Transaction;

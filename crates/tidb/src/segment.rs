@@ -22,18 +22,27 @@
 //! accumulate — validated eagerly, so a bad tid fails at arrival time —
 //! without touching the live set at all. Scans are completely unaffected
 //! by pending batches, which is what lets a maintenance session keep
-//! serving reads (and, structurally, keep scanning on other threads)
-//! while updates stream in; application happens later, in one
-//! `stage`+`commit` round over the accumulated batch.
+//! serving reads while updates stream in; application happens later, in
+//! one `stage`+`commit` round over the accumulated batch.
+//!
+//! The staging area is a sharded, `Arc`-shared
+//! [`StagingArea`]: [`SegmentedDb::enqueue`]
+//! takes `&self`, and [`SegmentedDb::staging`] hands out clones of the
+//! handle so **many producer threads can stage batches concurrently**
+//! with each other and with scans — the substrate under
+//! `fup_core::service`'s concurrent ingestion. Batches drain back out in
+//! global arrival order regardless of how producers interleaved.
 
 use crate::database::TransactionDb;
 use crate::error::{Error, Result};
 use crate::item::ItemId;
 use crate::scan::ScanMetrics;
 use crate::source::TransactionSource;
+use crate::staging::StagingArea;
 use crate::transaction::Transaction;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A stable identifier for a stored transaction.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -136,11 +145,10 @@ pub struct SegmentedDb {
     next_tid: u64,
     next_segment: u32,
     metrics: ScanMetrics,
-    /// Accumulated-but-unapplied batches (see [`SegmentedDb::enqueue`]).
-    pending: UpdateBatch,
-    /// Tids already claimed by a pending delete, for arrival-time
-    /// validation of later batches.
-    pending_deletes: std::collections::HashSet<Tid>,
+    /// Accumulated-but-unapplied batches (see [`SegmentedDb::enqueue`]),
+    /// shared so producer threads can stage through [`Self::staging`]
+    /// handles while this store is borrowed elsewhere.
+    staging: Arc<StagingArea>,
 }
 
 impl SegmentedDb {
@@ -166,6 +174,7 @@ impl SegmentedDb {
             self.live.push((tid, t));
             tids.push(tid);
         }
+        self.staging.live_insert(tids.iter().copied());
         tids
     }
 
@@ -204,45 +213,45 @@ impl SegmentedDb {
     /// already claimed by an earlier pending delete (including earlier in
     /// the same batch). On [`Error::UnknownTransaction`] nothing is
     /// queued.
-    pub fn enqueue(&mut self, batch: UpdateBatch) -> Result<()> {
-        {
-            let mut seen = std::collections::HashSet::new();
-            for &tid in &batch.deletes {
-                if !self.by_tid.contains_key(&tid)
-                    || self.pending_deletes.contains(&tid)
-                    || !seen.insert(tid)
-                {
-                    return Err(Error::UnknownTransaction(tid));
-                }
-            }
-        }
-        self.pending_deletes.extend(batch.deletes.iter().copied());
-        self.pending.inserts.extend(batch.inserts);
-        self.pending.deletes.extend(batch.deletes);
-        Ok(())
+    ///
+    /// Takes `&self` — the staging area is sharded and internally
+    /// synchronised, so any number of threads may enqueue concurrently
+    /// (see [`Self::staging`] for a handle that outlives this borrow).
+    pub fn enqueue(&self, batch: UpdateBatch) -> Result<()> {
+        self.staging.stage(batch)
     }
 
-    /// The accumulated staging area (empty batch when nothing is pending).
-    pub fn pending(&self) -> &UpdateBatch {
-        &self.pending
+    /// A shareable handle to the staging area: producer threads stage
+    /// through it while the store itself is borrowed (even mutably, by a
+    /// commit round) elsewhere. Batches staged through the handle are
+    /// indistinguishable from [`enqueue`](Self::enqueue)d ones.
+    pub fn staging(&self) -> Arc<StagingArea> {
+        Arc::clone(&self.staging)
+    }
+
+    /// A copy of the accumulated staging area, in global arrival order
+    /// (an empty batch when nothing is pending).
+    pub fn pending(&self) -> UpdateBatch {
+        self.staging.snapshot()
     }
 
     /// `true` if at least one insert or delete is queued.
     pub fn has_pending(&self) -> bool {
-        !self.pending.is_empty()
+        self.staging.has_pending()
     }
 
     /// Drains the staging area, returning the accumulated batch (batches
-    /// concatenate in arrival order) for a `stage`+`commit` round.
+    /// concatenate in global arrival order) for a `stage`+`commit` round.
+    /// Delete claims are held until that round commits or aborts.
     pub fn take_pending(&mut self) -> UpdateBatch {
-        self.pending_deletes.clear();
-        std::mem::take(&mut self.pending)
+        self.staging.drain()
     }
 
     /// Drops everything queued in the staging area, returning the
-    /// discarded batch. The live set was never touched.
+    /// discarded batch. The live set was never touched, and the discarded
+    /// deletes' tids may be staged again.
     pub fn discard_pending(&mut self) -> UpdateBatch {
-        self.take_pending()
+        self.staging.discard()
     }
 
     /// Stages an update: removes `batch.deletes` from the live set and
@@ -250,7 +259,12 @@ impl SegmentedDb {
     /// [`Error::UnknownTransaction`] (leaving the store untouched) if any
     /// deleted tid is not live or is listed twice.
     pub fn stage(&mut self, batch: UpdateBatch) -> Result<StagedUpdate> {
-        // Validate first so failure cannot leave a partial removal.
+        // Validate first so failure cannot leave a partial removal. No
+        // staging claims are touched on failure: a claim for one of
+        // these tids may legitimately belong to a *different* batch
+        // still pending in the staging area, and only the owner of a
+        // drained batch knows its claims died with it (see
+        // [`StagingArea::release_deletes`]).
         {
             let mut seen = std::collections::HashSet::new();
             for &tid in &batch.deletes {
@@ -259,6 +273,7 @@ impl SegmentedDb {
                 }
             }
         }
+        self.staging.live_remove(batch.deletes.iter().copied());
         let mut deleted_with_tids = Vec::with_capacity(batch.deletes.len());
         for &tid in &batch.deletes {
             let idx = self.by_tid.remove(&tid).expect("validated above");
@@ -285,13 +300,19 @@ impl SegmentedDb {
     pub fn commit(&mut self, staged: StagedUpdate) -> (SegmentId, Vec<Tid>) {
         let seg = SegmentId(self.next_segment);
         self.next_segment += 1;
+        self.staging
+            .release_deletes(staged.deleted_with_tids.iter().map(|&(tid, _)| tid));
         let tids = self.append_all(staged.inserted.into_transactions());
         (seg, tids)
     }
 
     /// Aborts a staged update, restoring the deleted transactions under
-    /// their original tids.
+    /// their original tids (live — and deletable — again).
     pub fn abort(&mut self, staged: StagedUpdate) {
+        self.staging
+            .release_deletes(staged.deleted_with_tids.iter().map(|&(tid, _)| tid));
+        self.staging
+            .live_insert(staged.deleted_with_tids.iter().map(|&(tid, _)| tid));
         for (tid, t) in staged.deleted_with_tids {
             self.by_tid.insert(tid, self.live.len());
             self.live.push((tid, t));

@@ -1,0 +1,347 @@
+//! Sharded, thread-safe staging for [`SegmentedDb`](crate::SegmentedDb):
+//! the pending area behind `enqueue`/`take_pending`, restructured so many
+//! producer threads can stage update batches **concurrently** — through
+//! `&self` — while scans of the live set and snapshot reads proceed
+//! untouched.
+//!
+//! ## Design
+//!
+//! * **Lock-striped shards.** Arriving batches land in one of
+//!   [`StagingArea::num_shards`] queues, each behind its own mutex;
+//!   producers hitting different shards never contend. Every batch takes
+//!   a **ticket** from one shared atomic counter, so the drain can
+//!   re-assemble the exact global arrival order (sort by ticket) no
+//!   matter how batches interleaved across shards — the committed round
+//!   is deterministic given the arrival sequence.
+//! * **Arrival-time delete validation.** Deletes are validated when
+//!   staged, exactly like the single-threaded pending area: the tid must
+//!   be live and not already claimed by an earlier pending delete. The
+//!   area keeps its own *live-tid view* (maintained by the owning
+//!   [`SegmentedDb`](crate::SegmentedDb) on every mutation) so validation
+//!   never touches the store — producers can validate while a commit
+//!   round is scanning.
+//! * **Claims survive the round.** A drained delete stays claimed until
+//!   the round that carries it commits or aborts; only then does the tid
+//!   leave (or re-enter) the live view and the claim set together. A
+//!   producer therefore can never double-book a deletion against a round
+//!   in flight.
+//!
+//! The area is shared by `Arc`: the store holds one handle and hands out
+//! clones ([`SegmentedDb::staging`](crate::SegmentedDb::staging)) to
+//! producer threads, which is what lets a maintenance service accept
+//! `stage(&self, …)` calls while its committer thread owns the store
+//! mutably.
+
+use crate::error::{Error, Result};
+use crate::segment::{Tid, UpdateBatch};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Default shard count — enough stripes that a handful of producer
+/// threads effectively never collide on a shard mutex.
+pub const DEFAULT_STAGING_SHARDS: usize = 16;
+
+/// One shard's queue: `(ticket, batch)` pairs in local arrival order.
+type Shard = Vec<(u64, UpdateBatch)>;
+
+/// The sharded staging area. See the module docs for the concurrency
+/// contract; the owning [`SegmentedDb`](crate::SegmentedDb) keeps the
+/// live-tid view in sync.
+#[derive(Debug)]
+pub struct StagingArea {
+    shards: Vec<Mutex<Shard>>,
+    /// Global arrival tickets (also the shard selector).
+    ticket: AtomicU64,
+    /// Tids claimed by a pending *or in-flight* delete.
+    claims: Mutex<HashSet<Tid>>,
+    /// Mirror of the store's live tid set, for arrival-time validation
+    /// without touching the store.
+    live: RwLock<HashSet<Tid>>,
+    pending_inserts: AtomicU64,
+    pending_deletes: AtomicU64,
+}
+
+impl Default for StagingArea {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_STAGING_SHARDS)
+    }
+}
+
+impl StagingArea {
+    /// An empty area with `shards` lock stripes (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        StagingArea {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            ticket: AtomicU64::new(0),
+            claims: Mutex::new(HashSet::new()),
+            live: RwLock::new(HashSet::new()),
+            pending_inserts: AtomicU64::new(0),
+            pending_deletes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Queues a batch, validating deletes at arrival: every deleted tid
+    /// must be live and not already claimed by an earlier pending (or
+    /// in-flight) delete, including earlier in the same batch. On
+    /// [`Error::UnknownTransaction`] nothing is queued.
+    ///
+    /// Takes `&self`: any number of producer threads may stage
+    /// concurrently, with each other and with scans of the live set.
+    pub fn stage(&self, batch: UpdateBatch) -> Result<()> {
+        if !batch.deletes.is_empty() {
+            // Claim lock first, live view second — the same order the
+            // store uses when it applies a round.
+            let mut claims = self.claims.lock().expect("staging claims poisoned");
+            {
+                let live = self.live.read().expect("staging live view poisoned");
+                let mut seen = HashSet::new();
+                for &tid in &batch.deletes {
+                    if !live.contains(&tid) || claims.contains(&tid) || !seen.insert(tid) {
+                        return Err(Error::UnknownTransaction(tid));
+                    }
+                }
+            }
+            claims.extend(batch.deletes.iter().copied());
+        }
+        // Counters go up *before* the batch is visible in a shard: a
+        // concurrent drain then subtracts at most what it actually
+        // merged, so the counters never underflow (they may transiently
+        // overcount a batch still being pushed, which at worst wakes the
+        // committer for an empty no-op round).
+        self.pending_inserts
+            .fetch_add(batch.inserts.len() as u64, Ordering::Relaxed);
+        self.pending_deletes
+            .fetch_add(batch.deletes.len() as u64, Ordering::Relaxed);
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        {
+            let shard = &self.shards[(ticket % self.shards.len() as u64) as usize];
+            shard
+                .lock()
+                .expect("staging shard poisoned")
+                .push((ticket, batch));
+        }
+        Ok(())
+    }
+
+    /// `(inserts, deletes)` currently queued. Snapshots of two relaxed
+    /// counters — exact whenever no producer is mid-`stage` (a batch
+    /// being staged may already be counted before it is drainable).
+    pub fn pending_ops(&self) -> (u64, u64) {
+        (
+            self.pending_inserts.load(Ordering::Relaxed),
+            self.pending_deletes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// `true` if at least one insert or delete is queued.
+    pub fn has_pending(&self) -> bool {
+        let (i, d) = self.pending_ops();
+        i + d > 0
+    }
+
+    /// Assembles (a copy of) everything queued, in global arrival order,
+    /// without draining. Batches staged concurrently with the call may or
+    /// may not be included.
+    pub fn snapshot(&self) -> UpdateBatch {
+        self.assemble(|shard| shard.clone())
+    }
+
+    /// Drains the queue, returning the accumulated batches concatenated
+    /// in global arrival (ticket) order. Claims for the drained deletes
+    /// are **kept** until [`release_deletes`](Self::release_deletes) —
+    /// the round carrying them is now in flight.
+    pub fn drain(&self) -> UpdateBatch {
+        let merged = self.assemble(std::mem::take);
+        self.pending_inserts
+            .fetch_sub(merged.inserts.len() as u64, Ordering::Relaxed);
+        self.pending_deletes
+            .fetch_sub(merged.deletes.len() as u64, Ordering::Relaxed);
+        merged
+    }
+
+    /// Drops everything queued, returning the discarded batch. The
+    /// discarded deletes' claims are released — their tids may be staged
+    /// for deletion again.
+    pub fn discard(&self) -> UpdateBatch {
+        let dropped = self.drain();
+        self.release_deletes(dropped.deletes.iter().copied());
+        dropped
+    }
+
+    /// Collects every shard through `take` (clone or drain), merges by
+    /// ticket, and returns one concatenated batch.
+    fn assemble(&self, mut take: impl FnMut(&mut Shard) -> Shard) -> UpdateBatch {
+        let mut entries: Vec<(u64, UpdateBatch)> = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.lock().expect("staging shard poisoned");
+            entries.append(&mut take(&mut guard));
+        }
+        entries.sort_unstable_by_key(|&(ticket, _)| ticket);
+        let mut merged = UpdateBatch::default();
+        for (_, batch) in entries {
+            merged.inserts.extend(batch.inserts);
+            merged.deletes.extend(batch.deletes);
+        }
+        merged
+    }
+
+    /// Releases delete claims (round committed, aborted, or discarded).
+    pub fn release_deletes(&self, tids: impl IntoIterator<Item = Tid>) {
+        let mut claims = self.claims.lock().expect("staging claims poisoned");
+        for tid in tids {
+            claims.remove(&tid);
+        }
+    }
+
+    /// Adds tids to the live view (the store appended transactions).
+    pub(crate) fn live_insert(&self, tids: impl IntoIterator<Item = Tid>) {
+        let mut live = self.live.write().expect("staging live view poisoned");
+        live.extend(tids);
+    }
+
+    /// Removes tids from the live view (the store staged deletions).
+    pub(crate) fn live_remove(&self, tids: impl IntoIterator<Item = Tid>) {
+        let mut live = self.live.write().expect("staging live view poisoned");
+        for tid in tids {
+            live.remove(&tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::Transaction;
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    fn area_with_live(tids: &[u64]) -> StagingArea {
+        let area = StagingArea::with_shards(4);
+        area.live_insert(tids.iter().map(|&t| Tid(t)));
+        area
+    }
+
+    #[test]
+    fn tickets_preserve_arrival_order_across_shards() {
+        let area = StagingArea::with_shards(3);
+        for i in 0..10u32 {
+            area.stage(UpdateBatch::insert_only(vec![tx(&[i])]))
+                .unwrap();
+        }
+        let merged = area.drain();
+        let got: Vec<u32> = merged.inserts.iter().map(|t| t.items()[0].raw()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(!area.has_pending());
+    }
+
+    #[test]
+    fn delete_validation_against_live_view_and_claims() {
+        let area = area_with_live(&[1, 2, 3]);
+        // Unknown tid: rejected, nothing queued.
+        let err = area
+            .stage(UpdateBatch::delete_only(vec![Tid(99)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(99)));
+        assert!(!area.has_pending());
+        // First claim fine; second claim of the same tid rejected.
+        area.stage(UpdateBatch::delete_only(vec![Tid(1)])).unwrap();
+        let err = area
+            .stage(UpdateBatch::delete_only(vec![Tid(1)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(1)));
+        // Duplicate within one batch rejected.
+        let err = area
+            .stage(UpdateBatch::delete_only(vec![Tid(2), Tid(2)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(2)));
+        assert_eq!(area.pending_ops(), (0, 1));
+    }
+
+    #[test]
+    fn claims_survive_drain_until_released() {
+        let area = area_with_live(&[1, 2]);
+        area.stage(UpdateBatch::delete_only(vec![Tid(1)])).unwrap();
+        let drained = area.drain();
+        assert_eq!(drained.deletes, vec![Tid(1)]);
+        // Still claimed while the round is in flight.
+        let err = area
+            .stage(UpdateBatch::delete_only(vec![Tid(1)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(1)));
+        // Released (e.g. the round aborted): claimable again.
+        area.release_deletes(drained.deletes.iter().copied());
+        area.stage(UpdateBatch::delete_only(vec![Tid(1)])).unwrap();
+    }
+
+    #[test]
+    fn discard_releases_claims() {
+        let area = area_with_live(&[7]);
+        area.stage(UpdateBatch {
+            inserts: vec![tx(&[1])],
+            deletes: vec![Tid(7)],
+        })
+        .unwrap();
+        let dropped = area.discard();
+        assert_eq!(dropped.inserts.len(), 1);
+        assert_eq!(dropped.deletes, vec![Tid(7)]);
+        assert!(!area.has_pending());
+        area.stage(UpdateBatch::delete_only(vec![Tid(7)])).unwrap();
+    }
+
+    #[test]
+    fn concurrent_staging_loses_nothing() {
+        let area = StagingArea::default();
+        let per_thread = 200u32;
+        std::thread::scope(|scope| {
+            for worker in 0..8u32 {
+                let area = &area;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        area.stage(UpdateBatch::insert_only(vec![tx(&[
+                            worker * per_thread + i
+                        ])]))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(area.pending_ops(), (8 * per_thread as u64, 0));
+        let merged = area.drain();
+        let mut got: Vec<u32> = merged.inserts.iter().map(|t| t.items()[0].raw()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8 * per_thread).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_delete_claims_are_exclusive() {
+        // 8 threads race to claim the same 16 tids; each tid must be
+        // granted exactly once.
+        let area = area_with_live(&(0..16).collect::<Vec<_>>());
+        let wins: Vec<AtomicU64> = (0..16).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (area, wins) = (&area, &wins);
+                scope.spawn(move || {
+                    for tid in 0..16u64 {
+                        if area.stage(UpdateBatch::delete_only(vec![Tid(tid)])).is_ok() {
+                            wins[tid as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for (tid, w) in wins.iter().enumerate() {
+            assert_eq!(w.load(Ordering::Relaxed), 1, "tid {tid} claimed twice");
+        }
+        assert_eq!(area.pending_ops(), (0, 16));
+    }
+}

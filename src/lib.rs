@@ -67,6 +67,47 @@
 //! assert!(top.len() <= 3);
 //! ```
 //!
+//! ## Concurrent serving
+//!
+//! When updates arrive from many threads, wrap the session in a
+//! [`MaintainerService`]: producers [`stage`](MaintainerService::stage)
+//! batches concurrently through `&self` (sharded, lock-striped staging),
+//! a background committer thread applies them as one FUP/FUP2 round per
+//! [`CommitPolicy`] trigger (pending count, increment ratio, or explicit
+//! [`flush`](MaintainerService::flush)), and
+//! [`snapshot`](MaintainerService::snapshot) reads are wait-free even
+//! while a round is scanning.
+//!
+//! ```
+//! use fup::{CommitPolicy, Maintainer, MaintainerService};
+//! use fup::{MinConfidence, MinSupport, Transaction, UpdateBatch};
+//!
+//! let maintainer = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .build(vec![
+//!         Transaction::from_items([1u32, 2]),
+//!         Transaction::from_items([1u32, 2, 3]),
+//!     ])
+//!     .unwrap();
+//! let service = MaintainerService::launch(maintainer, CommitPolicy::manual()).unwrap();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         scope.spawn(|| {
+//!             service
+//!                 .stage(UpdateBatch::insert_only(vec![
+//!                     Transaction::from_items([2u32, 3]),
+//!                 ]))
+//!                 .unwrap();
+//!         });
+//!     }
+//! });
+//! let report = service.flush().unwrap();
+//! assert_eq!(report.num_transactions, 6);
+//! let (maintainer, _metrics) = service.shutdown();
+//! assert_eq!(maintainer.len(), 6);
+//! ```
+//!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
@@ -85,8 +126,9 @@ pub use fup_tidb as tidb;
 #[allow(deprecated)]
 pub use fup_core::RuleMaintainer;
 pub use fup_core::{
-    BuildError, Fup, Fup2, FupConfig, FupOutcome, IndexStats, ItemsetDiff, Maintainer,
-    MaintainerBuilder, MaintenanceReport, RuleDiff, RuleSnapshot, UpdatePolicy, Updater,
+    BuildError, CommitPolicy, Fup, Fup2, FupConfig, FupOutcome, IndexStats, ItemsetDiff,
+    Maintainer, MaintainerBuilder, MaintainerService, MaintenanceReport, RuleDiff, RuleSnapshot,
+    ServiceError, ServiceMetrics, StageHandle, UpdatePolicy, Updater,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{

@@ -200,6 +200,166 @@ fn persistent_index_is_extended_not_rebuilt_on_insert_only_commits() {
     maintainer.verify_consistency().expect("rebuild == re-mine");
 }
 
+#[test]
+fn auto_backend_seeds_the_index_at_bootstrap_and_extends_it() {
+    // Satellite of the ROADMAP item "seed the IndexSlot under Auto too":
+    // a session on the default Auto backend whose bootstrap mine engaged
+    // vertical counting adopts the mine's own index — no second scan —
+    // and the first update round that engages vertical *extends* it with
+    // the delta instead of rebuilding over the whole store.
+    let params = GenParams {
+        num_transactions: 6_000, // past AUTO_MIN_TRANSACTIONS = 4 096
+        increment_size: 0,
+        num_items: 400,
+        num_patterns: 300,
+        pool_size: 30,
+        seed: 0xa07e,
+        ..GenParams::default()
+    };
+    let (history, _) = generate_multi_split(&params, &[]);
+    let mut maintainer = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .backend(CountingBackend::Auto)
+        .build(history.into_transactions())
+        .unwrap();
+    // The bootstrap mine crossed the Auto thresholds, built the index for
+    // its own passes, and the session adopted it.
+    let stats = maintainer.index_stats();
+    assert!(stats.resident, "Auto bootstrap must seed the index");
+    assert_eq!((stats.builds, stats.extends), (1, 0));
+
+    // Build an increment over the 60 most frequent existing items (no
+    // dictionary growth — the adopted index's filter still covers
+    // everything) whose fresh item combinations generate a pass-2
+    // candidate pool big enough for Auto to engage vertical counting.
+    let mut top: Vec<(u64, fup::ItemId)> = maintainer
+        .large_itemsets()
+        .level(1)
+        .map(|(x, c)| (c, x.items()[0]))
+        .collect();
+    top.sort_unstable_by(|a, b| b.cmp(a));
+    let alphabet: Vec<u32> = top.iter().take(60).map(|&(_, it)| it.raw()).collect();
+    let increment: Vec<Transaction> = (0..500u64)
+        .map(|i| {
+            // 10 deterministically-rotating items per transaction.
+            Transaction::from_items(
+                (0..10u64).map(|j| alphabet[((i * 13 + j * 7 + i * j) % 60) as usize]),
+            )
+        })
+        .collect();
+
+    let reads_before = maintainer.store().metrics().snapshot().transactions_read;
+    maintainer
+        .stage(UpdateBatch::insert_only(increment))
+        .unwrap();
+    let report = maintainer.commit().unwrap();
+    assert_eq!(report.algorithm, "fup");
+
+    // The round engaged the vertical backend, found the seeded index
+    // resident, and extended it with the increment's delta scan: the old
+    // database was never rescanned and no rebuild happened.
+    let reads_after = maintainer.store().metrics().snapshot().transactions_read;
+    assert_eq!(
+        reads_before, reads_after,
+        "the engaging commit must not rescan the old database"
+    );
+    let stats = maintainer.index_stats();
+    assert_eq!(
+        (stats.builds, stats.extends),
+        (1, 1),
+        "the seeded index must be extended, not rebuilt"
+    );
+    maintainer.verify_consistency().expect("auto == re-mine");
+}
+
+#[test]
+fn service_with_eight_producers_matches_serial_staging() {
+    // The PR's acceptance scenario: 8 producer threads stage through a
+    // running MaintainerService while snapshot readers query concurrently;
+    // the background committer splits the stream into rounds on a pending
+    // trigger, and the final state is bit-identical to staging the same
+    // batches serially in one session.
+    use fup::{CommitPolicy, MaintainerService};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (history, increments) = generate_multi_split(&workload_params(), &[150; 16]);
+    let history = history.into_transactions();
+    let batches: Vec<Vec<Transaction>> = increments
+        .into_iter()
+        .map(|db| db.into_transactions())
+        .collect();
+    let build = |history: Vec<Transaction>| {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(1))
+            .min_confidence(MinConfidence::percent(60))
+            .build(history)
+            .unwrap()
+    };
+
+    let mut serial = build(history.clone());
+    for batch in &batches {
+        serial
+            .stage(UpdateBatch::insert_only(batch.clone()))
+            .unwrap();
+    }
+    serial.commit().unwrap();
+
+    let service = MaintainerService::launch(
+        build(history),
+        CommitPolicy::manual()
+            .every_ops(400)
+            .with_poll_interval(std::time::Duration::from_millis(1)),
+    )
+    .unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (service, stop) = (&service, &stop);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = service.snapshot();
+                    assert!(snap.version() >= last, "snapshot versions rewound");
+                    last = snap.version();
+                }
+            });
+        }
+        std::thread::scope(|producers| {
+            for worker in 0..8usize {
+                let (service, batches) = (&service, &batches);
+                producers.spawn(move || {
+                    for batch in batches.iter().skip(worker).step_by(8) {
+                        service
+                            .stage(UpdateBatch::insert_only(batch.clone()))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        service.flush().unwrap();
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let (maintainer, metrics) = service.shutdown();
+    assert_eq!(metrics.staged_inserts, 16 * 150);
+    assert_eq!(metrics.committed_inserts, 16 * 150);
+    assert_eq!(metrics.dropped_rounds, 0);
+    assert_eq!(maintainer.len(), serial.len());
+    assert!(
+        maintainer
+            .large_itemsets()
+            .same_itemsets(serial.large_itemsets()),
+        "{:?}",
+        maintainer.large_itemsets().diff(serial.large_itemsets())
+    );
+    for (itemset, support) in serial.large_itemsets().iter() {
+        assert_eq!(maintainer.large_itemsets().support(itemset), Some(support));
+    }
+    assert_eq!(maintainer.rules(), serial.rules());
+    maintainer.verify_consistency().unwrap();
+}
+
 // The deprecated RuleMaintainer is a thin wrapper over the session — same
 // results, same reports. (The shim is exercised deliberately; hence the
 // explicit allow.)
