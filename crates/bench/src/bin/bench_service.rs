@@ -19,6 +19,13 @@
 //! producer-count row sustains the given end-to-end transactions/second
 //! — the CI gate for the concurrent staging path.
 //!
+//! The run also measures the cost of durability: a single-producer
+//! WAL-off session against the same workload through a WAL-on session
+//! (`build_durable` over a `DiskStorage` temp directory, fsync on every
+//! append — the default [`DurabilityPolicy`]), with the recovered-state
+//! bit-identity asserted before the pair is reported as the
+//! `durability` object in the JSON.
+//!
 //! On a single-CPU container the multi-producer rows measure lock-stripe
 //! overhead only (producers time-slice one core); the committed JSON
 //! notes the caveat, and the CI artifact from the 4-vCPU runners is the
@@ -32,11 +39,12 @@
 //! ```
 
 use fup_core::service::{CommitPolicy, MaintainerService};
-use fup_core::Maintainer;
+use fup_core::{DurabilityPolicy, Maintainer};
 use fup_datagen::{corpus, GenParams, QuestGenerator};
 use fup_mining::{MinConfidence, MinSupport};
-use fup_tidb::{Transaction, UpdateBatch};
+use fup_tidb::{DiskStorage, DurableStorage, Transaction, UpdateBatch};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Options {
@@ -270,6 +278,66 @@ fn main() {
         });
     }
 
+    // ---- durability cost: WAL-off vs WAL-on, same workload -------------
+    // Single producer so the pair isolates the log discipline (append +
+    // fsync per staged batch, boundary + checkpoint per round) from any
+    // lock-stripe effects. WAL-on runs over a real directory with the
+    // default policy (fsync on every append).
+    let wal_pair = {
+        let run = |maintainer: Maintainer| {
+            let service =
+                MaintainerService::launch(maintainer, policy.clone()).expect("valid policy");
+            let start = Instant::now();
+            for batch in &batches {
+                service
+                    .stage(UpdateBatch::insert_only(batch.clone()))
+                    .expect("valid batch");
+            }
+            service.flush().expect("flush");
+            let wall = start.elapsed();
+            let (maintainer, _) = service.shutdown();
+            assert!(
+                maintainer
+                    .large_itemsets()
+                    .same_itemsets(serial.large_itemsets()),
+                "durability row diverged from serial staging"
+            );
+            (wall, maintainer)
+        };
+        eprintln!("durability pair: WAL off...");
+        let (off_wall, _) = run(bootstrap(history.clone(), minsup));
+        eprintln!("durability pair: WAL on (DiskStorage, fsync per append)...");
+        let wal_dir = std::env::temp_dir().join(format!("fup-bench-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let storage = Arc::new(DiskStorage::open(&wal_dir).expect("open WAL directory"));
+        let durable = Maintainer::builder()
+            .min_support(minsup)
+            .min_confidence(MinConfidence::percent(60))
+            .durability(DurabilityPolicy::default())
+            .build_durable(
+                history.clone(),
+                Arc::clone(&storage) as Arc<dyn DurableStorage>,
+            )
+            .expect("durable bootstrap");
+        let (on_wall, _) = run(durable);
+        let wal_bytes: u64 = std::fs::read_dir(&wal_dir)
+            .expect("list WAL directory")
+            .filter_map(|e| e.ok()?.metadata().ok())
+            .map(|m| m.len())
+            .sum();
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let off_tps = staged_txns as f64 / off_wall.as_secs_f64().max(1e-9);
+        let on_tps = staged_txns as f64 / on_wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "durability: WAL off {:.0} txn/s, WAL on {:.0} txn/s ({:.2}x overhead, {} KiB durable state)",
+            off_tps,
+            on_tps,
+            off_tps / on_tps.max(1e-9),
+            wal_bytes / 1024,
+        );
+        (off_tps, on_tps, wal_bytes)
+    };
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -311,7 +379,18 @@ fn main() {
             r.index_extends,
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"durability\": {{ \"wal_off_tps\": {:.0}, \"wal_on_tps\": {:.0}, \
+         \"overhead_factor\": {:.3}, \"durable_bytes\": {} }}",
+        wal_pair.0,
+        wal_pair.1,
+        wal_pair.0 / wal_pair.1.max(1e-9),
+        wal_pair.2,
+    );
+    json.push('}');
+    json.push('\n');
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("bench_service: writing {}: {e}", opts.out);
         std::process::exit(1);

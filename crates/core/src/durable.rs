@@ -1,0 +1,947 @@
+//! Durability for maintenance sessions: a write-ahead log, periodic
+//! checkpoints, and recovery over an injectable
+//! [`DurableStorage`] medium.
+//!
+//! ## Protocol
+//!
+//! A durable session keeps two kinds of files in its storage directory,
+//! both named by a shared **sequence number**:
+//!
+//! * `ckpt-<seq>` — a full image of the session (written atomically):
+//!   live transactions in tid order as [`PagedStore`] pages, the
+//!   watermark + tombstone live-tid view, the maintained large itemsets,
+//!   the staged-but-uncommitted backlog, and — when the store is still
+//!   tid-ordered — the resident [`VerticalIndex`]. Rules are *not*
+//!   stored: they are a pure function of the itemsets and the confidence
+//!   threshold, re-derived on recovery.
+//! * `wal-<seq>` — the append-only log of everything since `ckpt-<seq>`:
+//!   one CRC32-framed [`WalRecord`] per staged batch (written *before*
+//!   the batch becomes visible to a commit round) plus a `Commit` /
+//!   `Abort` boundary record per round.
+//!
+//! Checkpoints and WAL segments rotate together: writing `ckpt-<s>`
+//! starts a fresh, empty `wal-<s>` (the backlog is embedded in the
+//! checkpoint), and older pairs are garbage-collected down to
+//! [`DurabilityPolicy::retain_checkpoints`].
+//!
+//! ## Recovery invariant
+//!
+//! Recovery loads the newest checkpoint that validates (magic + CRC),
+//! replays the WAL tail, and reproduces **exactly the state of every
+//! durably-acknowledged commit**: a round whose `Commit` boundary
+//! reached storage is replayed bit-for-bit (FUP rounds are deterministic
+//! given the arrival order, which the tickets pin); a round that crashed
+//! mid-flight is rolled back, with its staged batches re-queued. A torn
+//! or corrupt WAL tail is dropped (reported, never a panic) — safe
+//! because a `Commit` record always follows its `Stage` records in file
+//! order, so dropping a suffix can only un-stage batches, never lose an
+//! acknowledged commit. A corrupt checkpoint falls back to the previous
+//! one at the cost of a longer replay.
+
+use crate::error::{BuildError, Error, Result};
+use fup_mining::{Itemset, LargeItemsets, VerticalIndex};
+use fup_tidb::codec::{read_varint, read_varint64, write_varint, write_varint64};
+use fup_tidb::page::PagedStore;
+use fup_tidb::wal::{self, WalRecord};
+use fup_tidb::{DurableStorage, StagingArea, Tid, Transaction, UpdateBatch};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic prefix of every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FUPCKPT1";
+
+/// How a durable session trades write latency for recovery work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Issue a storage `sync` barrier after every WAL append (default
+    /// `true`). With `false`, a crash may lose the latest records the
+    /// medium had not flushed — recovery still works, from an earlier
+    /// prefix.
+    pub fsync: bool,
+    /// Write a checkpoint (and rotate the WAL) every this many committed
+    /// rounds (default 8). Must be ≥ 1.
+    pub checkpoint_every_rounds: u64,
+    /// Keep this many most-recent checkpoints, with the WAL segments
+    /// reaching back to the oldest retained one (default 2, so a corrupt
+    /// newest checkpoint still recovers). Must be ≥ 1.
+    pub retain_checkpoints: usize,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy {
+            fsync: true,
+            checkpoint_every_rounds: 8,
+            retain_checkpoints: 2,
+        }
+    }
+}
+
+impl DurabilityPolicy {
+    /// Rejects degenerate configurations.
+    pub fn validate(&self) -> std::result::Result<(), BuildError> {
+        if self.checkpoint_every_rounds == 0 {
+            return Err(BuildError::ZeroCheckpointInterval);
+        }
+        if self.retain_checkpoints == 0 {
+            return Err(BuildError::ZeroRetainedCheckpoints);
+        }
+        Ok(())
+    }
+}
+
+/// What [`recover`](crate::MaintainerBuilder::recover) found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint recovery started from.
+    pub checkpoint_seq: u64,
+    /// Checkpoints that failed validation and were skipped (newest
+    /// first) — recovery fell back past them.
+    pub corrupt_checkpoints: Vec<u64>,
+    /// Committed rounds replayed from the WAL tail.
+    pub replayed_rounds: u64,
+    /// Staged-but-uncommitted batches re-queued for the next commit
+    /// (checkpoint backlog plus un-committed WAL stages).
+    pub restaged_batches: u64,
+    /// Why the WAL tail was dropped, when it was (a torn or corrupt
+    /// frame; everything before it was replayed normally).
+    pub wal_tail_dropped: Option<fup_tidb::Error>,
+    /// The state version after recovery — equal to the version of the
+    /// last durably-acknowledged commit.
+    pub version: u64,
+}
+
+// ------------------------------------------------------- file naming --
+
+pub(crate) fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:08}")
+}
+
+pub(crate) fn ckpt_name(seq: u64) -> String {
+    format!("ckpt-{seq:08}")
+}
+
+fn parse_seq(name: &str, prefix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.parse().ok()
+}
+
+// ------------------------------------------------- checkpoint format --
+
+/// A decoded checkpoint: everything needed to rebuild a [`Maintainer`]
+/// (`crate::Maintainer`) except the configuration, which the recovering
+/// builder supplies.
+#[derive(Debug)]
+pub(crate) struct CheckpointImage {
+    pub seq: u64,
+    pub version: u64,
+    pub minsup: (u64, u64),
+    pub minconf: (u64, u64),
+    pub watermark: u64,
+    pub next_segment: u32,
+    pub tombstones: Vec<Tid>,
+    pub live: Vec<(Tid, Transaction)>,
+    pub large: LargeItemsets,
+    pub backlog: Vec<(u64, UpdateBatch)>,
+    pub index: Option<VerticalIndex>,
+}
+
+fn corrupt(reason: impl Into<String>, offset: usize) -> fup_tidb::Error {
+    fup_tidb::Error::Corrupt {
+        reason: reason.into(),
+        offset: Some(offset),
+    }
+}
+
+fn encode_tids(buf: &mut Vec<u8>, tids: &[Tid]) {
+    // Ascending, so delta-encoded like WAL ticket lists.
+    write_varint64(buf, tids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &Tid(t)) in tids.iter().enumerate() {
+        write_varint64(buf, if i == 0 { t } else { t - prev });
+        prev = t;
+    }
+}
+
+fn decode_tids(buf: &[u8], pos: &mut usize) -> std::result::Result<Vec<Tid>, fup_tidb::Error> {
+    let n = read_varint64(buf, pos)? as usize;
+    let mut out = Vec::with_capacity(n.min(buf.len()));
+    let mut prev = 0u64;
+    for i in 0..n {
+        let at = *pos;
+        let v = read_varint64(buf, pos)?;
+        let t = if i == 0 {
+            v
+        } else {
+            if v == 0 {
+                return Err(corrupt("duplicate tid in checkpoint list", at));
+            }
+            prev.checked_add(v)
+                .ok_or_else(|| corrupt("tid delta overflows u64", at))?
+        };
+        out.push(Tid(t));
+        prev = t;
+    }
+    Ok(out)
+}
+
+/// Serialises a full checkpoint file (magic + CRC + body). `live` must
+/// be in ascending tid order. Fails only if a transaction cannot fit a
+/// storage page.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_checkpoint(
+    seq: u64,
+    version: u64,
+    minsup: (u64, u64),
+    minconf: (u64, u64),
+    watermark: u64,
+    next_segment: u32,
+    tombstones: &[Tid],
+    live: &[(Tid, Transaction)],
+    large: &LargeItemsets,
+    backlog: &[(u64, UpdateBatch)],
+    index: Option<&VerticalIndex>,
+) -> std::result::Result<Vec<u8>, fup_tidb::Error> {
+    let mut body = Vec::new();
+    write_varint64(&mut body, seq);
+    write_varint64(&mut body, version);
+    write_varint64(&mut body, minsup.0);
+    write_varint64(&mut body, minsup.1);
+    write_varint64(&mut body, minconf.0);
+    write_varint64(&mut body, minconf.1);
+    write_varint64(&mut body, watermark);
+    write_varint(&mut body, next_segment);
+    encode_tids(&mut body, tombstones);
+
+    // Live transactions ride in the paged storage format — the same 4 KiB
+    // page layout the scan-cost model charges — with a parallel tid list.
+    let tids: Vec<Tid> = live.iter().map(|&(tid, _)| tid).collect();
+    let store = PagedStore::from_transactions(live.iter().map(|(_, t)| t))?;
+    encode_tids(&mut body, &tids);
+    write_varint64(&mut body, store.page_size() as u64);
+    write_varint64(&mut body, store.num_pages() as u64);
+    for p in 0..store.num_pages() {
+        let page = store.page_bytes(p);
+        write_varint64(&mut body, page.len() as u64);
+        body.extend_from_slice(page);
+    }
+
+    // Large itemsets with exact supports, level by level in sorted order
+    // so identical states encode identically.
+    write_varint64(&mut body, large.num_transactions());
+    write_varint64(&mut body, large.len() as u64);
+    for k in 1..=large.max_size() {
+        for (itemset, support) in large.level_sorted(k) {
+            write_varint64(&mut body, itemset.items().len() as u64);
+            for &item in itemset.items() {
+                write_varint(&mut body, item.raw());
+            }
+            write_varint64(&mut body, support);
+        }
+    }
+
+    // Staged-but-uncommitted backlog, so the fresh WAL starts empty.
+    write_varint64(&mut body, backlog.len() as u64);
+    for (ticket, batch) in backlog {
+        write_varint64(&mut body, *ticket);
+        wal::encode_batch(&mut body, batch);
+    }
+
+    match index {
+        None => body.push(0),
+        Some(idx) => {
+            body.push(1);
+            idx.encode(&mut body);
+        }
+    }
+
+    let mut out = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 4 + body.len());
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&wal::crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decodes and fully validates a checkpoint file. Any structural damage
+/// — bad magic, CRC mismatch, truncation, out-of-range references —
+/// yields a typed [`fup_tidb::Error::Corrupt`]; this function never
+/// panics on untrusted bytes.
+pub(crate) fn decode_checkpoint(
+    bytes: &[u8],
+) -> std::result::Result<CheckpointImage, fup_tidb::Error> {
+    let header = CHECKPOINT_MAGIC.len() + 4;
+    if bytes.len() < header || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+        return Err(corrupt("missing checkpoint magic", 0));
+    }
+    let crc = u32::from_le_bytes(
+        bytes[CHECKPOINT_MAGIC.len()..header]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let body = &bytes[header..];
+    if wal::crc32(body) != crc {
+        return Err(corrupt("checkpoint CRC mismatch", CHECKPOINT_MAGIC.len()));
+    }
+
+    let mut pos = 0usize;
+    let seq = read_varint64(body, &mut pos)?;
+    let version = read_varint64(body, &mut pos)?;
+    let minsup = (
+        read_varint64(body, &mut pos)?,
+        read_varint64(body, &mut pos)?,
+    );
+    let minconf = (
+        read_varint64(body, &mut pos)?,
+        read_varint64(body, &mut pos)?,
+    );
+    let watermark = read_varint64(body, &mut pos)?;
+    let next_segment = read_varint(body, &mut pos)?;
+    let tombstones = decode_tids(body, &mut pos)?;
+
+    let tids = decode_tids(body, &mut pos)?;
+    let page_size = read_varint64(body, &mut pos)? as usize;
+    if page_size == 0 || page_size > (16 << 20) {
+        return Err(corrupt("implausible checkpoint page size", pos));
+    }
+    let num_pages = read_varint64(body, &mut pos)? as usize;
+    let mut pages = Vec::with_capacity(num_pages.min(1 << 20));
+    for _ in 0..num_pages {
+        let at = pos;
+        let len = read_varint64(body, &mut pos)? as usize;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= body.len())
+            .ok_or_else(|| corrupt("checkpoint page truncated", at))?;
+        pages.push(body[pos..end].to_vec());
+        pos = end;
+    }
+    let store = PagedStore::from_encoded_pages(page_size, pages)?;
+    let transactions = store.to_transactions()?;
+    if transactions.len() != tids.len() {
+        return Err(corrupt(
+            format!(
+                "checkpoint holds {} transactions but {} tids",
+                transactions.len(),
+                tids.len()
+            ),
+            pos,
+        ));
+    }
+    for &Tid(t) in &tids {
+        if t >= watermark {
+            return Err(corrupt("live tid at or above the watermark", pos));
+        }
+    }
+    let live: Vec<(Tid, Transaction)> = tids.into_iter().zip(transactions).collect();
+
+    let baseline = read_varint64(body, &mut pos)?;
+    let num_large = read_varint64(body, &mut pos)? as usize;
+    let mut large = LargeItemsets::new(baseline);
+    for _ in 0..num_large {
+        let at = pos;
+        let len = read_varint64(body, &mut pos)? as usize;
+        if len == 0 || len > 100_000 {
+            return Err(corrupt("implausible itemset length", at));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(read_varint(body, &mut pos)?);
+        }
+        let itemset = Itemset::from_items(items);
+        if itemset.items().len() != len {
+            return Err(corrupt("itemset with duplicate items", at));
+        }
+        let support = read_varint64(body, &mut pos)?;
+        if large.support(&itemset).is_some() {
+            return Err(corrupt("duplicate itemset in checkpoint", at));
+        }
+        large.insert(itemset, support);
+    }
+    if large.len() != num_large {
+        return Err(corrupt("itemset count mismatch", pos));
+    }
+
+    let num_backlog = read_varint64(body, &mut pos)? as usize;
+    let mut backlog = Vec::with_capacity(num_backlog.min(1 << 20));
+    let mut prev_ticket: Option<u64> = None;
+    for _ in 0..num_backlog {
+        let at = pos;
+        let ticket = read_varint64(body, &mut pos)?;
+        if prev_ticket.is_some_and(|p| ticket <= p) {
+            return Err(corrupt("backlog tickets out of order", at));
+        }
+        prev_ticket = Some(ticket);
+        let batch = wal::decode_batch(body, &mut pos)?;
+        backlog.push((ticket, batch));
+    }
+
+    let index = match body.get(pos) {
+        Some(0) => {
+            pos += 1;
+            None
+        }
+        Some(1) => {
+            pos += 1;
+            let idx = VerticalIndex::decode(body, &mut pos)?;
+            if idx.num_transactions() != live.len() as u64 {
+                return Err(corrupt("checkpoint index covers a different store", pos));
+            }
+            Some(idx)
+        }
+        Some(_) => return Err(corrupt("bad index flag", pos)),
+        None => return Err(corrupt("truncated before index flag", pos)),
+    };
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes after checkpoint", pos));
+    }
+
+    Ok(CheckpointImage {
+        seq,
+        version,
+        minsup,
+        minconf,
+        watermark,
+        next_segment,
+        tombstones,
+        live,
+        large,
+        backlog,
+        index,
+    })
+}
+
+// ----------------------------------------------------- the WAL handle --
+
+#[derive(Debug)]
+struct LogInner {
+    /// Sequence number of the active `ckpt`/`wal` pair.
+    seq: u64,
+    /// Committed rounds since the last checkpoint.
+    rounds_since_ckpt: u64,
+}
+
+/// The session's handle on its durable storage: appends WAL records (in
+/// ticket order — the append lock spans ticket draw and write), installs
+/// checkpoints, and rotates/garbage-collects file pairs.
+///
+/// Any storage failure **poisons** the log: the in-memory session may
+/// have state the log no longer reflects, so every later durable
+/// operation fails with [`Error::Recovery`] until the session is
+/// rebuilt via recovery. This is deliberately conservative — fault
+/// injection kills writes mid-stream, and a half-logged session must
+/// never acknowledge more work.
+#[derive(Debug)]
+pub(crate) struct DurableLog {
+    storage: Arc<dyn DurableStorage>,
+    policy: DurabilityPolicy,
+    poisoned: AtomicBool,
+    inner: Mutex<LogInner>,
+}
+
+impl DurableLog {
+    pub(crate) fn new(
+        storage: Arc<dyn DurableStorage>,
+        policy: DurabilityPolicy,
+        seq: u64,
+    ) -> Self {
+        DurableLog {
+            storage,
+            policy,
+            poisoned: AtomicBool::new(false),
+            inner: Mutex::new(LogInner {
+                seq,
+                rounds_since_ckpt: 0,
+            }),
+        }
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.is_poisoned() {
+            return Err(Error::Recovery {
+                reason: "the durable log is poisoned by an earlier storage failure; \
+                         discard this session and recover from storage"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends `bytes` to the active WAL segment and (per policy) issues
+    /// the sync barrier. Caller holds the inner lock.
+    fn append_locked(&self, inner: &LogInner, bytes: &[u8]) -> fup_tidb::Result<()> {
+        let file = wal_name(inner.seq);
+        self.storage.append(&file, bytes)?;
+        if self.policy.fsync {
+            self.storage.sync(&file)?;
+        }
+        Ok(())
+    }
+
+    /// The durable stage path: claim the deletes, draw a ticket, make the
+    /// record durable, and only then admit the batch. A storage failure
+    /// releases the claims (the batch was never visible) and poisons the
+    /// log — the ticket-number gap it leaves is harmless, commits name
+    /// their tickets explicitly.
+    pub(crate) fn log_stage(&self, staging: &StagingArea, batch: UpdateBatch) -> Result<u64> {
+        self.check_poisoned()?;
+        staging.claim(&batch.deletes).map_err(Error::Store)?;
+        let inner = self.inner.lock().expect("durable log poisoned");
+        let ticket = staging.take_ticket();
+        let record = WalRecord::Stage {
+            ticket,
+            batch: batch.clone(),
+        };
+        match self.append_locked(&inner, &record.to_framed_bytes()) {
+            Ok(()) => {
+                drop(inner);
+                staging.admit_with_ticket(ticket, batch);
+                Ok(ticket)
+            }
+            Err(e) => {
+                drop(inner);
+                staging.release_deletes(batch.deletes.iter().copied());
+                self.poison();
+                Err(Error::Store(e))
+            }
+        }
+    }
+
+    /// Appends a `Commit`/`Abort` boundary record. Poisons on failure.
+    pub(crate) fn log_boundary(&self, record: &WalRecord) -> Result<()> {
+        self.check_poisoned()?;
+        let inner = self.inner.lock().expect("durable log poisoned");
+        match self.append_locked(&inner, &record.to_framed_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.poison();
+                Err(Error::Store(e))
+            }
+        }
+    }
+
+    /// Counts one committed round against the checkpoint cadence,
+    /// returning `true` when a checkpoint is due.
+    pub(crate) fn note_round(&self) -> bool {
+        let mut inner = self.inner.lock().expect("durable log poisoned");
+        inner.rounds_since_ckpt += 1;
+        inner.rounds_since_ckpt >= self.policy.checkpoint_every_rounds
+    }
+
+    /// The sequence number the next checkpoint will use.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.inner.lock().expect("durable log poisoned").seq + 1
+    }
+
+    /// Atomically installs checkpoint `seq` (already encoded), starts its
+    /// fresh WAL segment, and garbage-collects pairs beyond the retention
+    /// policy. Poisons on failure.
+    pub(crate) fn install_checkpoint(&self, seq: u64, bytes: &[u8]) -> Result<()> {
+        self.check_poisoned()?;
+        let mut inner = self.inner.lock().expect("durable log poisoned");
+        let result: fup_tidb::Result<()> = (|| {
+            self.storage.write_atomic(&ckpt_name(seq), bytes)?;
+            // An empty append materialises the fresh segment so recovery
+            // sees the rotation even before the first record.
+            self.storage.append(&wal_name(seq), &[])?;
+            if self.policy.fsync {
+                self.storage.sync(&wal_name(seq))?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.poison();
+            return Err(Error::Store(e));
+        }
+        inner.seq = seq;
+        inner.rounds_since_ckpt = 0;
+        // Retention: best-effort removal of superseded pairs. A failure
+        // here loses nothing (old files are only ever extra), but the
+        // storage may be mid-crash, so poison to stay conservative.
+        let mut ckpts: Vec<u64> = match self.storage.list() {
+            Ok(names) => names.iter().filter_map(|n| parse_seq(n, "ckpt-")).collect(),
+            Err(e) => {
+                self.poison();
+                return Err(Error::Store(e));
+            }
+        };
+        ckpts.sort_unstable();
+        if ckpts.len() > self.policy.retain_checkpoints {
+            let cutoff = ckpts[ckpts.len() - self.policy.retain_checkpoints];
+            let names = self.storage.list().map_err(Error::Store)?;
+            for name in names {
+                let stale = parse_seq(&name, "ckpt-").is_some_and(|s| s < cutoff)
+                    || parse_seq(&name, "wal-").is_some_and(|s| s < cutoff);
+                if stale {
+                    if let Err(e) = self.storage.remove(&name) {
+                        self.poison();
+                        return Err(Error::Store(e));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ------------------------------------------------------- log loading --
+
+/// Everything recovery reads from storage before rebuilding a session.
+#[derive(Debug)]
+pub(crate) struct RecoveredLog {
+    pub image: CheckpointImage,
+    pub corrupt_checkpoints: Vec<u64>,
+    /// WAL records from every segment at or after the chosen checkpoint,
+    /// concatenated in segment order.
+    pub replay: Vec<WalRecord>,
+    pub wal_tail_dropped: Option<fup_tidb::Error>,
+    /// Highest sequence number seen anywhere — the recovery checkpoint
+    /// goes at `max_seq + 1` so it can never collide with damaged files.
+    pub max_seq: u64,
+}
+
+/// Scans the storage directory, picks the newest checkpoint that
+/// validates, and gathers the WAL records to replay on top of it.
+pub(crate) fn load_latest(storage: &dyn DurableStorage) -> Result<RecoveredLog> {
+    let names = storage.list().map_err(Error::Store)?;
+    let mut ckpt_seqs: Vec<u64> = names.iter().filter_map(|n| parse_seq(n, "ckpt-")).collect();
+    let wal_seqs: Vec<u64> = names.iter().filter_map(|n| parse_seq(n, "wal-")).collect();
+    if ckpt_seqs.is_empty() {
+        return Err(Error::Recovery {
+            reason: "no checkpoint found in storage (not a durable session directory, \
+                     or its checkpoints were all removed)"
+                .into(),
+        });
+    }
+    ckpt_seqs.sort_unstable_by(|a, b| b.cmp(a));
+    let max_seq = ckpt_seqs
+        .iter()
+        .chain(wal_seqs.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    let mut corrupt_checkpoints = Vec::new();
+    let mut image = None;
+    for &seq in &ckpt_seqs {
+        let bytes = match storage.read(&ckpt_name(seq)) {
+            Ok(Some(b)) => b,
+            Ok(None) => {
+                corrupt_checkpoints.push(seq);
+                continue;
+            }
+            Err(e) => return Err(Error::Store(e)),
+        };
+        match decode_checkpoint(&bytes) {
+            Ok(img) if img.seq == seq => {
+                image = Some(img);
+                break;
+            }
+            _ => corrupt_checkpoints.push(seq),
+        }
+    }
+    let Some(image) = image else {
+        return Err(Error::Recovery {
+            reason: format!(
+                "every checkpoint failed validation ({} candidate(s)); \
+                 the storage is unrecoverable",
+                corrupt_checkpoints.len()
+            ),
+        });
+    };
+
+    // Replay the WAL segments from the chosen checkpoint forward. A bad
+    // tail ends the trustworthy suffix: stop there and drop later
+    // segments too (they describe state reached through the dropped
+    // records).
+    let mut replay = Vec::new();
+    let mut wal_tail_dropped = None;
+    let mut seqs: Vec<u64> = wal_seqs.into_iter().filter(|&s| s >= image.seq).collect();
+    seqs.sort_unstable();
+    for seq in seqs {
+        let bytes = match storage.read(&wal_name(seq)) {
+            Ok(Some(b)) => b,
+            Ok(None) => continue,
+            Err(e) => return Err(Error::Store(e)),
+        };
+        let scan = wal::read_records(&bytes);
+        replay.extend(scan.records);
+        if let Some(e) = scan.tail_error {
+            wal_tail_dropped = Some(e);
+            break;
+        }
+    }
+
+    Ok(RecoveredLog {
+        image,
+        corrupt_checkpoints,
+        replay,
+        wal_tail_dropped,
+        max_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fup_tidb::MemStorage;
+
+    fn tx(items: &[u32]) -> Transaction {
+        Transaction::from_items(items.iter().copied())
+    }
+
+    fn sample_image_bytes() -> Vec<u8> {
+        let mut large = LargeItemsets::new(3);
+        large.insert(Itemset::from_items([1u32]), 3);
+        large.insert(Itemset::from_items([2u32]), 2);
+        large.insert(Itemset::from_items([1u32, 2]), 2);
+        let live = vec![
+            (Tid(0), tx(&[1, 2])),
+            (Tid(1), tx(&[1, 2, 3])),
+            (Tid(3), tx(&[1])),
+        ];
+        let backlog = vec![
+            (4u64, UpdateBatch::insert_only(vec![tx(&[9])])),
+            (
+                7u64,
+                UpdateBatch {
+                    inserts: vec![],
+                    deletes: vec![Tid(1)],
+                },
+            ),
+        ];
+        encode_checkpoint(
+            5,
+            12,
+            (40, 100),
+            (60, 100),
+            4,
+            2,
+            &[Tid(2)],
+            &live,
+            &large,
+            &backlog,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let bytes = sample_image_bytes();
+        let img = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(img.seq, 5);
+        assert_eq!(img.version, 12);
+        assert_eq!(img.minsup, (40, 100));
+        assert_eq!(img.minconf, (60, 100));
+        assert_eq!(img.watermark, 4);
+        assert_eq!(img.next_segment, 2);
+        assert_eq!(img.tombstones, vec![Tid(2)]);
+        assert_eq!(img.live.len(), 3);
+        assert_eq!(img.live[1], (Tid(1), tx(&[1, 2, 3])));
+        assert_eq!(img.large.len(), 3);
+        assert_eq!(img.large.support(&Itemset::from_items([1u32, 2])), Some(2));
+        assert_eq!(img.backlog.len(), 2);
+        assert_eq!(img.backlog[1].0, 7);
+        assert_eq!(img.backlog[1].1.deletes, vec![Tid(1)]);
+        assert!(img.index.is_none());
+    }
+
+    #[test]
+    fn checkpoint_rejects_any_single_byte_flip_or_truncation() {
+        let bytes = sample_image_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                decode_checkpoint(&bytes[..len]).is_err(),
+                "truncation at {len} must be rejected"
+            );
+        }
+        for at in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                decode_checkpoint(&bad).is_err(),
+                "byte flip at {at} must be rejected (CRC covers the body)"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let large = LargeItemsets::new(0);
+        let bytes =
+            encode_checkpoint(0, 0, (1, 2), (1, 2), 0, 0, &[], &[], &large, &[], None).unwrap();
+        let img = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(img.live.len(), 0);
+        assert_eq!(img.large.len(), 0);
+        assert_eq!(img.watermark, 0);
+    }
+
+    #[test]
+    fn file_names_sort_with_their_sequence_numbers() {
+        assert_eq!(wal_name(7), "wal-00000007");
+        assert_eq!(ckpt_name(123), "ckpt-00000123");
+        assert!(wal_name(9) < wal_name(10));
+        assert_eq!(parse_seq("ckpt-00000123", "ckpt-"), Some(123));
+        assert_eq!(parse_seq("ckpt-00000123.tmp", "ckpt-"), None);
+        assert_eq!(parse_seq("wal-00000001", "ckpt-"), None);
+    }
+
+    #[test]
+    fn load_latest_requires_a_checkpoint() {
+        let storage = MemStorage::new();
+        let err = load_latest(&storage).unwrap_err();
+        assert!(matches!(err, Error::Recovery { .. }));
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_a_corrupt_checkpoint() {
+        let storage = MemStorage::new();
+        let large = LargeItemsets::new(1);
+        let good = encode_checkpoint(
+            0,
+            0,
+            (1, 2),
+            (1, 2),
+            1,
+            0,
+            &[],
+            &[(Tid(0), tx(&[1]))],
+            &large,
+            &[],
+            None,
+        )
+        .unwrap();
+        storage.write_atomic(&ckpt_name(0), &good).unwrap();
+        storage
+            .write_atomic(&ckpt_name(1), b"FUPCKPT1garbage")
+            .unwrap();
+        // A WAL segment for the good checkpoint and one for the bad.
+        let rec = WalRecord::Commit {
+            version: 1,
+            tickets: vec![],
+        };
+        storage
+            .append(&wal_name(0), &rec.to_framed_bytes())
+            .unwrap();
+        let recovered = load_latest(&storage).unwrap();
+        assert_eq!(recovered.image.seq, 0);
+        assert_eq!(recovered.corrupt_checkpoints, vec![1]);
+        assert_eq!(recovered.replay.len(), 1);
+        assert_eq!(recovered.max_seq, 1);
+        assert!(recovered.wal_tail_dropped.is_none());
+    }
+
+    #[test]
+    fn load_latest_drops_a_torn_tail_with_a_typed_error() {
+        let storage = MemStorage::new();
+        let large = LargeItemsets::new(0);
+        let ckpt =
+            encode_checkpoint(0, 0, (1, 2), (1, 2), 0, 0, &[], &[], &large, &[], None).unwrap();
+        storage.write_atomic(&ckpt_name(0), &ckpt).unwrap();
+        let mut wal_bytes = WalRecord::Stage {
+            ticket: 0,
+            batch: UpdateBatch::insert_only(vec![tx(&[1])]),
+        }
+        .to_framed_bytes();
+        let full = WalRecord::Commit {
+            version: 1,
+            tickets: vec![0],
+        }
+        .to_framed_bytes();
+        wal_bytes.extend_from_slice(&full[..full.len() - 3]); // torn commit
+        storage.append(&wal_name(0), &wal_bytes).unwrap();
+        let recovered = load_latest(&storage).unwrap();
+        assert_eq!(recovered.replay.len(), 1, "valid prefix survives");
+        assert!(matches!(
+            recovered.wal_tail_dropped,
+            Some(fup_tidb::Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn durability_policy_validates() {
+        DurabilityPolicy::default().validate().unwrap();
+        let bad = DurabilityPolicy {
+            checkpoint_every_rounds: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            BuildError::ZeroCheckpointInterval
+        );
+        let bad = DurabilityPolicy {
+            retain_checkpoints: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            BuildError::ZeroRetainedCheckpoints
+        );
+    }
+
+    #[test]
+    fn install_checkpoint_rotates_and_retains() {
+        let storage: Arc<dyn DurableStorage> = Arc::new(MemStorage::new());
+        let log = DurableLog::new(
+            Arc::clone(&storage),
+            DurabilityPolicy {
+                retain_checkpoints: 2,
+                ..Default::default()
+            },
+            0,
+        );
+        let large = LargeItemsets::new(0);
+        let ckpt = |seq| {
+            encode_checkpoint(seq, 0, (1, 2), (1, 2), 0, 0, &[], &[], &large, &[], None).unwrap()
+        };
+        log.install_checkpoint(0, &ckpt(0)).unwrap();
+        log.log_boundary(&WalRecord::Commit {
+            version: 1,
+            tickets: vec![],
+        })
+        .unwrap();
+        log.install_checkpoint(1, &ckpt(1)).unwrap();
+        log.install_checkpoint(2, &ckpt(2)).unwrap();
+        let mut names = storage.list().unwrap();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![ckpt_name(1), ckpt_name(2), wal_name(1), wal_name(2),],
+            "seq 0 pair is garbage-collected, 1 and 2 retained"
+        );
+    }
+
+    #[test]
+    fn storage_failure_poisons_the_log() {
+        let mem = Arc::new(MemStorage::new());
+        mem.fail_after(1, 0); // first op succeeds, second is killed
+        let storage: Arc<dyn DurableStorage> = mem.clone();
+        let log = DurableLog::new(storage, DurabilityPolicy::default(), 0);
+        let staging = StagingArea::default();
+        // First stage: append succeeds, sync is killed.
+        let err = log
+            .log_stage(&staging, UpdateBatch::insert_only(vec![tx(&[1])]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Store(fup_tidb::Error::Io { .. })));
+        assert!(log.is_poisoned());
+        assert!(!staging.has_pending(), "killed batch must not be admitted");
+        // Everything afterwards fails fast, even once storage recovers.
+        mem.revive();
+        let err = log
+            .log_stage(&staging, UpdateBatch::insert_only(vec![tx(&[2])]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Recovery { .. }));
+        assert!(matches!(
+            log.log_boundary(&WalRecord::Abort { tickets: vec![] })
+                .unwrap_err(),
+            Error::Recovery { .. }
+        ));
+    }
+}

@@ -36,6 +36,13 @@ pub enum BuildError {
     /// (or leave [`Updater::Auto`](crate::Updater)), or declare the
     /// workload insert-only with `deletions(false)`.
     DeletionsWithoutFup2,
+    /// A [`DurabilityPolicy`](crate::DurabilityPolicy) asked for a
+    /// checkpoint every zero rounds, which would checkpoint before any
+    /// round could run.
+    ZeroCheckpointInterval,
+    /// A [`DurabilityPolicy`](crate::DurabilityPolicy) asked to retain
+    /// zero checkpoints, leaving recovery nothing to start from.
+    ZeroRetainedCheckpoints,
 }
 
 impl fmt::Display for BuildError {
@@ -64,6 +71,13 @@ impl fmt::Display for BuildError {
                 f,
                 "updater pinned to FUP (insertions only) but the session accepts deletions; \
                  use Updater::Auto/Fup2 or declare deletions(false)"
+            ),
+            BuildError::ZeroCheckpointInterval => {
+                write!(f, "a checkpoint interval of zero rounds is not runnable")
+            }
+            BuildError::ZeroRetainedCheckpoints => write!(
+                f,
+                "retaining zero checkpoints would leave recovery nothing to start from"
             ),
         }
     }
@@ -99,6 +113,16 @@ pub enum Error {
         /// One line per itemset whose membership or support diverged.
         differences: Vec<String>,
     },
+    /// Recovery from durable storage could not proceed: no usable
+    /// checkpoint, a log inconsistent with the checkpoint, or a
+    /// configuration that does not match the checkpointed session.
+    Recovery {
+        /// Human-readable description of what blocked recovery.
+        reason: String,
+    },
+    /// A durability-only operation (an explicit checkpoint) was invoked
+    /// on a session built without durable storage.
+    NotDurable,
 }
 
 impl fmt::Display for Error {
@@ -121,6 +145,11 @@ impl fmt::Display for Error {
                 "maintained state diverges from a full re-mine in {} place(s): {}",
                 differences.len(),
                 differences.join("; ")
+            ),
+            Error::Recovery { reason } => write!(f, "recovery failed: {reason}"),
+            Error::NotDurable => write!(
+                f,
+                "this session has no durable storage; build it with build_durable() or recover()"
             ),
         }
     }

@@ -29,8 +29,9 @@
 //! [`commit`](session::Maintainer::commit), serves reads through cheap
 //! version-stamped [`session::RuleSnapshot`]s, and keeps a persistent
 //! [`VerticalIndex`](fup_mining::VerticalIndex) alive across rounds (see
-//! [`vindex`]). The pre-session [`maintain::RuleMaintainer`] remains as a
-//! deprecated shim.
+//! [`vindex`]). Sessions can be made crash-safe with a write-ahead log and
+//! periodic checkpoints (see [`durable`]), recovering to exactly the last
+//! durably-acknowledged commit after a kill at any point.
 //!
 //! ```
 //! use fup_core::Maintainer;
@@ -61,10 +62,10 @@
 
 pub mod config;
 pub mod diff;
+pub mod durable;
 pub mod error;
 pub mod fup;
 pub mod fup2;
-pub mod maintain;
 pub mod policy;
 pub mod reduce;
 pub mod service;
@@ -73,6 +74,7 @@ pub mod vindex;
 
 pub use config::FupConfig;
 pub use diff::{ItemsetDiff, RuleDiff};
+pub use durable::{DurabilityPolicy, RecoveryReport};
 pub use error::{BuildError, Error, Result};
 pub use fup::{Fup, FupOutcome, FupPassDetail};
 pub use fup2::Fup2;
@@ -83,6 +85,3 @@ pub use session::{
     Updater,
 };
 pub use vindex::IndexSlot;
-
-#[allow(deprecated)]
-pub use maintain::RuleMaintainer;

@@ -67,9 +67,12 @@
 //! assert_eq!(maintainer.len(), 5);
 //! ```
 
+use crate::durable::RecoveryReport;
 use crate::error::Error;
-use crate::session::{Maintainer, MaintenanceReport, RuleSnapshot, SnapshotState, StageHandle};
-use fup_tidb::UpdateBatch;
+use crate::session::{
+    Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, SnapshotState, StageHandle,
+};
+use fup_tidb::{DurableStorage, UpdateBatch};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -98,6 +101,10 @@ pub enum ServiceError {
     Commit(Error),
     /// The service is shutting down (or already shut down).
     ShutDown,
+    /// Rebuilding the session from durable storage failed (wraps the
+    /// session error — see
+    /// [`MaintainerBuilder::recover`](crate::MaintainerBuilder::recover)).
+    Recover(Error),
 }
 
 impl fmt::Display for ServiceError {
@@ -117,6 +124,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Stage(e) => write!(f, "batch rejected at arrival: {e}"),
             ServiceError::Commit(e) => write!(f, "commit round failed: {e}"),
             ServiceError::ShutDown => write!(f, "the maintainer service is shut down"),
+            ServiceError::Recover(e) => write!(f, "recovery failed before launch: {e}"),
         }
     }
 }
@@ -124,7 +132,7 @@ impl fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServiceError::Stage(e) | ServiceError::Commit(e) => Some(e),
+            ServiceError::Stage(e) | ServiceError::Commit(e) | ServiceError::Recover(e) => Some(e),
             _ => None,
         }
     }
@@ -526,6 +534,23 @@ impl MaintainerService {
             shared,
             committer: Some(committer),
         })
+    }
+
+    /// Rebuilds a durable session from `storage` (see
+    /// [`MaintainerBuilder::recover`]) and launches the service around
+    /// it — the one-call crash-restart path for a durable serving
+    /// deployment. The recovered state (including any re-queued staged
+    /// batches, which the policy's triggers see immediately) is snapshot
+    /// version 0 of the cell.
+    pub fn recover(
+        builder: MaintainerBuilder,
+        storage: Arc<dyn DurableStorage>,
+        policy: CommitPolicy,
+    ) -> Result<(MaintainerService, RecoveryReport), ServiceError> {
+        policy.validate()?;
+        let (maintainer, report) = builder.recover(storage).map_err(ServiceError::Recover)?;
+        let service = MaintainerService::launch(maintainer, policy)?;
+        Ok((service, report))
     }
 
     /// Queues a batch for the next maintenance round. Thread-safe and

@@ -59,6 +59,7 @@
 
 use crate::config::FupConfig;
 use crate::diff::{ItemsetDiff, RuleDiff};
+use crate::durable::{self, DurabilityPolicy, DurableLog, RecoveryReport};
 use crate::error::{BuildError, Error, Result};
 use crate::fup::Fup;
 use crate::fup2::Fup2;
@@ -70,8 +71,11 @@ use fup_mining::{
     Apriori, CountingBackend, EngineConfig, Itemset, LargeItemsets, MinConfidence, MinSupport,
     MiningStats, Rule, RuleSet,
 };
-use fup_tidb::{ItemId, SegmentedDb, StagedUpdate, Tid, Transaction, UpdateBatch};
-use std::collections::HashMap;
+use fup_tidb::wal::WalRecord;
+use fup_tidb::{
+    DurableStorage, ItemId, SegmentedDb, StagedUpdate, StagingArea, Tid, Transaction, UpdateBatch,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Which incremental updater a session runs at commit time.
@@ -284,17 +288,29 @@ impl RuleSnapshot {
 pub struct StageHandle {
     staging: Arc<fup_tidb::StagingArea>,
     deletions: bool,
+    durable: Option<Arc<DurableLog>>,
 }
 
 impl StageHandle {
     /// Queues a batch for the session's next commit. Validation failures
     /// ([`Error::DeletionsDisabled`], unknown/doubly-deleted tids) leave
-    /// nothing queued.
+    /// nothing queued. On a durable session the batch's WAL record is
+    /// written (and, per policy, synced) *before* the batch becomes
+    /// visible, so a storage failure here queues nothing either.
     pub fn stage(&self, batch: UpdateBatch) -> Result<()> {
         if !self.deletions && !batch.deletes.is_empty() {
             return Err(Error::DeletionsDisabled);
         }
-        self.staging.stage(batch)?;
+        match &self.durable {
+            Some(log) => {
+                log.log_stage(&self.staging, batch)?;
+            }
+            None => self
+                .staging
+                .stage(batch)
+                .map(|_| ())
+                .map_err(Error::Store)?,
+        }
         Ok(())
     }
 
@@ -323,6 +339,7 @@ pub struct MaintainerBuilder {
     policy: UpdatePolicy,
     updater: Updater,
     deletions: bool,
+    durability: DurabilityPolicy,
 }
 
 impl MaintainerBuilder {
@@ -449,14 +466,22 @@ impl MaintainerBuilder {
         self
     }
 
-    /// Validates the configuration, then bootstraps the session: loads
-    /// `history` into the store, mines it from scratch with Apriori (on
-    /// the configured engine), and derives the initial rules as state
-    /// version 0.
-    pub fn build(self, history: Vec<Transaction>) -> std::result::Result<Maintainer, BuildError> {
+    /// The durability policy [`build_durable`](Self::build_durable) and
+    /// [`recover`](Self::recover) will run under (ignored by the
+    /// in-memory [`build`](Self::build)).
+    pub fn durability(mut self, policy: DurabilityPolicy) -> Self {
+        self.durability = policy;
+        self
+    }
+
+    /// Resolves the fine-grained overrides into a validated
+    /// `(minsup, minconf, config)` triple — the shared front half of
+    /// [`build`](Self::build), [`build_durable`](Self::build_durable) and
+    /// [`recover`](Self::recover).
+    fn validated(&self) -> std::result::Result<(MinSupport, MinConfidence, FupConfig), BuildError> {
         let minsup = self.minsup.ok_or(BuildError::MissingMinSupport)?;
         let minconf = self.minconf.ok_or(BuildError::MissingMinConfidence)?;
-        let mut config = self.config;
+        let mut config = self.config.clone();
         if let Some(t) = self.threads {
             if t == 0 {
                 return Err(BuildError::ZeroThreads);
@@ -489,17 +514,221 @@ impl MaintainerBuilder {
         if self.updater == Updater::Fup && self.deletions {
             return Err(BuildError::DeletionsWithoutFup2);
         }
+        Ok((minsup, minconf, config))
+    }
+
+    /// Validates the configuration, then bootstraps the session: loads
+    /// `history` into the store, mines it from scratch with Apriori (on
+    /// the configured engine), and derives the initial rules as state
+    /// version 0.
+    pub fn build(self, history: Vec<Transaction>) -> std::result::Result<Maintainer, BuildError> {
+        let (minsup, minconf, config) = self.validated()?;
         let mut m = Maintainer::bootstrap_unchecked(history, minsup, minconf, config);
         m.policy = self.policy;
         m.updater = self.updater;
         m.deletions = self.deletions;
         Ok(m)
     }
+
+    /// [`build`](Self::build), made durable: bootstraps the session and
+    /// writes its first checkpoint (`ckpt-0`) and an empty WAL segment to
+    /// `storage` before returning. Every later [`stage`](Maintainer::stage)
+    /// appends a WAL record before the batch becomes visible, every
+    /// [`commit`](Maintainer::commit) appends a boundary record, and the
+    /// [`DurabilityPolicy`] drives periodic checkpoints.
+    ///
+    /// `storage` must be empty — pointing a *new* session at a directory
+    /// holding an existing durable session is almost certainly a mistake
+    /// (it would shadow that session's history), so it fails with
+    /// [`Error::Recovery`]; use [`recover`](Self::recover) instead.
+    pub fn build_durable(
+        self,
+        history: Vec<Transaction>,
+        storage: Arc<dyn DurableStorage>,
+    ) -> Result<Maintainer> {
+        self.durability.validate().map_err(Error::Config)?;
+        let existing = storage.list().map_err(Error::Store)?;
+        if !existing.is_empty() {
+            return Err(Error::Recovery {
+                reason: format!(
+                    "storage already holds {} file(s); recover() the existing session \
+                     or point build_durable() at an empty directory",
+                    existing.len()
+                ),
+            });
+        }
+        let durability = self.durability;
+        let mut m = self.build(history).map_err(Error::Config)?;
+        let log = Arc::new(DurableLog::new(storage, durability, 0));
+        let bytes = m.encode_checkpoint_image(0)?;
+        log.install_checkpoint(0, &bytes)?;
+        m.durable = Some(log);
+        Ok(m)
+    }
+
+    /// Rebuilds a durable session from `storage`: loads the newest
+    /// checkpoint that validates (falling back past corrupt ones),
+    /// replays the WAL tail — committed rounds are re-applied exactly,
+    /// un-committed staged batches are re-queued, a torn tail is dropped —
+    /// and writes a fresh recovery checkpoint. The recovered session's
+    /// state is identical to the pre-crash session at its last
+    /// durably-acknowledged commit.
+    ///
+    /// The builder supplies the *configuration* (engine, policy, updater —
+    /// none of that is checkpointed), but its thresholds must match the
+    /// checkpointed session's: maintained support counts are only valid
+    /// under the thresholds they were mined with.
+    pub fn recover(self, storage: Arc<dyn DurableStorage>) -> Result<(Maintainer, RecoveryReport)> {
+        self.durability.validate().map_err(Error::Config)?;
+        let (minsup, minconf, config) = self.validated().map_err(Error::Config)?;
+        let recovered = durable::load_latest(storage.as_ref())?;
+        let image = recovered.image;
+        if (minsup.num(), minsup.den()) != image.minsup
+            || (minconf.num(), minconf.den()) != image.minconf
+        {
+            return Err(Error::Recovery {
+                reason: format!(
+                    "checkpoint was written under minsup {}/{} and minconf {}/{} but the \
+                     builder asks for {}/{} and {}/{}; maintained support counts are only \
+                     valid under their original thresholds",
+                    image.minsup.0,
+                    image.minsup.1,
+                    image.minconf.0,
+                    image.minconf.1,
+                    minsup.num(),
+                    minsup.den(),
+                    minconf.num(),
+                    minconf.den(),
+                ),
+            });
+        }
+        if image.large.num_transactions() != image.live.len() as u64 {
+            return Err(Error::Recovery {
+                reason: format!(
+                    "checkpoint itemsets cover {} transactions but the image holds {}",
+                    image.large.num_transactions(),
+                    image.live.len()
+                ),
+            });
+        }
+
+        // Rebuild the store and published state exactly as checkpointed.
+        let store = SegmentedDb::from_recovered(
+            image.live,
+            image.watermark,
+            image.tombstones,
+            image.next_segment,
+        );
+        let rules = generate_rules(&image.large, minconf);
+        let state = Arc::new(SnapshotState::new(
+            image.version,
+            store.len() as u64,
+            minsup,
+            minconf,
+            image.large,
+            rules,
+        ));
+        let mut index = IndexSlot::new();
+        if let Some(idx) = image.index {
+            index.restore(idx);
+        }
+        let mut m = Maintainer {
+            store,
+            state,
+            minsup,
+            minconf,
+            config,
+            policy: self.policy,
+            updater: self.updater,
+            deletions: self.deletions,
+            index,
+            durable: None,
+        };
+
+        // Replay the WAL tail. Staged batches gather in a ticket-ordered
+        // pending map seeded with the checkpoint's backlog (their Stage
+        // records live in rotated-away segments); each Commit boundary
+        // re-runs its round through the ordinary commit path, which is
+        // deterministic given the ticket order.
+        let mut pending: BTreeMap<u64, UpdateBatch> = image.backlog.into_iter().collect();
+        let mut max_ticket = pending.keys().next_back().copied();
+        let mut replayed_rounds = 0u64;
+        for record in recovered.replay {
+            match record {
+                WalRecord::Stage { ticket, batch } => {
+                    max_ticket = max_ticket.max(Some(ticket));
+                    pending.insert(ticket, batch);
+                }
+                WalRecord::Commit { version, tickets } => {
+                    let mut entries = Vec::with_capacity(tickets.len());
+                    for ticket in tickets {
+                        let batch = pending.remove(&ticket).ok_or_else(|| Error::Recovery {
+                            reason: format!(
+                                "WAL commit for version {version} references ticket {ticket} \
+                                 with no staged record"
+                            ),
+                        })?;
+                        entries.push((ticket, batch));
+                    }
+                    let merged = StagingArea::merge_entries(entries);
+                    let report = m.commit_batch(merged)?;
+                    if report.version != version {
+                        return Err(Error::Recovery {
+                            reason: format!(
+                                "replay diverged: WAL commit is version {version} but the \
+                                 replayed round produced version {}",
+                                report.version
+                            ),
+                        });
+                    }
+                    replayed_rounds += 1;
+                }
+                WalRecord::Abort { tickets } => {
+                    for ticket in tickets {
+                        pending.remove(&ticket);
+                    }
+                }
+            }
+        }
+
+        // Whatever is still pending was staged (durably) but never reached
+        // a commit boundary: re-queue it under its original ticket.
+        let restaged_batches = pending.len() as u64;
+        {
+            let staging = m.store.staging();
+            for (&ticket, batch) in &pending {
+                staging.claim(&batch.deletes).map_err(|e| Error::Recovery {
+                    reason: format!("re-staging ticket {ticket} failed: {e}"),
+                })?;
+                staging.admit_with_ticket(ticket, batch.clone());
+            }
+            if let Some(t) = max_ticket {
+                staging.bump_ticket(t + 1);
+            }
+        }
+
+        // Seal recovery with a fresh checkpoint past every sequence number
+        // seen in storage, so damaged files can never shadow it.
+        let log = Arc::new(DurableLog::new(storage, self.durability, recovered.max_seq));
+        let seq = recovered.max_seq + 1;
+        let bytes = m.encode_checkpoint_image(seq)?;
+        log.install_checkpoint(seq, &bytes)?;
+        m.durable = Some(log);
+
+        let report = RecoveryReport {
+            checkpoint_seq: image.seq,
+            corrupt_checkpoints: recovered.corrupt_checkpoints,
+            replayed_rounds,
+            restaged_batches,
+            wal_tail_dropped: recovered.wal_tail_dropped,
+            version: m.version(),
+        };
+        Ok((m, report))
+    }
 }
 
-/// Checks that the configured updater can actually honor `policy` — the
-/// validation [`RuleMaintainer::set_policy`](crate::RuleMaintainer::set_policy)
-/// historically skipped.
+/// Checks that the configured updater can actually honor `policy` —
+/// shared by the builder and [`Maintainer::set_policy`].
 fn validate_policy(
     policy: UpdatePolicy,
     config: &FupConfig,
@@ -542,6 +771,7 @@ pub struct Maintainer {
     updater: Updater,
     deletions: bool,
     index: IndexSlot,
+    durable: Option<Arc<DurableLog>>,
 }
 
 impl Maintainer {
@@ -550,9 +780,8 @@ impl Maintainer {
         MaintainerBuilder::new()
     }
 
-    /// Bootstrap without builder validation — the escape hatch the
-    /// deprecated [`RuleMaintainer`](crate::RuleMaintainer) shim uses to
-    /// preserve its historical constructor semantics.
+    /// Bootstrap without builder validation — the builder validates
+    /// first and then calls this.
     pub(crate) fn bootstrap_unchecked(
         history: Vec<Transaction>,
         minsup: MinSupport,
@@ -602,6 +831,7 @@ impl Maintainer {
             updater: Updater::default(),
             deletions: true,
             index,
+            durable: None,
         }
     }
 
@@ -615,7 +845,12 @@ impl Maintainer {
         if !self.deletions && !batch.deletes.is_empty() {
             return Err(Error::DeletionsDisabled);
         }
-        self.store.enqueue(batch)?;
+        match &self.durable {
+            Some(log) => {
+                log.log_stage(&self.store.staging(), batch)?;
+            }
+            None => self.store.enqueue(batch)?,
+        }
         Ok(())
     }
 
@@ -630,6 +865,7 @@ impl Maintainer {
         StageHandle {
             staging: self.store.staging(),
             deletions: self.deletions,
+            durable: self.durable.clone(),
         }
     }
 
@@ -645,9 +881,26 @@ impl Maintainer {
     }
 
     /// Drops everything staged without applying it, returning the
-    /// discarded batch.
+    /// discarded batch. On a durable session the drop is logged as an
+    /// abort boundary (best-effort: a storage failure here poisons the
+    /// log, and an un-logged discard merely re-queues the batches on
+    /// recovery — committed state is never affected).
     pub fn discard(&mut self) -> UpdateBatch {
-        self.store.discard_pending()
+        match self.durable.clone() {
+            None => self.store.discard_pending(),
+            Some(log) => {
+                let entries = self.store.take_pending_entries();
+                let tickets: Vec<u64> = entries.iter().map(|&(t, _)| t).collect();
+                let merged = StagingArea::merge_entries(entries);
+                self.store
+                    .staging()
+                    .release_deletes(merged.deletes.iter().copied());
+                if !tickets.is_empty() {
+                    let _ = log.log_boundary(&WalRecord::Abort { tickets });
+                }
+                merged
+            }
+        }
     }
 
     /// Applies everything staged as **one** maintenance round: pure
@@ -659,9 +912,50 @@ impl Maintainer {
     ///
     /// Committing with nothing staged is a no-op round: it bumps the
     /// version and reports no changes.
+    ///
+    /// On a durable session the round is acknowledged by a WAL commit
+    /// boundary *after* it applies in memory; only an acknowledged round
+    /// is guaranteed to survive recovery. A storage failure while
+    /// acknowledging returns an error and poisons the session's log —
+    /// recover from storage rather than trusting the in-memory state.
     pub fn commit(&mut self) -> Result<MaintenanceReport> {
-        let batch = self.store.take_pending();
-        self.commit_batch(batch)
+        match self.durable.clone() {
+            None => {
+                let batch = self.store.take_pending();
+                self.commit_batch(batch)
+            }
+            Some(log) => self.commit_durable(&log),
+        }
+    }
+
+    fn commit_durable(&mut self, log: &Arc<DurableLog>) -> Result<MaintenanceReport> {
+        let entries = self.store.take_pending_entries();
+        let tickets: Vec<u64> = entries.iter().map(|&(t, _)| t).collect();
+        let merged = StagingArea::merge_entries(entries);
+        match self.commit_batch(merged) {
+            Ok(report) => {
+                log.log_boundary(&WalRecord::Commit {
+                    version: report.version,
+                    tickets,
+                })?;
+                if log.note_round() {
+                    // A checkpoint failure poisons the log but the round
+                    // itself is durably acknowledged — report success and
+                    // let the next durable operation surface the poison.
+                    let _ = self.write_durable_checkpoint(log);
+                }
+                Ok(report)
+            }
+            Err(e) => {
+                // The round failed and its batches are consumed (the store
+                // rolled back). Mirror that durably so recovery does not
+                // resurrect them as staged.
+                if !tickets.is_empty() {
+                    let _ = log.log_boundary(&WalRecord::Abort { tickets });
+                }
+                Err(e)
+            }
+        }
     }
 
     /// [`stage`](Self::stage) + [`commit`](Self::commit) in one call —
@@ -917,7 +1211,9 @@ impl Maintainer {
     }
 
     /// Re-mines from scratch (Apriori) and replaces the maintained state —
-    /// an escape hatch for threshold changes. Bumps the state version.
+    /// an escape hatch for threshold changes. Bumps the state version
+    /// (logged as an empty commit boundary on a durable session, so
+    /// replayed version numbers stay aligned).
     pub fn remine(&mut self) -> &LargeItemsets {
         let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: self.config.engine.clone(),
@@ -927,8 +1223,74 @@ impl Maintainer {
         if let Some(idx) = built {
             self.index.adopt(idx);
         }
-        self.publish(outcome.large, "apriori-remine", outcome.stats, Vec::new());
+        let report = self.publish(outcome.large, "apriori-remine", outcome.stats, Vec::new());
+        if let Some(log) = self.durable.clone() {
+            let _ = log.log_boundary(&WalRecord::Commit {
+                version: report.version,
+                tickets: Vec::new(),
+            });
+            if log.note_round() {
+                let _ = self.write_durable_checkpoint(&log);
+            }
+        }
         &self.state.large
+    }
+
+    // ------------------------------------------------------ durability --
+
+    /// `true` if this session writes a WAL and checkpoints (built with
+    /// [`MaintainerBuilder::build_durable`] or recovered).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Forces a checkpoint now (instead of waiting for the policy's
+    /// cadence), returning its sequence number. Fails with
+    /// [`Error::NotDurable`] on an in-memory session.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let log = self.durable.clone().ok_or(Error::NotDurable)?;
+        self.write_durable_checkpoint(&log)
+    }
+
+    /// Encodes and installs the next checkpoint on `log`.
+    fn write_durable_checkpoint(&mut self, log: &Arc<DurableLog>) -> Result<u64> {
+        let seq = log.next_seq();
+        let bytes = self.encode_checkpoint_image(seq)?;
+        log.install_checkpoint(seq, &bytes)?;
+        Ok(seq)
+    }
+
+    /// Serialises the session's current durable image as checkpoint
+    /// `seq`: the tid-ordered live set, the live-tid view, the maintained
+    /// itemsets, the staged backlog, and — while scan order still equals
+    /// tid order — the resident vertical index.
+    fn encode_checkpoint_image(&self, seq: u64) -> Result<Vec<u8>> {
+        let mut live: Vec<(Tid, Transaction)> =
+            self.store.iter().map(|(tid, t)| (tid, t.clone())).collect();
+        live.sort_unstable_by_key(|&(tid, _)| tid);
+        let view = self.store.live_view();
+        let backlog = self.store.staging().entries_snapshot();
+        let index = if self.store.is_tid_ordered() {
+            self.index
+                .resident_index()
+                .filter(|idx| idx.num_transactions() == self.store.len() as u64)
+        } else {
+            None
+        };
+        durable::encode_checkpoint(
+            seq,
+            self.state.version,
+            (self.minsup.num(), self.minsup.den()),
+            (self.minconf.num(), self.minconf.den()),
+            self.store.watermark(),
+            self.store.next_segment(),
+            &view.tombstones_sorted(),
+            &live,
+            &self.state.large,
+            &backlog,
+            index,
+        )
+        .map_err(Error::Store)
     }
 
     /// Verifies that the incrementally-maintained itemsets equal a full
@@ -1360,5 +1722,244 @@ mod tests {
         assert!(m.is_empty());
         assert!(m.rules().is_empty());
         assert_eq!(m.snapshot().version(), 0);
+    }
+
+    // ------------------------------------------------- durability --
+
+    fn mem() -> Arc<fup_tidb::MemStorage> {
+        Arc::new(fup_tidb::MemStorage::new())
+    }
+
+    fn durable_session(storage: Arc<fup_tidb::MemStorage>) -> Maintainer {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .build_durable(history(), storage)
+            .unwrap()
+    }
+
+    fn assert_same_published_state(a: &Maintainer, b: &Maintainer) {
+        assert_eq!(a.version(), b.version(), "state versions diverge");
+        assert_eq!(a.len(), b.len(), "live set sizes diverge");
+        assert!(
+            a.large_itemsets().same_itemsets(b.large_itemsets()),
+            "itemsets diverge: {:?}",
+            a.large_itemsets().diff(b.large_itemsets())
+        );
+        assert_eq!(a.rules().len(), b.rules().len(), "rule counts diverge");
+        let mut live_a: Vec<_> = a.store().iter().map(|(t, x)| (t, x.clone())).collect();
+        let mut live_b: Vec<_> = b.store().iter().map(|(t, x)| (t, x.clone())).collect();
+        live_a.sort_unstable_by_key(|&(t, _)| t);
+        live_b.sort_unstable_by_key(|&(t, _)| t);
+        assert_eq!(live_a, live_b, "live transactions diverge");
+    }
+
+    #[test]
+    fn build_durable_writes_initial_checkpoint_and_refuses_nonempty_storage() {
+        let storage = mem();
+        let m = durable_session(Arc::clone(&storage));
+        assert!(m.is_durable());
+        let names = storage.list().unwrap();
+        assert!(names.contains(&"ckpt-00000000".to_string()), "{names:?}");
+        assert!(names.contains(&"wal-00000000".to_string()), "{names:?}");
+        let err = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .build_durable(history(), storage)
+            .unwrap_err();
+        assert!(matches!(err, Error::Recovery { .. }));
+    }
+
+    #[test]
+    fn recover_reproduces_committed_state_and_requeues_staged_batches() {
+        let storage = mem();
+        let mut m = durable_session(Arc::clone(&storage));
+        m.stage(UpdateBatch::insert_only(vec![tx(&[1, 2]), tx(&[2, 3])]))
+            .unwrap();
+        m.commit().unwrap();
+        m.stage(UpdateBatch::delete_only(vec![Tid(4)])).unwrap();
+        m.commit().unwrap();
+        // Staged but never committed: must come back as staged.
+        m.stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap();
+        let expected_version = m.version();
+        let expected_pending = m.staged();
+
+        // "Crash": drop the session, keep only the storage bytes.
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage.files()));
+        drop(m);
+        let (r, report) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(Arc::clone(&image) as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_eq!(report.version, expected_version);
+        assert_eq!(report.replayed_rounds, 2);
+        assert_eq!(report.restaged_batches, 1);
+        assert!(report.wal_tail_dropped.is_none());
+        assert_eq!(r.staged(), expected_pending);
+        assert_eq!(r.version(), expected_version);
+        r.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn recovered_session_matches_an_uncrashed_run_after_more_commits() {
+        // Reference run, never crashed.
+        let storage_a = mem();
+        let mut a = durable_session(Arc::clone(&storage_a));
+        // Crashing run with the same inputs.
+        let storage_b = mem();
+        let mut b = durable_session(Arc::clone(&storage_b));
+
+        for m in [&mut a, &mut b] {
+            m.stage(UpdateBatch::insert_only(vec![tx(&[1, 2, 3]), tx(&[3])]))
+                .unwrap();
+            m.commit().unwrap();
+            m.stage(UpdateBatch {
+                inserts: vec![tx(&[2, 3])],
+                deletes: vec![Tid(0)],
+            })
+            .unwrap();
+            m.commit().unwrap();
+        }
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage_b.files()));
+        drop(b);
+        let (mut r, _) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_same_published_state(&a, &r);
+
+        // The recovered session keeps working — and stays equal to the
+        // uncrashed one round for round.
+        for m in [&mut a, &mut r] {
+            m.stage(UpdateBatch::insert_only(vec![tx(&[1, 3]), tx(&[1, 2])]))
+                .unwrap();
+            m.commit().unwrap();
+        }
+        assert_same_published_state(&a, &r);
+        r.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_thresholds() {
+        let storage = mem();
+        let _m = durable_session(Arc::clone(&storage));
+        let err = Maintainer::builder()
+            .min_support(MinSupport::percent(50))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(storage as Arc<dyn DurableStorage>)
+            .unwrap_err();
+        assert!(matches!(err, Error::Recovery { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn explicit_checkpoint_requires_durability() {
+        let mut m = session();
+        assert!(!m.is_durable());
+        assert!(matches!(m.checkpoint(), Err(Error::NotDurable)));
+
+        let storage = mem();
+        let mut d = durable_session(Arc::clone(&storage));
+        let seq = d.checkpoint().unwrap();
+        assert_eq!(seq, 1);
+        assert!(storage
+            .list()
+            .unwrap()
+            .contains(&"ckpt-00000001".to_string()));
+    }
+
+    #[test]
+    fn checkpoint_cadence_rotates_wal_segments() {
+        let storage = mem();
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .durability(DurabilityPolicy {
+                checkpoint_every_rounds: 2,
+                retain_checkpoints: 2,
+                ..Default::default()
+            })
+            .build_durable(history(), Arc::clone(&storage) as Arc<dyn DurableStorage>)
+            .unwrap();
+        for i in 0..4u32 {
+            m.stage(UpdateBatch::insert_only(vec![tx(&[1, 2 + i])]))
+                .unwrap();
+            m.commit().unwrap();
+        }
+        let names = storage.list().unwrap();
+        assert!(names.contains(&"ckpt-00000002".to_string()), "{names:?}");
+        assert!(
+            !names.contains(&"ckpt-00000000".to_string()),
+            "initial pair beyond retention must be collected: {names:?}"
+        );
+        // Recovery from the rotated layout still works.
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage.files()));
+        let (r, report) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_eq!(r.version(), m.version());
+        assert_eq!(report.replayed_rounds, 0, "checkpoint covers every round");
+        r.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn durable_commit_failure_poisons_the_session() {
+        let storage = mem();
+        let mut m = durable_session(Arc::clone(&storage));
+        m.stage(UpdateBatch::insert_only(vec![tx(&[7, 8])]))
+            .unwrap();
+        storage.fail_after(0, 0); // every storage op now dies
+        let err = m.commit().unwrap_err();
+        assert!(
+            matches!(err, Error::Store(fup_tidb::Error::Io { .. })),
+            "{err:?}"
+        );
+        storage.revive();
+        // The log is poisoned: later durable work fails fast.
+        let err = m
+            .stage(UpdateBatch::insert_only(vec![tx(&[9])]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Recovery { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn remine_logs_a_version_boundary() {
+        let storage = mem();
+        let mut m = durable_session(Arc::clone(&storage));
+        m.remine();
+        assert_eq!(m.version(), 1);
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage.files()));
+        let (r, _) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_eq!(r.version(), 1, "the re-mine's version bump must survive");
+    }
+
+    #[test]
+    fn durable_discard_does_not_resurrect_batches() {
+        let storage = mem();
+        let mut m = durable_session(Arc::clone(&storage));
+        m.stage(UpdateBatch::delete_only(vec![Tid(0)])).unwrap();
+        let dropped = m.discard();
+        assert_eq!(dropped.deletes, vec![Tid(0)]);
+        // The tid is claimable again in this session...
+        m.stage(UpdateBatch::delete_only(vec![Tid(0)])).unwrap();
+        m.commit().unwrap();
+        // ...and recovery agrees: nothing pending, the delete committed.
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage.files()));
+        let (r, report) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_eq!(report.restaged_batches, 0);
+        assert!(!r.has_staged());
+        assert_eq!(r.len(), 4);
     }
 }

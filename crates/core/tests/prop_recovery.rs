@@ -1,0 +1,473 @@
+//! Crash-recovery properties for durable sessions.
+//!
+//! * **WAL records round-trip:** every record type survives framing and
+//!   is recovered exactly by the scanner, for arbitrary payloads.
+//! * **Checkpoints round-trip:** a session checkpointed with arbitrary
+//!   history, staged backlog, and committed rounds recovers bit-identical
+//!   (itemsets + supports, rules, live set, staged batches).
+//! * **Kill anywhere, recover exactly:** a crash at *every byte offset*
+//!   of the WAL — and at every storage-operation budget, with torn
+//!   appends and failing fsyncs — recovers to a state bit-identical to
+//!   the uncrashed run at the last surviving commit boundary, never
+//!   panicking and never losing an acknowledged commit.
+//! * **Corrupt checkpoints degrade, not destroy:** a flipped byte in the
+//!   newest checkpoint falls back to the previous one; with every
+//!   checkpoint damaged, recovery fails with a typed error.
+
+use fup_core::{CommitPolicy, DurabilityPolicy, Error, Maintainer, MaintainerService};
+use fup_mining::{LargeItemsets, MinConfidence, MinSupport};
+use fup_tidb::wal::{self, WalRecord};
+use fup_tidb::{DurableStorage, MemStorage, Tid, Transaction, UpdateBatch};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn tx(items: &[u32]) -> Transaction {
+    Transaction::from_items(items.iter().copied())
+}
+
+fn builder() -> fup_core::MaintainerBuilder {
+    Maintainer::builder()
+        .min_support(MinSupport::percent(40))
+        .min_confidence(MinConfidence::percent(60))
+}
+
+fn history() -> Vec<Transaction> {
+    vec![
+        tx(&[1, 2, 3]),
+        tx(&[1, 2]),
+        tx(&[2, 3]),
+        tx(&[1, 3]),
+        tx(&[4, 5]),
+    ]
+}
+
+/// The scripted workload every kill sweep runs: three committed rounds
+/// (insert-only, mixed insert+delete, delete-only) and a staged tail that
+/// never commits before the crash.
+fn script_rounds() -> Vec<UpdateBatch> {
+    vec![
+        UpdateBatch::insert_only(vec![tx(&[1, 2]), tx(&[2, 3, 4])]),
+        UpdateBatch {
+            inserts: vec![tx(&[1, 2, 3])],
+            deletes: vec![Tid(1)],
+        },
+        UpdateBatch::delete_only(vec![Tid(4)]),
+    ]
+}
+
+/// One published state of the uncrashed reference run, keyed by version.
+struct Reference {
+    large: LargeItemsets,
+    num_rules: usize,
+    live: Vec<(Tid, Transaction)>,
+}
+
+/// Runs the script on a plain in-memory session and records the exact
+/// published state at every version — the oracle every crash point is
+/// compared against.
+fn reference_states() -> HashMap<u64, Reference> {
+    let mut m = builder().build(history()).unwrap();
+    let mut states = HashMap::new();
+    let mut record = |m: &Maintainer| {
+        let mut live: Vec<(Tid, Transaction)> =
+            m.store().iter().map(|(t, x)| (t, x.clone())).collect();
+        live.sort_unstable_by_key(|&(t, _)| t);
+        states.insert(
+            m.version(),
+            Reference {
+                large: m.large_itemsets().clone(),
+                num_rules: m.rules().len(),
+                live,
+            },
+        );
+    };
+    record(&m);
+    for batch in script_rounds() {
+        m.apply(batch).unwrap();
+        record(&m);
+    }
+    states
+}
+
+/// Asserts the recovered session equals the reference run at the version
+/// recovery landed on.
+fn assert_matches_reference(recovered: &Maintainer, states: &HashMap<u64, Reference>) {
+    let reference = states.get(&recovered.version()).unwrap_or_else(|| {
+        panic!(
+            "recovered to version {} which the uncrashed run never published",
+            recovered.version()
+        )
+    });
+    assert!(
+        recovered.large_itemsets().same_itemsets(&reference.large),
+        "itemsets diverge at version {}: {:?}",
+        recovered.version(),
+        recovered.large_itemsets().diff(&reference.large)
+    );
+    assert_eq!(recovered.rules().len(), reference.num_rules);
+    let mut live: Vec<(Tid, Transaction)> = recovered
+        .store()
+        .iter()
+        .map(|(t, x)| (t, x.clone()))
+        .collect();
+    live.sort_unstable_by_key(|&(t, _)| t);
+    assert_eq!(live, reference.live, "live set diverges");
+    recovered.verify_consistency().unwrap();
+}
+
+/// Drives the scripted session against `storage`, ignoring storage
+/// failures (the injected kill), and returns how many commits were
+/// durably acknowledged.
+fn drive_script(storage: Arc<MemStorage>, policy: DurabilityPolicy) -> u64 {
+    let mut acked = 0u64;
+    let Ok(mut m) = builder()
+        .durability(policy)
+        .build_durable(history(), storage as Arc<dyn DurableStorage>)
+    else {
+        return acked;
+    };
+    for batch in script_rounds() {
+        if m.stage(batch).is_err() {
+            return acked;
+        }
+        match m.commit() {
+            Ok(_) => acked += 1,
+            Err(_) => return acked,
+        }
+    }
+    // The staged tail: durably logged, never committed.
+    let _ = m.stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]));
+    acked
+}
+
+// ---------------------------------------------------------- sweeps --
+
+/// Tentpole: crash at every WAL byte offset. The surviving prefix must
+/// recover to exactly the last commit boundary it contains — never a
+/// panic, never a half-applied round, never a lost acknowledged commit.
+#[test]
+fn kill_at_every_wal_byte_offset_recovers_exactly() {
+    let states = reference_states();
+    // No mid-run checkpoints: the whole script lives in wal-00000000.
+    let storage = Arc::new(MemStorage::new());
+    assert_eq!(
+        drive_script(
+            Arc::clone(&storage),
+            DurabilityPolicy {
+                checkpoint_every_rounds: u64::MAX,
+                ..Default::default()
+            },
+        ),
+        3
+    );
+    let files = storage.files();
+    let wal = files.get("wal-00000000").expect("active WAL segment");
+    assert!(wal.len() > 50, "script should produce a non-trivial WAL");
+
+    let mut versions_seen = std::collections::BTreeSet::new();
+    for cut in 0..=wal.len() {
+        let image = MemStorage::from_files(files.clone());
+        image.truncate_file("wal-00000000", cut);
+        let (recovered, report) = builder()
+            .recover(Arc::new(image) as Arc<dyn DurableStorage>)
+            .unwrap_or_else(|e| panic!("recovery must succeed at cut {cut}: {e}"));
+        assert_matches_reference(&recovered, &states);
+        versions_seen.insert(report.version);
+        // A mid-record cut is reported as a dropped tail, not hidden.
+        if cut < wal.len() && report.wal_tail_dropped.is_none() {
+            // The cut landed exactly on a record boundary — fine, but the
+            // recovered version must then cover every boundary before it.
+            assert_eq!(report.version, recovered.version());
+        }
+    }
+    // The sweep must actually traverse every commit boundary.
+    assert_eq!(
+        versions_seen.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3],
+        "every prefix version should be reachable by some cut"
+    );
+}
+
+/// Tentpole: kill the storage after every possible operation budget (with
+/// three torn-append variants each), spanning kills mid-record, at record
+/// boundaries, mid-checkpoint, and between a checkpoint and its WAL
+/// rotation. Recovery from each crash image is exact.
+#[test]
+fn kill_at_every_storage_op_budget_recovers_exactly() {
+    let states = reference_states();
+    let policy = DurabilityPolicy {
+        // Checkpoint every round: the sweep crosses encode → write_atomic
+        // → fresh-WAL append → gc at every boundary.
+        checkpoint_every_rounds: 1,
+        retain_checkpoints: 2,
+        ..Default::default()
+    };
+    let mut exhausted = false;
+    for budget in 0u64..200 {
+        let mut any_fault = false;
+        for tear_bytes in [0usize, 1, 7] {
+            let storage = Arc::new(MemStorage::new());
+            storage.fail_after(budget, tear_bytes);
+            drive_script(Arc::clone(&storage), policy);
+            any_fault |= storage.faults_fired() > 0;
+            let image = Arc::new(MemStorage::from_files(storage.files()));
+            match builder().recover(image as Arc<dyn DurableStorage>) {
+                Ok((recovered, _report)) => assert_matches_reference(&recovered, &states),
+                Err(e) => {
+                    // Only one failure is legitimate: the kill hit the very
+                    // first write, leaving no checkpoint at all.
+                    assert!(
+                        matches!(e, Error::Recovery { .. }),
+                        "budget {budget}: unexpected error {e}"
+                    );
+                    assert!(
+                        budget == 0,
+                        "budget {budget} left no recoverable checkpoint"
+                    );
+                }
+            }
+        }
+        if !any_fault {
+            // The whole script fit under the budget — the sweep covered
+            // every operation the workload performs.
+            exhausted = true;
+            break;
+        }
+    }
+    assert!(exhausted, "sweep never reached a fault-free run");
+}
+
+/// An fsync failure is a commit that was never acknowledged: the session
+/// poisons itself, and recovery lands on a state the uncrashed run
+/// published — with the un-acked work either absent or fully applied
+/// (the data may have reached the medium), never half-applied.
+#[test]
+fn failing_fsync_poisons_but_recovers_consistently() {
+    let states = reference_states();
+    let storage = Arc::new(MemStorage::new());
+    let mut m = builder()
+        .build_durable(history(), Arc::clone(&storage) as Arc<dyn DurableStorage>)
+        .unwrap();
+    m.stage(script_rounds().remove(0)).unwrap();
+    m.commit().unwrap();
+    storage.set_fail_sync(true);
+    let err = m
+        .stage(UpdateBatch::insert_only(vec![tx(&[8, 9])]))
+        .unwrap_err();
+    assert!(matches!(err, Error::Store(fup_tidb::Error::Io { .. })));
+    // Poisoned: nothing else is accepted.
+    assert!(m.commit().is_err());
+
+    let image = Arc::new(MemStorage::from_files(storage.files()));
+    let (recovered, _) = builder().recover(image as Arc<dyn DurableStorage>).unwrap();
+    assert_matches_reference(&recovered, &states);
+    assert_eq!(recovered.version(), 1, "the acked round survives");
+}
+
+/// Satellite: a corrupt newest checkpoint falls back to the previous one
+/// (with a longer replay); corrupting every checkpoint yields a typed
+/// error, not a panic.
+#[test]
+fn corrupt_checkpoints_fall_back_then_fail_typed() {
+    let states = reference_states();
+    let storage = Arc::new(MemStorage::new());
+    drive_script(
+        Arc::clone(&storage),
+        DurabilityPolicy {
+            checkpoint_every_rounds: 1,
+            retain_checkpoints: 3,
+            ..Default::default()
+        },
+    );
+    let files = storage.files();
+    let mut ckpts: Vec<&String> = files.keys().filter(|n| n.starts_with("ckpt-")).collect();
+    ckpts.sort();
+    assert!(ckpts.len() >= 2, "script should retain several checkpoints");
+
+    // Flip one byte somewhere in the newest checkpoint: recovery falls
+    // back and still reproduces the final state (the WAL tail replays the
+    // rounds the older checkpoint misses).
+    let newest = ckpts.last().unwrap().to_string();
+    for offset in [
+        0usize,
+        9,
+        files[&newest].len() / 2,
+        files[&newest].len() - 1,
+    ] {
+        let image = MemStorage::from_files(files.clone());
+        image.flip_byte(&newest, offset);
+        let (recovered, report) = builder()
+            .recover(Arc::new(image) as Arc<dyn DurableStorage>)
+            .unwrap_or_else(|e| panic!("fallback must succeed (flip at {offset}): {e}"));
+        assert!(
+            !report.corrupt_checkpoints.is_empty(),
+            "the damaged checkpoint must be reported"
+        );
+        assert_matches_reference(&recovered, &states);
+        assert_eq!(recovered.version(), 3, "fallback + replay reaches the end");
+    }
+
+    // Damage every checkpoint: a typed Recovery error, never a panic.
+    let image = MemStorage::from_files(files.clone());
+    for name in &ckpts {
+        image.flip_byte(name, files[*name].len() / 2);
+    }
+    let err = builder()
+        .recover(Arc::new(image) as Arc<dyn DurableStorage>)
+        .unwrap_err();
+    assert!(matches!(err, Error::Recovery { .. }), "{err:?}");
+}
+
+/// Satellite: the one-call service restart path — recover a crash image
+/// straight into a running [`MaintainerService`], flush the re-queued
+/// backlog, and land on the uncrashed run's final state.
+#[test]
+fn service_recovers_from_crash_image_and_commits_backlog() {
+    let storage = Arc::new(MemStorage::new());
+    drive_script(Arc::clone(&storage), DurabilityPolicy::default());
+    let image = Arc::new(MemStorage::from_files(storage.files()));
+    let (service, report) =
+        MaintainerService::recover(builder(), image, CommitPolicy::manual()).unwrap();
+    assert_eq!(report.version, 3);
+    assert_eq!(report.restaged_batches, 1, "the staged tail is re-queued");
+    let flushed = service.flush().unwrap();
+    assert_eq!(flushed.version, 4);
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.num_transactions(), 7);
+    let (m, _) = service.shutdown();
+    m.verify_consistency().unwrap();
+}
+
+// ------------------------------------------------------ round-trips --
+
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0u32..32, 1..6).prop_map(Transaction::from_items)
+}
+
+fn sorted_dedup(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn arb_batch() -> impl Strategy<Value = UpdateBatch> {
+    (
+        proptest::collection::vec(arb_transaction(), 0..5),
+        proptest::collection::vec(0u64..1 << 48, 0..5),
+    )
+        .prop_map(|(inserts, deletes)| UpdateBatch {
+            inserts,
+            deletes: sorted_dedup(deletes).into_iter().map(Tid).collect(),
+        })
+}
+
+fn arb_tickets() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1 << 48, 0..8).prop_map(sorted_dedup)
+}
+
+/// One of the three record types, picked by a discriminant (the vendored
+/// proptest has no `prop_oneof!`).
+fn arb_record() -> impl Strategy<Value = WalRecord> {
+    (0u8..3, 0u64..1 << 48, arb_batch(), arb_tickets()).prop_map(|(kind, n, batch, tickets)| {
+        match kind {
+            0 => WalRecord::Stage { ticket: n, batch },
+            1 => WalRecord::Commit {
+                version: n,
+                tickets,
+            },
+            _ => WalRecord::Abort { tickets },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: every WAL record type round-trips through framing, in
+    /// arbitrary sequences; the scanner recovers all of them with no tail
+    /// error.
+    #[test]
+    fn wal_records_roundtrip(records in proptest::collection::vec(arb_record(), 0..8)) {
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&r.to_framed_bytes());
+        }
+        let scan = wal::read_records(&bytes);
+        prop_assert!(scan.tail_error.is_none());
+        prop_assert_eq!(scan.valid_len, bytes.len());
+        prop_assert_eq!(scan.records, records);
+    }
+
+    /// Satellite: truncating a framed WAL stream anywhere never panics,
+    /// keeps a valid record prefix, and reports the damage on non-boundary
+    /// cuts.
+    #[test]
+    fn torn_wal_always_yields_a_valid_prefix(
+        records in proptest::collection::vec(arb_record(), 1..5),
+        cut_seed in any::<prop::sample::Index>(),
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            bytes.extend_from_slice(&r.to_framed_bytes());
+            boundaries.push(bytes.len());
+        }
+        let cut = cut_seed.index(bytes.len() + 1);
+        let scan = wal::read_records(&bytes[..cut]);
+        // The valid prefix is the records wholly inside the cut.
+        let n = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        prop_assert_eq!(scan.records.len(), n);
+        prop_assert_eq!(&scan.records[..], &records[..n]);
+        prop_assert_eq!(scan.tail_error.is_some(), !boundaries.contains(&cut));
+    }
+
+    /// Satellite: the checkpoint manifest round-trips through a real
+    /// crash: arbitrary history and staged backlog, checkpoint, recover
+    /// from the bytes alone, compare everything.
+    #[test]
+    fn checkpoint_roundtrips_through_recovery(
+        history in proptest::collection::vec(arb_transaction(), 0..12),
+        committed in proptest::collection::vec(arb_transaction(), 0..6),
+        staged in proptest::collection::vec(arb_transaction(), 0..6),
+        delete_seed in proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+    ) {
+        let storage = Arc::new(MemStorage::new());
+        let mut m = builder()
+            .build_durable(history, Arc::clone(&storage) as Arc<dyn DurableStorage>)
+            .unwrap();
+        if !committed.is_empty() {
+            m.stage(UpdateBatch::insert_only(committed)).unwrap();
+            m.commit().unwrap();
+        }
+        // Deletes drawn from live tids, staged but not committed.
+        let tids: Vec<Tid> = m.store().iter().map(|(t, _)| t).collect();
+        let mut deletes: Vec<Tid> = delete_seed
+            .iter()
+            .filter(|_| !tids.is_empty())
+            .map(|ix| tids[ix.index(tids.len())])
+            .collect();
+        deletes.sort();
+        deletes.dedup();
+        if !staged.is_empty() || !deletes.is_empty() {
+            m.stage(UpdateBatch { inserts: staged, deletes }).unwrap();
+        }
+        m.checkpoint().unwrap();
+
+        let image = Arc::new(MemStorage::from_files(storage.files()));
+        let expected_staged = m.staged();
+        let (recovered, report) = builder()
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        prop_assert_eq!(recovered.version(), m.version());
+        prop_assert_eq!(report.replayed_rounds, 0, "checkpoint covers all rounds");
+        prop_assert!(recovered.large_itemsets().same_itemsets(m.large_itemsets()));
+        prop_assert_eq!(recovered.rules().len(), m.rules().len());
+        prop_assert_eq!(recovered.staged(), expected_staged);
+        prop_assert_eq!(recovered.len(), m.len());
+        prop_assert_eq!(
+            recovered.store().live_view().tombstones_sorted(),
+            m.store().live_view().tombstones_sorted()
+        );
+    }
+}

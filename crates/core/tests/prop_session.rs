@@ -2,17 +2,15 @@
 //!
 //! * **Staging is associative:** `stage(a); stage(b); commit()` is
 //!   bit-identical — itemsets, supports, and report counts — to
-//!   `apply_update(a + b)` on the legacy [`RuleMaintainer`] shim, across
-//!   counting backends and thread counts.
+//!   `apply(a + b)` on an identically-configured reference session,
+//!   across counting backends and thread counts.
 //! * **Index persistence is invisible:** a session that keeps its
 //!   [`VerticalIndex`] across rounds (extending it on insert-only
 //!   commits, rebuilding after deletions or dictionary growth) produces
 //!   supports bit-identical to a fresh index rebuild — an Apriori re-mine
 //!   on the vertical backend — after every round.
 
-#![allow(deprecated)] // the legacy RuleMaintainer shim is exercised deliberately
-
-use fup_core::{FupConfig, Maintainer, RuleMaintainer};
+use fup_core::{FupConfig, Maintainer};
 use fup_mining::apriori::AprioriConfig;
 use fup_mining::{Apriori, CountingBackend, MinConfidence, MinSupport};
 use fup_tidb::{Tid, Transaction, UpdateBatch};
@@ -61,10 +59,11 @@ fn pick_deletes(tids: &[Tid], seed: &[proptest::sample::Index]) -> Vec<Tid> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Satellite: stage(a); stage(b); commit() ≡ apply_update(a+b) on the
-    /// legacy shim, bit-identical across backends × threads.
+    /// Satellite: stage(a); stage(b); commit() ≡ apply(a+b) on a second,
+    /// identically-configured session, bit-identical across backends ×
+    /// threads.
     #[test]
-    fn staged_commit_equals_legacy_concatenated_apply(
+    fn staged_commit_equals_concatenated_apply(
         history in arb_db(30),
         inserts_a in arb_db(10),
         inserts_b in arb_db(10),
@@ -78,12 +77,12 @@ proptest! {
         let mut config = FupConfig::default().with_threads(threads);
         config.engine.backend = backend;
 
-        let mut legacy = RuleMaintainer::bootstrap_with_config(
-            history.clone(),
-            minsup,
-            minconf,
-            config.clone(),
-        );
+        let mut reference = Maintainer::builder()
+            .min_support(minsup)
+            .min_confidence(minconf)
+            .fup_config(config.clone())
+            .build(history.clone())
+            .unwrap();
         let mut session = Maintainer::builder()
             .min_support(minsup)
             .min_confidence(minconf)
@@ -116,28 +115,28 @@ proptest! {
         session.stage(batch_a).unwrap();
         session.stage(batch_b).unwrap();
         let staged_report = session.commit().unwrap();
-        let legacy_report = legacy.apply_update(concatenated).unwrap();
+        let reference_report = reference.apply(concatenated).unwrap();
 
         // Bit-identical state: itemsets with supports, and rules with
         // counts.
         prop_assert!(
-            session.large_itemsets().same_itemsets(legacy.large_itemsets()),
-            "staged vs legacy itemsets: {:?}",
-            session.large_itemsets().diff(legacy.large_itemsets())
+            session.large_itemsets().same_itemsets(reference.large_itemsets()),
+            "staged vs reference itemsets: {:?}",
+            session.large_itemsets().diff(reference.large_itemsets())
         );
-        prop_assert_eq!(session.rules(), legacy.rules());
+        prop_assert_eq!(session.rules(), reference.rules());
 
         // Bit-identical report counts.
-        prop_assert_eq!(staged_report.algorithm, legacy_report.algorithm);
-        prop_assert_eq!(staged_report.version, legacy_report.version);
-        prop_assert_eq!(staged_report.num_transactions, legacy_report.num_transactions);
-        prop_assert_eq!(&staged_report.inserted_tids, &legacy_report.inserted_tids);
-        prop_assert_eq!(&staged_report.itemsets, &legacy_report.itemsets);
-        prop_assert_eq!(&staged_report.rules.added, &legacy_report.rules.added);
-        prop_assert_eq!(&staged_report.rules.removed, &legacy_report.rules.removed);
-        prop_assert_eq!(staged_report.rules.retained, legacy_report.rules.retained);
+        prop_assert_eq!(staged_report.algorithm, reference_report.algorithm);
+        prop_assert_eq!(staged_report.version, reference_report.version);
+        prop_assert_eq!(staged_report.num_transactions, reference_report.num_transactions);
+        prop_assert_eq!(&staged_report.inserted_tids, &reference_report.inserted_tids);
+        prop_assert_eq!(&staged_report.itemsets, &reference_report.itemsets);
+        prop_assert_eq!(&staged_report.rules.added, &reference_report.rules.added);
+        prop_assert_eq!(&staged_report.rules.removed, &reference_report.rules.removed);
+        prop_assert_eq!(staged_report.rules.retained, reference_report.rules.retained);
 
-        legacy.verify_consistency().unwrap();
+        reference.verify_consistency().unwrap();
         session.verify_consistency().unwrap();
     }
 

@@ -53,6 +53,16 @@ impl MinConfidence {
     pub fn as_f64(&self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// The exact numerator of the threshold fraction.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// The exact denominator of the threshold fraction.
+    pub fn den(&self) -> u64 {
+        self.den
+    }
 }
 
 /// A strong association rule `antecedent ⇒ consequent`.

@@ -55,6 +55,52 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32> {
     }
 }
 
+/// Maximum bytes a `u64` varint can occupy.
+pub const MAX_VARINT64_LEN: usize = 10;
+
+/// Appends `v` as a LEB128 varint (64-bit variant, used by the durable
+/// WAL/checkpoint formats for tids, tickets, versions and supports).
+#[inline]
+pub fn write_varint64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a 64-bit LEB128 varint from `buf[*pos..]`, advancing `*pos`.
+#[inline]
+pub fn read_varint64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(Error::Corrupt {
+                reason: "truncated varint".into(),
+                offset: Some(*pos),
+            });
+        };
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(Error::Corrupt {
+                reason: "varint overflows u64".into(),
+                offset: Some(*pos - 1),
+            });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
 /// Appends the encoding of `items` (a sorted item slice) to `buf`.
 ///
 /// Layout: `varint(len)` then `len` delta varints (`first`, `gap`, `gap`, …).
@@ -179,6 +225,35 @@ mod tests {
             let mut pos = 0;
             assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn varint64_roundtrips_and_rejects_overflow() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16384,
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT64_LEN);
+            let mut pos = 0;
+            assert_eq!(read_varint64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // Truncation is a typed error.
+        let mut pos = 0;
+        assert!(read_varint64(&[0x80u8], &mut pos).is_err());
+        // Eleven continuation bytes overflow a u64.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut pos = 0;
+        assert!(read_varint64(&buf, &mut pos).is_err());
     }
 
     #[test]

@@ -27,6 +27,17 @@ pub enum Error {
     },
     /// The dictionary is full (more than `u32::MAX` distinct items).
     DictionaryFull,
+    /// A durable-storage operation failed (or was killed by fault
+    /// injection). The session that observed it must be considered
+    /// crashed: discard it and recover from the durable state.
+    Io {
+        /// The storage operation that failed (`append`, `sync`, …).
+        op: &'static str,
+        /// The file the operation targeted.
+        file: String,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +57,9 @@ impl fmt::Display for Error {
                 "transaction encodes to {encoded_len} bytes, exceeding page capacity {page_capacity}"
             ),
             Error::DictionaryFull => write!(f, "item dictionary is full"),
+            Error::Io { op, file, reason } => {
+                write!(f, "durable storage {op} on {file:?} failed: {reason}")
+            }
         }
     }
 }
@@ -81,6 +95,15 @@ mod tests {
         };
         assert!(e.to_string().contains("9000"));
         assert!(e.to_string().contains("4088"));
+
+        let e = Error::Io {
+            op: "append",
+            file: "wal-0".into(),
+            reason: "fault injected".into(),
+        };
+        assert!(e.to_string().contains("append"));
+        assert!(e.to_string().contains("wal-0"));
+        assert!(e.to_string().contains("fault injected"));
     }
 
     #[test]

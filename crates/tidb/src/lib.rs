@@ -17,6 +17,10 @@
 //! * [`codec`] / [`page`] — a varint binary codec and a 4 KiB-paged storage
 //!   simulation so scans can be charged in bytes and pages, standing in for
 //!   the paper's on-disk RS/6000 databases,
+//! * [`wal`] / [`storage`] — an append-only, CRC32-framed write-ahead log
+//!   over an injectable [`DurableStorage`] medium ([`DiskStorage`] for real
+//!   directories, [`MemStorage`] with fault injection for crash tests) —
+//!   the substrate of `fup_core`'s durable maintenance sessions,
 //! * [`chunk`] — [`TxChunk`] views for the chunked scan API
 //!   ([`TransactionSource::for_each_chunk`] and the
 //!   [`TransactionSource::chunk`] cursor), which lets `fup_mining`'s
@@ -63,7 +67,9 @@ pub mod segment;
 pub mod source;
 pub mod staging;
 pub mod stats;
+pub mod storage;
 pub mod transaction;
+pub mod wal;
 
 pub use chunk::{ChunkScratch, TxChunk};
 pub use database::TransactionDb;
@@ -73,5 +79,7 @@ pub use item::ItemId;
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
 pub use source::TransactionSource;
-pub use staging::StagingArea;
+pub use staging::{LiveTidView, StagingArea};
+pub use storage::{DiskStorage, DurableStorage, MemStorage};
 pub use transaction::Transaction;
+pub use wal::{WalRecord, WalScan};

@@ -122,6 +122,51 @@ impl PagedStore {
         self.pages.len()
     }
 
+    /// The raw bytes of page `idx` (header + encoded transactions) — the
+    /// exact on-"disk" image the durable checkpoint format embeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_pages()`.
+    pub fn page_bytes(&self, idx: usize) -> &[u8] {
+        &self.pages[idx].data
+    }
+
+    /// Rebuilds a store from raw page images (as produced by
+    /// [`page_bytes`](Self::page_bytes)), validating that every page
+    /// decodes. The durable checkpoint reader uses this to restore the
+    /// live transactions without re-encoding them.
+    pub fn from_encoded_pages<I>(page_size: usize, pages: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<u8>>,
+    {
+        let mut store = PagedStore::with_page_size(page_size);
+        let mut items: Vec<ItemId> = Vec::new();
+        for (idx, data) in pages.into_iter().enumerate() {
+            if data.len() < PAGE_HEADER || data.len() > page_size {
+                return Err(Error::Corrupt {
+                    reason: format!("page {idx} has invalid length {}", data.len()),
+                    offset: None,
+                });
+            }
+            let count = u16::from_le_bytes([data[0], data[1]]);
+            let mut pos = PAGE_HEADER;
+            for _ in 0..count {
+                codec::decode_transaction(&data, &mut pos, &mut items)?;
+            }
+            if pos != data.len() {
+                return Err(Error::Corrupt {
+                    reason: format!("page {idx} has trailing bytes"),
+                    offset: Some(pos),
+                });
+            }
+            store.page_first_txn.push(store.num_transactions);
+            store.num_transactions += u64::from(count);
+            store.pages.push(Page { data, count });
+        }
+        Ok(store)
+    }
+
     /// Total encoded bytes across all pages (excluding slack).
     pub fn encoded_bytes(&self) -> u64 {
         self.pages.iter().map(|p| p.data.len() as u64).sum()
@@ -308,5 +353,39 @@ mod tests {
     #[should_panic(expected = "page size too small")]
     fn rejects_tiny_page_size() {
         let _ = PagedStore::with_page_size(4);
+    }
+
+    #[test]
+    fn raw_pages_roundtrip_through_from_encoded_pages() {
+        let txs: Vec<Transaction> = (0..80).map(|i| tx(&[i, i + 3, 900 + i])).collect();
+        let store = PagedStore::from_transactions(&txs).unwrap();
+        let pages: Vec<Vec<u8>> = (0..store.num_pages())
+            .map(|p| store.page_bytes(p).to_vec())
+            .collect();
+        let rebuilt = PagedStore::from_encoded_pages(store.page_size(), pages).unwrap();
+        assert_eq!(rebuilt.num_transactions(), 80);
+        assert_eq!(rebuilt.to_transactions().unwrap(), txs);
+        // Chunked access works on the rebuilt store too.
+        let mut scratch = crate::chunk::ChunkScratch::default();
+        let chunk = rebuilt.chunk(10, 2, &mut scratch);
+        assert_eq!(chunk.len(), 10);
+    }
+
+    #[test]
+    fn from_encoded_pages_rejects_corruption() {
+        let txs: Vec<Transaction> = (0..10).map(|i| tx(&[i, i + 1])).collect();
+        let store = PagedStore::from_transactions(&txs).unwrap();
+        let good = store.page_bytes(0).to_vec();
+        // Truncated page.
+        let torn = good[..good.len() - 1].to_vec();
+        assert!(PagedStore::from_encoded_pages(store.page_size(), [torn]).is_err());
+        // Count header inflated beyond the payload.
+        let mut inflated = good.clone();
+        inflated[0] = inflated[0].wrapping_add(5);
+        assert!(PagedStore::from_encoded_pages(store.page_size(), [inflated]).is_err());
+        // Oversized page image.
+        let mut oversized = good.clone();
+        oversized.resize(store.page_size() + 1, 0);
+        assert!(PagedStore::from_encoded_pages(store.page_size(), [oversized]).is_err());
     }
 }

@@ -38,7 +38,7 @@ use crate::error::{Error, Result};
 use crate::item::ItemId;
 use crate::scan::ScanMetrics;
 use crate::source::TransactionSource;
-use crate::staging::StagingArea;
+use crate::staging::{LiveTidView, StagingArea};
 use crate::transaction::Transaction;
 use std::collections::HashMap;
 use std::fmt;
@@ -68,7 +68,7 @@ impl fmt::Debug for SegmentId {
 /// A batch of changes: transactions to insert (`db⁺`) and transaction ids to
 /// delete (`db⁻`). The paper's base FUP algorithm is the pure-insertion case
 /// (`deletes` empty).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct UpdateBatch {
     /// New transactions to append.
     pub inserts: Vec<Transaction>,
@@ -137,7 +137,7 @@ impl StagedUpdate {
 /// Scanning the store (via [`TransactionSource`]) always delivers the
 /// current *live* transactions: `DB` before staging, `DB \ db⁻` while an
 /// update is staged, `(DB \ db⁻) ∪ db⁺` after commit.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SegmentedDb {
     live: Vec<(Tid, Transaction)>,
     /// Index from tid to position in `live`; kept in sync on every mutation.
@@ -149,12 +149,62 @@ pub struct SegmentedDb {
     /// shared so producer threads can stage through [`Self::staging`]
     /// handles while this store is borrowed elsewhere.
     staging: Arc<StagingArea>,
+    /// `true` while the live vector is still in ascending tid order —
+    /// i.e. scan order equals tid order. Deletions `swap_remove` and
+    /// aborts re-append, both of which break the invariant; checkpoints
+    /// use it to decide whether a positional `VerticalIndex`
+    /// (`fup_mining`) can be serialised alongside the tid-ordered
+    /// durable image.
+    tid_ordered: bool,
+}
+
+impl Default for SegmentedDb {
+    fn default() -> Self {
+        SegmentedDb {
+            live: Vec::new(),
+            by_tid: HashMap::new(),
+            next_tid: 0,
+            next_segment: 0,
+            metrics: ScanMetrics::new(),
+            staging: Arc::default(),
+            tid_ordered: true,
+        }
+    }
 }
 
 impl SegmentedDb {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Restores a store from a durable checkpoint image: `live` pairs in
+    /// ascending tid order, the tid `watermark` (next tid to allocate),
+    /// the tombstoned tids below it, and the next segment id. The staging
+    /// area starts empty with its live view set to match.
+    pub fn from_recovered(
+        live: Vec<(Tid, Transaction)>,
+        watermark: u64,
+        tombstones: Vec<Tid>,
+        next_segment: u32,
+    ) -> Self {
+        let by_tid = live
+            .iter()
+            .enumerate()
+            .map(|(i, &(tid, _))| (tid, i))
+            .collect();
+        let db = SegmentedDb {
+            live,
+            by_tid,
+            next_tid: watermark,
+            next_segment,
+            metrics: ScanMetrics::new(),
+            staging: Arc::default(),
+            tid_ordered: true,
+        };
+        db.staging
+            .live_reset(LiveTidView::from_parts(watermark, tombstones));
+        db
     }
 
     /// Builds a store from initial transactions, assigning fresh tids.
@@ -218,7 +268,8 @@ impl SegmentedDb {
     /// synchronised, so any number of threads may enqueue concurrently
     /// (see [`Self::staging`] for a handle that outlives this borrow).
     pub fn enqueue(&self, batch: UpdateBatch) -> Result<()> {
-        self.staging.stage(batch)
+        self.staging.stage(batch)?;
+        Ok(())
     }
 
     /// A shareable handle to the staging area: producer threads stage
@@ -245,6 +296,38 @@ impl SegmentedDb {
     /// Delete claims are held until that round commits or aborts.
     pub fn take_pending(&mut self) -> UpdateBatch {
         self.staging.drain()
+    }
+
+    /// Drains the staging area keeping per-batch `(ticket, batch)`
+    /// boundaries — the durable commit path records exactly which tickets
+    /// a round consumed. Claims are held as with
+    /// [`take_pending`](Self::take_pending).
+    pub fn take_pending_entries(&mut self) -> Vec<(u64, UpdateBatch)> {
+        self.staging.drain_entries()
+    }
+
+    /// One past the highest tid ever allocated (the durable watermark).
+    pub fn watermark(&self) -> u64 {
+        self.next_tid
+    }
+
+    /// The segment id the next committed round will receive.
+    pub fn next_segment(&self) -> u32 {
+        self.next_segment
+    }
+
+    /// The compact live-tid view (watermark + tombstones) shared with the
+    /// staging area's delete validation and the durable format.
+    pub fn live_view(&self) -> LiveTidView {
+        self.staging.live_view()
+    }
+
+    /// `true` while scan order still equals ascending tid order (no
+    /// deletion has `swap_remove`d and no abort has re-appended) — the
+    /// condition under which a positional index over the live set can be
+    /// serialised against the tid-ordered checkpoint image.
+    pub fn is_tid_ordered(&self) -> bool {
+        self.tid_ordered
     }
 
     /// Drops everything queued in the staging area, returning the
@@ -278,10 +361,12 @@ impl SegmentedDb {
         for &tid in &batch.deletes {
             let idx = self.by_tid.remove(&tid).expect("validated above");
             let (_, t) = self.live.swap_remove(idx);
-            // swap_remove moved the former last element into `idx`.
+            // swap_remove moved the former last element into `idx` —
+            // scan order no longer equals tid order.
             if idx < self.live.len() {
                 let moved_tid = self.live[idx].0;
                 self.by_tid.insert(moved_tid, idx);
+                self.tid_ordered = false;
             }
             deleted_with_tids.push((tid, t));
         }
@@ -313,6 +398,10 @@ impl SegmentedDb {
             .release_deletes(staged.deleted_with_tids.iter().map(|&(tid, _)| tid));
         self.staging
             .live_insert(staged.deleted_with_tids.iter().map(|&(tid, _)| tid));
+        if !staged.deleted_with_tids.is_empty() {
+            // Restored rows re-append at the end, out of tid order.
+            self.tid_ordered = false;
+        }
         for (tid, t) in staged.deleted_with_tids {
             self.by_tid.insert(tid, self.live.len());
             self.live.push((tid, t));
@@ -548,6 +637,68 @@ mod tests {
         assert_eq!(db.len(), 1);
         // The discarded delete's tid is free to be queued again.
         db.enqueue(UpdateBatch::delete_only(vec![tids[0]])).unwrap();
+    }
+
+    #[test]
+    fn tid_order_flag_tracks_reordering_mutations() {
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1]), tx(&[2]), tx(&[3])]);
+        assert!(db.is_tid_ordered());
+        // Deleting the tail keeps scan order == tid order.
+        let staged = db.stage(UpdateBatch::delete_only(vec![tids[2]])).unwrap();
+        db.commit(staged);
+        assert!(db.is_tid_ordered());
+        // Deleting from the middle swap_removes: order broken.
+        let staged = db.stage(UpdateBatch::delete_only(vec![tids[0]])).unwrap();
+        db.commit(staged);
+        assert!(!db.is_tid_ordered());
+
+        // An abort that restores rows re-appends them: order broken too.
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1]), tx(&[2])]);
+        let staged = db.stage(UpdateBatch::delete_only(vec![tids[0]])).unwrap();
+        db.abort(staged);
+        assert!(!db.is_tid_ordered());
+    }
+
+    #[test]
+    fn from_recovered_restores_live_set_and_watermark() {
+        // Original store: tids 0..4 with 1 and 3 deleted.
+        let mut db = SegmentedDb::new();
+        let tids = db.append_all(vec![tx(&[1]), tx(&[2]), tx(&[3]), tx(&[4])]);
+        let staged = db
+            .stage(UpdateBatch::delete_only(vec![tids[1], tids[3]]))
+            .unwrap();
+        db.commit(staged);
+
+        let view = db.live_view();
+        assert_eq!(view.watermark(), 4);
+        assert_eq!(view.tombstones_sorted(), vec![tids[1], tids[3]]);
+
+        // Rebuild from the checkpoint image: live pairs in tid order.
+        let mut pairs: Vec<(Tid, Transaction)> =
+            db.iter().map(|(tid, t)| (tid, t.clone())).collect();
+        pairs.sort_unstable_by_key(|&(tid, _)| tid);
+        let restored = SegmentedDb::from_recovered(
+            pairs,
+            view.watermark(),
+            view.tombstones_sorted(),
+            db.next_segment(),
+        );
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.watermark(), 4);
+        assert!(restored.is_tid_ordered());
+        assert_eq!(restored.get(tids[0]).unwrap().items(), &[ItemId(1)]);
+        assert!(!restored.contains(tids[1]));
+        assert_eq!(restored.live_view(), view);
+        // The watermark survives: new appends get fresh tids, and a
+        // tombstoned tid cannot be deleted again.
+        let mut restored = restored;
+        let new = restored.append_all(vec![tx(&[9])]);
+        assert_eq!(new, vec![Tid(4)]);
+        assert!(restored
+            .enqueue(UpdateBatch::delete_only(vec![tids[1]]))
+            .is_err());
     }
 
     #[test]

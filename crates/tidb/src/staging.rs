@@ -45,6 +45,87 @@ pub const DEFAULT_STAGING_SHARDS: usize = 16;
 /// One shard's queue: `(ticket, batch)` pairs in local arrival order.
 type Shard = Vec<(u64, UpdateBatch)>;
 
+/// A compact view of the live tid set: tids are assigned sequentially, so
+/// "live" is *allocated* (`tid < watermark`) and *not tombstoned*. The
+/// durable checkpoint format and the staging area's arrival-time delete
+/// validation share this one representation — deletes tombstone a tid
+/// instead of rewriting the tid universe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LiveTidView {
+    /// One past the highest tid ever allocated.
+    watermark: u64,
+    /// Allocated-but-deleted tids below the watermark.
+    tombstones: HashSet<Tid>,
+}
+
+impl LiveTidView {
+    /// A view with explicit parts — used when restoring from a checkpoint.
+    pub fn from_parts(watermark: u64, tombstones: impl IntoIterator<Item = Tid>) -> Self {
+        LiveTidView {
+            watermark,
+            tombstones: tombstones.into_iter().filter(|t| t.0 < watermark).collect(),
+        }
+    }
+
+    /// `true` if `tid` is live (allocated and not tombstoned).
+    pub fn contains(&self, tid: Tid) -> bool {
+        tid.0 < self.watermark && !self.tombstones.contains(&tid)
+    }
+
+    /// One past the highest tid ever allocated.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Number of live tids.
+    pub fn len(&self) -> u64 {
+        self.watermark - self.tombstones.len() as u64
+    }
+
+    /// `true` if nothing is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tombstoned tids, ascending (materialised for serialisation).
+    pub fn tombstones_sorted(&self) -> Vec<Tid> {
+        let mut out: Vec<Tid> = self.tombstones.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The live tids, ascending.
+    pub fn live_sorted(&self) -> Vec<Tid> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for t in 0..self.watermark {
+            let tid = Tid(t);
+            if !self.tombstones.contains(&tid) {
+                out.push(tid);
+            }
+        }
+        out
+    }
+
+    fn insert(&mut self, tid: Tid) {
+        if tid.0 >= self.watermark {
+            // Fresh allocations arrive in order; tolerate gaps anyway.
+            for skipped in self.watermark..tid.0 {
+                self.tombstones.insert(Tid(skipped));
+            }
+            self.watermark = tid.0 + 1;
+        } else {
+            // A tombstoned tid resurrected (an aborted deletion).
+            self.tombstones.remove(&tid);
+        }
+    }
+
+    fn remove(&mut self, tid: Tid) {
+        if tid.0 < self.watermark {
+            self.tombstones.insert(tid);
+        }
+    }
+}
+
 /// The sharded staging area. See the module docs for the concurrency
 /// contract; the owning [`SegmentedDb`](crate::SegmentedDb) keeps the
 /// live-tid view in sync.
@@ -57,7 +138,7 @@ pub struct StagingArea {
     claims: Mutex<HashSet<Tid>>,
     /// Mirror of the store's live tid set, for arrival-time validation
     /// without touching the store.
-    live: RwLock<HashSet<Tid>>,
+    live: RwLock<LiveTidView>,
     pending_inserts: AtomicU64,
     pending_deletes: AtomicU64,
 }
@@ -76,7 +157,7 @@ impl StagingArea {
             shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             ticket: AtomicU64::new(0),
             claims: Mutex::new(HashSet::new()),
-            live: RwLock::new(HashSet::new()),
+            live: RwLock::new(LiveTidView::default()),
             pending_inserts: AtomicU64::new(0),
             pending_deletes: AtomicU64::new(0),
         }
@@ -94,22 +175,59 @@ impl StagingArea {
     ///
     /// Takes `&self`: any number of producer threads may stage
     /// concurrently, with each other and with scans of the live set.
-    pub fn stage(&self, batch: UpdateBatch) -> Result<()> {
-        if !batch.deletes.is_empty() {
-            // Claim lock first, live view second — the same order the
-            // store uses when it applies a round.
-            let mut claims = self.claims.lock().expect("staging claims poisoned");
-            {
-                let live = self.live.read().expect("staging live view poisoned");
-                let mut seen = HashSet::new();
-                for &tid in &batch.deletes {
-                    if !live.contains(&tid) || claims.contains(&tid) || !seen.insert(tid) {
-                        return Err(Error::UnknownTransaction(tid));
-                    }
+    /// Returns the batch's global arrival ticket.
+    pub fn stage(&self, batch: UpdateBatch) -> Result<u64> {
+        self.claim(&batch.deletes)?;
+        let ticket = self.take_ticket();
+        self.admit_with_ticket(ticket, batch);
+        Ok(ticket)
+    }
+
+    /// Validates and claims a set of delete tids: every tid must be live
+    /// and not already claimed by an earlier pending (or in-flight)
+    /// delete, including earlier in the slice. On error nothing is
+    /// claimed. A successful claim must be followed by
+    /// [`admit_with_ticket`](Self::admit_with_ticket) or undone with
+    /// [`release_deletes`](Self::release_deletes) — the durable write
+    /// path claims first, appends the WAL record, and only then admits.
+    pub fn claim(&self, deletes: &[Tid]) -> Result<()> {
+        if deletes.is_empty() {
+            return Ok(());
+        }
+        // Claim lock first, live view second — the same order the
+        // store uses when it applies a round.
+        let mut claims = self.claims.lock().expect("staging claims poisoned");
+        {
+            let live = self.live.read().expect("staging live view poisoned");
+            let mut seen = HashSet::new();
+            for &tid in deletes {
+                if !live.contains(tid) || claims.contains(&tid) || !seen.insert(tid) {
+                    return Err(Error::UnknownTransaction(tid));
                 }
             }
-            claims.extend(batch.deletes.iter().copied());
         }
+        claims.extend(deletes.iter().copied());
+        Ok(())
+    }
+
+    /// Draws the next global arrival ticket.
+    pub fn take_ticket(&self) -> u64 {
+        self.ticket.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Raises the ticket counter to at least `next` (no-op if it is
+    /// already higher). Recovery re-admits logged batches under their
+    /// original tickets and then bumps the counter past the highest
+    /// ticket the log ever assigned, so fresh batches can never collide.
+    pub fn bump_ticket(&self, next: u64) {
+        self.ticket.fetch_max(next, Ordering::Relaxed);
+    }
+
+    /// Queues an already-claimed, already-ticketed batch. With
+    /// [`claim`](Self::claim) + [`take_ticket`](Self::take_ticket) this is
+    /// the decomposed [`stage`](Self::stage), letting the durable write
+    /// path interpose a WAL append between validation and visibility.
+    pub fn admit_with_ticket(&self, ticket: u64, batch: UpdateBatch) {
         // Counters go up *before* the batch is visible in a shard: a
         // concurrent drain then subtracts at most what it actually
         // merged, so the counters never underflow (they may transiently
@@ -119,15 +237,11 @@ impl StagingArea {
             .fetch_add(batch.inserts.len() as u64, Ordering::Relaxed);
         self.pending_deletes
             .fetch_add(batch.deletes.len() as u64, Ordering::Relaxed);
-        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
-        {
-            let shard = &self.shards[(ticket % self.shards.len() as u64) as usize];
-            shard
-                .lock()
-                .expect("staging shard poisoned")
-                .push((ticket, batch));
-        }
-        Ok(())
+        let shard = &self.shards[(ticket % self.shards.len() as u64) as usize];
+        shard
+            .lock()
+            .expect("staging shard poisoned")
+            .push((ticket, batch));
     }
 
     /// `(inserts, deletes)` currently queued. Snapshots of two relaxed
@@ -150,7 +264,7 @@ impl StagingArea {
     /// without draining. Batches staged concurrently with the call may or
     /// may not be included.
     pub fn snapshot(&self) -> UpdateBatch {
-        self.assemble(|shard| shard.clone())
+        Self::merge_entries(self.entries_snapshot())
     }
 
     /// Drains the queue, returning the accumulated batches concatenated
@@ -158,11 +272,39 @@ impl StagingArea {
     /// are **kept** until [`release_deletes`](Self::release_deletes) —
     /// the round carrying them is now in flight.
     pub fn drain(&self) -> UpdateBatch {
-        let merged = self.assemble(std::mem::take);
-        self.pending_inserts
-            .fetch_sub(merged.inserts.len() as u64, Ordering::Relaxed);
-        self.pending_deletes
-            .fetch_sub(merged.deletes.len() as u64, Ordering::Relaxed);
+        Self::merge_entries(self.drain_entries())
+    }
+
+    /// Drains the queue keeping per-batch boundaries: `(ticket, batch)`
+    /// pairs in global arrival order. The durable commit path uses this
+    /// to record exactly which tickets a round consumed. Claims for the
+    /// drained deletes are kept, as with [`drain`](Self::drain).
+    pub fn drain_entries(&self) -> Vec<(u64, UpdateBatch)> {
+        let entries = self.collect_entries(std::mem::take);
+        let (mut inserts, mut deletes) = (0u64, 0u64);
+        for (_, batch) in &entries {
+            inserts += batch.inserts.len() as u64;
+            deletes += batch.deletes.len() as u64;
+        }
+        self.pending_inserts.fetch_sub(inserts, Ordering::Relaxed);
+        self.pending_deletes.fetch_sub(deletes, Ordering::Relaxed);
+        entries
+    }
+
+    /// A copy of the queued `(ticket, batch)` entries in global arrival
+    /// order, without draining — the durable checkpoint embeds this
+    /// backlog so a fresh WAL segment can start empty.
+    pub fn entries_snapshot(&self) -> Vec<(u64, UpdateBatch)> {
+        self.collect_entries(|shard| shard.clone())
+    }
+
+    /// Concatenates ticket-ordered entries into one batch.
+    pub fn merge_entries(entries: Vec<(u64, UpdateBatch)>) -> UpdateBatch {
+        let mut merged = UpdateBatch::default();
+        for (_, batch) in entries {
+            merged.inserts.extend(batch.inserts);
+            merged.deletes.extend(batch.deletes);
+        }
         merged
     }
 
@@ -175,21 +317,19 @@ impl StagingArea {
         dropped
     }
 
-    /// Collects every shard through `take` (clone or drain), merges by
-    /// ticket, and returns one concatenated batch.
-    fn assemble(&self, mut take: impl FnMut(&mut Shard) -> Shard) -> UpdateBatch {
+    /// Collects every shard through `take` (clone or drain) and returns
+    /// the entries sorted by ticket — global arrival order.
+    fn collect_entries(
+        &self,
+        mut take: impl FnMut(&mut Shard) -> Shard,
+    ) -> Vec<(u64, UpdateBatch)> {
         let mut entries: Vec<(u64, UpdateBatch)> = Vec::new();
         for shard in &self.shards {
             let mut guard = shard.lock().expect("staging shard poisoned");
             entries.append(&mut take(&mut guard));
         }
         entries.sort_unstable_by_key(|&(ticket, _)| ticket);
-        let mut merged = UpdateBatch::default();
-        for (_, batch) in entries {
-            merged.inserts.extend(batch.inserts);
-            merged.deletes.extend(batch.deletes);
-        }
-        merged
+        entries
     }
 
     /// Releases delete claims (round committed, aborted, or discarded).
@@ -200,17 +340,34 @@ impl StagingArea {
         }
     }
 
+    /// A copy of the current live-tid view (watermark + tombstones) — the
+    /// compact live-set the durable checkpoint format serialises.
+    pub fn live_view(&self) -> LiveTidView {
+        self.live
+            .read()
+            .expect("staging live view poisoned")
+            .clone()
+    }
+
+    /// Replaces the live view wholesale — used when a store is restored
+    /// from a checkpoint.
+    pub(crate) fn live_reset(&self, view: LiveTidView) {
+        *self.live.write().expect("staging live view poisoned") = view;
+    }
+
     /// Adds tids to the live view (the store appended transactions).
     pub(crate) fn live_insert(&self, tids: impl IntoIterator<Item = Tid>) {
         let mut live = self.live.write().expect("staging live view poisoned");
-        live.extend(tids);
+        for tid in tids {
+            live.insert(tid);
+        }
     }
 
     /// Removes tids from the live view (the store staged deletions).
     pub(crate) fn live_remove(&self, tids: impl IntoIterator<Item = Tid>) {
         let mut live = self.live.write().expect("staging live view poisoned");
         for tid in tids {
-            live.remove(&tid);
+            live.remove(tid);
         }
     }
 }
@@ -295,6 +452,69 @@ mod tests {
         assert_eq!(dropped.deletes, vec![Tid(7)]);
         assert!(!area.has_pending());
         area.stage(UpdateBatch::delete_only(vec![Tid(7)])).unwrap();
+    }
+
+    #[test]
+    fn live_view_is_watermark_plus_tombstones() {
+        let area = StagingArea::with_shards(2);
+        area.live_insert((0..5).map(Tid));
+        area.live_remove([Tid(1), Tid(3)]);
+        let view = area.live_view();
+        assert_eq!(view.watermark(), 5);
+        assert_eq!(view.len(), 3);
+        assert!(view.contains(Tid(0)));
+        assert!(!view.contains(Tid(1)));
+        assert!(!view.contains(Tid(7))); // beyond the watermark
+        assert_eq!(view.tombstones_sorted(), vec![Tid(1), Tid(3)]);
+        assert_eq!(view.live_sorted(), vec![Tid(0), Tid(2), Tid(4)]);
+        // An aborted deletion resurrects the tombstoned tid.
+        area.live_insert([Tid(3)]);
+        assert!(area.live_view().contains(Tid(3)));
+        // Reconstructing from parts round-trips.
+        let view = area.live_view();
+        let rebuilt = LiveTidView::from_parts(view.watermark(), view.tombstones_sorted());
+        assert_eq!(rebuilt, view);
+    }
+
+    #[test]
+    fn drain_entries_keeps_ticket_boundaries() {
+        let area = StagingArea::with_shards(3);
+        for i in 0..5u32 {
+            area.stage(UpdateBatch::insert_only(vec![tx(&[i])]))
+                .unwrap();
+        }
+        let copy = area.entries_snapshot();
+        assert_eq!(copy.len(), 5);
+        assert!(area.has_pending(), "snapshot must not drain");
+        let entries = area.drain_entries();
+        assert_eq!(entries.len(), 5);
+        for (i, (ticket, batch)) in entries.iter().enumerate() {
+            assert_eq!(*ticket, i as u64);
+            assert_eq!(batch.inserts[0].items()[0].raw(), i as u32);
+        }
+        assert!(!area.has_pending());
+        assert_eq!(StagingArea::merge_entries(entries).inserts.len(), 5);
+    }
+
+    #[test]
+    fn claim_then_admit_matches_stage() {
+        let area = area_with_live(&[0, 1]);
+        // The decomposed path: claim, ticket, admit.
+        area.claim(&[Tid(0)]).unwrap();
+        // Claim alone already excludes others...
+        assert!(area.stage(UpdateBatch::delete_only(vec![Tid(0)])).is_err());
+        // ...and releasing before admit frees the tid (a failed WAL
+        // append takes this path).
+        area.release_deletes([Tid(0)]);
+        area.claim(&[Tid(0)]).unwrap();
+        let ticket = area.take_ticket();
+        area.admit_with_ticket(ticket, UpdateBatch::delete_only(vec![Tid(0)]));
+        assert_eq!(area.pending_ops(), (0, 1));
+        let entries = area.drain_entries();
+        assert_eq!(
+            entries,
+            vec![(ticket, UpdateBatch::delete_only(vec![Tid(0)]))]
+        );
     }
 
     #[test]

@@ -1,0 +1,555 @@
+//! Injectable durable storage.
+//!
+//! The durability layer (the WAL in [`crate::wal`] and the checkpoints
+//! written by `fup_core::durable`) talks to its backing medium through the
+//! [`DurableStorage`] trait — a deliberately narrow, flat-namespace file
+//! API — so that crash behaviour is *testable*: production code runs on
+//! [`DiskStorage`] (a directory of real files with real `fsync`), while
+//! the fault-injection harness runs the same code on [`MemStorage`] and
+//! kills it at any chosen write, tears the last record, flips bytes, or
+//! fails `fsync` — then recovers from exactly the bytes a real crash
+//! would have left behind.
+//!
+//! ## Crash semantics
+//!
+//! * [`append`](DurableStorage::append) may persist any *prefix* of the
+//!   appended bytes when the process dies mid-write (torn tail). It never
+//!   reorders or drops earlier bytes.
+//! * [`write_atomic`](DurableStorage::write_atomic) is all-or-nothing: a
+//!   crash leaves either the old content (or absence) or the complete new
+//!   content, never a torn file. `DiskStorage` implements this with the
+//!   classic write-temp + `fsync` + `rename` + directory-`fsync` dance.
+//! * [`sync`](DurableStorage::sync) is the durability barrier: appended
+//!   bytes survive a crash only once a later `sync` on the same file
+//!   returned `Ok`.
+//!
+//! Once any operation on a storage handle fails, the caller must treat
+//! the session as crashed; [`MemStorage`] enforces this by failing every
+//! subsequent mutation after an injected fault fires.
+
+use crate::error::{Error, Result};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A flat namespace of durable files: the medium under the WAL and
+/// checkpoints. See the [module docs](self) for crash semantics.
+pub trait DurableStorage: Send + Sync + std::fmt::Debug {
+    /// Appends `bytes` to `file`, creating it if absent. On a crash, any
+    /// prefix of `bytes` may have been persisted.
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<()>;
+
+    /// Durability barrier: everything previously appended to `file`
+    /// survives a crash once this returns `Ok`.
+    fn sync(&self, file: &str) -> Result<()>;
+
+    /// Atomically replaces (or creates) `file` with `content` — a crash
+    /// leaves either the old state or the complete new content.
+    fn write_atomic(&self, file: &str, content: &[u8]) -> Result<()>;
+
+    /// Reads a whole file; `Ok(None)` if it does not exist.
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Lists every file name in the namespace, in unspecified order.
+    fn list(&self) -> Result<Vec<String>>;
+
+    /// Removes `file`; removing a non-existent file is not an error.
+    fn remove(&self, file: &str) -> Result<()>;
+}
+
+fn io_err(op: &'static str, file: &str, e: impl std::fmt::Display) -> Error {
+    Error::Io {
+        op,
+        file: file.to_string(),
+        reason: e.to_string(),
+    }
+}
+
+/// Validates that a name stays inside the flat namespace (no path
+/// separators, no traversal) — the durability layer only ever generates
+/// such names, so a violation is a caller bug.
+fn check_name(op: &'static str, file: &str) -> Result<()> {
+    let bad =
+        file.is_empty() || file == "." || file == ".." || file.contains('/') || file.contains('\\');
+    if bad {
+        return Err(io_err(op, file, "invalid file name for flat storage"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- disk --
+
+/// [`DurableStorage`] over a real directory: one file per name, appends
+/// through a cached handle, `sync_data` as the barrier, and atomic
+/// replace via temp-file + rename (+ directory fsync).
+#[derive(Debug)]
+pub struct DiskStorage {
+    dir: PathBuf,
+    /// Cached append handles, so a WAL append is one `write` syscall.
+    handles: Mutex<HashMap<String, fs::File>>,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) `dir` as a durable namespace.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("open", &dir.to_string_lossy(), e))?;
+        Ok(DiskStorage {
+            dir,
+            handles: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Fsyncs the directory itself so renames/removals are durable.
+    fn sync_dir(&self) -> Result<()> {
+        let d = fs::File::open(&self.dir)
+            .map_err(|e| io_err("sync", &self.dir.to_string_lossy(), e))?;
+        d.sync_all()
+            .map_err(|e| io_err("sync", &self.dir.to_string_lossy(), e))
+    }
+}
+
+impl DurableStorage for DiskStorage {
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<()> {
+        check_name("append", file)?;
+        let mut handles = self.handles.lock().expect("disk handles poisoned");
+        if !handles.contains_key(file) {
+            let h = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(file))
+                .map_err(|e| io_err("append", file, e))?;
+            handles.insert(file.to_string(), h);
+        }
+        let h = handles.get_mut(file).expect("inserted above");
+        h.write_all(bytes).map_err(|e| io_err("append", file, e))
+    }
+
+    fn sync(&self, file: &str) -> Result<()> {
+        check_name("sync", file)?;
+        let handles = self.handles.lock().expect("disk handles poisoned");
+        match handles.get(file) {
+            Some(h) => h.sync_data().map_err(|e| io_err("sync", file, e)),
+            // Nothing appended through us yet — nothing to make durable.
+            None => Ok(()),
+        }
+    }
+
+    fn write_atomic(&self, file: &str, content: &[u8]) -> Result<()> {
+        check_name("write_atomic", file)?;
+        let tmp_name = format!("{file}.tmp");
+        let tmp = self.path(&tmp_name);
+        {
+            let mut h = fs::File::create(&tmp).map_err(|e| io_err("write_atomic", file, e))?;
+            h.write_all(content)
+                .map_err(|e| io_err("write_atomic", file, e))?;
+            h.sync_data().map_err(|e| io_err("write_atomic", file, e))?;
+        }
+        fs::rename(&tmp, self.path(file)).map_err(|e| io_err("write_atomic", file, e))?;
+        // Drop any stale append handle: the inode changed.
+        self.handles
+            .lock()
+            .expect("disk handles poisoned")
+            .remove(file);
+        self.sync_dir()
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>> {
+        check_name("read", file)?;
+        match fs::read(self.path(file)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", file, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir.to_string_lossy(), e))?;
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", &self.dir.to_string_lossy(), e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Some(name) = entry.file_name().to_str() {
+                    // In-flight temp files are not part of the namespace.
+                    if !name.ends_with(".tmp") {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        check_name("remove", file)?;
+        self.handles
+            .lock()
+            .expect("disk handles poisoned")
+            .remove(file);
+        match fs::remove_file(self.path(file)) {
+            Ok(()) => self.sync_dir(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove", file, e)),
+        }
+    }
+}
+
+// -------------------------------------------------- in-memory + faults --
+
+/// A pending fault: fire after `after` more counted operations.
+#[derive(Debug, Clone, Copy)]
+struct FaultPlan {
+    /// Counted (mutating) operations left before the fault fires.
+    after: u64,
+    /// When the faulted operation is an `append`, persist this many bytes
+    /// of it before dying — the torn-tail knob.
+    tear_bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    files: HashMap<String, Vec<u8>>,
+    plan: Option<FaultPlan>,
+    /// Set once a fault fired: the "process" is dead, every further
+    /// mutation fails (recovery clears this via [`MemStorage::revive`]).
+    dead: bool,
+    fail_sync: bool,
+    faults_fired: u64,
+}
+
+/// In-memory [`DurableStorage`] with fault injection: the crash-recovery
+/// harness. Configure a kill point with [`fail_after`](MemStorage::fail_after)
+/// (optionally tearing the fatal append), or make `sync` fail with
+/// [`set_fail_sync`](MemStorage::set_fail_sync); inspect and mutate the
+/// surviving bytes with [`file`](MemStorage::file) /
+/// [`truncate_file`](MemStorage::truncate_file) /
+/// [`flip_byte`](MemStorage::flip_byte), and resurrect the namespace for
+/// recovery with [`revive`](MemStorage::revive).
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    inner: Mutex<MemInner>,
+}
+
+impl MemStorage {
+    /// An empty namespace with no faults planned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A namespace pre-populated with `files` — typically a crash image
+    /// captured from another `MemStorage`.
+    pub fn from_files(files: HashMap<String, Vec<u8>>) -> Self {
+        MemStorage {
+            inner: Mutex::new(MemInner {
+                files,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Plans a kill: after `after` more successful mutating operations
+    /// (`append`, `write_atomic`, `remove`, and `sync`), the next one
+    /// fails. If the fatal operation is an `append`, `tear_bytes` of its
+    /// payload are persisted first (a torn tail). After the fault fires,
+    /// every further mutation fails until [`revive`](Self::revive).
+    pub fn fail_after(&self, after: u64, tear_bytes: usize) {
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        inner.plan = Some(FaultPlan { after, tear_bytes });
+    }
+
+    /// Makes every `sync` fail (without killing the storage) until turned
+    /// off — models an fsync error the kernel reports but the file data
+    /// having been written.
+    pub fn set_fail_sync(&self, fail: bool) {
+        self.inner.lock().expect("mem storage poisoned").fail_sync = fail;
+    }
+
+    /// Clears the dead flag and any pending fault plan: the "restarted
+    /// process" sees exactly the bytes the crash left behind.
+    pub fn revive(&self) {
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        inner.dead = false;
+        inner.plan = None;
+        inner.fail_sync = false;
+    }
+
+    /// Number of injected faults that have fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("mem storage poisoned")
+            .faults_fired
+    }
+
+    /// A copy of one file's bytes, if present.
+    pub fn file(&self, name: &str) -> Option<Vec<u8>> {
+        self.inner
+            .lock()
+            .expect("mem storage poisoned")
+            .files
+            .get(name)
+            .cloned()
+    }
+
+    /// A copy of the whole namespace (a crash image).
+    pub fn files(&self) -> HashMap<String, Vec<u8>> {
+        self.inner
+            .lock()
+            .expect("mem storage poisoned")
+            .files
+            .clone()
+    }
+
+    /// Truncates `name` to `len` bytes (no-op if shorter) — simulates a
+    /// torn tail after the fact.
+    pub fn truncate_file(&self, name: &str, len: usize) {
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        if let Some(bytes) = inner.files.get_mut(name) {
+            bytes.truncate(len);
+        }
+    }
+
+    /// Flips every bit of byte `offset` in `name` — simulates media
+    /// corruption.
+    pub fn flip_byte(&self, name: &str, offset: usize) {
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        if let Some(b) = inner.files.get_mut(name).and_then(|f| f.get_mut(offset)) {
+            *b = !*b;
+        }
+    }
+
+    /// Counts one mutating operation against the fault plan. Returns
+    /// `Err` (and marks the storage dead) when the fault fires; the
+    /// caller decides what partial effect (torn append) to apply first.
+    fn count_op(inner: &mut MemInner, op: &'static str, file: &str) -> Result<Option<usize>> {
+        if inner.dead {
+            return Err(io_err(op, file, "storage killed by injected fault"));
+        }
+        if let Some(plan) = &mut inner.plan {
+            if plan.after == 0 {
+                let tear = plan.tear_bytes;
+                inner.plan = None;
+                inner.dead = true;
+                inner.faults_fired += 1;
+                return Ok(Some(tear));
+            }
+            plan.after -= 1;
+        }
+        Ok(None)
+    }
+}
+
+impl DurableStorage for MemStorage {
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<()> {
+        check_name("append", file)?;
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        match Self::count_op(&mut inner, "append", file)? {
+            Some(tear) => {
+                let keep = tear.min(bytes.len());
+                inner
+                    .files
+                    .entry(file.to_string())
+                    .or_default()
+                    .extend_from_slice(&bytes[..keep]);
+                Err(io_err(
+                    "append",
+                    file,
+                    "killed mid-append by injected fault",
+                ))
+            }
+            None => {
+                inner
+                    .files
+                    .entry(file.to_string())
+                    .or_default()
+                    .extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&self, file: &str) -> Result<()> {
+        check_name("sync", file)?;
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        if inner.fail_sync {
+            return Err(io_err("sync", file, "fsync failure injected"));
+        }
+        if Self::count_op(&mut inner, "sync", file)?.is_some() {
+            return Err(io_err("sync", file, "killed at fsync by injected fault"));
+        }
+        Ok(())
+    }
+
+    fn write_atomic(&self, file: &str, content: &[u8]) -> Result<()> {
+        check_name("write_atomic", file)?;
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        if Self::count_op(&mut inner, "write_atomic", file)?.is_some() {
+            // All-or-nothing: a killed atomic write leaves the old state.
+            return Err(io_err("write_atomic", file, "killed by injected fault"));
+        }
+        inner.files.insert(file.to_string(), content.to_vec());
+        Ok(())
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>> {
+        check_name("read", file)?;
+        Ok(self
+            .inner
+            .lock()
+            .expect("mem storage poisoned")
+            .files
+            .get(file)
+            .cloned())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .lock()
+            .expect("mem storage poisoned")
+            .files
+            .keys()
+            .cloned()
+            .collect())
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        check_name("remove", file)?;
+        let mut inner = self.inner.lock().expect("mem storage poisoned");
+        if Self::count_op(&mut inner, "remove", file)?.is_some() {
+            // Crash before the unlink: the file survives.
+            return Err(io_err("remove", file, "killed by injected fault"));
+        }
+        inner.files.remove(file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_appends_reads_and_lists() {
+        let s = MemStorage::new();
+        s.append("a", b"he").unwrap();
+        s.append("a", b"llo").unwrap();
+        s.sync("a").unwrap();
+        s.write_atomic("b", b"world").unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello");
+        assert_eq!(s.read("b").unwrap().unwrap(), b"world");
+        assert_eq!(s.read("missing").unwrap(), None);
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        s.remove("a").unwrap();
+        assert_eq!(s.read("a").unwrap(), None);
+        s.remove("a").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn mem_fault_kills_and_tears() {
+        let s = MemStorage::new();
+        s.append("wal", b"aaaa").unwrap();
+        // Fault after 1 more op, tearing 2 bytes of the fatal append.
+        s.fail_after(1, 2);
+        s.append("wal", b"bbbb").unwrap();
+        let err = s.append("wal", b"cccc").unwrap_err();
+        assert!(matches!(err, Error::Io { .. }));
+        // The torn prefix survived; everything after the kill fails.
+        assert_eq!(s.file("wal").unwrap(), b"aaaabbbbcc");
+        assert!(s.append("wal", b"d").is_err());
+        assert!(s.sync("wal").is_err());
+        assert!(s.write_atomic("x", b"y").is_err());
+        assert_eq!(s.faults_fired(), 1);
+        // Reads still work (recovery inspects the crash image)...
+        assert_eq!(s.read("wal").unwrap().unwrap(), b"aaaabbbbcc");
+        // ...and revive restores a working namespace with the same bytes.
+        s.revive();
+        s.append("wal", b"d").unwrap();
+        assert_eq!(s.file("wal").unwrap(), b"aaaabbbbccd");
+    }
+
+    #[test]
+    fn mem_atomic_write_is_all_or_nothing_under_fault() {
+        let s = MemStorage::new();
+        s.write_atomic("ckpt", b"old").unwrap();
+        s.fail_after(0, 0);
+        assert!(s.write_atomic("ckpt", b"new-content").is_err());
+        assert_eq!(s.file("ckpt").unwrap(), b"old");
+    }
+
+    #[test]
+    fn mem_fail_sync_leaves_data_but_reports_error() {
+        let s = MemStorage::new();
+        s.set_fail_sync(true);
+        s.append("wal", b"abc").unwrap();
+        assert!(s.sync("wal").is_err());
+        assert_eq!(s.file("wal").unwrap(), b"abc");
+        s.set_fail_sync(false);
+        s.sync("wal").unwrap();
+    }
+
+    #[test]
+    fn mem_corruption_helpers() {
+        let s = MemStorage::new();
+        s.append("f", b"\x00\x01\x02\x03").unwrap();
+        s.flip_byte("f", 1);
+        assert_eq!(s.file("f").unwrap(), vec![0x00, 0xfe, 0x02, 0x03]);
+        s.truncate_file("f", 2);
+        assert_eq!(s.file("f").unwrap(), vec![0x00, 0xfe]);
+        // Out-of-range offsets are ignored.
+        s.flip_byte("f", 99);
+        s.truncate_file("f", 99);
+        assert_eq!(s.file("f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn names_with_separators_are_rejected() {
+        let s = MemStorage::new();
+        assert!(s.append("../evil", b"x").is_err());
+        assert!(s.read("a/b").is_err());
+        assert!(s.remove("..").is_err());
+    }
+
+    #[test]
+    fn disk_storage_round_trips_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "fup-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let s = DiskStorage::open(&dir).unwrap();
+        s.append("wal-0", b"abc").unwrap();
+        s.append("wal-0", b"def").unwrap();
+        s.sync("wal-0").unwrap();
+        s.write_atomic("ckpt-0", b"manifest").unwrap();
+        assert_eq!(s.read("wal-0").unwrap().unwrap(), b"abcdef");
+        assert_eq!(s.read("ckpt-0").unwrap().unwrap(), b"manifest");
+        assert_eq!(s.read("nope").unwrap(), None);
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["ckpt-0", "wal-0"]);
+        // Atomic replace, then append continues on the new inode.
+        s.write_atomic("wal-0", b"reset").unwrap();
+        s.append("wal-0", b"!").unwrap();
+        assert_eq!(s.read("wal-0").unwrap().unwrap(), b"reset!");
+        s.remove("wal-0").unwrap();
+        assert_eq!(s.read("wal-0").unwrap(), None);
+        s.remove("wal-0").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -108,6 +108,58 @@
 //! assert_eq!(maintainer.len(), 6);
 //! ```
 //!
+//! ## Durable serving
+//!
+//! A session built with
+//! [`build_durable`](MaintainerBuilder::build_durable) survives crashes:
+//! every staged batch is written to a CRC-framed write-ahead log before it
+//! becomes visible, every commit is acknowledged with a logged boundary,
+//! and a [`DurabilityPolicy`] drives periodic checkpoints that bound the
+//! log replay. After a kill — at *any* point —
+//! [`recover`](MaintainerBuilder::recover) rebuilds the session to
+//! exactly its last durably-acknowledged commit, re-queues staged-but-
+//! uncommitted batches, and reports what it did. Use [`DiskStorage`]
+//! for a real directory, or [`MemStorage`] (with fault injection) in
+//! tests.
+//!
+//! ```
+//! use fup::core::DurabilityPolicy;
+//! use fup::tidb::MemStorage;
+//! use fup::{Maintainer, MinConfidence, MinSupport, Transaction, UpdateBatch};
+//! use std::sync::Arc;
+//!
+//! let storage = Arc::new(MemStorage::new()); // or DiskStorage::open(dir)
+//! let mut m = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .durability(DurabilityPolicy::default())
+//!     .build_durable(
+//!         vec![
+//!             Transaction::from_items([1u32, 2, 3]),
+//!             Transaction::from_items([1u32, 2]),
+//!         ],
+//!         Arc::clone(&storage) as Arc<dyn fup::tidb::DurableStorage>,
+//!     )
+//!     .unwrap();
+//! m.stage(UpdateBatch::insert_only(vec![
+//!     Transaction::from_items([2u32, 3]),
+//! ]))
+//! .unwrap();
+//! m.commit().unwrap(); // durably acknowledged once this returns
+//!
+//! // Simulate a crash: drop the session, keep only the storage bytes.
+//! let image = Arc::new(MemStorage::from_files(storage.files()));
+//! drop(m);
+//! let (recovered, report) = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .recover(image as Arc<dyn fup::tidb::DurableStorage>)
+//!     .unwrap();
+//! assert_eq!(recovered.version(), 1);
+//! assert_eq!(report.version, 1);
+//! assert_eq!(recovered.len(), 3);
+//! ```
+//!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
@@ -123,12 +175,11 @@ pub use fup_mining as mining;
 pub use fup_tidb as tidb;
 
 // The working vocabulary, flattened.
-#[allow(deprecated)]
-pub use fup_core::RuleMaintainer;
 pub use fup_core::{
-    BuildError, CommitPolicy, Fup, Fup2, FupConfig, FupOutcome, IndexStats, ItemsetDiff,
-    Maintainer, MaintainerBuilder, MaintainerService, MaintenanceReport, RuleDiff, RuleSnapshot,
-    ServiceError, ServiceMetrics, StageHandle, UpdatePolicy, Updater,
+    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, IndexStats,
+    ItemsetDiff, Maintainer, MaintainerBuilder, MaintainerService, MaintenanceReport,
+    RecoveryReport, RuleDiff, RuleSnapshot, ServiceError, ServiceMetrics, StageHandle,
+    UpdatePolicy, Updater,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
@@ -136,8 +187,8 @@ pub use fup_mining::{
     MinConfidence, MinSupport, Miner, Rule, RuleSet, VerticalIndex,
 };
 pub use fup_tidb::{
-    ItemDictionary, ItemId, SegmentedDb, Tid, Transaction, TransactionDb, TransactionSource,
-    UpdateBatch,
+    DiskStorage, DurableStorage, ItemDictionary, ItemId, MemStorage, SegmentedDb, Tid, Transaction,
+    TransactionDb, TransactionSource, UpdateBatch,
 };
 
 #[cfg(test)]

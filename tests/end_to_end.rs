@@ -360,41 +360,63 @@ fn service_with_eight_producers_matches_serial_staging() {
     maintainer.verify_consistency().unwrap();
 }
 
-// The deprecated RuleMaintainer is a thin wrapper over the session — same
-// results, same reports. (The shim is exercised deliberately; hence the
-// explicit allow.)
+// A durable session killed mid-stream recovers to exactly its last
+// acknowledged commit, with un-committed staged batches re-queued — the
+// crash-restart path, end to end through the facade on generated data.
 #[test]
-#[allow(deprecated)]
-fn legacy_shim_still_works_and_matches_the_session_api() {
-    use fup::RuleMaintainer;
-    let (history, increments) = generate_multi_split(&workload_params(), &[300, 300]);
+fn durable_session_survives_a_crash_on_generated_data() {
+    use fup::tidb::{DurableStorage, MemStorage};
+    use std::sync::Arc;
+
+    let (history, increments) = generate_multi_split(&workload_params(), &[300, 300, 300]);
+    let storage = Arc::new(MemStorage::new());
     let history = history.into_transactions();
-    let mut legacy = RuleMaintainer::bootstrap(
-        history.clone(),
-        MinSupport::percent(1),
-        MinConfidence::percent(60),
-    );
-    let mut session = Maintainer::builder()
+    let mut reference = Maintainer::builder()
         .min_support(MinSupport::percent(1))
         .min_confidence(MinConfidence::percent(60))
-        .build(history)
+        .build(history.clone())
         .unwrap();
-    for inc in increments {
-        let batch = UpdateBatch::insert_only(inc.into_transactions());
-        let a = legacy.apply_update(batch.clone()).unwrap();
-        let b = session.apply(batch).unwrap();
-        assert_eq!(a.algorithm, b.algorithm);
-        assert_eq!(a.num_transactions, b.num_transactions);
-        assert_eq!(a.inserted_tids, b.inserted_tids);
-        assert_eq!(a.itemsets, b.itemsets);
-        assert_eq!(a.rules.added, b.rules.added);
-        assert_eq!(a.rules.removed, b.rules.removed);
+    let mut durable = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .build_durable(history, Arc::clone(&storage) as Arc<dyn DurableStorage>)
+        .unwrap();
+
+    let mut increments = increments.into_iter();
+    for _ in 0..2 {
+        let batch = UpdateBatch::insert_only(increments.next().unwrap().into_transactions());
+        reference.apply(batch.clone()).unwrap();
+        durable.apply(batch).unwrap();
     }
-    assert!(legacy
+    // A third increment is staged but never committed before the "crash".
+    let tail = UpdateBatch::insert_only(increments.next().unwrap().into_transactions());
+    durable.stage(tail.clone()).unwrap();
+    let crash_image = Arc::new(MemStorage::from_files(storage.files()));
+    drop(durable);
+
+    let (mut recovered, report) = Maintainer::builder()
+        .min_support(MinSupport::percent(1))
+        .min_confidence(MinConfidence::percent(60))
+        .recover(crash_image as Arc<dyn DurableStorage>)
+        .unwrap();
+    assert_eq!(report.replayed_rounds + report.restaged_batches, 3);
+    assert_eq!(recovered.version(), reference.version());
+    assert!(recovered
         .large_itemsets()
-        .same_itemsets(session.large_itemsets()));
-    assert_eq!(legacy.rules(), session.rules());
-    legacy.verify_consistency().unwrap();
+        .same_itemsets(reference.large_itemsets()));
+    assert_eq!(recovered.rules(), reference.rules());
+
+    // The re-queued batch commits on the recovered session exactly as it
+    // would have on the original.
+    let a = recovered.commit().unwrap();
+    let b = reference.apply(tail).unwrap();
+    assert_eq!(a.algorithm, b.algorithm);
+    assert_eq!(a.num_transactions, b.num_transactions);
+    assert_eq!(a.itemsets, b.itemsets);
+    assert!(recovered
+        .large_itemsets()
+        .same_itemsets(reference.large_itemsets()));
+    recovered.verify_consistency().unwrap();
 }
 
 #[test]
