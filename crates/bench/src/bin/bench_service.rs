@@ -26,6 +26,21 @@
 //! bit-identity asserted before the pair is reported as the
 //! `durability` object in the JSON.
 //!
+//! `--open-loop` adds the bounded-latency pipeline scenario: one
+//! arrival thread offers batches on a fixed schedule — a steady phase at
+//! `--arrival-tps`, a burst phase at `--burst-factor` times that rate,
+//! and a steady tail — against a service configured with
+//! `--staging-cap` (backpressure) and `--round-ops` (chunked rounds).
+//! Arrivals never slow down for the service: a full gate falls back from
+//! `try_stage` to a 100 ms `stage_deadline`, and batches that still time
+//! out are *shed* and counted. The run reports p50/p99 per-round commit
+//! latency (from [`MaintainerService::round_latencies`]), the backlog
+//! high-water mark, and the worst snapshot staleness in rounds; the
+//! final state is certified bit-identical to a serial session staging
+//! exactly the accepted batches. `--max-p99-commit-ms` and
+//! `--max-staleness-rounds` exit non-zero when the observed tail latency
+//! or staleness exceeds the bound — the CI gate for the overload path.
+//!
 //! On a single-CPU container the multi-producer rows measure lock-stripe
 //! overhead only (producers time-slice one core); the committed JSON
 //! notes the caveat, and the CI artifact from the 4-vCPU runners is the
@@ -36,6 +51,9 @@
 //!               [--batch-size S] [--producers P1,P2,..]
 //!               [--pending-trigger OPS] [--minsup-bp B] [--seed S]
 //!               [--min-concurrent-throughput TPS]
+//!               [--open-loop] [--arrival-tps TPS] [--burst-factor F]
+//!               [--round-ops OPS] [--staging-cap OPS]
+//!               [--max-p99-commit-ms MS] [--max-staleness-rounds N]
 //! ```
 
 use fup_core::service::{CommitPolicy, MaintainerService};
@@ -59,6 +77,22 @@ struct Options {
     /// Exit non-zero unless the highest producer-count row reaches this
     /// many staged-and-committed transactions per second (0 disables).
     min_concurrent_throughput: f64,
+    /// Run the open-loop overload scenario.
+    open_loop: bool,
+    /// Steady-phase offered load, transactions per second.
+    arrival_tps: f64,
+    /// Burst-phase multiplier over the steady rate.
+    burst_factor: f64,
+    /// `CommitPolicy::ops_per_round` for the open-loop service.
+    round_ops: u64,
+    /// `CommitPolicy::staging_capacity` for the open-loop service.
+    staging_cap: u64,
+    /// Exit non-zero if open-loop p99 commit latency exceeds this many
+    /// milliseconds (0 disables).
+    max_p99_commit_ms: f64,
+    /// Exit non-zero if the open-loop snapshot ever falls more than this
+    /// many rounds behind (0 disables).
+    max_staleness_rounds: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -72,6 +106,13 @@ fn parse_args() -> Result<Options, String> {
         minsup_bp: 100,
         seed: 1996,
         min_concurrent_throughput: 0.0,
+        open_loop: false,
+        arrival_tps: 40_000.0,
+        burst_factor: 10.0,
+        round_ops: 2_000,
+        staging_cap: 8_000,
+        max_p99_commit_ms: 0.0,
+        max_staleness_rounds: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -122,6 +163,37 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--min-concurrent-throughput: {e}"))?
             }
+            "--open-loop" => opts.open_loop = true,
+            "--arrival-tps" => {
+                opts.arrival_tps = value("--arrival-tps")?
+                    .parse()
+                    .map_err(|e| format!("--arrival-tps: {e}"))?
+            }
+            "--burst-factor" => {
+                opts.burst_factor = value("--burst-factor")?
+                    .parse()
+                    .map_err(|e| format!("--burst-factor: {e}"))?
+            }
+            "--round-ops" => {
+                opts.round_ops = value("--round-ops")?
+                    .parse()
+                    .map_err(|e| format!("--round-ops: {e}"))?
+            }
+            "--staging-cap" => {
+                opts.staging_cap = value("--staging-cap")?
+                    .parse()
+                    .map_err(|e| format!("--staging-cap: {e}"))?
+            }
+            "--max-p99-commit-ms" => {
+                opts.max_p99_commit_ms = value("--max-p99-commit-ms")?
+                    .parse()
+                    .map_err(|e| format!("--max-p99-commit-ms: {e}"))?
+            }
+            "--max-staleness-rounds" => {
+                opts.max_staleness_rounds = value("--max-staleness-rounds")?
+                    .parse()
+                    .map_err(|e| format!("--max-staleness-rounds: {e}"))?
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -133,6 +205,17 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.pending_trigger == 0 {
         return Err("--pending-trigger must be at least 1".into());
+    }
+    if opts.open_loop {
+        if opts.arrival_tps <= 0.0 || opts.burst_factor <= 0.0 {
+            return Err("--arrival-tps and --burst-factor must be positive".into());
+        }
+        if opts.round_ops == 0 || opts.staging_cap == 0 {
+            return Err("--round-ops and --staging-cap must be at least 1".into());
+        }
+        if opts.staging_cap < opts.batch_size {
+            return Err("--staging-cap must admit at least one batch (>= --batch-size)".into());
+        }
     }
     Ok(opts)
 }
@@ -154,6 +237,171 @@ fn bootstrap(history: Vec<Transaction>, minsup: MinSupport) -> Maintainer {
         .min_confidence(MinConfidence::percent(60))
         .build(history)
         .expect("valid session configuration")
+}
+
+struct OpenLoopResult {
+    offered_batches: u64,
+    accepted_batches: u64,
+    shed_batches: u64,
+    rounds: u64,
+    p50_commit_ms: f64,
+    p99_commit_ms: f64,
+    max_round_ops: u64,
+    max_backlog_ops: u64,
+    max_staleness_rounds: u64,
+}
+
+/// `p` in [0, 1] over an ascending-sorted series (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The open-loop overload scenario: a fixed arrival schedule (steady /
+/// burst / steady) offered against a capacity-gated, round-capped
+/// service. Arrivals never slow down for the pipeline; what the 100 ms
+/// grace deadline cannot admit is shed and counted. Certifies the final
+/// state bit-identical to a serial session staging exactly the accepted
+/// batches before reporting.
+fn run_open_loop(
+    opts: &Options,
+    history: &[Transaction],
+    batches: &[Vec<Transaction>],
+    minsup: MinSupport,
+) -> OpenLoopResult {
+    let policy = CommitPolicy::manual()
+        .every_ops(opts.round_ops)
+        .ops_per_round(opts.round_ops)
+        .staging_capacity(opts.staging_cap)
+        .with_poll_interval(Duration::from_millis(1));
+    let service = MaintainerService::launch(bootstrap(history.to_vec(), minsup), policy)
+        .expect("valid policy");
+    let phase = opts.batches / 3;
+    let steady_gap = opts.batch_size as f64 / opts.arrival_tps;
+    let burst_gap = steady_gap / opts.burst_factor;
+    eprintln!(
+        "open-loop: {} batches (steady {:.0} tps / burst x{:.0} / steady), \
+         round cap {} ops, staging cap {} ops...",
+        opts.batches, opts.arrival_tps, opts.burst_factor, opts.round_ops, opts.staging_cap
+    );
+    let mut accepted: Vec<usize> = Vec::new();
+    let mut shed = 0u64;
+    let mut max_staleness = 0u64;
+    let mut next_arrival = Instant::now();
+    for (i, batch) in batches.iter().enumerate() {
+        // The open loop: the schedule is fixed in advance and does not
+        // slow down when the pipeline pushes back.
+        let gap = if (phase..2 * phase).contains(&i) {
+            burst_gap
+        } else {
+            steady_gap
+        };
+        let now = Instant::now();
+        if now < next_arrival {
+            std::thread::sleep(next_arrival - now);
+        }
+        next_arrival += Duration::from_secs_f64(gap);
+        let admitted = match service.try_stage(UpdateBatch::insert_only(batch.clone())) {
+            Ok(()) => true,
+            Err(fup_core::ServiceError::WouldBlock { .. }) => {
+                // Grace: a bounded wait for a round to free space, then
+                // shed the batch rather than stall the arrival clock.
+                match service.stage_deadline(
+                    UpdateBatch::insert_only(batch.clone()),
+                    Instant::now() + Duration::from_millis(100),
+                ) {
+                    Ok(()) => true,
+                    Err(fup_core::ServiceError::StageTimeout { .. }) => false,
+                    Err(e) => panic!("open-loop stage_deadline: {e}"),
+                }
+            }
+            Err(e) => panic!("open-loop try_stage: {e}"),
+        };
+        if admitted {
+            accepted.push(i);
+        } else {
+            shed += 1;
+        }
+        max_staleness = max_staleness.max(service.metrics().snapshot_staleness_rounds);
+    }
+    service.flush().expect("open-loop flush");
+    let mut latencies = service.round_latencies();
+    latencies.sort_unstable();
+    let (maintainer, metrics) = service.shutdown();
+
+    // The acceptance invariants of the bounded pipeline: staging memory
+    // stays under the gate, and no incremental round exceeds the cap
+    // (batches are atomic, so a single batch is the floor).
+    assert!(
+        metrics.max_backlog_ops <= opts.staging_cap,
+        "backlog {} exceeded the {}-op staging capacity",
+        metrics.max_backlog_ops,
+        opts.staging_cap
+    );
+    assert!(
+        metrics.max_round_ops <= opts.round_ops.max(opts.batch_size),
+        "round of {} ops exceeded the {}-op cap",
+        metrics.max_round_ops,
+        opts.round_ops
+    );
+    assert_eq!(metrics.dropped_rounds, 0, "no round may fail");
+    assert_eq!(accepted.len() as u64 + shed, opts.batches as u64);
+
+    // Bit-identity over exactly the accepted batches.
+    let mut reference = bootstrap(history.to_vec(), minsup);
+    for &i in &accepted {
+        reference
+            .stage(UpdateBatch::insert_only(batches[i].clone()))
+            .expect("valid batch");
+    }
+    reference.commit().expect("reference commit");
+    assert!(
+        maintainer
+            .large_itemsets()
+            .same_itemsets(reference.large_itemsets()),
+        "open-loop run diverged from serial staging of the accepted batches: {:?}",
+        maintainer.large_itemsets().diff(reference.large_itemsets())
+    );
+    for (itemset, support) in reference.large_itemsets().iter() {
+        assert_eq!(
+            maintainer.large_itemsets().support(itemset),
+            Some(support),
+            "open-loop: support of {itemset:?} diverged"
+        );
+    }
+    assert_eq!(
+        maintainer.rules(),
+        reference.rules(),
+        "open-loop: rule sets diverged"
+    );
+
+    let result = OpenLoopResult {
+        offered_batches: opts.batches as u64,
+        accepted_batches: accepted.len() as u64,
+        shed_batches: shed,
+        rounds: metrics.committed_rounds,
+        p50_commit_ms: percentile(&latencies, 0.50) as f64 / 1e3,
+        p99_commit_ms: percentile(&latencies, 0.99) as f64 / 1e3,
+        max_round_ops: metrics.max_round_ops,
+        max_backlog_ops: metrics.max_backlog_ops,
+        max_staleness_rounds: max_staleness.max(metrics.max_backlog_ops.div_ceil(opts.round_ops)),
+    };
+    eprintln!(
+        "open-loop: {}/{} batches accepted ({} shed), {} rounds, \
+         commit p50 {:.2} ms / p99 {:.2} ms, backlog peak {} ops, staleness <= {} rounds",
+        result.accepted_batches,
+        result.offered_batches,
+        result.shed_batches,
+        result.rounds,
+        result.p50_commit_ms,
+        result.p99_commit_ms,
+        result.max_backlog_ops,
+        result.max_staleness_rounds,
+    );
+    result
 }
 
 fn main() {
@@ -338,6 +586,10 @@ fn main() {
         (off_tps, on_tps, wal_bytes)
     };
 
+    let open_loop = opts
+        .open_loop
+        .then(|| run_open_loop(&opts, &history, &batches, minsup));
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -380,15 +632,42 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+    let durability_sep = if open_loop.is_some() { "," } else { "" };
     let _ = writeln!(
         json,
         "  \"durability\": {{ \"wal_off_tps\": {:.0}, \"wal_on_tps\": {:.0}, \
-         \"overhead_factor\": {:.3}, \"durable_bytes\": {} }}",
+         \"overhead_factor\": {:.3}, \"durable_bytes\": {} }}{durability_sep}",
         wal_pair.0,
         wal_pair.1,
         wal_pair.0 / wal_pair.1.max(1e-9),
         wal_pair.2,
     );
+    if let Some(ol) = &open_loop {
+        let _ = writeln!(
+            json,
+            concat!(
+                "  \"open_loop\": {{ \"arrival_tps\": {:.0}, \"burst_factor\": {:.1}, ",
+                "\"round_ops\": {}, \"staging_cap\": {}, \"offered_batches\": {}, ",
+                "\"accepted_batches\": {}, \"shed_batches\": {}, \"rounds\": {}, ",
+                "\"p50_commit_ms\": {:.3}, \"p99_commit_ms\": {:.3}, ",
+                "\"max_round_ops\": {}, \"max_backlog_ops\": {}, ",
+                "\"max_staleness_rounds\": {} }}"
+            ),
+            opts.arrival_tps,
+            opts.burst_factor,
+            opts.round_ops,
+            opts.staging_cap,
+            ol.offered_batches,
+            ol.accepted_batches,
+            ol.shed_batches,
+            ol.rounds,
+            ol.p50_commit_ms,
+            ol.p99_commit_ms,
+            ol.max_round_ops,
+            ol.max_backlog_ops,
+            ol.max_staleness_rounds,
+        );
+    }
     json.push('}');
     json.push('\n');
     if let Err(e) = std::fs::write(&opts.out, &json) {
@@ -413,5 +692,34 @@ fn main() {
             "bench_service: gate ok ({:.0} txn/s >= {:.0} txn/s at {} producers)",
             gated.throughput_tps, opts.min_concurrent_throughput, gated.producers
         );
+    }
+
+    if let Some(ol) = &open_loop {
+        if opts.max_p99_commit_ms > 0.0 {
+            if ol.p99_commit_ms > opts.max_p99_commit_ms {
+                eprintln!(
+                    "bench_service: open-loop p99 commit latency {:.2} ms > allowed {:.2} ms",
+                    ol.p99_commit_ms, opts.max_p99_commit_ms
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "bench_service: p99 gate ok ({:.2} ms <= {:.2} ms over {} rounds)",
+                ol.p99_commit_ms, opts.max_p99_commit_ms, ol.rounds
+            );
+        }
+        if opts.max_staleness_rounds > 0 {
+            if ol.max_staleness_rounds > opts.max_staleness_rounds {
+                eprintln!(
+                    "bench_service: open-loop staleness {} rounds > allowed {} rounds",
+                    ol.max_staleness_rounds, opts.max_staleness_rounds
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "bench_service: staleness gate ok ({} <= {} rounds)",
+                ol.max_staleness_rounds, opts.max_staleness_rounds
+            );
+        }
     }
 }

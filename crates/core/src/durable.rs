@@ -53,11 +53,26 @@ pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FUPCKPT1";
 /// How a durable session trades write latency for recovery work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DurabilityPolicy {
-    /// Issue a storage `sync` barrier after every WAL append (default
-    /// `true`). With `false`, a crash may lose the latest records the
-    /// medium had not flushed — recovery still works, from an earlier
-    /// prefix.
+    /// Issue storage `sync` barriers for WAL appends (default `true`).
+    /// With `false`, a crash may lose the latest records the medium had
+    /// not flushed — recovery still works, from an earlier prefix.
     pub fsync: bool,
+    /// **Group commit**: sync after this many appended `Stage` records
+    /// instead of after every one (default 1 = per-append fsync). With
+    /// `n > 1` the fsync moves off the producer's critical path: up to
+    /// `n - 1` staged-but-unacknowledged-durable records may be lost by
+    /// a power-loss crash (they were never part of a committed round —
+    /// `Commit`/`Abort` boundaries *always* sync before returning, so
+    /// acknowledged commits keep the per-append guarantee). Must be ≥ 1.
+    /// Ignored when `fsync` is `false`.
+    pub flush_every_ops: u64,
+    /// Group-commit age bound: if the oldest unflushed `Stage` record
+    /// has waited at least this long when the next append arrives, sync
+    /// then even if the `flush_every_ops` quota is not yet met (default
+    /// 2 ms). Checked at append time (and satisfied by every round
+    /// boundary, which always syncs) — there is no background flusher
+    /// thread.
+    pub flush_interval: std::time::Duration,
     /// Write a checkpoint (and rotate the WAL) every this many committed
     /// rounds (default 8). Must be ≥ 1.
     pub checkpoint_every_rounds: u64,
@@ -71,6 +86,8 @@ impl Default for DurabilityPolicy {
     fn default() -> Self {
         DurabilityPolicy {
             fsync: true,
+            flush_every_ops: 1,
+            flush_interval: std::time::Duration::from_millis(2),
             checkpoint_every_rounds: 8,
             retain_checkpoints: 2,
         }
@@ -78,6 +95,16 @@ impl Default for DurabilityPolicy {
 }
 
 impl DurabilityPolicy {
+    /// The default policy with group commit: stage-record fsyncs batched
+    /// `ops` records at a time, bounded by `interval` of waiting.
+    pub fn group_commit(ops: u64, interval: std::time::Duration) -> Self {
+        DurabilityPolicy {
+            flush_every_ops: ops,
+            flush_interval: interval,
+            ..Default::default()
+        }
+    }
+
     /// Rejects degenerate configurations.
     pub fn validate(&self) -> std::result::Result<(), BuildError> {
         if self.checkpoint_every_rounds == 0 {
@@ -85,6 +112,9 @@ impl DurabilityPolicy {
         }
         if self.retain_checkpoints == 0 {
             return Err(BuildError::ZeroRetainedCheckpoints);
+        }
+        if self.flush_every_ops == 0 {
+            return Err(BuildError::ZeroFlushOps);
         }
         Ok(())
     }
@@ -417,6 +447,11 @@ struct LogInner {
     seq: u64,
     /// Committed rounds since the last checkpoint.
     rounds_since_ckpt: u64,
+    /// `Stage` records appended since the last sync barrier (group
+    /// commit accounting; always 0 when `flush_every_ops` is 1).
+    unflushed: u64,
+    /// When the oldest unflushed record was appended.
+    oldest_unflushed: Option<std::time::Instant>,
 }
 
 /// The session's handle on its durable storage: appends WAL records (in
@@ -450,6 +485,8 @@ impl DurableLog {
             inner: Mutex::new(LogInner {
                 seq,
                 rounds_since_ckpt: 0,
+                unflushed: 0,
+                oldest_unflushed: None,
             }),
         }
     }
@@ -473,32 +510,67 @@ impl DurableLog {
         Ok(())
     }
 
-    /// Appends `bytes` to the active WAL segment and (per policy) issues
-    /// the sync barrier. Caller holds the inner lock.
-    fn append_locked(&self, inner: &LogInner, bytes: &[u8]) -> fup_tidb::Result<()> {
+    /// Appends `bytes` to the active WAL segment and issues the sync
+    /// barrier per policy. Caller holds the inner lock. `barrier` forces
+    /// the sync regardless of group-commit accounting — round boundaries
+    /// must be durable before they are acknowledged.
+    fn append_locked(
+        &self,
+        inner: &mut LogInner,
+        bytes: &[u8],
+        barrier: bool,
+    ) -> fup_tidb::Result<()> {
         let file = wal_name(inner.seq);
         self.storage.append(&file, bytes)?;
-        if self.policy.fsync {
+        if !self.policy.fsync {
+            return Ok(());
+        }
+        inner.unflushed += 1;
+        let oldest = *inner
+            .oldest_unflushed
+            .get_or_insert_with(std::time::Instant::now);
+        let due = barrier
+            || inner.unflushed >= self.policy.flush_every_ops
+            || oldest.elapsed() >= self.policy.flush_interval;
+        if due {
             self.storage.sync(&file)?;
+            inner.unflushed = 0;
+            inner.oldest_unflushed = None;
         }
         Ok(())
     }
 
-    /// The durable stage path: claim the deletes, draw a ticket, make the
-    /// record durable, and only then admit the batch. A storage failure
-    /// releases the claims (the batch was never visible) and poisons the
-    /// log — the ticket-number gap it leaves is harmless, commits name
-    /// their tickets explicitly.
-    pub(crate) fn log_stage(&self, staging: &StagingArea, batch: UpdateBatch) -> Result<u64> {
+    /// The durable stage path: reserve staging capacity, claim the
+    /// deletes, draw a ticket, make the record durable, and only then
+    /// admit the batch. A storage failure releases the claims and the
+    /// capacity (the batch was never visible) and poisons the log — the
+    /// ticket-number gap it leaves is harmless, commits name their
+    /// tickets explicitly.
+    ///
+    /// With group commit ([`DurabilityPolicy::flush_every_ops`] > 1) the
+    /// append returns before the record is fsynced; a power-loss crash
+    /// may drop it, in which case recovery simply never re-stages it —
+    /// the same contract as `fsync: false`, but bounded to the group.
+    pub(crate) fn log_stage(
+        &self,
+        staging: &StagingArea,
+        batch: UpdateBatch,
+        admission: fup_tidb::Admission,
+    ) -> Result<u64> {
         self.check_poisoned()?;
-        staging.claim(&batch.deletes).map_err(Error::Store)?;
-        let inner = self.inner.lock().expect("durable log poisoned");
+        let ops = batch.num_ops();
+        staging.reserve(ops, admission).map_err(Error::Store)?;
+        if let Err(e) = staging.claim(&batch.deletes) {
+            staging.release_capacity(ops);
+            return Err(Error::Store(e));
+        }
+        let mut inner = self.inner.lock().expect("durable log poisoned");
         let ticket = staging.take_ticket();
         let record = WalRecord::Stage {
             ticket,
             batch: batch.clone(),
         };
-        match self.append_locked(&inner, &record.to_framed_bytes()) {
+        match self.append_locked(&mut inner, &record.to_framed_bytes(), false) {
             Ok(()) => {
                 drop(inner);
                 staging.admit_with_ticket(ticket, batch);
@@ -507,17 +579,20 @@ impl DurableLog {
             Err(e) => {
                 drop(inner);
                 staging.release_deletes(batch.deletes.iter().copied());
+                staging.release_capacity(ops);
                 self.poison();
                 Err(Error::Store(e))
             }
         }
     }
 
-    /// Appends a `Commit`/`Abort` boundary record. Poisons on failure.
+    /// Appends a `Commit`/`Abort` boundary record — always a sync
+    /// barrier (group commit never delays a boundary: an acknowledged
+    /// commit must survive any crash). Poisons on failure.
     pub(crate) fn log_boundary(&self, record: &WalRecord) -> Result<()> {
         self.check_poisoned()?;
-        let inner = self.inner.lock().expect("durable log poisoned");
-        match self.append_locked(&inner, &record.to_framed_bytes()) {
+        let mut inner = self.inner.lock().expect("durable log poisoned");
+        match self.append_locked(&mut inner, &record.to_framed_bytes(), true) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.poison();
@@ -561,6 +636,10 @@ impl DurableLog {
         }
         inner.seq = seq;
         inner.rounds_since_ckpt = 0;
+        // The old segment's unflushed records are superseded: the
+        // checkpoint embeds the backlog and the fresh segment is synced.
+        inner.unflushed = 0;
+        inner.oldest_unflushed = None;
         // Retention: best-effort removal of superseded pairs. A failure
         // here loses nothing (old files are only ever extra), but the
         // storage may be mid-crash, so poison to stay conservative.
@@ -690,7 +769,7 @@ pub(crate) fn load_latest(storage: &dyn DurableStorage) -> Result<RecoveredLog> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fup_tidb::MemStorage;
+    use fup_tidb::{Admission, MemStorage};
 
     fn tx(items: &[u32]) -> Transaction {
         Transaction::from_items(items.iter().copied())
@@ -884,6 +963,106 @@ mod tests {
             bad.validate().unwrap_err(),
             BuildError::ZeroRetainedCheckpoints
         );
+        let bad = DurabilityPolicy {
+            flush_every_ops: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err(), BuildError::ZeroFlushOps);
+        DurabilityPolicy::group_commit(8, std::time::Duration::from_millis(5))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_stage_fsyncs() {
+        // A generous interval isolates the ops quota: 4 staged records
+        // per sync barrier, so three appends buffer and the fourth pays
+        // for all of them.
+        let mem = Arc::new(MemStorage::new());
+        let storage: Arc<dyn DurableStorage> = mem.clone();
+        let log = DurableLog::new(
+            storage,
+            DurabilityPolicy::group_commit(4, std::time::Duration::from_secs(3600)),
+            0,
+        );
+        let staging = StagingArea::default();
+        for i in 0..3u32 {
+            log.log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[i + 1])]),
+                Admission::Try,
+            )
+            .unwrap();
+        }
+        assert_eq!(mem.sync_calls(), 0, "under quota: no barrier yet");
+        log.log_stage(
+            &staging,
+            UpdateBatch::insert_only(vec![tx(&[9])]),
+            Admission::Try,
+        )
+        .unwrap();
+        assert_eq!(mem.sync_calls(), 1, "fourth record triggers the barrier");
+        // The synced image holds all four records, not just the last.
+        let image = mem.synced_files();
+        let records = wal::read_records(&image[&wal_name(0)]).records;
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn group_commit_interval_bound_forces_the_sync() {
+        // A zero age bound makes every append overdue regardless of the
+        // huge ops quota — the interval knob alone bounds the window.
+        let mem = Arc::new(MemStorage::new());
+        let storage: Arc<dyn DurableStorage> = mem.clone();
+        let log = DurableLog::new(
+            storage,
+            DurabilityPolicy::group_commit(1_000_000, std::time::Duration::ZERO),
+            0,
+        );
+        let staging = StagingArea::default();
+        log.log_stage(
+            &staging,
+            UpdateBatch::insert_only(vec![tx(&[1])]),
+            Admission::Try,
+        )
+        .unwrap();
+        assert_eq!(mem.sync_calls(), 1);
+    }
+
+    #[test]
+    fn boundaries_always_sync_under_group_commit() {
+        // One staged record sits inside an open group; the Commit
+        // boundary must flush it and itself — an acknowledged round
+        // keeps the per-append durability guarantee.
+        let mem = Arc::new(MemStorage::new());
+        let storage: Arc<dyn DurableStorage> = mem.clone();
+        let log = DurableLog::new(
+            storage,
+            DurabilityPolicy::group_commit(64, std::time::Duration::from_secs(3600)),
+            0,
+        );
+        let staging = StagingArea::default();
+        let ticket = log
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[1])]),
+                Admission::Try,
+            )
+            .unwrap();
+        assert_eq!(mem.sync_calls(), 0, "the stage record waits in the group");
+        log.log_boundary(&WalRecord::Commit {
+            version: 1,
+            tickets: vec![ticket],
+        })
+        .unwrap();
+        assert_eq!(
+            mem.sync_calls(),
+            1,
+            "the boundary is an unconditional barrier"
+        );
+        let image = mem.synced_files();
+        let records = wal::read_records(&image[&wal_name(0)]).records;
+        assert_eq!(records.len(), 2, "the barrier flushed the whole group");
     }
 
     #[test]
@@ -927,7 +1106,11 @@ mod tests {
         let staging = StagingArea::default();
         // First stage: append succeeds, sync is killed.
         let err = log
-            .log_stage(&staging, UpdateBatch::insert_only(vec![tx(&[1])]))
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[1])]),
+                Admission::Try,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Store(fup_tidb::Error::Io { .. })));
         assert!(log.is_poisoned());
@@ -935,7 +1118,11 @@ mod tests {
         // Everything afterwards fails fast, even once storage recovers.
         mem.revive();
         let err = log
-            .log_stage(&staging, UpdateBatch::insert_only(vec![tx(&[2])]))
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[2])]),
+                Admission::Try,
+            )
             .unwrap_err();
         assert!(matches!(err, Error::Recovery { .. }));
         assert!(matches!(

@@ -43,6 +43,9 @@ pub enum BuildError {
     /// A [`DurabilityPolicy`](crate::DurabilityPolicy) asked to retain
     /// zero checkpoints, leaving recovery nothing to start from.
     ZeroRetainedCheckpoints,
+    /// A [`DurabilityPolicy`](crate::DurabilityPolicy) asked to group
+    /// WAL fsyncs in batches of zero records, which would never sync.
+    ZeroFlushOps,
 }
 
 impl fmt::Display for BuildError {
@@ -78,6 +81,10 @@ impl fmt::Display for BuildError {
             BuildError::ZeroRetainedCheckpoints => write!(
                 f,
                 "retaining zero checkpoints would leave recovery nothing to start from"
+            ),
+            BuildError::ZeroFlushOps => write!(
+                f,
+                "a group-commit batch of zero records would never issue a sync barrier"
             ),
         }
     }

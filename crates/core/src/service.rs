@@ -15,17 +15,45 @@
 //!   [`Maintainer`]. Driven by a validating [`CommitPolicy`] — a pending
 //!   ops trigger, an increment-ratio trigger mirroring FUP2's re-mine
 //!   economics, and explicit [`flush`](MaintainerService::flush) — it
-//!   drains all shards in global arrival order and applies them as
-//!   **one** deterministic FUP/FUP2 round.
+//!   drains shards in global arrival order and applies them as
+//!   deterministic FUP/FUP2 rounds.
 //! * **Readers** call [`snapshot`](MaintainerService::snapshot), served
 //!   from an epoch-pinned snapshot cell: a read is a couple of atomic
 //!   operations and an `Arc` clone, never a lock — commits swap the cell
 //!   only after the round completes, so queries stay wait-free while a
 //!   round is scanning.
 //!
-//! The service reports its own counters ([`ServiceMetrics`]): batches
-//! staged/committed/dropped, commit latency, and the persistent index's
-//! build/extend totals.
+//! ## Overload behaviour: the bounded-latency pipeline
+//!
+//! Left alone, an open-loop producer fleet can outrun the committer:
+//! the staged backlog grows without bound, and the one round that
+//! finally drains it runs for as long as the backlog is deep. Two
+//! policy knobs bound both ends:
+//!
+//! * [`CommitPolicy::staging_capacity`] caps staged ops. Producers then
+//!   choose their backpressure: [`stage`](MaintainerService::stage)
+//!   blocks until a round frees space,
+//!   [`try_stage`](MaintainerService::try_stage) fails immediately with
+//!   [`ServiceError::WouldBlock`], and
+//!   [`stage_deadline`](MaintainerService::stage_deadline) waits only
+//!   until a deadline ([`ServiceError::StageTimeout`]).
+//! * [`CommitPolicy::ops_per_round`] chunks an oversized backlog into
+//!   bounded rounds, preserving global arrival (ticket) order and
+//!   delete claims across round boundaries — commit latency and the
+//!   snapshot gap stop scaling with backlog depth. The one deliberate
+//!   exception: a backlog that crosses the session's re-mine break-even
+//!   (the paper's §4.5 economics, [`crate::UpdatePolicy`]) is handed to
+//!   a *single* round so the update policy routes it to a full re-mine
+//!   instead of grinding through FUP chunks a single Apriori pass would
+//!   beat.
+//!
+//! Degradation is typed, never silent: if the committer thread dies,
+//! parked and future producers fail with
+//! [`ServiceError::CommitterGone`] while snapshots keep serving the
+//! last published state. The service reports its own counters
+//! ([`ServiceMetrics`]): backlog depth and its high-water mark,
+//! snapshot staleness in rounds, per-round size and latency, and
+//! backpressure rejections, alongside the batch/round totals.
 //!
 //! ```
 //! use fup_core::service::{CommitPolicy, MaintainerService};
@@ -58,7 +86,7 @@
 //! });
 //! // ...readers never block...
 //! assert_eq!(service.snapshot().version(), 0);
-//! // ...and a flush forces one round over everything staged.
+//! // ...and a flush forces rounds over everything staged.
 //! let report = service.flush().unwrap();
 //! assert_eq!(report.num_transactions, 5);
 //! assert_eq!(service.snapshot().version(), 1);
@@ -72,12 +100,17 @@ use crate::error::Error;
 use crate::session::{
     Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, SnapshotState, StageHandle,
 };
-use fup_tidb::{DurableStorage, UpdateBatch};
+use fup_tidb::{Admission, DurableStorage, UpdateBatch};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Committed-round latencies kept for percentile reporting (a bounded
+/// ring — old rounds fall off the front).
+const LATENCY_RING: usize = 65_536;
 
 /// Errors of the service layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,14 +124,46 @@ pub enum ServiceError {
     /// A [`CommitPolicy`] poll interval of zero would busy-spin the
     /// committer thread.
     ZeroPollInterval,
+    /// A [`CommitPolicy`] round cap of zero ops could never drain any
+    /// backlog.
+    ZeroRoundCap,
+    /// A [`CommitPolicy`] staging capacity of zero ops would reject
+    /// every batch at arrival.
+    ZeroStagingCapacity,
     /// A batch failed arrival-time validation and was not staged (wraps
     /// the session error, e.g. an unknown tid or
     /// [`Error::DeletionsDisabled`]).
     Stage(Error),
+    /// [`try_stage`](MaintainerService::try_stage) found the staging
+    /// area at its configured capacity; nothing was queued. Retry after
+    /// a round drains, or fall back to a blocking path.
+    WouldBlock {
+        /// Staged ops occupying the gate when the batch was refused.
+        pending: u64,
+        /// The configured capacity ([`CommitPolicy::staging_capacity`]).
+        capacity: u64,
+    },
+    /// [`stage_deadline`](MaintainerService::stage_deadline) waited for
+    /// capacity until its deadline and gave up; nothing was queued.
+    StageTimeout {
+        /// Staged ops occupying the gate when the deadline expired.
+        pending: u64,
+        /// The configured capacity ([`CommitPolicy::staging_capacity`]).
+        capacity: u64,
+    },
     /// The round covering a [`flush`](MaintainerService::flush) failed;
     /// the staged work it drained was dropped (see
     /// [`ServiceMetrics::dropped_ops`]).
     Commit(Error),
+    /// [`flush_timeout`](MaintainerService::flush_timeout) gave up
+    /// waiting. Only the wait was abandoned: the staged work stays
+    /// queued and its rounds keep running.
+    FlushTimeout,
+    /// The committer thread is gone (it panicked). Staging and flushing
+    /// are permanently refused, but
+    /// [`snapshot`](MaintainerService::snapshot) keeps serving the last
+    /// published state.
+    CommitterGone,
     /// The service is shutting down (or already shut down).
     ShutDown,
     /// Rebuilding the session from durable storage failed (wraps the
@@ -121,8 +186,33 @@ impl fmt::Display for ServiceError {
             ServiceError::ZeroPollInterval => {
                 write!(f, "a zero poll interval would busy-spin the committer")
             }
+            ServiceError::ZeroRoundCap => write!(
+                f,
+                "a commit-round cap of zero ops could never drain a backlog"
+            ),
+            ServiceError::ZeroStagingCapacity => {
+                write!(f, "a staging capacity of zero ops would reject every batch")
+            }
             ServiceError::Stage(e) => write!(f, "batch rejected at arrival: {e}"),
+            ServiceError::WouldBlock { pending, capacity } => write!(
+                f,
+                "staging backlog at capacity ({pending}/{capacity} ops); retry after a round drains"
+            ),
+            ServiceError::StageTimeout { pending, capacity } => write!(
+                f,
+                "stage deadline expired with the backlog still at capacity \
+                 ({pending}/{capacity} ops)"
+            ),
             ServiceError::Commit(e) => write!(f, "commit round failed: {e}"),
+            ServiceError::FlushTimeout => write!(
+                f,
+                "flush deadline expired before a covering round completed (the staged work \
+                 remains queued)"
+            ),
+            ServiceError::CommitterGone => write!(
+                f,
+                "the committer thread is gone (it panicked); the service only serves snapshots now"
+            ),
             ServiceError::ShutDown => write!(f, "the maintainer service is shut down"),
             ServiceError::Recover(e) => write!(f, "recovery failed before launch: {e}"),
         }
@@ -138,15 +228,19 @@ impl std::error::Error for ServiceError {
     }
 }
 
-/// When the background committer turns staged batches into a maintenance
-/// round. Triggers combine with OR; [`flush`](MaintainerService::flush)
-/// always forces a round regardless of policy.
+/// When the background committer turns staged batches into maintenance
+/// rounds, and how much work any single round (or the staging area) may
+/// hold. Triggers combine with OR; [`flush`](MaintainerService::flush)
+/// always forces rounds regardless of policy.
 ///
 /// The increment-ratio trigger mirrors the economics of the paper's §4.5
 /// and Figure 4: FUP's advantage over re-mining is largest for increments
 /// small relative to `DB`, so committing once the staged volume reaches a
 /// fraction of the live database keeps every round in the regime the
 /// incremental algorithms are built for.
+/// [`ops_per_round`](Self::ops_per_round) and
+/// [`staging_capacity`](Self::staging_capacity) bound the pipeline under
+/// overload — see the [module docs](self).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CommitPolicy {
     /// Commit once staged inserts + deletes reach this count
@@ -154,6 +248,20 @@ pub struct CommitPolicy {
     pub max_pending_ops: Option<u64>,
     /// Commit once `staged / |DB|` reaches this ratio (`None` disables).
     pub max_increment_ratio: Option<f64>,
+    /// Cap on staged ops a single commit round drains (`None` = a round
+    /// takes everything). An oversized backlog is chunked into rounds of
+    /// at most this many ops, in arrival order. Two exceptions: batches
+    /// are atomic (their delete claims and validation are one unit), so
+    /// a single batch larger than the cap travels alone; and a backlog
+    /// past the session's re-mine break-even travels as one round so the
+    /// [`crate::UpdatePolicy`] can route it to a full re-mine.
+    pub max_ops_per_round: Option<u64>,
+    /// Cap on ops the staging area holds (`None` = unbounded). At the
+    /// cap, producers see backpressure instead of unbounded memory
+    /// growth: blocking, failing, or timing out per their admission
+    /// mode. A batch larger than the whole capacity is refused outright
+    /// ([`ServiceError::WouldBlock`]) in every mode.
+    pub max_staged_ops: Option<u64>,
     /// How often the committer re-checks triggers when idle (it is also
     /// woken eagerly by producers whose batch crosses a trigger).
     pub poll_interval: Duration,
@@ -161,11 +269,15 @@ pub struct CommitPolicy {
 
 impl Default for CommitPolicy {
     /// Commit every 8 192 staged ops, or at a staged volume of 10 % of
-    /// the live database, polling every 20 ms.
+    /// the live database, polling every 20 ms. Rounds and staging are
+    /// unbounded (opt in with [`ops_per_round`](Self::ops_per_round) /
+    /// [`staging_capacity`](Self::staging_capacity)).
     fn default() -> Self {
         CommitPolicy {
             max_pending_ops: Some(8_192),
             max_increment_ratio: Some(0.10),
+            max_ops_per_round: None,
+            max_staged_ops: None,
             poll_interval: Duration::from_millis(20),
         }
     }
@@ -194,6 +306,22 @@ impl CommitPolicy {
         self
     }
 
+    /// This policy with commit rounds capped at `n` staged ops (see
+    /// [`max_ops_per_round`](Self::max_ops_per_round)).
+    pub fn ops_per_round(mut self, n: u64) -> Self {
+        self.max_ops_per_round = Some(n);
+        self
+    }
+
+    /// This policy with the staging area capped at `n` staged ops (see
+    /// [`max_staged_ops`](Self::max_staged_ops)). A capacity without any
+    /// commit trigger means only flushes free space — blocking producers
+    /// on a [`manual`](Self::manual) policy wait until someone flushes.
+    pub fn staging_capacity(mut self, n: u64) -> Self {
+        self.max_staged_ops = Some(n);
+        self
+    }
+
     /// This policy with an explicit idle poll interval.
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval;
@@ -209,6 +337,12 @@ impl CommitPolicy {
             if !r.is_finite() || r <= 0.0 {
                 return Err(ServiceError::InvalidIncrementRatio(r));
             }
+        }
+        if self.max_ops_per_round == Some(0) {
+            return Err(ServiceError::ZeroRoundCap);
+        }
+        if self.max_staged_ops == Some(0) {
+            return Err(ServiceError::ZeroStagingCapacity);
         }
         if self.poll_interval.is_zero() {
             return Err(ServiceError::ZeroPollInterval);
@@ -242,12 +376,33 @@ pub struct ServiceMetrics {
     pub staged_deletes: u64,
     /// Batches rejected at arrival-time validation (nothing was queued).
     pub rejected_batches: u64,
+    /// Batches refused or timed out by the staging capacity gate
+    /// ([`ServiceError::WouldBlock`] / [`ServiceError::StageTimeout`]).
+    pub backpressure_rejections: u64,
+    /// Staged ops not yet drained by a round, at the moment these
+    /// metrics were read (a gauge, not a counter).
+    pub backlog_ops: u64,
+    /// High-water mark of the staged backlog, observed at admission.
+    pub max_backlog_ops: u64,
+    /// How many bounded rounds of draining the current backlog
+    /// represents — the snapshot's staleness in rounds, at the moment
+    /// these metrics were read (a gauge; with unbounded rounds it is 1
+    /// whenever anything is staged).
+    pub snapshot_staleness_rounds: u64,
     /// Maintenance rounds committed (including empty flush rounds).
     pub committed_rounds: u64,
     /// Transactions inserted by committed rounds.
     pub committed_inserts: u64,
     /// Deletions applied by committed rounds.
     pub committed_deletes: u64,
+    /// Ops the most recent committed round applied.
+    pub last_round_ops: u64,
+    /// The largest number of ops any committed round applied. With a
+    /// round cap this exceeds the cap only for a single atomic batch
+    /// bigger than the cap (batches never split across rounds) or for
+    /// rounds deliberately routed to the re-mine path (see
+    /// [`CommitPolicy::max_ops_per_round`]).
+    pub max_round_ops: u64,
     /// Rounds that failed after draining (their staged work was dropped).
     pub dropped_rounds: u64,
     /// Staged ops consumed by failed rounds.
@@ -268,9 +423,13 @@ struct MetricsAtomics {
     staged_inserts: AtomicU64,
     staged_deletes: AtomicU64,
     rejected_batches: AtomicU64,
+    backpressure_rejections: AtomicU64,
+    max_backlog_ops: AtomicU64,
     committed_rounds: AtomicU64,
     committed_inserts: AtomicU64,
     committed_deletes: AtomicU64,
+    last_round_ops: AtomicU64,
+    max_round_ops: AtomicU64,
     dropped_rounds: AtomicU64,
     dropped_ops: AtomicU64,
     last_commit_micros: AtomicU64,
@@ -280,6 +439,9 @@ struct MetricsAtomics {
 }
 
 impl MetricsAtomics {
+    /// The counter half of [`ServiceMetrics`]; the gauges (`backlog_ops`,
+    /// `snapshot_staleness_rounds`) are filled by
+    /// [`Shared::metrics_snapshot`], which can see the staging area.
     fn snapshot(&self) -> ServiceMetrics {
         let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceMetrics {
@@ -287,9 +449,15 @@ impl MetricsAtomics {
             staged_inserts: load(&self.staged_inserts),
             staged_deletes: load(&self.staged_deletes),
             rejected_batches: load(&self.rejected_batches),
+            backpressure_rejections: load(&self.backpressure_rejections),
+            backlog_ops: 0,
+            max_backlog_ops: load(&self.max_backlog_ops),
+            snapshot_staleness_rounds: 0,
             committed_rounds: load(&self.committed_rounds),
             committed_inserts: load(&self.committed_inserts),
             committed_deletes: load(&self.committed_deletes),
+            last_round_ops: load(&self.last_round_ops),
+            max_round_ops: load(&self.max_round_ops),
             dropped_rounds: load(&self.dropped_rounds),
             dropped_ops: load(&self.dropped_ops),
             last_commit_micros: load(&self.last_commit_micros),
@@ -447,9 +615,15 @@ struct Shared {
     policy: CommitPolicy,
     cell: SnapshotCell,
     metrics: MetricsAtomics,
+    /// Committed-round wall-clock micros, oldest first, for percentile
+    /// reporting (bounded to [`LATENCY_RING`] entries).
+    latencies: Mutex<VecDeque<u64>>,
     /// `|DB|` after the last committed round, for the ratio trigger.
     live_len: AtomicU64,
     stopping: AtomicBool,
+    /// Raised by [`CommitterGuard`] if the committer thread panics: the
+    /// service degrades to snapshot-only instead of hanging producers.
+    committer_gone: AtomicBool,
     /// Producers currently inside `stage` — the shutdown drain waits for
     /// this to reach zero so no accepted batch can miss the final round.
     in_flight: AtomicU64,
@@ -458,6 +632,10 @@ struct Shared {
     work_cv: Condvar,
     /// Wakes flush waiters (a round completed, or stop).
     done_cv: Condvar,
+    /// Test-only: makes the next committer wakeup panic, exercising the
+    /// death-degradation path without contriving a real bug.
+    #[cfg(test)]
+    kill_committer: AtomicBool,
 }
 
 /// RAII decrement of `Shared::in_flight`, covering every exit path of
@@ -471,10 +649,56 @@ impl Drop for InFlightGuard<'_> {
 }
 
 impl Shared {
+    /// The control mutex, recovering from poison. A committer that
+    /// panicked mid-section has already recorded its death (see
+    /// [`CommitterGuard`]); producers and waiters must keep failing fast
+    /// with [`ServiceError::CommitterGone`], not panic in sympathy.
+    fn lock_ctl(&self) -> MutexGuard<'_, Ctl> {
+        self.ctl.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn triggered(&self) -> bool {
         let (i, d) = self.handle.pending_ops();
         self.policy
             .triggered(i + d, self.live_len.load(Ordering::Relaxed))
+    }
+
+    /// The full [`ServiceMetrics`]: counters plus the point-in-time
+    /// gauges (backlog depth, snapshot staleness in rounds).
+    fn metrics_snapshot(&self) -> ServiceMetrics {
+        let mut m = self.metrics.snapshot();
+        let (i, d) = self.handle.pending_ops();
+        m.backlog_ops = i + d;
+        m.snapshot_staleness_rounds = match self.policy.max_ops_per_round {
+            Some(cap) => m.backlog_ops.div_ceil(cap),
+            None => u64::from(m.backlog_ops > 0),
+        };
+        m
+    }
+}
+
+/// Runs when the committer thread exits. A planned exit is a no-op; on a
+/// panic it records the death so the service degrades instead of
+/// hanging: admissions close (producers parked on a full gate fail over
+/// to [`ServiceError::CommitterGone`]), `stop` is raised, and both
+/// condvars fire so flush waiters observe the death. Snapshots keep
+/// serving — the cell's last published state remains valid forever.
+struct CommitterGuard<'a>(&'a Shared);
+
+impl Drop for CommitterGuard<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.0.committer_gone.store(true, Ordering::SeqCst);
+        self.0.handle.staging_area().close_admissions();
+        // The committer never panics while holding `ctl` (its critical
+        // sections are panic-free), so re-locking here cannot
+        // self-deadlock.
+        let mut ctl = self.0.lock_ctl();
+        ctl.stop = true;
+        self.0.work_cv.notify_all();
+        self.0.done_cv.notify_all();
     }
 }
 
@@ -496,7 +720,7 @@ impl fmt::Debug for MaintainerService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MaintainerService")
             .field("policy", &self.shared.policy)
-            .field("metrics", &self.shared.metrics.snapshot())
+            .field("metrics", &self.shared.metrics_snapshot())
             .finish_non_exhaustive()
     }
 }
@@ -505,23 +729,34 @@ impl MaintainerService {
     /// Validates `policy` and launches the committer thread around
     /// `maintainer`. The session's current state becomes snapshot version
     /// 0 of the cell; [`shutdown`](Self::shutdown) hands the session
-    /// back.
+    /// back. A [`CommitPolicy::staging_capacity`] is installed on the
+    /// session's staging area here and removed again at shutdown.
     pub fn launch(
         maintainer: Maintainer,
         policy: CommitPolicy,
     ) -> Result<MaintainerService, ServiceError> {
         policy.validate()?;
+        let handle = maintainer.stage_handle();
+        {
+            let area = handle.staging_area();
+            area.reopen_admissions();
+            area.set_capacity(policy.max_staged_ops);
+        }
         let shared = Arc::new(Shared {
-            handle: maintainer.stage_handle(),
+            handle,
             policy,
             cell: SnapshotCell::new(maintainer.state_arc()),
             metrics: MetricsAtomics::default(),
+            latencies: Mutex::new(VecDeque::new()),
             live_len: AtomicU64::new(maintainer.len() as u64),
             stopping: AtomicBool::new(false),
+            committer_gone: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             ctl: Mutex::new(Ctl::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            #[cfg(test)]
+            kill_committer: AtomicBool::new(false),
         });
         let committer = {
             let shared = Arc::clone(&shared);
@@ -553,10 +788,36 @@ impl MaintainerService {
         Ok((service, report))
     }
 
-    /// Queues a batch for the next maintenance round. Thread-safe and
-    /// non-blocking (producers contend only on a staging shard stripe);
-    /// validation failures reject the batch atomically at arrival.
+    /// Queues a batch for an upcoming maintenance round. Thread-safe;
+    /// producers contend only on a staging shard stripe. Validation
+    /// failures reject the batch atomically at arrival. When a
+    /// [`CommitPolicy::staging_capacity`] is configured and the gate is
+    /// full, **blocks** until a commit round frees space — use
+    /// [`try_stage`](Self::try_stage) or
+    /// [`stage_deadline`](Self::stage_deadline) for bounded waiting.
     pub fn stage(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        self.stage_with(batch, Admission::Block)
+    }
+
+    /// Non-blocking [`stage`](Self::stage): if the staging area is at
+    /// capacity, fails immediately with [`ServiceError::WouldBlock`]
+    /// instead of waiting. The overload-shedding path for open-loop
+    /// producers.
+    pub fn try_stage(&self, batch: UpdateBatch) -> Result<(), ServiceError> {
+        self.stage_with(batch, Admission::Try)
+    }
+
+    /// [`stage`](Self::stage) that waits for capacity only until
+    /// `deadline`, then fails with [`ServiceError::StageTimeout`].
+    pub fn stage_deadline(
+        &self,
+        batch: UpdateBatch,
+        deadline: Instant,
+    ) -> Result<(), ServiceError> {
+        self.stage_with(batch, Admission::Deadline(deadline))
+    }
+
+    fn stage_with(&self, batch: UpdateBatch, admission: Admission) -> Result<(), ServiceError> {
         // Register in-flight *before* checking the stop flag (both
         // SeqCst): a producer that observed `stopping == false` is
         // visible to the shutdown drain's in-flight wait, so a batch this
@@ -564,45 +825,95 @@ impl MaintainerService {
         // slip in behind the committer's final drain.
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let guard = InFlightGuard(&self.shared.in_flight);
+        if self.shared.committer_gone.load(Ordering::SeqCst) {
+            return Err(ServiceError::CommitterGone);
+        }
         if self.shared.stopping.load(Ordering::SeqCst) {
             return Err(ServiceError::ShutDown);
         }
         let inserts = batch.inserts.len() as u64;
         let deletes = batch.deletes.len() as u64;
-        if let Err(e) = self.shared.handle.stage(batch) {
-            self.shared
-                .metrics
-                .rejected_batches
-                .fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::Stage(e));
+        if let Err(e) = self.shared.handle.stage_with(batch, admission) {
+            return Err(self.classify_stage_error(e));
         }
         let m = &self.shared.metrics;
         m.staged_batches.fetch_add(1, Ordering::Relaxed);
         m.staged_inserts.fetch_add(inserts, Ordering::Relaxed);
         m.staged_deletes.fetch_add(deletes, Ordering::Relaxed);
+        let (pend_i, pend_d) = self.shared.handle.pending_ops();
+        m.max_backlog_ops
+            .fetch_max(pend_i + pend_d, Ordering::Relaxed);
         drop(guard);
         if self.shared.triggered() {
             // Eager wakeup; the committer also polls, so a lost race here
             // only costs one poll interval.
-            let _ctl = self.shared.ctl.lock().expect("service control poisoned");
+            let _ctl = self.shared.lock_ctl();
             self.shared.work_cv.notify_one();
         }
         Ok(())
     }
 
+    /// Sorts a failed admission into the service's error vocabulary and
+    /// bumps the matching counter.
+    fn classify_stage_error(&self, e: Error) -> ServiceError {
+        let m = &self.shared.metrics;
+        match e {
+            Error::Store(fup_tidb::Error::WouldBlock { pending, capacity }) => {
+                m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+                ServiceError::WouldBlock { pending, capacity }
+            }
+            Error::Store(fup_tidb::Error::StageTimeout { pending, capacity }) => {
+                m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+                ServiceError::StageTimeout { pending, capacity }
+            }
+            // Admissions close for exactly two reasons: the committer
+            // died, or shutdown began.
+            Error::Store(fup_tidb::Error::StagingClosed) => {
+                if self.shared.committer_gone.load(Ordering::SeqCst) {
+                    ServiceError::CommitterGone
+                } else {
+                    ServiceError::ShutDown
+                }
+            }
+            e => {
+                m.rejected_batches.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Stage(e)
+            }
+        }
+    }
+
     /// A wait-free, version-stamped view of the current rules — never
     /// blocked by staging or by a commit round in progress, and valid
-    /// forever once taken.
+    /// forever once taken. Keeps serving (the last published state) even
+    /// after [`ServiceError::CommitterGone`].
     pub fn snapshot(&self) -> RuleSnapshot {
         RuleSnapshot::from_state(self.shared.cell.load())
     }
 
-    /// Forces a maintenance round over everything staged so far and
-    /// blocks until it completes, returning the round's report (an empty
-    /// round bumps the version and reports no changes). Concurrent
-    /// flushes may be covered by one round.
+    /// Forces maintenance rounds over everything staged so far and
+    /// blocks until they complete, returning the last covering round's
+    /// report (an empty round bumps the version and reports no changes).
+    /// An oversized backlog is drained in bounded rounds per
+    /// [`CommitPolicy::max_ops_per_round`]; concurrent flushes may be
+    /// covered by one round.
     pub fn flush(&self) -> Result<MaintenanceReport, ServiceError> {
-        let mut ctl = self.shared.ctl.lock().expect("service control poisoned");
+        self.flush_inner(None)
+    }
+
+    /// [`flush`](Self::flush) that waits at most `timeout`, then fails
+    /// with [`ServiceError::FlushTimeout`]. Only the *wait* is
+    /// abandoned: the staged work stays queued and the committer's
+    /// rounds keep running, so a later flush (or trigger) still commits
+    /// it.
+    pub fn flush_timeout(&self, timeout: Duration) -> Result<MaintenanceReport, ServiceError> {
+        self.flush_inner(Some(Instant::now() + timeout))
+    }
+
+    fn flush_inner(&self, deadline: Option<Instant>) -> Result<MaintenanceReport, ServiceError> {
+        let mut ctl = self.shared.lock_ctl();
+        if self.shared.committer_gone.load(Ordering::SeqCst) {
+            return Err(ServiceError::CommitterGone);
+        }
         if ctl.stop {
             return Err(ServiceError::ShutDown);
         }
@@ -635,16 +946,37 @@ impl MaintainerService {
                 ctl.prune_outcomes();
                 return result;
             }
+            if self.shared.committer_gone.load(Ordering::SeqCst) {
+                ctl.waiting.remove(&ticket);
+                ctl.prune_outcomes();
+                return Err(ServiceError::CommitterGone);
+            }
             if ctl.stop {
                 ctl.waiting.remove(&ticket);
                 ctl.prune_outcomes();
                 return Err(ServiceError::ShutDown);
             }
-            ctl = self
-                .shared
-                .done_cv
-                .wait(ctl)
-                .expect("service control poisoned");
+            ctl = match deadline {
+                None => self
+                    .shared
+                    .done_cv
+                    .wait(ctl)
+                    .unwrap_or_else(PoisonError::into_inner),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        ctl.waiting.remove(&ticket);
+                        ctl.prune_outcomes();
+                        return Err(ServiceError::FlushTimeout);
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .done_cv
+                        .wait_timeout(ctl, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    guard
+                }
+            };
         }
     }
 
@@ -653,9 +985,23 @@ impl MaintainerService {
         self.shared.handle.pending_ops()
     }
 
-    /// A copy of the service counters.
+    /// A copy of the service counters, with the backlog and staleness
+    /// gauges read at this instant.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.shared.metrics.snapshot()
+        self.shared.metrics_snapshot()
+    }
+
+    /// Wall-clock microseconds of recent committed rounds, oldest first
+    /// — the raw series behind p50/p99 commit-latency reporting. Bounded
+    /// to the last 65 536 rounds.
+    pub fn round_latencies(&self) -> Vec<u64> {
+        self.shared
+            .latencies
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
     }
 
     /// The active commit policy.
@@ -663,13 +1009,21 @@ impl MaintainerService {
         &self.shared.policy
     }
 
-    /// Stops the committer — after one final round draining anything
-    /// still staged — and hands back the session plus the final
-    /// counters. New [`stage`](Self::stage)/[`flush`](Self::flush) calls
-    /// fail with [`ServiceError::ShutDown`] once shutdown begins.
+    /// Stops the committer — after final rounds draining anything still
+    /// staged — and hands back the session plus the final counters. New
+    /// [`stage`](Self::stage)/[`flush`](Self::flush) calls fail with
+    /// [`ServiceError::ShutDown`] once shutdown begins; producers parked
+    /// on a full staging gate are failed rather than left waiting for
+    /// space that will never come.
+    ///
+    /// # Panics
+    ///
+    /// If the committer thread panicked (the
+    /// [`ServiceError::CommitterGone`] state). Drop the service instead
+    /// to discard a dead pipeline without re-raising its panic.
     pub fn shutdown(mut self) -> (Maintainer, ServiceMetrics) {
         let maintainer = self.stop_committer().expect("committer thread panicked");
-        let metrics = self.shared.metrics.snapshot();
+        let metrics = self.shared.metrics_snapshot();
         (maintainer, metrics)
     }
 
@@ -678,16 +1032,29 @@ impl MaintainerService {
         // no-batch-misses-the-final-drain argument needs this store in
         // the same total order as the producers' flag loads.
         self.shared.stopping.store(true, Ordering::SeqCst);
+        // Fail Block-mode producers parked on a full gate *before* the
+        // committer waits out `in_flight`: a parked producer holds an
+        // in-flight registration, and the final drain may never free the
+        // space it is waiting for — without this, shutdown and the
+        // sleeper deadlock.
+        self.shared.handle.staging_area().close_admissions();
         {
-            let mut ctl = self.shared.ctl.lock().expect("service control poisoned");
+            let mut ctl = self.shared.lock_ctl();
             ctl.stop = true;
             self.shared.work_cv.notify_all();
             self.shared.done_cv.notify_all();
         }
-        self.committer
+        let joined = self
+            .committer
             .take()
             .expect("committer joined twice")
-            .join()
+            .join();
+        // Hand the session back with a standalone staging gate:
+        // admissions open, no service capacity.
+        let area = self.shared.handle.staging_area();
+        area.reopen_admissions();
+        area.set_capacity(None);
+        joined
     }
 }
 
@@ -701,13 +1068,28 @@ impl Drop for MaintainerService {
     }
 }
 
-/// The committer thread: wait for a trigger / flush / stop, run one
-/// round, publish, repeat. Returns the session at shutdown.
+#[cfg(test)]
+fn test_kill_requested(shared: &Shared) -> bool {
+    shared.kill_committer.load(Ordering::SeqCst)
+}
+
+#[cfg(not(test))]
+fn test_kill_requested(_shared: &Shared) -> bool {
+    false
+}
+
+/// The committer thread: wait for a trigger / flush / stop, run bounded
+/// rounds, publish, repeat. Returns the session at shutdown.
 fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
+    let _death_watch = CommitterGuard(shared);
     loop {
         let stop = {
-            let mut ctl = shared.ctl.lock().expect("service control poisoned");
+            let mut ctl = shared.lock_ctl();
             loop {
+                if test_kill_requested(shared) {
+                    drop(ctl); // release (don't poison) before dying
+                    panic!("committer killed by test harness");
+                }
                 if ctl.stop {
                     break true;
                 }
@@ -717,37 +1099,45 @@ fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
                 let (guard, _timeout) = shared
                     .work_cv
                     .wait_timeout(ctl, shared.policy.poll_interval)
-                    .expect("service control poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
                 ctl = guard;
             }
         };
         if stop {
             // Producers that passed the stop check are still landing
             // batches (they registered in `in_flight` first); wait them
-            // out so the final round provably drains everything `stage`
-            // ever accepted.
+            // out so the final rounds provably drain everything `stage`
+            // ever accepted. Producers parked on a full gate were already
+            // failed by `stop_committer`'s close_admissions.
             while shared.in_flight.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
             }
         }
-        let (flush_pending, flush_ticket) = {
-            let ctl = shared.ctl.lock().expect("service control poisoned");
-            (
-                ctl.flush_requested > ctl.flush_completed,
-                ctl.flush_requested,
-            )
+        let flush_pending = {
+            let ctl = shared.lock_ctl();
+            ctl.flush_requested > ctl.flush_completed
         };
-        // On stop, drain whatever is left; otherwise run for a flush (even
-        // an empty one — the waiter gets a fresh report) or a trigger.
         let (pend_i, pend_d) = shared.handle.pending_ops();
-        if flush_pending || (stop && pend_i + pend_d > 0) || (!stop && shared.triggered()) {
-            run_round(&mut maintainer, shared, flush_ticket, pend_i + pend_d);
+        let pending = pend_i + pend_d;
+        if flush_pending || (stop && pending > 0) {
+            // A flush (or the shutdown drain) covers *everything* staged,
+            // in bounded rounds.
+            drain_backlog(&mut maintainer, shared);
+        } else if !stop && shared.triggered() {
+            // A trigger runs one bounded round; if the backlog is still
+            // over the trigger afterwards, the wait loop falls straight
+            // through and the next round starts — with a stop/flush check
+            // between rounds, which is what bounds flush latency.
+            let ticket = shared.lock_ctl().flush_requested;
+            let cap = round_cap(&maintainer, shared, pending);
+            let hint = cap.map_or(pending, |c| pending.min(c));
+            run_round(&mut maintainer, shared, cap, Some(ticket), hint);
         }
         if stop {
             // Unblock any flush waiter that raced shutdown (its staged
             // work was drained above, but no round was dedicated to its
             // ticket — it reports ShutDown).
-            let mut ctl = shared.ctl.lock().expect("service control poisoned");
+            let mut ctl = shared.lock_ctl();
             ctl.flush_completed = ctl.flush_requested.max(ctl.flush_completed);
             shared.done_cv.notify_all();
             return maintainer;
@@ -755,13 +1145,66 @@ fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
     }
 }
 
-/// One maintenance round: drain + FUP/FUP2 (inside
-/// [`Maintainer::commit`]), publish the snapshot, update counters, wake
-/// flush waiters up to `flush_ticket`.
-fn run_round(maintainer: &mut Maintainer, shared: &Shared, flush_ticket: u64, pending_hint: u64) {
+/// The ops cap for the next round: the policy's bound — except when the
+/// backlog has crossed the session's re-mine break-even (§4.5 applied
+/// online). Then the whole backlog travels in one round, so the
+/// session's update policy routes it to a full re-mine instead of
+/// grinding through FUP chunks that a single Apriori pass would beat.
+fn round_cap(maintainer: &Maintainer, shared: &Shared, pending: u64) -> Option<u64> {
+    if pending > 0
+        && maintainer
+            .policy()
+            .should_remine(pending, maintainer.len() as u64)
+    {
+        None
+    } else {
+        shared.policy.max_ops_per_round
+    }
+}
+
+/// Drains everything staged in bounded rounds, stopping early if a round
+/// fails (the failure outcome covers every ticket issued so far).
+///
+/// The flush ticket is re-read immediately before the final round. That
+/// read is what makes covering sound: work staged before any covered
+/// `flush` call happens-before the ticket's issuance, which
+/// happens-before our read, which precedes the pending read that sized
+/// the final round — so that work is either already committed by an
+/// earlier chunk or inside the final round's arrival-order prefix.
+fn drain_backlog(maintainer: &mut Maintainer, shared: &Shared) {
+    loop {
+        let ticket = shared.lock_ctl().flush_requested;
+        let (pend_i, pend_d) = shared.handle.pending_ops();
+        let pending = pend_i + pend_d;
+        let cap = round_cap(maintainer, shared, pending);
+        let is_final = cap.is_none_or(|c| pending <= c);
+        let hint = cap.map_or(pending, |c| pending.min(c));
+        let cover = if is_final { Some(ticket) } else { None };
+        if !run_round(maintainer, shared, cap, cover, hint) || is_final {
+            return;
+        }
+    }
+}
+
+/// One bounded maintenance round: drain up to `cap` ops in arrival
+/// order and apply them as one FUP/FUP2/re-mine round (inside
+/// [`Maintainer::commit_bounded`]), publish
+/// the snapshot, update counters. With `cover = Some(ticket)` the
+/// round's outcome completes flush tickets up to `ticket`; an
+/// intermediate chunk passes `None` and publishes an outcome only on
+/// failure (covering every ticket issued so far, which the
+/// `rounds_failed` fence makes safe). Returns whether the round
+/// succeeded.
+fn run_round(
+    maintainer: &mut Maintainer,
+    shared: &Shared,
+    cap: Option<u64>,
+    cover: Option<u64>,
+    pending_hint: u64,
+) -> bool {
     let before_len = maintainer.len() as u64;
     let start = Instant::now();
-    let outcome = maintainer.commit();
+    let outcome = maintainer.commit_bounded(cap);
     let micros = start.elapsed().as_micros() as u64;
     let m = &shared.metrics;
     let result = match outcome {
@@ -772,14 +1215,27 @@ fn run_round(maintainer: &mut Maintainer, shared: &Shared, flush_ticket: u64, pe
                 .store(maintainer.len() as u64, Ordering::Relaxed);
             let inserted = report.inserted_tids.len() as u64;
             let deleted = (before_len + inserted).saturating_sub(report.num_transactions);
+            let round_ops = inserted + deleted;
             m.committed_rounds.fetch_add(1, Ordering::Relaxed);
             m.committed_inserts.fetch_add(inserted, Ordering::Relaxed);
             m.committed_deletes.fetch_add(deleted, Ordering::Relaxed);
+            m.last_round_ops.store(round_ops, Ordering::Relaxed);
+            m.max_round_ops.fetch_max(round_ops, Ordering::Relaxed);
             m.last_commit_micros.store(micros, Ordering::Relaxed);
             m.total_commit_micros.fetch_add(micros, Ordering::Relaxed);
             let index = maintainer.index_stats();
             m.index_builds.store(index.builds, Ordering::Relaxed);
             m.index_extends.store(index.extends, Ordering::Relaxed);
+            {
+                let mut ring = shared
+                    .latencies
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if ring.len() == LATENCY_RING {
+                    ring.pop_front();
+                }
+                ring.push_back(micros);
+            }
             Ok(report)
         }
         Err(e) => {
@@ -791,20 +1247,29 @@ fn run_round(maintainer: &mut Maintainer, shared: &Shared, flush_ticket: u64, pe
             Err(e)
         }
     };
-    let mut ctl = shared.ctl.lock().expect("service control poisoned");
+    let ok = result.is_ok();
+    if ok && cover.is_none() {
+        // An intermediate chunk: the snapshot is published, but the
+        // backlog is not drained yet — no flush ticket completes.
+        return true;
+    }
+    let mut ctl = shared.lock_ctl();
     if let Err(e) = &result {
         ctl.rounds_failed += 1;
         ctl.last_round_error = Some(e.clone());
     }
-    ctl.outcomes.push((flush_ticket, result));
-    ctl.flush_completed = flush_ticket.max(ctl.flush_completed);
+    let covered = cover.unwrap_or(ctl.flush_requested);
+    ctl.outcomes.push((covered, result));
+    ctl.flush_completed = covered.max(ctl.flush_completed);
     ctl.prune_outcomes();
     shared.done_cv.notify_all();
+    ok
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::UpdatePolicy;
     use fup_mining::{MinConfidence, MinSupport};
     use fup_tidb::{Tid, Transaction};
 
@@ -849,8 +1314,27 @@ mod tests {
                 .unwrap_err(),
             ServiceError::ZeroPollInterval
         );
+        assert_eq!(
+            CommitPolicy::manual()
+                .ops_per_round(0)
+                .validate()
+                .unwrap_err(),
+            ServiceError::ZeroRoundCap
+        );
+        assert_eq!(
+            CommitPolicy::manual()
+                .staging_capacity(0)
+                .validate()
+                .unwrap_err(),
+            ServiceError::ZeroStagingCapacity
+        );
         CommitPolicy::manual().validate().unwrap();
         CommitPolicy::default().validate().unwrap();
+        CommitPolicy::manual()
+            .ops_per_round(512)
+            .staging_capacity(4096)
+            .validate()
+            .unwrap();
         // launch() refuses invalid policies before spawning anything.
         let err =
             MaintainerService::launch(session(), CommitPolicy::default().every_ops(0)).unwrap_err();
@@ -900,6 +1384,10 @@ mod tests {
         assert_eq!(metrics.committed_inserts, 3);
         assert_eq!(metrics.dropped_rounds, 0);
         assert!(metrics.last_commit_micros > 0);
+        assert_eq!(metrics.last_round_ops, 3);
+        assert_eq!(metrics.max_round_ops, 3);
+        assert_eq!(metrics.max_backlog_ops, 3);
+        assert_eq!(metrics.backlog_ops, 0);
     }
 
     #[test]
@@ -955,6 +1443,7 @@ mod tests {
         let (_m, metrics) = service.shutdown();
         assert_eq!(metrics.rejected_batches, 1);
         assert_eq!(metrics.staged_batches, 1);
+        assert_eq!(metrics.backpressure_rejections, 0);
     }
 
     #[test]
@@ -991,6 +1480,267 @@ mod tests {
         assert_eq!(err, ServiceError::ShutDown);
         service.shared.ctl.lock().unwrap().stop = true;
         assert_eq!(service.flush().unwrap_err(), ServiceError::ShutDown);
+    }
+
+    #[test]
+    fn a_flush_drains_an_oversized_backlog_in_bounded_rounds() {
+        let service =
+            MaintainerService::launch(session(), CommitPolicy::manual().ops_per_round(2)).unwrap();
+        for _ in 0..7 {
+            service
+                .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+                .unwrap();
+        }
+        let report = service.flush().unwrap();
+        assert_eq!(report.num_transactions, 12);
+        assert_eq!(service.pending_ops(), (0, 0));
+        let m = service.metrics();
+        assert_eq!(m.committed_rounds, 4, "7 ops in rounds of ≤2 is 4 rounds");
+        assert!(m.max_round_ops <= 2, "no round may exceed the cap");
+        assert_eq!(m.committed_inserts, 7);
+        assert_eq!(service.round_latencies().len(), 4);
+        // Every intermediate chunk published: 4 rounds, 4 versions.
+        assert_eq!(service.snapshot().version(), 4);
+        let (maintainer, _) = service.shutdown();
+        assert_eq!(maintainer.len(), 12);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn backlog_and_staleness_gauges_track_staged_work() {
+        let service =
+            MaintainerService::launch(session(), CommitPolicy::manual().ops_per_round(2)).unwrap();
+        for _ in 0..5 {
+            service
+                .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+                .unwrap();
+        }
+        let m = service.metrics();
+        assert_eq!(m.backlog_ops, 5);
+        assert_eq!(m.snapshot_staleness_rounds, 3, "ceil(5 / 2) rounds behind");
+        assert_eq!(m.max_backlog_ops, 5);
+        service.flush().unwrap();
+        let m = service.metrics();
+        assert_eq!(m.backlog_ops, 0);
+        assert_eq!(m.snapshot_staleness_rounds, 0);
+        assert_eq!(m.max_backlog_ops, 5, "the high-water mark survives");
+        let (maintainer, _) = service.shutdown();
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn an_over_breakeven_backlog_is_routed_to_one_remine_round() {
+        // 7 staged ops over 5 live transactions is a 1.4 increment ratio
+        // — past this session's 0.5 re-mine break-even, so the committer
+        // must hand the whole backlog to one round (ignoring the 2-op
+        // cap) and let the update policy re-mine, instead of grinding
+        // through four FUP chunks.
+        let maintainer = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .policy(UpdatePolicy::RemineOverRatio(0.5))
+            .build(vec![
+                tx(&[1, 2, 3]),
+                tx(&[1, 2]),
+                tx(&[2, 3]),
+                tx(&[1, 3]),
+                tx(&[4, 5]),
+            ])
+            .unwrap();
+        let service =
+            MaintainerService::launch(maintainer, CommitPolicy::manual().ops_per_round(2)).unwrap();
+        for _ in 0..7 {
+            service
+                .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+                .unwrap();
+        }
+        let report = service.flush().unwrap();
+        assert_eq!(report.algorithm, "apriori-remine");
+        assert_eq!(report.num_transactions, 12);
+        let m = service.metrics();
+        assert_eq!(m.committed_rounds, 1, "the backlog travelled as one round");
+        assert_eq!(m.max_round_ops, 7, "a re-mine round may exceed the cap");
+        let (maintainer, _) = service.shutdown();
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn capacity_gate_rejects_and_times_out_with_typed_errors() {
+        let service =
+            MaintainerService::launch(session(), CommitPolicy::manual().staging_capacity(3))
+                .unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![
+                tx(&[4, 5]),
+                tx(&[4, 5]),
+                tx(&[4, 5]),
+            ]))
+            .unwrap();
+        let err = service
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::WouldBlock {
+                pending: 3,
+                capacity: 3
+            }
+        );
+        let err = service
+            .stage_deadline(
+                UpdateBatch::insert_only(vec![tx(&[4, 5])]),
+                Instant::now() + Duration::from_millis(10),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::StageTimeout {
+                pending: 3,
+                capacity: 3
+            }
+        );
+        assert_eq!(service.metrics().backpressure_rejections, 2);
+        assert_eq!(service.metrics().rejected_batches, 0);
+        // A flush frees the gate and the same batch is admitted.
+        service.flush().unwrap();
+        service
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap();
+        let (maintainer, _) = service.shutdown();
+        assert_eq!(maintainer.len(), 9);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn a_blocking_stage_rides_out_a_full_gate() {
+        // every_ops(2) keeps the committer draining, so a Block-mode
+        // producer at a full 2-op gate eventually gets its space.
+        let service = MaintainerService::launch(
+            session(),
+            CommitPolicy::manual()
+                .every_ops(2)
+                .staging_capacity(2)
+                .with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        for _ in 0..6 {
+            service
+                .stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[6, 7])]))
+                .unwrap();
+        }
+        service.flush().unwrap();
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(maintainer.len(), 17);
+        assert_eq!(metrics.staged_inserts, 12);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn shutdown_fails_producers_parked_on_a_full_gate() {
+        let service = Arc::new(
+            MaintainerService::launch(session(), CommitPolicy::manual().staging_capacity(2))
+                .unwrap(),
+        );
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[6, 7])]))
+            .unwrap();
+        let parked = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.stage(UpdateBatch::insert_only(vec![tx(&[8, 9])])))
+        };
+        // Give the producer time to park on the full gate, then shut
+        // down: the sleeper must fail typed instead of deadlocking the
+        // shutdown drain.
+        std::thread::sleep(Duration::from_millis(50));
+        let shutdown = std::thread::spawn(move || {
+            // The parked thread still holds its Arc clone; spin until it
+            // errors out and drops it, as shutdown() needs ownership.
+            let mut service = service;
+            loop {
+                match Arc::try_unwrap(service) {
+                    Ok(service) => return service.shutdown(),
+                    Err(still_shared) => {
+                        // Begin shutdown through the shared handle so the
+                        // sleeper actually wakes: stopping + closed gate.
+                        still_shared.shared.stopping.store(true, Ordering::SeqCst);
+                        still_shared.shared.handle.staging_area().close_admissions();
+                        service = still_shared;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        });
+        let err = parked.join().unwrap().unwrap_err();
+        assert_eq!(err, ServiceError::ShutDown);
+        let (maintainer, _) = shutdown.join().unwrap();
+        assert_eq!(maintainer.len(), 7, "the accepted batch still commits");
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn killing_the_committer_mid_burst_degrades_typed_not_hung() {
+        let service = Arc::new(
+            MaintainerService::launch(
+                session(),
+                CommitPolicy::manual()
+                    .staging_capacity(2)
+                    .with_poll_interval(Duration::from_millis(1)),
+            )
+            .unwrap(),
+        );
+        // Fill the gate, then park a Block-mode producer on it.
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[6, 7])]))
+            .unwrap();
+        let parked = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.stage(UpdateBatch::insert_only(vec![tx(&[8, 9])])))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // Kill the committer mid-burst. Its next wakeup (the 1 ms poll)
+        // panics; the death watch must fail the parked producer, refuse
+        // new work, and keep snapshots serving.
+        service.shared.kill_committer.store(true, Ordering::SeqCst);
+        let err = parked.join().unwrap().unwrap_err();
+        assert_eq!(err, ServiceError::CommitterGone);
+        let err = service
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::CommitterGone);
+        let err = service.flush().unwrap_err();
+        assert_eq!(err, ServiceError::CommitterGone);
+        assert_eq!(service.snapshot().version(), 0);
+        assert_eq!(service.snapshot().num_transactions(), 5);
+        // Dropping the service discards the dead pipeline quietly.
+        drop(Arc::into_inner(service).expect("unique"));
+    }
+
+    #[test]
+    fn flush_timeout_abandons_the_wait_not_the_work() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap();
+        // A zero timeout expires before the committer can possibly cover
+        // the ticket (the control lock is held from issuance to the
+        // deadline check), making the timeout path deterministic.
+        let err = service.flush_timeout(Duration::ZERO).unwrap_err();
+        assert_eq!(err, ServiceError::FlushTimeout);
+        // The staged work was not lost: a patient flush still commits it
+        // (possibly via the round the abandoned ticket provoked).
+        let report = service.flush().unwrap();
+        assert_eq!(report.num_transactions, 6);
+        let (maintainer, _) = service.shutdown();
+        assert_eq!(maintainer.len(), 6);
+        maintainer.verify_consistency().unwrap();
+        // And a generous timeout behaves like a plain flush.
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap();
+        let report = service.flush_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(report.num_transactions, 6);
+        drop(service);
     }
 
     #[test]
@@ -1078,6 +1828,22 @@ mod tests {
             .to_string()
             .contains("-2"));
         assert!(ServiceError::ShutDown.to_string().contains("shut down"));
+        assert!(ServiceError::ZeroRoundCap.to_string().contains("zero ops"));
+        assert!(ServiceError::ZeroStagingCapacity
+            .to_string()
+            .contains("reject every batch"));
+        let e = ServiceError::WouldBlock {
+            pending: 7,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("7/8"));
+        let e = ServiceError::StageTimeout {
+            pending: 9,
+            capacity: 9,
+        };
+        assert!(e.to_string().contains("9/9"));
+        assert!(ServiceError::FlushTimeout.to_string().contains("deadline"));
+        assert!(ServiceError::CommitterGone.to_string().contains("panicked"));
         let e = ServiceError::Stage(Error::DeletionsDisabled);
         assert!(std::error::Error::source(&e).is_some());
     }

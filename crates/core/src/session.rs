@@ -297,17 +297,43 @@ impl StageHandle {
     /// nothing queued. On a durable session the batch's WAL record is
     /// written (and, per policy, synced) *before* the batch becomes
     /// visible, so a storage failure here queues nothing either.
+    ///
+    /// When the staging area has a capacity limit and is full, **waits**
+    /// for a commit round to free space — use
+    /// [`try_stage`](Self::try_stage) or
+    /// [`stage_deadline`](Self::stage_deadline) for bounded waiting.
     pub fn stage(&self, batch: UpdateBatch) -> Result<()> {
+        self.stage_with(batch, fup_tidb::Admission::Block)
+    }
+
+    /// Non-blocking [`stage`](Self::stage): if the staging area is at
+    /// capacity, fails immediately with
+    /// [`fup_tidb::Error::WouldBlock`] (wrapped in [`Error::Store`])
+    /// instead of waiting.
+    pub fn try_stage(&self, batch: UpdateBatch) -> Result<()> {
+        self.stage_with(batch, fup_tidb::Admission::Try)
+    }
+
+    /// [`stage`](Self::stage) that waits for capacity only until
+    /// `deadline`, then fails with [`fup_tidb::Error::StageTimeout`]
+    /// (wrapped in [`Error::Store`]).
+    pub fn stage_deadline(&self, batch: UpdateBatch, deadline: std::time::Instant) -> Result<()> {
+        self.stage_with(batch, fup_tidb::Admission::Deadline(deadline))
+    }
+
+    /// [`stage`](Self::stage) with an explicit [`fup_tidb::Admission`]
+    /// mode.
+    pub fn stage_with(&self, batch: UpdateBatch, admission: fup_tidb::Admission) -> Result<()> {
         if !self.deletions && !batch.deletes.is_empty() {
             return Err(Error::DeletionsDisabled);
         }
         match &self.durable {
             Some(log) => {
-                log.log_stage(&self.staging, batch)?;
+                log.log_stage(&self.staging, batch, admission)?;
             }
             None => self
                 .staging
-                .stage(batch)
+                .stage_with(batch, admission)
                 .map(|_| ())
                 .map_err(Error::Store)?,
         }
@@ -317,6 +343,12 @@ impl StageHandle {
     /// `(inserts, deletes)` currently staged and awaiting a commit.
     pub fn pending_ops(&self) -> (u64, u64) {
         self.staging.pending_ops()
+    }
+
+    /// The shared staging area itself — the service layer configures its
+    /// capacity gate and closes/reopens admissions through this.
+    pub(crate) fn staging_area(&self) -> &Arc<fup_tidb::StagingArea> {
+        &self.staging
     }
 }
 
@@ -700,6 +732,10 @@ impl MaintainerBuilder {
                 staging.claim(&batch.deletes).map_err(|e| Error::Recovery {
                     reason: format!("re-staging ticket {ticket} failed: {e}"),
                 })?;
+                // Recovered backlog bypasses the capacity gate (it was
+                // already admitted once) but must still occupy it, so a
+                // later bound sees the true backlog.
+                staging.reserve_restored(batch.num_ops());
                 staging.admit_with_ticket(ticket, batch.clone());
             }
             if let Some(t) = max_ticket {
@@ -847,7 +883,7 @@ impl Maintainer {
         }
         match &self.durable {
             Some(log) => {
-                log.log_stage(&self.store.staging(), batch)?;
+                log.log_stage(&self.store.staging(), batch, fup_tidb::Admission::Block)?;
             }
             None => self.store.enqueue(batch)?,
         }
@@ -919,17 +955,34 @@ impl Maintainer {
     /// acknowledging returns an error and poisons the session's log —
     /// recover from storage rather than trusting the in-memory state.
     pub fn commit(&mut self) -> Result<MaintenanceReport> {
+        self.commit_bounded(None)
+    }
+
+    /// [`commit`](Self::commit) bounded to at most `max_ops` staged
+    /// operations: applies the longest arrival-order prefix of whole
+    /// batches within the bound as one maintenance round, leaving the
+    /// rest staged (claims intact) for later rounds. A first batch
+    /// larger than the bound travels alone, so the backlog always makes
+    /// progress. `None` behaves exactly like [`commit`](Self::commit).
+    /// This is what lets a service chunk an oversized backlog into
+    /// bounded-latency rounds; ticket order is preserved within and
+    /// across rounds.
+    pub fn commit_bounded(&mut self, max_ops: Option<u64>) -> Result<MaintenanceReport> {
         match self.durable.clone() {
             None => {
-                let batch = self.store.take_pending();
-                self.commit_batch(batch)
+                let entries = self.store.take_pending_entries_up_to(max_ops);
+                self.commit_batch(StagingArea::merge_entries(entries))
             }
-            Some(log) => self.commit_durable(&log),
+            Some(log) => self.commit_durable(&log, max_ops),
         }
     }
 
-    fn commit_durable(&mut self, log: &Arc<DurableLog>) -> Result<MaintenanceReport> {
-        let entries = self.store.take_pending_entries();
+    fn commit_durable(
+        &mut self,
+        log: &Arc<DurableLog>,
+        max_ops: Option<u64>,
+    ) -> Result<MaintenanceReport> {
+        let entries = self.store.take_pending_entries_up_to(max_ops);
         let tickets: Vec<u64> = entries.iter().map(|&(t, _)| t).collect();
         let merged = StagingArea::merge_entries(entries);
         match self.commit_batch(merged) {

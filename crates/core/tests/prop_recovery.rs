@@ -238,6 +238,127 @@ fn kill_at_every_storage_op_budget_recovers_exactly() {
     assert!(exhausted, "sweep never reached a fault-free run");
 }
 
+/// Tentpole satellite: the byte-offset kill sweep under **group commit**
+/// — stage-record fsyncs batched four at a time with a generous age
+/// bound, so cuts land *inside* grouped (appended-but-unflushed) runs as
+/// well as on barrier boundaries. Every prefix must still recover to a
+/// state the uncrashed run published.
+#[test]
+fn kill_at_every_wal_byte_offset_with_group_commit_recovers_exactly() {
+    let states = reference_states();
+    let storage = Arc::new(MemStorage::new());
+    assert_eq!(
+        drive_script(
+            Arc::clone(&storage),
+            DurabilityPolicy {
+                checkpoint_every_rounds: u64::MAX,
+                ..DurabilityPolicy::group_commit(4, std::time::Duration::from_secs(3600))
+            },
+        ),
+        3
+    );
+    let files = storage.files();
+    let wal = files.get("wal-00000000").expect("active WAL segment");
+    let mut versions_seen = std::collections::BTreeSet::new();
+    for cut in 0..=wal.len() {
+        let image = MemStorage::from_files(files.clone());
+        image.truncate_file("wal-00000000", cut);
+        let (recovered, report) = builder()
+            .recover(Arc::new(image) as Arc<dyn DurableStorage>)
+            .unwrap_or_else(|e| panic!("recovery must succeed at cut {cut}: {e}"));
+        assert_matches_reference(&recovered, &states);
+        versions_seen.insert(report.version);
+    }
+    assert_eq!(
+        versions_seen.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3],
+        "every prefix version should be reachable by some cut"
+    );
+}
+
+/// Tentpole satellite: the storage-op kill sweep under group commit —
+/// torn appends and killed syncs while fsyncs are batched. Every crash
+/// image recovers exactly; acknowledged commits never depend on the
+/// batched stage syncs because boundaries always sync.
+#[test]
+fn kill_at_every_storage_op_budget_with_group_commit_recovers_exactly() {
+    let states = reference_states();
+    let policy = DurabilityPolicy {
+        checkpoint_every_rounds: 1,
+        retain_checkpoints: 2,
+        ..DurabilityPolicy::group_commit(4, std::time::Duration::from_secs(3600))
+    };
+    let mut exhausted = false;
+    for budget in 0u64..200 {
+        let mut any_fault = false;
+        for tear_bytes in [0usize, 1, 7] {
+            let storage = Arc::new(MemStorage::new());
+            storage.fail_after(budget, tear_bytes);
+            drive_script(Arc::clone(&storage), policy);
+            any_fault |= storage.faults_fired() > 0;
+            let image = Arc::new(MemStorage::from_files(storage.files()));
+            match builder().recover(image as Arc<dyn DurableStorage>) {
+                Ok((recovered, _report)) => assert_matches_reference(&recovered, &states),
+                Err(e) => {
+                    assert!(
+                        matches!(e, Error::Recovery { .. }),
+                        "budget {budget}: unexpected error {e}"
+                    );
+                    assert!(
+                        budget == 0,
+                        "budget {budget} left no recoverable checkpoint"
+                    );
+                }
+            }
+        }
+        if !any_fault {
+            exhausted = true;
+            break;
+        }
+    }
+    assert!(exhausted, "sweep never reached a fault-free run");
+}
+
+/// Tentpole satellite: a **power-loss** crash under group commit — the
+/// medium keeps only the fsynced prefix ([`MemStorage::synced_files`]).
+/// Acknowledged commits survive (their boundary records are
+/// unconditional sync barriers); only the staged-but-unacknowledged tail
+/// sitting in the open group is lost, which is the documented contract.
+#[test]
+fn power_loss_under_group_commit_keeps_every_acknowledged_commit() {
+    let states = reference_states();
+    let storage = Arc::new(MemStorage::new());
+    assert_eq!(
+        drive_script(
+            Arc::clone(&storage),
+            DurabilityPolicy {
+                checkpoint_every_rounds: u64::MAX,
+                ..DurabilityPolicy::group_commit(64, std::time::Duration::from_secs(3600))
+            },
+        ),
+        3
+    );
+    // The process-crash image still holds the staged tail...
+    let process_image = Arc::new(MemStorage::from_files(storage.files()));
+    let (_, report) = builder()
+        .recover(process_image as Arc<dyn DurableStorage>)
+        .unwrap();
+    assert_eq!(report.restaged_batches, 1, "the OS buffers kept the tail");
+    // ...but the power-loss image cuts at the last sync barrier: the
+    // final Commit boundary. All three acked rounds survive; the
+    // unflushed staged tail is gone.
+    let power_image = Arc::new(MemStorage::from_files(storage.synced_files()));
+    let (recovered, report) = builder()
+        .recover(power_image as Arc<dyn DurableStorage>)
+        .unwrap();
+    assert_eq!(report.version, 3, "no acknowledged commit may be lost");
+    assert_eq!(
+        report.restaged_batches, 0,
+        "the open group's stage record never reached the medium"
+    );
+    assert_matches_reference(&recovered, &states);
+}
+
 /// An fsync failure is a commit that was never acknowledged: the session
 /// poisons itself, and recovery lands on a state the uncrashed run
 /// published — with the un-acked work either absent or fully applied

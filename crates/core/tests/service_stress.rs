@@ -9,10 +9,11 @@
 //! counting is order-independent, so the mined state must not move.
 
 use fup_core::service::{CommitPolicy, MaintainerService};
-use fup_core::Maintainer;
+use fup_core::{Maintainer, UpdatePolicy};
 use fup_datagen::{generate_multi_split, GenParams};
 use fup_mining::{CountingBackend, MinConfidence, MinSupport};
-use fup_tidb::{Transaction, UpdateBatch};
+use fup_tidb::{Tid, Transaction, UpdateBatch};
+use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 fn workload(seed: u64) -> (Vec<Transaction>, Vec<Vec<Transaction>>) {
@@ -238,4 +239,146 @@ fn service_under_concurrent_producers_and_readers_matches_serial() {
     }
     assert_eq!(maintainer.rules(), serial.rules());
     maintainer.verify_consistency().unwrap();
+}
+
+// --------------------- the bounded pipeline equivalence property ------
+
+/// A random transaction over a small item alphabet (1–6 items of 0..12).
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0u32..12, 1..6).prop_map(Transaction::from_items)
+}
+
+fn arb_backend() -> impl Strategy<Value = CountingBackend> {
+    (0usize..3).prop_map(|i| {
+        [
+            CountingBackend::HashTree,
+            CountingBackend::Vertical,
+            CountingBackend::Auto,
+        ][i]
+    })
+}
+
+fn arb_producers() -> impl Strategy<Value = usize> {
+    (0usize..3).prop_map(|i| [1usize, 2, 8][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite: a bursty arrival schedule pushed through the *bounded*
+    /// pipeline — a small staging-capacity gate with blocking producers,
+    /// chunked commit rounds, and (when the policy crosses the §4.5
+    /// break-even) the forced re-mine routing — commits itemsets and
+    /// rules bit-identical to an unbounded serial session staging the
+    /// same batches, across backends × producer counts {1, 2, 8}.
+    #[test]
+    fn bursty_bounded_pipeline_matches_unbounded_serial(
+        history in proptest::collection::vec(arb_transaction(), 0..40),
+        insert_bursts in proptest::collection::vec(
+            proptest::collection::vec(arb_transaction(), 0..5), 4..10),
+        delete_seed in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
+        round_cap in 1u64..6,
+        backend in arb_backend(),
+        producers in arb_producers(),
+        force_remine in any::<bool>(),
+    ) {
+        // A tiny break-even ratio makes nearly every backlog cross the
+        // re-mine threshold, exercising the whole-backlog routing; the
+        // default policy keeps every round on the capped FUP path.
+        let policy = if force_remine {
+            UpdatePolicy::RemineOverRatio(0.05)
+        } else {
+            UpdatePolicy::AlwaysIncremental
+        };
+        let build = |history: Vec<Transaction>| {
+            Maintainer::builder()
+                .min_support(MinSupport::percent(5))
+                .min_confidence(MinConfidence::percent(60))
+                .backend(backend)
+                .policy(policy)
+                .build(history)
+                .unwrap()
+        };
+
+        // Distinct delete victims from the history, dealt round-robin
+        // across the bursts so concurrent claims never collide.
+        let mut serial = build(history.clone());
+        let tids: Vec<Tid> = serial.store().iter().map(|(tid, _)| tid).collect();
+        let mut victims: Vec<Tid> = delete_seed
+            .iter()
+            .filter(|_| !tids.is_empty())
+            .map(|ix| tids[ix.index(tids.len())])
+            .collect();
+        victims.sort();
+        victims.dedup();
+        let mut batches: Vec<UpdateBatch> = insert_bursts
+            .into_iter()
+            .map(|inserts| UpdateBatch { inserts, deletes: vec![] })
+            .collect();
+        let num_batches = batches.len();
+        for (i, tid) in victims.into_iter().enumerate() {
+            batches[i % num_batches].deletes.push(tid);
+        }
+
+        // Unbounded serial reference: stage everything, one commit.
+        for batch in &batches {
+            serial.stage(batch.clone()).unwrap();
+        }
+        serial.commit().unwrap();
+
+        // The bounded pipeline: the capacity gate blocks producers, the
+        // pending trigger keeps the committer draining in capped rounds,
+        // and the final flush covers the stragglers.
+        let service = MaintainerService::launch(
+            build(history),
+            CommitPolicy::manual()
+                .every_ops(4)
+                .ops_per_round(round_cap)
+                .staging_capacity(16)
+                .with_poll_interval(std::time::Duration::from_millis(1)),
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for worker in 0..producers {
+                let (service, batches) = (&service, &batches);
+                scope.spawn(move || {
+                    for batch in batches.iter().skip(worker).step_by(producers) {
+                        service.stage(batch.clone()).unwrap();
+                    }
+                });
+            }
+        });
+        service.flush().unwrap();
+        let (maintainer, metrics) = service.shutdown();
+        prop_assert_eq!(metrics.dropped_rounds, 0);
+        if !force_remine {
+            // Batches are atomic, so one batch larger than the cap forms
+            // its own round; the bound is max(cap, largest batch).
+            let largest_batch = batches
+                .iter()
+                .map(|b| (b.inserts.len() + b.deletes.len()) as u64)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(
+                metrics.max_round_ops <= round_cap.max(largest_batch),
+                "incremental rounds must respect the {} op cap (saw {})",
+                round_cap,
+                metrics.max_round_ops
+            );
+        }
+
+        prop_assert_eq!(maintainer.len(), serial.len());
+        prop_assert!(
+            maintainer
+                .large_itemsets()
+                .same_itemsets(serial.large_itemsets()),
+            "{:?}",
+            maintainer.large_itemsets().diff(serial.large_itemsets())
+        );
+        for (itemset, support) in serial.large_itemsets().iter() {
+            prop_assert_eq!(maintainer.large_itemsets().support(itemset), Some(support));
+        }
+        prop_assert_eq!(maintainer.rules(), serial.rules());
+        maintainer.verify_consistency().unwrap();
+    }
 }

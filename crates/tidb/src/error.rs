@@ -38,6 +38,28 @@ pub enum Error {
         /// Human-readable description of the failure.
         reason: String,
     },
+    /// A non-blocking stage found the staging area at capacity. The
+    /// batch was not queued; the producer should back off and retry (or
+    /// shed the batch). Only produced when a capacity limit is set.
+    WouldBlock {
+        /// Ops (inserts + deletes) occupying the area when rejected.
+        pending: u64,
+        /// The configured capacity limit, in ops.
+        capacity: u64,
+    },
+    /// A blocking stage waited for capacity until its deadline passed.
+    /// The batch was not queued.
+    StageTimeout {
+        /// Ops (inserts + deletes) occupying the area when the deadline
+        /// expired.
+        pending: u64,
+        /// The configured capacity limit, in ops.
+        capacity: u64,
+    },
+    /// The staging area is closed to new admissions (the owning service
+    /// is shutting down, or its committer thread died). The batch was
+    /// not queued.
+    StagingClosed,
 }
 
 impl fmt::Display for Error {
@@ -60,6 +82,15 @@ impl fmt::Display for Error {
             Error::Io { op, file, reason } => {
                 write!(f, "durable storage {op} on {file:?} failed: {reason}")
             }
+            Error::WouldBlock { pending, capacity } => write!(
+                f,
+                "staging area at capacity ({pending}/{capacity} ops): try again later"
+            ),
+            Error::StageTimeout { pending, capacity } => write!(
+                f,
+                "stage deadline expired waiting for staging capacity ({pending}/{capacity} ops)"
+            ),
+            Error::StagingClosed => write!(f, "staging area is closed to new admissions"),
         }
     }
 }
@@ -104,6 +135,21 @@ mod tests {
         assert!(e.to_string().contains("append"));
         assert!(e.to_string().contains("wal-0"));
         assert!(e.to_string().contains("fault injected"));
+
+        let e = Error::WouldBlock {
+            pending: 512,
+            capacity: 512,
+        };
+        assert!(e.to_string().contains("512/512"));
+
+        let e = Error::StageTimeout {
+            pending: 500,
+            capacity: 512,
+        };
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.to_string().contains("500/512"));
+
+        assert!(Error::StagingClosed.to_string().contains("closed"));
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use item::ItemId;
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
 pub use source::TransactionSource;
-pub use staging::{LiveTidView, StagingArea};
+pub use staging::{Admission, LiveTidView, StagingArea};
 pub use storage::{DiskStorage, DurableStorage, MemStorage};
 pub use transaction::Transaction;
 pub use wal::{WalRecord, WalScan};

@@ -97,6 +97,12 @@ impl UpdateBatch {
     pub fn is_empty(&self) -> bool {
         self.inserts.is_empty() && self.deletes.is_empty()
     }
+
+    /// Total operations the batch carries (inserts + deletes) — the unit
+    /// the staging capacity gate and bounded commit rounds account in.
+    pub fn num_ops(&self) -> u64 {
+        self.inserts.len() as u64 + self.deletes.len() as u64
+    }
 }
 
 /// A staged (uncommitted) update: the materialised `db⁺` and `db⁻` sides.
@@ -304,6 +310,15 @@ impl SegmentedDb {
     /// [`take_pending`](Self::take_pending).
     pub fn take_pending_entries(&mut self) -> Vec<(u64, UpdateBatch)> {
         self.staging.drain_entries()
+    }
+
+    /// [`take_pending_entries`](Self::take_pending_entries) bounded to at
+    /// most `max_ops` operations: drains the longest arrival-order prefix
+    /// of whole batches within the bound (an oversized first batch
+    /// travels alone — see
+    /// [`StagingArea::drain_entries_up_to`]). `None` drains everything.
+    pub fn take_pending_entries_up_to(&mut self, max_ops: Option<u64>) -> Vec<(u64, UpdateBatch)> {
+        self.staging.drain_entries_up_to(max_ops)
     }
 
     /// One past the highest tid ever allocated (the durable watermark).

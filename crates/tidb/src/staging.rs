@@ -36,7 +36,8 @@ use crate::error::{Error, Result};
 use crate::segment::{Tid, UpdateBatch};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Default shard count — enough stripes that a handful of producer
 /// threads effectively never collide on a shard mutex.
@@ -44,6 +45,33 @@ pub const DEFAULT_STAGING_SHARDS: usize = 16;
 
 /// One shard's queue: `(ticket, batch)` pairs in local arrival order.
 type Shard = Vec<(u64, UpdateBatch)>;
+
+/// How a producer wants to wait when the staging area is at capacity.
+///
+/// With no capacity limit configured every mode admits immediately; the
+/// modes only differ once [`StagingArea::set_capacity`] has bounded the
+/// area and it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Fail immediately with [`Error::WouldBlock`] instead of waiting.
+    Try,
+    /// Wait (indefinitely) until a drain frees enough capacity.
+    Block,
+    /// Wait until the deadline, then fail with [`Error::StageTimeout`].
+    Deadline(Instant),
+}
+
+/// The capacity gate: admitted-but-undrained ops plus the closed flag,
+/// behind one mutex so blocked producers can park on the condvar.
+#[derive(Debug, Default)]
+struct Gate {
+    /// Ops (inserts + deletes) admitted and not yet drained. Tracks the
+    /// pending counters, but under the gate mutex so waiting is
+    /// race-free.
+    occupancy: u64,
+    /// When set, every admission fails with [`Error::StagingClosed`].
+    closed: bool,
+}
 
 /// A compact view of the live tid set: tids are assigned sequentially, so
 /// "live" is *allocated* (`tid < watermark`) and *not tombstoned*. The
@@ -141,6 +169,10 @@ pub struct StagingArea {
     live: RwLock<LiveTidView>,
     pending_inserts: AtomicU64,
     pending_deletes: AtomicU64,
+    /// Capacity limit in ops; 0 means unbounded.
+    capacity: AtomicU64,
+    gate: Mutex<Gate>,
+    freed: Condvar,
 }
 
 impl Default for StagingArea {
@@ -160,12 +192,131 @@ impl StagingArea {
             live: RwLock::new(LiveTidView::default()),
             pending_inserts: AtomicU64::new(0),
             pending_deletes: AtomicU64::new(0),
+            capacity: AtomicU64::new(0),
+            gate: Mutex::new(Gate::default()),
+            freed: Condvar::new(),
         }
     }
 
     /// Number of lock stripes.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Bounds the area to `limit` ops (inserts + deletes), or removes
+    /// the bound with `None`. While more than `limit` ops are queued,
+    /// new admissions wait or fail per their [`Admission`] mode. Raising
+    /// the limit wakes blocked producers.
+    pub fn set_capacity(&self, limit: Option<u64>) {
+        self.capacity.store(limit.unwrap_or(0), Ordering::Relaxed);
+        // Take the gate lock so no reserver can observe the old limit
+        // between its capacity check and its wait.
+        drop(self.gate.lock().expect("staging gate poisoned"));
+        self.freed.notify_all();
+    }
+
+    /// The configured capacity limit in ops, if any.
+    pub fn capacity(&self) -> Option<u64> {
+        match self.capacity.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Ops (inserts + deletes) currently occupying the capacity gate:
+    /// admitted (or reserved by a mid-flight stage) and not yet drained.
+    pub fn occupancy(&self) -> u64 {
+        self.gate.lock().expect("staging gate poisoned").occupancy
+    }
+
+    /// Closes the area to new admissions: every subsequent (and every
+    /// blocked) [`reserve`](Self::reserve) fails with
+    /// [`Error::StagingClosed`]. Draining, committing, and releasing
+    /// claims still work — a shutdown drains the backlog after closing
+    /// the door. Reopen with [`reopen_admissions`](Self::reopen_admissions).
+    pub fn close_admissions(&self) {
+        self.gate.lock().expect("staging gate poisoned").closed = true;
+        self.freed.notify_all();
+    }
+
+    /// Reopens the area after [`close_admissions`](Self::close_admissions).
+    pub fn reopen_admissions(&self) {
+        self.gate.lock().expect("staging gate poisoned").closed = false;
+        self.freed.notify_all();
+    }
+
+    /// Reserves `ops` worth of capacity, waiting per `admission` when
+    /// the area is full. Every admission path (including the decomposed
+    /// durable path) reserves before claiming; a reservation is paid
+    /// back by a drain, or by [`release_capacity`](Self::release_capacity)
+    /// if the stage fails after reserving.
+    ///
+    /// A batch larger than the whole capacity can never fit and is
+    /// rejected immediately with [`Error::WouldBlock`] in every mode.
+    pub fn reserve(&self, ops: u64, admission: Admission) -> Result<()> {
+        let mut gate = self.gate.lock().expect("staging gate poisoned");
+        loop {
+            if gate.closed {
+                return Err(Error::StagingClosed);
+            }
+            let limit = self.capacity.load(Ordering::Relaxed);
+            if limit == 0 || gate.occupancy.saturating_add(ops) <= limit {
+                gate.occupancy += ops;
+                return Ok(());
+            }
+            if ops > limit {
+                // Would never fit: waiting is a guaranteed hang.
+                return Err(Error::WouldBlock {
+                    pending: gate.occupancy,
+                    capacity: limit,
+                });
+            }
+            match admission {
+                Admission::Try => {
+                    return Err(Error::WouldBlock {
+                        pending: gate.occupancy,
+                        capacity: limit,
+                    });
+                }
+                Admission::Block => {
+                    gate = self.freed.wait(gate).expect("staging gate poisoned");
+                }
+                Admission::Deadline(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(Error::StageTimeout {
+                            pending: gate.occupancy,
+                            capacity: limit,
+                        });
+                    }
+                    let (g, _) = self
+                        .freed
+                        .wait_timeout(gate, deadline - now)
+                        .expect("staging gate poisoned");
+                    gate = g;
+                }
+            }
+        }
+    }
+
+    /// Returns `ops` worth of reserved capacity (a stage failed after
+    /// reserving, or a drain paid back what it removed) and wakes
+    /// blocked producers.
+    pub fn release_capacity(&self, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        let mut gate = self.gate.lock().expect("staging gate poisoned");
+        gate.occupancy = gate.occupancy.saturating_sub(ops);
+        drop(gate);
+        self.freed.notify_all();
+    }
+
+    /// Accounts `ops` against the gate without checking the limit or the
+    /// closed flag — recovery re-admits a checkpoint/WAL backlog that
+    /// must be accepted regardless of any capacity configured later.
+    pub fn reserve_restored(&self, ops: u64) {
+        self.gate.lock().expect("staging gate poisoned").occupancy += ops;
     }
 
     /// Queues a batch, validating deletes at arrival: every deleted tid
@@ -176,8 +327,34 @@ impl StagingArea {
     /// Takes `&self`: any number of producer threads may stage
     /// concurrently, with each other and with scans of the live set.
     /// Returns the batch's global arrival ticket.
+    ///
+    /// When a capacity limit is set and the area is full, **blocks**
+    /// until a drain frees space — use [`try_stage`](Self::try_stage) or
+    /// [`stage_deadline`](Self::stage_deadline) for bounded waiting.
     pub fn stage(&self, batch: UpdateBatch) -> Result<u64> {
-        self.claim(&batch.deletes)?;
+        self.stage_with(batch, Admission::Block)
+    }
+
+    /// Non-blocking [`stage`](Self::stage): fails with
+    /// [`Error::WouldBlock`] instead of waiting for capacity.
+    pub fn try_stage(&self, batch: UpdateBatch) -> Result<u64> {
+        self.stage_with(batch, Admission::Try)
+    }
+
+    /// [`stage`](Self::stage) that waits for capacity only until
+    /// `deadline`, then fails with [`Error::StageTimeout`].
+    pub fn stage_deadline(&self, batch: UpdateBatch, deadline: Instant) -> Result<u64> {
+        self.stage_with(batch, Admission::Deadline(deadline))
+    }
+
+    /// [`stage`](Self::stage) with an explicit [`Admission`] mode.
+    pub fn stage_with(&self, batch: UpdateBatch, admission: Admission) -> Result<u64> {
+        let ops = batch.num_ops();
+        self.reserve(ops, admission)?;
+        if let Err(e) = self.claim(&batch.deletes) {
+            self.release_capacity(ops);
+            return Err(e);
+        }
         let ticket = self.take_ticket();
         self.admit_with_ticket(ticket, batch);
         Ok(ticket)
@@ -281,14 +458,79 @@ impl StagingArea {
     /// drained deletes are kept, as with [`drain`](Self::drain).
     pub fn drain_entries(&self) -> Vec<(u64, UpdateBatch)> {
         let entries = self.collect_entries(std::mem::take);
+        self.account_drained(&entries);
+        entries
+    }
+
+    /// Drains at most `max_ops` ops (inserts + deletes) of the queue,
+    /// keeping per-batch boundaries: the longest prefix of the global
+    /// arrival (ticket) order whose op total stays within the bound.
+    /// Batches are never split, so one invariant holds instead of a
+    /// strict cap: **a returned round exceeds `max_ops` only when its
+    /// first batch alone does** (an oversized batch travels alone).
+    /// `None` drains everything, exactly like
+    /// [`drain_entries`](Self::drain_entries). Claims for the drained
+    /// deletes are kept, as with [`drain`](Self::drain); claims for
+    /// batches left behind stay claimed for the round that will
+    /// eventually carry them.
+    pub fn drain_entries_up_to(&self, max_ops: Option<u64>) -> Vec<(u64, UpdateBatch)> {
+        let Some(cap) = max_ops else {
+            return self.drain_entries();
+        };
+        // Lock every shard at once for a consistent cut (producers only
+        // ever hold one shard lock, so ordering cannot deadlock).
+        // Within a shard tickets ascend, so the global ticket-order
+        // prefix is a per-shard prefix: k-way merge the shard fronts
+        // until the cap is reached, then drain each shard's prefix.
+        let mut guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("staging shard poisoned"))
+            .collect();
+        let mut take = vec![0usize; guards.len()];
+        let mut ops = 0u64;
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, guard) in guards.iter().enumerate() {
+                if take[i] < guard.len() {
+                    let ticket = guard[take[i]].0;
+                    if best.is_none_or(|b: usize| ticket < guards[b][take[b]].0) {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let batch_ops = guards[i][take[i]].1.num_ops();
+            if ops > 0 && ops.saturating_add(batch_ops) > cap {
+                break;
+            }
+            take[i] += 1;
+            ops = ops.saturating_add(batch_ops);
+            if ops >= cap {
+                break;
+            }
+        }
+        let mut entries: Vec<(u64, UpdateBatch)> = Vec::new();
+        for (guard, &n) in guards.iter_mut().zip(&take) {
+            entries.extend(guard.drain(..n));
+        }
+        drop(guards);
+        entries.sort_unstable_by_key(|&(ticket, _)| ticket);
+        self.account_drained(&entries);
+        entries
+    }
+
+    /// Pays drained entries back to the pending counters and the
+    /// capacity gate.
+    fn account_drained(&self, entries: &[(u64, UpdateBatch)]) {
         let (mut inserts, mut deletes) = (0u64, 0u64);
-        for (_, batch) in &entries {
+        for (_, batch) in entries {
             inserts += batch.inserts.len() as u64;
             deletes += batch.deletes.len() as u64;
         }
         self.pending_inserts.fetch_sub(inserts, Ordering::Relaxed);
         self.pending_deletes.fetch_sub(deletes, Ordering::Relaxed);
-        entries
+        self.release_capacity(inserts + deletes);
     }
 
     /// A copy of the queued `(ticket, batch)` entries in global arrival
@@ -539,6 +781,185 @@ mod tests {
         let mut got: Vec<u32> = merged.inserts.iter().map(|t| t.items()[0].raw()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..8 * per_thread).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_rejects_try_stage_when_full() {
+        let area = StagingArea::with_shards(2);
+        area.set_capacity(Some(3));
+        assert_eq!(area.capacity(), Some(3));
+        area.try_stage(UpdateBatch::insert_only(vec![tx(&[1]), tx(&[2])]))
+            .unwrap();
+        assert_eq!(area.occupancy(), 2);
+        // 2 + 2 > 3: rejected with the typed error, nothing queued.
+        let err = area
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[3]), tx(&[4])]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::WouldBlock {
+                pending: 2,
+                capacity: 3
+            }
+        );
+        assert_eq!(area.pending_ops(), (2, 0));
+        // A single op still fits.
+        area.try_stage(UpdateBatch::insert_only(vec![tx(&[3])]))
+            .unwrap();
+        // Draining pays the capacity back.
+        area.drain();
+        assert_eq!(area.occupancy(), 0);
+        area.try_stage(UpdateBatch::insert_only(vec![tx(&[5]), tx(&[6])]))
+            .unwrap();
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_in_every_mode() {
+        let area = StagingArea::with_shards(1);
+        area.set_capacity(Some(2));
+        let big = || UpdateBatch::insert_only(vec![tx(&[1]), tx(&[2]), tx(&[3])]);
+        for admission in [
+            Admission::Try,
+            Admission::Block,
+            Admission::Deadline(Instant::now() + std::time::Duration::from_secs(60)),
+        ] {
+            let err = area.stage_with(big(), admission).unwrap_err();
+            assert!(matches!(err, Error::WouldBlock { capacity: 2, .. }));
+        }
+    }
+
+    #[test]
+    fn stage_deadline_times_out_with_typed_error() {
+        let area = StagingArea::with_shards(1);
+        area.set_capacity(Some(1));
+        area.stage(UpdateBatch::insert_only(vec![tx(&[1])]))
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        let err = area
+            .stage_deadline(UpdateBatch::insert_only(vec![tx(&[2])]), deadline)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::StageTimeout {
+                pending: 1,
+                capacity: 1
+            }
+        );
+        assert_eq!(area.pending_ops(), (1, 0));
+    }
+
+    #[test]
+    fn blocked_stage_wakes_when_a_drain_frees_capacity() {
+        let area = StagingArea::with_shards(2);
+        area.set_capacity(Some(2));
+        area.stage(UpdateBatch::insert_only(vec![tx(&[1]), tx(&[2])]))
+            .unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| area.stage(UpdateBatch::insert_only(vec![tx(&[3])])));
+            // Let the producer park, then free capacity.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let drained = area.drain();
+            assert_eq!(drained.inserts.len(), 2);
+            handle.join().unwrap().unwrap();
+        });
+        assert_eq!(area.pending_ops(), (1, 0));
+        assert_eq!(area.occupancy(), 1);
+    }
+
+    #[test]
+    fn close_admissions_fails_blocked_and_new_stages() {
+        let area = StagingArea::with_shards(2);
+        area.set_capacity(Some(1));
+        area.stage(UpdateBatch::insert_only(vec![tx(&[1])]))
+            .unwrap();
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| area.stage(UpdateBatch::insert_only(vec![tx(&[2])])));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            area.close_admissions();
+            assert_eq!(handle.join().unwrap().unwrap_err(), Error::StagingClosed);
+        });
+        // New admissions fail too, in every mode; the backlog drains fine.
+        let err = area
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[3])]))
+            .unwrap_err();
+        assert_eq!(err, Error::StagingClosed);
+        assert_eq!(area.drain().inserts.len(), 1);
+        // Reopening restores service.
+        area.reopen_admissions();
+        area.stage(UpdateBatch::insert_only(vec![tx(&[4])]))
+            .unwrap();
+    }
+
+    #[test]
+    fn failed_claim_after_reserve_returns_the_capacity() {
+        let area = area_with_live(&[1]);
+        area.set_capacity(Some(4));
+        let err = area
+            .try_stage(UpdateBatch::delete_only(vec![Tid(99)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(99)));
+        assert_eq!(area.occupancy(), 0, "failed stage must not leak capacity");
+    }
+
+    #[test]
+    fn bounded_drain_takes_an_arrival_order_prefix() {
+        let area = StagingArea::with_shards(3);
+        for i in 0..6u32 {
+            // Batches of 2 ops each: tickets 0..6, ops 12 total.
+            area.stage(UpdateBatch::insert_only(vec![tx(&[i]), tx(&[i + 100])]))
+                .unwrap();
+        }
+        // Cap 5 ops → whole batches only → tickets {0, 1} (4 ops).
+        let round = area.drain_entries_up_to(Some(5));
+        assert_eq!(
+            round.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(area.pending_ops(), (8, 0));
+        // Cap 4 takes the next two, exactly.
+        let round = area.drain_entries_up_to(Some(4));
+        assert_eq!(
+            round.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        // No cap drains the rest.
+        let round = area.drain_entries_up_to(None);
+        assert_eq!(
+            round.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert!(!area.has_pending());
+        assert_eq!(area.occupancy(), 0);
+    }
+
+    #[test]
+    fn bounded_drain_lets_an_oversized_first_batch_travel_alone() {
+        let area = StagingArea::with_shards(2);
+        area.stage(UpdateBatch::insert_only(vec![tx(&[1]), tx(&[2]), tx(&[3])]))
+            .unwrap();
+        area.stage(UpdateBatch::insert_only(vec![tx(&[4])]))
+            .unwrap();
+        // Cap 2 < first batch's 3 ops: the oversized batch still moves,
+        // alone, so the backlog can never wedge.
+        let round = area.drain_entries_up_to(Some(2));
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].1.inserts.len(), 3);
+        assert_eq!(area.pending_ops(), (1, 0));
+    }
+
+    #[test]
+    fn bounded_drain_keeps_claims_for_batches_left_behind() {
+        let area = area_with_live(&[1, 2]);
+        area.stage(UpdateBatch::delete_only(vec![Tid(1)])).unwrap();
+        area.stage(UpdateBatch::delete_only(vec![Tid(2)])).unwrap();
+        let round = area.drain_entries_up_to(Some(1));
+        assert_eq!(round.len(), 1);
+        // Both tids stay claimed: one by the in-flight round, one by the
+        // batch still queued.
+        for tid in [Tid(1), Tid(2)] {
+            let err = area.stage(UpdateBatch::delete_only(vec![tid])).unwrap_err();
+            assert_eq!(err, Error::UnknownTransaction(tid));
+        }
     }
 
     #[test]

@@ -227,6 +227,11 @@ struct MemInner {
     dead: bool,
     fail_sync: bool,
     faults_fired: u64,
+    /// Per-file length at the last successful `sync` (atomically written
+    /// files count as synced in full) — the durable prefix a
+    /// power-loss crash image keeps.
+    synced_len: HashMap<String, usize>,
+    sync_calls: u64,
 }
 
 /// In-memory [`DurableStorage`] with fault injection: the crash-recovery
@@ -251,9 +256,13 @@ impl MemStorage {
     /// A namespace pre-populated with `files` — typically a crash image
     /// captured from another `MemStorage`.
     pub fn from_files(files: HashMap<String, Vec<u8>>) -> Self {
+        // An image handed to a fresh namespace is, by definition, what
+        // survived: everything in it counts as durable.
+        let synced_len = files.iter().map(|(k, v)| (k.clone(), v.len())).collect();
         MemStorage {
             inner: Mutex::new(MemInner {
                 files,
+                synced_len,
                 ..Default::default()
             }),
         }
@@ -303,13 +312,40 @@ impl MemStorage {
             .cloned()
     }
 
-    /// A copy of the whole namespace (a crash image).
+    /// A copy of the whole namespace (a crash image). Models a crash
+    /// where the page cache survived (or every append was written
+    /// through): un-synced appended bytes are still present. For the
+    /// power-loss image that keeps only fsynced bytes, use
+    /// [`synced_files`](Self::synced_files).
     pub fn files(&self) -> HashMap<String, Vec<u8>> {
         self.inner
             .lock()
             .expect("mem storage poisoned")
             .files
             .clone()
+    }
+
+    /// A power-loss crash image: every file truncated to its length at
+    /// the last successful `sync` (atomically-written files count in
+    /// full; never-synced append-only files come back empty). Group
+    /// commit's relaxed guarantee is exactly that the bytes between this
+    /// image and [`files`](Self::files) may be lost.
+    pub fn synced_files(&self) -> HashMap<String, Vec<u8>> {
+        let inner = self.inner.lock().expect("mem storage poisoned");
+        inner
+            .files
+            .iter()
+            .map(|(name, bytes)| {
+                let keep = inner.synced_len.get(name).copied().unwrap_or(0);
+                (name.clone(), bytes[..keep.min(bytes.len())].to_vec())
+            })
+            .collect()
+    }
+
+    /// Number of successful `sync` calls so far — the group-commit tests
+    /// assert fsync cadence with this.
+    pub fn sync_calls(&self) -> u64 {
+        self.inner.lock().expect("mem storage poisoned").sync_calls
     }
 
     /// Truncates `name` to `len` bytes (no-op if shorter) — simulates a
@@ -389,6 +425,9 @@ impl DurableStorage for MemStorage {
         if Self::count_op(&mut inner, "sync", file)?.is_some() {
             return Err(io_err("sync", file, "killed at fsync by injected fault"));
         }
+        let len = inner.files.get(file).map_or(0, Vec::len);
+        inner.synced_len.insert(file.to_string(), len);
+        inner.sync_calls += 1;
         Ok(())
     }
 
@@ -400,6 +439,7 @@ impl DurableStorage for MemStorage {
             return Err(io_err("write_atomic", file, "killed by injected fault"));
         }
         inner.files.insert(file.to_string(), content.to_vec());
+        inner.synced_len.insert(file.to_string(), content.len());
         Ok(())
     }
 
@@ -433,6 +473,7 @@ impl DurableStorage for MemStorage {
             return Err(io_err("remove", file, "killed by injected fault"));
         }
         inner.files.remove(file);
+        inner.synced_len.remove(file);
         Ok(())
     }
 }
@@ -514,6 +555,33 @@ mod tests {
         s.flip_byte("f", 99);
         s.truncate_file("f", 99);
         assert_eq!(s.file("f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn synced_files_keep_only_the_fsynced_prefix() {
+        let s = MemStorage::new();
+        s.append("wal", b"aaaa").unwrap();
+        s.sync("wal").unwrap();
+        s.append("wal", b"bbbb").unwrap(); // buffered, never synced
+        s.write_atomic("ckpt", b"image").unwrap(); // atomically durable
+        s.append("fresh", b"cccc").unwrap(); // never synced at all
+        assert_eq!(s.sync_calls(), 1);
+
+        let cache_alive = s.files();
+        assert_eq!(cache_alive["wal"], b"aaaabbbb");
+
+        let power_loss = s.synced_files();
+        assert_eq!(power_loss["wal"], b"aaaa");
+        assert_eq!(power_loss["ckpt"], b"image");
+        assert_eq!(power_loss["fresh"], b"");
+
+        // A later sync makes the buffered tail durable.
+        s.sync("wal").unwrap();
+        assert_eq!(s.synced_files()["wal"], b"aaaabbbb");
+
+        // An image handed to a new namespace is durable in full.
+        let restored = MemStorage::from_files(power_loss);
+        assert_eq!(restored.synced_files()["wal"], b"aaaa");
     }
 
     #[test]

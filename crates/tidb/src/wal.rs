@@ -34,6 +34,12 @@
 //! effective strictly in file order: a commit boundary always follows the
 //! stage records it covers, so a valid prefix is always a consistent
 //! history.
+//!
+//! The same prefix argument is what makes **group commit** safe: when the
+//! durability layer batches the `sync` barriers of several `Stage`
+//! appends (see `fup_core::DurabilityPolicy::group_commit`), a power cut
+//! can only drop a *suffix* of un-synced stage records — never an
+//! acknowledged boundary, which always syncs unconditionally.
 
 use crate::codec;
 use crate::error::{Error, Result};

@@ -108,6 +108,62 @@
 //! assert_eq!(maintainer.len(), 6);
 //! ```
 //!
+//! ## Serving under load
+//!
+//! Under sustained overload the service degrades predictably instead of
+//! queueing without bound: [`CommitPolicy::staging_capacity`] caps the
+//! staged backlog (producers choose their blocking behaviour per call —
+//! [`try_stage`](MaintainerService::try_stage) fails fast with a typed
+//! [`ServiceError::WouldBlock`],
+//! [`stage_deadline`](MaintainerService::stage_deadline) waits up to a
+//! deadline, plain [`stage`](MaintainerService::stage) rides the burst
+//! out), and [`CommitPolicy::ops_per_round`] chunks an accumulated
+//! backlog into bounded commit rounds so per-round latency — and with
+//! it snapshot staleness — stays flat no matter how deep the burst was.
+//! [`ServiceMetrics`] reports the backlog and round-size picture, and
+//! [`round_latencies`](MaintainerService::round_latencies) serves the
+//! per-round wall-clock series behind p50/p99 reporting.
+//!
+//! ```
+//! use fup::{CommitPolicy, Maintainer, MaintainerService, ServiceError};
+//! use fup::{MinConfidence, MinSupport, Transaction, UpdateBatch};
+//!
+//! let maintainer = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .build(vec![
+//!         Transaction::from_items([1u32, 2]),
+//!         Transaction::from_items([1u32, 2, 3]),
+//!     ])
+//!     .unwrap();
+//! // Admit at most 2 staged ops; drain in rounds of at most 1 op.
+//! let policy = CommitPolicy::manual().staging_capacity(2).ops_per_round(1);
+//! let service = MaintainerService::launch(maintainer, policy).unwrap();
+//!
+//! let batch = || UpdateBatch::insert_only(vec![Transaction::from_items([2u32, 3])]);
+//! service.try_stage(batch()).unwrap();
+//! service.try_stage(batch()).unwrap();
+//!
+//! // The gate is full: a third try_stage fails *now*, typed — the
+//! // producer sheds or retries instead of queueing unboundedly.
+//! match service.try_stage(batch()) {
+//!     Err(ServiceError::WouldBlock { pending: 2, capacity: 2 }) => {}
+//!     other => panic!("expected WouldBlock, got {other:?}"),
+//! }
+//!
+//! // A flush drains the 2-op backlog in bounded 1-op rounds.
+//! let report = service.flush().unwrap();
+//! assert_eq!(report.version, 2);
+//! let metrics = service.metrics();
+//! assert_eq!(metrics.backpressure_rejections, 1);
+//! assert_eq!(metrics.max_round_ops, 1);
+//! assert_eq!(service.round_latencies().len(), 2);
+//!
+//! // With space freed, admission succeeds again.
+//! service.try_stage(batch()).unwrap();
+//! service.shutdown();
+//! ```
+//!
 //! ## Durable serving
 //!
 //! A session built with
@@ -187,8 +243,8 @@ pub use fup_mining::{
     MinConfidence, MinSupport, Miner, Rule, RuleSet, VerticalIndex,
 };
 pub use fup_tidb::{
-    DiskStorage, DurableStorage, ItemDictionary, ItemId, MemStorage, SegmentedDb, Tid, Transaction,
-    TransactionDb, TransactionSource, UpdateBatch,
+    Admission, DiskStorage, DurableStorage, ItemDictionary, ItemId, MemStorage, SegmentedDb, Tid,
+    Transaction, TransactionDb, TransactionSource, UpdateBatch,
 };
 
 #[cfg(test)]
