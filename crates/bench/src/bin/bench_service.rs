@@ -31,15 +31,27 @@
 //! `--arrival-tps`, a burst phase at `--burst-factor` times that rate,
 //! and a steady tail — against a service configured with
 //! `--staging-cap` (backpressure) and `--round-ops` (chunked rounds).
-//! Arrivals never slow down for the service: a full gate falls back from
-//! `try_stage` to a 100 ms `stage_deadline`, and batches that still time
-//! out are *shed* and counted. The run reports p50/p99 per-round commit
+//! Arrivals never slow down for the service: a full gate is retried with
+//! bounded exponential backoff
+//! ([`MaintainerService::stage_with_retry`]), and batches that exhaust
+//! the budget are *shed* and counted. The run reports p50/p99 per-round commit
 //! latency (from [`MaintainerService::round_latencies`]), the backlog
 //! high-water mark, and the worst snapshot staleness in rounds; the
 //! final state is certified bit-identical to a serial session staging
 //! exactly the accepted batches. `--max-p99-commit-ms` and
 //! `--max-staleness-rounds` exit non-zero when the observed tail latency
 //! or staleness exceeds the bound — the CI gate for the overload path.
+//!
+//! `--flaky` adds the self-healing scenario: the same workload staged
+//! through a durable service whose storage fails **transiently at
+//! random** (`FlakyStorage` over in-memory storage, seeded, at
+//! `--fault-rate-bp` basis points per operation). The producer rides
+//! faults out with `stage_with_retry`; degraded windows must heal; the
+//! final state is certified against the serial reference and a recovery
+//! from the surviving bytes. The `flaky` JSON object reports the faults
+//! injected, retries absorbed, and milliseconds spent degraded. The
+//! clean (un-faulted) durability run is health-checked either way: zero
+//! committer restarts, zero degraded time.
 //!
 //! On a single-CPU container the multi-producer rows measure lock-stripe
 //! overhead only (producers time-slice one core); the committed JSON
@@ -54,13 +66,14 @@
 //!               [--open-loop] [--arrival-tps TPS] [--burst-factor F]
 //!               [--round-ops OPS] [--staging-cap OPS]
 //!               [--max-p99-commit-ms MS] [--max-staleness-rounds N]
+//!               [--flaky] [--fault-rate-bp B]
 //! ```
 
-use fup_core::service::{CommitPolicy, MaintainerService};
-use fup_core::{DurabilityPolicy, Maintainer};
+use fup_core::service::{CommitPolicy, MaintainerService, ServiceError};
+use fup_core::{DurabilityPolicy, HealthState, Maintainer, RetryPolicy};
 use fup_datagen::{corpus, GenParams, QuestGenerator};
 use fup_mining::{MinConfidence, MinSupport};
-use fup_tidb::{DiskStorage, DurableStorage, Transaction, UpdateBatch};
+use fup_tidb::{DiskStorage, DurableStorage, FlakyStorage, MemStorage, Transaction, UpdateBatch};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +106,11 @@ struct Options {
     /// Exit non-zero if the open-loop snapshot ever falls more than this
     /// many rounds behind (0 disables).
     max_staleness_rounds: u64,
+    /// Run the self-healing scenario over randomly failing storage.
+    flaky: bool,
+    /// Transient-fault probability per storage operation, in basis
+    /// points (100 = 1%).
+    fault_rate_bp: u32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -113,6 +131,8 @@ fn parse_args() -> Result<Options, String> {
         staging_cap: 8_000,
         max_p99_commit_ms: 0.0,
         max_staleness_rounds: 0,
+        flaky: false,
+        fault_rate_bp: 100,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -194,6 +214,12 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--max-staleness-rounds: {e}"))?
             }
+            "--flaky" => opts.flaky = true,
+            "--fault-rate-bp" => {
+                opts.fault_rate_bp = value("--fault-rate-bp")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate-bp: {e}"))?
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -216,6 +242,11 @@ fn parse_args() -> Result<Options, String> {
         if opts.staging_cap < opts.batch_size {
             return Err("--staging-cap must admit at least one batch (>= --batch-size)".into());
         }
+    }
+    if opts.flaky && (opts.fault_rate_bp == 0 || opts.fault_rate_bp > 2_000) {
+        return Err(
+            "--fault-rate-bp must be in 1..=2000 (above 20% the run cannot converge)".into(),
+        );
     }
     Ok(opts)
 }
@@ -251,6 +282,132 @@ struct OpenLoopResult {
     max_staleness_rounds: u64,
 }
 
+struct FlakyResult {
+    fault_rate_bp: u32,
+    faults_injected: u64,
+    transient_retries: u64,
+    degraded_ms: u64,
+    committer_restarts: u64,
+    wall_ms: f64,
+    throughput_tps: f64,
+}
+
+/// The self-healing scenario: the single-producer workload staged into
+/// a durable service whose storage fails transiently at random
+/// (seeded, `fault_rate_bp` basis points per operation). The producer
+/// rides faults out with bounded retries; degraded windows must heal;
+/// the final state is certified against the serial reference and
+/// against a recovery from the bytes the run actually stored.
+fn run_flaky(
+    opts: &Options,
+    history: &[Transaction],
+    batches: &[Vec<Transaction>],
+    minsup: MinSupport,
+    serial: &Maintainer,
+) -> FlakyResult {
+    eprintln!(
+        "flaky: {} batches over storage failing {} bp per op (seed {})...",
+        opts.batches, opts.fault_rate_bp, opts.seed
+    );
+    let mem = Arc::new(MemStorage::new());
+    let storage = Arc::new(FlakyStorage::with_fault_rate(
+        Arc::clone(&mem) as Arc<dyn DurableStorage>,
+        opts.seed,
+        opts.fault_rate_bp,
+    ));
+    let builder = || {
+        Maintainer::builder()
+            .min_support(minsup)
+            .min_confidence(MinConfidence::percent(60))
+            .durability(DurabilityPolicy::default())
+    };
+    let durable = builder()
+        .build_durable(
+            history.to_vec(),
+            Arc::clone(&storage) as Arc<dyn DurableStorage>,
+        )
+        .expect("flaky bootstrap (build-time faults are absorbed by retries)");
+    let policy = CommitPolicy::manual()
+        .every_ops(opts.pending_trigger)
+        .with_poll_interval(Duration::from_millis(1));
+    let service = MaintainerService::launch(durable, policy).expect("valid policy");
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(120);
+    for batch in batches {
+        loop {
+            assert!(
+                Instant::now() < deadline,
+                "flaky producer wedged: the service never healed"
+            );
+            match service.stage_with_retry(
+                UpdateBatch::insert_only(batch.clone()),
+                RetryPolicy::attempts(6),
+            ) {
+                Ok(()) => break,
+                Err(ServiceError::RetriesExhausted { .. }) => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("flaky stage: {e}"),
+            }
+        }
+    }
+    loop {
+        match service.flush() {
+            Ok(_) => break,
+            Err(ServiceError::Degraded | ServiceError::Commit(_)) => {
+                assert!(Instant::now() < deadline, "flaky run never flushed clean");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("flaky flush: {e}"),
+        }
+    }
+    let wall = start.elapsed();
+    while service.health().state != HealthState::Healthy {
+        assert!(Instant::now() < deadline, "flaky run never healed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let health = service.health();
+    let (maintainer, _metrics) = service.shutdown();
+    assert!(
+        maintainer
+            .large_itemsets()
+            .same_itemsets(serial.large_itemsets()),
+        "flaky run diverged from serial staging: {:?}",
+        maintainer.large_itemsets().diff(serial.large_itemsets())
+    );
+    // Recovery from the surviving bytes reproduces the final state.
+    let image: Arc<dyn DurableStorage> = Arc::new(MemStorage::from_files(mem.files()));
+    let (recovered, _report) = builder().recover(image).expect("recover the flaky image");
+    assert!(
+        recovered
+            .large_itemsets()
+            .same_itemsets(maintainer.large_itemsets()),
+        "recovery from the flaky image diverged from the live state"
+    );
+
+    let staged_txns: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let result = FlakyResult {
+        fault_rate_bp: opts.fault_rate_bp,
+        faults_injected: storage.faults_injected(),
+        transient_retries: health.transient_retries,
+        degraded_ms: health.degraded_ms,
+        committer_restarts: health.committer_restarts,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_tps: staged_txns as f64 / wall.as_secs_f64().max(1e-9),
+    };
+    eprintln!(
+        "flaky: {} faults injected, {} retries absorbed, {} ms degraded, \
+         {} committer restarts, {:.0} txn/s",
+        result.faults_injected,
+        result.transient_retries,
+        result.degraded_ms,
+        result.committer_restarts,
+        result.throughput_tps,
+    );
+    result
+}
+
 /// `p` in [0, 1] over an ascending-sorted series (nearest-rank).
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -262,8 +419,8 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 /// The open-loop overload scenario: a fixed arrival schedule (steady /
 /// burst / steady) offered against a capacity-gated, round-capped
-/// service. Arrivals never slow down for the pipeline; what the 100 ms
-/// grace deadline cannot admit is shed and counted. Certifies the final
+/// service. Arrivals never slow down for the pipeline; what the bounded
+/// retry budget cannot admit is shed and counted. Certifies the final
 /// state bit-identical to a serial session staging exactly the accepted
 /// batches before reporting.
 fn run_open_loop(
@@ -290,6 +447,11 @@ fn run_open_loop(
     let mut accepted: Vec<usize> = Vec::new();
     let mut shed = 0u64;
     let mut max_staleness = 0u64;
+    // Grace for a full gate: ~60 ms of exponential backoff before the
+    // batch is shed — the service's own retry discipline, not a
+    // hand-rolled deadline loop.
+    let grace =
+        RetryPolicy::attempts(6).backoff(Duration::from_millis(2), Duration::from_millis(32));
     let mut next_arrival = Instant::now();
     for (i, batch) in batches.iter().enumerate() {
         // The open loop: the schedule is fixed in advance and does not
@@ -304,22 +466,12 @@ fn run_open_loop(
             std::thread::sleep(next_arrival - now);
         }
         next_arrival += Duration::from_secs_f64(gap);
-        let admitted = match service.try_stage(UpdateBatch::insert_only(batch.clone())) {
-            Ok(()) => true,
-            Err(fup_core::ServiceError::WouldBlock { .. }) => {
-                // Grace: a bounded wait for a round to free space, then
-                // shed the batch rather than stall the arrival clock.
-                match service.stage_deadline(
-                    UpdateBatch::insert_only(batch.clone()),
-                    Instant::now() + Duration::from_millis(100),
-                ) {
-                    Ok(()) => true,
-                    Err(fup_core::ServiceError::StageTimeout { .. }) => false,
-                    Err(e) => panic!("open-loop stage_deadline: {e}"),
-                }
-            }
-            Err(e) => panic!("open-loop try_stage: {e}"),
-        };
+        let admitted =
+            match service.stage_with_retry(UpdateBatch::insert_only(batch.clone()), grace) {
+                Ok(()) => true,
+                Err(ServiceError::RetriesExhausted { .. }) => false,
+                Err(e) => panic!("open-loop stage_with_retry: {e}"),
+            };
         if admitted {
             accepted.push(i);
         } else {
@@ -543,6 +695,15 @@ fn main() {
             }
             service.flush().expect("flush");
             let wall = start.elapsed();
+            // Health sanity on the clean run: no faults were injected,
+            // so the self-healing machinery must have stayed idle.
+            let health = service.health();
+            assert_eq!(
+                health.committer_restarts, 0,
+                "clean durability run restarted the committer"
+            );
+            assert_eq!(health.degraded_ms, 0, "clean durability run degraded");
+            assert_eq!(health.state, HealthState::Healthy);
             let (maintainer, _) = service.shutdown();
             assert!(
                 maintainer
@@ -590,6 +751,10 @@ fn main() {
         .open_loop
         .then(|| run_open_loop(&opts, &history, &batches, minsup));
 
+    let flaky = opts
+        .flaky
+        .then(|| run_flaky(&opts, &history, &batches, minsup, &serial));
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -632,7 +797,11 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
-    let durability_sep = if open_loop.is_some() { "," } else { "" };
+    let durability_sep = if open_loop.is_some() || flaky.is_some() {
+        ","
+    } else {
+        ""
+    };
     let _ = writeln!(
         json,
         "  \"durability\": {{ \"wal_off_tps\": {:.0}, \"wal_on_tps\": {:.0}, \
@@ -643,6 +812,7 @@ fn main() {
         wal_pair.2,
     );
     if let Some(ol) = &open_loop {
+        let sep = if flaky.is_some() { "," } else { "" };
         let _ = writeln!(
             json,
             concat!(
@@ -651,7 +821,7 @@ fn main() {
                 "\"accepted_batches\": {}, \"shed_batches\": {}, \"rounds\": {}, ",
                 "\"p50_commit_ms\": {:.3}, \"p99_commit_ms\": {:.3}, ",
                 "\"max_round_ops\": {}, \"max_backlog_ops\": {}, ",
-                "\"max_staleness_rounds\": {} }}"
+                "\"max_staleness_rounds\": {} }}{sep}"
             ),
             opts.arrival_tps,
             opts.burst_factor,
@@ -666,6 +836,25 @@ fn main() {
             ol.max_round_ops,
             ol.max_backlog_ops,
             ol.max_staleness_rounds,
+            sep = sep,
+        );
+    }
+    if let Some(f) = &flaky {
+        let _ = writeln!(
+            json,
+            concat!(
+                "  \"flaky\": {{ \"fault_rate_bp\": {}, \"faults_injected\": {}, ",
+                "\"transient_retries\": {}, \"degraded_ms\": {}, ",
+                "\"committer_restarts\": {}, \"wall_ms\": {:.3}, ",
+                "\"throughput_tps\": {:.0} }}"
+            ),
+            f.fault_rate_bp,
+            f.faults_injected,
+            f.transient_retries,
+            f.degraded_ms,
+            f.committer_restarts,
+            f.wall_ms,
+            f.throughput_tps,
         );
     }
     json.push('}');

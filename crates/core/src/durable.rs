@@ -37,6 +37,28 @@
 //! order, so dropping a suffix can only un-stage batches, never lose an
 //! acknowledged commit. A corrupt checkpoint falls back to the previous
 //! one at the cost of a longer replay.
+//!
+//! ## Fault handling
+//!
+//! Storage failures are classified by the backend (see
+//! [`fup_tidb::FaultKind`]) and handled in three tiers:
+//!
+//! * **Transient, within budget** — retried in place per the session's
+//!   [`RetryPolicy`] (bounded attempts, exponential backoff,
+//!   deterministic jitter). An in-place WAL append retry first verifies
+//!   the failed attempt left no partial bytes on the segment.
+//! * **Transient, budget exhausted** (or a suspect partial append) —
+//!   the log enters the **degraded** state: durable operations fail
+//!   fast with [`Error::DurabilityDegraded`] until a heal. Healing is
+//!   simply the next checkpoint install succeeding: checkpoints
+//!   embed the staged backlog and rotate to a fresh WAL segment, so one
+//!   atomic install supersedes the suspect tail *and* re-logs every
+//!   staged record.
+//! * **Permanent** — the log is **poisoned**: every later durable
+//!   operation fails with [`Error::Recovery`] until the session is
+//!   rebuilt via recovery. The in-memory session may have state the log
+//!   no longer reflects, and a half-logged session must never
+//!   acknowledge more work.
 
 use crate::error::{BuildError, Error, Result};
 use fup_mining::{Itemset, LargeItemsets, VerticalIndex};
@@ -44,8 +66,9 @@ use fup_tidb::codec::{read_varint, read_varint64, write_varint, write_varint64};
 use fup_tidb::page::PagedStore;
 use fup_tidb::wal::{self, WalRecord};
 use fup_tidb::{DurableStorage, StagingArea, Tid, Transaction, UpdateBatch};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Magic prefix of every checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FUPCKPT1";
@@ -80,6 +103,10 @@ pub struct DurabilityPolicy {
     /// reaching back to the oldest retained one (default 2, so a corrupt
     /// newest checkpoint still recovers). Must be ≥ 1.
     pub retain_checkpoints: usize,
+    /// Bounded retry for *transient* storage faults (see
+    /// [`fup_tidb::FaultKind`]). Exhausting it degrades the log instead
+    /// of poisoning it; [`RetryPolicy::none`] restores fail-on-first-blip.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurabilityPolicy {
@@ -90,6 +117,7 @@ impl Default for DurabilityPolicy {
             flush_interval: std::time::Duration::from_millis(2),
             checkpoint_every_rounds: 8,
             retain_checkpoints: 2,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -105,6 +133,12 @@ impl DurabilityPolicy {
         }
     }
 
+    /// Replaces the transient-fault retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Rejects degenerate configurations.
     pub fn validate(&self) -> std::result::Result<(), BuildError> {
         if self.checkpoint_every_rounds == 0 {
@@ -116,8 +150,124 @@ impl DurabilityPolicy {
         if self.flush_every_ops == 0 {
             return Err(BuildError::ZeroFlushOps);
         }
+        self.retry.validate()
+    }
+}
+
+/// Bounded retry with exponential backoff and deterministic jitter, for
+/// faults classified [`Transient`](fup_tidb::FaultKind::Transient).
+///
+/// Delay before retry `r` (1-based) is `base_backoff * 2^(r-1)`, capped
+/// at `max_backoff`, then jittered down by up to half so a fleet of
+/// retriers never thunders in phase. The jitter is a pure function of
+/// `jitter_seed` and the retry number — two runs with the same seed
+/// sleep identically, which keeps fault-injection tests deterministic.
+///
+/// The same type drives client-side admission retries
+/// ([`StageHandle::stage_with_retry`](crate::StageHandle::stage_with_retry)),
+/// where "transient" means backpressure (`WouldBlock` / `StageTimeout`)
+/// or a degraded service rather than a storage blip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (default 4). Must be ≥ 1; a
+    /// value of 1 means "never retry".
+    pub max_attempts: u32,
+    /// Delay before the first retry (default 2 ms).
+    pub base_backoff: Duration,
+    /// Ceiling on any single delay (default 100 ms). Must be ≥
+    /// `base_backoff`.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            jitter_seed: 0xf00d_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, fail on the first fault.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// `attempts` total attempts with the default backoff shape.
+    pub fn attempts(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the backoff range.
+    pub fn backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Replaces the jitter seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Rejects degenerate configurations.
+    pub fn validate(&self) -> std::result::Result<(), BuildError> {
+        if self.max_attempts == 0 {
+            return Err(BuildError::ZeroRetryAttempts);
+        }
+        if self.base_backoff > self.max_backoff {
+            return Err(BuildError::InvertedRetryBackoff);
+        }
         Ok(())
     }
+
+    /// The delay before retry number `retry` (1-based; 0 returns zero).
+    /// Exponential in the retry number, capped at `max_backoff`, then
+    /// jittered deterministically into the upper half of the window.
+    pub fn delay(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(20))
+            .min(self.max_backoff);
+        let nanos = exp.as_nanos().min(u64::MAX as u128) as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        let jitter = splitmix64(self.jitter_seed ^ u64::from(retry)) % (nanos / 2 + 1);
+        Duration::from_nanos(nanos - jitter)
+    }
+
+    /// Sleeps for [`delay`](Self::delay) (skipping zero-length sleeps).
+    pub(crate) fn pause(&self, retry: u32) {
+        let d = self.delay(retry);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// SplitMix64 — tiny, statistically solid, and dependency-free; used
+/// only to decorrelate retry delays, never for anything security-like.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// What [`recover`](crate::MaintainerBuilder::recover) found and did.
@@ -441,6 +591,28 @@ pub(crate) fn decode_checkpoint(
 
 // ----------------------------------------------------- the WAL handle --
 
+/// Health of a session's durable log, exposed through
+/// [`Maintainer::durability_state`](crate::Maintainer::durability_state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogState {
+    /// Durable operations are being accepted (and transparently retried
+    /// through transient blips within the retry budget).
+    Healthy,
+    /// A transient fault outlived its retry budget (or an append retry
+    /// found a suspect partial write). Durable operations fail fast with
+    /// [`Error::DurabilityDegraded`]; a successful checkpoint install
+    /// heals the log back to [`Healthy`](LogState::Healthy).
+    Degraded,
+    /// A permanent fault was observed. Terminal: every durable operation
+    /// fails with [`Error::Recovery`] until the session is rebuilt via
+    /// recovery.
+    Poisoned,
+}
+
+const STATE_HEALTHY: u8 = 0;
+const STATE_DEGRADED: u8 = 1;
+const STATE_POISONED: u8 = 2;
+
 #[derive(Debug)]
 struct LogInner {
     /// Sequence number of the active `ckpt`/`wal` pair.
@@ -452,23 +624,34 @@ struct LogInner {
     unflushed: u64,
     /// When the oldest unflushed record was appended.
     oldest_unflushed: Option<std::time::Instant>,
+    /// Byte length of the active WAL segment as this session believes
+    /// it to be, resolved lazily from storage *before* the first append
+    /// touches the segment. An in-place append retry is sound only when
+    /// the on-storage length still matches this — a mismatch means the
+    /// failed attempt tore bytes onto the segment, and appending after
+    /// a torn frame would bury every later record at replay.
+    wal_len: Option<u64>,
 }
 
 /// The session's handle on its durable storage: appends WAL records (in
 /// ticket order — the append lock spans ticket draw and write), installs
 /// checkpoints, and rotates/garbage-collects file pairs.
 ///
-/// Any storage failure **poisons** the log: the in-memory session may
-/// have state the log no longer reflects, so every later durable
-/// operation fails with [`Error::Recovery`] until the session is
-/// rebuilt via recovery. This is deliberately conservative — fault
-/// injection kills writes mid-stream, and a half-logged session must
-/// never acknowledge more work.
+/// Storage failures are tiered (see the [module docs](self)): transient
+/// faults are retried per [`DurabilityPolicy::retry`]; exhausting the
+/// budget **degrades** the log (fail fast, heal by installing a fresh
+/// checkpoint); a permanent fault **poisons** it — the in-memory session
+/// may have state the log no longer reflects, so every later durable
+/// operation fails with [`Error::Recovery`] until the session is rebuilt
+/// via recovery.
 #[derive(Debug)]
 pub(crate) struct DurableLog {
     storage: Arc<dyn DurableStorage>,
     policy: DurabilityPolicy,
-    poisoned: AtomicBool,
+    state: AtomicU8,
+    /// Transient-fault retries performed over the log's lifetime
+    /// (successful or not) — a health gauge, not control state.
+    retries: AtomicU64,
     inner: Mutex<LogInner>,
 }
 
@@ -481,39 +664,114 @@ impl DurableLog {
         DurableLog {
             storage,
             policy,
-            poisoned: AtomicBool::new(false),
+            state: AtomicU8::new(STATE_HEALTHY),
+            retries: AtomicU64::new(0),
             inner: Mutex::new(LogInner {
                 seq,
                 rounds_since_ckpt: 0,
                 unflushed: 0,
                 oldest_unflushed: None,
+                wal_len: None,
             }),
         }
     }
 
+    pub(crate) fn state(&self) -> LogState {
+        match self.state.load(Ordering::Acquire) {
+            STATE_HEALTHY => LogState::Healthy,
+            STATE_DEGRADED => LogState::Degraded,
+            _ => LogState::Poisoned,
+        }
+    }
+
     pub(crate) fn is_poisoned(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire)
+        self.state() == LogState::Poisoned
+    }
+
+    pub(crate) fn transient_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn policy(&self) -> &DurabilityPolicy {
+        &self.policy
+    }
+
+    pub(crate) fn storage(&self) -> &Arc<dyn DurableStorage> {
+        &self.storage
     }
 
     fn poison(&self) {
-        self.poisoned.store(true, Ordering::Release);
+        self.state.store(STATE_POISONED, Ordering::Release);
     }
 
-    fn check_poisoned(&self) -> Result<()> {
-        if self.is_poisoned() {
-            return Err(Error::Recovery {
+    fn degrade(&self) {
+        // Never downgrade a poisoned log.
+        let _ = self.state.compare_exchange(
+            STATE_HEALTHY,
+            STATE_DEGRADED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Routes a storage failure to its tier and returns it wrapped.
+    fn fail(&self, e: fup_tidb::Error) -> Error {
+        if e.is_transient() {
+            self.degrade();
+        } else {
+            self.poison();
+        }
+        Error::Store(e)
+    }
+
+    fn check_usable(&self) -> Result<()> {
+        match self.state() {
+            LogState::Healthy => Ok(()),
+            LogState::Degraded => Err(Error::DurabilityDegraded),
+            LogState::Poisoned => Err(Error::Recovery {
                 reason: "the durable log is poisoned by an earlier storage failure; \
                          discard this session and recover from storage"
                     .into(),
-            });
+            }),
         }
-        Ok(())
+    }
+
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, LogInner> {
+        // A panic while holding the lock (a killed committer) leaves
+        // only counters and the tracked segment length behind; the
+        // tracked length is re-verified against storage before any
+        // in-place retry, so recovering the guard is sound.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs one effect-free storage operation (sync, atomic write, list,
+    /// remove — anything where a failed attempt leaves nothing behind)
+    /// through the transient-retry budget.
+    fn retrying<T>(&self, mut op: impl FnMut() -> fup_tidb::Result<T>) -> fup_tidb::Result<T> {
+        let mut retry = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && retry + 1 < self.policy.retry.max_attempts => {
+                    retry += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.policy.retry.pause(retry);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Appends `bytes` to the active WAL segment and issues the sync
     /// barrier per policy. Caller holds the inner lock. `barrier` forces
     /// the sync regardless of group-commit accounting — round boundaries
     /// must be durable before they are acknowledged.
+    ///
+    /// A transient append failure is retried in place only after
+    /// verifying the on-storage segment length still matches the tracked
+    /// one (no partial bytes landed); on any doubt the error propagates
+    /// and the caller degrades the log — the degraded-mode heal rotates
+    /// to a fresh checkpoint instead of appending after a suspect tail.
     fn append_locked(
         &self,
         inner: &mut LogInner,
@@ -521,7 +779,38 @@ impl DurableLog {
         barrier: bool,
     ) -> fup_tidb::Result<()> {
         let file = wal_name(inner.seq);
-        self.storage.append(&file, bytes)?;
+        // Resolve the tracked length *before* the first attempt: reading
+        // it only after a failure would adopt that failure's torn bytes
+        // as the baseline and defeat the check.
+        if inner.wal_len.is_none() {
+            if let Ok(existing) = self.storage.read(&file) {
+                inner.wal_len = Some(existing.map_or(0, |b| b.len() as u64));
+            }
+        }
+        let mut retry = 0u32;
+        loop {
+            match self.storage.append(&file, bytes) {
+                Ok(()) => {
+                    if let Some(len) = inner.wal_len.as_mut() {
+                        *len += bytes.len() as u64;
+                    }
+                    break;
+                }
+                Err(e) if e.is_transient() && retry + 1 < self.policy.retry.max_attempts => {
+                    let on_storage = match self.storage.read(&file) {
+                        Ok(existing) => existing.map_or(0, |b| b.len() as u64),
+                        Err(_) => return Err(e),
+                    };
+                    if inner.wal_len != Some(on_storage) {
+                        return Err(e);
+                    }
+                    retry += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.policy.retry.pause(retry);
+                }
+                Err(e) => return Err(e),
+            }
+        }
         if !self.policy.fsync {
             return Ok(());
         }
@@ -533,7 +822,7 @@ impl DurableLog {
             || inner.unflushed >= self.policy.flush_every_ops
             || oldest.elapsed() >= self.policy.flush_interval;
         if due {
-            self.storage.sync(&file)?;
+            self.retrying(|| self.storage.sync(&file))?;
             inner.unflushed = 0;
             inner.oldest_unflushed = None;
         }
@@ -543,9 +832,9 @@ impl DurableLog {
     /// The durable stage path: reserve staging capacity, claim the
     /// deletes, draw a ticket, make the record durable, and only then
     /// admit the batch. A storage failure releases the claims and the
-    /// capacity (the batch was never visible) and poisons the log — the
-    /// ticket-number gap it leaves is harmless, commits name their
-    /// tickets explicitly.
+    /// capacity (the batch was never visible) and degrades or poisons
+    /// the log per the fault kind — the ticket-number gap it leaves is
+    /// harmless, commits name their tickets explicitly.
     ///
     /// With group commit ([`DurabilityPolicy::flush_every_ops`] > 1) the
     /// append returns before the record is fsynced; a power-loss crash
@@ -557,14 +846,14 @@ impl DurableLog {
         batch: UpdateBatch,
         admission: fup_tidb::Admission,
     ) -> Result<u64> {
-        self.check_poisoned()?;
+        self.check_usable()?;
         let ops = batch.num_ops();
         staging.reserve(ops, admission).map_err(Error::Store)?;
         if let Err(e) = staging.claim(&batch.deletes) {
             staging.release_capacity(ops);
             return Err(Error::Store(e));
         }
-        let mut inner = self.inner.lock().expect("durable log poisoned");
+        let mut inner = self.lock_inner();
         let ticket = staging.take_ticket();
         let record = WalRecord::Stage {
             ticket,
@@ -572,67 +861,111 @@ impl DurableLog {
         };
         match self.append_locked(&mut inner, &record.to_framed_bytes(), false) {
             Ok(()) => {
-                drop(inner);
+                // Admission must complete while the log lock is still
+                // held: a checkpoint holds the same lock across encoding
+                // its backlog and rotating the WAL, so a staged batch is
+                // either admitted before the rotation (embedded in the
+                // checkpoint) or appended after it (recorded in the fresh
+                // segment) — never a record stranded in a superseded
+                // segment with no matching backlog entry.
                 staging.admit_with_ticket(ticket, batch);
+                drop(inner);
                 Ok(ticket)
             }
             Err(e) => {
                 drop(inner);
                 staging.release_deletes(batch.deletes.iter().copied());
                 staging.release_capacity(ops);
-                self.poison();
-                Err(Error::Store(e))
+                Err(self.fail(e))
             }
         }
     }
 
     /// Appends a `Commit`/`Abort` boundary record — always a sync
     /// barrier (group commit never delays a boundary: an acknowledged
-    /// commit must survive any crash). Poisons on failure.
+    /// commit must survive any crash). Degrades or poisons on failure
+    /// per the fault kind.
     pub(crate) fn log_boundary(&self, record: &WalRecord) -> Result<()> {
-        self.check_poisoned()?;
-        let mut inner = self.inner.lock().expect("durable log poisoned");
+        self.check_usable()?;
+        let mut inner = self.lock_inner();
         match self.append_locked(&mut inner, &record.to_framed_bytes(), true) {
             Ok(()) => Ok(()),
-            Err(e) => {
-                self.poison();
-                Err(Error::Store(e))
-            }
+            Err(e) => Err(self.fail(e)),
         }
     }
 
     /// Counts one committed round against the checkpoint cadence,
     /// returning `true` when a checkpoint is due.
     pub(crate) fn note_round(&self) -> bool {
-        let mut inner = self.inner.lock().expect("durable log poisoned");
+        let mut inner = self.lock_inner();
         inner.rounds_since_ckpt += 1;
         inner.rounds_since_ckpt >= self.policy.checkpoint_every_rounds
     }
 
     /// The sequence number the next checkpoint will use.
+    #[cfg(test)]
     pub(crate) fn next_seq(&self) -> u64 {
-        self.inner.lock().expect("durable log poisoned").seq + 1
+        self.lock_inner().seq + 1
     }
 
     /// Atomically installs checkpoint `seq` (already encoded), starts its
     /// fresh WAL segment, and garbage-collects pairs beyond the retention
-    /// policy. Poisons on failure.
+    /// policy. Degrades or poisons on failure per the fault kind.
+    ///
+    /// This is also the **heal** path: it is allowed while the log is
+    /// degraded, because a checkpoint embeds the staged backlog and the
+    /// rotation starts a fresh WAL segment — one atomic install
+    /// supersedes the suspect tail and re-logs every staged record, so
+    /// nothing durably acknowledged depends on the bytes the degraded
+    /// segment may or may not hold. Full success flips the log back to
+    /// [`LogState::Healthy`].
     pub(crate) fn install_checkpoint(&self, seq: u64, bytes: &[u8]) -> Result<()> {
-        self.check_poisoned()?;
-        let mut inner = self.inner.lock().expect("durable log poisoned");
+        if self.is_poisoned() {
+            self.check_usable()?;
+        }
+        let mut inner = self.lock_inner();
+        self.install_locked(&mut inner, seq, bytes)
+    }
+
+    /// Encodes (via `encode`, handed the sequence number) and installs
+    /// the next checkpoint as **one critical section** on the log lock.
+    /// Concurrent [`log_stage`](Self::log_stage) calls append and admit
+    /// under the same lock, so the encoded backlog and the superseded
+    /// WAL segment can never disagree about a staged batch: every ticket
+    /// a post-rotation `Commit` references is either embedded in this
+    /// checkpoint or staged in the fresh segment.
+    pub(crate) fn checkpoint_with(
+        &self,
+        encode: impl FnOnce(u64) -> Result<Vec<u8>>,
+    ) -> Result<u64> {
+        if self.is_poisoned() {
+            self.check_usable()?;
+        }
+        let mut inner = self.lock_inner();
+        let seq = inner.seq + 1;
+        let bytes = encode(seq)?;
+        self.install_locked(&mut inner, seq, &bytes)?;
+        Ok(seq)
+    }
+
+    fn install_locked(
+        &self,
+        inner: &mut std::sync::MutexGuard<'_, LogInner>,
+        seq: u64,
+        bytes: &[u8],
+    ) -> Result<()> {
         let result: fup_tidb::Result<()> = (|| {
-            self.storage.write_atomic(&ckpt_name(seq), bytes)?;
+            self.retrying(|| self.storage.write_atomic(&ckpt_name(seq), bytes))?;
             // An empty append materialises the fresh segment so recovery
             // sees the rotation even before the first record.
-            self.storage.append(&wal_name(seq), &[])?;
+            self.retrying(|| self.storage.append(&wal_name(seq), &[]))?;
             if self.policy.fsync {
-                self.storage.sync(&wal_name(seq))?;
+                self.retrying(|| self.storage.sync(&wal_name(seq)))?;
             }
             Ok(())
         })();
         if let Err(e) = result {
-            self.poison();
-            return Err(Error::Store(e));
+            return Err(self.fail(e));
         }
         inner.seq = seq;
         inner.rounds_since_ckpt = 0;
@@ -640,31 +973,39 @@ impl DurableLog {
         // checkpoint embeds the backlog and the fresh segment is synced.
         inner.unflushed = 0;
         inner.oldest_unflushed = None;
+        // The fresh segment holds exactly the empty append.
+        inner.wal_len = Some(0);
         // Retention: best-effort removal of superseded pairs. A failure
         // here loses nothing (old files are only ever extra), but the
-        // storage may be mid-crash, so poison to stay conservative.
-        let mut ckpts: Vec<u64> = match self.storage.list() {
+        // storage is evidently unwell, so degrade/poison to stay
+        // conservative.
+        let mut ckpts: Vec<u64> = match self.retrying(|| self.storage.list()) {
             Ok(names) => names.iter().filter_map(|n| parse_seq(n, "ckpt-")).collect(),
-            Err(e) => {
-                self.poison();
-                return Err(Error::Store(e));
-            }
+            Err(e) => return Err(self.fail(e)),
         };
         ckpts.sort_unstable();
         if ckpts.len() > self.policy.retain_checkpoints {
             let cutoff = ckpts[ckpts.len() - self.policy.retain_checkpoints];
-            let names = self.storage.list().map_err(Error::Store)?;
+            let names = self
+                .retrying(|| self.storage.list())
+                .map_err(Error::Store)?;
             for name in names {
                 let stale = parse_seq(&name, "ckpt-").is_some_and(|s| s < cutoff)
                     || parse_seq(&name, "wal-").is_some_and(|s| s < cutoff);
                 if stale {
-                    if let Err(e) = self.storage.remove(&name) {
-                        self.poison();
-                        return Err(Error::Store(e));
+                    if let Err(e) = self.retrying(|| self.storage.remove(&name)) {
+                        return Err(self.fail(e));
                     }
                 }
             }
         }
+        // The rotation is durable and complete: a degraded log is healed.
+        let _ = self.state.compare_exchange(
+            STATE_DEGRADED,
+            STATE_HEALTHY,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
         Ok(())
     }
 }
@@ -769,7 +1110,7 @@ pub(crate) fn load_latest(storage: &dyn DurableStorage) -> Result<RecoveredLog> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fup_tidb::{Admission, MemStorage};
+    use fup_tidb::{Admission, FlakyStorage, MemStorage, OpClass};
 
     fn tx(items: &[u32]) -> Transaction {
         Transaction::from_items(items.iter().copied())
@@ -971,6 +1312,38 @@ mod tests {
         DurabilityPolicy::group_commit(8, std::time::Duration::from_millis(5))
             .validate()
             .unwrap();
+        let bad = DurabilityPolicy::default().with_retry(RetryPolicy::attempts(0));
+        assert_eq!(bad.validate().unwrap_err(), BuildError::ZeroRetryAttempts);
+        let bad = DurabilityPolicy::default().with_retry(
+            RetryPolicy::default().backoff(Duration::from_secs(1), Duration::from_millis(1)),
+        );
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            BuildError::InvertedRetryBackoff
+        );
+    }
+
+    #[test]
+    fn retry_delays_are_bounded_exponential_and_deterministic() {
+        let policy = RetryPolicy::default()
+            .backoff(Duration::from_millis(2), Duration::from_millis(100))
+            .seeded(42);
+        assert_eq!(policy.delay(0), Duration::ZERO);
+        for r in 1..=16 {
+            let exp = Duration::from_millis(2)
+                .saturating_mul(1 << (r - 1).min(20))
+                .min(Duration::from_millis(100));
+            let d = policy.delay(r);
+            assert!(d <= exp, "retry {r}: {d:?} over the cap {exp:?}");
+            assert!(d >= exp / 2, "retry {r}: {d:?} jittered below half");
+            assert_eq!(d, policy.delay(r), "same seed, same delay");
+        }
+        assert_ne!(
+            policy.delay(3),
+            policy.seeded(43).delay(3),
+            "different seeds decorrelate"
+        );
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
     }
 
     #[test]
@@ -1128,6 +1501,141 @@ mod tests {
         assert!(matches!(
             log.log_boundary(&WalRecord::Abort { tickets: vec![] })
                 .unwrap_err(),
+            Error::Recovery { .. }
+        ));
+    }
+
+    /// A retry policy that retries immediately, keeping tests fast.
+    fn instant_retry(attempts: u32) -> RetryPolicy {
+        RetryPolicy::attempts(attempts).backoff(Duration::ZERO, Duration::ZERO)
+    }
+
+    fn flaky_log(attempts: u32) -> (Arc<FlakyStorage>, DurableLog) {
+        let mem: Arc<dyn DurableStorage> = Arc::new(MemStorage::new());
+        let flaky = Arc::new(FlakyStorage::new(mem));
+        let storage: Arc<dyn DurableStorage> = flaky.clone();
+        let log = DurableLog::new(
+            storage,
+            DurabilityPolicy::default().with_retry(instant_retry(attempts)),
+            0,
+        );
+        (flaky, log)
+    }
+
+    #[test]
+    fn transient_blips_within_budget_are_absorbed() {
+        let (flaky, log) = flaky_log(4);
+        let staging = StagingArea::default();
+        flaky.fail_next(OpClass::Append, 2);
+        let ticket = log
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[1])]),
+                Admission::Try,
+            )
+            .unwrap();
+        assert_eq!(log.state(), LogState::Healthy);
+        assert_eq!(log.transient_retries(), 2);
+        assert!(staging.has_pending(), "the retried batch was admitted");
+        // A sync blip rides the same budget.
+        flaky.fail_next(OpClass::Sync, 1);
+        log.log_boundary(&WalRecord::Commit {
+            version: 1,
+            tickets: vec![ticket],
+        })
+        .unwrap();
+        assert_eq!(log.state(), LogState::Healthy);
+        assert_eq!(log.transient_retries(), 3);
+    }
+
+    #[test]
+    fn exhausted_transient_retries_degrade_not_poison() {
+        let (flaky, log) = flaky_log(3);
+        let staging = StagingArea::default();
+        flaky.fail_next(OpClass::Append, 10);
+        let err = log
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[1])]),
+                Admission::Try,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Store(e) if e.is_transient()));
+        assert_eq!(log.state(), LogState::Degraded);
+        assert!(!log.is_poisoned());
+        assert!(!staging.has_pending(), "failed batch must not be admitted");
+        // Degraded: fail fast with the typed error, no storage traffic.
+        let err = log
+            .log_stage(
+                &staging,
+                UpdateBatch::insert_only(vec![tx(&[2])]),
+                Admission::Try,
+            )
+            .unwrap_err();
+        assert_eq!(err, Error::DurabilityDegraded);
+        assert_eq!(
+            log.log_boundary(&WalRecord::Abort { tickets: vec![] })
+                .unwrap_err(),
+            Error::DurabilityDegraded
+        );
+    }
+
+    #[test]
+    fn a_fresh_checkpoint_heals_a_degraded_log() {
+        let (flaky, log) = flaky_log(2);
+        let staging = StagingArea::default();
+        flaky.fail_next(OpClass::Append, 2);
+        log.log_stage(
+            &staging,
+            UpdateBatch::insert_only(vec![tx(&[1])]),
+            Admission::Try,
+        )
+        .unwrap_err();
+        assert_eq!(log.state(), LogState::Degraded);
+        // The heal path: install a checkpoint (the fault script has run
+        // dry, so storage answers again).
+        let large = LargeItemsets::new(0);
+        let ckpt =
+            encode_checkpoint(1, 0, (1, 2), (1, 2), 0, 0, &[], &[], &large, &[], None).unwrap();
+        log.install_checkpoint(1, &ckpt).unwrap();
+        assert_eq!(log.state(), LogState::Healthy);
+        // Durability has resumed on the fresh segment.
+        log.log_stage(
+            &staging,
+            UpdateBatch::insert_only(vec![tx(&[2])]),
+            Admission::Try,
+        )
+        .unwrap();
+        assert_eq!(log.next_seq(), 2);
+    }
+
+    #[test]
+    fn checkpoint_blips_are_retried_and_permanent_faults_still_poison() {
+        let (flaky, log) = flaky_log(4);
+        let large = LargeItemsets::new(0);
+        let ckpt =
+            encode_checkpoint(1, 0, (1, 2), (1, 2), 0, 0, &[], &[], &large, &[], None).unwrap();
+        flaky.fail_next(OpClass::WriteAtomic, 2);
+        flaky.fail_next(OpClass::List, 1);
+        log.install_checkpoint(1, &ckpt).unwrap();
+        assert_eq!(log.state(), LogState::Healthy);
+        assert_eq!(log.transient_retries(), 3);
+        // A permanent fault (a MemStorage kill) poisons even mid-retry
+        // budget, and a later checkpoint cannot heal a poisoned log.
+        let mem = Arc::new(MemStorage::new());
+        let storage: Arc<dyn DurableStorage> = mem.clone();
+        let log = DurableLog::new(
+            storage,
+            DurabilityPolicy::default().with_retry(instant_retry(4)),
+            0,
+        );
+        mem.fail_after(0, 0);
+        let err = log.install_checkpoint(1, &ckpt).unwrap_err();
+        assert!(matches!(err, Error::Store(e) if !e.is_transient()));
+        assert!(log.is_poisoned());
+        mem.revive();
+        assert!(matches!(
+            log.install_checkpoint(2, &ckpt).unwrap_err(),
             Error::Recovery { .. }
         ));
     }

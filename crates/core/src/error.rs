@@ -46,6 +46,13 @@ pub enum BuildError {
     /// A [`DurabilityPolicy`](crate::DurabilityPolicy) asked to group
     /// WAL fsyncs in batches of zero records, which would never sync.
     ZeroFlushOps,
+    /// A [`RetryPolicy`](crate::RetryPolicy) allowed zero attempts, which
+    /// could never even try the operation once.
+    ZeroRetryAttempts,
+    /// A [`RetryPolicy`](crate::RetryPolicy) base backoff exceeds its
+    /// maximum backoff — the cap would *shorten* the first delay, which
+    /// is almost certainly a misconfiguration.
+    InvertedRetryBackoff,
 }
 
 impl fmt::Display for BuildError {
@@ -85,6 +92,16 @@ impl fmt::Display for BuildError {
             BuildError::ZeroFlushOps => write!(
                 f,
                 "a group-commit batch of zero records would never issue a sync barrier"
+            ),
+            BuildError::ZeroRetryAttempts => write!(
+                f,
+                "a retry policy must allow at least one attempt; use RetryPolicy::none() \
+                 to disable retries"
+            ),
+            BuildError::InvertedRetryBackoff => write!(
+                f,
+                "retry base backoff exceeds the maximum backoff; the cap would shorten \
+                 the first delay"
             ),
         }
     }
@@ -130,6 +147,26 @@ pub enum Error {
     /// A durability-only operation (an explicit checkpoint) was invoked
     /// on a session built without durable storage.
     NotDurable,
+    /// The durable log is in the *degraded* state: a transient storage
+    /// fault survived its retry budget, so new work cannot be made
+    /// durable right now. Unlike a poisoned log this is recoverable —
+    /// the background probe (or an explicit
+    /// [`try_heal`](crate::Maintainer::try_heal)) re-checks storage and
+    /// resumes durability once it answers again. Already-acknowledged
+    /// commits and staged records are unaffected; snapshots keep
+    /// serving.
+    DurabilityDegraded,
+    /// A bounded retry loop (see
+    /// [`StageHandle::stage_with_retry`](crate::StageHandle::stage_with_retry))
+    /// exhausted its attempts. Carries the final error so callers can
+    /// still distinguish backpressure from degradation when deciding to
+    /// shed.
+    RetriesExhausted {
+        /// Attempts made before giving up (at least 1).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<Error>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -158,6 +195,15 @@ impl fmt::Display for Error {
                 f,
                 "this session has no durable storage; build it with build_durable() or recover()"
             ),
+            Error::DurabilityDegraded => write!(
+                f,
+                "durable storage is degraded after exhausting transient-fault retries; \
+                 staged work is refused until a heal probe restores durability"
+            ),
+            Error::RetriesExhausted { attempts, last } => write!(
+                f,
+                "gave up after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }
@@ -167,6 +213,7 @@ impl std::error::Error for Error {
         match self {
             Error::Store(e) => Some(e),
             Error::Config(e) => Some(e),
+            Error::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -238,5 +285,26 @@ mod tests {
             .to_string()
             .contains("-1"));
         assert!(BuildError::RemineIgnoresMaxK.to_string().contains("max_k"));
+        assert!(BuildError::ZeroRetryAttempts
+            .to_string()
+            .contains("RetryPolicy::none"));
+        assert!(BuildError::InvertedRetryBackoff
+            .to_string()
+            .contains("backoff"));
+    }
+
+    #[test]
+    fn degraded_and_retry_errors_explain_themselves() {
+        let msg = Error::DurabilityDegraded.to_string();
+        assert!(msg.contains("degraded"));
+        assert!(msg.contains("heal"));
+
+        let e = Error::RetriesExhausted {
+            attempts: 5,
+            last: Box::new(Error::DurabilityDegraded),
+        };
+        assert!(e.to_string().contains("5 attempt(s)"));
+        assert!(e.to_string().contains("degraded"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -74,12 +74,14 @@ pub mod vindex;
 
 pub use config::FupConfig;
 pub use diff::{ItemsetDiff, RuleDiff};
-pub use durable::{DurabilityPolicy, RecoveryReport};
+pub use durable::{DurabilityPolicy, LogState, RecoveryReport, RetryPolicy};
 pub use error::{BuildError, Error, Result};
 pub use fup::{Fup, FupOutcome, FupPassDetail};
 pub use fup2::Fup2;
 pub use policy::UpdatePolicy;
-pub use service::{CommitPolicy, MaintainerService, ServiceError, ServiceMetrics};
+pub use service::{
+    CommitPolicy, HealthState, MaintainerService, ServiceError, ServiceHealth, ServiceMetrics,
+};
 pub use session::{
     IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, StageHandle,
     Updater,

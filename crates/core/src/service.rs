@@ -47,13 +47,41 @@
 //!   instead of grinding through FUP chunks a single Apriori pass would
 //!   beat.
 //!
-//! Degradation is typed, never silent: if the committer thread dies,
-//! parked and future producers fail with
-//! [`ServiceError::CommitterGone`] while snapshots keep serving the
-//! last published state. The service reports its own counters
-//! ([`ServiceMetrics`]): backlog depth and its high-water mark,
-//! snapshot staleness in rounds, per-round size and latency, and
-//! backpressure rejections, alongside the batch/round totals.
+//! ## Self-healing: degraded mode and committer supervision
+//!
+//! Degradation is typed, never silent — and where it can be, it is
+//! temporary:
+//!
+//! * **Transient storage faults** are first absorbed by the durable
+//!   log's own [`RetryPolicy`]. If a fault outlives
+//!   the retry budget the service enters [`HealthState::Degraded`]:
+//!   admissions close (producers get [`ServiceError::Degraded`], never
+//!   a hang), snapshots keep serving, and the committer turns into a
+//!   heal probe that re-checks storage on an exponential-backoff
+//!   cadence. A successful probe installs a fresh checkpoint — session
+//!   state *and* staged backlog in one atomic image — reopens
+//!   admissions, and resumes durable rounds. No acknowledged commit is
+//!   lost across the gap.
+//! * **Committer panics** on a durable session are absorbed by a
+//!   supervisor: it rebuilds the session through the crash-recovery
+//!   path (replaying the WAL, re-adopting the staged backlog under its
+//!   original tickets) and respawns the commit loop, up to
+//!   [`CommitPolicy::max_committer_restarts`] times. Past the budget —
+//!   or on a session with no durable storage to rebuild from — the
+//!   service degrades permanently: parked and future producers fail
+//!   with [`ServiceError::CommitterGone`] while snapshots keep serving
+//!   the last published state.
+//! * **Permanent storage faults** are terminal
+//!   ([`HealthState::Failed`]): probing cannot help, so the service
+//!   serves snapshots only and reports the condition through
+//!   [`health`](MaintainerService::health).
+//!
+//! The service reports its own counters ([`ServiceMetrics`]): backlog
+//! depth and its high-water mark, snapshot staleness in rounds,
+//! per-round size and latency, backpressure rejections, and the
+//! self-healing trio (transient retries absorbed, milliseconds spent
+//! degraded, committer restarts survived), alongside the batch/round
+//! totals.
 //!
 //! ```
 //! use fup_core::service::{CommitPolicy, MaintainerService};
@@ -95,16 +123,17 @@
 //! assert_eq!(maintainer.len(), 5);
 //! ```
 
-use crate::durable::RecoveryReport;
+use crate::durable::{LogState, RecoveryReport, RetryPolicy};
 use crate::error::Error;
 use crate::session::{
-    Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, SnapshotState, StageHandle,
+    Maintainer, MaintainerBuilder, MaintenanceReport, RecoverySpec, RuleSnapshot, SnapshotState,
+    StageHandle,
 };
-use fup_tidb::{Admission, DurableStorage, UpdateBatch};
+use fup_tidb::{Admission, DurableStorage, FaultKind, UpdateBatch};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -159,10 +188,11 @@ pub enum ServiceError {
     /// waiting. Only the wait was abandoned: the staged work stays
     /// queued and its rounds keep running.
     FlushTimeout,
-    /// The committer thread is gone (it panicked). Staging and flushing
-    /// are permanently refused, but
-    /// [`snapshot`](MaintainerService::snapshot) keeps serving the last
-    /// published state.
+    /// The committer thread is gone (it panicked past its restart
+    /// budget, or panicked on a non-durable session the supervisor
+    /// cannot rebuild). Staging and flushing are permanently refused,
+    /// but [`snapshot`](MaintainerService::snapshot) keeps serving the
+    /// last published state.
     CommitterGone,
     /// The service is shutting down (or already shut down).
     ShutDown,
@@ -170,6 +200,24 @@ pub enum ServiceError {
     /// session error — see
     /// [`MaintainerBuilder::recover`](crate::MaintainerBuilder::recover)).
     Recover(Error),
+    /// The service is degraded: durable storage is failing (or the
+    /// committer is mid-restart), so new work cannot be accepted right
+    /// now. Unlike [`CommitterGone`](Self::CommitterGone) this may be
+    /// temporary — a background probe keeps re-checking storage, and
+    /// admissions reopen when it heals (watch
+    /// [`health`](MaintainerService::health)). Snapshots keep serving
+    /// throughout; nothing already acknowledged is lost.
+    Degraded,
+    /// [`stage_with_retry`](MaintainerService::stage_with_retry)
+    /// exhausted its attempts; the batch was not staged. Carries the
+    /// final error so shedding callers can still tell backpressure from
+    /// degradation.
+    RetriesExhausted {
+        /// Attempts made before giving up (at least 1).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<ServiceError>,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -215,6 +263,15 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::ShutDown => write!(f, "the maintainer service is shut down"),
             ServiceError::Recover(e) => write!(f, "recovery failed before launch: {e}"),
+            ServiceError::Degraded => write!(
+                f,
+                "the service is degraded (storage failing or committer restarting); \
+                 snapshots keep serving and admissions reopen on heal"
+            ),
+            ServiceError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "gave up staging after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }
@@ -223,6 +280,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Stage(e) | ServiceError::Commit(e) | ServiceError::Recover(e) => Some(e),
+            ServiceError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -265,6 +323,13 @@ pub struct CommitPolicy {
     /// How often the committer re-checks triggers when idle (it is also
     /// woken eagerly by producers whose batch crosses a trigger).
     pub poll_interval: Duration,
+    /// How many committer panics the supervisor may absorb by rebuilding
+    /// the session through the durable recovery path and respawning the
+    /// commit loop (see the [module docs](self)). Past the budget — or on
+    /// a session without durable storage, which cannot be rebuilt — the
+    /// service degrades permanently to
+    /// [`ServiceError::CommitterGone`].
+    pub max_committer_restarts: u32,
 }
 
 impl Default for CommitPolicy {
@@ -279,6 +344,7 @@ impl Default for CommitPolicy {
             max_ops_per_round: None,
             max_staged_ops: None,
             poll_interval: Duration::from_millis(20),
+            max_committer_restarts: 3,
         }
     }
 }
@@ -325,6 +391,14 @@ impl CommitPolicy {
     /// This policy with an explicit idle poll interval.
     pub fn with_poll_interval(mut self, interval: Duration) -> Self {
         self.poll_interval = interval;
+        self
+    }
+
+    /// This policy with the committer-panic restart budget set to `n`
+    /// (see [`max_committer_restarts`](Self::max_committer_restarts);
+    /// `0` disables supervision entirely).
+    pub fn committer_restarts(mut self, n: u32) -> Self {
+        self.max_committer_restarts = n;
         self
     }
 
@@ -415,6 +489,17 @@ pub struct ServiceMetrics {
     pub index_builds: u64,
     /// In-place vertical index extends in the underlying session.
     pub index_extends: u64,
+    /// Transient storage faults absorbed by the durable log's
+    /// [`RetryPolicy`] without surfacing to any caller (0 on a session
+    /// without durable storage).
+    pub transient_retries: u64,
+    /// Cumulative wall-clock milliseconds spent with admissions closed
+    /// awaiting a heal (degraded or mid-restart), including the
+    /// currently open window if the service is degraded right now.
+    pub degraded_ms: u64,
+    /// Committer panics survived by a supervised restart (see
+    /// [`CommitPolicy::max_committer_restarts`]).
+    pub committer_restarts: u64,
 }
 
 #[derive(Debug, Default)]
@@ -464,7 +549,135 @@ impl MetricsAtomics {
             total_commit_micros: load(&self.total_commit_micros),
             index_builds: load(&self.index_builds),
             index_extends: load(&self.index_extends),
+            transient_retries: 0,
+            degraded_ms: 0,
+            committer_restarts: 0,
         }
+    }
+}
+
+/// The coarse condition of a running service (see
+/// [`MaintainerService::health`]). States are ordered by severity;
+/// [`Failed`](Self::Failed) is terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Normal operation: admissions open, rounds committing durably.
+    Healthy,
+    /// Durable storage is failing transiently: admissions are closed and
+    /// a background probe re-checks storage on a backoff cadence.
+    /// Snapshots keep serving; admissions reopen on heal.
+    Degraded,
+    /// The committer panicked and the supervisor is rebuilding the
+    /// session from durable storage. Admissions are closed until the
+    /// restarted committer adopts the staged backlog.
+    Restarting,
+    /// Terminal: a permanent storage fault, or the committer died past
+    /// its restart budget. The service serves snapshots only.
+    Failed,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_RESTARTING: u8 = 2;
+const HEALTH_FAILED: u8 = 3;
+
+/// A point-in-time health report (see [`MaintainerService::health`]):
+/// the condition plus the self-healing counters behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceHealth {
+    /// The service condition right now.
+    pub state: HealthState,
+    /// Failed heal probes since the service last left
+    /// [`HealthState::Healthy`] (0 while healthy) — the probe's backoff
+    /// exponent.
+    pub consecutive_failures: u64,
+    /// Transient storage faults absorbed by retries (the
+    /// [`ServiceMetrics::transient_retries`] counter).
+    pub transient_retries: u64,
+    /// Cumulative milliseconds spent degraded or restarting, including
+    /// the currently open window.
+    pub degraded_ms: u64,
+    /// Committer panics survived by a supervised restart.
+    pub committer_restarts: u64,
+}
+
+/// The lock-free half of the health report, plus the one mutex guarding
+/// the open degraded-time window.
+#[derive(Debug, Default)]
+struct HealthAtomics {
+    state: AtomicU8,
+    consecutive_failures: AtomicU64,
+    /// Completed degraded windows, in milliseconds.
+    degraded_ms: AtomicU64,
+    /// When the current degraded window opened (`None` while healthy).
+    degraded_since: Mutex<Option<Instant>>,
+    restarts: AtomicU64,
+}
+
+impl HealthAtomics {
+    fn state(&self) -> HealthState {
+        match self.state.load(Ordering::SeqCst) {
+            HEALTH_HEALTHY => HealthState::Healthy,
+            HEALTH_DEGRADED => HealthState::Degraded,
+            HEALTH_RESTARTING => HealthState::Restarting,
+            _ => HealthState::Failed,
+        }
+    }
+
+    fn degraded_since(&self) -> MutexGuard<'_, Option<Instant>> {
+        self.degraded_since
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enters `Degraded` or `Restarting`, opening the degraded-time
+    /// window if it is not already open. `Failed` is terminal and never
+    /// downgraded.
+    fn enter(&self, state: u8) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+                (current != HEALTH_FAILED).then_some(state)
+            });
+        let mut since = self.degraded_since();
+        if since.is_none() {
+            *since = Some(Instant::now());
+        }
+    }
+
+    /// Closes the open degraded-time window, folding it into the total.
+    fn close_window(&self) {
+        if let Some(opened) = self.degraded_since().take() {
+            self.degraded_ms
+                .fetch_add(opened.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Back to `Healthy` (unless terminally failed): close the window,
+    /// clear the probe-failure streak.
+    fn heal(&self) {
+        let _ = self
+            .state
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
+                (current != HEALTH_FAILED).then_some(HEALTH_HEALTHY)
+            });
+        self.close_window();
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+    }
+
+    /// Terminal failure: the window closes (degraded time measures the
+    /// recoverable condition) and the state never changes again.
+    fn fail_terminal(&self) {
+        self.state.store(HEALTH_FAILED, Ordering::SeqCst);
+        self.close_window();
+    }
+
+    /// Completed degraded milliseconds plus the currently open window.
+    fn degraded_ms_now(&self) -> u64 {
+        let open = self
+            .degraded_since()
+            .map_or(0, |opened| opened.elapsed().as_millis() as u64);
+        self.degraded_ms.load(Ordering::Relaxed) + open
     }
 }
 
@@ -611,7 +824,10 @@ impl Ctl {
 }
 
 struct Shared {
-    handle: StageHandle,
+    /// The producers' staging path. Behind an `RwLock` only because a
+    /// supervised committer restart swaps in the recovered session's
+    /// handle; every other access is a read.
+    handle: RwLock<StageHandle>,
     policy: CommitPolicy,
     cell: SnapshotCell,
     metrics: MetricsAtomics,
@@ -632,9 +848,12 @@ struct Shared {
     work_cv: Condvar,
     /// Wakes flush waiters (a round completed, or stop).
     done_cv: Condvar,
-    /// Test-only: makes the next committer wakeup panic, exercising the
-    /// death-degradation path without contriving a real bug.
-    #[cfg(test)]
+    /// The self-healing state machine: degraded/restarting/failed plus
+    /// the counters [`MaintainerService::health`] reports.
+    health: HealthAtomics,
+    /// Fault-injection hook: makes the committer's next wakeup panic,
+    /// exercising the supervision path without contriving a real bug
+    /// (see [`MaintainerService::debug_kill_committer`]).
     kill_committer: AtomicBool,
 }
 
@@ -657,32 +876,119 @@ impl Shared {
         self.ctl.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The current staging handle (a cheap clone — two `Arc`s and a
+    /// flag). Cloned out of the lock so no caller holds the read guard
+    /// across a blocking admission wait.
+    fn stage_handle(&self) -> StageHandle {
+        self.handle
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
     fn triggered(&self) -> bool {
-        let (i, d) = self.handle.pending_ops();
+        let (i, d) = self.stage_handle().pending_ops();
         self.policy
             .triggered(i + d, self.live_len.load(Ordering::Relaxed))
     }
 
     /// The full [`ServiceMetrics`]: counters plus the point-in-time
-    /// gauges (backlog depth, snapshot staleness in rounds).
+    /// gauges (backlog depth, snapshot staleness in rounds, health
+    /// counters).
     fn metrics_snapshot(&self) -> ServiceMetrics {
         let mut m = self.metrics.snapshot();
-        let (i, d) = self.handle.pending_ops();
+        let handle = self.stage_handle();
+        let (i, d) = handle.pending_ops();
         m.backlog_ops = i + d;
         m.snapshot_staleness_rounds = match self.policy.max_ops_per_round {
             Some(cap) => m.backlog_ops.div_ceil(cap),
             None => u64::from(m.backlog_ops > 0),
         };
+        m.transient_retries = handle
+            .durable_log()
+            .map_or(0, |log| log.transient_retries());
+        m.degraded_ms = self.health.degraded_ms_now();
+        m.committer_restarts = self.health.restarts.load(Ordering::Relaxed);
         m
+    }
+
+    /// The full [`ServiceHealth`] report.
+    fn health_snapshot(&self) -> ServiceHealth {
+        ServiceHealth {
+            state: self.health.state(),
+            consecutive_failures: self.health.consecutive_failures.load(Ordering::Relaxed),
+            transient_retries: self
+                .stage_handle()
+                .durable_log()
+                .map_or(0, |log| log.transient_retries()),
+            degraded_ms: self.health.degraded_ms_now(),
+            committer_restarts: self.health.restarts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Storage started failing transiently: close admissions (parked
+    /// producers fail typed, new ones are refused) and wake everyone so
+    /// flush waiters observe the degradation instead of blocking on
+    /// rounds that cannot commit durably.
+    fn on_degraded(&self) {
+        self.health.enter(HEALTH_DEGRADED);
+        self.stage_handle().staging_area().close_admissions();
+        let _ctl = self.lock_ctl();
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Storage answered again: reopen admissions (unless shutdown or a
+    /// terminal committer death got there first) and resume.
+    fn on_healed(&self) {
+        if !self.stopping.load(Ordering::SeqCst) && !self.committer_gone.load(Ordering::SeqCst) {
+            self.stage_handle().staging_area().reopen_admissions();
+        }
+        self.health.heal();
+        let _ctl = self.lock_ctl();
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// A permanent storage fault: terminal. Admissions close for good;
+    /// snapshots keep serving.
+    fn on_failed(&self) {
+        self.health.fail_terminal();
+        self.stage_handle().staging_area().close_admissions();
+        let _ctl = self.lock_ctl();
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Swaps in a freshly recovered session after a committer panic: the
+    /// new staging area takes over the service's capacity gate (closed
+    /// until [`on_healed`](Self::on_healed) reopens it), the recovered
+    /// state is published, and producers are routed to the new handle.
+    /// The recovered staging area already holds the panicked round's
+    /// staged backlog under its original tickets — nothing staged is
+    /// lost, nothing acknowledged is reordered.
+    fn adopt_recovered(&self, maintainer: &Maintainer) {
+        let handle = maintainer.stage_handle();
+        {
+            let area = handle.staging_area();
+            area.set_capacity(self.policy.max_staged_ops);
+            area.close_admissions();
+        }
+        self.cell.store(maintainer.state_arc());
+        self.live_len
+            .store(maintainer.len() as u64, Ordering::Relaxed);
+        *self.handle.write().unwrap_or_else(PoisonError::into_inner) = handle;
     }
 }
 
-/// Runs when the committer thread exits. A planned exit is a no-op; on a
-/// panic it records the death so the service degrades instead of
-/// hanging: admissions close (producers parked on a full gate fail over
-/// to [`ServiceError::CommitterGone`]), `stop` is raised, and both
-/// condvars fire so flush waiters observe the death. Snapshots keep
-/// serving — the cell's last published state remains valid forever.
+/// Runs when the *supervisor* thread exits. A planned exit is a no-op;
+/// on a panic that escapes the supervisor itself (committer panics are
+/// caught and handled below it) this backstop records the death so the
+/// service degrades instead of hanging: admissions close (producers
+/// parked on a full gate fail over to [`ServiceError::CommitterGone`]),
+/// `stop` is raised, and both condvars fire so flush waiters observe the
+/// death. Snapshots keep serving — the cell's last published state
+/// remains valid forever.
 struct CommitterGuard<'a>(&'a Shared);
 
 impl Drop for CommitterGuard<'_> {
@@ -690,15 +996,7 @@ impl Drop for CommitterGuard<'_> {
         if !std::thread::panicking() {
             return;
         }
-        self.0.committer_gone.store(true, Ordering::SeqCst);
-        self.0.handle.staging_area().close_admissions();
-        // The committer never panics while holding `ctl` (its critical
-        // sections are panic-free), so re-locking here cannot
-        // self-deadlock.
-        let mut ctl = self.0.lock_ctl();
-        ctl.stop = true;
-        self.0.work_cv.notify_all();
-        self.0.done_cv.notify_all();
+        give_up(self.0);
     }
 }
 
@@ -713,7 +1011,10 @@ impl Drop for CommitterGuard<'_> {
 /// of everything staged.
 pub struct MaintainerService {
     shared: Arc<Shared>,
-    committer: Option<JoinHandle<Maintainer>>,
+    /// The supervisor thread. Returns `None` when the committer died
+    /// past its restart budget (the [`ServiceError::CommitterGone`]
+    /// state) instead of unwinding, so joining it cannot re-raise.
+    committer: Option<JoinHandle<Option<Maintainer>>>,
 }
 
 impl fmt::Debug for MaintainerService {
@@ -743,7 +1044,7 @@ impl MaintainerService {
             area.set_capacity(policy.max_staged_ops);
         }
         let shared = Arc::new(Shared {
-            handle,
+            handle: RwLock::new(handle),
             policy,
             cell: SnapshotCell::new(maintainer.state_arc()),
             metrics: MetricsAtomics::default(),
@@ -755,14 +1056,14 @@ impl MaintainerService {
             ctl: Mutex::new(Ctl::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            #[cfg(test)]
+            health: HealthAtomics::default(),
             kill_committer: AtomicBool::new(false),
         });
         let committer = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("fup-committer".into())
-                .spawn(move || committer_loop(maintainer, &shared))
+                .spawn(move || supervised_committer(maintainer, &shared))
                 .expect("spawning the committer thread")
         };
         Ok(MaintainerService {
@@ -833,14 +1134,15 @@ impl MaintainerService {
         }
         let inserts = batch.inserts.len() as u64;
         let deletes = batch.deletes.len() as u64;
-        if let Err(e) = self.shared.handle.stage_with(batch, admission) {
+        let handle = self.shared.stage_handle();
+        if let Err(e) = handle.stage_with(batch, admission) {
             return Err(self.classify_stage_error(e));
         }
         let m = &self.shared.metrics;
         m.staged_batches.fetch_add(1, Ordering::Relaxed);
         m.staged_inserts.fetch_add(inserts, Ordering::Relaxed);
         m.staged_deletes.fetch_add(deletes, Ordering::Relaxed);
-        let (pend_i, pend_d) = self.shared.handle.pending_ops();
+        let (pend_i, pend_d) = handle.pending_ops();
         m.max_backlog_ops
             .fetch_max(pend_i + pend_d, Ordering::Relaxed);
         drop(guard);
@@ -866,14 +1168,41 @@ impl MaintainerService {
                 m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
                 ServiceError::StageTimeout { pending, capacity }
             }
-            // Admissions close for exactly two reasons: the committer
-            // died, or shutdown began.
+            // Admissions close for exactly three reasons: the committer
+            // died for good, the service degraded awaiting a heal, or
+            // shutdown began.
             Error::Store(fup_tidb::Error::StagingClosed) => {
                 if self.shared.committer_gone.load(Ordering::SeqCst) {
                     ServiceError::CommitterGone
+                } else if self.shared.health.state() != HealthState::Healthy {
+                    m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+                    ServiceError::Degraded
                 } else {
                     ServiceError::ShutDown
                 }
+            }
+            // The staging WAL write hit storage trouble the log's own
+            // retries could not absorb. Transient faults degrade the
+            // service (a probe will heal it); permanent ones are
+            // terminal. Either way the batch was not staged and the
+            // producer gets a typed refusal, not a hang.
+            Error::DurabilityDegraded
+            | Error::Store(fup_tidb::Error::Io {
+                kind: FaultKind::Transient,
+                ..
+            }) => {
+                self.shared.on_degraded();
+                m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Degraded
+            }
+            Error::Store(fup_tidb::Error::Io {
+                kind: FaultKind::Permanent,
+                ..
+            })
+            | Error::Recovery { .. } => {
+                self.shared.on_failed();
+                m.backpressure_rejections.fetch_add(1, Ordering::Relaxed);
+                ServiceError::Degraded
             }
             e => {
                 m.rejected_batches.fetch_add(1, Ordering::Relaxed);
@@ -917,6 +1246,12 @@ impl MaintainerService {
         if ctl.stop {
             return Err(ServiceError::ShutDown);
         }
+        // A degraded service cannot commit durably: fail the flush typed
+        // instead of parking the waiter on rounds that will not run. The
+        // staged work stays queued — a flush after the heal covers it.
+        if self.shared.health.state() != HealthState::Healthy {
+            return Err(ServiceError::Degraded);
+        }
         ctl.flush_requested += 1;
         let ticket = ctl.flush_requested;
         ctl.waiting.insert(ticket);
@@ -951,6 +1286,13 @@ impl MaintainerService {
                 ctl.prune_outcomes();
                 return Err(ServiceError::CommitterGone);
             }
+            if self.shared.health.state() != HealthState::Healthy {
+                // The service degraded while this flush waited; its
+                // staged work stays queued for after the heal.
+                ctl.waiting.remove(&ticket);
+                ctl.prune_outcomes();
+                return Err(ServiceError::Degraded);
+            }
             if ctl.stop {
                 ctl.waiting.remove(&ticket);
                 ctl.prune_outcomes();
@@ -982,7 +1324,68 @@ impl MaintainerService {
 
     /// `(inserts, deletes)` staged and not yet drained by a round.
     pub fn pending_ops(&self) -> (u64, u64) {
-        self.shared.handle.pending_ops()
+        self.shared.stage_handle().pending_ops()
+    }
+
+    /// [`try_stage`](Self::try_stage) wrapped in a bounded
+    /// backoff-and-jitter retry loop: backpressure refusals
+    /// ([`WouldBlock`](ServiceError::WouldBlock) /
+    /// [`StageTimeout`](ServiceError::StageTimeout)) and
+    /// [`Degraded`](ServiceError::Degraded) refusals are retried per
+    /// `retry`; anything else (validation, shutdown, a dead committer)
+    /// fails immediately. Once the budget is spent the batch is shed
+    /// with [`ServiceError::RetriesExhausted`] carrying the final error
+    /// — the open-loop producer's patience-then-shed admission path.
+    pub fn stage_with_retry(
+        &self,
+        batch: UpdateBatch,
+        retry: RetryPolicy,
+    ) -> Result<(), ServiceError> {
+        if let Err(e) = retry.validate() {
+            return Err(ServiceError::Stage(e.into()));
+        }
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.try_stage(batch.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            let retryable = matches!(
+                err,
+                ServiceError::WouldBlock { .. }
+                    | ServiceError::StageTimeout { .. }
+                    | ServiceError::Degraded
+            );
+            if !retryable {
+                return Err(err);
+            }
+            if attempt >= retry.max_attempts {
+                return Err(ServiceError::RetriesExhausted {
+                    attempts: attempt,
+                    last: Box::new(err),
+                });
+            }
+            retry.pause(attempt);
+        }
+    }
+
+    /// A point-in-time health report: the service condition
+    /// ([`HealthState`]) plus the self-healing counters — transient
+    /// retries absorbed, time spent degraded, committer restarts
+    /// survived.
+    pub fn health(&self) -> ServiceHealth {
+        self.shared.health_snapshot()
+    }
+
+    /// Fault injection for tests and chaos harnesses: the committer's
+    /// next wakeup panics, exercising the supervised-restart path
+    /// without contriving a real bug. Not part of the stable API.
+    #[doc(hidden)]
+    pub fn debug_kill_committer(&self) {
+        self.shared.kill_committer.store(true, Ordering::SeqCst);
+        let _ctl = self.shared.lock_ctl();
+        self.shared.work_cv.notify_all();
     }
 
     /// A copy of the service counters, with the backlog and staleness
@@ -1037,7 +1440,7 @@ impl MaintainerService {
         // in-flight registration, and the final drain may never free the
         // space it is waiting for — without this, shutdown and the
         // sleeper deadlock.
-        self.shared.handle.staging_area().close_admissions();
+        self.shared.stage_handle().staging_area().close_admissions();
         {
             let mut ctl = self.shared.lock_ctl();
             ctl.stop = true;
@@ -1051,10 +1454,17 @@ impl MaintainerService {
             .join();
         // Hand the session back with a standalone staging gate:
         // admissions open, no service capacity.
-        let area = self.shared.handle.staging_area();
+        let area_handle = self.shared.stage_handle();
+        let area = area_handle.staging_area();
         area.reopen_admissions();
         area.set_capacity(None);
-        joined
+        match joined {
+            Ok(Some(maintainer)) => Ok(maintainer),
+            // The supervisor exhausted the restart budget and returned
+            // gracefully; surface it like the panic it absorbed.
+            Ok(None) => Err(Box::new("committer died past its restart budget")),
+            Err(panic) => Err(panic),
+        }
     }
 }
 
@@ -1068,20 +1478,95 @@ impl Drop for MaintainerService {
     }
 }
 
-#[cfg(test)]
+/// Consumes a pending kill request (the fault-injection hook). `swap`
+/// rather than `load` so a supervised restart does not immediately
+/// re-kill the fresh committer.
 fn test_kill_requested(shared: &Shared) -> bool {
-    shared.kill_committer.load(Ordering::SeqCst)
+    shared.kill_committer.swap(false, Ordering::SeqCst)
 }
 
-#[cfg(not(test))]
-fn test_kill_requested(_shared: &Shared) -> bool {
-    false
+/// Terminal degradation (a committer panic with no restart budget left,
+/// no durable storage to rebuild from, or shutdown already underway):
+/// record the death, close admissions for good, raise `stop`, and wake
+/// everyone so parked producers and flush waiters fail typed.
+fn give_up(shared: &Shared) {
+    shared.committer_gone.store(true, Ordering::SeqCst);
+    shared.health.fail_terminal();
+    shared.stage_handle().staging_area().close_admissions();
+    let mut ctl = shared.lock_ctl();
+    ctl.stop = true;
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
 }
 
-/// The committer thread: wait for a trigger / flush / stop, run bounded
-/// rounds, publish, repeat. Returns the session at shutdown.
-fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
+/// Supervises the committer: runs [`committer_loop`] under
+/// `catch_unwind` and, when it panics, rebuilds the session through the
+/// durable recovery path and respawns the loop — up to
+/// [`CommitPolicy::max_committer_restarts`] times. The recovered
+/// session replays the WAL, so every acknowledged commit survives and
+/// the staged backlog is re-adopted under its original tickets. A
+/// session without durable storage cannot be rebuilt: its first panic
+/// (like any panic past the budget, or during shutdown) goes straight
+/// to [`give_up`].
+fn supervised_committer(mut maintainer: Maintainer, shared: &Shared) -> Option<Maintainer> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    // Backstop: if the *supervisor* itself panics (recovery code, adopt
+    // path), the guard still degrades the service instead of hanging
+    // producers on a silently dead thread.
     let _death_watch = CommitterGuard(shared);
+    let spec: Option<RecoverySpec> = maintainer.recovery_spec();
+    let mut panics = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| committer_loop(maintainer, shared))) {
+            Ok(session) => return Some(session),
+            Err(_panic) => {
+                panics += 1;
+                // Decide *before* touching any shared state whether a
+                // restart is possible, so an unrecoverable death never
+                // shows an intermediate Restarting state to producers.
+                let restartable = spec.is_some()
+                    && panics <= shared.policy.max_committer_restarts
+                    && !shared.stopping.load(Ordering::SeqCst);
+                if !restartable {
+                    give_up(shared);
+                    return None;
+                }
+                // Close the dead loop's admissions immediately: parked
+                // producers fail over to `Degraded` instead of waiting on
+                // a committer that no longer drains.
+                shared.health.enter(HEALTH_RESTARTING);
+                shared.stage_handle().staging_area().close_admissions();
+                {
+                    let _ctl = shared.lock_ctl();
+                    shared.done_cv.notify_all();
+                }
+                let spec = spec.as_ref().expect("restartable implies a recovery spec");
+                match spec.builder.clone().recover(Arc::clone(&spec.storage)) {
+                    Ok((recovered, _report)) => {
+                        shared.adopt_recovered(&recovered);
+                        shared.health.restarts.fetch_add(1, Ordering::Relaxed);
+                        shared.on_healed();
+                        maintainer = recovered;
+                    }
+                    Err(_recovery_failed) => {
+                        give_up(shared);
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The committer thread's main loop: wait for a trigger / flush / stop
+/// (or, while degraded, for the next heal probe), run bounded rounds,
+/// publish, repeat. Returns the session at shutdown.
+fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
+    // Heal-probe schedule, local to this incarnation of the loop: when
+    // the next probe is due (`None` = immediately) and how many probes
+    // in a row have failed (the backoff exponent).
+    let mut next_probe: Option<Instant> = None;
+    let mut probe_failures: u32 = 0;
     loop {
         let stop = {
             let mut ctl = shared.lock_ctl();
@@ -1093,8 +1578,20 @@ fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
                 if ctl.stop {
                     break true;
                 }
-                if ctl.flush_requested > ctl.flush_completed || shared.triggered() {
-                    break false;
+                match shared.health.state() {
+                    HealthState::Healthy
+                        if ctl.flush_requested > ctl.flush_completed || shared.triggered() =>
+                    {
+                        break false;
+                    }
+                    // Flushes and triggers cannot run durably while
+                    // degraded; only a due heal probe leaves the wait.
+                    HealthState::Degraded if next_probe.is_none_or(|due| Instant::now() >= due) => {
+                        break false;
+                    }
+                    // Failed is terminal (Restarting never coexists with
+                    // a live loop): idle until shutdown.
+                    _ => {}
                 }
                 let (guard, _timeout) = shared
                     .work_cv
@@ -1112,18 +1609,56 @@ fn committer_loop(mut maintainer: Maintainer, shared: &Shared) -> Maintainer {
             while shared.in_flight.load(Ordering::SeqCst) != 0 {
                 std::thread::yield_now();
             }
+            // A degraded service gets one last heal attempt before the
+            // final drain.
+            if shared.health.state() == HealthState::Degraded && maintainer.try_heal().is_ok() {
+                shared.on_healed();
+            }
+        } else if shared.health.state() == HealthState::Degraded {
+            // The due probe: a successful heal re-checkpoints (state and
+            // staged backlog together) and reopens admissions; a failure
+            // backs the next probe off exponentially so dead storage is
+            // not hammered.
+            match maintainer.try_heal() {
+                Ok(_) => {
+                    shared.on_healed();
+                    probe_failures = 0;
+                    next_probe = None;
+                }
+                Err(_still_failing) => {
+                    if maintainer.durability_state() == Some(LogState::Poisoned) {
+                        shared.on_failed();
+                        next_probe = None;
+                    } else {
+                        probe_failures += 1;
+                        shared
+                            .health
+                            .consecutive_failures
+                            .store(u64::from(probe_failures), Ordering::Relaxed);
+                        let backoff = shared.policy.poll_interval
+                            * 2u32.saturating_pow(probe_failures.min(6));
+                        next_probe = Some(Instant::now() + backoff);
+                    }
+                }
+            }
+            continue;
         }
         let flush_pending = {
             let ctl = shared.lock_ctl();
             ctl.flush_requested > ctl.flush_completed
         };
-        let (pend_i, pend_d) = shared.handle.pending_ops();
+        let (pend_i, pend_d) = shared.stage_handle().pending_ops();
         let pending = pend_i + pend_d;
-        if flush_pending || (stop && pending > 0) {
+        // While degraded or failed, rounds are skipped even at shutdown:
+        // draining would burn staged records — already safe in the WAL —
+        // into rounds whose durability cannot be acknowledged. Recovery
+        // replays them instead.
+        let healthy = shared.health.state() == HealthState::Healthy;
+        if healthy && (flush_pending || (stop && pending > 0)) {
             // A flush (or the shutdown drain) covers *everything* staged,
             // in bounded rounds.
             drain_backlog(&mut maintainer, shared);
-        } else if !stop && shared.triggered() {
+        } else if healthy && !stop && shared.triggered() {
             // A trigger runs one bounded round; if the backlog is still
             // over the trigger afterwards, the wait loop falls straight
             // through and the next round starts — with a stop/flush check
@@ -1174,7 +1709,7 @@ fn round_cap(maintainer: &Maintainer, shared: &Shared, pending: u64) -> Option<u
 fn drain_backlog(maintainer: &mut Maintainer, shared: &Shared) {
     loop {
         let ticket = shared.lock_ctl().flush_requested;
-        let (pend_i, pend_d) = shared.handle.pending_ops();
+        let (pend_i, pend_d) = shared.stage_handle().pending_ops();
         let pending = pend_i + pend_d;
         let cap = round_cap(maintainer, shared, pending);
         let is_final = cap.is_none_or(|c| pending <= c);
@@ -1244,6 +1779,15 @@ fn run_round(
             // it can undercount by batches that raced in).
             m.dropped_rounds.fetch_add(1, Ordering::Relaxed);
             m.dropped_ops.fetch_add(pending_hint, Ordering::Relaxed);
+            // If the round failed because durable storage is failing,
+            // route the service into the matching health state so
+            // producers stop feeding rounds that cannot be made durable
+            // and the heal probe starts.
+            match maintainer.durability_state() {
+                Some(LogState::Degraded) => shared.on_degraded(),
+                Some(LogState::Poisoned) => shared.on_failed(),
+                _ => {}
+            }
             Err(e)
         }
     };
@@ -1271,10 +1815,36 @@ mod tests {
     use super::*;
     use crate::policy::UpdatePolicy;
     use fup_mining::{MinConfidence, MinSupport};
-    use fup_tidb::{Tid, Transaction};
+    use fup_tidb::{FlakyStorage, MemStorage, OpClass, Tid, Transaction};
 
     fn tx(items: &[u32]) -> Transaction {
         Transaction::from_items(items.iter().copied())
+    }
+
+    fn durable_session(storage: Arc<dyn DurableStorage>) -> Maintainer {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .build_durable(
+                vec![
+                    tx(&[1, 2, 3]),
+                    tx(&[1, 2]),
+                    tx(&[2, 3]),
+                    tx(&[1, 3]),
+                    tx(&[4, 5]),
+                ],
+                storage,
+            )
+            .unwrap()
+    }
+
+    /// Spin until `probe` passes or the deadline expires.
+    fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !probe() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     fn session() -> Maintainer {
@@ -1663,7 +2233,11 @@ mod tests {
                         // Begin shutdown through the shared handle so the
                         // sleeper actually wakes: stopping + closed gate.
                         still_shared.shared.stopping.store(true, Ordering::SeqCst);
-                        still_shared.shared.handle.staging_area().close_admissions();
+                        still_shared
+                            .shared
+                            .stage_handle()
+                            .staging_area()
+                            .close_admissions();
                         service = still_shared;
                         std::thread::yield_now();
                     }
@@ -1698,9 +2272,10 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(20));
         // Kill the committer mid-burst. Its next wakeup (the 1 ms poll)
-        // panics; the death watch must fail the parked producer, refuse
+        // panics; this session has no durable storage, so the supervisor
+        // cannot rebuild it — it must fail the parked producer, refuse
         // new work, and keep snapshots serving.
-        service.shared.kill_committer.store(true, Ordering::SeqCst);
+        service.debug_kill_committer();
         let err = parked.join().unwrap().unwrap_err();
         assert_eq!(err, ServiceError::CommitterGone);
         let err = service
@@ -1820,6 +2395,171 @@ mod tests {
     }
 
     #[test]
+    fn a_panicked_committer_is_restarted_on_a_durable_session() {
+        let mem = Arc::new(MemStorage::new());
+        let service = MaintainerService::launch(
+            durable_session(mem),
+            CommitPolicy::manual().with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap();
+        service.flush().unwrap();
+
+        service.debug_kill_committer();
+        wait_for("the supervised restart", || {
+            let h = service.health();
+            h.committer_restarts == 1 && h.state == HealthState::Healthy
+        });
+
+        // The restarted committer accepts work again, and the recovery
+        // path preserved everything the dead incarnation committed.
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap();
+        let report = service.flush().unwrap();
+        assert_eq!(report.num_transactions, 7);
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(metrics.committer_restarts, 1);
+        assert_eq!(maintainer.len(), 7);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn committer_restarts_are_bounded_by_the_policy_budget() {
+        let mem = Arc::new(MemStorage::new());
+        let service = MaintainerService::launch(
+            durable_session(mem),
+            CommitPolicy::manual()
+                .with_poll_interval(Duration::from_millis(1))
+                .committer_restarts(1),
+        )
+        .unwrap();
+        // First panic: within budget, restarted.
+        service.debug_kill_committer();
+        wait_for("the first restart", || {
+            let h = service.health();
+            h.committer_restarts == 1 && h.state == HealthState::Healthy
+        });
+        // Second panic: past the budget — terminal.
+        service.debug_kill_committer();
+        wait_for("terminal failure", || {
+            service.health().state == HealthState::Failed
+        });
+        let err = service
+            .try_stage(UpdateBatch::insert_only(vec![tx(&[1, 2])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::CommitterGone);
+        assert_eq!(service.flush().unwrap_err(), ServiceError::CommitterGone);
+        assert_eq!(service.snapshot().num_transactions(), 5);
+        assert_eq!(service.metrics().committer_restarts, 1);
+        // Dropping discards the dead pipeline without re-raising.
+        drop(service);
+    }
+
+    #[test]
+    fn exhausted_storage_retries_degrade_the_service_with_typed_errors() {
+        let mem = Arc::new(MemStorage::new());
+        let flaky = Arc::new(FlakyStorage::new(mem));
+        let service = MaintainerService::launch(
+            durable_session(flaky.clone()),
+            CommitPolicy::manual().with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        // More faults than any retry budget: staging degrades the
+        // service and the heal probes keep failing.
+        flaky.fail_next(OpClass::Append, 1_000);
+        let err = service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Degraded);
+        assert_ne!(service.health().state, HealthState::Healthy);
+        assert_eq!(service.flush().unwrap_err(), ServiceError::Degraded);
+        // Reads keep serving throughout.
+        assert_eq!(service.snapshot().num_transactions(), 5);
+        let metrics = service.metrics();
+        assert!(metrics.transient_retries > 0, "{metrics:?}");
+        // Shutdown returns even while degraded (the final drain is
+        // skipped; nothing was staged).
+        let (maintainer, _metrics) = service.shutdown();
+        assert_eq!(maintainer.len(), 5);
+    }
+
+    #[test]
+    fn a_degraded_service_heals_and_reopens_admissions() {
+        let mem = Arc::new(MemStorage::new());
+        let flaky = Arc::new(FlakyStorage::new(mem));
+        let service = MaintainerService::launch(
+            durable_session(flaky.clone()),
+            CommitPolicy::manual().with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        // Exactly the stage path's retry budget (default 4 attempts):
+        // the stage exhausts it and degrades, and the script runs dry so
+        // the first heal probe succeeds.
+        flaky.fail_next(OpClass::Append, 4);
+        let err = service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Degraded);
+        wait_for("the heal probe", || {
+            service.health().state == HealthState::Healthy
+        });
+        // Healed: the same batch is admitted and committed durably.
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap();
+        let report = service.flush().unwrap();
+        assert_eq!(report.num_transactions, 6);
+        let (maintainer, metrics) = service.shutdown();
+        assert_eq!(metrics.committer_restarts, 0);
+        assert!(metrics.transient_retries >= 3, "{metrics:?}");
+        assert_eq!(maintainer.len(), 6);
+        maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn stage_with_retry_retries_backpressure_then_sheds() {
+        let service =
+            MaintainerService::launch(session(), CommitPolicy::manual().staging_capacity(2))
+                .unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5]), tx(&[6, 7])]))
+            .unwrap();
+        let retry = RetryPolicy::attempts(3).backoff(Duration::ZERO, Duration::ZERO);
+        let err = service
+            .stage_with_retry(UpdateBatch::insert_only(vec![tx(&[8, 9])]), retry)
+            .unwrap_err();
+        match err {
+            ServiceError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, ServiceError::WouldBlock { .. }), "{last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // A flush frees the gate and the same policy then succeeds.
+        service.flush().unwrap();
+        service
+            .stage_with_retry(UpdateBatch::insert_only(vec![tx(&[8, 9])]), retry)
+            .unwrap();
+        // Non-retryable errors surface immediately, unwrapped.
+        let err = service
+            .stage_with_retry(UpdateBatch::delete_only(vec![Tid(999)]), retry)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Stage(_)));
+        // A zero-attempt policy is refused up front.
+        let err = service
+            .stage_with_retry(
+                UpdateBatch::insert_only(vec![tx(&[1])]),
+                RetryPolicy::attempts(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Stage(Error::Config(_))));
+        drop(service);
+    }
+
+    #[test]
     fn service_error_display_names_the_problem() {
         assert!(ServiceError::ZeroPendingTrigger
             .to_string()
@@ -1844,6 +2584,15 @@ mod tests {
         assert!(e.to_string().contains("9/9"));
         assert!(ServiceError::FlushTimeout.to_string().contains("deadline"));
         assert!(ServiceError::CommitterGone.to_string().contains("panicked"));
+        assert!(ServiceError::Degraded.to_string().contains("degraded"));
+        assert!(ServiceError::Degraded.to_string().contains("heal"));
+        let e = ServiceError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(ServiceError::Degraded),
+        };
+        assert!(e.to_string().contains("4 attempt(s)"));
+        assert!(e.to_string().contains("degraded"));
+        assert!(std::error::Error::source(&e).is_some());
         let e = ServiceError::Stage(Error::DeletionsDisabled);
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -340,6 +340,49 @@ impl StageHandle {
         Ok(())
     }
 
+    /// [`try_stage`](Self::try_stage) wrapped in a bounded
+    /// backoff-and-retry loop: admission pushback
+    /// ([`WouldBlock`](fup_tidb::Error::WouldBlock) /
+    /// [`StageTimeout`](fup_tidb::Error::StageTimeout)) and a degraded
+    /// durable log ([`Error::DurabilityDegraded`]) are retried per
+    /// `retry` (exponential backoff, deterministic jitter); anything
+    /// else — validation failures, a closed staging area, a poisoned log
+    /// — fails immediately. Exhausting the budget yields
+    /// [`Error::RetriesExhausted`] carrying the final error, so callers
+    /// can shed with one `match` instead of hand-rolling the loop.
+    pub fn stage_with_retry(
+        &self,
+        batch: UpdateBatch,
+        retry: crate::durable::RetryPolicy,
+    ) -> Result<()> {
+        retry.validate()?;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.try_stage(batch.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+            let retryable = matches!(
+                err,
+                Error::DurabilityDegraded
+                    | Error::Store(
+                        fup_tidb::Error::WouldBlock { .. } | fup_tidb::Error::StageTimeout { .. }
+                    )
+            );
+            if !retryable {
+                return Err(err);
+            }
+            if attempt >= retry.max_attempts {
+                return Err(Error::RetriesExhausted {
+                    attempts: attempt,
+                    last: Box::new(err),
+                });
+            }
+            retry.pause(attempt);
+        }
+    }
+
     /// `(inserts, deletes)` currently staged and awaiting a commit.
     pub fn pending_ops(&self) -> (u64, u64) {
         self.staging.pending_ops()
@@ -350,6 +393,22 @@ impl StageHandle {
     pub(crate) fn staging_area(&self) -> &Arc<fup_tidb::StagingArea> {
         &self.staging
     }
+
+    /// The session's durable log, when there is one — the service layer
+    /// reads health gauges through this.
+    pub(crate) fn durable_log(&self) -> Option<&Arc<DurableLog>> {
+        self.durable.as_ref()
+    }
+}
+
+/// How to rebuild a durable session from its own storage: the fully
+/// resolved builder configuration plus the storage handle. Captured once
+/// by the service's committer supervisor so a panicked committer can be
+/// respawned through [`MaintainerBuilder::recover`].
+#[derive(Debug, Clone)]
+pub(crate) struct RecoverySpec {
+    pub(crate) builder: MaintainerBuilder,
+    pub(crate) storage: Arc<dyn DurableStorage>,
 }
 
 /// Fluent, validating builder for a [`Maintainer`] session — the one
@@ -987,14 +1046,29 @@ impl Maintainer {
         let merged = StagingArea::merge_entries(entries);
         match self.commit_batch(merged) {
             Ok(report) => {
-                log.log_boundary(&WalRecord::Commit {
+                if let Err(boundary_err) = log.log_boundary(&WalRecord::Commit {
                     version: report.version,
                     tickets,
-                })?;
+                }) {
+                    // The boundary could not reach the WAL. If the log
+                    // merely degraded (transient fault outlived its
+                    // budget), a fresh checkpoint can still acknowledge
+                    // the round: it embeds this round's post-state and
+                    // the remaining backlog, superseding the suspect
+                    // segment — and doubles as the heal. Only when that
+                    // also fails is the round reported dropped.
+                    if log.state() == crate::durable::LogState::Degraded
+                        && self.write_durable_checkpoint(log).is_ok()
+                    {
+                        return Ok(report);
+                    }
+                    return Err(boundary_err);
+                }
                 if log.note_round() {
-                    // A checkpoint failure poisons the log but the round
-                    // itself is durably acknowledged — report success and
-                    // let the next durable operation surface the poison.
+                    // A checkpoint failure degrades/poisons the log but
+                    // the round itself is durably acknowledged — report
+                    // success and let the next durable operation surface
+                    // the state.
                     let _ = self.write_durable_checkpoint(log);
                 }
                 Ok(report)
@@ -1305,12 +1379,74 @@ impl Maintainer {
         self.write_durable_checkpoint(&log)
     }
 
-    /// Encodes and installs the next checkpoint on `log`.
+    /// The durable log's health, or `None` on an in-memory session. See
+    /// [`LogState`](crate::durable::LogState) for what each state means.
+    pub fn durability_state(&self) -> Option<crate::durable::LogState> {
+        self.durable.as_ref().map(|log| log.state())
+    }
+
+    /// Attempts to heal a [`Degraded`](crate::durable::LogState::Degraded)
+    /// durable log by installing a fresh checkpoint: the checkpoint
+    /// embeds the session state *and* the staged backlog and rotates to
+    /// a fresh WAL segment, so one atomic install supersedes whatever
+    /// the suspect segment holds — nothing acknowledged is lost, and
+    /// every staged record is re-logged.
+    ///
+    /// Returns `Ok(true)` when a heal was performed, `Ok(false)` when
+    /// there was nothing to heal (healthy log, or an in-memory session),
+    /// and an error when the probe failed — [`Error::Recovery`] for a
+    /// poisoned log (only recovery helps), or the storage error when the
+    /// checkpoint itself failed (the log stays degraded; probe again
+    /// later).
+    pub fn try_heal(&mut self) -> Result<bool> {
+        let Some(log) = self.durable.clone() else {
+            return Ok(false);
+        };
+        match log.state() {
+            crate::durable::LogState::Healthy => Ok(false),
+            crate::durable::LogState::Degraded => {
+                self.write_durable_checkpoint(&log)?;
+                Ok(true)
+            }
+            crate::durable::LogState::Poisoned => Err(Error::Recovery {
+                reason: "the durable log is poisoned by a permanent storage failure; \
+                         healing cannot help — recover from storage"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Everything needed to rebuild this session from its own storage —
+    /// the committer supervisor uses this to respawn through the
+    /// recovery path after a panic. `None` on an in-memory session.
+    pub(crate) fn recovery_spec(&self) -> Option<RecoverySpec> {
+        let log = self.durable.as_ref()?;
+        Some(RecoverySpec {
+            builder: MaintainerBuilder {
+                minsup: Some(self.minsup),
+                minconf: Some(self.minconf),
+                // `config` is already fully resolved, so the fine-grained
+                // override slots stay empty.
+                config: self.config.clone(),
+                threads: None,
+                gen_threads: None,
+                chunk_size: None,
+                backend: None,
+                policy: self.policy,
+                updater: self.updater,
+                deletions: self.deletions,
+                durability: *log.policy(),
+            },
+            storage: Arc::clone(log.storage()),
+        })
+    }
+
+    /// Encodes and installs the next checkpoint on `log`. Encoding runs
+    /// inside the log's checkpoint critical section so the embedded
+    /// backlog stays consistent with concurrent producer admissions
+    /// (see [`DurableLog::checkpoint_with`]).
     fn write_durable_checkpoint(&mut self, log: &Arc<DurableLog>) -> Result<u64> {
-        let seq = log.next_seq();
-        let bytes = self.encode_checkpoint_image(seq)?;
-        log.install_checkpoint(seq, &bytes)?;
-        Ok(seq)
+        log.checkpoint_with(|seq| self.encode_checkpoint_image(seq))
     }
 
     /// Serialises the session's current durable image as checkpoint

@@ -2,6 +2,36 @@
 
 use std::fmt;
 
+/// Whether a failed durable-storage operation is worth retrying.
+///
+/// Storage backends classify every [`Error::Io`] they produce so the
+/// durability layer can tell a blip from a broken medium:
+///
+/// * [`Transient`](FaultKind::Transient) — the failure may clear on its
+///   own (`EINTR`, `EAGAIN`, a timeout, `ENOSPC` that an operator can
+///   free). Retrying the same operation with backoff is sound *provided
+///   the failed attempt left no partial effect*; the caller owns that
+///   judgement (see `fup_core::durable`).
+/// * [`Permanent`](FaultKind::Permanent) — retrying cannot help
+///   (corruption, permission denied, a killed fault-injection storage).
+///   The session must treat itself as crashed and recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The failure may clear on its own; bounded retry is reasonable.
+    Transient,
+    /// Retrying cannot fix it; recover from durable state instead.
+    Permanent,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
 /// Errors produced by the transaction database substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -28,13 +58,18 @@ pub enum Error {
     /// The dictionary is full (more than `u32::MAX` distinct items).
     DictionaryFull,
     /// A durable-storage operation failed (or was killed by fault
-    /// injection). The session that observed it must be considered
-    /// crashed: discard it and recover from the durable state.
+    /// injection). The [`kind`](Error::Io::kind) says whether retrying
+    /// is worth it: a [`FaultKind::Permanent`] failure means the session
+    /// that observed it must be considered crashed — discard it and
+    /// recover from the durable state — while a
+    /// [`FaultKind::Transient`] one may be retried with backoff.
     Io {
         /// The storage operation that failed (`append`, `sync`, …).
         op: &'static str,
         /// The file the operation targeted.
         file: String,
+        /// Whether the failure is worth retrying.
+        kind: FaultKind,
         /// Human-readable description of the failure.
         reason: String,
     },
@@ -79,8 +114,13 @@ impl fmt::Display for Error {
                 "transaction encodes to {encoded_len} bytes, exceeding page capacity {page_capacity}"
             ),
             Error::DictionaryFull => write!(f, "item dictionary is full"),
-            Error::Io { op, file, reason } => {
-                write!(f, "durable storage {op} on {file:?} failed: {reason}")
+            Error::Io {
+                op,
+                file,
+                kind,
+                reason,
+            } => {
+                write!(f, "durable storage {op} on {file:?} failed ({kind}): {reason}")
             }
             Error::WouldBlock { pending, capacity } => write!(
                 f,
@@ -92,6 +132,22 @@ impl fmt::Display for Error {
             ),
             Error::StagingClosed => write!(f, "staging area is closed to new admissions"),
         }
+    }
+}
+
+impl Error {
+    /// `true` when this is a [`FaultKind::Transient`] storage failure —
+    /// one a bounded retry with backoff may clear. Everything else
+    /// (including admission pushback like [`Error::WouldBlock`], which
+    /// has its own retry protocol) reports `false`.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Io {
+                kind: FaultKind::Transient,
+                ..
+            }
+        )
     }
 }
 
@@ -130,17 +186,32 @@ mod tests {
         let e = Error::Io {
             op: "append",
             file: "wal-0".into(),
+            kind: FaultKind::Permanent,
             reason: "fault injected".into(),
         };
         assert!(e.to_string().contains("append"));
         assert!(e.to_string().contains("wal-0"));
+        assert!(e.to_string().contains("permanent"));
         assert!(e.to_string().contains("fault injected"));
+        assert!(!e.is_transient());
+
+        let e = Error::Io {
+            op: "sync",
+            file: "wal-0".into(),
+            kind: FaultKind::Transient,
+            reason: "injected blip".into(),
+        };
+        assert!(e.to_string().contains("transient"));
+        assert!(e.is_transient());
 
         let e = Error::WouldBlock {
             pending: 512,
             capacity: 512,
         };
         assert!(e.to_string().contains("512/512"));
+        // Admission pushback has its own retry protocol; it is not a
+        // storage fault.
+        assert!(!e.is_transient());
 
         let e = Error::StageTimeout {
             pending: 500,

@@ -74,12 +74,12 @@ pub mod wal;
 pub use chunk::{ChunkScratch, TxChunk};
 pub use database::TransactionDb;
 pub use dictionary::ItemDictionary;
-pub use error::{Error, Result};
+pub use error::{Error, FaultKind, Result};
 pub use item::ItemId;
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
 pub use source::TransactionSource;
 pub use staging::{Admission, LiveTidView, StagingArea};
-pub use storage::{DiskStorage, DurableStorage, MemStorage};
+pub use storage::{DiskStorage, DurableStorage, FlakyStorage, MemStorage, OpClass};
 pub use transaction::Transaction;
 pub use wal::{WalRecord, WalScan};

@@ -36,7 +36,9 @@ use crate::error::{Error, Result};
 use crate::segment::{Tid, UpdateBatch};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, RwLock};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::Instant;
 
 /// Default shard count — enough stripes that a handful of producer
@@ -182,6 +184,43 @@ impl Default for StagingArea {
 }
 
 impl StagingArea {
+    // ## Lock poisoning
+    //
+    // Every lock acquisition below *recovers* a poisoned guard
+    // (`PoisonError::into_inner`) instead of panicking in sympathy with
+    // whatever thread died while holding it. This is sound because no
+    // critical section in this module can be interrupted between the
+    // steps of a multi-part invariant: each one either mutates a single
+    // scalar or flag (gate occupancy, the closed bit, the ticket
+    // counter), inserts/removes whole elements of one collection (a
+    // shard's queue, the claim set, the live view), or completes all
+    // validation *before* its first mutation (`claim` reads the live
+    // view and rejects before extending the claim set). The only panics
+    // that can fire inside a section are allocation failures, which
+    // abort the process outright. A poisoned guard therefore still
+    // protects consistent data, and recovering it keeps one panicking
+    // producer from cascading into a panic in every other producer —
+    // the same policy the service layer applies to its control lock.
+    fn lock_gate(&self) -> MutexGuard<'_, Gate> {
+        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_claims(&self) -> MutexGuard<'_, HashSet<Tid>> {
+        self.claims.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn read_live(&self) -> RwLockReadGuard<'_, LiveTidView> {
+        self.live.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_live(&self) -> RwLockWriteGuard<'_, LiveTidView> {
+        self.live.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty area with `shards` lock stripes (min 1).
     pub fn with_shards(shards: usize) -> Self {
         let shards = shards.max(1);
@@ -211,7 +250,7 @@ impl StagingArea {
         self.capacity.store(limit.unwrap_or(0), Ordering::Relaxed);
         // Take the gate lock so no reserver can observe the old limit
         // between its capacity check and its wait.
-        drop(self.gate.lock().expect("staging gate poisoned"));
+        drop(self.lock_gate());
         self.freed.notify_all();
     }
 
@@ -226,7 +265,7 @@ impl StagingArea {
     /// Ops (inserts + deletes) currently occupying the capacity gate:
     /// admitted (or reserved by a mid-flight stage) and not yet drained.
     pub fn occupancy(&self) -> u64 {
-        self.gate.lock().expect("staging gate poisoned").occupancy
+        self.lock_gate().occupancy
     }
 
     /// Closes the area to new admissions: every subsequent (and every
@@ -235,13 +274,13 @@ impl StagingArea {
     /// claims still work — a shutdown drains the backlog after closing
     /// the door. Reopen with [`reopen_admissions`](Self::reopen_admissions).
     pub fn close_admissions(&self) {
-        self.gate.lock().expect("staging gate poisoned").closed = true;
+        self.lock_gate().closed = true;
         self.freed.notify_all();
     }
 
     /// Reopens the area after [`close_admissions`](Self::close_admissions).
     pub fn reopen_admissions(&self) {
-        self.gate.lock().expect("staging gate poisoned").closed = false;
+        self.lock_gate().closed = false;
         self.freed.notify_all();
     }
 
@@ -254,7 +293,7 @@ impl StagingArea {
     /// A batch larger than the whole capacity can never fit and is
     /// rejected immediately with [`Error::WouldBlock`] in every mode.
     pub fn reserve(&self, ops: u64, admission: Admission) -> Result<()> {
-        let mut gate = self.gate.lock().expect("staging gate poisoned");
+        let mut gate = self.lock_gate();
         loop {
             if gate.closed {
                 return Err(Error::StagingClosed);
@@ -279,7 +318,10 @@ impl StagingArea {
                     });
                 }
                 Admission::Block => {
-                    gate = self.freed.wait(gate).expect("staging gate poisoned");
+                    gate = self
+                        .freed
+                        .wait(gate)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 Admission::Deadline(deadline) => {
                     let now = Instant::now();
@@ -292,7 +334,7 @@ impl StagingArea {
                     let (g, _) = self
                         .freed
                         .wait_timeout(gate, deadline - now)
-                        .expect("staging gate poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     gate = g;
                 }
             }
@@ -306,7 +348,7 @@ impl StagingArea {
         if ops == 0 {
             return;
         }
-        let mut gate = self.gate.lock().expect("staging gate poisoned");
+        let mut gate = self.lock_gate();
         gate.occupancy = gate.occupancy.saturating_sub(ops);
         drop(gate);
         self.freed.notify_all();
@@ -316,7 +358,7 @@ impl StagingArea {
     /// closed flag — recovery re-admits a checkpoint/WAL backlog that
     /// must be accepted regardless of any capacity configured later.
     pub fn reserve_restored(&self, ops: u64) {
-        self.gate.lock().expect("staging gate poisoned").occupancy += ops;
+        self.lock_gate().occupancy += ops;
     }
 
     /// Queues a batch, validating deletes at arrival: every deleted tid
@@ -373,9 +415,9 @@ impl StagingArea {
         }
         // Claim lock first, live view second — the same order the
         // store uses when it applies a round.
-        let mut claims = self.claims.lock().expect("staging claims poisoned");
+        let mut claims = self.lock_claims();
         {
-            let live = self.live.read().expect("staging live view poisoned");
+            let live = self.read_live();
             let mut seen = HashSet::new();
             for &tid in deletes {
                 if !live.contains(tid) || claims.contains(&tid) || !seen.insert(tid) {
@@ -415,10 +457,7 @@ impl StagingArea {
         self.pending_deletes
             .fetch_add(batch.deletes.len() as u64, Ordering::Relaxed);
         let shard = &self.shards[(ticket % self.shards.len() as u64) as usize];
-        shard
-            .lock()
-            .expect("staging shard poisoned")
-            .push((ticket, batch));
+        Self::lock_shard(shard).push((ticket, batch));
     }
 
     /// `(inserts, deletes)` currently queued. Snapshots of two relaxed
@@ -482,11 +521,7 @@ impl StagingArea {
         // Within a shard tickets ascend, so the global ticket-order
         // prefix is a per-shard prefix: k-way merge the shard fronts
         // until the cap is reached, then drain each shard's prefix.
-        let mut guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("staging shard poisoned"))
-            .collect();
+        let mut guards: Vec<_> = self.shards.iter().map(Self::lock_shard).collect();
         let mut take = vec![0usize; guards.len()];
         let mut ops = 0u64;
         loop {
@@ -567,7 +602,7 @@ impl StagingArea {
     ) -> Vec<(u64, UpdateBatch)> {
         let mut entries: Vec<(u64, UpdateBatch)> = Vec::new();
         for shard in &self.shards {
-            let mut guard = shard.lock().expect("staging shard poisoned");
+            let mut guard = Self::lock_shard(shard);
             entries.append(&mut take(&mut guard));
         }
         entries.sort_unstable_by_key(|&(ticket, _)| ticket);
@@ -576,7 +611,7 @@ impl StagingArea {
 
     /// Releases delete claims (round committed, aborted, or discarded).
     pub fn release_deletes(&self, tids: impl IntoIterator<Item = Tid>) {
-        let mut claims = self.claims.lock().expect("staging claims poisoned");
+        let mut claims = self.lock_claims();
         for tid in tids {
             claims.remove(&tid);
         }
@@ -585,21 +620,18 @@ impl StagingArea {
     /// A copy of the current live-tid view (watermark + tombstones) — the
     /// compact live-set the durable checkpoint format serialises.
     pub fn live_view(&self) -> LiveTidView {
-        self.live
-            .read()
-            .expect("staging live view poisoned")
-            .clone()
+        self.read_live().clone()
     }
 
     /// Replaces the live view wholesale — used when a store is restored
     /// from a checkpoint.
     pub(crate) fn live_reset(&self, view: LiveTidView) {
-        *self.live.write().expect("staging live view poisoned") = view;
+        *self.write_live() = view;
     }
 
     /// Adds tids to the live view (the store appended transactions).
     pub(crate) fn live_insert(&self, tids: impl IntoIterator<Item = Tid>) {
-        let mut live = self.live.write().expect("staging live view poisoned");
+        let mut live = self.write_live();
         for tid in tids {
             live.insert(tid);
         }
@@ -607,7 +639,7 @@ impl StagingArea {
 
     /// Removes tids from the live view (the store staged deletions).
     pub(crate) fn live_remove(&self, tids: impl IntoIterator<Item = Tid>) {
-        let mut live = self.live.write().expect("staging live view poisoned");
+        let mut live = self.write_live();
         for tid in tids {
             live.remove(tid);
         }
@@ -960,6 +992,44 @@ mod tests {
             let err = area.stage(UpdateBatch::delete_only(vec![tid])).unwrap_err();
             assert_eq!(err, Error::UnknownTransaction(tid));
         }
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        let area = area_with_live(&[1, 2, 3]);
+        area.set_capacity(Some(10));
+        // Panic while holding each internal guard: the unwinding marks
+        // every one of them poisoned.
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _gate = area.gate.lock().unwrap();
+                let _claims = area.claims.lock().unwrap();
+                let _live = area.live.write().unwrap();
+                let _shard = area.shards[0].lock().unwrap();
+                panic!("producer bug while holding staging locks");
+            });
+            assert!(handle.join().is_err(), "the poisoning panic must fire");
+        });
+        // Every path recovers the guards: admission, validation,
+        // ticketing, draining, and the live view all still work.
+        area.stage(UpdateBatch::insert_only(vec![tx(&[9])]))
+            .unwrap();
+        area.stage(UpdateBatch::delete_only(vec![Tid(1)])).unwrap();
+        assert_eq!(area.occupancy(), 2);
+        assert_eq!(area.pending_ops(), (1, 1));
+        let err = area
+            .stage(UpdateBatch::delete_only(vec![Tid(1)]))
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownTransaction(Tid(1)));
+        let drained = area.drain();
+        assert_eq!(drained.inserts.len(), 1);
+        assert_eq!(drained.deletes, vec![Tid(1)]);
+        area.release_deletes(drained.deletes.iter().copied());
+        assert!(area.live_view().contains(Tid(2)));
+        area.close_admissions();
+        area.reopen_admissions();
+        area.stage(UpdateBatch::insert_only(vec![tx(&[10])]))
+            .unwrap();
     }
 
     #[test]

@@ -23,16 +23,25 @@
 //!   bytes survive a crash only once a later `sync` on the same file
 //!   returned `Ok`.
 //!
-//! Once any operation on a storage handle fails, the caller must treat
-//! the session as crashed; [`MemStorage`] enforces this by failing every
-//! subsequent mutation after an injected fault fires.
+//! ## Fault taxonomy
+//!
+//! Every failure carries a [`FaultKind`]: **permanent** faults mean the
+//! caller must treat the session as crashed — [`MemStorage`] enforces
+//! this by failing every subsequent mutation after an injected kill
+//! fires — while **transient** faults (an interrupted syscall, a
+//! timeout, `ENOSPC` that an operator can clear) may be retried with
+//! backoff. [`DiskStorage`] classifies real OS errors;
+//! [`FlakyStorage`] wraps any storage and injects scripted *transient*
+//! faults (fail the next N ops of a class, then heal) — the harness for
+//! the retry/degrade/self-heal machinery in `fup_core`, complementing
+//! `MemStorage`'s terminal kills.
 
-use crate::error::{Error, Result};
+use crate::error::{Error, FaultKind, Result};
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A flat namespace of durable files: the medium under the WAL and
 /// checkpoints. See the [module docs](self) for crash semantics.
@@ -59,12 +68,38 @@ pub trait DurableStorage: Send + Sync + std::fmt::Debug {
     fn remove(&self, file: &str) -> Result<()>;
 }
 
-fn io_err(op: &'static str, file: &str, e: impl std::fmt::Display) -> Error {
+fn io_err(op: &'static str, file: &str, kind: FaultKind, e: impl std::fmt::Display) -> Error {
     Error::Io {
         op,
         file: file.to_string(),
+        kind,
         reason: e.to_string(),
     }
+}
+
+/// Classifies an OS error: interruptions, timeouts, contention, and a
+/// full disk may clear on their own; everything else (not-found,
+/// permission, invalid data, …) is permanent.
+fn classify_os(e: &std::io::Error) -> FaultKind {
+    use std::io::ErrorKind;
+    // ENOSPC (28 on Linux) is the canonical "clears when the operator
+    // frees space" fault; match the raw errno so the classification does
+    // not depend on `ErrorKind::StorageFull` stabilization.
+    if e.raw_os_error() == Some(28) {
+        return FaultKind::Transient;
+    }
+    match e.kind() {
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            FaultKind::Transient
+        }
+        _ => FaultKind::Permanent,
+    }
+}
+
+/// Builds an [`Error::Io`] from a real OS error, classified.
+fn os_err(op: &'static str, file: &str, e: std::io::Error) -> Error {
+    let kind = classify_os(&e);
+    io_err(op, file, kind, e)
 }
 
 /// Validates that a name stays inside the flat namespace (no path
@@ -74,7 +109,12 @@ fn check_name(op: &'static str, file: &str) -> Result<()> {
     let bad =
         file.is_empty() || file == "." || file == ".." || file.contains('/') || file.contains('\\');
     if bad {
-        return Err(io_err(op, file, "invalid file name for flat storage"));
+        return Err(io_err(
+            op,
+            file,
+            FaultKind::Permanent,
+            "invalid file name for flat storage",
+        ));
     }
     Ok(())
 }
@@ -95,7 +135,7 @@ impl DiskStorage {
     /// Opens (creating if needed) `dir` as a durable namespace.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| io_err("open", &dir.to_string_lossy(), e))?;
+        fs::create_dir_all(&dir).map_err(|e| os_err("open", &dir.to_string_lossy(), e))?;
         Ok(DiskStorage {
             dir,
             handles: Mutex::new(HashMap::new()),
@@ -114,9 +154,9 @@ impl DiskStorage {
     /// Fsyncs the directory itself so renames/removals are durable.
     fn sync_dir(&self) -> Result<()> {
         let d = fs::File::open(&self.dir)
-            .map_err(|e| io_err("sync", &self.dir.to_string_lossy(), e))?;
+            .map_err(|e| os_err("sync", &self.dir.to_string_lossy(), e))?;
         d.sync_all()
-            .map_err(|e| io_err("sync", &self.dir.to_string_lossy(), e))
+            .map_err(|e| os_err("sync", &self.dir.to_string_lossy(), e))
     }
 }
 
@@ -129,18 +169,18 @@ impl DurableStorage for DiskStorage {
                 .create(true)
                 .append(true)
                 .open(self.path(file))
-                .map_err(|e| io_err("append", file, e))?;
+                .map_err(|e| os_err("append", file, e))?;
             handles.insert(file.to_string(), h);
         }
         let h = handles.get_mut(file).expect("inserted above");
-        h.write_all(bytes).map_err(|e| io_err("append", file, e))
+        h.write_all(bytes).map_err(|e| os_err("append", file, e))
     }
 
     fn sync(&self, file: &str) -> Result<()> {
         check_name("sync", file)?;
         let handles = self.handles.lock().expect("disk handles poisoned");
         match handles.get(file) {
-            Some(h) => h.sync_data().map_err(|e| io_err("sync", file, e)),
+            Some(h) => h.sync_data().map_err(|e| os_err("sync", file, e)),
             // Nothing appended through us yet — nothing to make durable.
             None => Ok(()),
         }
@@ -151,12 +191,12 @@ impl DurableStorage for DiskStorage {
         let tmp_name = format!("{file}.tmp");
         let tmp = self.path(&tmp_name);
         {
-            let mut h = fs::File::create(&tmp).map_err(|e| io_err("write_atomic", file, e))?;
+            let mut h = fs::File::create(&tmp).map_err(|e| os_err("write_atomic", file, e))?;
             h.write_all(content)
-                .map_err(|e| io_err("write_atomic", file, e))?;
-            h.sync_data().map_err(|e| io_err("write_atomic", file, e))?;
+                .map_err(|e| os_err("write_atomic", file, e))?;
+            h.sync_data().map_err(|e| os_err("write_atomic", file, e))?;
         }
-        fs::rename(&tmp, self.path(file)).map_err(|e| io_err("write_atomic", file, e))?;
+        fs::rename(&tmp, self.path(file)).map_err(|e| os_err("write_atomic", file, e))?;
         // Drop any stale append handle: the inode changed.
         self.handles
             .lock()
@@ -170,16 +210,16 @@ impl DurableStorage for DiskStorage {
         match fs::read(self.path(file)) {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(io_err("read", file, e)),
+            Err(e) => Err(os_err("read", file, e)),
         }
     }
 
     fn list(&self) -> Result<Vec<String>> {
         let entries =
-            fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir.to_string_lossy(), e))?;
+            fs::read_dir(&self.dir).map_err(|e| os_err("list", &self.dir.to_string_lossy(), e))?;
         let mut names = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|e| io_err("list", &self.dir.to_string_lossy(), e))?;
+            let entry = entry.map_err(|e| os_err("list", &self.dir.to_string_lossy(), e))?;
             if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
                 if let Some(name) = entry.file_name().to_str() {
                     // In-flight temp files are not part of the namespace.
@@ -201,7 +241,7 @@ impl DurableStorage for DiskStorage {
         match fs::remove_file(self.path(file)) {
             Ok(()) => self.sync_dir(),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(io_err("remove", file, e)),
+            Err(e) => Err(os_err("remove", file, e)),
         }
     }
 }
@@ -371,7 +411,12 @@ impl MemStorage {
     /// caller decides what partial effect (torn append) to apply first.
     fn count_op(inner: &mut MemInner, op: &'static str, file: &str) -> Result<Option<usize>> {
         if inner.dead {
-            return Err(io_err(op, file, "storage killed by injected fault"));
+            return Err(io_err(
+                op,
+                file,
+                FaultKind::Permanent,
+                "storage killed by injected fault",
+            ));
         }
         if let Some(plan) = &mut inner.plan {
             if plan.after == 0 {
@@ -402,6 +447,7 @@ impl DurableStorage for MemStorage {
                 Err(io_err(
                     "append",
                     file,
+                    FaultKind::Permanent,
                     "killed mid-append by injected fault",
                 ))
             }
@@ -420,10 +466,20 @@ impl DurableStorage for MemStorage {
         check_name("sync", file)?;
         let mut inner = self.inner.lock().expect("mem storage poisoned");
         if inner.fail_sync {
-            return Err(io_err("sync", file, "fsync failure injected"));
+            return Err(io_err(
+                "sync",
+                file,
+                FaultKind::Permanent,
+                "fsync failure injected",
+            ));
         }
         if Self::count_op(&mut inner, "sync", file)?.is_some() {
-            return Err(io_err("sync", file, "killed at fsync by injected fault"));
+            return Err(io_err(
+                "sync",
+                file,
+                FaultKind::Permanent,
+                "killed at fsync by injected fault",
+            ));
         }
         let len = inner.files.get(file).map_or(0, Vec::len);
         inner.synced_len.insert(file.to_string(), len);
@@ -436,7 +492,12 @@ impl DurableStorage for MemStorage {
         let mut inner = self.inner.lock().expect("mem storage poisoned");
         if Self::count_op(&mut inner, "write_atomic", file)?.is_some() {
             // All-or-nothing: a killed atomic write leaves the old state.
-            return Err(io_err("write_atomic", file, "killed by injected fault"));
+            return Err(io_err(
+                "write_atomic",
+                file,
+                FaultKind::Permanent,
+                "killed by injected fault",
+            ));
         }
         inner.files.insert(file.to_string(), content.to_vec());
         inner.synced_len.insert(file.to_string(), content.len());
@@ -470,11 +531,250 @@ impl DurableStorage for MemStorage {
         let mut inner = self.inner.lock().expect("mem storage poisoned");
         if Self::count_op(&mut inner, "remove", file)?.is_some() {
             // Crash before the unlink: the file survives.
-            return Err(io_err("remove", file, "killed by injected fault"));
+            return Err(io_err(
+                "remove",
+                file,
+                FaultKind::Permanent,
+                "killed by injected fault",
+            ));
         }
         inner.files.remove(file);
         inner.synced_len.remove(file);
         Ok(())
+    }
+}
+
+// ------------------------------------------------- transient flakiness --
+
+/// The operation classes a [`FlakyStorage`] fault schedule can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// [`DurableStorage::append`].
+    Append,
+    /// [`DurableStorage::sync`].
+    Sync,
+    /// [`DurableStorage::write_atomic`].
+    WriteAtomic,
+    /// [`DurableStorage::read`].
+    Read,
+    /// [`DurableStorage::list`].
+    List,
+    /// [`DurableStorage::remove`].
+    Remove,
+}
+
+impl OpClass {
+    /// Every op class, in declaration order — the chaos sweep iterates
+    /// this.
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Append,
+        OpClass::Sync,
+        OpClass::WriteAtomic,
+        OpClass::Read,
+        OpClass::List,
+        OpClass::Remove,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Append => 0,
+            OpClass::Sync => 1,
+            OpClass::WriteAtomic => 2,
+            OpClass::Read => 3,
+            OpClass::List => 4,
+            OpClass::Remove => 5,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            OpClass::Append => "append",
+            OpClass::Sync => "sync",
+            OpClass::WriteAtomic => "write_atomic",
+            OpClass::Read => "read",
+            OpClass::List => "list",
+            OpClass::Remove => "remove",
+        }
+    }
+}
+
+/// One class's scripted fail-N-then-heal schedule: let `skip` more ops
+/// succeed, fail the next `fail` transiently, then heal for good.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassScript {
+    skip: u64,
+    fail: u64,
+}
+
+#[derive(Debug, Default)]
+struct FlakyState {
+    scripts: [ClassScript; 6],
+    /// Seeded background fault rate in basis points (of 10 000), applied
+    /// to every op on top of the scripts.
+    rate_bp: u32,
+    seed: u64,
+    /// Global op counter — the hash input for the background rate.
+    ops: u64,
+    faults_injected: u64,
+}
+
+/// SplitMix64: a tiny, high-quality mixing function — the deterministic
+/// "coin" behind the seeded background fault rate.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`DurableStorage`] wrapper that injects *transient* faults on a
+/// deterministic script — the harness for the retry / degraded-mode /
+/// self-heal machinery in `fup_core`, complementing [`MemStorage`]'s
+/// terminal kills.
+///
+/// Two knobs, composable:
+///
+/// * **Scripts** ([`fail_next`](Self::fail_next) /
+///   [`fail_after`](Self::fail_after)): per [`OpClass`], let some ops
+///   succeed, fail the next N transiently, then heal for good — the
+///   "storage blip at exactly this point" schedule the chaos sweep
+///   enumerates.
+/// * **Background rate** ([`with_fault_rate`](Self::with_fault_rate)):
+///   every op fails transiently with probability `rate_bp / 10 000`,
+///   decided by hashing a seed with the global op counter — fully
+///   deterministic for a given seed and op sequence.
+///
+/// Injected faults fire *before* the inner storage is touched, so a
+/// failed attempt has **no partial effect** — retrying the identical
+/// operation is always sound against this wrapper. (Torn partial writes
+/// are `MemStorage`'s department.)
+#[derive(Debug)]
+pub struct FlakyStorage {
+    inner: Arc<dyn DurableStorage>,
+    state: Mutex<FlakyState>,
+}
+
+impl FlakyStorage {
+    /// Wraps `inner` with no faults scheduled.
+    pub fn new(inner: Arc<dyn DurableStorage>) -> Self {
+        FlakyStorage {
+            inner,
+            state: Mutex::new(FlakyState::default()),
+        }
+    }
+
+    /// Wraps `inner` with a seeded background fault rate: each op fails
+    /// transiently with probability `rate_bp / 10_000` (so `100` ≈ 1%),
+    /// deterministically from `seed`.
+    pub fn with_fault_rate(inner: Arc<dyn DurableStorage>, seed: u64, rate_bp: u32) -> Self {
+        let s = Self::new(inner);
+        {
+            let mut state = s.lock_state();
+            state.seed = seed;
+            state.rate_bp = rate_bp.min(10_000);
+        }
+        s
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &Arc<dyn DurableStorage> {
+        &self.inner
+    }
+
+    /// Scripts `class`: the next `fail` ops fail transiently, then the
+    /// class heals. Replaces any previous script for the class.
+    pub fn fail_next(&self, class: OpClass, fail: u64) {
+        self.fail_after(class, 0, fail);
+    }
+
+    /// Scripts `class`: let `skip` more ops succeed, then fail the next
+    /// `fail` transiently, then heal. Replaces any previous script for
+    /// the class.
+    pub fn fail_after(&self, class: OpClass, skip: u64, fail: u64) {
+        self.lock_state().scripts[class.index()] = ClassScript { skip, fail };
+    }
+
+    /// Number of transient faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.lock_state().faults_injected
+    }
+
+    /// `true` while any class still has scripted failures pending (its
+    /// blip has not healed yet).
+    pub fn script_pending(&self) -> bool {
+        self.lock_state().scripts.iter().any(|s| s.fail > 0)
+    }
+
+    // The state lock guards only fault bookkeeping; a panicking holder
+    // cannot leave it inconsistent in a way that matters, so recover the
+    // guard instead of propagating the poison.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, FlakyState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Decides whether this op faults; returns the injected error if so.
+    fn gate(&self, class: OpClass, file: &str) -> Result<()> {
+        let mut state = self.lock_state();
+        let op_index = state.ops;
+        state.ops += 1;
+        let script = &mut state.scripts[class.index()];
+        if script.skip > 0 {
+            script.skip -= 1;
+        } else if script.fail > 0 {
+            script.fail -= 1;
+            state.faults_injected += 1;
+            return Err(io_err(
+                class.name(),
+                file,
+                FaultKind::Transient,
+                "scripted transient fault injected",
+            ));
+        }
+        if state.rate_bp > 0
+            && splitmix64(state.seed ^ op_index) % 10_000 < u64::from(state.rate_bp)
+        {
+            state.faults_injected += 1;
+            return Err(io_err(
+                class.name(),
+                file,
+                FaultKind::Transient,
+                "background transient fault injected",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl DurableStorage for FlakyStorage {
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<()> {
+        self.gate(OpClass::Append, file)?;
+        self.inner.append(file, bytes)
+    }
+
+    fn sync(&self, file: &str) -> Result<()> {
+        self.gate(OpClass::Sync, file)?;
+        self.inner.sync(file)
+    }
+
+    fn write_atomic(&self, file: &str, content: &[u8]) -> Result<()> {
+        self.gate(OpClass::WriteAtomic, file)?;
+        self.inner.write_atomic(file, content)
+    }
+
+    fn read(&self, file: &str) -> Result<Option<Vec<u8>>> {
+        self.gate(OpClass::Read, file)?;
+        self.inner.read(file)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.gate(OpClass::List, "")?;
+        self.inner.list()
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.gate(OpClass::Remove, file)?;
+        self.inner.remove(file)
     }
 }
 
@@ -582,6 +882,70 @@ mod tests {
         // An image handed to a new namespace is durable in full.
         let restored = MemStorage::from_files(power_loss);
         assert_eq!(restored.synced_files()["wal"], b"aaaa");
+    }
+
+    #[test]
+    fn flaky_scripts_fail_n_then_heal_per_class() {
+        let mem = Arc::new(MemStorage::new());
+        let s = FlakyStorage::new(mem);
+        s.fail_next(OpClass::Append, 2);
+        s.fail_after(OpClass::Sync, 1, 1);
+
+        // Appends: two scripted transient failures, then healed for good.
+        let e = s.append("wal", b"a").unwrap_err();
+        assert!(e.is_transient());
+        assert!(s.script_pending());
+        assert!(s.append("wal", b"a").is_err());
+        s.append("wal", b"a").unwrap();
+        s.append("wal", b"b").unwrap();
+
+        // Sync: one op skipped, the next fails, then healed.
+        s.sync("wal").unwrap();
+        assert!(s.sync("wal").unwrap_err().is_transient());
+        s.sync("wal").unwrap();
+
+        assert!(!s.script_pending());
+        assert_eq!(s.faults_injected(), 3);
+        // The failed attempts left no partial effect.
+        assert_eq!(s.read("wal").unwrap().unwrap(), b"ab");
+    }
+
+    #[test]
+    fn flaky_background_rate_is_deterministic_and_transient() {
+        let run = |seed| {
+            let s = FlakyStorage::with_fault_rate(Arc::new(MemStorage::new()), seed, 2_000);
+            let mut outcomes = Vec::new();
+            for i in 0..200u8 {
+                outcomes.push(s.append("wal", &[i]).is_ok());
+            }
+            (outcomes, s.faults_injected())
+        };
+        let (a, faults_a) = run(7);
+        let (b, faults_b) = run(7);
+        let (c, _) = run(8);
+        assert_eq!(a, b, "same seed, same op sequence, same faults");
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a > 0, "20% rate over 200 ops must fire");
+        assert!(faults_a < 200, "and must not fire every time");
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn flaky_passthrough_delegates_everything() {
+        let mem = Arc::new(MemStorage::new());
+        let s = FlakyStorage::new(Arc::clone(&mem) as Arc<dyn DurableStorage>);
+        s.append("wal", b"abc").unwrap();
+        s.sync("wal").unwrap();
+        s.write_atomic("ckpt", b"img").unwrap();
+        assert_eq!(s.read("wal").unwrap().unwrap(), b"abc");
+        let mut names = s.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["ckpt", "wal"]);
+        s.remove("ckpt").unwrap();
+        assert_eq!(s.read("ckpt").unwrap(), None);
+        assert_eq!(s.faults_injected(), 0);
+        // The inner storage saw the real bytes.
+        assert_eq!(mem.file("wal").unwrap(), b"abc");
     }
 
     #[test]

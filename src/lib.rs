@@ -216,6 +216,59 @@
 //! assert_eq!(recovered.len(), 3);
 //! ```
 //!
+//! ## Degraded serving
+//!
+//! A durable service heals itself where it can and degrades *typed*
+//! where it cannot. Transient storage faults are absorbed by the
+//! durable log's [`RetryPolicy`] (bounded attempts, exponential backoff,
+//! deterministic jitter); a fault that outlives the budget closes
+//! admissions — producers get [`ServiceError::Degraded`], never a hang —
+//! while a background probe re-checks storage and reopens admissions on
+//! heal, and a panicked committer is rebuilt from its own WAL up to
+//! [`CommitPolicy::max_committer_restarts`] times. Permanent faults are
+//! terminal ([`HealthState::Failed`]): the service keeps serving
+//! snapshots and says why through
+//! [`health`](MaintainerService::health).
+//!
+//! ```
+//! use fup::tidb::{DurableStorage, MemStorage};
+//! use fup::{CommitPolicy, DurabilityPolicy, HealthState, Maintainer, MaintainerService};
+//! use fup::{MinConfidence, MinSupport, ServiceError, Transaction, UpdateBatch};
+//! use std::sync::Arc;
+//!
+//! let storage = Arc::new(MemStorage::new());
+//! let maintainer = Maintainer::builder()
+//!     .min_support(MinSupport::percent(50))
+//!     .min_confidence(MinConfidence::percent(70))
+//!     .durability(DurabilityPolicy::default())
+//!     .build_durable(
+//!         vec![
+//!             Transaction::from_items([1u32, 2, 3]),
+//!             Transaction::from_items([1u32, 2]),
+//!         ],
+//!         Arc::clone(&storage) as Arc<dyn DurableStorage>,
+//!     )
+//!     .unwrap();
+//! let service = MaintainerService::launch(maintainer, CommitPolicy::manual()).unwrap();
+//!
+//! // The disk dies — permanently, in this simulation: fsync always fails.
+//! storage.set_fail_sync(true);
+//!
+//! // Producers get a typed refusal, never a hang...
+//! let err = service
+//!     .stage(UpdateBatch::insert_only(vec![
+//!         Transaction::from_items([2u32, 3]),
+//!     ]))
+//!     .unwrap_err();
+//! assert_eq!(err, ServiceError::Degraded);
+//! // ...the health report says why...
+//! assert_eq!(service.health().state, HealthState::Failed);
+//! // ...and snapshots keep serving the last published state.
+//! assert_eq!(service.snapshot().num_transactions(), 2);
+//! let (maintainer, _metrics) = service.shutdown();
+//! assert_eq!(maintainer.len(), 2);
+//! ```
+//!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
@@ -232,10 +285,10 @@ pub use fup_tidb as tidb;
 
 // The working vocabulary, flattened.
 pub use fup_core::{
-    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, IndexStats,
-    ItemsetDiff, Maintainer, MaintainerBuilder, MaintainerService, MaintenanceReport,
-    RecoveryReport, RuleDiff, RuleSnapshot, ServiceError, ServiceMetrics, StageHandle,
-    UpdatePolicy, Updater,
+    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, HealthState,
+    IndexStats, ItemsetDiff, LogState, Maintainer, MaintainerBuilder, MaintainerService,
+    MaintenanceReport, RecoveryReport, RetryPolicy, RuleDiff, RuleSnapshot, ServiceError,
+    ServiceHealth, ServiceMetrics, StageHandle, UpdatePolicy, Updater,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
@@ -243,8 +296,9 @@ pub use fup_mining::{
     MinConfidence, MinSupport, Miner, Rule, RuleSet, VerticalIndex,
 };
 pub use fup_tidb::{
-    Admission, DiskStorage, DurableStorage, ItemDictionary, ItemId, MemStorage, SegmentedDb, Tid,
-    Transaction, TransactionDb, TransactionSource, UpdateBatch,
+    Admission, DiskStorage, DurableStorage, FaultKind, FlakyStorage, ItemDictionary, ItemId,
+    MemStorage, OpClass, SegmentedDb, Tid, Transaction, TransactionDb, TransactionSource,
+    UpdateBatch,
 };
 
 #[cfg(test)]
