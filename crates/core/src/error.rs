@@ -53,6 +53,11 @@ pub enum BuildError {
     /// maximum backoff — the cap would *shorten* the first delay, which
     /// is almost certainly a misconfiguration.
     InvertedRetryBackoff,
+    /// A [`ShardSpec`](fup_tidb::ShardSpec) whose routing function is not
+    /// total — zero shards, a zero stripe, or an explicit range list that
+    /// overlaps, gaps, starts past tid 0, or ends bounded. Carries the
+    /// substrate's diagnosis of the exact defect.
+    InvalidShardSpec(fup_tidb::SpecError),
 }
 
 impl fmt::Display for BuildError {
@@ -103,6 +108,7 @@ impl fmt::Display for BuildError {
                 "retry base backoff exceeds the maximum backoff; the cap would shorten \
                  the first delay"
             ),
+            BuildError::InvalidShardSpec(e) => write!(f, "invalid shard spec: {e}"),
         }
     }
 }
@@ -291,6 +297,9 @@ mod tests {
         assert!(BuildError::InvertedRetryBackoff
             .to_string()
             .contains("backoff"));
+        assert!(BuildError::InvalidShardSpec(fup_tidb::SpecError::NoShards)
+            .to_string()
+            .contains("zero shards"));
     }
 
     #[test]

@@ -19,10 +19,10 @@
 use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::reduce;
-use crate::vindex::IndexSlot;
+use crate::vindex::{IndexSlot, SlotProvider, VerticalProvider};
 use fup_mining::engine::{self, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
-use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
+use fup_mining::vertical::{PassProfile, ResolvedBackend};
 use fup_mining::{
     HashTree, Itemset, ItemsetTable, LargeItemsets, MinSupport, MiningStats, PassStats,
 };
@@ -118,6 +118,25 @@ impl Fup {
         increment: &dyn TransactionSource,
         minsup: MinSupport,
         slot: &mut IndexSlot,
+    ) -> Result<FupOutcome> {
+        let boundary = db.num_transactions();
+        let mut provider = SlotProvider::new(slot, db, increment, boundary);
+        self.update_with_provider(db, old, increment, minsup, &mut provider)
+    }
+
+    /// [`update_with_index`](Self::update_with_index) generalised over the
+    /// source of vertical splits: the flat session passes a
+    /// [`SlotProvider`] (one index over `DB`), the sharded session a
+    /// [`ShardProvider`](crate::shard::ShardProvider) (one index per tid
+    /// shard, splits merged by summation). Every threshold decision is
+    /// made on the summed supports, so the result is provider-independent.
+    pub(crate) fn update_with_provider(
+        &self,
+        db: &dyn TransactionSource,
+        old: &LargeItemsets,
+        increment: &dyn TransactionSource,
+        minsup: MinSupport,
+        provider: &mut dyn VerticalProvider,
     ) -> Result<FupOutcome> {
         let start = Instant::now();
         let d_orig = db.num_transactions();
@@ -266,11 +285,11 @@ impl Fup {
         // intend; the index itself *is* filtered to old L₁ ∪ new L₁ (see
         // `vindex::build_update_index`).
         let residue = inc_item_counts.iter().sum::<u64>() as f64 / d_inc as f64;
-        // Lazily-built vertical index covering DB ∪ db: the old-DB
-        // tid-lists are materialised once and the increment's delta scan
-        // only *extends* them, after which one intersection per itemset
-        // yields (support in DB, support in db) split at tid |DB|.
-        let mut vindex: Option<VerticalIndex> = None;
+        // The vertical index (or per-shard indexes) covering DB ∪ db is
+        // built lazily by the provider: the old-DB tid-lists are
+        // materialised once and the increment's delta scan only *extends*
+        // them, after which one intersection per itemset yields
+        // (support in DB, support in db) split at tid |DB|.
         let mut inc_working: Option<TransactionDb> = None;
         let mut k = 2;
         while (old.len_at(k) > 0 || result.len_at(k - 1) > 0)
@@ -343,7 +362,7 @@ impl Fup {
             // selection weighs the candidate pool alone: FUP's own
             // pruning usually keeps it tiny, and then the classic path is
             // already near-optimal.
-            let use_vertical = vindex.is_some()
+            let use_vertical = provider.engaged()
                 || self.config.engine.backend.resolve(&PassProfile {
                     k,
                     candidates: candidates.len(),
@@ -351,15 +370,12 @@ impl Fup {
                     residue,
                 }) == ResolvedBackend::Vertical;
             if use_vertical {
-                if vindex.is_none() {
-                    vindex = Some(slot.acquire(old, &result, db, increment, &self.config.engine));
-                }
-                let idx = vindex.as_ref().expect("acquired above");
+                provider.engage(old, &result, &self.config.engine);
                 // Trimmed working copies are never consulted again.
                 inc_working = None;
                 db_working = None;
                 let w_table = crate::vindex::sorted_w_table(&mut w, k);
-                let w_splits = idx.count_rows_split(&w_table, d_orig, &self.config.engine);
+                let w_splits = provider.count_split(&w_table, &self.config.engine);
                 let mut winners_old_k = 0u64;
                 for ((x, sup_d_orig), (_, sup_d)) in w.iter().zip(&w_splits) {
                     let sup_ud = sup_d_orig + sup_d;
@@ -371,7 +387,7 @@ impl Fup {
                     }
                 }
                 let c_table = ItemsetTable::from_sorted_itemsets(&candidates);
-                let c_splits = idx.count_rows_split(&c_table, d_orig, &self.config.engine);
+                let c_splits = provider.count_split(&c_table, &self.config.engine);
                 let mut checked = 0u64;
                 let mut winners_new_k = 0u64;
                 for (x, (sup_db, sup_d)) in candidates.into_iter().zip(c_splits) {
@@ -556,11 +572,9 @@ impl Fup {
             k += 1;
         }
 
-        if let Some(idx) = vindex {
-            // The index now covers DB ∪ db — exactly the database after
-            // this update commits; the next round can extend it.
-            slot.stash(idx);
-        }
+        // The provider's index(es) now cover DB ∪ db — exactly the
+        // database after this update commits; the next round can extend.
+        provider.finish();
         stats.elapsed = start.elapsed();
         Ok(FupOutcome {
             large: result,

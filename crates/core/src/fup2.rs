@@ -26,10 +26,10 @@ use crate::config::FupConfig;
 use crate::error::{Error, Result};
 use crate::fup::{FupOutcome, FupPassDetail};
 use crate::reduce;
-use crate::vindex::IndexSlot;
+use crate::vindex::{IndexSlot, SlotProvider, VerticalProvider};
 use fup_mining::engine::{self, count_items_and_pairs, pair_bucket, ChunkedCollector};
 use fup_mining::gen::apriori_gen_with;
-use fup_mining::vertical::{PassProfile, ResolvedBackend, VerticalIndex};
+use fup_mining::vertical::{PassProfile, ResolvedBackend};
 use fup_mining::{
     HashTree, Itemset, ItemsetTable, LargeItemsets, MinSupport, MiningStats, PassStats,
 };
@@ -96,6 +96,27 @@ impl Fup2 {
         inserted: &dyn TransactionSource,
         minsup: MinSupport,
         slot: &mut IndexSlot,
+    ) -> Result<FupOutcome> {
+        let boundary = remainder.num_transactions();
+        let mut provider = SlotProvider::new(slot, remainder, inserted, boundary);
+        self.update_with_provider(remainder, old, deleted, inserted, minsup, &mut provider)
+    }
+
+    /// [`update_with_index`](Self::update_with_index) generalised over the
+    /// source of vertical splits, exactly as
+    /// [`Fup::update_with_provider`](crate::fup::Fup): the flat session
+    /// passes a [`SlotProvider`] over `DB⁻`/`db⁺`, the sharded session a
+    /// [`ShardProvider`](crate::shard::ShardProvider) whose per-shard
+    /// splits merge by summation. The delete side is never indexed — it
+    /// is counted whole either way.
+    pub(crate) fn update_with_provider(
+        &self,
+        remainder: &dyn TransactionSource,
+        old: &LargeItemsets,
+        deleted: &dyn TransactionSource,
+        inserted: &dyn TransactionSource,
+        minsup: MinSupport,
+        provider: &mut dyn VerticalProvider,
     ) -> Result<FupOutcome> {
         let start = Instant::now();
         let d_rem = remainder.num_transactions();
@@ -246,13 +267,13 @@ impl Fup2 {
         } else {
             minus_counts.iter().sum::<u64>() as f64 / d_minus.max(1) as f64
         };
-        // Lazily-built vertical index covering DB⁻ ∪ db⁺ (the updated
-        // database): the remainder's tid-lists are materialised once and
-        // the insert side's delta scan only extends them; one
-        // intersection split at tid |DB⁻| yields (support in DB⁻,
-        // support in db⁺). The delete side is never indexed — it is
-        // counted whole, as the trimming rules already require.
-        let mut vindex: Option<VerticalIndex> = None;
+        // The vertical index (or per-shard indexes) covering DB⁻ ∪ db⁺
+        // (the updated database) is built lazily by the provider: the
+        // remainder's tid-lists are materialised once and the insert
+        // side's delta scan only extends them; one intersection split at
+        // tid |DB⁻| yields (support in DB⁻, support in db⁺). The delete
+        // side is never indexed — it is counted whole, as the trimming
+        // rules already require.
         let nbuckets = pair_buckets.len();
         let mut plus_working: Option<TransactionDb> = None;
         let mut rem_working: Option<TransactionDb> = None;
@@ -320,7 +341,7 @@ impl Fup2 {
             // As in FUP: only `C` can force scans of the remaining
             // database, so backend selection weighs the candidate pool
             // alone.
-            let use_vertical = vindex.is_some()
+            let use_vertical = provider.engaged()
                 || self.config.engine.backend.resolve(&PassProfile {
                     k,
                     candidates: candidates.len(),
@@ -328,11 +349,7 @@ impl Fup2 {
                     residue,
                 }) == ResolvedBackend::Vertical;
             if use_vertical {
-                if vindex.is_none() {
-                    vindex =
-                        Some(slot.acquire(old, &result, remainder, inserted, &self.config.engine));
-                }
-                let idx = vindex.as_ref().expect("acquired above");
+                provider.engage(old, &result, &self.config.engine);
                 // Trimmed working copies are never consulted again.
                 plus_working = None;
                 rem_working = None;
@@ -350,7 +367,7 @@ impl Fup2 {
                 } else {
                     vec![0; w_len + candidates.len()]
                 };
-                let w_splits = idx.count_rows_split(&w_table, d_rem, &self.config.engine);
+                let w_splits = provider.count_split(&w_table, &self.config.engine);
                 let mut winners_old_k = 0u64;
                 for (i, ((x, sup_d), &(_, sup_plus))) in w.iter().zip(&w_splits).enumerate() {
                     let sup_new = sup_d + sup_plus - minus_k[i];
@@ -362,7 +379,7 @@ impl Fup2 {
                     }
                 }
                 let c_table = ItemsetTable::from_sorted_itemsets(&candidates);
-                let c_splits = idx.count_rows_split(&c_table, d_rem, &self.config.engine);
+                let c_splits = provider.count_split(&c_table, &self.config.engine);
                 let mut checked = 0u64;
                 let mut winners_new_k = 0u64;
                 for (i, (x, (sup_rem, sup_plus))) in
@@ -567,11 +584,9 @@ impl Fup2 {
             k += 1;
         }
 
-        if let Some(idx) = vindex {
-            // The index now covers DB⁻ ∪ db⁺ — exactly the database after
-            // this update commits; the next round can extend it.
-            slot.stash(idx);
-        }
+        // The provider's index(es) now cover DB⁻ ∪ db⁺ — exactly the
+        // database after this update commits; the next round can extend.
+        provider.finish();
         stats.elapsed = start.elapsed();
         Ok(FupOutcome {
             large: result,

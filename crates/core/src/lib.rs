@@ -70,6 +70,7 @@ pub mod policy;
 pub mod reduce;
 pub mod service;
 pub mod session;
+pub(crate) mod shard;
 pub mod vindex;
 
 pub use config::FupConfig;
@@ -80,10 +81,11 @@ pub use fup::{Fup, FupOutcome, FupPassDetail};
 pub use fup2::Fup2;
 pub use policy::UpdatePolicy;
 pub use service::{
-    CommitPolicy, HealthState, MaintainerService, ServiceError, ServiceHealth, ServiceMetrics,
+    CommitPolicy, HealthReport, HealthState, MaintainerService, ServiceError, ServiceHealth,
+    ServiceMetrics,
 };
 pub use session::{
-    IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, StageHandle,
-    Updater,
+    IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, SessionStore,
+    StageHandle, Updater,
 };
 pub use vindex::IndexSlot;

@@ -581,6 +581,32 @@ const HEALTH_DEGRADED: u8 = 1;
 const HEALTH_RESTARTING: u8 = 2;
 const HEALTH_FAILED: u8 = 3;
 
+impl HealthState {
+    /// The stable lower-case name used by [`HealthReport`] renderings:
+    /// `"healthy"`, `"degraded"`, `"restarting"`, or `"failed"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Restarting => "restarting",
+            HealthState::Failed => "failed",
+        }
+    }
+
+    fn decode(raw: u8) -> HealthState {
+        match raw {
+            HEALTH_HEALTHY => HealthState::Healthy,
+            HEALTH_DEGRADED => HealthState::Degraded,
+            HEALTH_RESTARTING => HealthState::Restarting,
+            _ => HealthState::Failed,
+        }
+    }
+}
+
+/// The opt-in observer installed by
+/// [`MaintainerService::on_health_change`].
+type HealthCallback = Arc<dyn Fn(HealthState, HealthState) + Send + Sync>;
+
 /// A point-in-time health report (see [`MaintainerService::health`]):
 /// the condition plus the self-healing counters behind it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -601,6 +627,114 @@ pub struct ServiceHealth {
     pub committer_restarts: u64,
 }
 
+/// A combined, renderable view of [`ServiceHealth`] and
+/// [`ServiceMetrics`] (see [`MaintainerService::health_report`]).
+///
+/// Both renderings are **stable**: keys keep their names and relative
+/// order across versions, new keys only ever append to their section —
+/// safe to scrape from logs or serve from a monitoring endpoint. The
+/// JSON is hand-rolled (every value is an unsigned integer or one of
+/// four fixed state strings, so no escaping is ever needed) to keep the
+/// core dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The self-healing state machine's condition and counters.
+    pub health: ServiceHealth,
+    /// The staging/commit counters and gauges.
+    pub metrics: ServiceMetrics,
+}
+
+impl HealthReport {
+    /// The health section's counters, in rendering order.
+    fn health_fields(&self) -> [(&'static str, u64); 4] {
+        let h = &self.health;
+        [
+            ("consecutive_failures", h.consecutive_failures),
+            ("transient_retries", h.transient_retries),
+            ("degraded_ms", h.degraded_ms),
+            ("committer_restarts", h.committer_restarts),
+        ]
+    }
+
+    /// The metrics section's counters and gauges, in rendering order
+    /// (declaration order of [`ServiceMetrics`]).
+    fn metric_fields(&self) -> [(&'static str, u64); 22] {
+        let m = &self.metrics;
+        [
+            ("staged_batches", m.staged_batches),
+            ("staged_inserts", m.staged_inserts),
+            ("staged_deletes", m.staged_deletes),
+            ("rejected_batches", m.rejected_batches),
+            ("backpressure_rejections", m.backpressure_rejections),
+            ("backlog_ops", m.backlog_ops),
+            ("max_backlog_ops", m.max_backlog_ops),
+            ("snapshot_staleness_rounds", m.snapshot_staleness_rounds),
+            ("committed_rounds", m.committed_rounds),
+            ("committed_inserts", m.committed_inserts),
+            ("committed_deletes", m.committed_deletes),
+            ("last_round_ops", m.last_round_ops),
+            ("max_round_ops", m.max_round_ops),
+            ("dropped_rounds", m.dropped_rounds),
+            ("dropped_ops", m.dropped_ops),
+            ("last_commit_micros", m.last_commit_micros),
+            ("total_commit_micros", m.total_commit_micros),
+            ("index_builds", m.index_builds),
+            ("index_extends", m.index_extends),
+            ("transient_retries", m.transient_retries),
+            ("degraded_ms", m.degraded_ms),
+            ("committer_restarts", m.committer_restarts),
+        ]
+    }
+
+    /// The plain-text rendering: one `section.key: value` line per
+    /// field, starting with `health.state`. Also what [`Display`]
+    /// prints.
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("health.state: ");
+        out.push_str(self.health.state.as_str());
+        out.push('\n');
+        for (key, value) in self.health_fields() {
+            out.push_str(&format!("health.{key}: {value}\n"));
+        }
+        for (key, value) in self.metric_fields() {
+            out.push_str(&format!("metrics.{key}: {value}\n"));
+        }
+        out
+    }
+
+    /// The JSON rendering: one object with a `health` and a `metrics`
+    /// sub-object, all values integers except `health.state`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"health\":{\"state\":\"");
+        out.push_str(self.health.state.as_str());
+        out.push('"');
+        for (key, value) in self.health_fields() {
+            out.push_str(&format!(",\"{key}\":{value}"));
+        }
+        out.push_str("},\"metrics\":{");
+        let mut first = true;
+        for (key, value) in self.metric_fields() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{key}\":{value}"));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
 /// The lock-free half of the health report, plus the one mutex guarding
 /// the open degraded-time window.
 #[derive(Debug, Default)]
@@ -616,12 +750,7 @@ struct HealthAtomics {
 
 impl HealthAtomics {
     fn state(&self) -> HealthState {
-        match self.state.load(Ordering::SeqCst) {
-            HEALTH_HEALTHY => HealthState::Healthy,
-            HEALTH_DEGRADED => HealthState::Degraded,
-            HEALTH_RESTARTING => HealthState::Restarting,
-            _ => HealthState::Failed,
-        }
+        HealthState::decode(self.state.load(Ordering::SeqCst))
     }
 
     fn degraded_since(&self) -> MutexGuard<'_, Option<Instant>> {
@@ -632,9 +761,10 @@ impl HealthAtomics {
 
     /// Enters `Degraded` or `Restarting`, opening the degraded-time
     /// window if it is not already open. `Failed` is terminal and never
-    /// downgraded.
-    fn enter(&self, state: u8) {
-        let _ = self
+    /// downgraded. Returns the `(from, to)` pair of the transition so
+    /// the caller can notify observers (equal when nothing changed).
+    fn enter(&self, state: u8) -> (HealthState, HealthState) {
+        let prev = self
             .state
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
                 (current != HEALTH_FAILED).then_some(state)
@@ -642,6 +772,10 @@ impl HealthAtomics {
         let mut since = self.degraded_since();
         if since.is_none() {
             *since = Some(Instant::now());
+        }
+        match prev {
+            Ok(raw) => (HealthState::decode(raw), HealthState::decode(state)),
+            Err(_) => (HealthState::Failed, HealthState::Failed),
         }
     }
 
@@ -654,22 +788,28 @@ impl HealthAtomics {
     }
 
     /// Back to `Healthy` (unless terminally failed): close the window,
-    /// clear the probe-failure streak.
-    fn heal(&self) {
-        let _ = self
+    /// clear the probe-failure streak. Returns the transition pair.
+    fn heal(&self) -> (HealthState, HealthState) {
+        let prev = self
             .state
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |current| {
                 (current != HEALTH_FAILED).then_some(HEALTH_HEALTHY)
             });
         self.close_window();
         self.consecutive_failures.store(0, Ordering::Relaxed);
+        match prev {
+            Ok(raw) => (HealthState::decode(raw), HealthState::Healthy),
+            Err(_) => (HealthState::Failed, HealthState::Failed),
+        }
     }
 
     /// Terminal failure: the window closes (degraded time measures the
     /// recoverable condition) and the state never changes again.
-    fn fail_terminal(&self) {
-        self.state.store(HEALTH_FAILED, Ordering::SeqCst);
+    /// Returns the transition pair.
+    fn fail_terminal(&self) -> (HealthState, HealthState) {
+        let raw = self.state.swap(HEALTH_FAILED, Ordering::SeqCst);
         self.close_window();
+        (HealthState::decode(raw), HealthState::Failed)
     }
 
     /// Completed degraded milliseconds plus the currently open window.
@@ -851,6 +991,9 @@ struct Shared {
     /// The self-healing state machine: degraded/restarting/failed plus
     /// the counters [`MaintainerService::health`] reports.
     health: HealthAtomics,
+    /// Opt-in observer fired on every health-state transition (see
+    /// [`MaintainerService::on_health_change`]). `None` until installed.
+    on_health_change: RwLock<Option<HealthCallback>>,
     /// Fault-injection hook: makes the committer's next wakeup panic,
     /// exercising the supervision path without contriving a real bug
     /// (see [`MaintainerService::debug_kill_committer`]).
@@ -926,16 +1069,37 @@ impl Shared {
         }
     }
 
+    /// Fires the opt-in health observer for a real transition. Called
+    /// after the service's own bookkeeping (admission gates, condvar
+    /// wakeups) and outside every service lock, so a callback can read
+    /// health/metrics without deadlocking — it only must not block.
+    fn notify_health(&self, from: HealthState, to: HealthState) {
+        if from == to {
+            return;
+        }
+        let callback = self
+            .on_health_change
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(callback) = callback {
+            callback(from, to);
+        }
+    }
+
     /// Storage started failing transiently: close admissions (parked
     /// producers fail typed, new ones are refused) and wake everyone so
     /// flush waiters observe the degradation instead of blocking on
     /// rounds that cannot commit durably.
     fn on_degraded(&self) {
-        self.health.enter(HEALTH_DEGRADED);
+        let (from, to) = self.health.enter(HEALTH_DEGRADED);
         self.stage_handle().staging_area().close_admissions();
-        let _ctl = self.lock_ctl();
-        self.work_cv.notify_all();
-        self.done_cv.notify_all();
+        {
+            let _ctl = self.lock_ctl();
+            self.work_cv.notify_all();
+            self.done_cv.notify_all();
+        }
+        self.notify_health(from, to);
     }
 
     /// Storage answered again: reopen admissions (unless shutdown or a
@@ -944,20 +1108,26 @@ impl Shared {
         if !self.stopping.load(Ordering::SeqCst) && !self.committer_gone.load(Ordering::SeqCst) {
             self.stage_handle().staging_area().reopen_admissions();
         }
-        self.health.heal();
-        let _ctl = self.lock_ctl();
-        self.work_cv.notify_all();
-        self.done_cv.notify_all();
+        let (from, to) = self.health.heal();
+        {
+            let _ctl = self.lock_ctl();
+            self.work_cv.notify_all();
+            self.done_cv.notify_all();
+        }
+        self.notify_health(from, to);
     }
 
     /// A permanent storage fault: terminal. Admissions close for good;
     /// snapshots keep serving.
     fn on_failed(&self) {
-        self.health.fail_terminal();
+        let (from, to) = self.health.fail_terminal();
         self.stage_handle().staging_area().close_admissions();
-        let _ctl = self.lock_ctl();
-        self.work_cv.notify_all();
-        self.done_cv.notify_all();
+        {
+            let _ctl = self.lock_ctl();
+            self.work_cv.notify_all();
+            self.done_cv.notify_all();
+        }
+        self.notify_health(from, to);
     }
 
     /// Swaps in a freshly recovered session after a committer panic: the
@@ -1057,6 +1227,7 @@ impl MaintainerService {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             health: HealthAtomics::default(),
+            on_health_change: RwLock::new(None),
             kill_committer: AtomicBool::new(false),
         });
         let committer = {
@@ -1378,6 +1549,41 @@ impl MaintainerService {
         self.shared.health_snapshot()
     }
 
+    /// One consistent [`HealthReport`] bundling [`health`](Self::health)
+    /// and [`metrics`](Self::metrics), with stable plain-text
+    /// ([`HealthReport::to_text`]) and JSON ([`HealthReport::to_json`])
+    /// renderings for logs and monitoring endpoints.
+    pub fn health_report(&self) -> HealthReport {
+        HealthReport {
+            health: self.shared.health_snapshot(),
+            metrics: self.shared.metrics_snapshot(),
+        }
+    }
+
+    /// Installs the opt-in health observer: `callback(from, to)` fires
+    /// on every [`HealthState`] transition — degrading, healing,
+    /// entering a supervised restart, or failing terminally — and never
+    /// for a no-op re-entry of the current state. Replaces any
+    /// previously installed observer.
+    ///
+    /// The callback runs synchronously on whichever thread drives the
+    /// transition (a producer whose stage hit a storage fault, the
+    /// committer's heal probe, the supervisor) after the service's own
+    /// bookkeeping and outside its locks: it may read
+    /// [`health`](Self::health) or [`metrics`](Self::metrics), but it
+    /// must be fast and must not block on service operations like
+    /// [`flush`](Self::flush).
+    pub fn on_health_change<F>(&self, callback: F)
+    where
+        F: Fn(HealthState, HealthState) + Send + Sync + 'static,
+    {
+        *self
+            .shared
+            .on_health_change
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(callback));
+    }
+
     /// Fault injection for tests and chaos harnesses: the committer's
     /// next wakeup panics, exercising the supervised-restart path
     /// without contriving a real bug. Not part of the stable API.
@@ -1491,12 +1697,15 @@ fn test_kill_requested(shared: &Shared) -> bool {
 /// everyone so parked producers and flush waiters fail typed.
 fn give_up(shared: &Shared) {
     shared.committer_gone.store(true, Ordering::SeqCst);
-    shared.health.fail_terminal();
+    let (from, to) = shared.health.fail_terminal();
     shared.stage_handle().staging_area().close_admissions();
-    let mut ctl = shared.lock_ctl();
-    ctl.stop = true;
-    shared.work_cv.notify_all();
-    shared.done_cv.notify_all();
+    {
+        let mut ctl = shared.lock_ctl();
+        ctl.stop = true;
+        shared.work_cv.notify_all();
+        shared.done_cv.notify_all();
+    }
+    shared.notify_health(from, to);
 }
 
 /// Supervises the committer: runs [`committer_loop`] under
@@ -1534,12 +1743,13 @@ fn supervised_committer(mut maintainer: Maintainer, shared: &Shared) -> Option<M
                 // Close the dead loop's admissions immediately: parked
                 // producers fail over to `Degraded` instead of waiting on
                 // a committer that no longer drains.
-                shared.health.enter(HEALTH_RESTARTING);
+                let (from, to) = shared.health.enter(HEALTH_RESTARTING);
                 shared.stage_handle().staging_area().close_admissions();
                 {
                     let _ctl = shared.lock_ctl();
                     shared.done_cv.notify_all();
                 }
+                shared.notify_health(from, to);
                 let spec = spec.as_ref().expect("restartable implies a recovery spec");
                 match spec.builder.clone().recover(Arc::clone(&spec.storage)) {
                     Ok((recovered, _report)) => {
@@ -2517,6 +2727,110 @@ mod tests {
         assert!(metrics.transient_retries >= 3, "{metrics:?}");
         assert_eq!(maintainer.len(), 6);
         maintainer.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn health_report_renders_stable_text_and_json() {
+        let service = MaintainerService::launch(session(), CommitPolicy::manual()).unwrap();
+        service
+            .stage(UpdateBatch::insert_only(vec![tx(&[4, 5])]))
+            .unwrap();
+        service.flush().unwrap();
+
+        let report = service.health_report();
+        assert_eq!(report.health, service.health());
+
+        let text = report.to_text();
+        assert!(text.starts_with("health.state: healthy\n"), "{text}");
+        assert!(text.contains("health.committer_restarts: 0\n"), "{text}");
+        assert!(text.contains("metrics.staged_batches: 1\n"), "{text}");
+        assert!(text.contains("metrics.committed_rounds: 1\n"), "{text}");
+        assert!(text.contains("metrics.backlog_ops: 0\n"), "{text}");
+        assert_eq!(text, report.to_string(), "Display is the text form");
+        // Every line is `key: value` over the two fixed sections.
+        for line in text.lines() {
+            let (key, value) = line.split_once(": ").expect("key: value lines");
+            assert!(
+                key.starts_with("health.") || key.starts_with("metrics."),
+                "{line}"
+            );
+            if key != "health.state" {
+                value.parse::<u64>().expect("integer values");
+            }
+        }
+
+        let json = report.to_json();
+        assert!(
+            json.starts_with("{\"health\":{\"state\":\"healthy\""),
+            "{json}"
+        );
+        assert!(json.contains("\"metrics\":{\"staged_batches\":1"), "{json}");
+        assert!(json.contains("\"committed_rounds\":1"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
+        // Balanced braces and no stray quotes — a scraper's JSON parser
+        // would accept it.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn on_health_change_fires_on_real_transitions_only() {
+        let mem = Arc::new(MemStorage::new());
+        let flaky = Arc::new(FlakyStorage::new(mem));
+        let service = MaintainerService::launch(
+            durable_session(flaky.clone()),
+            CommitPolicy::manual().with_poll_interval(Duration::from_millis(1)),
+        )
+        .unwrap();
+        let seen: Arc<Mutex<Vec<(HealthState, HealthState)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        service.on_health_change(move |from, to| sink.lock().unwrap().push((from, to)));
+
+        // Degrade (stage exhausts the retry budget), then heal. The
+        // degrade fires on this producer thread and the heal on the
+        // committer's probe, so only the *set* of transitions is
+        // deterministic here, not their push order.
+        flaky.fail_next(OpClass::Append, 4);
+        let err = service
+            .stage(UpdateBatch::insert_only(vec![tx(&[6, 7])]))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Degraded);
+        wait_for("the heal probe", || {
+            service.health().state == HealthState::Healthy
+        });
+        wait_for("both degrade transitions", || {
+            seen.lock().unwrap().len() == 2
+        });
+        {
+            let mut transitions = seen.lock().unwrap();
+            transitions.sort();
+            let mut expected = vec![
+                (HealthState::Healthy, HealthState::Degraded),
+                (HealthState::Degraded, HealthState::Healthy),
+            ];
+            expected.sort();
+            assert_eq!(
+                *transitions, expected,
+                "degrade and heal each fired exactly once"
+            );
+            transitions.clear();
+        }
+
+        // A supervised restart: both transitions fire on the supervisor
+        // thread, so their order *is* deterministic.
+        service.debug_kill_committer();
+        wait_for("the restart transitions", || {
+            seen.lock().unwrap().len() == 2
+        });
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![
+                (HealthState::Healthy, HealthState::Restarting),
+                (HealthState::Restarting, HealthState::Healthy),
+            ],
+            "no no-op re-entries around the restart"
+        );
+        assert_eq!(service.health().committer_restarts, 1);
     }
 
     #[test]

@@ -64,6 +64,7 @@ use crate::error::{BuildError, Error, Result};
 use crate::fup::Fup;
 use crate::fup2::Fup2;
 use crate::policy::UpdatePolicy;
+use crate::shard::ShardProvider;
 use crate::vindex::IndexSlot;
 use fup_mining::apriori::AprioriConfig;
 use fup_mining::rules::generate_rules;
@@ -73,7 +74,9 @@ use fup_mining::{
 };
 use fup_tidb::wal::WalRecord;
 use fup_tidb::{
-    DurableStorage, ItemId, SegmentedDb, StagedUpdate, StagingArea, Tid, Transaction, UpdateBatch,
+    ChunkScratch, DurableStorage, ItemId, LiveTidView, ScanMetrics, SegmentId, SegmentedDb,
+    ShardSpec, ShardedDb, ShardedStaged, StagedUpdate, StagingArea, Tid, Transaction,
+    TransactionSource, TxChunk, UpdateBatch,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -431,6 +434,7 @@ pub struct MaintainerBuilder {
     updater: Updater,
     deletions: bool,
     durability: DurabilityPolicy,
+    shards: Option<ShardSpec>,
 }
 
 impl MaintainerBuilder {
@@ -565,6 +569,30 @@ impl MaintainerBuilder {
         self
     }
 
+    /// Partitions the session's store into `n` tid-range shards (striped
+    /// with the default stripe width). Every FUP/FUP2 round then counts
+    /// shard-by-shard — per-shard persistent vertical indexes, per-shard
+    /// chunk cursors — and merges local supports by summation (count
+    /// distribution), producing **bit-identical** itemsets, rules and
+    /// support counts to the unsharded session at any shard count. A
+    /// deletion invalidates only the shards it touches.
+    ///
+    /// `shards(0)` is rejected at build time as
+    /// [`BuildError::InvalidShardSpec`].
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = Some(ShardSpec::striped(n));
+        self
+    }
+
+    /// [`shards`](Self::shards) with an explicit routing spec — custom
+    /// stripe widths or explicit tid ranges. Specs whose routing is not
+    /// total (overlapping or gapping ranges, a bounded tail, zero shards)
+    /// are rejected at build time as [`BuildError::InvalidShardSpec`].
+    pub fn shard_spec(mut self, spec: ShardSpec) -> Self {
+        self.shards = Some(spec);
+        self
+    }
+
     /// Resolves the fine-grained overrides into a validated
     /// `(minsup, minconf, config)` triple — the shared front half of
     /// [`build`](Self::build), [`build_durable`](Self::build_durable) and
@@ -605,6 +633,9 @@ impl MaintainerBuilder {
         if self.updater == Updater::Fup && self.deletions {
             return Err(BuildError::DeletionsWithoutFup2);
         }
+        if let Some(spec) = &self.shards {
+            spec.validate().map_err(BuildError::InvalidShardSpec)?;
+        }
         Ok((minsup, minconf, config))
     }
 
@@ -614,7 +645,8 @@ impl MaintainerBuilder {
     /// version 0.
     pub fn build(self, history: Vec<Transaction>) -> std::result::Result<Maintainer, BuildError> {
         let (minsup, minconf, config) = self.validated()?;
-        let mut m = Maintainer::bootstrap_unchecked(history, minsup, minconf, config);
+        let mut m =
+            Maintainer::bootstrap_unchecked(history, minsup, minconf, config, self.shards.clone());
         m.policy = self.policy;
         m.updater = self.updater;
         m.deletions = self.deletions;
@@ -704,12 +736,27 @@ impl MaintainerBuilder {
         }
 
         // Rebuild the store and published state exactly as checkpointed.
-        let store = SegmentedDb::from_recovered(
-            image.live,
-            image.watermark,
-            image.tombstones,
-            image.next_segment,
-        );
+        // The shard spec is pure configuration: the checkpoint format is
+        // shard-agnostic, so any valid spec (including none) can recover
+        // any image — every row is re-routed by tid.
+        let store = match &self.shards {
+            None => SessionStore::Flat(SegmentedDb::from_recovered(
+                image.live,
+                image.watermark,
+                image.tombstones,
+                image.next_segment,
+            )),
+            Some(spec) => SessionStore::Sharded(
+                ShardedDb::from_recovered(
+                    spec.clone(),
+                    image.live,
+                    image.watermark,
+                    image.tombstones,
+                    image.next_segment,
+                )
+                .map_err(|e| Error::Config(BuildError::InvalidShardSpec(e)))?,
+            ),
+        };
         let rules = generate_rules(&image.large, minconf);
         let state = Arc::new(SnapshotState::new(
             image.version,
@@ -719,9 +766,14 @@ impl MaintainerBuilder {
             image.large,
             rules,
         ));
-        let mut index = IndexSlot::new();
+        let mut slots = new_slots(store.num_shards());
         if let Some(idx) = image.index {
-            index.restore(idx);
+            // A checkpointed index is positional over the whole store and
+            // cannot be split, so only a flat session can restore it; a
+            // sharded recovery rebuilds per-shard indexes on first use.
+            if matches!(store, SessionStore::Flat(_)) {
+                slots[0].restore(idx);
+            }
         }
         let mut m = Maintainer {
             store,
@@ -732,7 +784,7 @@ impl MaintainerBuilder {
             policy: self.policy,
             updater: self.updater,
             deletions: self.deletions,
-            index,
+            slots,
             durable: None,
         };
 
@@ -844,6 +896,250 @@ fn validate_policy(
     Ok(())
 }
 
+/// One fresh [`IndexSlot`] per shard (one for a flat store).
+fn new_slots(n: usize) -> Vec<IndexSlot> {
+    (0..n.max(1)).map(|_| IndexSlot::new()).collect()
+}
+
+/// The session's transaction store: a flat [`SegmentedDb`] or a
+/// tid-range-sharded [`ShardedDb`] (see [`MaintainerBuilder::shards`]).
+///
+/// Both arms expose the same tid space, staging area, live-tid view and
+/// scan contract, so every maintenance path — staging, FUP/FUP2 rounds,
+/// re-mines, checkpoints, recovery — drives either store through this one
+/// type. The sharded arm additionally partitions its chunk plan per shard
+/// ([`TransactionSource::chunk_partitions`]) and carries per-shard insert
+/// slices through a round, which is what the shard-parallel counting and
+/// the count-distribution merge key off.
+#[derive(Debug)]
+pub enum SessionStore {
+    /// The unsharded store: one [`SegmentedDb`].
+    Flat(SegmentedDb),
+    /// The tid-range-partitioned store: N [`SegmentedDb`] shards behind
+    /// one tid space.
+    Sharded(ShardedDb),
+}
+
+impl SessionStore {
+    fn source(&self) -> &dyn TransactionSource {
+        match self {
+            SessionStore::Flat(db) => db,
+            SessionStore::Sharded(db) => db,
+        }
+    }
+
+    /// Number of shards (1 for a flat store).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            SessionStore::Flat(_) => 1,
+            SessionStore::Sharded(db) => db.num_shards(),
+        }
+    }
+
+    /// The routing spec, when the store is sharded.
+    pub fn shard_spec(&self) -> Option<&ShardSpec> {
+        match self {
+            SessionStore::Flat(_) => None,
+            SessionStore::Sharded(db) => Some(db.spec()),
+        }
+    }
+
+    /// Live transaction count per shard — the balance view (a single
+    /// entry for a flat store).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        match self {
+            SessionStore::Flat(db) => vec![db.len()],
+            SessionStore::Sharded(db) => db.shard_lens(),
+        }
+    }
+
+    /// Number of live transactions.
+    pub fn len(&self) -> usize {
+        match self {
+            SessionStore::Flat(db) => db.len(),
+            SessionStore::Sharded(db) => db.len(),
+        }
+    }
+
+    /// `true` if no transaction is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(tid, transaction)` pairs in scan order without charging
+    /// scan metrics.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Tid, &Transaction)> + '_> {
+        match self {
+            SessionStore::Flat(db) => Box::new(db.iter()),
+            SessionStore::Sharded(db) => Box::new(db.iter()),
+        }
+    }
+
+    /// The live-tid view shared with delete validation and the durable
+    /// checkpoint format.
+    pub fn live_view(&self) -> LiveTidView {
+        match self {
+            SessionStore::Flat(db) => db.live_view(),
+            SessionStore::Sharded(db) => db.live_view(),
+        }
+    }
+
+    /// The scan accounting for this store.
+    pub fn metrics(&self) -> &ScanMetrics {
+        self.source().metrics()
+    }
+
+    pub(crate) fn staging(&self) -> Arc<StagingArea> {
+        match self {
+            SessionStore::Flat(db) => db.staging(),
+            SessionStore::Sharded(db) => db.staging(),
+        }
+    }
+
+    fn enqueue(&self, batch: UpdateBatch) -> fup_tidb::Result<()> {
+        match self {
+            SessionStore::Flat(db) => db.enqueue(batch),
+            SessionStore::Sharded(db) => db.enqueue(batch),
+        }
+    }
+
+    fn pending(&self) -> UpdateBatch {
+        match self {
+            SessionStore::Flat(db) => db.pending(),
+            SessionStore::Sharded(db) => db.pending(),
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        match self {
+            SessionStore::Flat(db) => db.has_pending(),
+            SessionStore::Sharded(db) => db.has_pending(),
+        }
+    }
+
+    fn take_pending_entries(&mut self) -> Vec<(u64, UpdateBatch)> {
+        match self {
+            SessionStore::Flat(db) => db.take_pending_entries(),
+            SessionStore::Sharded(db) => db.take_pending_entries(),
+        }
+    }
+
+    fn take_pending_entries_up_to(&mut self, max_ops: Option<u64>) -> Vec<(u64, UpdateBatch)> {
+        match self {
+            SessionStore::Flat(db) => db.take_pending_entries_up_to(max_ops),
+            SessionStore::Sharded(db) => db.take_pending_entries_up_to(max_ops),
+        }
+    }
+
+    fn discard_pending(&mut self) -> UpdateBatch {
+        match self {
+            SessionStore::Flat(db) => db.discard_pending(),
+            SessionStore::Sharded(db) => db.discard_pending(),
+        }
+    }
+
+    fn watermark(&self) -> u64 {
+        match self {
+            SessionStore::Flat(db) => db.watermark(),
+            SessionStore::Sharded(db) => db.watermark(),
+        }
+    }
+
+    fn next_segment(&self) -> u32 {
+        match self {
+            SessionStore::Flat(db) => db.next_segment(),
+            SessionStore::Sharded(db) => db.next_segment(),
+        }
+    }
+
+    fn is_tid_ordered(&self) -> bool {
+        match self {
+            SessionStore::Flat(db) => db.is_tid_ordered(),
+            SessionStore::Sharded(db) => db.is_tid_ordered(),
+        }
+    }
+
+    fn stage(&mut self, batch: UpdateBatch) -> fup_tidb::Result<StagedAny> {
+        match self {
+            SessionStore::Flat(db) => db.stage(batch).map(StagedAny::Flat),
+            SessionStore::Sharded(db) => db.stage(batch).map(StagedAny::Sharded),
+        }
+    }
+
+    fn commit(&mut self, staged: StagedAny) -> (SegmentId, Vec<Tid>) {
+        match (self, staged) {
+            (SessionStore::Flat(db), StagedAny::Flat(s)) => db.commit(s),
+            (SessionStore::Sharded(db), StagedAny::Sharded(s)) => db.commit(s),
+            _ => unreachable!("staged update committed against a different store kind"),
+        }
+    }
+
+    fn abort(&mut self, staged: StagedAny) {
+        match (self, staged) {
+            (SessionStore::Flat(db), StagedAny::Flat(s)) => db.abort(s),
+            (SessionStore::Sharded(db), StagedAny::Sharded(s)) => db.abort(s),
+            _ => unreachable!("staged update aborted against a different store kind"),
+        }
+    }
+}
+
+impl TransactionSource for SessionStore {
+    fn num_transactions(&self) -> u64 {
+        self.source().num_transactions()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&[ItemId])) {
+        self.source().for_each(f);
+    }
+
+    fn metrics(&self) -> &ScanMetrics {
+        self.source().metrics()
+    }
+
+    fn record_scan_start(&self) {
+        self.source().record_scan_start();
+    }
+
+    fn plan_chunks(&self, chunk_size: usize) -> u64 {
+        self.source().plan_chunks(chunk_size)
+    }
+
+    fn chunk_partitions(&self, chunk_size: usize) -> Vec<u64> {
+        self.source().chunk_partitions(chunk_size)
+    }
+
+    fn chunk<'s>(
+        &'s self,
+        chunk_size: usize,
+        index: u64,
+        scratch: &'s mut ChunkScratch,
+    ) -> TxChunk<'s> {
+        self.source().chunk(chunk_size, index, scratch)
+    }
+
+    fn chunk_tid_offset(&self, chunk_size: usize, index: u64) -> u64 {
+        self.source().chunk_tid_offset(chunk_size, index)
+    }
+}
+
+/// A staged (uncommitted) update of either store kind — the sharded arm
+/// additionally carries the per-shard insert/delete slices the
+/// shard-parallel round consumes.
+#[derive(Debug)]
+pub(crate) enum StagedAny {
+    Flat(StagedUpdate),
+    Sharded(ShardedStaged),
+}
+
+impl StagedAny {
+    fn num_deleted(&self) -> u64 {
+        match self {
+            StagedAny::Flat(s) => s.num_deleted(),
+            StagedAny::Sharded(s) => s.num_deleted(),
+        }
+    }
+}
+
 /// A rule-maintenance session: owns the transaction store, the current
 /// mined state, and a persistent vertical index, and keeps discovered
 /// association rules current across staged insert/delete batches.
@@ -857,7 +1153,7 @@ fn validate_policy(
 /// invalidate).
 #[derive(Debug)]
 pub struct Maintainer {
-    store: SegmentedDb,
+    store: SessionStore,
     state: Arc<SnapshotState>,
     minsup: MinSupport,
     minconf: MinConfidence,
@@ -865,7 +1161,9 @@ pub struct Maintainer {
     policy: UpdatePolicy,
     updater: Updater,
     deletions: bool,
-    index: IndexSlot,
+    /// One persistent vertical-index slot per shard (a single slot for a
+    /// flat store).
+    slots: Vec<IndexSlot>,
     durable: Option<Arc<DurableLog>>,
 }
 
@@ -882,8 +1180,15 @@ impl Maintainer {
         minsup: MinSupport,
         minconf: MinConfidence,
         config: FupConfig,
+        shards: Option<ShardSpec>,
     ) -> Self {
-        let store = SegmentedDb::from_transactions(history);
+        let store = match shards {
+            None => SessionStore::Flat(SegmentedDb::from_transactions(history)),
+            Some(spec) => SessionStore::Sharded(
+                ShardedDb::from_transactions(spec, history)
+                    .expect("shard spec validated by the builder"),
+            ),
+        };
         let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: config.engine.clone(),
             ..Default::default()
@@ -891,22 +1196,43 @@ impl Maintainer {
         .run_with_index(&store, minsup);
         let large = outcome.large;
         let rules = generate_rules(&large, minconf);
-        let mut index = IndexSlot::new();
-        if let Some(idx) = built {
-            // The bootstrap mine engaged vertical counting (pinned, or
-            // Auto past its thresholds) and already paid for an index
-            // covering the store, filtered to L₁ — adopt it so even the
-            // *first* commit extends instead of building.
-            index.adopt(idx);
-        } else if config.engine.backend == CountingBackend::Vertical && !store.is_empty() {
-            // A pinned-vertical session wants the index on every commit
-            // even when the bootstrap found no pass-2 candidates to
-            // count through it; seed from a fresh scan.
-            index.seed(
-                &store,
-                large.level(1).map(|(x, _)| x.items()[0]),
-                &config.engine,
-            );
+        let mut slots = new_slots(store.num_shards());
+        match &store {
+            SessionStore::Flat(_) => {
+                if let Some(idx) = built {
+                    // The bootstrap mine engaged vertical counting (pinned,
+                    // or Auto past its thresholds) and already paid for an
+                    // index covering the store, filtered to L₁ — adopt it so
+                    // even the *first* commit extends instead of building.
+                    slots[0].adopt(idx);
+                } else if config.engine.backend == CountingBackend::Vertical && !store.is_empty() {
+                    // A pinned-vertical session wants the index on every
+                    // commit even when the bootstrap found no pass-2
+                    // candidates to count through it; seed from a fresh scan.
+                    slots[0].seed(
+                        &store,
+                        large.level(1).map(|(x, _)| x.items()[0]),
+                        &config.engine,
+                    );
+                }
+            }
+            SessionStore::Sharded(db) => {
+                // The bootstrap index (if any) is positional over the whole
+                // store and cannot be split, so it is dropped. A
+                // pinned-vertical session seeds one index per shard instead,
+                // each over its shard's rows alone.
+                if config.engine.backend == CountingBackend::Vertical {
+                    for (s, slot) in slots.iter_mut().enumerate() {
+                        if !db.shard(s).is_empty() {
+                            slot.seed(
+                                db.shard(s),
+                                large.level(1).map(|(x, _)| x.items()[0]),
+                                &config.engine,
+                            );
+                        }
+                    }
+                }
+            }
         }
         let state = Arc::new(SnapshotState::new(
             0,
@@ -925,7 +1251,7 @@ impl Maintainer {
             policy: UpdatePolicy::default(),
             updater: Updater::default(),
             deletions: true,
-            index,
+            slots,
             durable: None,
         }
     }
@@ -1093,7 +1419,9 @@ impl Maintainer {
     }
 
     fn commit_batch(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
-        let _ = self.index.take_touched();
+        for slot in &mut self.slots {
+            let _ = slot.take_touched();
+        }
         let batch_size = batch.inserts.len() as u64 + batch.deletes.len() as u64;
         if self
             .policy
@@ -1108,33 +1436,78 @@ impl Maintainer {
             Updater::Fup => true,
             Updater::Fup2 => false,
         };
-        let outcome = if use_fup {
+        if use_fup {
             debug_assert!(pure_insert, "deletions are rejected at stage time");
-            Fup::with_config(self.config.clone()).update_with_index(
-                &self.store,
-                &self.state.large,
-                staged.inserted(),
-                self.minsup,
-                &mut self.index,
-            )
-        } else {
-            Fup2::with_config(self.config.clone()).update_with_index(
-                &self.store,
-                &self.state.large,
-                staged.deleted(),
-                staged.inserted(),
-                self.minsup,
-                &mut self.index,
-            )
+        }
+        let outcome = match (&self.store, &staged) {
+            (SessionStore::Flat(db), StagedAny::Flat(fs)) => {
+                let slot = &mut self.slots[0];
+                if use_fup {
+                    Fup::with_config(self.config.clone()).update_with_index(
+                        db,
+                        &self.state.large,
+                        fs.inserted(),
+                        self.minsup,
+                        slot,
+                    )
+                } else {
+                    Fup2::with_config(self.config.clone()).update_with_index(
+                        db,
+                        &self.state.large,
+                        fs.deleted(),
+                        fs.inserted(),
+                        self.minsup,
+                        slot,
+                    )
+                }
+            }
+            (SessionStore::Sharded(db), StagedAny::Sharded(ss)) => {
+                // Shard-parallel counting: one persistent index slot per
+                // shard, per-shard supports merged by summation inside the
+                // provider — bit-identical to the flat path because every
+                // threshold decision gates on the same global sums.
+                let mut provider = ShardProvider::new(db, ss, &mut self.slots);
+                if use_fup {
+                    Fup::with_config(self.config.clone()).update_with_provider(
+                        db,
+                        &self.state.large,
+                        ss.inserted(),
+                        self.minsup,
+                        &mut provider,
+                    )
+                } else {
+                    Fup2::with_config(self.config.clone()).update_with_provider(
+                        db,
+                        &self.state.large,
+                        ss.deleted(),
+                        ss.inserted(),
+                        self.minsup,
+                        &mut provider,
+                    )
+                }
+            }
+            _ => unreachable!("staged update does not match the store kind"),
         };
         let outcome = match outcome {
             Ok(o) => o,
             Err(e) => {
-                if staged.num_deleted() > 0 {
-                    // Abort re-appends the deleted rows at the end of the
-                    // live set, so its scan order no longer matches any
-                    // held index.
-                    self.index.clear();
+                // Abort re-appends the deleted rows at the end of their
+                // (shard's) live set, so the scan order of every store —
+                // or shard — that lost a row no longer matches its held
+                // index.
+                match &staged {
+                    StagedAny::Flat(fs) => {
+                        if fs.num_deleted() > 0 {
+                            self.slots[0].clear();
+                        }
+                    }
+                    StagedAny::Sharded(ss) => {
+                        for (s, slot) in self.slots.iter_mut().enumerate() {
+                            if !ss.shard_deleted(s).is_empty() {
+                                slot.clear();
+                            }
+                        }
+                    }
                 }
                 self.store.abort(staged);
                 return Err(e);
@@ -1150,7 +1523,7 @@ impl Maintainer {
     /// drained batch owns the staging claims for its deletes, so on a
     /// validation failure — which consumes the batch — those claims are
     /// released here (their tids become claimable again).
-    fn stage_drained(&mut self, batch: UpdateBatch) -> Result<StagedUpdate> {
+    fn stage_drained(&mut self, batch: UpdateBatch) -> Result<StagedAny> {
         let claimed: Vec<Tid> = batch.deletes.clone();
         match self.store.stage(batch) {
             Ok(staged) => Ok(staged),
@@ -1163,8 +1536,7 @@ impl Maintainer {
 
     fn commit_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
         let staged = self.stage_drained(batch)?;
-        let pure_insert = staged.num_deleted() == 0;
-        self.align_index(&staged, pure_insert);
+        self.align_index(&staged);
         let (_seg, inserted_tids) = self.store.commit(staged);
         let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: self.config.engine.clone(),
@@ -1174,8 +1546,12 @@ impl Maintainer {
         if let Some(idx) = built {
             // The re-mine engaged vertical counting: its index covers
             // exactly the just-committed store, so keep it for the next
-            // incremental round instead of whatever the slot held.
-            self.index.adopt(idx);
+            // incremental round instead of whatever the slot held — on a
+            // flat store only, since the global positional index cannot
+            // be split across shards.
+            if matches!(self.store, SessionStore::Flat(_)) {
+                self.slots[0].adopt(idx);
+            }
         }
         Ok(self.publish(
             outcome.large,
@@ -1188,29 +1564,45 @@ impl Maintainer {
     /// Commits `staged` and publishes the round's mined state.
     fn finish_commit(
         &mut self,
-        staged: StagedUpdate,
+        staged: StagedAny,
         new_large: LargeItemsets,
         algorithm: &'static str,
         stats: MiningStats,
     ) -> MaintenanceReport {
-        let pure_insert = staged.num_deleted() == 0;
-        self.align_index(&staged, pure_insert);
+        self.align_index(&staged);
         let (_seg, inserted_tids) = self.store.commit(staged);
         self.publish(new_large, algorithm, stats, inserted_tids)
     }
 
-    /// Keeps the persistent index consistent with the store the round is
-    /// about to commit: if the round's counting never touched the slot,
-    /// an insert-only round extends the held index with the insert side
-    /// (one cheap delta scan), and a round with deletions — whose
-    /// `swap_remove` staging reordered the live set — drops it.
-    fn align_index(&mut self, staged: &StagedUpdate, pure_insert: bool) {
-        if !self.index.take_touched() {
-            if pure_insert {
-                self.index
-                    .extend_with(staged.inserted(), &self.config.engine);
-            } else {
-                self.index.clear();
+    /// Keeps the persistent index slots consistent with the store the
+    /// round is about to commit: for every slot the round's counting
+    /// never touched, an insert-only (shard-)round extends the held index
+    /// with the (shard's) insert side — one cheap delta scan — and a
+    /// (shard-)round with deletions, whose `swap_remove` staging
+    /// reordered that live set, drops it. The sharded arm decides per
+    /// shard, so a delete landing on one shard never invalidates the
+    /// others.
+    fn align_index(&mut self, staged: &StagedAny) {
+        match staged {
+            StagedAny::Flat(fs) => {
+                if !self.slots[0].take_touched() {
+                    if fs.num_deleted() == 0 {
+                        self.slots[0].extend_with(fs.inserted(), &self.config.engine);
+                    } else {
+                        self.slots[0].clear();
+                    }
+                }
+            }
+            StagedAny::Sharded(ss) => {
+                for (s, slot) in self.slots.iter_mut().enumerate() {
+                    if !slot.take_touched() {
+                        if ss.shard_deleted(s).is_empty() {
+                            slot.extend_with(ss.shard_inserted(s), &self.config.engine);
+                        } else {
+                            slot.clear();
+                        }
+                    }
+                }
             }
         }
     }
@@ -1276,8 +1668,9 @@ impl Maintainer {
         &self.state.large
     }
 
-    /// The underlying store (read access).
-    pub fn store(&self) -> &SegmentedDb {
+    /// The underlying store (read access) — flat or sharded; see
+    /// [`SessionStore`].
+    pub fn store(&self) -> &SessionStore {
         &self.store
     }
 
@@ -1318,11 +1711,13 @@ impl Maintainer {
 
     /// Counters for the persistent vertical index: how often it was built
     /// from scratch vs extended in place across the session's rounds.
+    /// On a sharded session the counters sum over the per-shard slots and
+    /// `resident` is `true` while *any* shard holds an index.
     pub fn index_stats(&self) -> IndexStats {
         IndexStats {
-            builds: self.index.builds(),
-            extends: self.index.extends(),
-            resident: self.index.has_index(),
+            builds: self.slots.iter().map(|s| s.builds()).sum(),
+            extends: self.slots.iter().map(|s| s.extends()).sum(),
+            resident: self.slots.iter().any(|s| s.has_index()),
         }
     }
 
@@ -1348,7 +1743,10 @@ impl Maintainer {
         })
         .run_with_index(&self.store, self.minsup);
         if let Some(idx) = built {
-            self.index.adopt(idx);
+            // A global positional index cannot be split across shards.
+            if matches!(self.store, SessionStore::Flat(_)) {
+                self.slots[0].adopt(idx);
+            }
         }
         let report = self.publish(outcome.large, "apriori-remine", outcome.stats, Vec::new());
         if let Some(log) = self.durable.clone() {
@@ -1436,6 +1834,7 @@ impl Maintainer {
                 updater: self.updater,
                 deletions: self.deletions,
                 durability: *log.policy(),
+                shards: self.store.shard_spec().cloned(),
             },
             storage: Arc::clone(log.storage()),
         })
@@ -1459,12 +1858,14 @@ impl Maintainer {
         live.sort_unstable_by_key(|&(tid, _)| tid);
         let view = self.store.live_view();
         let backlog = self.store.staging().entries_snapshot();
-        let index = if self.store.is_tid_ordered() {
-            self.index
+        // Only a flat store's index is positional over the whole live set;
+        // sharded sessions checkpoint without one and rebuild per shard
+        // after recovery.
+        let index = match &self.store {
+            SessionStore::Flat(_) if self.store.is_tid_ordered() => self.slots[0]
                 .resident_index()
-                .filter(|idx| idx.num_transactions() == self.store.len() as u64)
-        } else {
-            None
+                .filter(|idx| idx.num_transactions() == self.store.len() as u64),
+            _ => None,
         };
         durable::encode_checkpoint(
             seq,
@@ -2128,6 +2529,183 @@ mod tests {
             .recover(image as Arc<dyn DurableStorage>)
             .unwrap();
         assert_eq!(r.version(), 1, "the re-mine's version bump must survive");
+    }
+
+    // -------------------------------------------------- sharding --
+
+    #[test]
+    fn builder_rejects_invalid_shard_specs() {
+        let e = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shards(0)
+            .build(history())
+            .unwrap_err();
+        assert_eq!(
+            e,
+            BuildError::InvalidShardSpec(fup_tidb::SpecError::NoShards)
+        );
+        let e = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shard_spec(ShardSpec::ranges([
+                fup_tidb::TidRange::new(0, 100),
+                fup_tidb::TidRange::new(50, u64::MAX),
+            ]))
+            .build(history())
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            BuildError::InvalidShardSpec(fup_tidb::SpecError::Overlap { .. })
+        ));
+    }
+
+    fn sharded_session(shards: u32) -> Maintainer {
+        Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shard_spec(ShardSpec::striped_with(shards, 2))
+            .build(history())
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_session_matches_flat_round_for_round() {
+        let mut flat = session();
+        let mut sharded = sharded_session(3);
+        assert_eq!(sharded.store().num_shards(), 3);
+        // Bootstrap state already agrees.
+        assert!(flat
+            .large_itemsets()
+            .same_itemsets(sharded.large_itemsets()));
+
+        // Insert-only round, then a cross-shard delete round (tids 1 and 4
+        // live on different stripes), then a mixed round.
+        let rounds: Vec<UpdateBatch> = vec![
+            UpdateBatch::insert_only(vec![tx(&[1, 2]), tx(&[2, 3]), tx(&[1, 3, 5])]),
+            UpdateBatch::delete_only(vec![Tid(1), Tid(4)]),
+            UpdateBatch {
+                inserts: vec![tx(&[2, 3, 5]), tx(&[1, 2])],
+                deletes: vec![Tid(0)],
+            },
+        ];
+        for batch in rounds {
+            let rf = flat.apply(batch.clone()).unwrap();
+            let rs = sharded.apply(batch).unwrap();
+            assert_eq!(rf.algorithm, rs.algorithm);
+            assert_eq!(rf.inserted_tids, rs.inserted_tids);
+            assert_eq!(rf.num_transactions, rs.num_transactions);
+            assert!(flat
+                .large_itemsets()
+                .same_itemsets(sharded.large_itemsets()));
+            assert_eq!(flat.rules().len(), sharded.rules().len());
+            assert_eq!(
+                flat.store().live_view(),
+                sharded.store().live_view(),
+                "live-tid views must agree"
+            );
+            sharded.verify_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_pinned_vertical_extends_per_shard_and_deletes_touch_one_shard() {
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(30))
+            .min_confidence(MinConfidence::percent(60))
+            .backend(CountingBackend::Vertical)
+            .shard_spec(ShardSpec::striped_with(2, 2))
+            .build(history())
+            .unwrap();
+        // Pinned-vertical bootstrap seeds every non-empty shard.
+        let stats = m.index_stats();
+        assert_eq!(stats.builds, 2, "one seed per shard");
+        assert!(stats.resident);
+
+        // Insert-only rounds extend shards, never rebuild.
+        m.apply(UpdateBatch::insert_only(vec![tx(&[1, 2]), tx(&[2, 3])]))
+            .unwrap();
+        m.verify_consistency().unwrap();
+        assert_eq!(m.index_stats().builds, 2);
+
+        // A delete invalidates only its own shard: builds go up by exactly
+        // one (the touched shard), not one per shard.
+        let tid0 = m.store().iter().next().unwrap().0;
+        m.apply(UpdateBatch::delete_only(vec![tid0])).unwrap();
+        m.verify_consistency().unwrap();
+        assert_eq!(
+            m.index_stats().builds,
+            3,
+            "only the deleted tid's shard rebuilds"
+        );
+    }
+
+    #[test]
+    fn sharded_durable_recovery_round_trips_and_spec_is_pure_config() {
+        let storage = mem();
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shards(2)
+            .build_durable(history(), Arc::clone(&storage) as Arc<dyn DurableStorage>)
+            .unwrap();
+        m.stage(UpdateBatch::insert_only(vec![tx(&[1, 2, 3]), tx(&[3])]))
+            .unwrap();
+        m.commit().unwrap();
+        m.stage(UpdateBatch {
+            inserts: vec![tx(&[2, 3])],
+            deletes: vec![Tid(0)],
+        })
+        .unwrap();
+        m.commit().unwrap();
+
+        // Recover under the SAME spec...
+        let image = Arc::new(fup_tidb::MemStorage::from_files(storage.files()));
+        let (r, _) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shards(2)
+            .recover(Arc::clone(&image) as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_same_published_state(&m, &r);
+        r.verify_consistency().unwrap();
+
+        // ...under a DIFFERENT shard count...
+        let (r4, _) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .shards(4)
+            .recover(Arc::clone(&image) as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_same_published_state(&m, &r4);
+        assert_eq!(r4.store().num_shards(), 4);
+
+        // ...and flat: the spec is configuration, not state.
+        let (rf, _) = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .recover(image as Arc<dyn DurableStorage>)
+            .unwrap();
+        assert_same_published_state(&m, &rf);
+        assert_eq!(rf.store().num_shards(), 1);
+    }
+
+    #[test]
+    fn sharded_remine_policy_stays_consistent() {
+        let mut m = Maintainer::builder()
+            .min_support(MinSupport::percent(40))
+            .min_confidence(MinConfidence::percent(60))
+            .policy(UpdatePolicy::AlwaysRemine)
+            .shards(3)
+            .build(history())
+            .unwrap();
+        m.apply(UpdateBatch {
+            inserts: vec![tx(&[1, 2]), tx(&[2, 3])],
+            deletes: vec![Tid(2)],
+        })
+        .unwrap();
+        m.verify_consistency().unwrap();
+        assert_eq!(m.store().shard_lens().iter().sum::<usize>(), m.len());
     }
 
     #[test]

@@ -176,6 +176,99 @@ impl IndexSlot {
     }
 }
 
+/// The vertical-counting seam of the FUP/FUP2 round loops: where the
+/// per-pass `(support in base, support in delta)` splits come from once
+/// the vertical backend engages. The flat session hands the loops a
+/// [`SlotProvider`] (one index over the whole store — the historical
+/// behaviour, bit for bit); the sharded session hands them a
+/// [`ShardProvider`](crate::shard::ShardProvider) that keeps one index
+/// per tid-range shard and merges local splits by summation (count
+/// distribution). The loops cannot tell the difference: supports are
+/// additive over disjoint tid ranges, so the summed splits equal the
+/// whole-store splits exactly.
+pub(crate) trait VerticalProvider {
+    /// `true` once [`engage`](VerticalProvider::engage) has run — the
+    /// round loops use this for the sticky once-vertical-always-vertical
+    /// decision.
+    fn engaged(&self) -> bool;
+
+    /// Materialises the round's index (or indexes), filtered to
+    /// `old L₁ ∪ result L₁`. Idempotent: a second call in the same round
+    /// is a no-op.
+    fn engage(&mut self, old: &LargeItemsets, result: &LargeItemsets, engine: &EngineConfig);
+
+    /// `(support in base, support in delta)` for every row of `table`,
+    /// in row order.
+    ///
+    /// # Panics
+    ///
+    /// May panic if [`engage`](VerticalProvider::engage) has not run.
+    fn count_split(&self, table: &ItemsetTable, engine: &EngineConfig) -> Vec<(u64, u64)>;
+
+    /// Returns the round's index (or indexes) to their slot(s) after a
+    /// successful run. A no-op when the round never engaged.
+    fn finish(&mut self);
+}
+
+/// The flat (single-store) [`VerticalProvider`]: one [`IndexSlot`], one
+/// base source, one delta source, one boundary. Engaging acquires from
+/// the slot; finishing stashes back — exactly the pre-provider code
+/// path of `Fup::update_with_index`/`Fup2::update_with_index`.
+pub(crate) struct SlotProvider<'a> {
+    slot: &'a mut IndexSlot,
+    base: &'a dyn TransactionSource,
+    delta: &'a dyn TransactionSource,
+    /// Tid splitting the base's supports from the delta's
+    /// (`|DB|` for FUP, `|DB⁻|` for FUP2).
+    boundary: u64,
+    index: Option<VerticalIndex>,
+}
+
+impl<'a> SlotProvider<'a> {
+    pub(crate) fn new(
+        slot: &'a mut IndexSlot,
+        base: &'a dyn TransactionSource,
+        delta: &'a dyn TransactionSource,
+        boundary: u64,
+    ) -> Self {
+        SlotProvider {
+            slot,
+            base,
+            delta,
+            boundary,
+            index: None,
+        }
+    }
+}
+
+impl VerticalProvider for SlotProvider<'_> {
+    fn engaged(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn engage(&mut self, old: &LargeItemsets, result: &LargeItemsets, engine: &EngineConfig) {
+        if self.index.is_none() {
+            self.index = Some(
+                self.slot
+                    .acquire(old, result, self.base, self.delta, engine),
+            );
+        }
+    }
+
+    fn count_split(&self, table: &ItemsetTable, engine: &EngineConfig) -> Vec<(u64, u64)> {
+        self.index
+            .as_ref()
+            .expect("engage() before count_split()")
+            .count_rows_split(table, self.boundary, engine)
+    }
+
+    fn finish(&mut self) {
+        if let Some(idx) = self.index.take() {
+            self.slot.stash(idx);
+        }
+    }
+}
+
 /// Sorts `W` lexicographically (tables need sorted rows; `W` comes out
 /// of a hash map) and returns its flat level table. The caller keeps
 /// iterating `w` in the new order, so indices into parallel count

@@ -2,7 +2,7 @@
 
 use crate::params::GenParams;
 use crate::pool::{PatternPool, PatternSet};
-use crate::rng::Pcg32;
+use crate::rng::{Pcg32, Zipf};
 use fup_tidb::{ItemId, Transaction, TransactionDb};
 
 /// Streaming generator of synthetic transactions for one parameter set.
@@ -51,10 +51,17 @@ impl QuestGenerator {
             rng,
         } = self;
         let mut pool = PatternPool::new(patterns, params, rng);
+        let items_dist = Zipf::new(params.num_items, params.item_skew);
         let mut out = Vec::with_capacity(n as usize);
         let mut scratch: Vec<ItemId> = Vec::new();
         for _ in 0..n {
-            out.push(one_transaction(params, rng, &mut pool, &mut scratch));
+            out.push(one_transaction(
+                params,
+                rng,
+                &mut pool,
+                &items_dist,
+                &mut scratch,
+            ));
         }
         out
     }
@@ -78,6 +85,7 @@ fn one_transaction(
     params: &GenParams,
     rng: &mut Pcg32,
     pool: &mut PatternPool<'_>,
+    items_dist: &Zipf,
     scratch: &mut Vec<ItemId>,
 ) -> Transaction {
     let target =
@@ -112,7 +120,7 @@ fn one_transaction(
     }
     if scratch.is_empty() {
         // Ensure non-empty output: fall back to one random item.
-        scratch.push(ItemId(rng.below(params.num_items)));
+        scratch.push(ItemId(items_dist.sample(rng)));
     }
     Transaction::from_items(scratch.iter().copied())
 }
@@ -203,6 +211,47 @@ mod tests {
         let mut g = QuestGenerator::new(small_params());
         let db = g.generate_db(50);
         assert_eq!(db.len(), 50);
+    }
+
+    #[test]
+    fn skewed_corpus_is_deterministic_per_seed() {
+        let params = small_params().with_item_skew(1.2);
+        let a = QuestGenerator::new(params.clone()).generate(300);
+        let b = QuestGenerator::new(params.clone()).generate(300);
+        assert_eq!(a, b, "same seed, same skew, same corpus");
+        let c = QuestGenerator::new(params.with_seed(77)).generate(300);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn item_skew_concentrates_popularity_on_low_ids() {
+        let uniform = QuestGenerator::new(small_params()).generate(1_000);
+        let skewed = QuestGenerator::new(small_params().with_item_skew(1.5)).generate(1_000);
+        // Fraction of item occurrences landing in the low half of the
+        // item space (ids < 50 of 100).
+        let low_share = |txs: &[Transaction]| {
+            let mut low = 0usize;
+            let mut all = 0usize;
+            for t in txs {
+                for i in t.items() {
+                    all += 1;
+                    low += usize::from(i.raw() < 50);
+                }
+            }
+            low as f64 / all as f64
+        };
+        let u = low_share(&uniform);
+        let s = low_share(&skewed);
+        assert!(s > u + 0.1, "skewed low-id share {s} vs uniform {u}");
+        assert!(s > 0.7, "Zipf 1.5 should concentrate hard: {s}");
+    }
+
+    #[test]
+    fn zero_skew_matches_the_default_corpus_exactly() {
+        // `with_item_skew(0.0)` must be a no-op on the byte level.
+        let a = QuestGenerator::new(small_params()).generate(200);
+        let b = QuestGenerator::new(small_params().with_item_skew(0.0)).generate(200);
+        assert_eq!(a, b);
     }
 
     #[test]

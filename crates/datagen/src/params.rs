@@ -36,6 +36,12 @@ pub struct GenParams {
     pub corruption_mean: f64,
     /// Standard deviation of the corruption level.
     pub corruption_sdev: f64,
+    /// Zipf exponent for item popularity: pattern filler items (and the
+    /// empty-transaction fallback) draw item `k` with probability
+    /// ∝ 1/(k+1)^skew, so low-numbered items dominate realistically
+    /// skewed corpora. `0.0` (the default) is **exactly** the historical
+    /// uniform draw — same PRNG consumption, byte-identical corpora.
+    pub item_skew: f64,
     /// Seed for the deterministic PRNG.
     pub seed: u64,
 }
@@ -57,6 +63,7 @@ impl Default for GenParams {
             correlation_mean: 0.5,
             corruption_mean: 0.5,
             corruption_sdev: 0.1,
+            item_skew: 0.0,
             seed: 0x5eed_f00d,
         }
     }
@@ -88,6 +95,14 @@ impl GenParams {
         self
     }
 
+    /// Returns a copy with a different item-popularity Zipf exponent
+    /// (see [`item_skew`](Self::item_skew); `0.0` restores the uniform
+    /// draw).
+    pub fn with_item_skew(mut self, skew: f64) -> Self {
+        self.item_skew = skew;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -110,6 +125,10 @@ impl GenParams {
             (0.0..=1.0).contains(&self.corruption_mean),
             "corruption mean in [0,1]"
         );
+        assert!(
+            self.item_skew.is_finite() && self.item_skew >= 0.0,
+            "item skew must be a finite non-negative exponent"
+        );
     }
 
     /// The `Tx.Iy.Dm.dn` name of this configuration.
@@ -128,13 +147,14 @@ impl fmt::Display for GenParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (|L|={}, N={}, S_c={}, P_s={}, M_f={}, seed={:#x})",
+            "{} (|L|={}, N={}, S_c={}, P_s={}, M_f={}, skew={}, seed={:#x})",
             self.name(),
             self.num_patterns,
             self.num_items,
             self.clustering_size,
             self.pool_size,
             self.multiplying_factor,
+            self.item_skew,
             self.seed
         )
     }
@@ -167,9 +187,31 @@ mod tests {
 
     #[test]
     fn with_helpers() {
-        let p = GenParams::default().with_seed(9).with_increment(5_000);
+        let p = GenParams::default()
+            .with_seed(9)
+            .with_increment(5_000)
+            .with_item_skew(0.8);
         assert_eq!(p.seed, 9);
         assert_eq!(p.increment_size, 5_000);
+        assert_eq!(p.item_skew, 0.8);
+        p.validate();
+    }
+
+    #[test]
+    fn default_item_skew_is_uniform() {
+        assert_eq!(GenParams::default().item_skew, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "item skew")]
+    fn negative_item_skew_rejected() {
+        GenParams::default().with_item_skew(-0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "item skew")]
+    fn nan_item_skew_rejected() {
+        GenParams::default().with_item_skew(f64::NAN).validate();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Potentially large itemsets ("patterns") and the rotating pattern pool.
 
 use crate::params::GenParams;
-use crate::rng::Pcg32;
+use crate::rng::{Pcg32, Zipf};
 use fup_tidb::ItemId;
 
 /// One potentially large itemset.
@@ -32,6 +32,9 @@ impl PatternSet {
     /// boundaries.
     pub fn generate(params: &GenParams, rng: &mut Pcg32) -> Self {
         params.validate();
+        // Item popularity: Zipf over item ids (skew 0 = the historical
+        // uniform draw, bit-for-bit).
+        let items_dist = Zipf::new(params.num_items, params.item_skew);
         let n = params.num_patterns as usize;
         let mut patterns = Vec::with_capacity(n);
         let mut prev_items: Vec<ItemId> = Vec::new();
@@ -60,7 +63,7 @@ impl PatternSet {
             }
             // Fill the remainder with random items, avoiding duplicates.
             while items.len() < size {
-                let candidate = ItemId(rng.below(params.num_items));
+                let candidate = ItemId(items_dist.sample(rng));
                 if !items.contains(&candidate) {
                     items.push(candidate);
                 }

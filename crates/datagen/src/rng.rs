@@ -105,6 +105,68 @@ impl Pcg32 {
     }
 }
 
+/// Zipf-distributed rank sampler over `[0, n)`: rank `k` is drawn with
+/// probability ∝ `1/(k+1)^skew` via a precomputed inverse CDF.
+///
+/// A skew of `0` delegates to the uniform [`Pcg32::below`] draw — the
+/// *same* call, consuming the PRNG stream identically — so workloads
+/// configured without skew stay byte-identical to those generated before
+/// this sampler existed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u32,
+    /// Cumulative probabilities; empty on the uniform (skew 0) path.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `skew` is negative or non-finite.
+    pub fn new(n: u32, skew: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            skew.is_finite() && skew >= 0.0,
+            "skew must be a finite non-negative exponent"
+        );
+        if skew == 0.0 {
+            return Zipf { n, cdf: Vec::new() };
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += f64::from(k + 1).powf(skew).recip();
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { n, cdf }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut Pcg32) -> u32 {
+        if self.cdf.is_empty() {
+            return rng.below(self.n);
+        }
+        let u = rng.next_f64();
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.n as usize - 1) as u32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +247,57 @@ mod tests {
         let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "normal mean {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "normal sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_the_uniform_draw_bit_for_bit() {
+        let zipf = Zipf::new(100, 0.0);
+        let mut a = Pcg32::seed_from(23);
+        let mut b = Pcg32::seed_from(23);
+        let via_zipf: Vec<u32> = (0..512).map(|_| zipf.sample(&mut a)).collect();
+        let via_below: Vec<u32> = (0..512).map(|_| b.below(100)).collect();
+        assert_eq!(via_zipf, via_below, "skew 0 must not perturb the stream");
+        // The streams themselves stay aligned afterwards too.
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let zipf = Zipf::new(1000, 1.0);
+        let mut rng = Pcg32::seed_from(29);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(
+            head > 20 * tail.max(1),
+            "head {head} should dwarf tail {tail}"
+        );
+        assert!(counts[0] > counts[99].max(1) * 10, "rank 0 dominates");
+    }
+
+    #[test]
+    fn zipf_sampling_is_deterministic_and_in_range() {
+        let zipf = Zipf::new(64, 1.3);
+        assert_eq!(zipf.ranks(), 64);
+        let a: Vec<u32> = {
+            let mut rng = Pcg32::seed_from(31);
+            (0..256).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = Pcg32::seed_from(31);
+            (0..256).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&r| r < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn zipf_rejects_negative_skew() {
+        Zipf::new(10, -1.0);
     }
 
     #[test]

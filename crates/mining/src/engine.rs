@@ -9,9 +9,13 @@
 //!
 //! * the source is split into [`TxChunk`](fup_tidb::TxChunk)s via the
 //!   chunked scan API of `fup_tidb`,
-//! * `std::thread::scope` workers claim chunks from a shared atomic
-//!   cursor (no work queue, no locking, no allocation in steady state —
-//!   each worker reuses one [`ChunkScratch`] and one accumulator),
+//! * `std::thread::scope` workers claim chunks from an atomic cursor
+//!   (no work queue, no locking, no allocation in steady state — each
+//!   worker reuses one [`ChunkScratch`] and one accumulator). Sources
+//!   that advertise partitions ([`TransactionSource::chunk_partitions`]
+//!   — one per tid-range shard) get **one cursor per partition**:
+//!   workers drain a home partition first and steal from the rest, so
+//!   shards scan in parallel without contending on one shared counter,
 //! * per-worker accumulators are merged once, at the end of the pass.
 //!
 //! Counting is exact and order-independent, so the merged result equals
@@ -155,25 +159,50 @@ where
     }
     let workers = threads.min(num_chunks as usize);
     source.record_scan_start();
-    let cursor = AtomicU64::new(0);
+    // One cursor per (non-empty) chunk partition. Unpartitioned sources
+    // advertise a single partition, reproducing the classic shared-cursor
+    // pass exactly; a sharded source gets one cursor per shard.
+    let partitions: Vec<(u64, u64)> = {
+        let ends = source.chunk_partitions(chunk_size);
+        debug_assert_eq!(ends.last().copied(), Some(num_chunks));
+        let mut start = 0;
+        ends.into_iter()
+            .filter_map(|end| {
+                let s = start;
+                start = end;
+                (s < end).then_some((s, end))
+            })
+            .collect()
+    };
+    let cursors: Vec<AtomicU64> = partitions.iter().map(|&(s, _)| AtomicU64::new(s)).collect();
+    let nparts = partitions.len();
     let mut results = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let cursor = &cursor;
+        for w in 0..workers {
+            let partitions = &partitions;
+            let cursors = &cursors;
             let make = &make;
             let step = &step;
             handles.push(scope.spawn(move || {
                 let mut acc = make();
                 let mut scratch = ChunkScratch::new();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= num_chunks {
-                        break;
-                    }
-                    let chunk = source.chunk(chunk_size, index, &mut scratch);
-                    for t in chunk.iter() {
-                        step(&mut acc, index, t);
+                // Drain the home partition, then steal from the others.
+                // Every worker eventually visits every partition, so all
+                // chunks are claimed however threads and shards mismatch.
+                let home = w % nparts;
+                for offset in 0..nparts {
+                    let p = (home + offset) % nparts;
+                    let end = partitions[p].1;
+                    loop {
+                        let index = cursors[p].fetch_add(1, Ordering::Relaxed);
+                        if index >= end {
+                            break;
+                        }
+                        let chunk = source.chunk(chunk_size, index, &mut scratch);
+                        for t in chunk.iter() {
+                            step(&mut acc, index, t);
+                        }
                     }
                 }
                 acc
@@ -482,6 +511,32 @@ mod tests {
         assert_eq!(counted, vec![(s(&[1, 2]), 0)]);
         let items = count_items_with(&empty, &cfg);
         assert_eq!(items.capacity(), 0);
+    }
+
+    #[test]
+    fn partitioned_source_counts_match_serial() {
+        use fup_tidb::{ShardSpec, ShardedDb};
+        let rows: Vec<Transaction> = (0..500)
+            .map(|i| Transaction::from_items([i % 7, 7 + (i % 5), 12 + (i % 11), 23 + (i % 3)]))
+            .collect();
+        let flat = TransactionDb::from_transactions(rows.clone());
+        let serial = count_candidates_with(&flat, candidates(), &EngineConfig::serial());
+        // Shard counts both below and above the worker count, with chunk
+        // sizes that leave short seam chunks inside partitions.
+        for shards in [1u32, 2, 3, 8] {
+            let sharded =
+                ShardedDb::from_transactions(ShardSpec::striped_with(shards, 16), rows.clone())
+                    .unwrap();
+            for threads in [2, 4, 8] {
+                let cfg = EngineConfig {
+                    threads,
+                    chunk_size: 33,
+                    ..EngineConfig::default()
+                };
+                let counted = count_candidates_with(&sharded, candidates(), &cfg);
+                assert_eq!(counted, serial, "shards {shards} threads {threads}");
+            }
+        }
     }
 
     #[test]

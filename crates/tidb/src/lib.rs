@@ -64,6 +64,7 @@ pub mod item;
 pub mod page;
 pub mod scan;
 pub mod segment;
+pub mod shard;
 pub mod source;
 pub mod staging;
 pub mod stats;
@@ -78,6 +79,7 @@ pub use error::{Error, FaultKind, Result};
 pub use item::ItemId;
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
+pub use shard::{ShardSpec, ShardedDb, ShardedStaged, SpecError, TidRange};
 pub use source::TransactionSource;
 pub use staging::{Admission, LiveTidView, StagingArea};
 pub use storage::{DiskStorage, DurableStorage, FlakyStorage, MemStorage, OpClass};

@@ -234,6 +234,45 @@ impl SegmentedDb {
         tids
     }
 
+    /// Appends transactions under **caller-assigned** tids — the primitive
+    /// a tid-range shard router uses to keep one global tid sequence
+    /// across many partitions. The caller guarantees the tids are fresh
+    /// (never live in this store). The store's own allocator is advanced
+    /// past the highest appended tid, and the tid-order flag is cleared
+    /// only if an appended tid sorts below an existing live row.
+    ///
+    /// The internal staging live view is **not** updated: a sharded
+    /// router maintains the single authoritative view on its own staging
+    /// area (a per-shard view over a strided tid subset would misread
+    /// the gaps as tombstones).
+    pub(crate) fn append_pairs(&mut self, pairs: Vec<(Tid, Transaction)>) {
+        for (tid, t) in pairs {
+            debug_assert!(!self.by_tid.contains_key(&tid), "tid reused: {tid:?}");
+            if self.live.last().is_some_and(|&(last, _)| last > tid) {
+                self.tid_ordered = false;
+            }
+            self.by_tid.insert(tid, self.live.len());
+            self.live.push((tid, t));
+            self.next_tid = self.next_tid.max(tid.0 + 1);
+        }
+    }
+
+    /// Removes one live transaction by tid, returning it — the deletion
+    /// primitive of the shard router. Mirrors the `swap_remove` of
+    /// [`stage`](Self::stage) (including the tid-order bookkeeping) but
+    /// leaves the internal staging live view alone, as with
+    /// [`append_pairs`](Self::append_pairs).
+    pub(crate) fn remove_tid(&mut self, tid: Tid) -> Option<Transaction> {
+        let idx = self.by_tid.remove(&tid)?;
+        let (_, t) = self.live.swap_remove(idx);
+        if idx < self.live.len() {
+            let moved_tid = self.live[idx].0;
+            self.by_tid.insert(moved_tid, idx);
+            self.tid_ordered = false;
+        }
+        Some(t)
+    }
+
     /// Number of live transactions.
     pub fn len(&self) -> usize {
         self.live.len()

@@ -73,6 +73,24 @@ pub trait TransactionSource: Sync {
         index * chunk_size.max(1) as u64
     }
 
+    /// Partition boundaries of the `chunk_size` chunk plan, as cumulative
+    /// chunk counts: partition `p` covers chunk indices
+    /// `[boundaries[p-1], boundaries[p])` (with an implicit leading 0).
+    /// The last boundary always equals
+    /// [`plan_chunks`](TransactionSource::plan_chunks).
+    ///
+    /// Partitions group chunks whose data live together (one tid-range
+    /// shard, one chained sub-source, …). Chunk-claiming drivers may give
+    /// each partition its **own cursor** so workers drain independent
+    /// partitions without contending on one shared counter — the
+    /// count-distribution scan shape. The default is a single partition,
+    /// which every driver must treat exactly like the classic shared
+    /// cursor; partitioning never changes which chunks exist, only how
+    /// they are claimed.
+    fn chunk_partitions(&self, chunk_size: usize) -> Vec<u64> {
+        vec![self.plan_chunks(chunk_size)]
+    }
+
     /// Materialises chunk `index` of the `chunk_size` plan, either as a
     /// borrowed view of stored transactions or decoded into `scratch`.
     /// Charges the chunk's transactions and items (plus pages/bytes for

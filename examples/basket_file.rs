@@ -12,7 +12,7 @@
 
 use fup::datagen::{GenParams, QuestGenerator};
 use fup::tidb::io;
-use fup::{Maintainer, MinConfidence, MinSupport, TransactionSource, UpdateBatch};
+use fup::{Maintainer, MinConfidence, MinSupport, UpdateBatch};
 use std::fs::File;
 use std::io::BufWriter;
 

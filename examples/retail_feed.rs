@@ -13,7 +13,7 @@
 //! ```
 
 use fup::datagen::{generate_multi_split, GenParams};
-use fup::{Apriori, Maintainer, MinConfidence, MinSupport, TransactionSource, UpdateBatch};
+use fup::{Apriori, Maintainer, MinConfidence, MinSupport, UpdateBatch};
 use std::time::Instant;
 
 fn main() {

@@ -269,6 +269,63 @@
 //! assert_eq!(maintainer.len(), 2);
 //! ```
 //!
+//! ## Sharded serving
+//!
+//! A session can partition its live set into N tid-range shards
+//! ([`MaintainerBuilder::shards`], or [`ShardSpec`] for explicit
+//! routing). Support counts are additive over disjoint tid ranges, so
+//! each shard counts its own slice and the merged result is
+//! **bit-identical** to the flat session — same itemsets and supports,
+//! same rules, same reports — while each shard keeps its own persistent
+//! vertical index (a delete rebuilds only the shard it lands on) and
+//! scans in parallel as its own chunk partition. The routing spec is
+//! pure configuration: it is validated at build time and never changes
+//! a result, only where rows live. See `DESIGN_SHARDING.md` for the
+//! invariants.
+//!
+//! ```
+//! use fup::{Maintainer, MinConfidence, MinSupport, ShardSpec, Tid};
+//! use fup::{Transaction, UpdateBatch};
+//!
+//! let history: Vec<Transaction> = (0..8u32)
+//!     .map(|i| Transaction::from_items([i % 2, 2 + (i % 3), 9]))
+//!     .collect();
+//! let builder = || {
+//!     Maintainer::builder()
+//!         .min_support(MinSupport::percent(25))
+//!         .min_confidence(MinConfidence::percent(60))
+//! };
+//! let mut flat = builder().build(history.clone()).unwrap();
+//! let mut sharded = builder()
+//!     .shard_spec(ShardSpec::striped_with(4, 1)) // tid t -> shard t % 4
+//!     .build(history)
+//!     .unwrap();
+//! assert_eq!(sharded.store().num_shards(), 4);
+//!
+//! // One update, routed by tid range: the insert lands on one shard,
+//! // the delete on another.
+//! let batch = UpdateBatch {
+//!     inserts: vec![Transaction::from_items([0u32, 2, 9])],
+//!     deletes: vec![Tid(3)],
+//! };
+//! flat.apply(batch.clone()).unwrap();
+//! sharded.apply(batch).unwrap();
+//!
+//! // Count distribution: per-shard supports merge by summation, so the
+//! // sharded session is bit-identical to the flat one.
+//! assert!(sharded.large_itemsets().same_itemsets(flat.large_itemsets()));
+//! assert_eq!(sharded.rules(), flat.rules());
+//!
+//! // A spec that cannot route every tid is a typed build error, never a
+//! // stage-time panic.
+//! use fup::TidRange;
+//! let err = builder()
+//!     .shard_spec(ShardSpec::Ranges(vec![TidRange::new(5, 10)]))
+//!     .build(vec![])
+//!     .unwrap_err();
+//! assert!(matches!(err, fup::BuildError::InvalidShardSpec(_)));
+//! ```
+//!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
@@ -285,10 +342,10 @@ pub use fup_tidb as tidb;
 
 // The working vocabulary, flattened.
 pub use fup_core::{
-    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, HealthState,
-    IndexStats, ItemsetDiff, LogState, Maintainer, MaintainerBuilder, MaintainerService,
-    MaintenanceReport, RecoveryReport, RetryPolicy, RuleDiff, RuleSnapshot, ServiceError,
-    ServiceHealth, ServiceMetrics, StageHandle, UpdatePolicy, Updater,
+    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, HealthReport,
+    HealthState, IndexStats, ItemsetDiff, LogState, Maintainer, MaintainerBuilder,
+    MaintainerService, MaintenanceReport, RecoveryReport, RetryPolicy, RuleDiff, RuleSnapshot,
+    ServiceError, ServiceHealth, ServiceMetrics, SessionStore, StageHandle, UpdatePolicy, Updater,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
@@ -297,8 +354,8 @@ pub use fup_mining::{
 };
 pub use fup_tidb::{
     Admission, DiskStorage, DurableStorage, FaultKind, FlakyStorage, ItemDictionary, ItemId,
-    MemStorage, OpClass, SegmentedDb, Tid, Transaction, TransactionDb, TransactionSource,
-    UpdateBatch,
+    MemStorage, OpClass, SegmentedDb, ShardSpec, ShardedDb, SpecError, Tid, TidRange, Transaction,
+    TransactionDb, TransactionSource, UpdateBatch,
 };
 
 #[cfg(test)]
