@@ -173,6 +173,16 @@ pub enum Error {
         /// The error the final attempt failed with.
         last: Box<Error>,
     },
+    /// A cluster shard worker is unreachable (killed, crashed, or
+    /// refusing the round). Commit rounds cannot run until it rejoins —
+    /// staged work stays in the coordinator's bounded backlog and
+    /// published snapshots keep serving.
+    WorkerDown {
+        /// The unreachable shard.
+        shard: usize,
+        /// What the worker (or its transport) last reported.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -209,6 +219,11 @@ impl fmt::Display for Error {
             Error::RetriesExhausted { attempts, last } => write!(
                 f,
                 "gave up after {attempts} attempt(s); last error: {last}"
+            ),
+            Error::WorkerDown { shard, reason } => write!(
+                f,
+                "cluster shard worker {shard} is unreachable ({reason}); \
+                 staged work is held until it rejoins"
             ),
         }
     }

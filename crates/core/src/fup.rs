@@ -227,28 +227,37 @@ impl Fup {
         let mut db_working: Option<TransactionDb> = None;
         let mut winners_from_new1 = 0u64;
         if !c1.is_empty() {
-            // Items are dense, so the candidate index is a flat array
-            // (u32::MAX = not a candidate) — no hashing in the hot loop.
-            let max_item = c1.iter().map(|(i, _)| i.index()).max().unwrap_or(0);
-            let mut index_of: Vec<u32> = vec![u32::MAX; max_item + 1];
-            for (idx, (item, _)) in c1.iter().enumerate() {
-                index_of[item.index()] = idx as u32;
-            }
-            let tables = engine::scan_fold(
-                db,
-                &self.config.engine,
-                || vec![0u64; c1.len()],
-                |counts: &mut Vec<u64>, _chunk, t| {
-                    for &item in t {
-                        if let Some(&idx) = index_of.get(item.index()) {
-                            if idx != u32::MAX {
-                                counts[idx as usize] += 1;
-                            }
-                        }
+            let c1_items: Vec<ItemId> = c1.iter().map(|(item, _)| *item).collect();
+            let c1_db_counts =
+                if let Some(counts) = provider.count_base_items(&c1_items, &self.config.engine) {
+                    // A remote provider counted DB where its rows live; the
+                    // summed per-shard counts are the same sums this scan
+                    // would have produced.
+                    counts
+                } else {
+                    // Items are dense, so the candidate index is a flat array
+                    // (u32::MAX = not a candidate) — no hashing in the hot loop.
+                    let max_item = c1.iter().map(|(i, _)| i.index()).max().unwrap_or(0);
+                    let mut index_of: Vec<u32> = vec![u32::MAX; max_item + 1];
+                    for (idx, (item, _)) in c1.iter().enumerate() {
+                        index_of[item.index()] = idx as u32;
                     }
-                },
-            );
-            let c1_db_counts = engine::merge_dense(tables);
+                    let tables = engine::scan_fold(
+                        db,
+                        &self.config.engine,
+                        || vec![0u64; c1.len()],
+                        |counts: &mut Vec<u64>, _chunk, t| {
+                            for &item in t {
+                                if let Some(&idx) = index_of.get(item.index()) {
+                                    if idx != u32::MAX {
+                                        counts[idx as usize] += 1;
+                                    }
+                                }
+                            }
+                        },
+                    );
+                    engine::merge_dense(tables)
+                };
             for ((item, sup_d), sup_db) in c1.iter().zip(&c1_db_counts) {
                 let sup_ud = sup_db + sup_d;
                 if minsup.is_large(sup_ud, n) {

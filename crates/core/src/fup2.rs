@@ -196,20 +196,26 @@ impl Fup2 {
         // in one dense pass over DB⁻ and decided afterwards. The
         // `survives` bound still prunes the *reporting*, and for the
         // insert-only case FUP's stronger Lemma-2 check applies.
-        let rem_counts = engine::merge_dense(engine::scan_fold(
-            remainder,
-            &self.config.engine,
-            Vec::new,
-            |counts: &mut Vec<u64>, _chunk, t| {
-                for &item in t {
-                    let i = item.index();
-                    if i >= counts.len() {
-                        counts.resize(i + 1, 0);
+        let rem_counts = if let Some(counts) = provider.count_base_dense(&self.config.engine) {
+            // A remote provider histogrammed DB⁻ where its rows live;
+            // per-shard histograms sum to exactly this scan's output.
+            counts
+        } else {
+            engine::merge_dense(engine::scan_fold(
+                remainder,
+                &self.config.engine,
+                Vec::new,
+                |counts: &mut Vec<u64>, _chunk, t| {
+                    for &item in t {
+                        let i = item.index();
+                        if i >= counts.len() {
+                            counts.resize(i + 1, 0);
+                        }
+                        counts[i] += 1;
                     }
-                    counts[i] += 1;
-                }
-            },
-        ));
+                },
+            ))
+        };
         let max_len = rem_counts
             .len()
             .max(plus_counts.len())

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod config;
 pub mod diff;
 pub mod durable;
@@ -73,6 +74,7 @@ pub mod session;
 pub(crate) mod shard;
 pub mod vindex;
 
+pub use cluster::{Cluster, ShardWorker, WorkerProbe};
 pub use config::FupConfig;
 pub use diff::{ItemsetDiff, RuleDiff};
 pub use durable::{DurabilityPolicy, LogState, RecoveryReport, RetryPolicy};
@@ -82,7 +84,7 @@ pub use fup2::Fup2;
 pub use policy::UpdatePolicy;
 pub use service::{
     CommitPolicy, HealthReport, HealthState, MaintainerService, ServiceError, ServiceHealth,
-    ServiceMetrics,
+    ServiceMetrics, ShardHealth,
 };
 pub use session::{
     IndexStats, Maintainer, MaintainerBuilder, MaintenanceReport, RuleSnapshot, SessionStore,

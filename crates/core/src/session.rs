@@ -64,6 +64,7 @@ use crate::error::{BuildError, Error, Result};
 use crate::fup::Fup;
 use crate::fup2::Fup2;
 use crate::policy::UpdatePolicy;
+use crate::service::ShardHealth;
 use crate::shard::ShardProvider;
 use crate::vindex::IndexSlot;
 use fup_mining::apriori::AprioriConfig;
@@ -149,7 +150,10 @@ pub(crate) struct SnapshotState {
 }
 
 impl SnapshotState {
-    fn new(
+    /// Crate-visible because the cluster coordinator
+    /// (`crate::cluster`) publishes the same state the flat session
+    /// does — identical inputs must produce an identical snapshot.
+    pub(crate) fn new(
         version: u64,
         num_transactions: u64,
         minsup: MinSupport,
@@ -180,6 +184,18 @@ impl SnapshotState {
             rules_by_item,
             rules_by_confidence,
         }
+    }
+
+    pub(crate) fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn large(&self) -> &LargeItemsets {
+        &self.large
+    }
+
+    pub(crate) fn rules(&self) -> &RuleSet {
+        &self.rules
     }
 }
 
@@ -775,6 +791,7 @@ impl MaintainerBuilder {
                 slots[0].restore(idx);
             }
         }
+        let shard_ops = vec![0; store.num_shards()];
         let mut m = Maintainer {
             store,
             state,
@@ -785,6 +802,7 @@ impl MaintainerBuilder {
             updater: self.updater,
             deletions: self.deletions,
             slots,
+            shard_ops,
             durable: None,
         };
 
@@ -1164,6 +1182,10 @@ pub struct Maintainer {
     /// One persistent vertical-index slot per shard (a single slot for a
     /// flat store).
     slots: Vec<IndexSlot>,
+    /// Update ops (inserts + deletes) committed into each shard since
+    /// the session started (one counter for a flat store) — the
+    /// [`ShardHealth`](crate::service::ShardHealth) `ops` gauge.
+    shard_ops: Vec<u64>,
     durable: Option<Arc<DurableLog>>,
 }
 
@@ -1242,6 +1264,7 @@ impl Maintainer {
             large,
             rules,
         ));
+        let shard_ops = vec![0; store.num_shards()];
         Maintainer {
             store,
             state,
@@ -1252,6 +1275,7 @@ impl Maintainer {
             updater: Updater::default(),
             deletions: true,
             slots,
+            shard_ops,
             durable: None,
         }
     }
@@ -1537,6 +1561,7 @@ impl Maintainer {
     fn commit_by_remine(&mut self, batch: UpdateBatch) -> Result<MaintenanceReport> {
         let staged = self.stage_drained(batch)?;
         self.align_index(&staged);
+        self.note_shard_ops(&staged);
         let (_seg, inserted_tids) = self.store.commit(staged);
         let (outcome, built) = Apriori::with_config(AprioriConfig {
             engine: self.config.engine.clone(),
@@ -1570,8 +1595,56 @@ impl Maintainer {
         stats: MiningStats,
     ) -> MaintenanceReport {
         self.align_index(&staged);
+        self.note_shard_ops(&staged);
         let (_seg, inserted_tids) = self.store.commit(staged);
         self.publish(new_large, algorithm, stats, inserted_tids)
+    }
+
+    /// Charges a committed round's ops to the per-shard gauges.
+    fn note_shard_ops(&mut self, staged: &StagedAny) {
+        match staged {
+            StagedAny::Flat(fs) => {
+                self.shard_ops[0] += fs.inserted().num_transactions() + fs.num_deleted();
+            }
+            StagedAny::Sharded(ss) => {
+                for (s, ops) in self.shard_ops.iter_mut().enumerate() {
+                    *ops += ss.shard_inserted(s).num_transactions()
+                        + ss.shard_deleted(s).num_transactions();
+                }
+            }
+        }
+    }
+
+    /// Per-shard health gauges (committed ops, routed backlog, state)
+    /// for [`HealthReport::shards`](crate::HealthReport::shards). An
+    /// in-process session always reports `"up"`; backlog is the staged
+    /// batches routed prospectively through the shard spec (everything
+    /// lands on shard 0 for a flat store).
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        let n = self.store.num_shards();
+        let mut backlog = vec![0u64; n];
+        let pending = fup_tidb::StagingArea::merge_entries(self.store.staging().entries_snapshot());
+        match &self.store {
+            SessionStore::Flat(_) => backlog[0] = pending.num_ops(),
+            SessionStore::Sharded(db) => {
+                let spec = db.spec();
+                let watermark = self.store.watermark();
+                for i in 0..pending.inserts.len() as u64 {
+                    backlog[spec.shard_of(Tid(watermark + i))] += 1;
+                }
+                for &tid in &pending.deletes {
+                    backlog[spec.shard_of(tid)] += 1;
+                }
+            }
+        }
+        (0..n)
+            .map(|s| ShardHealth {
+                shard: s,
+                ops: self.shard_ops[s],
+                backlog: backlog[s],
+                state: "up",
+            })
+            .collect()
     }
 
     /// Keeps the persistent index slots consistent with the store the

@@ -141,11 +141,29 @@ impl IndexSlot {
         delta: &dyn TransactionSource,
         engine: &EngineConfig,
     ) -> VerticalIndex {
-        let keep = item_bitmap(
+        self.acquire_items(
             old.level(1)
                 .chain(result.level(1))
                 .map(|(x, _)| x.items()[0]),
-        );
+            base,
+            delta,
+            engine,
+        )
+    }
+
+    /// [`acquire`](IndexSlot::acquire) with the keep filter given as an
+    /// explicit item list instead of the two `L₁` levels — the shape a
+    /// cluster shard worker receives over the wire (the coordinator
+    /// computes `old L₁ ∪ result L₁` and broadcasts just the items).
+    /// Same reuse contract, same counters.
+    pub(crate) fn acquire_items(
+        &mut self,
+        keep_items: impl IntoIterator<Item = fup_tidb::ItemId>,
+        base: &dyn TransactionSource,
+        delta: &dyn TransactionSource,
+        engine: &EngineConfig,
+    ) -> VerticalIndex {
+        let keep = item_bitmap(keep_items);
         if let Some(mut idx) = self.index.take() {
             if idx.num_transactions() == base.num_transactions() && idx.covers(&keep) {
                 idx.extend(delta, engine);
@@ -204,6 +222,35 @@ pub(crate) trait VerticalProvider {
     ///
     /// May panic if [`engage`](VerticalProvider::engage) has not run.
     fn count_split(&self, table: &ItemsetTable, engine: &EngineConfig) -> Vec<(u64, u64)>;
+
+    /// Pass-1 offload: supports of `items` in the round's **base** rows
+    /// only (FUP's `C₁`-over-`DB` scan). `None` — the default, and what
+    /// every in-process provider returns — tells the round loop to scan
+    /// its base source directly, exactly as it always has; a remote
+    /// provider whose base rows live in other processes answers
+    /// `Some(counts)` (one per item, request order) and the loop skips
+    /// the scan. Summed remote counts equal the local scan's counts (a
+    /// support is a sum over disjoint tid ranges), so results stay
+    /// bit-identical either way.
+    fn count_base_items(
+        &self,
+        items: &[fup_tidb::ItemId],
+        engine: &EngineConfig,
+    ) -> Option<Vec<u64>> {
+        let _ = (items, engine);
+        None
+    }
+
+    /// Pass-1 offload, dense flavour: the full item histogram of the
+    /// round's base rows (FUP2's all-items pass over `DB⁻`). Same
+    /// contract as [`count_base_items`](VerticalProvider::count_base_items):
+    /// `None` means "scan it yourself"; `Some(counts)` has `counts[i]`
+    /// counting `ItemId(i)` and may be shorter than the dictionary
+    /// (missing tail = zero occurrences).
+    fn count_base_dense(&self, engine: &EngineConfig) -> Option<Vec<u64>> {
+        let _ = engine;
+        None
+    }
 
     /// Returns the round's index (or indexes) to their slot(s) after a
     /// successful run. A no-op when the round never engaged.

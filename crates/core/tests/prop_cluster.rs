@@ -1,0 +1,225 @@
+//! The cluster runtime is invisible: a process-per-shard [`Cluster`]
+//! must publish **bit-identical** itemsets and rules to a flat
+//! [`Maintainer`] over the same history and update stream — per-shard
+//! support splits are summed by the coordinator, and supports are
+//! additive over disjoint tid ranges, so reassociating the sums cannot
+//! change any count (count distribution, exactly as in-process
+//! sharding).
+//!
+//! * **Across shard counts:** the same workload replayed under 1, 2,
+//!   and 4 shard workers matches one flat reference after every round.
+//! * **Across engines:** the flat reference runs backends {HashTree,
+//!   Vertical, Auto} — the cluster always counts through the per-shard
+//!   vertical indexes, so identity across backends is exactly the
+//!   engine-equivalence contract applied over RPC.
+//! * **Cross-shard deletes:** stripes of 1 spread consecutive tids, so
+//!   deletes routinely land on shards the round's inserts never touch.
+//! * **Crash/recovery:** a scripted case kills one worker, shows the
+//!   survivors still serving probes and snapshots, then recovers the
+//!   worker from its checkpoint + WAL and commits the held backlog —
+//!   with no acknowledged commit lost and the final state still
+//!   bit-identical to flat.
+
+use std::sync::Arc;
+
+use fup_core::{Cluster, Error, FupConfig, Maintainer};
+use fup_mining::{CountingBackend, MinConfidence, MinSupport};
+use fup_tidb::{DurableStorage, MemStorage, ShardSpec, Tid, Transaction, UpdateBatch};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [u32; 3] = [1, 2, 4];
+
+/// A random transaction over a small item alphabet (1–6 items of 0..12).
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    proptest::collection::vec(0u32..12, 1..6).prop_map(Transaction::from_items)
+}
+
+fn arb_db(max: usize) -> impl Strategy<Value = Vec<Transaction>> {
+    proptest::collection::vec(arb_transaction(), 0..max)
+}
+
+fn arb_minsup() -> impl Strategy<Value = MinSupport> {
+    (1u64..=100).prop_map(MinSupport::percent)
+}
+
+fn arb_backend() -> impl Strategy<Value = CountingBackend> {
+    (0usize..3).prop_map(|i| {
+        [
+            CountingBackend::HashTree,
+            CountingBackend::Vertical,
+            CountingBackend::Auto,
+        ][i]
+    })
+}
+
+fn mem_storages(n: usize) -> Vec<Arc<dyn DurableStorage>> {
+    (0..n)
+        .map(|_| Arc::new(MemStorage::new()) as Arc<dyn DurableStorage>)
+        .collect()
+}
+
+fn boot_cluster(shards: u32, history: Vec<Transaction>, minsup: MinSupport) -> Cluster {
+    Cluster::bootstrap(
+        ShardSpec::striped_with(shards, 1),
+        mem_storages(shards as usize),
+        history,
+        minsup,
+        MinConfidence::percent(60),
+        FupConfig::default(),
+    )
+    .unwrap()
+}
+
+fn flat_reference(
+    history: Vec<Transaction>,
+    minsup: MinSupport,
+    backend: CountingBackend,
+) -> Maintainer {
+    Maintainer::builder()
+        .min_support(minsup)
+        .min_confidence(MinConfidence::percent(60))
+        .backend(backend)
+        .build(history)
+        .unwrap()
+}
+
+/// Distinct delete targets drawn from `tids` by index.
+fn pick_deletes(tids: &[Tid], seed: &[proptest::sample::Index]) -> Vec<Tid> {
+    let mut deletes: Vec<Tid> = seed
+        .iter()
+        .filter(|_| !tids.is_empty())
+        .map(|ix| tids[ix.index(tids.len())])
+        .collect();
+    deletes.sort();
+    deletes.dedup();
+    deletes
+}
+
+/// The bit-identity contract: itemsets with their support counts, and
+/// strong rules with their exact counts, match the flat reference.
+fn assert_bit_identical(cluster: &Cluster, flat: &Maintainer, label: &str) {
+    let cs = cluster.snapshot();
+    let fs = flat.snapshot();
+    assert_eq!(
+        cluster.num_transactions(),
+        flat.len() as u64,
+        "{label}: live size diverges"
+    );
+    assert_eq!(
+        cs.large_itemsets(),
+        fs.large_itemsets(),
+        "{label}: itemsets/supports diverge"
+    );
+    assert_eq!(cs.rules(), fs.rules(), "{label}: rules diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random histories and rounds (mixed inserts and cross-shard
+    /// deletes), replayed round-for-round under every shard count
+    /// against one flat reference per backend.
+    #[test]
+    fn cluster_sessions_are_bit_identical_to_flat(
+        history in arb_db(12),
+        rounds in proptest::collection::vec(
+            (arb_db(5), proptest::collection::vec(any::<prop::sample::Index>(), 0..4)),
+            0..3,
+        ),
+        minsup in arb_minsup(),
+        backend in arb_backend(),
+    ) {
+        let mut flat = flat_reference(history.clone(), minsup, backend);
+        let mut clusters: Vec<Cluster> = SHARD_COUNTS
+            .iter()
+            .map(|&s| boot_cluster(s, history.clone(), minsup))
+            .collect();
+        for c in &clusters {
+            assert_bit_identical(c, &flat, "bootstrap");
+        }
+
+        let mut live: Vec<Tid> = (0..history.len() as u64).map(Tid).collect();
+        let mut next_tid = history.len() as u64;
+        for (round, (inserts, delete_seed)) in rounds.into_iter().enumerate() {
+            let batch = UpdateBatch {
+                inserts,
+                deletes: pick_deletes(&live, &delete_seed),
+            };
+            live.retain(|t| !batch.deletes.contains(t));
+            live.extend((0..batch.inserts.len() as u64).map(|i| Tid(next_tid + i)));
+            next_tid += batch.inserts.len() as u64;
+
+            let reference = flat.apply(batch.clone()).unwrap();
+            for (c, &shards) in clusters.iter_mut().zip(&SHARD_COUNTS) {
+                let report = c.apply(batch.clone()).unwrap();
+                let label = format!("round {round}, {shards} shard worker(s)");
+                prop_assert_eq!(report.algorithm, reference.algorithm, "{}", &label);
+                prop_assert_eq!(
+                    &report.inserted_tids, &reference.inserted_tids, "{}", &label
+                );
+                prop_assert_eq!(
+                    report.num_transactions, reference.num_transactions, "{}", &label
+                );
+                assert_bit_identical(c, &flat, &label);
+            }
+        }
+        for c in clusters {
+            c.shutdown();
+        }
+    }
+}
+
+/// The issue's crash script, end to end through the public API: one
+/// worker is killed mid-stream. The cluster fails rounds fast while
+/// holding the staged work, the surviving shard keeps answering probes
+/// and the published snapshot keeps serving reads; after a restart the
+/// worker recovers everything it acknowledged from its checkpoint + WAL
+/// (the bootstrap load **and** a post-checkpoint committed round), the
+/// held backlog commits, and the result is bit-identical to flat.
+#[test]
+fn kill_one_worker_recovery_loses_nothing() {
+    let tx = |items: &[u32]| Transaction::from_items(items.iter().copied());
+    let history: Vec<Transaction> = (0..8u32).map(|i| tx(&[i % 3, 3 + (i % 4), 10])).collect();
+    let minsup = MinSupport::percent(25);
+    let mut cluster = boot_cluster(2, history.clone(), minsup);
+    let mut flat = flat_reference(history.clone(), minsup, CountingBackend::Auto);
+
+    // An acknowledged round after the bootstrap checkpoint: it exists
+    // only in the workers' WALs, so recovery must replay it.
+    let committed = UpdateBatch {
+        inserts: vec![tx(&[0, 3, 10]), tx(&[1, 4])],
+        deletes: vec![Tid(2), Tid(7)],
+    };
+    cluster.apply(committed.clone()).unwrap();
+    flat.apply(committed).unwrap();
+    let acknowledged = cluster.snapshot();
+    let probe_before = cluster.probe(1).unwrap();
+
+    cluster.kill_worker(1);
+    assert!(!cluster.worker_up(1));
+
+    // Staged work is held, not lost: the commit fails fast.
+    cluster
+        .stage(UpdateBatch::insert_only(vec![tx(&[0, 1, 10])]))
+        .unwrap();
+    let err = cluster.commit().unwrap_err();
+    assert!(matches!(err, Error::WorkerDown { shard: 1, .. }), "{err}");
+
+    // Surviving shard serves probes; snapshots serve reads throughout.
+    assert!(cluster.probe(0).unwrap().live > 0);
+    assert_eq!(cluster.snapshot().rules(), acknowledged.rules());
+
+    // Rejoin from checkpoint + WAL: the acknowledged round is intact.
+    cluster.restart_worker(1).unwrap();
+    assert_eq!(cluster.probe(1).unwrap(), probe_before);
+
+    // The held backlog commits now, and identity with flat still holds.
+    cluster.commit().unwrap();
+    flat.apply(UpdateBatch::insert_only(vec![tx(&[0, 1, 10])]))
+        .unwrap();
+    let (cs, fs) = (cluster.snapshot(), flat.snapshot());
+    assert_eq!(cs.large_itemsets(), fs.large_itemsets());
+    assert_eq!(cs.rules(), fs.rules());
+    assert_eq!(cluster.num_transactions(), flat.len() as u64);
+    cluster.shutdown();
+}

@@ -62,6 +62,7 @@ pub mod error;
 pub mod io;
 pub mod item;
 pub mod page;
+pub mod rpc;
 pub mod scan;
 pub mod segment;
 pub mod shard;
@@ -77,9 +78,10 @@ pub use database::TransactionDb;
 pub use dictionary::ItemDictionary;
 pub use error::{Error, FaultKind, Result};
 pub use item::ItemId;
+pub use rpc::{ChannelTransport, Message, Transport, UdsTransport};
 pub use scan::ScanMetrics;
 pub use segment::{SegmentId, SegmentedDb, StagedUpdate, Tid, UpdateBatch};
-pub use shard::{ShardSpec, ShardedDb, ShardedStaged, SpecError, TidRange};
+pub use shard::{RangeMove, ShardSpec, ShardedDb, ShardedStaged, SpecError, TidRange};
 pub use source::TransactionSource;
 pub use staging::{Admission, LiveTidView, StagingArea};
 pub use storage::{DiskStorage, DurableStorage, FlakyStorage, MemStorage, OpClass};

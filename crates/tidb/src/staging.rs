@@ -630,7 +630,13 @@ impl StagingArea {
     }
 
     /// Adds tids to the live view (the store appended transactions).
-    pub(crate) fn live_insert(&self, tids: impl IntoIterator<Item = Tid>) {
+    ///
+    /// Public for row routers that keep the authoritative live view on
+    /// their own staging area — [`SegmentedDb`](crate::SegmentedDb) and
+    /// [`ShardedDb`](crate::ShardedDb) in this crate, and the cluster
+    /// coordinator (`fup_core::cluster`), whose rows live in worker
+    /// processes, one crate up.
+    pub fn live_insert(&self, tids: impl IntoIterator<Item = Tid>) {
         let mut live = self.write_live();
         for tid in tids {
             live.insert(tid);
@@ -638,7 +644,9 @@ impl StagingArea {
     }
 
     /// Removes tids from the live view (the store staged deletions).
-    pub(crate) fn live_remove(&self, tids: impl IntoIterator<Item = Tid>) {
+    /// Public for the same routers as
+    /// [`live_insert`](StagingArea::live_insert).
+    pub fn live_remove(&self, tids: impl IntoIterator<Item = Tid>) {
         let mut live = self.write_live();
         for tid in tids {
             live.remove(tid);

@@ -326,6 +326,77 @@
 //! assert!(matches!(err, fup::BuildError::InvalidShardSpec(_)));
 //! ```
 //!
+//! ## Cluster serving
+//!
+//! The cluster runtime takes sharding across the process seam: each
+//! shard becomes a [`ShardWorker`] with its own thread, its own store
+//! slice and persistent index, and its own WAL + checkpoint namespace,
+//! speaking a CRC-framed RPC protocol to a [`Cluster`] coordinator
+//! that merges per-shard support counts by summation and commits every
+//! round two-phase. Results stay **bit-identical** to a flat session.
+//! The crash model is single-shard: kill a worker and commits fail
+//! fast with a typed [`core::Error::WorkerDown`] while the staged
+//! backlog is held, snapshots keep serving reads and surviving workers
+//! keep answering [`probe`](Cluster::probe)s; a restart recovers the
+//! worker from its own checkpoint + WAL without losing an acknowledged
+//! commit. See `DESIGN_CLUSTER.md` for the protocol and the crash
+//! model.
+//!
+//! ```
+//! use fup::tidb::{DurableStorage, MemStorage};
+//! use fup::{Cluster, FupConfig, MinConfidence, MinSupport, ShardSpec};
+//! use fup::{Tid, Transaction, UpdateBatch};
+//! use std::sync::Arc;
+//!
+//! let history: Vec<Transaction> = (0..8u32)
+//!     .map(|i| Transaction::from_items([i % 2, 2 + (i % 3), 9]))
+//!     .collect();
+//! let storages: Vec<Arc<dyn DurableStorage>> = (0..2)
+//!     .map(|_| Arc::new(MemStorage::new()) as Arc<dyn DurableStorage>)
+//!     .collect();
+//! let mut cluster = Cluster::bootstrap(
+//!     ShardSpec::striped_with(2, 1), // tid t -> worker t % 2
+//!     storages,
+//!     history,
+//!     MinSupport::percent(25),
+//!     MinConfidence::percent(60),
+//!     FupConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! // One incremental round: routed to workers, counted per shard,
+//! // merged by summation, committed two-phase.
+//! let report = cluster
+//!     .apply(UpdateBatch {
+//!         inserts: vec![Transaction::from_items([0u32, 2, 9])],
+//!         deletes: vec![Tid(3)],
+//!     })
+//!     .unwrap();
+//! assert_eq!(report.version, 1);
+//!
+//! // Kill one worker the hard way: its memory is gone, only its
+//! // storage namespace survives. Commits now fail fast and typed —
+//! // the staged batch is held, not lost.
+//! cluster.kill_worker(1);
+//! let err = cluster
+//!     .apply(UpdateBatch::insert_only(vec![
+//!         Transaction::from_items([0u32, 9]),
+//!     ]))
+//!     .unwrap_err();
+//! assert!(matches!(err, fup::core::Error::WorkerDown { shard: 1, .. }));
+//!
+//! // The survivor keeps answering probes; snapshots keep serving.
+//! assert!(cluster.probe(0).unwrap().live > 0);
+//! assert_eq!(cluster.snapshot().version(), 1);
+//!
+//! // Restart: the worker recovers from its checkpoint + WAL and the
+//! // held backlog commits on the next attempt.
+//! cluster.restart_worker(1).unwrap();
+//! let report = cluster.commit().unwrap();
+//! assert_eq!(report.version, 2);
+//! cluster.shutdown();
+//! ```
+//!
 //! ## Layout
 //!
 //! * [`tidb`] — transactions, stores, scan accounting ([`fup_tidb`])
@@ -342,10 +413,11 @@ pub use fup_tidb as tidb;
 
 // The working vocabulary, flattened.
 pub use fup_core::{
-    BuildError, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome, HealthReport,
-    HealthState, IndexStats, ItemsetDiff, LogState, Maintainer, MaintainerBuilder,
+    BuildError, Cluster, CommitPolicy, DurabilityPolicy, Fup, Fup2, FupConfig, FupOutcome,
+    HealthReport, HealthState, IndexStats, ItemsetDiff, LogState, Maintainer, MaintainerBuilder,
     MaintainerService, MaintenanceReport, RecoveryReport, RetryPolicy, RuleDiff, RuleSnapshot,
-    ServiceError, ServiceHealth, ServiceMetrics, SessionStore, StageHandle, UpdatePolicy, Updater,
+    ServiceError, ServiceHealth, ServiceMetrics, SessionStore, ShardHealth, ShardWorker,
+    StageHandle, UpdatePolicy, Updater, WorkerProbe,
 };
 pub use fup_datagen::{GenParams, QuestGenerator};
 pub use fup_mining::{
